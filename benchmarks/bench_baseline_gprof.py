@@ -1,0 +1,28 @@
+"""Benchmark (related work): gprof baseline vs exact attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.compare import compare_attribution
+from repro.baselines.gprof import GprofProfile
+from repro.experiments import gprof_baseline
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import s3d
+
+
+@pytest.fixture(scope="module")
+def s3d_cct():
+    exp = Experiment.from_program(s3d.build())
+    return exp.cct
+
+
+def test_bench_gprof_build(benchmark, s3d_cct, print_report):
+    gprof = benchmark(lambda: GprofProfile.from_cct(s3d_cct, mid=0))
+    assert gprof.total_cost
+    print_report(gprof_baseline.run())
+
+
+def test_bench_attribution_comparison(benchmark, s3d_cct):
+    rows = benchmark(lambda: compare_attribution(s3d_cct, mid=0))
+    assert rows

@@ -1,0 +1,48 @@
+"""Benchmark the core pipeline stages: execution, correlation, attribution.
+
+Not tied to one figure; establishes the throughput of the substrate the
+presentation layer sits on (useful when judging the §VII claims).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.experiments.scalability import synthetic_tree_program
+from repro.hpcprof.correlate import correlate
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    program = synthetic_tree_program(fanout=8, depth=3)
+    structure = build_structure(program)
+    profile = execute(program)
+    return program, structure, profile
+
+
+def test_bench_execute(benchmark, inputs):
+    program, _structure, _profile = inputs
+    profile = benchmark(lambda: execute(program))
+    assert profile.sample_count > 100
+
+
+def test_bench_structure_recovery(benchmark, inputs):
+    program, _s, _p = inputs
+    model = benchmark(lambda: build_structure(program))
+    assert model.stats()["procedure"] > 10
+
+
+def test_bench_correlate(benchmark, inputs):
+    _program, structure, profile = inputs
+    cct = benchmark(lambda: correlate(profile, structure))
+    assert len(cct) > 100
+
+
+def test_bench_attribute(benchmark, inputs):
+    _program, structure, profile = inputs
+    cct = correlate(profile, structure)
+    benchmark(lambda: attribute(cct))
+    assert cct.root.inclusive

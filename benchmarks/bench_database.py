@@ -1,0 +1,59 @@
+"""Benchmark §IX (ongoing work): XML vs compact binary experiment databases.
+
+The paper names "replacing our XML format for profiles with a more
+compact binary format" as ongoing work; this bench quantifies the win on
+a mid-sized experiment: serialized size, dump time, and load time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.scalability import synthetic_tree_program
+from repro.hpcprof import binio, xmlio
+from repro.hpcprof.experiment import Experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return Experiment.from_program(synthetic_tree_program(fanout=8, depth=3))
+
+
+@pytest.fixture(scope="module")
+def blobs(experiment):
+    return {
+        "xml": xmlio.dumps_xml(experiment),
+        "binary": binio.dumps_binary(experiment),
+    }
+
+
+def test_bench_xml_dump(benchmark, experiment):
+    data = benchmark(lambda: xmlio.dumps_xml(experiment))
+    assert data.startswith(b"<?xml")
+
+
+def test_bench_binary_dump(benchmark, experiment):
+    data = benchmark(lambda: binio.dumps_binary(experiment))
+    assert data[:4] == b"RPDB"
+
+
+def test_bench_xml_load(benchmark, blobs):
+    exp = benchmark(lambda: xmlio.loads_xml(blobs["xml"]))
+    assert len(exp.cct) > 100
+
+
+def test_bench_binary_load(benchmark, blobs, print_report):
+    exp = benchmark(lambda: binio.loads_binary(blobs["binary"]))
+    assert len(exp.cct) > 100
+
+    report = ExperimentReport(
+        "§IX-db", "Compact binary database vs XML (ongoing-work claim)"
+    )
+    xml_size, bin_size = len(blobs["xml"]), len(blobs["binary"])
+    report.add("XML size", None, xml_size / 1024.0, unit="KiB")
+    report.add("binary size", None, bin_size / 1024.0, unit="KiB")
+    report.add("binary smaller than XML", "yes",
+               "yes" if bin_size < xml_size else "no", tolerance=0.0)
+    report.add("compression ratio", None, xml_size / bin_size, unit="x")
+    print_report(report)

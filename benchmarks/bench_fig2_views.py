@@ -1,0 +1,38 @@
+"""Benchmark Fig. 2: constructing the three views of the worked example.
+
+Measures the full pipeline cost for the Figure 1 program — execution,
+structure recovery, correlation, attribution, view synthesis — and
+prints the exact golden-value comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2_views
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig2_views.build_experiment()
+
+
+def test_bench_fig2_pipeline(benchmark, print_report):
+    exp = benchmark(lambda: Experiment.from_program(fig1.build()))
+    assert len(exp.cct) > 10
+    print_report(fig2_views.run())
+
+
+def test_bench_fig2_three_views(benchmark, experiment):
+    def build_all():
+        ccv, callers, flat = experiment.views()
+        # materialize everything (callers/flat roots, lazy children)
+        return sum(
+            1 for view in (ccv, callers, flat)
+            for root in view.roots for _ in root.walk()
+        )
+
+    rows = benchmark(build_all)
+    assert rows > 30

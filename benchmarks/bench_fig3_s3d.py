@@ -1,0 +1,28 @@
+"""Benchmark Fig. 3: S3D hot path analysis on the Calling Context View."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3_s3d
+from repro.hpcrun.counters import CYCLES
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig3_s3d.build_experiment()
+
+
+def test_bench_fig3_hot_path(benchmark, experiment, print_report):
+    result = benchmark(lambda: experiment.hot_path(CYCLES))
+    assert result.hotspot.name == "chemkin_m_reaction_rate"
+    print_report(fig3_s3d.run())
+
+
+def test_bench_fig3_view_render(benchmark, experiment):
+    from repro.viewer.table import render_view
+
+    text = benchmark(lambda: render_view(
+        experiment.calling_context_view(), depth=6
+    ))
+    assert "rhsf" in text

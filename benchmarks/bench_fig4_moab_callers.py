@@ -1,0 +1,33 @@
+"""Benchmark Fig. 4: MOAB Callers View construction and expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_moab_callers
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig4_moab_callers.build_experiment()
+
+
+def test_bench_fig4_callers_view(benchmark, experiment, print_report):
+    def build_and_expand():
+        view = experiment.callers_view()
+        memset = next(
+            r for r in view.roots if r.name == "_intel_fast_memset.A"
+        )
+        return len(memset.children)
+
+    ncallers = benchmark(build_and_expand)
+    assert ncallers == 2
+    print_report(fig4_moab_callers.run())
+
+
+def test_bench_fig4_full_callers_materialization(benchmark, experiment):
+    def build_all():
+        view = experiment.callers_view(eager=True)
+        return sum(1 for r in view.roots for _ in r.walk())
+
+    assert benchmark(build_all) > 10

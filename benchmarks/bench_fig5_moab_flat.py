@@ -1,0 +1,38 @@
+"""Benchmark Fig. 5: MOAB Flat View with hierarchical inlined attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.views import NodeCategory
+from repro.experiments import fig5_moab_flat
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig5_moab_flat.build_experiment()
+
+
+def test_bench_fig5_flat_view(benchmark, experiment, print_report):
+    def build_flat():
+        view = experiment.flat_view()
+        return sum(1 for r in view.roots for _ in r.walk())
+
+    assert benchmark(build_flat) > 20
+    print_report(fig5_moab_flat.run())
+
+
+def test_bench_fig5_flattening(benchmark, experiment):
+    view = experiment.flat_view()
+    for root in view.roots:
+        for _ in root.walk():
+            pass
+
+    def flatten_twice():
+        view.flatten_depth = 0
+        view.flatten()
+        view.flatten()
+        return len(view.current_roots())
+
+    loops_level = benchmark(flatten_twice)
+    assert loops_level > 5

@@ -1,0 +1,46 @@
+"""Benchmark Fig. 6: derived waste/efficiency metrics over all S3D rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import MetricFlavor
+from repro.experiments import fig6_derived
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig6_derived.build_experiment()
+
+
+def test_bench_fig6_derived_evaluation(benchmark, experiment, print_report):
+    view = experiment.flat_view()
+    spec = experiment.spec("fp waste", MetricFlavor.EXCLUSIVE)
+    rows = [n for r in view.roots for n in r.walk()]
+
+    def evaluate_all():
+        # drop caches so the formula engine really runs per row
+        for row in rows:
+            row.exclusive.pop(spec.mid, None)
+        return sum(view.value(row, spec) for row in rows)
+
+    total = benchmark(evaluate_all)
+    assert total > 0
+    print_report(fig6_derived.run())
+
+
+def test_bench_fig6_sort_by_derived(benchmark, experiment):
+    view = experiment.flat_view()
+    view.flatten()
+    view.flatten()
+    spec = experiment.spec("fp waste", MetricFlavor.EXCLUSIVE)
+
+    def sort_rows():
+        return sorted(
+            view.current_roots(),
+            key=lambda r: view.value(r, spec),
+            reverse=True,
+        )
+
+    top = benchmark(sort_rows)[0]
+    assert top.struct.location.file == "diffflux.f90"

@@ -1,0 +1,48 @@
+"""Benchmark Fig. 7: PFLOTRAN SPMD run, merge, and summarization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7_imbalance
+from repro.hpcrun.counters import CYCLES
+from repro.sim.spmd import spmd_experiment
+from repro.sim.workloads import pflotran
+
+NRANKS = 64
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return fig7_imbalance.build_experiment(NRANKS)
+
+
+def test_bench_fig7_spmd_pipeline(benchmark, print_report):
+    exp = benchmark(lambda: spmd_experiment(pflotran.build(), nranks=NRANKS))
+    assert exp.nranks == NRANKS
+    print_report(fig7_imbalance.run(NRANKS))
+
+
+def test_bench_fig7_summarize(benchmark, experiment):
+    def summarize():
+        experiment._summaries.clear()
+        metrics = experiment.metrics
+        # re-registering would collide; summarize a fresh copy each round
+        from repro.hpcprof.summarize import summarize_ranks
+
+        table = metrics.copy()
+        return summarize_ranks(
+            experiment.cct, experiment.rank_ccts, table,
+            metrics.by_name(CYCLES).mid,
+        )
+
+    ids = benchmark(summarize)
+    assert len(ids.all()) == 4
+
+
+def test_bench_fig7_charts(benchmark, experiment):
+    from repro.viewer.charts import render_rank_panel
+
+    vec = experiment.rank_vector(experiment.cct.root, CYCLES)
+    panel = benchmark(lambda: render_rank_panel(vec, title="root cycles"))
+    assert "imbalance" in panel

@@ -1,0 +1,26 @@
+"""Benchmark §V-B: fused vs two-line call-site presentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fusion_ablation
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import s3d
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return Experiment.from_program(s3d.build())
+
+
+@pytest.mark.parametrize("fused", [True, False], ids=["fused", "two-line"])
+def test_bench_ccview_walk(benchmark, experiment, fused, print_report):
+    def walk_all():
+        view = experiment.calling_context_view(fused=fused)
+        return sum(1 for r in view.roots for _ in r.walk())
+
+    rows = benchmark(walk_all)
+    assert rows > 10
+    if fused:
+        print_report(fusion_ablation.run())

@@ -1,0 +1,33 @@
+"""Benchmark §V-C: hot path analysis and the threshold ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import hotpath_threshold
+from repro.experiments.scalability import synthetic_tree_program
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES
+from repro.sim.workloads import s3d
+
+
+@pytest.fixture(scope="module")
+def s3d_exp():
+    return Experiment.from_program(s3d.build())
+
+
+def test_bench_hotpath_default_threshold(benchmark, s3d_exp, print_report):
+    view = s3d_exp.calling_context_view()
+    result = benchmark(lambda: s3d_exp.hot_path(CYCLES, view=view))
+    assert result.hotspot.name == "chemkin_m_reaction_rate"
+    print_report(hotpath_threshold.run())
+
+
+def test_bench_hotpath_threshold_sweep(benchmark, s3d_exp):
+    rows = benchmark(lambda: hotpath_threshold.sweep(s3d_exp))
+    assert len(rows) == len(hotpath_threshold.THRESHOLDS)
+
+
+def test_bench_hotpath_on_wide_tree(benchmark):
+    exp = Experiment.from_program(synthetic_tree_program(fanout=12, depth=3))
+    benchmark(lambda: exp.hot_path("cycles"))

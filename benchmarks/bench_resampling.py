@@ -1,0 +1,44 @@
+"""Benchmark the sampling-robustness experiment's kernel.
+
+Measures Poisson resampling of an exact profile plus the cost of
+reaching a hot-path conclusion from the resampled data, and prints the
+robustness report (the `sampling` registry entry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import sampling_robustness
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.workloads import s3d
+
+
+@pytest.fixture(scope="module")
+def exact():
+    program = s3d.build()
+    return execute(program), build_structure(program)
+
+
+def test_bench_resample(benchmark, exact):
+    profile, _structure = exact
+    rng = np.random.default_rng(0)
+    noisy = benchmark(lambda: profile.resampled(2.0e5, rng))
+    assert noisy.totals()
+
+
+def test_bench_noisy_conclusion(benchmark, exact, print_report):
+    profile, structure = exact
+    rng = np.random.default_rng(0)
+    noisy = profile.resampled(2.0e5, rng)
+
+    def conclude():
+        exp = Experiment.from_profile(noisy, structure)
+        return exp.hot_path(CYCLES).hotspot.name
+
+    assert benchmark(conclude) == "chemkin_m_reaction_rate"
+    print_report(sampling_robustness.run())

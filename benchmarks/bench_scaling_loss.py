@@ -1,0 +1,30 @@
+"""Benchmark §VI-A: the scale-and-difference derived metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scaling_loss
+from repro.hpcprof.merge import scale_and_difference
+from repro.hpcrun.counters import CYCLES
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return scaling_loss.build_pair(small=8, big=32)
+
+
+def test_bench_scale_and_difference(benchmark, pair, print_report):
+    exp_small, exp_big = pair
+    mid = exp_big.metric_id(CYCLES)
+
+    def run_once():
+        metrics = exp_big.metrics.copy()
+        return scale_and_difference(
+            exp_small.cct, exp_big.cct, metrics, mid, factor=4.0,
+            name="scaling loss",
+        )
+
+    loss_mid = benchmark(run_once)
+    assert loss_mid > mid
+    print_report(scaling_loss.run())

@@ -1,0 +1,81 @@
+"""Ablation: sparse dict storage vs dense numpy matrices.
+
+DESIGN.md lists this trade-off explicitly.  Dense matrices win on bulk
+numeric passes (vectorized Eq. 2, whole-tree top-k); sparse dicts win on
+memory whenever the data is as sparse as the paper claims.  Both sides
+are measured here, and the report prints the memory ratio at realistic
+sparsity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.experiments.report import ExperimentReport
+from repro.hpcprof.dense import DenseMetrics, attribute_dense
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads.synthetic import uniform_tree
+
+NUM_METRICS = 1
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return Experiment.from_program(uniform_tree(fanout=8, depth=3))
+
+
+@pytest.fixture(scope="module")
+def dense(experiment):
+    return DenseMetrics.from_cct(experiment.cct, NUM_METRICS)
+
+
+def test_bench_sparse_attribution(benchmark, experiment):
+    benchmark(lambda: attribute(experiment.cct))
+
+
+def test_bench_dense_attribution(benchmark, experiment):
+    dense = DenseMetrics.from_cct(experiment.cct, NUM_METRICS)
+    benchmark(dense.recompute_inclusive)
+
+
+def test_bench_dense_projection_build(benchmark, experiment):
+    benchmark(lambda: DenseMetrics.from_cct(experiment.cct, NUM_METRICS))
+
+
+def test_bench_dense_top_k(benchmark, dense):
+    top = benchmark(lambda: dense.top_k(0, k=20))
+    assert len(top) == 20
+
+
+def test_bench_sparse_top_k(benchmark, experiment):
+    def naive():
+        return sorted(
+            ((n, n.exclusive.get(0, 0.0)) for n in experiment.cct.walk()),
+            key=lambda t: -t[1],
+        )[:20]
+
+    assert len(benchmark(naive)) == 20
+
+
+def test_bench_report(benchmark, experiment, dense, print_report):
+    sparse_mem = benchmark(
+        lambda: DenseMetrics.sparse_memory_bytes(experiment.cct)
+    )
+    report = ExperimentReport(
+        "ablation-storage", "Sparse dicts vs dense numpy matrices"
+    )
+    dense_mem = dense.memory_bytes()
+    report.add("CCT scopes", None, float(len(experiment.cct)))
+    report.add("nonzero cell fraction", None, dense.nonzero_fraction())
+    report.add("sparse memory", None, sparse_mem / 1024.0, unit="KiB")
+    report.add("dense memory", None, dense_mem / 1024.0, unit="KiB")
+    report.add("dense inclusive matches sparse", "yes",
+               "yes" if _cross_check(experiment) else "no", tolerance=0.0)
+    print_report(report)
+
+
+def _cross_check(experiment) -> bool:
+    dense = attribute_dense(experiment.cct, NUM_METRICS)
+    root_row = dense.index[experiment.cct.root.uid]
+    return dense.inclusive[root_row, 0] == experiment.cct.root.inclusive.get(0, 0.0)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench module regenerates one paper figure/claim: it benchmarks the
+computation that produces it and prints the paper-vs-measured rows once,
+so ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_printed: set[str] = set()
+
+
+@pytest.fixture()
+def print_report(capsys):
+    """Print an ExperimentReport once per session, outside capture."""
+
+    def _print(report) -> None:
+        if report.exp_id in _printed:
+            return
+        _printed.add(report.exp_id)
+        with capsys.disabled():
+            print()
+            print(report.render())
+
+    return _print

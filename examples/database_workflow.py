@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Experiment databases: measure once, analyze anywhere.
+
+``hpcprof`` writes experiment databases that ``hpcviewer`` opens later;
+this example shows the equivalent round trip here — including the
+compact binary format the paper names as ongoing work — and verifies the
+views are identical after reload.
+
+Run:  python examples/database_workflow.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import repro
+from repro.hpcrun.counters import CYCLES
+from repro.sim.workloads import s3d
+
+
+def main() -> None:
+    exp = repro.Experiment.from_program(s3d.build())
+    workdir = tempfile.mkdtemp(prefix="repro-db-")
+
+    xml_path = os.path.join(workdir, "s3d.xml")
+    bin_path = os.path.join(workdir, "s3d.rpdb")
+    xml_size = repro.save(exp, xml_path)
+    bin_size = repro.save(exp, bin_path)
+    print(f"XML database:    {xml_size / 1024:8.1f} KiB  ({xml_path})")
+    print(f"binary database: {bin_size / 1024:8.1f} KiB  ({bin_path})")
+    print(f"binary is {xml_size / bin_size:.1f}x smaller\n")
+
+    loaded = repro.load(bin_path)
+    print(f"reloaded: {loaded!r}\n")
+
+    # identical analysis results after the round trip
+    before = exp.hot_path(CYCLES)
+    after = loaded.hot_path(CYCLES)
+    print("hot path before save:", " -> ".join(n.name for n in before.path))
+    print("hot path after load: ", " -> ".join(n.name for n in after.path))
+    assert [n.name for n in before.path] == [n.name for n in after.path]
+    print("\nviews and analyses are identical after the round trip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Why calling context matters: exact views vs a gprof-style baseline.
+
+The paper's related-work section positions hpcviewer against call-graph
+profilers.  This example makes the difference concrete on the recursive
+program of Figure 1 and on a planted context-dependent kernel: gprof's
+uniform-cost-per-call apportionment splits costs by call counts, while
+the Callers View attributes each context exactly.
+
+Run:  python examples/gprof_comparison.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.baselines.compare import compare_attribution
+from repro.baselines.gprof import GprofProfile
+from repro.sim.workloads import fig1
+
+
+def main() -> None:
+    exp = repro.Experiment.from_program(fig1.build())
+    mid = exp.metric_id(fig1.METRIC)
+
+    # -- what gprof would have reported ----------------------------------- #
+    gprof = GprofProfile.from_cct(exp.cct, mid)
+    print("gprof-style output for the Figure 1 program:")
+    print(gprof.report())
+    print()
+
+    # -- what the Callers View reports ------------------------------------- #
+    print("Callers View (exact, recursion-aware):")
+    print(repro.render_view(exp.callers_view(), depth=2,
+                            metric=exp.spec(fig1.METRIC)))
+    print()
+
+    # -- side by side --------------------------------------------------------- #
+    rows = compare_attribution(exp.cct, mid)
+    print(f"{'arc':<12} {'exact':>8} {'gprof':>8} {'abs err':>8}")
+    for row in rows:
+        print(f"{row.caller + '->' + row.callee:<12} {row.exact:>8.1f} "
+              f"{row.gprof_estimate:>8.1f} {row.absolute_error:>8.1f}")
+    print()
+    print("gprof splits the recursive procedure g's 9 cost units 3/3/3 by")
+    print("call counts; the truth is 6 via f, 5 via the recursive call, 3")
+    print("via m — the Callers View's exposed-instance rule gets it right.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""A scripted hpcviewer session — the TUI driven end to end.
+
+Replays a realistic analysis conversation against the S3D model: open
+the Calling Context View, press the flame, pivot to the Callers View for
+cache misses, search for the chemistry, define the waste metric and sort
+by it, filter out loop scaffolding, and annotate the hottest file.
+
+Run:  python examples/interactive_session.py
+(For a live session, run ``InteractiveViewer(exp).cmdloop()`` instead.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.sim.workloads import s3d
+from repro.viewer.tui import InteractiveViewer
+
+SCRIPT = [
+    "views",
+    "ls",
+    "hot",                       # the flame: drill to the bottleneck
+    "view callers",              # pivot: who causes the L1 misses?
+    "sort PAPI_L1_DCM",
+    "view cct",
+    "find chemkin*",             # search, ranked by the sorted metric
+    "derive waste := 4 * $0 - $1",
+    "view flat",
+    "flatten",                   # files -> procedures
+    "sort waste excl",
+    "top 8",
+    "ls",
+    "annotate diffflux.f90 PAPI_TOT_CYC",
+    "advise",
+    "quit",
+]
+
+
+def main() -> None:
+    exp = repro.Experiment.from_program(s3d.build())
+    viewer = InteractiveViewer(exp, stdout=sys.stdout)
+    for command in SCRIPT:
+        print(f"\n(hpcviewer) {command}")
+        if viewer.onecmd(command):
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Mesh-library analysis: the paper's MOAB case study (Figs. 4 & 5).
+
+Two presentations of one profile of the ``mbperf_IMesh`` benchmark model:
+
+* the **Callers View** (bottom-up) answers "who is responsible for the
+  L1 misses of the compiler's optimized memset?" — two callers, with
+  Sequence_data::create carrying 9.6 of the 9.7 percentage points;
+* the **Flat View** tracks MBCore::get_coords' cycles into a loop and
+  down a hierarchy of *inlined* code — an inlined sequence-manager find,
+  an inlined STL red-black-tree search loop, and the SequenceCompare
+  operator inlined into it, which alone accounts for ~19.8% of all L1
+  data cache misses.
+
+Run:  python examples/mesh_analysis.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.metrics import MetricFlavor
+from repro.core.views import NodeCategory
+from repro.hpcrun.counters import CYCLES, L1_DCM
+from repro.sim.workloads import moab
+
+
+def main() -> None:
+    exp = repro.Experiment.from_program(moab.build())
+    session = repro.ViewerSession(exp)
+    l1 = exp.metric_id(L1_DCM)
+    total_l1 = exp.total(L1_DCM)
+
+    # -- Figure 4: Callers View on L1 misses ---------------------------- #
+    print("Callers View, sorted by L1 data cache misses:")
+    session.show(repro.ViewKind.CALLERS)
+    session.sort_by(L1_DCM)
+    memset = session.select("_intel_fast_memset.A")
+    session.state().expand(memset)
+    print(session.render(columns=[exp.spec(L1_DCM),
+                                  exp.spec(L1_DCM, MetricFlavor.EXCLUSIVE)]))
+    print()
+    print(f"_intel_fast_memset.A: "
+          f"{100 * memset.inclusive[l1] / total_l1:.1f}% of all L1 misses "
+          f"from {len(memset.children)} callers:")
+    for caller in memset.children:
+        print(f"  via {caller.name:<34} "
+              f"{100 * caller.inclusive[l1] / total_l1:5.1f}%")
+    print()
+
+    # -- Figure 5: Flat View through the inlined hierarchy --------------- #
+    print("Flat View: MBCore::get_coords, cycles and L1 misses:")
+    flat = session.show(repro.ViewKind.FLAT)
+    cyc = exp.metric_id(CYCLES)
+    gc = flat.find("MBCore::get_coords", category=NodeCategory.PROCEDURE)
+    print(f"  {'scope':<44} {'cycles%':>8} {'L1 miss%':>9}")
+
+    def show(node, depth):
+        c = 100 * node.inclusive.get(cyc, 0.0) / exp.total(CYCLES)
+        m = 100 * node.inclusive.get(l1, 0.0) / total_l1
+        print(f"  {'  ' * depth + node.name:<44} {c:>7.1f}% {m:>8.1f}%")
+        for child in sorted(node.children,
+                            key=lambda n: -n.inclusive.get(cyc, 0.0)):
+            show(child, depth + 1)
+
+    show(gc, 0)
+    print()
+    compare = flat.find("SequenceCompare::operator()")
+    print(f"=> the inlined comparison operator alone: "
+          f"{100 * compare.inclusive[l1] / total_l1:.1f}% of L1 misses "
+          "(the paper reports 19.8%)")
+
+
+if __name__ == "__main__":
+    main()

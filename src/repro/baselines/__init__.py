@@ -1,0 +1,1 @@
+"""Comparator baselines: the gprof call-graph model and its evaluation."""

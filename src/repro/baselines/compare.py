@@ -1,0 +1,91 @@
+"""Quantifying gprof-style misattribution against exact CCT attribution.
+
+For every caller→callee pair, the canonical CCT knows the *exact*
+inclusive cost the callee incurred on behalf of that caller (the Callers
+View's numbers, exposure-filtered for recursion).  gprof instead
+apportions the callee's total by call counts.  The difference is the
+measurable value of context-sensitive presentation: this module computes
+both attributions side by side and summarizes the error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribution import exposed_instances
+from repro.core.cct import CCT
+from repro.core.metrics import total as metric_total
+from repro.baselines.gprof import GprofProfile
+
+__all__ = ["ArcAttribution", "compare_attribution", "max_relative_error"]
+
+
+@dataclass(frozen=True)
+class ArcAttribution:
+    """Exact vs estimated cost of one caller→callee relationship."""
+
+    caller: str
+    callee: str
+    exact: float
+    gprof_estimate: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.gprof_estimate - self.exact)
+
+    @property
+    def relative_error(self) -> float:
+        if self.exact == 0.0:
+            return 0.0 if self.gprof_estimate == 0.0 else float("inf")
+        return self.absolute_error / self.exact
+
+
+def exact_caller_costs(cct: CCT, mid: int) -> dict[tuple[str, str], float]:
+    """Exact per-caller inclusive cost of every callee, from the CCT.
+
+    For each (caller, callee) pair, sums the callee's inclusive cost over
+    the exposed instances whose immediate caller is that procedure —
+    exactly the first level of the Callers View.
+    """
+    groups: dict[tuple[str, str], list] = {}
+    for frame in cct.frames():
+        parent = frame.parent
+        caller_frame = parent.enclosing_frame if parent is not None else None
+        if caller_frame is None:
+            continue
+        key = (caller_frame.struct.name, frame.struct.name)
+        groups.setdefault(key, []).append(frame)
+    return {
+        key: metric_total(n.inclusive for n in exposed_instances(frames)).get(mid, 0.0)
+        for key, frames in groups.items()
+    }
+
+
+def compare_attribution(cct: CCT, mid: int) -> list[ArcAttribution]:
+    """Exact vs gprof attribution for every arc, sorted by absolute error."""
+    gprof = GprofProfile.from_cct(cct, mid)
+    exact = exact_caller_costs(cct, mid)
+    rows = []
+    for (caller, callee), exact_cost in exact.items():
+        if gprof.in_cycle(callee):
+            # gprof reports cycle members as one unit; its per-caller
+            # estimate is the whole cycle's cost apportioned by counts
+            estimate = gprof.caller_share(caller, callee)
+        else:
+            estimate = gprof.caller_share(caller, callee)
+        rows.append(
+            ArcAttribution(
+                caller=caller,
+                callee=callee,
+                exact=exact_cost,
+                gprof_estimate=estimate,
+            )
+        )
+    rows.sort(key=lambda r: -r.absolute_error)
+    return rows
+
+
+def max_relative_error(rows: list[ArcAttribution]) -> float:
+    """Largest finite per-arc relative error in a comparison."""
+    finite = [r.relative_error for r in rows if r.relative_error != float("inf")]
+    return max(finite) if finite else 0.0

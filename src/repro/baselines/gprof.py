@@ -1,0 +1,216 @@
+"""A gprof-style baseline profiler (context-insensitive call graph).
+
+The paper's related work contrasts hpcviewer with gprof-class tools,
+whose model is a *call graph*: per-procedure self time plus caller→callee
+arcs with call counts — no calling contexts.  gprof estimates each
+caller's share of a callee's total time by apportioning it
+**proportionally to call counts**, assuming every call costs the same;
+cycles (recursion) are collapsed into a single node because propagation
+around a cycle is ill-defined.  Varley's classic critique [16] documents
+how these assumptions mislead.
+
+This module implements that model faithfully:
+
+* :meth:`GprofProfile.from_cct` deliberately *discards* context from a
+  canonical CCT, keeping exactly what gprof's measurement would see:
+  self cost per procedure and arc call counts;
+* propagation runs over the condensation of the call graph (Tarjan SCC),
+  apportioning descendant cost to callers by arc counts;
+* :func:`repro.baselines.compare` then quantifies how far these
+  estimates fall from the CCT's exact context-sensitive attribution —
+  the measurable argument for calling-context-aware presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cct import CCT, CCTKind, CCTNode
+from repro.core.errors import ReproError
+
+__all__ = ["GprofProfile", "Arc"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One caller→callee edge of the call graph."""
+
+    caller: str
+    callee: str
+    calls: float
+
+
+class GprofProfile:
+    """Context-insensitive call-graph profile for one metric."""
+
+    def __init__(self) -> None:
+        #: per-procedure self cost (flat profile)
+        self.self_cost: dict[str, float] = {}
+        #: (caller, callee) -> call count
+        self.arc_calls: dict[tuple[str, str], float] = {}
+        #: estimated total (inclusive) cost per procedure, after propagation
+        self.total_cost: dict[str, float] = {}
+        #: procedures grouped into recursion cycles (gprof's <cycle N>)
+        self.cycles: list[frozenset[str]] = []
+        self._member_cycle: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cct(cls, cct: CCT, mid: int) -> "GprofProfile":
+        """Flatten a canonical CCT into what gprof would have measured.
+
+        Arc call counts are taken as the number of distinct dynamic
+        contexts exercising the arc — the best a context-free profiler
+        could do under sampling without instrumented counts.
+        """
+        prof = cls()
+        for frame in cct.frames():
+            name = frame.struct.name
+            prof.self_cost[name] = prof.self_cost.get(name, 0.0) + sum(
+                v for k, v in frame.exclusive.items() if k == mid
+            )
+            parent = frame.parent
+            caller_frame = parent.enclosing_frame if parent is not None else None
+            if caller_frame is not None:
+                arc = (caller_frame.struct.name, name)
+                prof.arc_calls[arc] = prof.arc_calls.get(arc, 0.0) + 1.0
+        prof._propagate()
+        return prof
+
+    # ------------------------------------------------------------------ #
+    # the gprof algorithm: SCC condensation + proportional propagation
+    # ------------------------------------------------------------------ #
+    def _sccs(self) -> list[list[str]]:
+        """Tarjan's strongly-connected components, iteratively."""
+        graph: dict[str, list[str]] = {p: [] for p in self.self_cost}
+        for (caller, callee) in self.arc_calls:
+            graph.setdefault(caller, []).append(callee)
+            graph.setdefault(callee, [])
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        out: list[list[str]] = []
+        counter = [0]
+
+        for root in graph:
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, ci = work.pop()
+                if ci == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = graph[node]
+                while ci < len(children):
+                    child = children[ci]
+                    ci += 1
+                    if child not in index:
+                        work.append((node, ci))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    out.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return out
+
+    def _propagate(self) -> None:
+        """Estimate per-procedure totals bottom-up over the condensation."""
+        sccs = self._sccs()
+        comp_of: dict[str, int] = {}
+        for i, comp in enumerate(sccs):
+            for proc in comp:
+                comp_of[proc] = i
+            if len(comp) > 1 or any(
+                (p, p) in self.arc_calls for p in comp
+            ):
+                self.cycles.append(frozenset(comp))
+                for p in comp:
+                    self._member_cycle[p] = len(self.cycles) - 1
+
+        # component DAG: Tarjan emits components in reverse topological
+        # order (callees before callers), so one pass suffices
+        comp_total = [sum(self.self_cost.get(p, 0.0) for p in comp) for comp in sccs]
+        calls_into: dict[int, float] = {}
+        for (caller, callee), calls in self.arc_calls.items():
+            ci, cj = comp_of[caller], comp_of[callee]
+            if ci != cj:
+                calls_into[cj] = calls_into.get(cj, 0.0) + calls
+
+        comp_inclusive = list(comp_total)
+        for j, comp in enumerate(sccs):
+            # distribute this component's inclusive cost to callers by counts
+            incoming = calls_into.get(j, 0.0)
+            if incoming <= 0:
+                continue
+            for (caller, callee), calls in self.arc_calls.items():
+                if comp_of[callee] == j and comp_of[caller] != j:
+                    share = comp_inclusive[j] * calls / incoming
+                    comp_inclusive[comp_of[caller]] += share
+
+        # per-procedure totals: members of a cycle share the cycle total
+        # (gprof reports the cycle as a unit); singletons get theirs exactly
+        for j, comp in enumerate(sccs):
+            for proc in comp:
+                self.total_cost[proc] = comp_inclusive[j]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def caller_share(self, caller: str, callee: str) -> float:
+        """gprof's estimate of the callee cost attributable to one caller.
+
+        Apportioned by call counts: ``total(callee) x arc/Σarcs`` — the
+        uniform-cost-per-call assumption under test.
+        """
+        arc = self.arc_calls.get((caller, callee))
+        if arc is None:
+            raise ReproError(f"no arc {caller} -> {callee}")
+        incoming = sum(
+            calls for (c, e), calls in self.arc_calls.items() if e == callee
+        )
+        return self.total_cost.get(callee, 0.0) * arc / incoming
+
+    def in_cycle(self, proc: str) -> bool:
+        return proc in self._member_cycle
+
+    def flat_profile(self) -> list[tuple[str, float, float]]:
+        """gprof's flat profile: (name, self, estimated total), by self."""
+        rows = [
+            (name, self.self_cost.get(name, 0.0), self.total_cost.get(name, 0.0))
+            for name in self.self_cost
+        ]
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def report(self, top: int = 20) -> str:
+        """A gprof-style textual listing (flat profile + call graph)."""
+        lines = ["flat profile (self cost):", f"{'self':>12} {'total est.':>12}  name"]
+        for name, self_c, total_c in self.flat_profile()[:top]:
+            cycle = "  <cycle>" if self.in_cycle(name) else ""
+            lines.append(f"{self_c:>12.4g} {total_c:>12.4g}  {name}{cycle}")
+        lines.append("")
+        lines.append("call graph arcs (calls):")
+        for (caller, callee), calls in sorted(self.arc_calls.items()):
+            lines.append(f"  {caller} -> {callee}  x{calls:g}")
+        return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Command-line entry points (the tool suite's CLI surface).
+
+Four commands mirror the HPCToolkit workflow:
+
+* ``repro-profile <script.py> [args…]`` — run a Python script under the
+  tracing call path profiler (``hpcrun``), write a database;
+* ``repro-sim <workload>`` — run a synthetic workload (``fig1``, ``s3d``,
+  ``moab``, ``pflotran``) and write a database;
+* ``repro-view <database>`` — render the three views, optionally expand
+  the hot path (``hpcviewer``);
+* ``repro-experiments`` — run the paper-reproduction experiments and
+  print (or write, with ``--markdown``) the paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import runpy
+import sys
+
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import ViewKind
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.tracer import TracingProfiler
+from repro.hpcstruct.pystruct import build_python_structure
+from repro.viewer.session import ViewerSession
+from repro.viewer.table import TableOptions
+
+__all__ = ["main_profile", "main_sim", "main_view", "main_experiments"]
+
+_WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
+
+
+# --------------------------------------------------------------------- #
+def main_profile(argv: list[str] | None = None) -> int:
+    """Profile a Python script and write an experiment database."""
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Run a Python script under the call path profiler.",
+    )
+    parser.add_argument("script", help="Python script to profile")
+    parser.add_argument("script_args", nargs="*", help="arguments for it")
+    parser.add_argument("-o", "--output", default="experiment.rpdb",
+                        help="database path (.xml or .rpdb)")
+    parser.add_argument("--roots", nargs="*", default=None,
+                        help="source roots to attribute (default: script dir)")
+    args = parser.parse_args(argv)
+
+    script = os.path.abspath(args.script)
+    roots = args.roots if args.roots else [os.path.dirname(script)]
+    tracer = TracingProfiler(roots=roots)
+    old_argv = sys.argv
+    sys.argv = [script] + list(args.script_args)
+    try:
+        with tracer:
+            runpy.run_path(script, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+    structure = build_python_structure([script],
+                                       load_module=os.path.basename(script))
+    exp = Experiment.from_profile(tracer.profile, structure,
+                                  name=os.path.basename(script))
+    size = database.save(exp, args.output)
+    print(f"wrote {args.output} ({size / 1024:.1f} KiB, "
+          f"{len(exp.cct)} scopes)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def main_sim(argv: list[str] | None = None) -> int:
+    """Simulate a synthetic workload and write an experiment database."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run a synthetic workload model.",
+    )
+    parser.add_argument("workload", choices=_WORKLOADS)
+    parser.add_argument("-n", "--nranks", type=int, default=1)
+    parser.add_argument("-o", "--output", default=None,
+                        help="database path (default: <workload>.rpdb)")
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument("--parallel", action="store_true",
+                        help="execute ranks in worker processes")
+    args = parser.parse_args(argv)
+
+    if args.parallel:
+        from repro.sim.parallel import spmd_experiment_parallel
+
+        exp = spmd_experiment_parallel(
+            f"repro.sim.workloads.{args.workload}:build",
+            nranks=args.nranks,
+            seed=args.seed,
+        )
+    else:
+        import importlib
+
+        module = importlib.import_module(
+            f"repro.sim.workloads.{args.workload}"
+        )
+        exp = Experiment.from_program(
+            module.build(), nranks=args.nranks, seed=args.seed
+        )
+    out = args.output or f"{args.workload}.rpdb"
+    size = database.save(exp, out)
+    print(f"wrote {out} ({size / 1024:.1f} KiB, {len(exp.cct)} scopes, "
+          f"{exp.nranks} rank(s))")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def main_view(argv: list[str] | None = None) -> int:
+    """Render views of an experiment database."""
+    parser = argparse.ArgumentParser(
+        prog="repro-view",
+        description="Present an experiment database (hpcviewer substrate).",
+    )
+    parser.add_argument("db", help="experiment database (.xml / .rpdb)")
+    parser.add_argument("--view", choices=["cct", "callers", "flat", "all"],
+                        default="cct")
+    parser.add_argument("--metric", default=None,
+                        help="metric name to sort by (default: first)")
+    parser.add_argument("--exclusive", action="store_true",
+                        help="sort by the exclusive flavour")
+    parser.add_argument("--depth", type=int, default=3)
+    parser.add_argument("--hot-path", action="store_true",
+                        help="expand the hot path instead of fixed depth")
+    parser.add_argument("--threshold", type=float, default=0.5)
+    parser.add_argument("--max-rows", type=int, default=60)
+    parser.add_argument("--advise", action="store_true",
+                        help="print tuning suggestions after the views")
+    args = parser.parse_args(argv)
+
+    exp = database.load(args.db)
+    session = ViewerSession(exp)
+    session.hot_path_threshold = args.threshold
+
+    kinds = {
+        "cct": [ViewKind.CALLING_CONTEXT],
+        "callers": [ViewKind.CALLERS],
+        "flat": [ViewKind.FLAT],
+        "all": list(ViewKind),
+    }[args.view]
+
+    metric = args.metric or exp.metrics.by_id(0).name
+    flavor = MetricFlavor.EXCLUSIVE if args.exclusive else MetricFlavor.INCLUSIVE
+    for kind in kinds:
+        session.show(kind)
+        session.sort_by(metric, flavor)
+        if args.hot_path and kind is ViewKind.CALLING_CONTEXT:
+            result = session.expand_hot_path()
+            print("hot path:", " -> ".join(n.name for n in result.path))
+            depth = None
+        else:
+            depth = args.depth
+        print(session.render(
+            kind,
+            expand_depth=depth,
+            options=TableOptions(max_rows=args.max_rows),
+        ))
+        print()
+    if args.advise:
+        from repro.core.advisor import advise
+
+        print("tuning suggestions:")
+        for suggestion in advise(exp)[:8]:
+            print(suggestion.describe())
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def main_experiments(argv: list[str] | None = None) -> int:
+    """Run the paper-reproduction experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's figures; print paper-vs-measured.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    parser.add_argument("--markdown", default=None, metavar="PATH",
+                        help="also write an EXPERIMENTS.md-style report")
+    parser.add_argument("--list", action="store_true", dest="list_only")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import ALL, run_all, to_markdown
+
+    if args.list_only:
+        for exp_id in ALL:
+            print(exp_id)
+        return 0
+
+    reports = run_all(args.ids or None)
+    for report in reports:
+        print(report.render())
+        print()
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(to_markdown(reports))
+        print(f"wrote {args.markdown}")
+    failures = sum(1 for r in reports if not r.all_ok)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_experiments())

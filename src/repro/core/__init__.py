@@ -1,0 +1,1 @@
+"""The paper's contribution: views, attribution, hot paths, derived metrics."""

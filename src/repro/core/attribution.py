@@ -1,0 +1,132 @@
+"""Metric attribution over the canonical CCT (Section IV, Eqs. 1 and 2).
+
+Measurement attributes raw sample costs to leaf scopes (statements, and
+call-site scopes when the program counter sits at the call instruction).
+Attribution turns these raw values into the *exclusive* and *inclusive*
+values every view presents.
+
+Exclusive values follow the paper's hybrid rule (Eq. 1), dispatching on the
+dynamic/static classification of the scope:
+
+* **procedure frame** (dynamic) — the sum of raw costs of every descendant
+  statement reachable without crossing a call site, i.e. all cost incurred
+  *within the frame* regardless of loop nesting;
+* **loop** (static, not a frame) — its own raw cost plus the raw cost of
+  its direct child statements and call-site lines; nested loops are *not*
+  included ("the exclusive cost of l1 does not include the cost of l2 …
+  since l2 is not a statement");
+* **statement / call site** — its own raw cost (a call site's exclusive
+  cost "only includes the cost of its invocation", rule 1).
+
+Inclusive values (Eq. 2) are the straightforward bottom-up sum: a scope's
+raw cost plus the inclusive cost of its children.
+
+The module also implements the *exposed-instance* rule of Section IV-B: to
+aggregate a set of CCT instances of one procedure (for the Callers and
+Flat views) without double counting recursive chains, only instances with
+no ancestor instance in the same set contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cct import CCT, CCTKind, CCTNode
+from repro.core.metrics import MetricValues, add_into, total
+
+__all__ = [
+    "attribute",
+    "exposed_instances",
+    "exposed_sum",
+    "aggregate_exposed",
+]
+
+
+def _within_frame_raw(node: CCTNode) -> MetricValues:
+    """Raw cost of *node* and descendants without crossing into a callee frame.
+
+    Children that are procedure frames (under call sites) are skipped; the
+    call-site scope's own raw cost (cost at the call instruction) *does*
+    count toward the enclosing frame.
+    """
+    acc: MetricValues = {}
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        add_into(acc, cur.raw)
+        for child in cur.children:
+            if child.kind is not CCTKind.FRAME:
+                stack.append(child)
+    return acc
+
+
+def attribute(cct: CCT) -> None:
+    """Compute ``exclusive`` and ``inclusive`` for every scope, in place.
+
+    This is the paper's *initialization* step.  Safe to call repeatedly;
+    values are recomputed from ``raw`` each time.
+    """
+    for node in cct.root.walk_postorder():
+        # -- inclusive: Eq. 2 ------------------------------------------- #
+        incl: MetricValues = dict(node.raw)
+        for child in node.children:
+            add_into(incl, child.inclusive)
+        node.inclusive = incl
+
+        # -- exclusive: Eq. 1 (hybrid rule) ----------------------------- #
+        if node.kind in (CCTKind.STATEMENT, CCTKind.CALL_SITE):
+            node.exclusive = dict(node.raw)
+        elif node.kind is CCTKind.LOOP:
+            excl: MetricValues = dict(node.raw)
+            for child in node.children:
+                if child.kind in (CCTKind.STATEMENT, CCTKind.CALL_SITE):
+                    add_into(excl, child.raw)
+            node.exclusive = excl
+        elif node.kind is CCTKind.FRAME:
+            node.exclusive = _within_frame_raw(node)
+        else:  # ROOT
+            node.exclusive = dict(node.raw)
+
+
+def exposed_instances(instances: Iterable[CCTNode]) -> list[CCTNode]:
+    """Return the *exposed* members of an instance set.
+
+    An instance is exposed if it has no proper ancestor that is also in the
+    set (Section IV-B).  Summing inclusive costs over exposed instances
+    only avoids double-counting recursive chains.
+    """
+    nodes = list(instances)
+    member_uids = {n.uid for n in nodes}
+    exposed: list[CCTNode] = []
+    for node in nodes:
+        if not any(a.uid in member_uids for a in node.ancestors()):
+            exposed.append(node)
+    return exposed
+
+
+def exposed_sum(
+    instances: Sequence[CCTNode],
+    *,
+    inclusive: bool = True,
+) -> MetricValues:
+    """Sum inclusive (or exclusive) values over the exposed instances.
+
+    Both flavours are aggregated over exposed instances only, matching the
+    worked example of Figure 2: the Callers View top-level entry for the
+    recursive procedure ``g`` shows inclusive 9 (= g1:6 + g3:3) and
+    exclusive 4 (= g1:1 + g3:3); the nested instance g2 contributes to
+    neither, its cost being visible under the recursive-caller child.
+    """
+    exposed = exposed_instances(instances)
+    if inclusive:
+        return total(n.inclusive for n in exposed)
+    return total(n.exclusive for n in exposed)
+
+
+def aggregate_exposed(instances: Sequence[CCTNode]) -> tuple[MetricValues, MetricValues]:
+    """Return ``(inclusive, exclusive)`` aggregates over exposed instances."""
+    exposed = exposed_instances(instances)
+    return (
+        total(n.inclusive for n in exposed),
+        total(n.exclusive for n in exposed),
+    )

@@ -1,0 +1,117 @@
+"""The Callers View (Section III-B) — a bottom-up view of calling contexts.
+
+Each top-level entry is one procedure, aggregated over *all* contexts in
+which it was called; beneath it, each level walks one step *up* the call
+chains, apportioning the procedure's cost among its callers, its callers'
+callers, and so on.  This is the view that answers "who is responsible
+for the cost of ``MPI_Wait`` / ``memset`` across the whole program?".
+
+Recursion is handled with the exposed-instance rule of Section IV-B: the
+cost attributed to a (partial) caller chain is the sum over the matching
+CCT instances that have no ancestor instance also matching — so a chain
+of recursive calls is counted once.  For the Figure 1 program this yields
+the exact numbers of Figure 2b (top-level g = inclusive 9, exclusive 4;
+the recursive caller child g←g = inclusive 5).
+
+Scalability: the view is constructed *lazily* (Section VII).  Building the
+view materializes only the top-level procedure entries; caller chains are
+expanded on demand.  ``eager=True`` forces full construction, which the
+scalability benchmarks use as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.attribution import aggregate_exposed
+from repro.core.cct import CCT, CCTKind, CCTNode
+from repro.core.metrics import MetricTable
+from repro.core.views import NodeCategory, View, ViewKind, ViewNode
+from repro.hpcstruct.model import StructureNode
+
+__all__ = ["CallersView"]
+
+
+def _caller_frame(frame: CCTNode) -> CCTNode | None:
+    """The procedure frame that invoked *frame* (None for entry frames)."""
+    parent = frame.parent
+    if parent is None:
+        return None
+    return parent.enclosing_frame
+
+
+class CallersView(View):
+    """Bottom-up (callee → callers) view over a canonical CCT."""
+
+    kind = ViewKind.CALLERS
+
+    def __init__(self, cct: CCT, metrics: MetricTable, eager: bool = False) -> None:
+        super().__init__(metrics, title="Callers View", totals=cct.root.inclusive)
+        self.cct = cct
+        self._eager = eager
+
+    # ------------------------------------------------------------------ #
+    def _build_roots(self) -> list[ViewNode]:
+        roots: list[ViewNode] = []
+        for proc, frames in self.cct.frames_by_procedure().items():
+            inclusive, exclusive = aggregate_exposed(frames)
+            node = ViewNode(
+                name=proc.name,
+                category=NodeCategory.PROCEDURE,
+                inclusive=inclusive,
+                exclusive=exclusive,
+                struct=proc,
+                line=proc.location.line,
+                cct_nodes=frames,
+                expander=self._make_expander([(f, f) for f in frames]),
+            )
+            roots.append(node)
+        if self._eager:
+            for node in roots:
+                for _ in node.walk():
+                    pass
+        return roots
+
+    # ------------------------------------------------------------------ #
+    def _make_expander(self, entries: list[tuple[CCTNode, CCTNode]]):
+        """Build the lazy child expander for one callers-view row.
+
+        *entries* is a list of ``(instance, chain_frame)`` pairs: the
+        original callee instance, and the frame reached so far while
+        walking up its call chain.  Children group the entries by the
+        procedure of the next caller up.
+        """
+
+        def expand(_row: ViewNode) -> list[ViewNode]:
+            groups: dict[StructureNode, list[tuple[CCTNode, CCTNode]]] = {}
+            call_lines: dict[StructureNode, set[tuple[str, int]]] = {}
+            for instance, chain_frame in entries:
+                caller = _caller_frame(chain_frame)
+                if caller is None:
+                    continue  # chain reached an entry point; nothing above
+                groups.setdefault(caller.struct, []).append((instance, caller))
+                site = chain_frame.parent
+                if site is not None and site.kind is CCTKind.CALL_SITE:
+                    file = site.struct.location.file if site.struct is not None else ""
+                    call_lines.setdefault(caller.struct, set()).add((file, site.line))
+            rows: list[ViewNode] = []
+            for proc, sub_entries in groups.items():
+                instances = [inst for inst, _caller in sub_entries]
+                inclusive, exclusive = aggregate_exposed(instances)
+                sites = sorted(call_lines.get(proc, ()))
+                line = sites[0][1] if sites else proc.location.line
+                file = sites[0][0] if sites else proc.location.file
+                rows.append(
+                    ViewNode(
+                        name=proc.name,
+                        category=NodeCategory.CALLER,
+                        inclusive=inclusive,
+                        exclusive=exclusive,
+                        struct=proc,
+                        line=line,
+                        file=file,
+                        cct_nodes=instances,
+                        expander=self._make_expander(sub_entries),
+                    )
+                )
+            return rows
+
+        return expand

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch toolkit failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StructureError",
+    "CorrelationError",
+    "MetricError",
+    "FormulaError",
+    "ViewError",
+    "DatabaseError",
+    "SimulationError",
+    "ProfilerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class StructureError(ReproError):
+    """Invalid or inconsistent static program structure."""
+
+
+class CorrelationError(ReproError):
+    """A dynamic call path could not be correlated with static structure."""
+
+
+class MetricError(ReproError):
+    """Invalid metric definition or metric table operation."""
+
+
+class FormulaError(MetricError):
+    """A derived-metric formula failed to parse or evaluate."""
+
+
+class ViewError(ReproError):
+    """Invalid view construction or view operation."""
+
+
+class DatabaseError(ReproError):
+    """Experiment database serialization or deserialization failure."""
+
+
+class SimulationError(ReproError):
+    """Invalid synthetic program model or simulation parameters."""
+
+
+class ProfilerError(ReproError):
+    """Measurement-layer (hpcrun substrate) failure."""

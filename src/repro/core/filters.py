@@ -1,0 +1,135 @@
+"""Scope filters — deemphasizing what doesn't matter (Section II-b).
+
+"A set of performance data often includes measurements for procedures
+that consume very few resources and are therefore unimportant from the
+perspective of diagnosing performance bottlenecks.  A presentation tool
+should deemphasize this data."  hpcviewer's descendants grew an explicit
+filter facility; this module provides the equivalent for our views:
+
+* **pattern filters** match scopes by glob on name and/or category and
+  either *elide* them (splice their children into the parent — like
+  flattening a single scope, so costs never disappear) or *prune* them
+  (drop the whole subtree from display);
+* **threshold filters** hide rows whose share of the experiment total
+  falls below a cutoff — the automated version of "keep attention on
+  scopes where performance is of interest".
+
+Filters are display transforms: they build a parallel forest of the same
+:class:`ViewNode` objects and never mutate the underlying views or CCT.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import NodeCategory, View, ViewNode
+
+__all__ = ["FilterAction", "ScopeFilter", "ThresholdFilter", "FilterSet"]
+
+
+class FilterAction(Enum):
+    ELIDE = "elide"    # hide the scope, keep its children (costs preserved)
+    PRUNE = "prune"    # hide the scope and its whole subtree
+
+
+@dataclass(frozen=True)
+class ScopeFilter:
+    """Match scopes by name glob and (optionally) category."""
+
+    pattern: str
+    action: FilterAction = FilterAction.ELIDE
+    categories: tuple[NodeCategory, ...] = ()
+
+    def matches(self, node: ViewNode) -> bool:
+        if self.categories and node.category not in self.categories:
+            return False
+        return fnmatch.fnmatchcase(node.name, self.pattern)
+
+
+@dataclass(frozen=True)
+class ThresholdFilter:
+    """Hide rows below a share of the experiment-aggregate total."""
+
+    spec: MetricSpec
+    min_share: float = 0.01  # 1%
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.min_share <= 1.0):
+            raise ViewError(
+                f"min_share must be within [0, 1], got {self.min_share}"
+            )
+
+    def passes(self, view: View, node: ViewNode) -> bool:
+        total = view.total(self.spec)
+        if total == 0.0:
+            return True
+        incl = MetricSpec(self.spec.mid, MetricFlavor.INCLUSIVE)
+        return view.value(node, incl) >= self.min_share * total
+
+
+class FilterSet:
+    """An ordered collection of filters applied to a view's forest."""
+
+    def __init__(
+        self,
+        scope_filters: Iterable[ScopeFilter] = (),
+        threshold: ThresholdFilter | None = None,
+    ) -> None:
+        self.scope_filters = list(scope_filters)
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------ #
+    def add(self, pattern: str, action: FilterAction = FilterAction.ELIDE,
+            categories: Sequence[NodeCategory] = ()) -> "FilterSet":
+        self.scope_filters.append(
+            ScopeFilter(pattern, action, tuple(categories))
+        )
+        return self
+
+    def set_threshold(self, spec: MetricSpec, min_share: float) -> "FilterSet":
+        self.threshold = ThresholdFilter(spec, min_share)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _action_for(self, node: ViewNode) -> FilterAction | None:
+        for filt in self.scope_filters:
+            if filt.matches(node):
+                return filt.action
+        return None
+
+    def apply(self, view: View, roots: Sequence[ViewNode] | None = None
+              ) -> list[ViewNode]:
+        """The filtered forest (same node objects; display-only)."""
+        rows = list(view.roots if roots is None else roots)
+        out: list[ViewNode] = []
+        for row in rows:
+            out.extend(self._visit(view, row))
+        return out
+
+    def _visit(self, view: View, node: ViewNode) -> list[ViewNode]:
+        action = self._action_for(node)
+        if action is FilterAction.PRUNE:
+            return []
+        if action is FilterAction.ELIDE:
+            spliced: list[ViewNode] = []
+            for child in node.children:
+                spliced.extend(self._visit(view, child))
+            return spliced
+        if self.threshold is not None and not self.threshold.passes(view, node):
+            return []
+        return [node]
+
+    def children_of(self, view: View, node: ViewNode) -> list[ViewNode]:
+        """Filtered children (for renderers walking the filtered forest)."""
+        out: list[ViewNode] = []
+        for child in node.children:
+            out.extend(self._visit(view, child))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.scope_filters) + (1 if self.threshold else 0)

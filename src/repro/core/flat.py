@@ -1,0 +1,267 @@
+"""The Flat View (Section III-C) — costs correlated to static structure.
+
+All costs a procedure incurs in *any* calling context are aggregated onto
+the static hierarchy: load module → file → procedure → loop nests /
+inlined code → statements.  Call sites inside a procedure appear fused
+with their callee (inclusive = the callee's cost over every context
+reaching that call site), so the view answers "what does this source line
+cost in total?".
+
+Aggregation rules (matching Figure 2c exactly):
+
+* a **procedure** row sums the attributed values of its *exposed* frame
+  instances (``g`` = inclusive 9, exclusive 4 despite three instances);
+* **file / load-module / root** rows take inclusive values from the
+  exposed subset of all frames below them (``file2`` = 9: ``h``'s cost is
+  already inside ``g``'s) and exclusive values as the plain sum of their
+  children's exclusives (``file2`` = 8 = g:4 + h:4);
+* **loops and statements** aggregate the matching CCT scopes across all
+  contexts, again exposure-filtered so recursive contexts count once;
+* a **call-site** row fused with callee ``c`` shows the exposed sum of the
+  callee frames reached from that line; with ``fused=False`` it shows the
+  rule-1 dynamic-scope values instead — inclusive = cost at the line plus
+  callee cost, exclusive = only the cost of the invocation itself (the
+  node ``h_y`` of Figure 2c).
+
+Flattening (Section III-C): :meth:`FlatView.flatten` elides the current
+root level and shows its children instead — leaves are kept — which lets
+an analyst compare loops across different routines directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.attribution import aggregate_exposed, exposed_instances
+from repro.core.cct import CCT, CCTKind, CCTNode
+from repro.core.metrics import MetricTable, MetricValues, add_into, total
+from repro.core.views import NodeCategory, View, ViewKind, ViewNode
+from repro.hpcstruct.model import StructKind, StructureNode
+
+__all__ = ["FlatView"]
+
+
+class FlatView(View):
+    """Static (flat) view over a canonical CCT."""
+
+    kind = ViewKind.FLAT
+
+    def __init__(
+        self,
+        cct: CCT,
+        metrics: MetricTable,
+        fused: bool = True,
+        show_load_modules: bool = False,
+    ) -> None:
+        super().__init__(metrics, title="Flat View", totals=cct.root.inclusive)
+        self.cct = cct
+        self.fused = fused
+        #: when False, files are the top level (load modules elided), which
+        #: matches the single-binary examples in the paper's figures.
+        self.show_load_modules = show_load_modules
+        self.flatten_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_roots(self) -> list[ViewNode]:
+        by_proc = self.cct.frames_by_procedure()
+        files: dict[StructureNode, list[tuple[StructureNode, list[CCTNode]]]] = {}
+        for proc, frames in by_proc.items():
+            file_scope = proc.enclosing_file
+            files.setdefault(file_scope, []).append((proc, frames))
+
+        modules: dict[StructureNode, list[ViewNode]] = {}
+        for file_scope, procs in files.items():
+            proc_rows = [self._procedure_row(proc, frames) for proc, frames in procs]
+            all_frames = [f for _p, frames in procs for f in frames]
+            inclusive = total(n.inclusive for n in exposed_instances(all_frames))
+            exclusive: MetricValues = {}
+            for row in proc_rows:
+                add_into(exclusive, row.exclusive)
+            file_row = ViewNode(
+                name=file_scope.name if file_scope is not None else "<unknown file>",
+                category=NodeCategory.FILE,
+                inclusive=inclusive,
+                exclusive=exclusive,
+                struct=file_scope,
+                cct_nodes=all_frames,
+            )
+            file_row.set_children(proc_rows)
+            lm = file_scope.parent if file_scope is not None else None
+            modules.setdefault(lm, []).append(file_row)
+
+        if not self.show_load_modules:
+            return [row for rows in modules.values() for row in rows]
+
+        lm_rows: list[ViewNode] = []
+        for lm, file_rows in modules.items():
+            all_frames = [f for row in file_rows for f in row.cct_nodes]
+            inclusive = total(n.inclusive for n in exposed_instances(all_frames))
+            exclusive = {}
+            for row in file_rows:
+                add_into(exclusive, row.exclusive)
+            lm_row = ViewNode(
+                name=lm.name if lm is not None else "<unknown load module>",
+                category=NodeCategory.LOAD_MODULE,
+                inclusive=inclusive,
+                exclusive=exclusive,
+                struct=lm,
+                cct_nodes=all_frames,
+            )
+            lm_row.set_children(file_rows)
+            lm_rows.append(lm_row)
+        return lm_rows
+
+    # ------------------------------------------------------------------ #
+    def _procedure_row(self, proc: StructureNode, frames: list[CCTNode]) -> ViewNode:
+        inclusive, exclusive = aggregate_exposed(frames)
+        has_source = not proc.location.file.startswith("<unknown")
+        row = ViewNode(
+            name=proc.name,
+            category=NodeCategory.PROCEDURE,
+            inclusive=inclusive,
+            exclusive=exclusive,
+            struct=proc,
+            line=proc.location.line,
+            cct_nodes=frames,
+            expander=self._make_expander(frames),
+            has_source=has_source,
+        )
+        return row
+
+    def _make_expander(self, group: list[CCTNode]):
+        """Lazy expander merging the inner scopes of a group of CCT nodes."""
+
+        def expand(_row: ViewNode) -> list[ViewNode]:
+            loops: dict[StructureNode, list[CCTNode]] = {}
+            stmts: dict[int, list[CCTNode]] = {}
+            sites: dict[int, list[CCTNode]] = {}
+            for node in group:
+                for child in node.children:
+                    if child.kind is CCTKind.LOOP:
+                        loops.setdefault(child.struct, []).append(child)
+                    elif child.kind is CCTKind.STATEMENT:
+                        stmts.setdefault(child.line, []).append(child)
+                    elif child.kind is CCTKind.CALL_SITE:
+                        sites.setdefault(child.line, []).append(child)
+            rows: list[ViewNode] = []
+            for struct, nodes in loops.items():
+                inclusive, exclusive = aggregate_exposed(nodes)
+                category = (
+                    NodeCategory.INLINED if struct.kind.is_inlined else NodeCategory.LOOP
+                )
+                rows.append(
+                    ViewNode(
+                        name=(
+                            struct.name
+                            if struct.kind is StructKind.INLINED_PROC
+                            else f"loop at {struct.location}"
+                        ),
+                        category=category,
+                        inclusive=inclusive,
+                        exclusive=exclusive,
+                        struct=struct,
+                        line=struct.location.line,
+                        cct_nodes=nodes,
+                        expander=self._make_expander(nodes),
+                    )
+                )
+            for line, nodes in stmts.items():
+                inclusive = total(n.inclusive for n in nodes)
+                exclusive = total(n.exclusive for n in nodes)
+                rows.append(
+                    ViewNode(
+                        name=nodes[0].name,
+                        category=NodeCategory.STATEMENT,
+                        inclusive=inclusive,
+                        exclusive=exclusive,
+                        struct=nodes[0].struct,
+                        line=line,
+                        cct_nodes=nodes,
+                    )
+                )
+            for line, site_nodes in sites.items():
+                rows.extend(self._call_site_rows(line, site_nodes))
+            return rows
+
+        return expand
+
+    def _call_site_rows(self, line: int, sites: list[CCTNode]) -> list[ViewNode]:
+        """Rows for one call-site line, grouped by callee procedure."""
+        by_callee: dict[StructureNode, list[CCTNode]] = {}
+        site_raw = total(s.raw for s in sites)
+        for site in sites:
+            for frame in site.children:
+                if frame.kind is CCTKind.FRAME:
+                    by_callee.setdefault(frame.struct, []).append(frame)
+        rows: list[ViewNode] = []
+        if not by_callee and site_raw:
+            # sampled call line whose callee was never observed on a stack
+            rows.append(
+                ViewNode(
+                    name=sites[0].name,
+                    category=NodeCategory.STATEMENT,
+                    inclusive=site_raw,
+                    exclusive=site_raw,
+                    struct=sites[0].struct,
+                    line=line,
+                    cct_nodes=sites,
+                )
+            )
+            return rows
+        for callee, frames in by_callee.items():
+            inclusive, exclusive = aggregate_exposed(frames)
+            if self.fused:
+                fused_excl = dict(exclusive)
+                add_into(fused_excl, site_raw)
+                incl, excl = inclusive, fused_excl
+            else:
+                # rule-1 dynamic scope: the call itself (node h_y of Fig. 2c)
+                incl = dict(inclusive)
+                add_into(incl, site_raw)
+                excl = dict(site_raw)
+            rows.append(
+                ViewNode(
+                    name=callee.name,
+                    category=NodeCategory.CALL_SITE,
+                    inclusive=incl,
+                    exclusive=excl,
+                    struct=callee,
+                    line=line,
+                    file=sites[0].struct.location.file if sites[0].struct else "",
+                    cct_nodes=frames,
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # flattening
+    # ------------------------------------------------------------------ #
+    def flatten(self) -> None:
+        """Elide the current top level; show its children instead."""
+        self.flatten_depth += 1
+
+    def unflatten(self) -> None:
+        if self.flatten_depth > 0:
+            self.flatten_depth -= 1
+
+    def current_roots(self) -> list[ViewNode]:
+        """Roots after applying the current flattening depth.
+
+        Flattening a leaf has no effect: leaves at the elided level are
+        retained, so costs never disappear from the view.
+        """
+        rows = list(self.roots)
+        for _ in range(self.flatten_depth):
+            nxt: list[ViewNode] = []
+            changed = False
+            for row in rows:
+                children = row.children
+                if children:
+                    nxt.extend(children)
+                    changed = True
+                else:
+                    nxt.append(row)
+            rows = nxt
+            if not changed:
+                break
+        return rows

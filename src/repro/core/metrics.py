@@ -1,0 +1,220 @@
+"""Performance metric descriptors and sparse metric arithmetic.
+
+The paper uses *metric* for any measured or computed quantity attributed to
+a program scope: measures of work (cycles, instructions, FLOPs), resource
+consumption (cache misses, bus transactions) or inefficiency (stall cycles,
+derived waste).  A profile carries a table of metric descriptors; every
+scope carries a *sparse* mapping ``{metric id: value}`` — the paper's
+presentation principle "performance data is sparse" is reflected directly
+in the storage model: zero values are simply absent.
+
+Two flavours of per-scope values exist for every metric (Section IV):
+
+* *exclusive*  — cost attributed to the scope itself (hybrid rule, Eq. 1);
+* *inclusive*  — cost of the entire subtree rooted at the scope (Eq. 2).
+
+:class:`MetricSpec` names one of these flavours of one metric; display
+columns and derived-metric formulas are defined in terms of specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import MetricError
+
+__all__ = [
+    "MetricKind",
+    "MetricFlavor",
+    "MetricDescriptor",
+    "MetricSpec",
+    "MetricTable",
+    "MetricValues",
+    "add_into",
+    "scale",
+    "total",
+]
+
+#: Sparse metric vector: metric id -> value.  Zero entries are absent.
+MetricValues = dict[int, float]
+
+
+class MetricKind(Enum):
+    """Provenance of a metric column."""
+
+    RAW = "raw"            # directly measured (samples x period)
+    DERIVED = "derived"    # computed from other columns by a formula
+    SUMMARY = "summary"    # statistical summary over ranks/threads
+
+
+class MetricFlavor(Enum):
+    """Which per-scope value of a metric a column shows."""
+
+    EXCLUSIVE = "exclusive"
+    INCLUSIVE = "inclusive"
+
+    @property
+    def short(self) -> str:
+        return "E" if self is MetricFlavor.EXCLUSIVE else "I"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDescriptor:
+    """Description of one metric.
+
+    ``period`` is the sampling period: a raw metric's value is
+    ``samples * period`` (the asynchronous-sampling cost model).
+    """
+
+    mid: int
+    name: str
+    unit: str = ""
+    period: float = 1.0
+    kind: MetricKind = MetricKind.RAW
+    formula: str = ""
+    description: str = ""
+    #: show a percent-of-total column next to values
+    show_percent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mid < 0:
+            raise MetricError(f"metric id must be non-negative, got {self.mid}")
+        if not self.name:
+            raise MetricError("metric name must be non-empty")
+        if self.period <= 0:
+            raise MetricError(f"metric period must be positive, got {self.period}")
+        if self.kind is MetricKind.DERIVED and not self.formula:
+            raise MetricError(f"derived metric {self.name!r} needs a formula")
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    """A (metric, flavor) pair — one conceptual column of the metric pane."""
+
+    mid: int
+    flavor: MetricFlavor = MetricFlavor.INCLUSIVE
+
+    def __str__(self) -> str:
+        return f"{self.mid}{self.flavor.short}"
+
+
+class MetricTable:
+    """Registry of the metrics attached to one experiment.
+
+    Metric ids are dense, assigned in registration order, and stable across
+    serialization — they index the sparse per-scope vectors.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: list[MetricDescriptor] = []
+        self._by_name: dict[str, MetricDescriptor] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        name: str,
+        unit: str = "",
+        period: float = 1.0,
+        kind: MetricKind = MetricKind.RAW,
+        formula: str = "",
+        description: str = "",
+        show_percent: bool = True,
+    ) -> MetricDescriptor:
+        """Register a new metric; returns its descriptor."""
+        if name in self._by_name:
+            raise MetricError(f"duplicate metric name {name!r}")
+        desc = MetricDescriptor(
+            mid=len(self._by_id),
+            name=name,
+            unit=unit,
+            period=period,
+            kind=kind,
+            formula=formula,
+            description=description,
+            show_percent=show_percent,
+        )
+        self._by_id.append(desc)
+        self._by_name[name] = desc
+        return desc
+
+    def add_descriptor(self, desc: MetricDescriptor) -> MetricDescriptor:
+        """Register a pre-built descriptor, reassigning its id."""
+        return self.add(
+            desc.name,
+            unit=desc.unit,
+            period=desc.period,
+            kind=desc.kind,
+            formula=desc.formula,
+            description=desc.description,
+            show_percent=desc.show_percent,
+        )
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[MetricDescriptor]:
+        return iter(self._by_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def by_id(self, mid: int) -> MetricDescriptor:
+        try:
+            return self._by_id[mid]
+        except IndexError:
+            raise MetricError(f"unknown metric id {mid}") from None
+
+    def by_name(self, name: str) -> MetricDescriptor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MetricError(f"unknown metric {name!r}") from None
+
+    def spec(self, name: str, flavor: MetricFlavor = MetricFlavor.INCLUSIVE) -> MetricSpec:
+        """Convenience: build a :class:`MetricSpec` from a metric name."""
+        return MetricSpec(self.by_name(name).mid, flavor)
+
+    def names(self) -> list[str]:
+        return [d.name for d in self._by_id]
+
+    def copy(self) -> "MetricTable":
+        table = MetricTable()
+        for desc in self._by_id:
+            table._by_id.append(desc)
+            table._by_name[desc.name] = desc
+        return table
+
+
+# ---------------------------------------------------------------------- #
+# sparse vector arithmetic
+# ---------------------------------------------------------------------- #
+def add_into(dst: MetricValues, src: Mapping[int, float], factor: float = 1.0) -> None:
+    """``dst += factor * src`` in place; entries that become 0 are kept out."""
+    for mid, value in src.items():
+        new = dst.get(mid, 0.0) + factor * value
+        if new == 0.0:
+            dst.pop(mid, None)
+        else:
+            dst[mid] = new
+
+
+def scale(values: Mapping[int, float], factor: float) -> MetricValues:
+    """Return ``factor * values`` as a new sparse vector."""
+    if factor == 0.0:
+        return {}
+    return {mid: factor * v for mid, v in values.items()}
+
+
+def total(vectors: Iterable[Mapping[int, float]]) -> MetricValues:
+    """Sum an iterable of sparse vectors into a new one."""
+    out: MetricValues = {}
+    for vec in vectors:
+        add_into(out, vec)
+    return out

@@ -1,0 +1,83 @@
+"""Searching a view for scopes — ranked by a metric.
+
+Section VII: the tabular presentation "allows a user to select which
+metric to observe and to automatically search for a possible performance
+bottleneck."  This module provides that search: match scopes by name
+glob (optionally by category), rank matches by any metric column, and
+report each hit with its path from the root so an analyst can jump
+straight to the right context.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import NodeCategory, View, ViewNode
+
+__all__ = ["SearchHit", "search"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One matching scope, its ranking value, and its context path."""
+
+    node: ViewNode
+    value: float
+    share: float          # of the experiment-aggregate total
+    path: tuple[str, ...]  # names from a root down to the node
+
+    def describe(self) -> str:
+        pct = f" ({100 * self.share:.1f}%)" if self.share else ""
+        return f"{' -> '.join(self.path)}{pct}"
+
+
+def search(
+    view: View,
+    pattern: str,
+    spec: MetricSpec | None = None,
+    categories: Sequence[NodeCategory] = (),
+    limit: int = 50,
+    max_nodes: int = 200_000,
+) -> list[SearchHit]:
+    """Find scopes matching *pattern*, heaviest first.
+
+    ``spec`` picks the ranking column (default: metric 0, inclusive).
+    Lazy views are expanded as the search walks them; ``max_nodes``
+    bounds the walk so a search cannot materialize an unboundedly large
+    bottom-up view.
+    """
+    if not pattern:
+        raise ViewError("empty search pattern")
+    if limit < 1:
+        raise ViewError(f"limit must be >= 1, got {limit}")
+    spec = spec or MetricSpec(0, MetricFlavor.INCLUSIVE)
+    total = view.total(MetricSpec(spec.mid, MetricFlavor.INCLUSIVE))
+    hits: list[SearchHit] = []
+    visited = 0
+
+    stack: list[tuple[ViewNode, tuple[str, ...]]] = [
+        (root, (root.name,)) for root in reversed(view.roots)
+    ]
+    while stack and visited < max_nodes:
+        node, path = stack.pop()
+        visited += 1
+        if (not categories or node.category in categories) and \
+                fnmatch.fnmatchcase(node.name, pattern):
+            value = view.value(node, spec)
+            hits.append(
+                SearchHit(
+                    node=node,
+                    value=value,
+                    share=(value / total) if total else 0.0,
+                    path=path,
+                )
+            )
+        for child in reversed(node.children):
+            stack.append((child, path + (child.name,)))
+
+    hits.sort(key=lambda h: -h.value)
+    return hits[:limit]

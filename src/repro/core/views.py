@@ -1,0 +1,279 @@
+"""Common infrastructure for the three presentation views.
+
+A *view* is a tree (or forest) of :class:`ViewNode`\\ s over the metric
+space of one experiment.  The three concrete views — Calling Context
+(:mod:`repro.core.ccview`), Callers (:mod:`repro.core.callers`) and Flat
+(:mod:`repro.core.flat`) — differ only in how nodes are derived from the
+canonical CCT; presentation machinery (sorting, hot-path expansion,
+rendering, derived-metric columns) is shared and operates on this
+interface.
+
+Scalability: a ``ViewNode`` may be *lazy* — its children are produced by
+an expander callback on first access (Section VII: "the Callers View is
+constructed dynamically … we store and process data only when needed").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.errors import ViewError
+from repro.core.metrics import (
+    MetricFlavor,
+    MetricKind,
+    MetricSpec,
+    MetricTable,
+    MetricValues,
+)
+
+__all__ = ["ViewKind", "NodeCategory", "ViewNode", "View"]
+
+
+class ViewKind(Enum):
+    CALLING_CONTEXT = "calling-context"
+    CALLERS = "callers"
+    FLAT = "flat"
+
+
+class NodeCategory(Enum):
+    """What a view node represents — drives display icons and semantics."""
+
+    ROOT = "root"
+    LOAD_MODULE = "load-module"
+    FILE = "file"
+    PROCEDURE = "procedure"
+    PROCEDURE_FRAME = "frame"
+    CALLER = "caller"            # a caller entry in the Callers View
+    CALL_SITE = "call-site"      # fused call-site/callee line
+    LOOP = "loop"
+    INLINED = "inlined"
+    STATEMENT = "statement"
+
+
+class ViewNode:
+    """One row of a view's navigation pane plus its metric values."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "struct",
+        "line",
+        "file",
+        "inclusive",
+        "exclusive",
+        "parent",
+        "cct_nodes",
+        "_children",
+        "_expander",
+        "has_source",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: NodeCategory,
+        inclusive: MetricValues | None = None,
+        exclusive: MetricValues | None = None,
+        struct=None,
+        line: int = 0,
+        file: str = "",
+        parent: Optional["ViewNode"] = None,
+        cct_nodes: Sequence | None = None,
+        expander: Callable[["ViewNode"], list["ViewNode"]] | None = None,
+        has_source: bool = True,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.struct = struct
+        self.line = line
+        self.file = file or (struct.location.file if struct is not None else "")
+        self.inclusive: MetricValues = inclusive if inclusive is not None else {}
+        self.exclusive: MetricValues = exclusive if exclusive is not None else {}
+        self.parent = parent
+        #: underlying CCT scopes this row aggregates (drill-down support)
+        self.cct_nodes = list(cct_nodes) if cct_nodes else []
+        self._children: list[ViewNode] | None = None
+        self._expander = expander
+        #: False for binary-only scopes shown "in plain black" (no source)
+        self.has_source = has_source
+
+    # ------------------------------------------------------------------ #
+    @property
+    def children(self) -> list["ViewNode"]:
+        """Child rows; lazily constructed on first access."""
+        if self._children is None:
+            if self._expander is None:
+                self._children = []
+            else:
+                expander, self._expander = self._expander, None
+                self._children = expander(self)
+                for child in self._children:
+                    child.parent = self
+        return self._children
+
+    @property
+    def is_expanded(self) -> bool:
+        """True when children have been materialized (lazy-construction probe)."""
+        return self._children is not None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node is known to have no children.
+
+        For unexpanded lazy nodes this forces expansion — callers that only
+        want a cheap hint should check :attr:`is_expanded` first.
+        """
+        return not self.children
+
+    def set_children(self, children: list["ViewNode"]) -> None:
+        self._children = list(children)
+        for child in self._children:
+            child.parent = self
+
+    def value(self, spec: MetricSpec) -> float:
+        """The value of one metric column at this row (0.0 when absent)."""
+        source = (
+            self.inclusive if spec.flavor is MetricFlavor.INCLUSIVE else self.exclusive
+        )
+        return source.get(spec.mid, 0.0)
+
+    def walk(self, max_depth: int | None = None) -> Iterator["ViewNode"]:
+        """Preorder traversal; expands lazy children as it goes."""
+        stack: list[tuple[ViewNode, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            yield node
+            if max_depth is None or depth < max_depth:
+                stack.extend((c, depth + 1) for c in reversed(node.children))
+
+    def ancestors(self) -> Iterator["ViewNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    def location(self) -> str:
+        if self.file and self.line:
+            return f"{self.file}:{self.line}"
+        return self.file
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ViewNode {self.category.value} {self.name!r}>"
+
+
+class View:
+    """Base class for the three views: a forest of rows over one metric table."""
+
+    kind: ViewKind
+
+    def __init__(
+        self,
+        metrics: MetricTable,
+        title: str = "",
+        totals: MetricValues | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.title = title or type(self).__name__
+        #: experiment-aggregate inclusive totals (percentage denominators);
+        #: normally the CCT root's inclusive vector
+        self.totals: MetricValues = dict(totals) if totals else {}
+        self._roots: list[ViewNode] | None = None
+
+    # -- to be provided by subclasses ----------------------------------- #
+    def _build_roots(self) -> list[ViewNode]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    @property
+    def roots(self) -> list[ViewNode]:
+        if self._roots is None:
+            self._roots = self._build_roots()
+        return self._roots
+
+    def invalidate(self) -> None:
+        """Drop materialized rows (e.g. after adding a derived metric)."""
+        self._roots = None
+
+    def value(self, node: ViewNode, spec: MetricSpec) -> float:
+        """The value of a metric column at a row, evaluating derived metrics.
+
+        Measured metrics come straight from the row's aggregated values.
+        Derived metrics are evaluated *per row* from the row's own column
+        values (so ratios are ratios of aggregates, not aggregates of
+        ratios), in the same inclusive/exclusive flavour as the requested
+        cell, and cached on the row.
+        """
+        desc = self.metrics.by_id(spec.mid)
+        if desc.kind is not MetricKind.DERIVED:
+            return node.value(spec)
+        store = (
+            node.inclusive
+            if spec.flavor is MetricFlavor.INCLUSIVE
+            else node.exclusive
+        )
+        if spec.mid in store:
+            return store[spec.mid]
+        from repro.core.derived import evaluate  # local import: avoid cycle
+
+        active: set[int] = getattr(self, "_eval_guard", None) or set()
+        if spec.mid in active:
+            raise ViewError(
+                f"cyclic derived-metric reference involving {desc.name!r}"
+            )
+        active.add(spec.mid)
+        self._eval_guard = active
+        try:
+            result = evaluate(
+                desc.formula,
+                resolver=lambda mid: self.value(node, MetricSpec(mid, spec.flavor)),
+            )
+        finally:
+            active.discard(spec.mid)
+        store[spec.mid] = result
+        return result
+
+    def sorted_children(
+        self, node: ViewNode | None, spec: MetricSpec, descending: bool = True
+    ) -> list[ViewNode]:
+        """Children of *node* (roots if None) ordered by a metric column.
+
+        This implements the paper's rule that "scopes at each level of the
+        nesting in the navigation pane are sorted according to the selected
+        metric column".
+        """
+        rows = self.roots if node is None else node.children
+        return sorted(rows, key=lambda r: self.value(r, spec), reverse=descending)
+
+    def total(self, spec: MetricSpec) -> float:
+        """Aggregate total of a column — the denominator for percentages."""
+        desc = self.metrics.by_id(spec.mid)
+        if desc.kind is MetricKind.DERIVED:
+            from repro.core.derived import evaluate  # local import: avoid cycle
+
+            return evaluate(
+                desc.formula,
+                resolver=lambda mid: self.total(MetricSpec(mid, spec.flavor)),
+            )
+        if self.totals:
+            return self.totals.get(spec.mid, 0.0)
+        incl = MetricSpec(spec.mid, MetricFlavor.INCLUSIVE)
+        return sum(self.value(r, incl) for r in self.roots)
+
+    def find(self, name: str, category: NodeCategory | None = None) -> ViewNode:
+        """Depth-first search for a row by display name (testing helper)."""
+        for root in self.roots:
+            for node in root.walk():
+                if node.name == name and (category is None or node.category is category):
+                    return node
+        raise ViewError(f"no row named {name!r} in {self.title}")
+
+    def find_all(self, name: str) -> list[ViewNode]:
+        out = []
+        for root in self.roots:
+            out.extend(n for n in root.walk() if n.name == name)
+        return out

@@ -1,0 +1,6 @@
+"""Reproduction experiments: one module per paper figure/claim.
+
+Each experiment module exposes ``run(...) -> ExperimentReport`` producing
+paper-vs-measured rows; the benchmark harness and the EXPERIMENTS.md
+generator both consume these.
+"""

@@ -1,0 +1,105 @@
+"""Report structures for paper-vs-measured comparisons.
+
+Every experiment module returns an :class:`ExperimentReport`: a set of
+rows each pairing a value printed in the paper with the value this
+reproduction measures, plus a tolerance.  The benchmark harness prints
+them; ``repro-experiments`` aggregates them into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Row", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One paper-vs-measured comparison."""
+
+    name: str
+    paper: float | str | None
+    measured: float | str
+    unit: str = ""
+    tolerance: float | None = None  # absolute; None = informational row
+
+    @property
+    def ok(self) -> bool | None:
+        """Within tolerance?  None when the row is informational."""
+        if self.tolerance is None or self.paper is None:
+            return None
+        if isinstance(self.paper, str) or isinstance(self.measured, str):
+            return self.paper == self.measured
+        return abs(float(self.measured) - float(self.paper)) <= self.tolerance
+
+    def render(self) -> str:
+        def fmt(v):
+            if v is None:
+                return "-"
+            if isinstance(v, float):
+                return f"{v:.6g}"
+            return str(v)
+
+        status = {True: "OK", False: "MISMATCH", None: "info"}[self.ok]
+        unit = f" {self.unit}" if self.unit else ""
+        return (
+            f"  {self.name:<46} paper={fmt(self.paper):>10}{unit:<9} "
+            f"measured={fmt(self.measured):>10}{unit:<9} [{status}]"
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """All comparisons for one figure/claim of the paper."""
+
+    exp_id: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        paper,
+        measured,
+        unit: str = "",
+        tolerance: float | None = None,
+    ) -> None:
+        self.rows.append(Row(name, paper, measured, unit, tolerance))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok is not False for r in self.rows)
+
+    def render(self) -> str:
+        lines = [f"=== {self.exp_id}: {self.title} ==="]
+        lines += [row.render() for row in self.rows]
+        lines += [f"  note: {n}" for n in self.notes]
+        lines.append(f"  => {'REPRODUCED' if self.all_ok else 'DEVIATION'}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"### {self.exp_id}: {self.title}",
+            "",
+            "| quantity | paper | measured | unit | status |",
+            "|---|---|---|---|---|",
+        ]
+        for r in self.rows:
+            def fmt(v):
+                if v is None:
+                    return "—"
+                return f"{v:.4g}" if isinstance(v, float) else str(v)
+
+            status = {True: "✓", False: "✗", None: "·"}[r.ok]
+            lines.append(
+                f"| {r.name} | {fmt(r.paper)} | {fmt(r.measured)} "
+                f"| {r.unit} | {status} |"
+            )
+        for n in self.notes:
+            lines.append(f"\n*{n}*")
+        lines.append("")
+        return "\n".join(lines)

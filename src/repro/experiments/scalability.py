@@ -1,0 +1,102 @@
+"""Experiment §VII: scalable presentation.
+
+The paper's scalability claims, each measured here on synthetic CCTs:
+
+1. the Callers View is constructed *dynamically* — time to first render
+   must not pay for the whole bottom-up tree (lazy vs eager ablation);
+2. per-rank metrics are summarized into mean/min/max/stddev — per-scope
+   storage must be O(1) in rank count, not O(#ranks);
+3. the tree-tabular renderer shows a bounded window — render time must
+   be roughly flat in total CCT size once the window is full;
+4. (ongoing-work claim) a compact binary database beats XML in size and
+   speed — measured in ``benchmarks/bench_database.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.views import NodeCategory
+from repro.experiments.report import ExperimentReport
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads.synthetic import uniform_tree as synthetic_tree_program
+from repro.viewer.navigation import NavigationState
+from repro.viewer.table import TableOptions, render_table
+
+__all__ = ["run", "synthetic_tree_program", "lazy_vs_eager", "render_cost"]
+
+
+def lazy_vs_eager(exp: Experiment, trials: int = 3) -> dict[str, float]:
+    """Seconds to first Callers View render, lazy vs eager construction.
+
+    Best-of-N to keep the comparison robust against scheduler noise when
+    the experiment runs inside a loaded test session.
+    """
+    out = {}
+    for mode in ("lazy", "eager"):
+        best = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            view = exp.callers_view(eager=(mode == "eager"))
+            state = NavigationState(view)
+            render_table(view, state, options=TableOptions(max_rows=30))
+            best = min(best, time.perf_counter() - start)
+        out[mode] = best
+    return out
+
+
+def render_cost(exp: Experiment) -> float:
+    """Seconds to render a fixed window of the Calling Context View.
+
+    The window is what an analyst actually opens — here the hot path —
+    so its size depends on expansion depth, not on total CCT size.
+    """
+    view = exp.calling_context_view()
+    state = NavigationState(view)
+    state.expand_hot_path()
+    start = time.perf_counter()
+    render_table(view, state, options=TableOptions(max_rows=50))
+    return time.perf_counter() - start
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport("§VII", "Scalable presentation ablations")
+
+    exp = Experiment.from_program(synthetic_tree_program(fanout=8, depth=3))
+    report.add("CCT scopes in the scaling subject", None, float(len(exp.cct)))
+
+    times = lazy_vs_eager(exp)
+    report.add("lazy Callers View: time to first render", None,
+               times["lazy"] * 1e3, unit="ms")
+    report.add("eager Callers View: time to first render", None,
+               times["eager"] * 1e3, unit="ms")
+    report.add("lazy faster than eager", "yes",
+               "yes" if times["lazy"] < times["eager"] else "no",
+               tolerance=0.0)
+
+    # rendering a fixed window (the expanded hot path) must not scale
+    # with total tree size: an 8x bigger CCT, same expansion depth
+    small = Experiment.from_program(synthetic_tree_program(fanout=8, depth=2))
+    t_small = min(render_cost(small) for _ in range(3))
+    t_big = min(render_cost(exp) for _ in range(3))
+    report.add("hot-path window render, small tree", None,
+               t_small * 1e3, unit="ms")
+    report.add("hot-path window render, ~8x tree", None, t_big * 1e3, unit="ms")
+    report.add("window render roughly flat in tree size (<3x)", "yes",
+               "yes" if t_big < 3 * max(t_small, 1e-4) else "no",
+               tolerance=0.0)
+
+    # summarization: per-scope storage independent of rank count
+    from repro.sim.spmd import spmd_experiment
+    from repro.sim.workloads import pflotran
+
+    for nranks in (16, 64):
+        par = spmd_experiment(pflotran.build(), nranks=nranks)
+        ids = par.summarize("PAPI_TOT_CYC")
+        per_scope = [
+            sum(1 for k in node.inclusive if k in ids.all())
+            for node in par.cct.walk()
+        ]
+        report.add(f"summary entries per scope at {nranks} ranks", 4,
+                   max(per_scope), tolerance=0.0)
+    return report

@@ -1,0 +1,1 @@
+"""Post-mortem analysis: correlation, merging, summarization, databases."""

@@ -1,0 +1,318 @@
+"""Compact binary experiment-database format.
+
+The paper's ongoing work includes "replacing our XML format for profiles
+with a more compact binary format"; this module implements it.  Layout
+(all integers little-endian):
+
+* header: magic ``RPDB``, u16 version, length-prefixed experiment name;
+* string table: u32 count, then length-prefixed UTF-8 strings — every
+  name/file/formula is stored once and referenced by index;
+* metric table: u32 count, then per metric: name/unit/formula/description
+  string refs, f64 period, u8 kind, u8 show_percent;
+* structure tree: preorder records ``(u8 kind, u32 name, u32 file,
+  u32 line, u32 end_line, u16 ncalls [u32 line, u32 callee]..., u32
+  nchildren)`` — node ids are implicit preorder positions;
+* CCT: preorder records ``(u8 kind, u32 struct_id+1, u32 line, u16 nraw
+  [u32 mid, f64]..., u16 nsummary [u8 flavor, u32 mid, f64]..., u32
+  nchildren)``.
+
+Varint-free and mmap-friendly; the size/speed advantage over XML is
+quantified by ``benchmarks/bench_database.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from repro.core.attribution import attribute
+from repro.core.cct import CCT, CCTKind, CCTNode
+from repro.core.errors import CorrelationError, DatabaseError, StructureError
+from repro.core.metrics import MetricKind, MetricTable
+from repro.hpcprof.experiment import Experiment
+from repro.hpcstruct.model import (
+    SourceLocation,
+    StructKind,
+    StructureModel,
+    StructureNode,
+)
+
+__all__ = ["write_binary", "read_binary", "dumps_binary", "loads_binary"]
+
+_MAGIC = b"RPDB"
+_VERSION = 1
+
+_STRUCT_KINDS = list(StructKind)
+_CCT_KINDS = list(CCTKind)
+_METRIC_KINDS = list(MetricKind)
+
+
+class _StringTable:
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def ref(self, s: str) -> int:
+        idx = self._index.get(s)
+        if idx is None:
+            idx = len(self.strings)
+            self.strings.append(s)
+            self._index[s] = idx
+        return idx
+
+
+def _pack_str(buf: io.BytesIO, s: str) -> None:
+    raw = s.encode("utf-8")
+    buf.write(struct.pack("<I", len(raw)))
+    buf.write(raw)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise DatabaseError("truncated binary database")
+        out = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return out
+
+    def read_str(self) -> str:
+        (length,) = self.unpack("<I")
+        if self.pos + length > len(self.data):
+            raise DatabaseError("truncated string in binary database")
+        raw = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return raw.decode("utf-8")
+
+
+# --------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------- #
+def dumps_binary(experiment: Experiment) -> bytes:
+    strings = _StringTable()
+    body = io.BytesIO()
+
+    # -- metric table -------------------------------------------------- #
+    metrics = experiment.metrics
+    body.write(struct.pack("<I", len(metrics)))
+    for desc in metrics:
+        body.write(
+            struct.pack(
+                "<IIIIdBB",
+                strings.ref(desc.name),
+                strings.ref(desc.unit),
+                strings.ref(desc.formula),
+                strings.ref(desc.description),
+                desc.period,
+                _METRIC_KINDS.index(desc.kind),
+                1 if desc.show_percent else 0,
+            )
+        )
+
+    # -- structure ------------------------------------------------------ #
+    struct_ids: dict[int, int] = {}
+
+    def write_struct(node: StructureNode) -> None:
+        struct_ids[node.uid] = len(struct_ids)
+        body.write(
+            struct.pack(
+                "<BIIII",
+                _STRUCT_KINDS.index(node.kind),
+                strings.ref(node.name),
+                strings.ref(node.location.file),
+                node.location.line,
+                node.location.end_line,
+            )
+        )
+        body.write(struct.pack("<H", len(node.calls)))
+        for line, callee in node.calls:
+            body.write(struct.pack("<II", line, strings.ref(callee)))
+        body.write(struct.pack("<I", len(node.children)))
+        for child in node.children:
+            write_struct(child)
+
+    write_struct(experiment.structure.root)
+
+    # -- CCT ------------------------------------------------------------ #
+    def write_cct(node: CCTNode) -> None:
+        sid = struct_ids.get(node.struct.uid, -1) if node.struct is not None else -1
+        raw_items = [
+            (mid, v)
+            for mid, v in sorted(node.raw.items())
+            if metrics.by_id(mid).kind is MetricKind.RAW
+        ]
+        summary_items = [
+            (0, mid, v)
+            for mid, v in sorted(node.inclusive.items())
+            if metrics.by_id(mid).kind is MetricKind.SUMMARY
+        ] + [
+            (1, mid, v)
+            for mid, v in sorted(node.exclusive.items())
+            if metrics.by_id(mid).kind is MetricKind.SUMMARY
+        ]
+        body.write(
+            struct.pack(
+                "<BIIHH",
+                _CCT_KINDS.index(node.kind),
+                sid + 1,
+                node.line,
+                len(raw_items),
+                len(summary_items),
+            )
+        )
+        for mid, value in raw_items:
+            body.write(struct.pack("<Id", mid, value))
+        for flavor, mid, value in summary_items:
+            body.write(struct.pack("<BId", flavor, mid, value))
+        body.write(struct.pack("<I", len(node.children)))
+        for child in node.children:
+            write_cct(child)
+
+    write_cct(experiment.cct.root)
+
+    # -- assemble -------------------------------------------------------- #
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(struct.pack("<H", _VERSION))
+    _pack_str(out, experiment.name)
+    out.write(struct.pack("<I", len(strings.strings)))
+    for s in strings.strings:
+        _pack_str(out, s)
+    out.write(body.getvalue())
+    return out.getvalue()
+
+
+def write_binary(experiment: Experiment, path: str) -> None:
+    with open(path, "wb") as fh:
+        fh.write(dumps_binary(experiment))
+
+
+# --------------------------------------------------------------------- #
+# reading
+# --------------------------------------------------------------------- #
+def loads_binary(data: bytes) -> Experiment:
+    """Deserialize, converting any malformed-input failure to DatabaseError.
+
+    Fuzzing showed single-byte corruption can surface as IndexError (bad
+    string/struct references), ValueError (bad enum ordinals), Unicode
+    errors, or RecursionError (corrupted child counts); a loader must
+    present exactly one failure mode for bad bytes.
+    """
+    try:
+        return _loads_binary(data)
+    except DatabaseError:
+        raise
+    except (IndexError, KeyError, ValueError, OverflowError, MemoryError,
+            UnicodeDecodeError, RecursionError, struct.error,
+            StructureError, CorrelationError) as exc:
+        raise DatabaseError(f"malformed binary database: {exc!r}") from exc
+
+
+def _loads_binary(data: bytes) -> Experiment:
+    reader = _Reader(data)
+    if data[:4] != _MAGIC:
+        raise DatabaseError("not a binary experiment database (bad magic)")
+    reader.pos = 4
+    (version,) = reader.unpack("<H")
+    if version != _VERSION:
+        raise DatabaseError(f"unsupported binary database version {version}")
+    name = reader.read_str()
+    (nstrings,) = reader.unpack("<I")
+    strings = [reader.read_str() for _ in range(nstrings)]
+
+    # -- metric table ----------------------------------------------------- #
+    metrics = MetricTable()
+    (nmetrics,) = reader.unpack("<I")
+    for _ in range(nmetrics):
+        sname, sunit, sformula, sdesc, period, kind_idx, pct = reader.unpack("<IIIIdBB")
+        metrics.add(
+            strings[sname],
+            unit=strings[sunit],
+            period=period,
+            kind=_METRIC_KINDS[kind_idx],
+            formula=strings[sformula],
+            description=strings[sdesc],
+            show_percent=bool(pct),
+        )
+
+    # -- structure --------------------------------------------------------- #
+    model = StructureModel()
+    by_id: list[StructureNode] = []
+
+    def read_struct(parent: StructureNode | None) -> StructureNode:
+        kind_idx, sname, sfile, line, end_line = reader.unpack("<BIIII")
+        kind = _STRUCT_KINDS[kind_idx]
+        if kind is StructKind.ROOT:
+            node = model.root
+            node.name = strings[sname]
+        else:
+            node = StructureNode(
+                kind,
+                name=strings[sname],
+                location=SourceLocation(
+                    file=strings[sfile], line=line, end_line=end_line
+                ),
+                parent=parent,
+            )
+        (ncalls,) = reader.unpack("<H")
+        calls = []
+        for _ in range(ncalls):
+            cline, callee = reader.unpack("<II")
+            calls.append((cline, strings[callee]))
+        node.calls = tuple(calls)
+        if kind is StructKind.PROCEDURE:
+            model._register_procedure(node)
+        by_id.append(node)
+        (nchildren,) = reader.unpack("<I")
+        for _ in range(nchildren):
+            read_struct(node)
+        return node
+
+    read_struct(None)
+
+    # -- CCT ----------------------------------------------------------------- #
+    cct = CCT()
+
+    def read_cct(parent: CCTNode | None) -> CCTNode:
+        kind_idx, sid, line, nraw, nsummary = reader.unpack("<BIIHH")
+        kind = _CCT_KINDS[kind_idx]
+        if kind is CCTKind.ROOT:
+            node = cct.root
+        else:
+            struct_ref = by_id[sid - 1] if sid > 0 else None
+            node = CCTNode(kind, struct=struct_ref, line=line, parent=parent)
+        for _ in range(nraw):
+            mid, value = reader.unpack("<Id")
+            node.raw[mid] = value
+        summaries = []
+        for _ in range(nsummary):
+            flavor, mid, value = reader.unpack("<BId")
+            summaries.append((flavor, mid, value))
+        (nchildren,) = reader.unpack("<I")
+        for _ in range(nchildren):
+            read_cct(node)
+        for flavor, mid, value in summaries:
+            store = node.inclusive if flavor == 0 else node.exclusive
+            store[mid] = value
+        return node
+
+    read_cct(None)
+    # stored summary values must survive re-attribution, so reapply them
+    stored = [
+        (node, dict(node.inclusive), dict(node.exclusive)) for node in cct.walk()
+        if node.inclusive or node.exclusive
+    ]
+    attribute(cct)
+    for node, incl, excl in stored:
+        node.inclusive.update(incl)
+        node.exclusive.update(excl)
+    return Experiment(name, metrics, model, cct)
+
+
+def read_binary(path: str) -> Experiment:
+    with open(path, "rb") as fh:
+        return loads_binary(fh.read())

@@ -1,0 +1,44 @@
+"""Experiment database I/O with format dispatch.
+
+``save`` / ``load`` pick the serializer from the file extension:
+``.xml`` for the human-readable XML schema, ``.rpdb`` (or anything else)
+for the compact binary format.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.errors import DatabaseError
+from repro.hpcprof import binio, xmlio
+from repro.hpcprof.experiment import Experiment
+
+__all__ = ["save", "load", "XML_EXTENSION", "BINARY_EXTENSION"]
+
+XML_EXTENSION = ".xml"
+BINARY_EXTENSION = ".rpdb"
+
+
+def save(experiment: Experiment, path: str) -> int:
+    """Serialize *experiment* to *path*; returns the byte size written."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == XML_EXTENSION:
+        data = xmlio.dumps_xml(experiment)
+    else:
+        data = binio.dumps_binary(experiment)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def load(path: str) -> Experiment:
+    """Deserialize an experiment, sniffing the format from the content."""
+    if not os.path.exists(path):
+        raise DatabaseError(f"no such database: {path}")
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[:4] == b"RPDB":
+        return binio.loads_binary(data)
+    if data.lstrip()[:1] == b"<":
+        return xmlio.loads_xml(data)
+    raise DatabaseError(f"{path}: unrecognized database format")

@@ -1,0 +1,318 @@
+"""The experiment database object — what ``hpcviewer`` opens.
+
+An :class:`Experiment` bundles the metric table, the static structure
+model, the canonical CCT, and (for parallel runs) the per-rank CCTs, and
+offers the high-level operations of the paper:
+
+* construct any of the three views;
+* define derived metrics by formula;
+* run hot path analysis;
+* summarize per-rank metrics.
+
+This is the primary entry point of the library's public API::
+
+    from repro import Experiment
+    exp = Experiment.from_program(my_synthetic_program)
+    view = exp.calling_context_view()
+    result = exp.hot_path("cycles")
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attribution import attribute
+from repro.core.callers import CallersView
+from repro.core.cct import CCT, CCTNode
+from repro.core.ccview import CallingContextView
+from repro.core.derived import define_derived
+from repro.core.errors import MetricError, ViewError
+from repro.core.flat import FlatView
+from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult, hot_path
+from repro.core.metrics import MetricDescriptor, MetricFlavor, MetricSpec, MetricTable
+from repro.core.views import View, ViewNode
+from repro.hpcprof.correlate import Correlator
+from repro.hpcprof.merge import collect_rank_vectors, merge_ccts
+from repro.hpcprof.summarize import SummaryIds, summarize_ranks
+from repro.hpcrun.profile_data import ProfileData
+from repro.hpcstruct.model import StructureModel
+
+__all__ = ["Experiment"]
+
+
+class Experiment:
+    """One measured (or simulated) execution, ready for presentation."""
+
+    def __init__(
+        self,
+        name: str,
+        metrics: MetricTable,
+        structure: StructureModel,
+        cct: CCT,
+        rank_ccts: Sequence[CCT] | None = None,
+    ) -> None:
+        self.name = name
+        self.metrics = metrics
+        self.structure = structure
+        self.cct = cct
+        #: per-rank trees, retained for parallel runs (None for serial)
+        self.rank_ccts: list[CCT] | None = list(rank_ccts) if rank_ccts else None
+        self._summaries: dict[int, SummaryIds] = {}
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_profile(
+        cls,
+        profile: ProfileData,
+        structure: StructureModel,
+        name: str = "",
+    ) -> "Experiment":
+        """Correlate one profile into an experiment (serial run)."""
+        correlator = Correlator(structure)
+        correlator.add_profile(profile)
+        attribute(correlator.cct)
+        return cls(
+            name or profile.program or "experiment",
+            profile.metrics,
+            structure,
+            correlator.cct,
+        )
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Sequence[ProfileData],
+        structure: StructureModel,
+        name: str = "",
+    ) -> "Experiment":
+        """Correlate per-rank profiles and merge them (parallel run).
+
+        Each rank gets its own CCT (retained for per-rank analyses such as
+        load-imbalance charts); the experiment's main tree is their union.
+        """
+        if not profiles:
+            raise MetricError("need at least one profile")
+        rank_ccts: list[CCT] = []
+        for profile in profiles:
+            correlator = Correlator(structure)
+            correlator.add_profile(profile)
+            attribute(correlator.cct)
+            rank_ccts.append(correlator.cct)
+        combined = merge_ccts(rank_ccts)
+        return cls(
+            name or profiles[0].program or "experiment",
+            profiles[0].metrics,
+            structure,
+            combined,
+            rank_ccts=rank_ccts,
+        )
+
+    @classmethod
+    def from_sampler(
+        cls,
+        sampler,
+        structure: StructureModel,
+        name: str = "",
+    ) -> "Experiment":
+        """Build an experiment from a finished :class:`SamplingProfiler`.
+
+        In all-threads mode each thread's profile becomes one correlated
+        tree (retained like MPI ranks, so per-thread analyses work);
+        otherwise this is :meth:`from_profile` on the single profile.
+        """
+        if getattr(sampler, "all_threads", False) and sampler.thread_profiles:
+            profiles = [
+                sampler.thread_profiles[tid]
+                for tid in sorted(sampler.thread_profiles)
+            ]
+            if len(profiles) == 1:
+                return cls.from_profile(profiles[0], structure, name)
+            return cls.from_profiles(profiles, structure, name or "sampled")
+        return cls.from_profile(sampler.profile, structure, name)
+
+    @classmethod
+    def from_program(
+        cls,
+        program,
+        nranks: int = 1,
+        params: dict | None = None,
+        seed: int = 12345,
+        name: str = "",
+    ) -> "Experiment":
+        """Simulate a synthetic program (optionally SPMD) and present it."""
+        from repro.hpcstruct.synthstruct import build_structure
+        from repro.sim.executor import execute
+
+        structure = build_structure(program)
+        profiles = [
+            execute(program, rank=rank, nranks=nranks, params=params, seed=seed)
+            for rank in range(nranks)
+        ]
+        if nranks == 1:
+            return cls.from_profile(profiles[0], structure, name or program.name)
+        return cls.from_profiles(profiles, structure, name or program.name)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def calling_context_view(self, fused: bool = True) -> CallingContextView:
+        return CallingContextView(self.cct, self.metrics, fused=fused)
+
+    def callers_view(self, eager: bool = False) -> CallersView:
+        return CallersView(self.cct, self.metrics, eager=eager)
+
+    def flat_view(self, fused: bool = True, show_load_modules: bool = False) -> FlatView:
+        return FlatView(
+            self.cct,
+            self.metrics,
+            fused=fused,
+            show_load_modules=show_load_modules,
+        )
+
+    def views(self) -> tuple[CallingContextView, CallersView, FlatView]:
+        """All three complementary views (Section III)."""
+        return (self.calling_context_view(), self.callers_view(), self.flat_view())
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def metric_id(self, name: str) -> int:
+        return self.metrics.by_name(name).mid
+
+    def spec(
+        self, name: str, flavor: MetricFlavor = MetricFlavor.INCLUSIVE
+    ) -> MetricSpec:
+        return MetricSpec(self.metric_id(name), flavor)
+
+    def add_derived_metric(
+        self, name: str, formula: str, unit: str = "", description: str = ""
+    ) -> MetricDescriptor:
+        """Define a spreadsheet-like derived metric (Section V-D)."""
+        return define_derived(
+            self.metrics, name, formula, unit=unit, description=description
+        )
+
+    def total(self, name: str) -> float:
+        """Experiment-aggregate inclusive total of a metric."""
+        return self.cct.root.inclusive.get(self.metric_id(name), 0.0)
+
+    # ------------------------------------------------------------------ #
+    # analyses
+    # ------------------------------------------------------------------ #
+    def hot_path(
+        self,
+        metric: str,
+        view: View | None = None,
+        start: ViewNode | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> HotPathResult:
+        """Hot path analysis (Section V-C) on a view (default: CC view)."""
+        view = view or self.calling_context_view()
+        return hot_path(view, self.spec(metric), start=start, threshold=threshold)
+
+    def summarize(self, metric: str) -> SummaryIds:
+        """Attach mean/min/max/stddev columns over ranks (Section VII)."""
+        if not self.rank_ccts:
+            raise ViewError("summarize() requires a parallel experiment")
+        mid = self.metric_id(metric)
+        ids = self._summaries.get(mid)
+        if ids is None:
+            ids = summarize_ranks(self.cct, self.rank_ccts, self.metrics, mid)
+            self._summaries[mid] = ids
+        return ids
+
+    def rank_vector(self, node_or_uid, metric: str) -> np.ndarray:
+        """Per-rank inclusive values of a scope (Figure 7's input data)."""
+        if not self.rank_ccts:
+            raise ViewError("rank_vector() requires a parallel experiment")
+        mid = self.metric_id(metric)
+        uid = node_or_uid if isinstance(node_or_uid, int) else None
+        if uid is None:
+            node = node_or_uid
+            if isinstance(node, ViewNode):
+                cct_nodes = [n for n in node.cct_nodes if isinstance(n, CCTNode)]
+                if not cct_nodes:
+                    raise ViewError(f"row {node.name!r} maps to no CCT scope")
+                uids = {n.uid for n in cct_nodes}
+            else:
+                uids = {node.uid}
+        else:
+            uids = {uid}
+        vectors = collect_rank_vectors(self.cct, self.rank_ccts, mid)
+        out = np.zeros(len(self.rank_ccts))
+        for u in uids:
+            if u in vectors:
+                out += vectors[u]
+        return out
+
+    @property
+    def nranks(self) -> int:
+        return len(self.rank_ccts) if self.rank_ccts else 1
+
+    def rank_experiment(self, rank: int) -> "Experiment":
+        """A single rank's tree as its own experiment (drill into one
+        process after the merged view localized the imbalance)."""
+        if not self.rank_ccts:
+            raise ViewError("rank_experiment() requires a parallel experiment")
+        if not (0 <= rank < len(self.rank_ccts)):
+            raise ViewError(
+                f"rank {rank} out of range [0, {len(self.rank_ccts)})"
+            )
+        return Experiment(
+            f"{self.name} [rank {rank}]",
+            self.metrics,
+            self.structure,
+            self.rank_ccts[rank],
+        )
+
+    def describe(self) -> str:
+        """A one-screen summary: scope counts, metrics, totals, top scopes."""
+        from repro.core.cct import CCTKind
+        from repro.viewer.format import format_value
+
+        kind_counts: dict[str, int] = {}
+        for node in self.cct.walk():
+            kind_counts[node.kind.value] = kind_counts.get(node.kind.value, 0) + 1
+        lines = [
+            f"experiment {self.name!r}: {len(self.cct)} scopes, "
+            f"{self.nranks} rank(s)",
+            "  scopes: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(kind_counts.items())
+            ),
+            "  metrics:",
+        ]
+        for desc in self.metrics:
+            total = self.cct.root.inclusive.get(desc.mid, 0.0)
+            total_text = format_value(total) or "0"
+            lines.append(
+                f"    [{desc.mid}] {desc.name} ({desc.kind.value}): "
+                f"total {total_text} {desc.unit}".rstrip()
+            )
+        by_proc = self.cct.frames_by_procedure()
+        if by_proc and len(self.metrics):
+            from repro.core.attribution import exposed_sum
+
+            mid = 0
+            top = sorted(
+                ((proc.name, exposed_sum(frames).get(mid, 0.0))
+                 for proc, frames in by_proc.items()),
+                key=lambda item: -item[1],
+            )[:5]
+            lines.append(f"  top procedures by {self.metrics.by_id(mid).name}:")
+            total = self.cct.root.inclusive.get(mid, 0.0) or 1.0
+            for name, value in top:
+                lines.append(
+                    f"    {name:<40} {format_value(value):>10} "
+                    f"({100 * value / total:.1f}%)"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Experiment {self.name!r}: {len(self.cct)} scopes, "
+            f"{len(self.metrics)} metrics, {self.nranks} rank(s)>"
+        )

@@ -1,0 +1,165 @@
+"""Merging canonical CCTs across threads, ranks and experiments.
+
+Per-rank profiles are correlated into per-rank CCTs (sharing one static
+structure model); this module unions them into a single canonical CCT —
+scope identity is the path of node keys — and supports two cross-
+experiment analyses from the paper:
+
+* :func:`collect_rank_vectors` — per-node vectors of one metric across all
+  ranks, the raw material for load-imbalance presentation (Figure 7) and
+  for statistical summarization (:mod:`repro.hpcprof.summarize`);
+* :func:`scale_and_difference` — the derived scaling-loss metric of
+  Section VI-A: scale the profile of a small run and subtract it from a
+  large run, attributing scaling loss to individual contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attribution import attribute
+from repro.core.cct import CCT, CCTNode
+from repro.core.errors import MetricError
+from repro.core.metrics import MetricTable, add_into
+
+__all__ = [
+    "merge_ccts",
+    "collect_rank_vectors",
+    "scale_and_difference",
+]
+
+
+def _graft(dst: CCTNode, src: CCTNode) -> None:
+    add_into(dst.raw, src.raw)
+    for child in src.children:
+        mine = dst._child_index.get(child.key)
+        if mine is None:
+            mine = CCTNode(child.kind, struct=child.struct, line=child.line, parent=dst)
+        _graft(mine, child)
+
+
+def merge_ccts(ccts: Sequence[CCT], attribute_result: bool = True) -> CCT:
+    """Union CCTs (sharing one structure model) into a new tree.
+
+    Raw costs sum; the result is re-attributed unless disabled.  Merging
+    is associative and commutative up to child order — a property the
+    test suite checks — because scope identity is structural.
+    """
+    out = CCT()
+    for cct in ccts:
+        _graft(out.root, cct.root)
+    if attribute_result:
+        attribute(out)
+    return out
+
+
+def _walk_aligned(combined: CCTNode, rank_root: CCTNode, rank: int, sink) -> None:
+    """Visit nodes of one rank tree aligned to the combined tree by key."""
+    sink(combined, rank_root, rank)
+    for child in rank_root.children:
+        mine = combined._child_index.get(child.key)
+        if mine is not None:
+            _walk_aligned(mine, child, rank, sink)
+
+
+def collect_rank_vectors(
+    combined: CCT,
+    rank_ccts: Sequence[CCT],
+    mid: int,
+    inclusive: bool = True,
+) -> dict[int, np.ndarray]:
+    """Per-node vectors of one metric across ranks.
+
+    Returns ``{combined-node uid: array of length nranks}``; ranks in
+    which a scope never appeared contribute 0 (sparse semantics).  Only
+    scopes present in the combined tree are reported.
+    """
+    nranks = len(rank_ccts)
+    vectors: dict[int, np.ndarray] = {}
+
+    def sink(cnode: CCTNode, rnode: CCTNode, rank: int) -> None:
+        values = rnode.inclusive if inclusive else rnode.exclusive
+        value = values.get(mid, 0.0)
+        if value == 0.0:
+            return
+        vec = vectors.get(cnode.uid)
+        if vec is None:
+            vec = np.zeros(nranks)
+            vectors[cnode.uid] = vec
+        vec[rank] += value
+
+    for rank, cct in enumerate(rank_ccts):
+        _walk_aligned(combined.root, cct.root, rank, sink)
+    return vectors
+
+
+def structural_key(node: CCTNode) -> tuple:
+    """Identity of a scope that survives across structure models.
+
+    ``CCTNode.key`` embeds structure-node uids, which only align when two
+    trees share one :class:`StructureModel`; cross-experiment analyses
+    (scale-and-difference between separate runs) need identity by *what*
+    the scope is — kind, static scope signature, and line.
+    """
+    if node.struct is None:
+        sig = None
+    else:
+        sig = (
+            node.struct.kind.value,
+            node.struct.name,
+            node.struct.location.file,
+            node.struct.location.line,
+        )
+    return (node.kind.value, sig, node.line)
+
+
+def scale_and_difference(
+    base: CCT,
+    scaled_run: CCT,
+    metrics: MetricTable,
+    mid: int,
+    factor: float,
+    name: str = "scaling loss",
+) -> int:
+    """Attribute scaling loss to contexts (Section VI-A; Coarfa et al.).
+
+    Registers a new raw metric on *metrics* whose per-scope raw value is
+    ``raw_scaled - factor * raw_base``: the cost the larger run incurred
+    beyond perfect scaling of the smaller one.  Writes values into
+    *scaled_run* (matching scopes by structural identity, so the two runs
+    may come from independently built structure models; scopes absent
+    from the base run contribute their full cost as loss) and
+    re-attributes.  Returns the new metric id.
+    """
+    if factor <= 0:
+        raise MetricError(f"scaling factor must be positive, got {factor}")
+    loss = metrics.add(name, unit=metrics.by_id(mid).unit, description=(
+        f"scaling loss = {metrics.by_id(mid).name} - {factor} x base run"
+    ))
+
+    base_raw: dict[tuple, float] = {}
+
+    def record(node: CCTNode, path: tuple) -> None:
+        key = path + (structural_key(node),)
+        if mid in node.raw:
+            base_raw[key] = base_raw.get(key, 0.0) + node.raw[mid]
+        for child in node.children:
+            record(child, key)
+
+    record(base.root, ())
+
+    def apply(node: CCTNode, path: tuple) -> None:
+        key = path + (structural_key(node),)
+        expected = factor * base_raw.pop(key, 0.0)
+        measured = node.raw.get(mid, 0.0)
+        delta = measured - expected
+        if delta != 0.0:
+            node.raw[loss.mid] = delta
+        for child in node.children:
+            apply(child, key)
+
+    apply(scaled_run.root, ())
+    attribute(scaled_run)
+    return loss.mid

@@ -1,0 +1,242 @@
+"""Statistical summarization of per-rank metrics (Sections IV-A & VII).
+
+For large parallel executions it is not scalable to keep every process's
+metric values in memory; HPCToolkit instead summarizes per-scope values
+across ranks into a handful of statistics — mean, min, max, standard
+deviation — computed scalably from *mergeable partial moments* and
+assembled in a final *finalization* step.
+
+:class:`Moments` is the mergeable accumulator (count / mean / M2 in
+Welford form plus min/max).  Merging two accumulators is exact,
+associative and commutative, which is what makes the reduction tree over
+thousands of ranks work; the property-based tests verify all three
+claims.
+
+:func:`summarize_ranks` registers four summary metric columns per input
+metric on a combined CCT, replacing O(#ranks) storage with O(1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.cct import CCT
+from repro.core.errors import MetricError
+from repro.core.metrics import MetricKind, MetricTable
+from repro.hpcprof.merge import collect_rank_vectors
+
+__all__ = [
+    "Moments",
+    "SummaryIds",
+    "summarize_ranks",
+    "partial_summary",
+    "reduce_partials",
+    "finalize_partials",
+    "imbalance_factor",
+]
+
+
+@dataclass
+class Moments:
+    """Mergeable running statistics over a stream of values."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    # ------------------------------------------------------------------ #
+    def add(self, x: float) -> None:
+        """Welford online update with one value."""
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+        self.minimum = min(self.minimum, x)
+        self.maximum = max(self.maximum, x)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for x in values:
+            self.add(x)
+
+    def merge(self, other: "Moments") -> "Moments":
+        """Exact parallel combination (Chan et al.) — the finalization step."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / n
+        self.mean = (self.count * self.mean + other.count * other.mean) / n
+        self.count = n
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    # ------------------------------------------------------------------ #
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 values)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Moments":
+        m = cls()
+        m.add_many(values)
+        return m
+
+    @classmethod
+    def zeros(cls, count: int) -> "Moments":
+        """Moments of *count* zero observations (sparse-scope filler)."""
+        if count <= 0:
+            return cls()
+        return cls(count=count, mean=0.0, m2=0.0, minimum=0.0, maximum=0.0)
+
+
+@dataclass(frozen=True)
+class SummaryIds:
+    """Metric ids of the four summary columns derived from one metric."""
+
+    mean: int
+    minimum: int
+    maximum: int
+    stddev: int
+
+    def all(self) -> tuple[int, int, int, int]:
+        return (self.mean, self.minimum, self.maximum, self.stddev)
+
+
+def summarize_ranks(
+    combined: CCT,
+    rank_ccts: Sequence[CCT],
+    metrics: MetricTable,
+    mid: int,
+) -> SummaryIds:
+    """Attach mean/min/max/stddev columns for metric *mid* across ranks.
+
+    Statistics are computed over the per-rank *inclusive* values of every
+    scope (with 0 for ranks where the scope is absent), written into the
+    scopes' inclusive vectors, and likewise for exclusive values.  The
+    combined tree must have been produced by merging *rank_ccts*.
+    """
+    if not rank_ccts:
+        raise MetricError("need at least one rank profile to summarize")
+    base = metrics.by_id(mid)
+    ids = SummaryIds(
+        mean=metrics.add(f"{base.name} (mean)", unit=base.unit,
+                         kind=MetricKind.SUMMARY, show_percent=False).mid,
+        minimum=metrics.add(f"{base.name} (min)", unit=base.unit,
+                            kind=MetricKind.SUMMARY, show_percent=False).mid,
+        maximum=metrics.add(f"{base.name} (max)", unit=base.unit,
+                            kind=MetricKind.SUMMARY, show_percent=False).mid,
+        stddev=metrics.add(f"{base.name} (stddev)", unit=base.unit,
+                           kind=MetricKind.SUMMARY, show_percent=False).mid,
+    )
+    nodes = {node.uid: node for node in combined.walk()}
+    for flavor in ("inclusive", "exclusive"):
+        vectors = collect_rank_vectors(
+            combined, rank_ccts, mid, inclusive=(flavor == "inclusive")
+        )
+        for uid, vec in vectors.items():
+            store = getattr(nodes[uid], flavor)
+            store[ids.mean] = float(np.mean(vec))
+            store[ids.minimum] = float(np.min(vec))
+            store[ids.maximum] = float(np.max(vec))
+            store[ids.stddev] = float(np.std(vec))
+    return ids
+
+
+# --------------------------------------------------------------------- #
+# scalable finalization: partial moments + reduction tree
+# --------------------------------------------------------------------- #
+#: per-scope partial summary: (#ranks covered, {node uid: Moments})
+PartialSummary = tuple[int, dict[int, "Moments"]]
+
+
+def partial_summary(
+    combined: CCT,
+    rank_ccts: Sequence[CCT],
+    mid: int,
+    rank_offset: int = 0,
+    inclusive: bool = True,
+) -> PartialSummary:
+    """Intermediate summary over one *slice* of the ranks.
+
+    In the paper's design, summarization happens scalably: workers
+    compute mergeable intermediate values over subsets of ranks, and the
+    finalization step assembles them.  A partial records how many ranks
+    it covers and per-scope moments over those ranks' values — scopes a
+    rank never touched contribute implicit zeros, reconciled at
+    finalization via :meth:`Moments.zeros`.
+    """
+    vectors = collect_rank_vectors(combined, rank_ccts, mid, inclusive=inclusive)
+    out: dict[int, Moments] = {}
+    nranks = len(rank_ccts)
+    for uid, vec in vectors.items():
+        out[uid] = Moments.of(vec)  # vec already includes this slice's zeros
+    del rank_offset  # kept in the signature for call-site readability
+    return (nranks, out)
+
+
+def reduce_partials(a: PartialSummary, b: PartialSummary) -> PartialSummary:
+    """Combine two partial summaries — associative and commutative."""
+    count_a, parts_a = a
+    count_b, parts_b = b
+    merged: dict[int, Moments] = {}
+    for uid in set(parts_a) | set(parts_b):
+        ma = parts_a.get(uid)
+        mb = parts_b.get(uid)
+        m = Moments()
+        m.merge(ma if ma is not None else Moments.zeros(count_a))
+        m.merge(mb if mb is not None else Moments.zeros(count_b))
+        merged[uid] = m
+    return (count_a + count_b, merged)
+
+
+def finalize_partials(
+    combined: CCT,
+    partial: PartialSummary,
+    metrics: MetricTable,
+    ids: SummaryIds,
+    inclusive: bool = True,
+) -> None:
+    """Write a reduced partial's statistics into the combined tree."""
+    nranks, parts = partial
+    flavor = "inclusive" if inclusive else "exclusive"
+    nodes = {node.uid: node for node in combined.walk()}
+    for uid, moments in parts.items():
+        filled = Moments()
+        filled.merge(moments)
+        filled.merge(Moments.zeros(nranks - moments.count))
+        store = getattr(nodes[uid], flavor)
+        store[ids.mean] = filled.mean
+        store[ids.minimum] = filled.minimum
+        store[ids.maximum] = filled.maximum
+        store[ids.stddev] = filled.stddev
+
+
+def imbalance_factor(vector: np.ndarray) -> float:
+    """Classic load-imbalance factor: max / mean (1.0 = perfectly balanced)."""
+    mean = float(np.mean(vector))
+    if mean == 0.0:
+        return 1.0
+    return float(np.max(vector)) / mean

@@ -1,0 +1,1 @@
+"""Measurement substrate: call path profilers and synthetic counters."""

@@ -1,0 +1,122 @@
+"""Synthetic hardware performance counters and a simple machine model.
+
+The paper's metrics come from hardware counters (PAPI_TOT_CYC, L1 data
+cache misses, floating-point operations, …) unavailable in this setting,
+so the workload simulator substitutes an explicit cost model: a kernel is
+described by its operation mix — floating-point ops, memory references,
+locality — and the model produces the counter vector a sampling run would
+have attributed to it.
+
+The model is deliberately first-order (issue-width-limited FLOPs, miss
+penalties charged per level) — its purpose is to give the presentation
+layer realistic, internally consistent multi-metric data, not to predict
+absolute hardware numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import MetricTable
+
+__all__ = [
+    "CYCLES",
+    "FLOPS",
+    "L1_DCM",
+    "L2_DCM",
+    "INSTRUCTIONS",
+    "STANDARD_COUNTERS",
+    "MachineModel",
+    "standard_metric_table",
+]
+
+#: canonical counter names, PAPI-style
+CYCLES = "PAPI_TOT_CYC"
+FLOPS = "PAPI_FP_OPS"
+L1_DCM = "PAPI_L1_DCM"
+L2_DCM = "PAPI_L2_DCM"
+INSTRUCTIONS = "PAPI_TOT_INS"
+
+STANDARD_COUNTERS: tuple[tuple[str, str], ...] = (
+    (CYCLES, "cycles"),
+    (FLOPS, "operations"),
+    (L1_DCM, "misses"),
+    (L2_DCM, "misses"),
+    (INSTRUCTIONS, "instructions"),
+)
+
+
+def standard_metric_table() -> MetricTable:
+    """A metric table pre-registered with the standard counters."""
+    table = MetricTable()
+    for name, unit in STANDARD_COUNTERS:
+        table.add(name, unit=unit)
+    return table
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """First-order core + memory-hierarchy model.
+
+    ``peak_flops_per_cycle`` is the number the paper's floating-point
+    waste metric multiplies total cycles by (4 for the Opteron-class
+    machines of the era).
+    """
+
+    peak_flops_per_cycle: float = 4.0
+    l1_miss_penalty: float = 10.0      # cycles per L1 miss (hits in L2)
+    l2_miss_penalty: float = 100.0     # cycles per L2 miss (to memory)
+    instructions_per_flop: float = 1.5
+    instructions_per_mem_ref: float = 1.0
+
+    def kernel_costs(
+        self,
+        flops: float = 0.0,
+        mem_refs: float = 0.0,
+        l1_miss_rate: float = 0.0,
+        l2_miss_fraction: float = 0.1,
+        efficiency: float = 1.0,
+        overhead_cycles: float = 0.0,
+    ) -> dict[str, float]:
+        """Counter vector for one kernel execution.
+
+        ``efficiency`` is the fraction of peak floating-point throughput
+        the kernel achieves computing its FLOPs (1.0 = peak); memory
+        stalls are charged on top, so a streaming kernel with a high miss
+        rate lands at a low *relative efficiency* under the paper's
+        derived metric, exactly the Figure 6 situation.
+        """
+        if not (0.0 <= l1_miss_rate <= 1.0):
+            raise ValueError(f"l1_miss_rate must be in [0,1], got {l1_miss_rate}")
+        if not (0.0 <= l2_miss_fraction <= 1.0):
+            raise ValueError(f"l2_miss_fraction must be in [0,1], got {l2_miss_fraction}")
+        if efficiency <= 0.0:
+            raise ValueError(f"efficiency must be positive, got {efficiency}")
+        l1_misses = mem_refs * l1_miss_rate
+        l2_misses = l1_misses * l2_miss_fraction
+        compute_cycles = flops / (self.peak_flops_per_cycle * efficiency) if flops else 0.0
+        stall_cycles = (
+            l1_misses * self.l1_miss_penalty + l2_misses * self.l2_miss_penalty
+        )
+        cycles = compute_cycles + stall_cycles + overhead_cycles
+        instructions = (
+            flops * self.instructions_per_flop
+            + mem_refs * self.instructions_per_mem_ref
+        )
+        out = {
+            CYCLES: cycles,
+            FLOPS: flops,
+            L1_DCM: l1_misses,
+            L2_DCM: l2_misses,
+            INSTRUCTIONS: instructions,
+        }
+        return {k: v for k, v in out.items() if v != 0.0}
+
+    def waste(self, cycles: float, flops: float) -> float:
+        """The paper's floating-point waste for given totals."""
+        return cycles * self.peak_flops_per_cycle - flops
+
+    def relative_efficiency(self, cycles: float, flops: float) -> float:
+        """Measured FLOPS / potential peak FLOPS."""
+        peak = cycles * self.peak_flops_per_cycle
+        return flops / peak if peak else 0.0

@@ -1,0 +1,79 @@
+"""Call stack unwinding for live Python frames.
+
+Converts a CPython frame chain into the measurement-side
+:class:`~repro.hpcrun.profile_data.Frame` path (outermost first), the
+same operation hpcrun's unwinder performs on native stacks at every
+asynchronous sample.
+
+Frames are named by qualified name (``Outer.method``,
+``outer.<locals>.inner``) so they match the static structure recovered by
+:mod:`repro.hpcstruct.pystruct` from the same sources.  Frames whose code
+lives outside the requested source roots (interpreter internals, site
+packages) can be filtered or collapsed into a single ``<foreign>``
+placeholder frame, mirroring hpcviewer's binary-only scopes.
+"""
+
+from __future__ import annotations
+
+import os
+from types import FrameType
+
+from repro.hpcrun.profile_data import Frame
+
+__all__ = ["unwind", "qualname_of", "FOREIGN_PROC"]
+
+FOREIGN_PROC = "<foreign code>"
+
+
+def qualname_of(frame: FrameType) -> str:
+    """The qualified name of a frame's code object."""
+    code = frame.f_code
+    return getattr(code, "co_qualname", code.co_name)
+
+
+def _in_roots(path: str, roots: tuple[str, ...]) -> bool:
+    return any(path.startswith(root) for root in roots)
+
+
+def unwind(
+    frame: FrameType,
+    roots: tuple[str, ...] = (),
+    collapse_foreign: bool = True,
+) -> tuple[list[Frame], int]:
+    """Unwind *frame* to an outermost-first path plus the leaf line.
+
+    ``roots`` restricts attribution to files under those directories;
+    foreign frames either collapse into :data:`FOREIGN_PROC` entries
+    (default) or are skipped entirely.  Returns ``([], 0)`` when no frame
+    survives filtering.
+    """
+    chain: list[FrameType] = []
+    cursor: FrameType | None = frame
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = cursor.f_back
+    chain.reverse()
+
+    frames: list[Frame] = []
+    leaf_line = 0
+    prev_line = 0
+    for fr in chain:
+        path = fr.f_code.co_filename
+        native = os.path.abspath(path) if not path.startswith("<") else path
+        foreign = bool(roots) and not _in_roots(native, roots)
+        if foreign:
+            if not collapse_foreign:
+                prev_line = fr.f_lineno
+                continue
+            name, file = FOREIGN_PROC, "<unknown file>"
+        else:
+            name, file = qualname_of(fr), native
+        if frames and foreign and frames[-1].proc == FOREIGN_PROC:
+            # collapse consecutive foreign frames into one scope
+            prev_line = fr.f_lineno
+            leaf_line = 0 if foreign else fr.f_lineno
+            continue
+        frames.append(Frame(proc=name, file=file, call_line=prev_line))
+        prev_line = fr.f_lineno
+        leaf_line = fr.f_lineno if not foreign else 0
+    return frames, leaf_line

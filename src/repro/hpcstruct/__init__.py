@@ -1,0 +1,1 @@
+"""Static structure recovery: from Python ASTs and synthetic programs."""

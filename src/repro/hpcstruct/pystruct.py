@@ -1,0 +1,201 @@
+"""Static structure recovery from Python source (the ``hpcstruct`` analogue).
+
+Where HPCToolkit's ``hpcstruct`` analyzes an optimized binary to recover
+procedures, loop nests and inlined code, this module analyzes Python
+sources with :mod:`ast`, producing the same
+:class:`~repro.hpcstruct.model.StructureModel` consumed by correlation:
+
+* every function/method (including nested functions) becomes a procedure
+  whose name is its *qualified* name — matching the frame names the
+  profilers record (``Outer.method``, ``outer.<locals>.inner``);
+* ``for`` / ``while`` loops become loop scopes with their full line
+  extent, so leaf samples nest into loop chains exactly as in compiled
+  code;
+* call expressions mark call-site lines per procedure, letting
+  correlation attribute samples at a call line to the call-site scope;
+* module-level code is modeled as a ``<module>`` procedure spanning the
+  file, matching CPython's name for it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable
+
+from repro.core.errors import StructureError
+from repro.hpcstruct.model import (
+    SourceLocation,
+    StructKind,
+    StructureModel,
+    StructureNode,
+)
+
+__all__ = ["build_python_structure", "structure_for_file"]
+
+
+def build_python_structure(
+    paths: Iterable[str],
+    load_module: str = "python",
+    model: StructureModel | None = None,
+) -> StructureModel:
+    """Recover structure for a collection of Python source files."""
+    model = model or StructureModel(name=load_module)
+    lm = model.add_load_module(load_module)
+    for path in paths:
+        _analyze_file(model, lm, path)
+    return model
+
+
+def structure_for_file(path: str) -> StructureModel:
+    """Convenience: structure model of a single file."""
+    return build_python_structure([path])
+
+
+# --------------------------------------------------------------------- #
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _analyze_file(model: StructureModel, lm: StructureNode, path: str) -> None:
+    native = os.path.abspath(path)
+    try:
+        with open(native, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        raise StructureError(f"cannot read {path!r}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=native)
+    except SyntaxError as exc:
+        raise StructureError(f"cannot parse {path!r}: {exc}") from exc
+
+    file_scope = model.add_file(lm, native)
+    nlines = source.count("\n") + 1
+    module_proc = model.add_procedure(file_scope, "<module>", 1, nlines)
+    builder = _Builder(model, file_scope)
+    builder.walk_proc_body(tree.body, module_proc, qual="")
+
+
+class _Builder:
+    """Single-pass AST walker building scopes and per-procedure call tables."""
+
+    def __init__(self, model: StructureModel, file_scope: StructureNode) -> None:
+        self.model = model
+        self.file_scope = file_scope
+        self.file = file_scope.location.file
+
+    # ------------------------------------------------------------------ #
+    def walk_proc_body(self, body, proc: StructureNode, qual: str) -> None:
+        """Walk the body of a procedure; finalize its call-site table."""
+        calls: list[tuple[int, str]] = []
+        for stmt in body:
+            self._walk_stmt(stmt, proc, proc, qual, calls)
+        proc.calls = tuple(sorted(set(calls)))
+
+    def _walk_stmt(
+        self,
+        node: ast.stmt,
+        scope: StructureNode,
+        proc: StructureNode,
+        qual: str,
+        calls: list[tuple[int, str]],
+    ) -> None:
+        if isinstance(node, _FUNC_NODES):
+            for deco in node.decorator_list:
+                self._collect_calls(deco, calls, proc)
+            qualname = self._qualname(node.name, proc, qual)
+            sub = self.model.add_procedure(
+                self.file_scope, qualname, node.lineno, node.end_lineno
+            )
+            self.walk_proc_body(node.body, sub, qual="")
+            return
+        if isinstance(node, ast.ClassDef):
+            for deco in node.decorator_list:
+                self._collect_calls(deco, calls, proc)
+            inner_qual = f"{qual}{node.name}."
+            for stmt in node.body:
+                self._walk_stmt(stmt, scope, proc, inner_qual, calls)
+            return
+        if isinstance(node, _LOOP_NODES):
+            loop = StructureNode(
+                StructKind.LOOP,
+                name=f"loop@{node.lineno}",
+                location=SourceLocation(
+                    file=self.file, line=node.lineno, end_line=node.end_lineno
+                ),
+                parent=scope,
+            )
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._collect_calls(node.iter, calls, proc)
+            else:
+                self._collect_calls(node.test, calls, proc)
+            for stmt in list(node.body) + list(node.orelse):
+                self._walk_stmt(stmt, loop, proc, qual, calls)
+            return
+
+        # ordinary statement: scan its expression fields for calls, then
+        # recurse into any nested statement lists (if/try/with bodies)
+        for field, value in ast.iter_fields(node):
+            if isinstance(value, ast.expr):
+                self._collect_calls(value, calls, proc)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.stmt):
+                        self._walk_stmt(item, scope, proc, qual, calls)
+                    elif isinstance(item, ast.expr):
+                        self._collect_calls(item, calls, proc)
+                    elif isinstance(item, (ast.excepthandler, ast.withitem, ast.match_case)):
+                        for sub in ast.iter_child_nodes(item):
+                            if isinstance(sub, ast.stmt):
+                                self._walk_stmt(sub, scope, proc, qual, calls)
+                            elif isinstance(sub, ast.expr):
+                                self._collect_calls(sub, calls, proc)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _qualname(name: str, proc: StructureNode, qual: str) -> str:
+        if proc.name != "<module>":
+            return f"{proc.name}.<locals>.{name}"
+        return f"{qual}{name}"
+
+    #: CPython names for comprehension frames (own frames until 3.12)
+    _COMPREHENSIONS = {
+        ast.ListComp: "<listcomp>",
+        ast.SetComp: "<setcomp>",
+        ast.DictComp: "<dictcomp>",
+        ast.GeneratorExp: "<genexpr>",
+    }
+
+    def _collect_calls(
+        self,
+        node: ast.AST,
+        calls: list[tuple[int, str]],
+        proc: StructureNode,
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                calls.append((sub.lineno, _callee_name(sub.func)))
+            comp_name = self._COMPREHENSIONS.get(type(sub))
+            if comp_name is not None:
+                # a comprehension executes in its own frame; recover it as
+                # a procedure with CPython's qualname so profiled frames
+                # correlate, and mark its line as a call site in the owner
+                if proc.name == "<module>":
+                    qualname = comp_name
+                else:
+                    qualname = f"{proc.name}.<locals>.{comp_name}"
+                if self.model.find_procedure(qualname, self.file) is None:
+                    self.model.add_procedure(
+                        self.file_scope, qualname, sub.lineno, sub.end_lineno
+                    )
+                calls.append((sub.lineno, qualname))
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Call):
+        return _callee_name(func.func)
+    return "<dynamic>"

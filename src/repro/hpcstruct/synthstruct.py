@@ -1,0 +1,61 @@
+"""Static structure recovery for synthetic programs.
+
+The analogue of running ``hpcstruct`` on a binary: derive a
+:class:`~repro.hpcstruct.model.StructureModel` from a declarative
+:class:`~repro.sim.program.Program`, recording load module, files,
+procedures, loop nests, inlined scopes, and per-procedure call-site lines.
+"""
+
+from __future__ import annotations
+
+from repro.hpcstruct.model import SourceLocation, StructKind, StructureModel, StructureNode
+from repro.sim.program import Call, Inlined, Loop, Program
+
+__all__ = ["build_structure"]
+
+
+def build_structure(program: Program) -> StructureModel:
+    """Build the static structure model of a synthetic *program*."""
+    model = StructureModel(name=program.name)
+    lm = model.add_load_module(program.load_module)
+    for module in program.modules:
+        file_scope = model.add_file(lm, module.path)
+        for proc in module.procedures:
+            proc_scope = model.add_procedure(
+                file_scope, proc.name, proc.line, proc.end_line
+            )
+            call_lines: list[tuple[int, str]] = []
+            _build_body(proc_scope, proc.body, file_scope.name, call_lines, inlined=False)
+            proc_scope.calls = tuple(call_lines)
+    return model
+
+
+def _build_body(
+    parent: StructureNode,
+    body,
+    file: str,
+    call_lines: list[tuple[int, str]],
+    inlined: bool,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            kind = StructKind.INLINED_LOOP if inlined else StructKind.LOOP
+            loop_scope = StructureNode(
+                kind,
+                name=f"loop@{stmt.line}",
+                location=SourceLocation(file=file, line=stmt.line, end_line=stmt.end_line),
+                parent=parent,
+            )
+            _build_body(loop_scope, stmt.body, file, call_lines, inlined)
+        elif isinstance(stmt, Inlined):
+            inline_scope = StructureNode(
+                StructKind.INLINED_PROC,
+                name=stmt.name,
+                location=SourceLocation(file=file, line=stmt.line, end_line=stmt.end_line),
+                parent=parent,
+            )
+            _build_body(inline_scope, stmt.body, file, call_lines, inlined=True)
+        elif isinstance(stmt, Call):
+            call_lines.append((stmt.line, stmt.callee))
+        # Work statements need no static scope: statement scopes are created
+        # on demand during correlation (performance data is sparse).

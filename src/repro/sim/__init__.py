@@ -1,0 +1,1 @@
+"""Workload simulation substrate: program models, execution, SPMD."""

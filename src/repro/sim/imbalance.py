@@ -1,0 +1,121 @@
+"""Load-imbalance models for SPMD workload simulation (Section VI-C).
+
+Load imbalance "is caused by uneven distribution of work that forces some
+processes to idle between synchronization points".  A model here is a
+deterministic function ``rank -> relative work multiplier`` (mean ≈ 1.0
+over ranks), used by SPMD workloads both to scale each rank's work and to
+compute per-rank *idleness* under a BSP synchronization model::
+
+    idleness(r) = max_work - work(r)
+
+Every model is a pure function of (rank, nranks) — stochastic models
+derive their randomness from a per-rank seeded generator — so any rank
+can compute any other rank's share, which is how a simulated rank knows
+the global maximum without communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "ImbalanceModel",
+    "uniform",
+    "linear_skew",
+    "hotspot",
+    "lognormal_field",
+    "heterogeneous_media",
+    "work_shares",
+    "idleness_shares",
+]
+
+#: rank, nranks -> relative work multiplier
+ImbalanceModel = Callable[[int, int], float]
+
+
+def uniform() -> ImbalanceModel:
+    """Perfectly balanced work."""
+
+    def model(rank: int, nranks: int) -> float:
+        return 1.0
+
+    return model
+
+
+def linear_skew(alpha: float = 0.5) -> ImbalanceModel:
+    """Work rises linearly with rank: 1-alpha at rank 0 to 1+alpha at the top."""
+    if not (0.0 <= alpha < 1.0):
+        raise SimulationError(f"alpha must be in [0,1), got {alpha}")
+
+    def model(rank: int, nranks: int) -> float:
+        if nranks == 1:
+            return 1.0
+        return 1.0 - alpha + 2.0 * alpha * rank / (nranks - 1)
+
+    return model
+
+
+def hotspot(count: int = 1, factor: float = 3.0) -> ImbalanceModel:
+    """A few overloaded ranks (e.g. boundary subdomains) at ``factor`` x work."""
+    if count < 1:
+        raise SimulationError("hotspot count must be >= 1")
+    if factor <= 0:
+        raise SimulationError("hotspot factor must be positive")
+
+    def model(rank: int, nranks: int) -> float:
+        return factor if rank < min(count, nranks) else 1.0
+
+    return model
+
+
+def lognormal_field(sigma: float = 0.3, seed: int = 7) -> ImbalanceModel:
+    """Independent lognormal work per rank — amorphous heterogeneity."""
+    if sigma < 0:
+        raise SimulationError("sigma must be non-negative")
+
+    def model(rank: int, nranks: int) -> float:
+        rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+        return float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+
+    return model
+
+
+def heterogeneous_media(
+    sigma: float = 0.4, correlation: int = 8, seed: int = 11
+) -> ImbalanceModel:
+    """Spatially correlated heterogeneity — the PFLOTRAN scenario.
+
+    Ranks owning neighbouring subdomains of a heterogeneous porous medium
+    see correlated permeability, hence correlated work: a smoothed
+    lognormal field over the rank axis with the given correlation length.
+    """
+    if correlation < 1:
+        raise SimulationError("correlation length must be >= 1")
+    base = lognormal_field(sigma=sigma, seed=seed)
+
+    def model(rank: int, nranks: int) -> float:
+        lo = max(0, rank - correlation // 2)
+        hi = min(nranks, lo + correlation)
+        window = [base(r, nranks) for r in range(lo, hi)]
+        return float(np.mean(window))
+
+    return model
+
+
+# --------------------------------------------------------------------- #
+def work_shares(model: ImbalanceModel, nranks: int) -> np.ndarray:
+    """All ranks' work multipliers under a model."""
+    if nranks < 1:
+        raise SimulationError("nranks must be >= 1")
+    return np.array([model(rank, nranks) for rank in range(nranks)])
+
+
+def idleness_shares(model: ImbalanceModel, nranks: int) -> np.ndarray:
+    """Per-rank idleness under BSP synchronization: max work - own work."""
+    shares = work_shares(model, nranks)
+    return shares.max() - shares

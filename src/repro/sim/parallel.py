@@ -1,0 +1,124 @@
+"""Multi-process SPMD execution.
+
+:func:`repro.sim.spmd.run_spmd` simulates ranks sequentially in-process.
+For workload models with real per-rank compute (or simply to exercise the
+post-mortem pipeline on profiles produced by *separate processes*, as in
+a real MPI job), this module fans rank execution out over a
+``multiprocessing`` pool.
+
+Synthetic programs carry closures (context-dependent costs), which do not
+pickle; workers therefore receive a *factory reference* —
+``"package.module:function"`` — import it, build the program locally, and
+execute their rank.  Per-rank profiles return as portable dicts and are
+rehydrated in the parent, exactly like reading per-rank measurement files
+off a parallel filesystem.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Sequence
+
+from repro.core.errors import SimulationError
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.profile_data import Frame, ProfileData
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+
+__all__ = ["run_spmd_parallel", "spmd_experiment_parallel", "resolve_factory"]
+
+
+def resolve_factory(factory: str):
+    """Import ``"pkg.module:function"`` and return the callable."""
+    module_name, sep, attr = factory.partition(":")
+    if not sep or not module_name or not attr:
+        raise SimulationError(
+            f"factory must look like 'pkg.module:function', got {factory!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SimulationError(f"cannot import {module_name!r}: {exc}") from exc
+    fn = getattr(module, attr, None)
+    if fn is None or not callable(fn):
+        raise SimulationError(f"{factory!r} does not name a callable")
+    return fn
+
+
+def _profile_to_wire(profile: ProfileData) -> dict:
+    """Flatten a profile into a picklable dict."""
+    return {
+        "rank": profile.rank,
+        "program": profile.program,
+        "metrics": profile.metrics.names(),
+        "units": [d.unit for d in profile.metrics],
+        "samples": [
+            ([f.key for f in frames], line, dict(costs))
+            for frames, line, costs in profile.paths()
+        ],
+        "sample_count": profile.sample_count,
+    }
+
+
+def _profile_from_wire(wire: dict) -> ProfileData:
+    from repro.core.metrics import MetricTable
+
+    metrics = MetricTable()
+    for name, unit in zip(wire["metrics"], wire["units"]):
+        metrics.add(name, unit=unit)
+    profile = ProfileData(metrics, rank=wire["rank"], program=wire["program"])
+    for frame_keys, line, costs in wire["samples"]:
+        frames = [Frame(proc, file, call_line)
+                  for proc, file, call_line in frame_keys]
+        profile.add_sample(frames, line, {int(k): v for k, v in costs.items()})
+    profile.sample_count = wire["sample_count"]
+    return profile
+
+
+def _worker(args: tuple) -> dict:
+    factory, rank, nranks, params, seed = args
+    program = resolve_factory(factory)()
+    profile = execute(program, rank=rank, nranks=nranks, params=params,
+                      seed=seed)
+    return _profile_to_wire(profile)
+
+
+def run_spmd_parallel(
+    factory: str,
+    nranks: int,
+    params: dict | None = None,
+    seed: int = 12345,
+    processes: int | None = None,
+) -> list[ProfileData]:
+    """Execute each simulated rank in a worker process."""
+    if nranks < 1:
+        raise SimulationError(f"nranks must be >= 1, got {nranks}")
+    resolve_factory(factory)  # fail fast in the parent
+    jobs = [(factory, rank, nranks, params, seed) for rank in range(nranks)]
+    import multiprocessing
+
+    workers = processes or min(nranks, multiprocessing.cpu_count())
+    if workers <= 1 or nranks == 1:
+        wires = [_worker(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            wires = pool.map(_worker, jobs)
+    return [_profile_from_wire(w) for w in wires]
+
+
+def spmd_experiment_parallel(
+    factory: str,
+    nranks: int,
+    params: dict | None = None,
+    seed: int = 12345,
+    processes: int | None = None,
+    name: str = "",
+) -> Experiment:
+    """Parallel SPMD run assembled into a merged experiment."""
+    profiles = run_spmd_parallel(factory, nranks, params=params, seed=seed,
+                                 processes=processes)
+    program = resolve_factory(factory)()
+    structure = build_structure(program)
+    return Experiment.from_profiles(
+        profiles, structure, name=name or f"{program.name} x{nranks} (mp)"
+    )

@@ -1,0 +1,273 @@
+"""Synthetic program models — the workload substrate.
+
+The paper evaluates ``hpcviewer`` on profiles of real applications (S3D,
+MOAB, PFLOTRAN) measured with hardware counters on production machines.
+Neither the applications nor the hardware are available here, so this
+module provides a small declarative DSL for *synthetic programs*: modules,
+procedures, loop nests, statements with explicit cost vectors, and call
+sites — including recursive and context-dependent calls.
+
+A synthetic program is *executed* by :mod:`repro.sim.executor`, which
+walks the model and emits call-path samples exactly like the measurement
+substrate (:mod:`repro.hpcrun`) does for real Python programs.  The static
+structure of a synthetic program is recovered by
+:mod:`repro.hpcstruct.synthstruct`.  Everything downstream (correlation,
+attribution, views, presentation) is therefore exercised on the same code
+paths as for real measurements — only the sample generator differs.
+
+Costs, trip counts and call counts may be plain numbers/dicts or callables
+of an :class:`ExecContext`, enabling context-dependent behaviour (e.g. the
+recursive procedure ``g`` of Figure 1, whose work depends on its caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence, Union
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "ExecContext",
+    "Work",
+    "Loop",
+    "Call",
+    "Inlined",
+    "Procedure",
+    "Module",
+    "Program",
+    "CostLike",
+    "NumberLike",
+    "resolve_number",
+    "resolve_costs",
+]
+
+#: A cost vector {metric name: amount}, or a callable producing one.
+CostLike = Union[Mapping[str, float], Callable[["ExecContext"], Mapping[str, float]], None]
+#: A scalar count, or a callable producing one.
+NumberLike = Union[int, float, Callable[["ExecContext"], float]]
+
+
+@dataclass(slots=True)
+class ExecContext:
+    """Execution context handed to callable costs/counts.
+
+    ``path`` is the dynamic chain of procedure names, outermost first,
+    including the currently executing procedure.  ``rank`` identifies the
+    simulated SPMD process.  ``params`` carries workload parameters (grid
+    sizes, species counts, …).  ``rng`` is a seeded ``numpy`` generator for
+    stochastic workloads.
+    """
+
+    path: tuple[str, ...]
+    rank: int = 0
+    nranks: int = 1
+    params: dict = field(default_factory=dict)
+    rng: object = None
+    multiplier: float = 1.0
+
+    @property
+    def current(self) -> str:
+        return self.path[-1]
+
+    @property
+    def caller(self) -> str | None:
+        return self.path[-2] if len(self.path) >= 2 else None
+
+    def depth_of(self, proc_name: str) -> int:
+        """Number of frames of *proc_name* on the current path."""
+        return sum(1 for p in self.path if p == proc_name)
+
+    def called_from(self, *chain: str) -> bool:
+        """True when the path (excluding current) ends with *chain*."""
+        prefix = self.path[:-1]
+        n = len(chain)
+        return len(prefix) >= n and prefix[-n:] == tuple(chain)
+
+
+def resolve_number(value: NumberLike, ctx: ExecContext) -> float:
+    out = value(ctx) if callable(value) else value
+    return float(out)
+
+
+def resolve_costs(value: CostLike, ctx: ExecContext) -> dict[str, float]:
+    if value is None:
+        return {}
+    out = value(ctx) if callable(value) else value
+    return {name: float(v) for name, v in out.items() if float(v) != 0.0}
+
+
+@dataclass(slots=True)
+class Work:
+    """A statement at *line* incurring *costs* each execution."""
+
+    line: int
+    costs: CostLike = None
+
+
+@dataclass(slots=True)
+class Loop:
+    """A loop whose body executes *trips* times per entry.
+
+    ``line``/``end_line`` delimit the loop in the synthetic source; nested
+    statements and calls must have lines inside this range for structure
+    correlation to nest them correctly.
+    """
+
+    line: int
+    body: Sequence["Statement"]
+    trips: NumberLike = 1
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.end_line:
+            self.end_line = max(
+                [self.line]
+                + [s.end_line if isinstance(s, (Loop, Inlined)) else s.line
+                   for s in self.body]
+            )
+
+
+@dataclass(slots=True)
+class Call:
+    """A call site at *line* invoking *callee* ``count`` times per execution.
+
+    ``site_costs`` is cost attributed to the call instruction itself (the
+    paper's "cost associated with the call site line").
+    """
+
+    line: int
+    callee: str
+    count: NumberLike = 1
+    site_costs: CostLike = None
+
+
+@dataclass(slots=True)
+class Inlined:
+    """Compiler-inlined code: a named body executing inside the caller's frame.
+
+    Models what ``hpcstruct`` recovers as inlined procedures: the work runs
+    in the enclosing frame (no new dynamic scope) but is attributed to an
+    ``INLINED_PROC`` static scope spanning ``line``–``end_line``.  Inlined
+    scopes nest freely inside loops and other inlined scopes, reproducing
+    the multi-level inlining hierarchies of the paper's Figure 5.
+    """
+
+    line: int
+    name: str
+    body: Sequence["Statement"] = ()
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.end_line:
+            self.end_line = max(
+                [self.line]
+                + [s.end_line if isinstance(s, (Loop, Inlined)) else s.line
+                   for s in self.body]
+            )
+
+
+Statement = Union[Work, Loop, Call, Inlined]
+
+
+@dataclass(slots=True)
+class Procedure:
+    """A synthetic procedure: a name, source extent, and a body."""
+
+    name: str
+    line: int
+    body: Sequence[Statement] = ()
+    end_line: int = 0
+    #: pretty name for display (e.g. demangled C++); defaults to name
+    display_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.end_line:
+            last = self.line
+            for stmt in self.body:
+                last = max(
+                    last,
+                    stmt.end_line if isinstance(stmt, (Loop, Inlined)) else stmt.line,
+                )
+            self.end_line = last
+        if not self.display_name:
+            self.display_name = self.name
+
+
+@dataclass(slots=True)
+class Module:
+    """A source file grouping procedures."""
+
+    path: str
+    procedures: Sequence[Procedure] = ()
+
+
+@dataclass(slots=True)
+class Program:
+    """A whole synthetic program.
+
+    ``entry`` names the procedure where execution starts; ``load_module``
+    is the binary name the structure model reports; ``metrics`` lists the
+    metric names this program's costs mention, with their units, so that
+    executors can pre-register a consistent metric table.
+    """
+
+    name: str
+    modules: Sequence[Module]
+    entry: str = "main"
+    load_module: str = ""
+    metrics: Sequence[tuple[str, str]] = ()
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.load_module:
+            self.load_module = self.name
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        seen: dict[str, str] = {}
+        for module in self.modules:
+            for proc in module.procedures:
+                if proc.name in seen:
+                    raise SimulationError(
+                        f"procedure {proc.name!r} defined in both "
+                        f"{seen[proc.name]!r} and {module.path!r}; synthetic "
+                        f"procedure names must be program-unique"
+                    )
+                seen[proc.name] = module.path
+        if self.entry not in seen:
+            raise SimulationError(f"entry procedure {self.entry!r} is not defined")
+        for module in self.modules:
+            for proc in module.procedures:
+                for call in _iter_calls(proc.body):
+                    if call.callee not in seen:
+                        raise SimulationError(
+                            f"{proc.name!r} calls undefined procedure {call.callee!r}"
+                        )
+
+    def procedure(self, name: str) -> Procedure:
+        for module in self.modules:
+            for proc in module.procedures:
+                if proc.name == name:
+                    return proc
+        raise SimulationError(f"unknown procedure {name!r}")
+
+    def module_of(self, proc_name: str) -> Module:
+        for module in self.modules:
+            for proc in module.procedures:
+                if proc.name == proc_name:
+                    return module
+        raise SimulationError(f"unknown procedure {proc_name!r}")
+
+    def metric_names(self) -> list[str]:
+        """All metric names referenced by the program's declaration."""
+        return [name for name, _unit in self.metrics]
+
+
+def _iter_calls(body: Sequence[Statement]):
+    for stmt in body:
+        if isinstance(stmt, Call):
+            yield stmt
+        elif isinstance(stmt, (Loop, Inlined)):
+            yield from _iter_calls(stmt.body)

@@ -1,0 +1,52 @@
+"""SPMD execution of synthetic programs — the parallel-measurement substrate.
+
+Runs one :class:`~repro.sim.program.Program` once per simulated MPI rank
+(each rank sees its ``rank``/``nranks`` in the :class:`ExecContext`, so
+workloads can model data decomposition and load imbalance), producing the
+same set of per-rank call path profiles ``hpcrun`` would write for a real
+MPI job.  The profiles then flow through the standard post-mortem
+pipeline: per-rank correlation, merging, and statistical summarization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import SimulationError
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.profile_data import ProfileData
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.program import Program
+
+__all__ = ["run_spmd", "spmd_experiment"]
+
+
+def run_spmd(
+    program: Program,
+    nranks: int,
+    params: dict | None = None,
+    seed: int = 12345,
+) -> list[ProfileData]:
+    """Execute *program* on ``nranks`` simulated ranks; per-rank profiles."""
+    if nranks < 1:
+        raise SimulationError(f"nranks must be >= 1, got {nranks}")
+    return [
+        execute(program, rank=rank, nranks=nranks, params=params, seed=seed)
+        for rank in range(nranks)
+    ]
+
+
+def spmd_experiment(
+    program: Program,
+    nranks: int,
+    params: dict | None = None,
+    seed: int = 12345,
+    name: str = "",
+) -> Experiment:
+    """Run SPMD and assemble the merged experiment in one step."""
+    profiles = run_spmd(program, nranks, params=params, seed=seed)
+    structure = build_structure(program)
+    return Experiment.from_profiles(
+        profiles, structure, name=name or f"{program.name} x{nranks}"
+    )

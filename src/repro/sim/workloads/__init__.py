@@ -1,0 +1,1 @@
+"""Calibrated workload models: Figure 1, S3D, MOAB, PFLOTRAN."""

@@ -1,0 +1,118 @@
+"""The example program of the paper's Figure 1.
+
+Two files::
+
+    file1.c                      file2.c
+    1  f() {                     1  // recursive function
+    2    g();                    2  g() {
+    3  }                         3    if (..) g();
+    5  // main routine           4    if (..) h();
+    6  m() {                     5  }
+    7    f();                    7  h() {
+    8    g();                    8    for (..)   // l1
+    9  }                         9      for (..) // l2
+                                 10       ...    // work
+    }
+
+``g`` is context-sensitive: called from ``f`` it recurses once (creating
+the nested instance g2, which then calls ``h``); called from ``m`` it does
+local work only.  Costs are chosen so that the calling context tree of
+Figure 2a is reproduced exactly::
+
+    m (10, 0) -> f (7, 1) -> g1 (6, 1) -> g2 (5, 1) -> h (4, 4) -> l1 (4, 0) -> l2 (4, 4)
+              -> g3 (3, 3)
+
+(inclusive, exclusive) per node, for the single metric ``cycles``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.program import Call, ExecContext, Loop, Module, Procedure, Program, Work
+
+__all__ = ["build", "METRIC"]
+
+METRIC = "cycles"
+
+
+def _g_self_cost(ctx: ExecContext) -> dict[str, float]:
+    # g3 (called from m) does 3 units of local work; g1/g2 do 1 each.
+    return {METRIC: 3.0 if ctx.caller == "m" else 1.0}
+
+
+def _g_recurses(ctx: ExecContext) -> float:
+    # only the instance called from f recurses (g1 -> g2)
+    return 1.0 if ctx.caller == "f" else 0.0
+
+
+def _g_calls_h(ctx: ExecContext) -> float:
+    # only the recursive instance (called from g) calls h (g2 -> h)
+    return 1.0 if ctx.caller == "g" else 0.0
+
+
+def build() -> Program:
+    """Construct the Figure 1 program model."""
+    file1 = Module(
+        path="file1.c",
+        procedures=[
+            Procedure(
+                name="f",
+                line=1,
+                end_line=3,
+                body=[
+                    Work(line=1, costs={METRIC: 1.0}),
+                    Call(line=2, callee="g"),
+                ],
+            ),
+            Procedure(
+                name="m",
+                line=6,
+                end_line=9,
+                body=[
+                    Call(line=7, callee="f"),
+                    Call(line=8, callee="g"),
+                ],
+            ),
+        ],
+    )
+    file2 = Module(
+        path="file2.c",
+        procedures=[
+            Procedure(
+                name="g",
+                line=2,
+                end_line=5,
+                body=[
+                    Work(line=2, costs=_g_self_cost),
+                    Call(line=3, callee="g", count=_g_recurses),
+                    Call(line=4, callee="h", count=_g_calls_h),
+                ],
+            ),
+            Procedure(
+                name="h",
+                line=7,
+                end_line=10,
+                body=[
+                    Loop(
+                        line=8,
+                        end_line=10,
+                        trips=2,
+                        body=[
+                            Loop(
+                                line=9,
+                                end_line=10,
+                                trips=2,
+                                body=[Work(line=10, costs={METRIC: 1.0})],
+                            )
+                        ],
+                    )
+                ],
+            ),
+        ],
+    )
+    return Program(
+        name="fig1",
+        modules=[file1, file2],
+        entry="m",
+        load_module="fig1.exe",
+        metrics=[(METRIC, "cycles")],
+    )

@@ -1,0 +1,250 @@
+"""PFLOTRAN — synthetic model of the subsurface-flow code (Figure 7).
+
+The paper's load-imbalance case study: PFLOTRAN modeling steady-state
+groundwater flow in *heterogeneous porous media* on an 850 x 1000 x 80
+element grid with 15 chemical species per cell, run on the Cray XT5
+partition of Jaguar.  Heterogeneous permeability makes per-subdomain
+solver work uneven, so ranks idle at synchronization points; sorting by
+total inclusive idleness and drilling down with hot path analysis lands
+on the main iteration loop at ``timestepper.F90:384``.
+
+This model reproduces that scenario at laptop scale: each simulated rank
+owns ``nx*ny*nz / nranks`` cells; its work is scaled by a spatially
+correlated lognormal multiplier (:func:`repro.sim.imbalance
+.heterogeneous_media`), and its *idleness* — attributed at the
+``MPI_Allreduce`` synchronization inside the Krylov solve, in full
+calling context — is ``(max over ranks - own work)`` per BSP step.
+
+Metrics: ``PAPI_TOT_CYC`` plus an ``idleness`` cost in the same units.
+"""
+
+from __future__ import annotations
+
+from repro.hpcrun.counters import CYCLES
+from repro.sim.imbalance import heterogeneous_media, work_shares
+from repro.sim.program import Call, ExecContext, Loop, Module, Procedure, Program, Work
+
+__all__ = ["build", "IDLENESS", "DEFAULT_PARAMS", "rank_work_shares"]
+
+IDLENESS = "idleness"
+
+#: paper problem: 850 x 1000 x 80 cells, 15 species.  The defaults here are
+#: scaled down; pass params={"nx": 850, "ny": 1000, "nz": 80} for full size
+#: (costs are closed-form, so full scale is equally fast to simulate).
+DEFAULT_PARAMS = {
+    "nx": 85,
+    "ny": 100,
+    "nz": 8,
+    "species": 15,
+    "steps": 10,
+    "sigma": 0.4,
+    "correlation": 8,
+    "seed": 11,
+    #: cycles of solver work per cell-species-step on a balanced rank
+    "unit_cost": 2.0e-3,
+}
+
+
+_share_cache: dict[tuple, "object"] = {}
+
+
+def _shares(params: dict, nranks: int):
+    """All ranks' work multipliers, memoized (the model is deterministic)."""
+    key = (params["sigma"], params["correlation"], params["seed"], nranks)
+    shares = _share_cache.get(key)
+    if shares is None:
+        model = heterogeneous_media(
+            sigma=params["sigma"],
+            correlation=params["correlation"],
+            seed=params["seed"],
+        )
+        shares = work_shares(model, nranks)
+        # normalize to mean 1.0: the decomposition conserves total work,
+        # only its distribution is heterogeneous
+        shares = shares / shares.mean()
+        _share_cache[key] = shares
+    return shares
+
+
+def rank_work_shares(params: dict, nranks: int):
+    """Work multipliers for every rank (what the imbalance model yields)."""
+    return _shares({**DEFAULT_PARAMS, **params}, nranks)
+
+
+def _params(ctx: ExecContext) -> dict:
+    return {**DEFAULT_PARAMS, **ctx.params}
+
+
+def _cells_per_rank(p: dict, nranks: int) -> float:
+    return p["nx"] * p["ny"] * p["nz"] / nranks
+
+
+def _step_work(ctx: ExecContext) -> float:
+    """Solver cycles this rank spends per time step."""
+    p = _params(ctx)
+    share = _shares(p, ctx.nranks)[ctx.rank]
+    return _cells_per_rank(p, ctx.nranks) * p["species"] * p["unit_cost"] * share
+
+
+def _step_idleness(ctx: ExecContext) -> float:
+    """Cycles this rank idles at the step's synchronization point."""
+    p = _params(ctx)
+    shares = _shares(p, ctx.nranks)
+    gap = float(shares.max() - shares[ctx.rank])
+    return _cells_per_rank(p, ctx.nranks) * p["species"] * p["unit_cost"] * gap
+
+
+def build() -> Program:
+    """Construct the PFLOTRAN model."""
+
+    def solve_cost(fraction):
+        def cost(ctx: ExecContext) -> dict[str, float]:
+            return {CYCLES: fraction * _step_work(ctx)}
+
+        return cost
+
+    def sync_cost(ctx: ExecContext) -> dict[str, float]:
+        # collective latency grows ~log2(P): the non-scaling component
+        # that scale-and-difference (Section VI-A) isolates in context
+        import math
+
+        idle = _step_idleness(ctx)
+        collective = 0.02 * _step_work(ctx) * (1.0 + math.log2(max(ctx.nranks, 1)))
+        out = {CYCLES: collective}
+        if idle > 0:
+            out[IDLENESS] = idle
+        return out
+
+    pflotran_f90 = Module(
+        path="pflotran.F90",
+        procedures=[
+            Procedure(
+                name="pflotran_main",
+                line=10,
+                end_line=60,
+                body=[
+                    Work(line=15, costs=lambda ctx: {CYCLES: 0.01 * _step_work(ctx)}),
+                    Call(line=30, callee="timestepper_run"),
+                ],
+            )
+        ],
+    )
+    timestepper_f90 = Module(
+        path="timestepper.F90",
+        procedures=[
+            Procedure(
+                name="timestepper_run",
+                line=360,
+                end_line=430,
+                body=[
+                    Loop(  # the main iteration loop of Figure 7
+                        line=384,
+                        end_line=425,
+                        trips=lambda ctx: _params(ctx)["steps"],
+                        body=[
+                            Call(line=390, callee="flow_solve"),
+                            Call(line=400, callee="reactive_transport_step"),
+                        ],
+                    )
+                ],
+            )
+        ],
+    )
+    flow_f90 = Module(
+        path="flow.F90",
+        procedures=[
+            Procedure(
+                name="flow_solve",
+                line=100,
+                end_line=160,
+                body=[Call(line=120, callee="SNESSolve")],
+            )
+        ],
+    )
+    petsc = Module(
+        path="petscsnes.c",
+        procedures=[
+            Procedure(
+                name="SNESSolve",
+                line=200,
+                end_line=260,
+                body=[
+                    Work(line=205, costs=solve_cost(0.03)),
+                    Loop(  # Newton iterations
+                        line=210,
+                        end_line=255,
+                        body=[Call(line=220, callee="KSPSolve")],
+                    ),
+                ],
+            ),
+            Procedure(
+                name="KSPSolve",
+                line=300,
+                end_line=380,
+                body=[
+                    Loop(  # Krylov iterations
+                        line=310,
+                        end_line=375,
+                        body=[
+                            Call(line=320, callee="MatMult"),
+                            Call(line=340, callee="MPI_Allreduce"),
+                        ],
+                    )
+                ],
+            ),
+            Procedure(
+                name="MatMult",
+                line=400,
+                end_line=440,
+                body=[Work(line=410, costs=solve_cost(0.55))],
+            ),
+        ],
+    )
+    mpi = Module(
+        path="libmpi.so",
+        procedures=[
+            Procedure(
+                name="MPI_Allreduce",
+                line=0,
+                end_line=0,
+                # the synchronization point: idleness accumulates here, in
+                # the full calling context under timestepper.F90:384
+                body=[Work(line=0, costs=sync_cost)],
+            )
+        ],
+    )
+    transport_f90 = Module(
+        path="reactive_transport.F90",
+        procedures=[
+            Procedure(
+                name="reactive_transport_step",
+                line=50,
+                end_line=120,
+                body=[
+                    Loop(  # per-species kinetics
+                        line=60,
+                        end_line=110,
+                        trips=lambda ctx: _params(ctx)["species"],
+                        body=[
+                            Work(
+                                line=70,
+                                costs=lambda ctx: {
+                                    CYCLES: 0.39
+                                    * _step_work(ctx)
+                                    / _params(ctx)["species"]
+                                },
+                            )
+                        ],
+                    )
+                ],
+            )
+        ],
+    )
+    return Program(
+        name="pflotran",
+        modules=[pflotran_f90, timestepper_f90, flow_f90, petsc, mpi, transport_f90],
+        entry="pflotran_main",
+        load_module="pflotran.x",
+        metrics=[(CYCLES, "cycles"), (IDLENESS, "cycles")],
+        params=DEFAULT_PARAMS,
+    )

@@ -1,0 +1,119 @@
+"""Parametric synthetic program families for scaling and stress studies.
+
+Four shape families whose CCT size/shape is controlled precisely:
+
+* :func:`uniform_tree`  — fanout^depth frames; dense, balanced (the
+  Section VII scaling subject);
+* :func:`deep_chain`    — one call chain of configurable length, for
+  navigation-depth and fused-line studies;
+* :func:`wide_flat`     — many sibling procedures under one driver, for
+  sorting/rendering-width studies;
+* :func:`recursive_ladder` — self-recursion of configurable depth under
+  several distinct contexts, for exposed-instance stress tests.
+"""
+
+from __future__ import annotations
+
+from repro.sim.program import Call, Loop, Module, Procedure, Program, Work
+
+__all__ = ["uniform_tree", "deep_chain", "wide_flat", "recursive_ladder"]
+
+_METRIC = "cycles"
+
+
+def uniform_tree(fanout: int = 8, depth: int = 3,
+                 metric: str = _METRIC) -> Program:
+    """A program whose CCT is a uniform tree: fanout^depth leaf frames.
+
+    Procedures ``p<level>_<i>`` each call every procedure of the next
+    level, giving ``fanout^level`` frames at each level.
+    """
+    procs: list[Procedure] = []
+    for level in range(depth + 1):
+        for i in range(fanout if level > 0 else 1):
+            body = [Work(line=2, costs={metric: float(1 + (i % 3))})]
+            if level < depth:
+                body.extend(
+                    Call(line=10 + j, callee=f"p{level + 1}_{j}")
+                    for j in range(fanout)
+                )
+            procs.append(
+                Procedure(name=f"p{level}_{i}", line=1,
+                          end_line=20 + fanout, body=body)
+            )
+    return Program(
+        name=f"tree-{fanout}x{depth}",
+        modules=[Module(path="tree.c", procedures=procs)],
+        entry="p0_0",
+        metrics=[(metric, "cycles")],
+    )
+
+
+def deep_chain(length: int = 50, with_loops: bool = True,
+               metric: str = _METRIC) -> Program:
+    """One call chain ``c0 -> c1 -> … -> c<length>``, optionally with a
+    loop wrapped around every call site."""
+    procs: list[Procedure] = []
+    for i in range(length + 1):
+        body: list = [Work(line=2, costs={metric: 1.0})]
+        if i < length:
+            call = Call(line=5, callee=f"c{i + 1}")
+            if with_loops:
+                body.append(Loop(line=4, end_line=6, body=[call]))
+            else:
+                body.append(call)
+        procs.append(Procedure(name=f"c{i}", line=1, end_line=8, body=body))
+    return Program(
+        name=f"chain-{length}",
+        modules=[Module(path="chain.c", procedures=procs)],
+        entry="c0",
+        metrics=[(metric, "cycles")],
+    )
+
+
+def wide_flat(width: int = 200, metric: str = _METRIC) -> Program:
+    """A driver calling *width* distinct leaf procedures once each."""
+    leaves = [
+        Procedure(name=f"leaf{i}", line=1, end_line=4,
+                  body=[Work(line=2, costs={metric: float(i + 1)})])
+        for i in range(width)
+    ]
+    driver = Procedure(
+        name="driver", line=1, end_line=10 + width,
+        body=[Call(line=10 + i, callee=f"leaf{i}") for i in range(width)],
+    )
+    return Program(
+        name=f"wide-{width}",
+        modules=[
+            Module(path="driver.c", procedures=[driver]),
+            Module(path="leaves.c", procedures=leaves),
+        ],
+        entry="driver",
+        metrics=[(metric, "cycles")],
+    )
+
+
+def recursive_ladder(depth: int = 10, contexts: int = 3,
+                     metric: str = _METRIC) -> Program:
+    """Self-recursion *depth* frames deep, entered from several distinct
+    call sites — the exposed-instance rule's stress case."""
+    rec = Procedure(
+        name="rec", line=10, end_line=16,
+        body=[
+            Work(line=11, costs={metric: 1.0}),
+            Call(
+                line=12, callee="rec",
+                count=lambda ctx, d=depth: 1.0 if ctx.depth_of("rec") < d else 0.0,
+            ),
+        ],
+    )
+    main = Procedure(
+        name="main", line=1, end_line=2 + contexts,
+        body=[Call(line=2 + i, callee="rec") for i in range(contexts)],
+    )
+    return Program(
+        name=f"ladder-{depth}x{contexts}",
+        modules=[Module(path="ladder.c", procedures=[main, rec])],
+        entry="main",
+        metrics=[(metric, "cycles")],
+    )

@@ -1,0 +1,1 @@
+"""Presentation layer: tree-tabular rendering, navigation, charts."""

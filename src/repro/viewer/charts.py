@@ -1,0 +1,89 @@
+"""ASCII charts for per-rank metric vectors (the paper's Figure 7).
+
+Figure 7 presents a scope's inclusive metric across all MPI processes in
+three ways: a raw scatter (value vs. rank), the same values sorted, and a
+histogram — together they make uneven work partitions obvious at a
+glance.  These renderers reproduce that presentation in plain text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_scatter", "render_sorted", "render_histogram", "render_rank_panel"]
+
+
+def _plot_series(values: np.ndarray, width: int, height: int, title: str) -> str:
+    """Column plot of a series; row 0 is the top of the chart."""
+    n = len(values)
+    if n == 0:
+        return f"{title}\n(no data)"
+    width = min(width, max(n, 1))
+    # bucket ranks into columns (mean within bucket)
+    edges = np.linspace(0, n, width + 1).astype(int)
+    cols = np.array(
+        [values[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+    )
+    lo, hi = float(cols.min()), float(cols.max())
+    span = hi - lo
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(cols):
+        level = 0 if span == 0 else int(round((v - lo) / span * (height - 1)))
+        y = height - 1 - level
+        grid[y][x] = "*"
+    lines = [title]
+    for y, row in enumerate(grid):
+        label = hi if y == 0 else (lo if y == height - 1 else None)
+        prefix = f"{label:>10.3e} |" if label is not None else f"{'':>10} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>10} +" + "-" * width)
+    lines.append(f"{'':>12}rank 0 .. {n - 1}")
+    return "\n".join(lines)
+
+
+def render_scatter(values: np.ndarray, width: int = 64, height: int = 10,
+                   title: str = "per-rank values") -> str:
+    """Value-vs-rank scatter: reveals spatial patterns of imbalance."""
+    return _plot_series(np.asarray(values, dtype=float), width, height, title)
+
+
+def render_sorted(values: np.ndarray, width: int = 64, height: int = 10,
+                  title: str = "sorted values") -> str:
+    """Sorted plot: the shape of the distribution's tail."""
+    return _plot_series(np.sort(np.asarray(values, dtype=float)), width, height, title)
+
+
+def render_histogram(values: np.ndarray, bins: int = 10, width: int = 48,
+                     title: str = "histogram") -> str:
+    """Histogram of values: multi-modal work distributions stand out."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{title}\n(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:>10.3e}, {hi:>10.3e}) {count:>6d} {bar}")
+    return "\n".join(lines)
+
+
+def render_rank_panel(values: np.ndarray, title: str = "") -> str:
+    """The full Figure 7 panel: scatter + sorted + histogram + statistics."""
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean()) if arr.size else 0.0
+    stats = (
+        f"ranks={arr.size}  mean={mean:.3e}  min={arr.min():.3e}  "
+        f"max={arr.max():.3e}  stddev={arr.std():.3e}  "
+        f"imbalance(max/mean)={arr.max() / mean if mean else 1.0:.2f}"
+        if arr.size
+        else "(no data)"
+    )
+    parts = []
+    if title:
+        parts.append(f"=== {title} ===")
+    parts.append(stats)
+    parts.append(render_scatter(arr))
+    parts.append(render_sorted(arr))
+    parts.append(render_histogram(arr))
+    return "\n\n".join(parts)

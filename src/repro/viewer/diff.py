@@ -1,0 +1,152 @@
+"""Differential presentation of two experiments.
+
+The paper's Section VI-A pinpoints scalability losses by scaling and
+differencing two executions; the related-work section notes Intel PTU's
+cross-experiment derived metrics.  This module provides the view-level
+counterpart: align two experiments' Flat Views by static scope and
+present before/after columns with absolute and relative change — the
+workflow of validating a tuning change (e.g. S3D before/after the flux
+loop transformation of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricFlavor
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.viewer.format import format_value
+
+__all__ = ["DiffRow", "ExperimentDiff"]
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One aligned scope: values from both runs plus the change."""
+
+    name: str
+    category: NodeCategory
+    file: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def speedup(self) -> float:
+        """before/after — >1 means the scope got cheaper."""
+        if self.after == 0.0:
+            return float("inf") if self.before > 0 else 1.0
+        return self.before / self.after
+
+    @property
+    def only_before(self) -> bool:
+        return self.after == 0.0 and self.before != 0.0
+
+    @property
+    def only_after(self) -> bool:
+        return self.before == 0.0 and self.after != 0.0
+
+
+class ExperimentDiff:
+    """Scope-aligned comparison of one metric across two experiments."""
+
+    def __init__(
+        self,
+        before: Experiment,
+        after: Experiment,
+        metric: str,
+        flavor: MetricFlavor = MetricFlavor.INCLUSIVE,
+        granularity: NodeCategory = NodeCategory.PROCEDURE,
+    ) -> None:
+        if metric not in before.metrics or metric not in after.metrics:
+            raise ViewError(f"metric {metric!r} must exist in both experiments")
+        if granularity not in (NodeCategory.PROCEDURE, NodeCategory.LOOP):
+            raise ViewError("diff granularity must be PROCEDURE or LOOP")
+        self.before = before
+        self.after = after
+        self.metric = metric
+        self.flavor = flavor
+        self.granularity = granularity
+        self.rows = self._align()
+
+    # ------------------------------------------------------------------ #
+    def _collect(self, exp: Experiment) -> dict[tuple, tuple]:
+        """(file, name, line) -> (value, category) at the granularity."""
+        mid = exp.metric_id(self.metric)
+        out: dict[tuple, tuple] = {}
+        flat = exp.flat_view()
+        for file_row in flat.roots:
+            for node in file_row.walk():
+                if node.category is not self.granularity:
+                    continue
+                store = (
+                    node.inclusive
+                    if self.flavor is MetricFlavor.INCLUSIVE
+                    else node.exclusive
+                )
+                key = (node.file, node.name, node.line)
+                prev = out.get(key, (0.0, node.category))
+                out[key] = (prev[0] + store.get(mid, 0.0), node.category)
+        return out
+
+    def _align(self) -> list[DiffRow]:
+        before_vals = self._collect(self.before)
+        after_vals = self._collect(self.after)
+        rows = []
+        for key in sorted(set(before_vals) | set(after_vals)):
+            file, name, _line = key
+            b, cat_b = before_vals.get(key, (0.0, self.granularity))
+            a, _cat_a = after_vals.get(key, (0.0, cat_b))
+            if b == 0.0 and a == 0.0:
+                continue
+            rows.append(DiffRow(name=name, category=cat_b, file=file,
+                                before=b, after=a))
+        rows.sort(key=lambda r: -abs(r.delta))
+        return rows
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[DiffRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_speedup(self) -> float:
+        b = self.before.total(self.metric)
+        a = self.after.total(self.metric)
+        return b / a if a else float("inf")
+
+    def improved(self, min_speedup: float = 1.05) -> list[DiffRow]:
+        return [r for r in self.rows if r.speedup >= min_speedup]
+
+    def regressed(self, max_speedup: float = 0.95) -> list[DiffRow]:
+        return [r for r in self.rows if r.speedup <= max_speedup]
+
+    def render(self, top: int = 20) -> str:
+        """Tabular before/after listing, biggest movers first."""
+        flavor = self.flavor.value
+        lines = [
+            f"diff of {self.metric} ({flavor}) — "
+            f"{self.before.name} vs {self.after.name}; "
+            f"overall speedup {self.total_speedup:.2f}x",
+            f"{'scope':<42} {'before':>10} {'after':>10} "
+            f"{'delta':>10} {'speedup':>8}",
+        ]
+        for row in self.rows[:top]:
+            speed = ("inf" if row.speedup == float("inf")
+                     else f"{row.speedup:.2f}x")
+            lines.append(
+                f"{row.name[:42]:<42} {format_value(row.before):>10} "
+                f"{format_value(row.after):>10} "
+                f"{format_value(row.delta):>10} {speed:>8}"
+            )
+        if len(self.rows) > top:
+            lines.append(f"... ({len(self.rows) - top} more scopes)")
+        return "\n".join(lines)

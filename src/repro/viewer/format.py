@@ -1,0 +1,72 @@
+"""Metric cell formatting (Section V-A's presentation rules).
+
+Two of the paper's explicit principles live here:
+
+* "Any metric table cell where data is zero is left blank.  Blank cells
+  can be understood at a glance; explicitly representing zeros invites
+  the user to gaze upon cells only to find they contain no useful
+  information."
+* "Instead of displaying naively long and painful numbers, hpcviewer
+  only displays the metrics with scientific notation with simple and
+  intuitively readable format."
+
+A formatted cell is ``"4.19e+07 41.4%"`` — value in scientific notation
+plus percent of the experiment-aggregate total — or the empty string for
+zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "format_value",
+    "format_percent",
+    "format_cell",
+    "CELL_WIDTH",
+    "VALUE_WIDTH",
+    "PERCENT_WIDTH",
+]
+
+VALUE_WIDTH = 8    # "4.19e+07"
+PERCENT_WIDTH = 6  # "100.0%" / " 41.4%"
+CELL_WIDTH = VALUE_WIDTH + 1 + PERCENT_WIDTH
+
+
+def format_value(value: float) -> str:
+    """Scientific-notation rendering; blank for zero; fixed width."""
+    if value == 0.0:
+        return ""
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.2e}"
+
+
+def format_percent(value: float, total: float) -> str:
+    """Percent-of-total rendering; blank when undefined or zero."""
+    if total == 0.0 or value == 0.0:
+        return ""
+    pct = 100.0 * value / total
+    if math.isnan(pct):
+        return ""
+    if abs(pct) >= 99.95:
+        return f"{pct:.0f}%"
+    if abs(pct) < 0.05:
+        # nonzero but below display precision: show 0.0%, never blank —
+        # blank is reserved for exactly-zero cells
+        return "0.0%" if pct > 0 else "-0.0%"
+    return f"{pct:.1f}%"
+
+
+def format_cell(value: float, total: float = 0.0, show_percent: bool = True) -> str:
+    """One metric-pane cell: value plus optional percent, blank if zero."""
+    text = format_value(value)
+    if not text:
+        return ""
+    if show_percent:
+        pct = format_percent(value, total)
+        if pct:
+            return f"{text} {pct}"
+    return text

@@ -1,0 +1,149 @@
+"""An hpcviewer-like analysis session over an experiment.
+
+Bundles the three views, their navigation states, and the operations an
+analyst performs: switch views, sort by a column, expand hot paths,
+define derived metrics, flatten the Flat View, inspect a scope's source.
+Component construction is lazy (the paper's "lazy-startup … components
+are loaded when needed"): a view and its navigation state are built the
+first time they are shown.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import View, ViewKind, ViewNode
+from repro.hpcprof.experiment import Experiment
+from repro.viewer.navigation import NavigationState
+from repro.viewer.table import TableOptions, render_table
+
+__all__ = ["ViewerSession"]
+
+
+class ViewerSession:
+    """Stateful presentation session for one experiment."""
+
+    def __init__(self, experiment: Experiment) -> None:
+        self.experiment = experiment
+        self._views: dict[ViewKind, View] = {}
+        self._states: dict[ViewKind, NavigationState] = {}
+        self.active: ViewKind = ViewKind.CALLING_CONTEXT
+        #: hot-path threshold, adjustable as in the preferences dialog
+        self.hot_path_threshold: float = DEFAULT_THRESHOLD
+
+    # ------------------------------------------------------------------ #
+    # views (lazily constructed)
+    # ------------------------------------------------------------------ #
+    def view(self, kind: ViewKind | None = None) -> View:
+        kind = kind or self.active
+        view = self._views.get(kind)
+        if view is None:
+            if kind is ViewKind.CALLING_CONTEXT:
+                view = self.experiment.calling_context_view()
+            elif kind is ViewKind.CALLERS:
+                view = self.experiment.callers_view()
+            else:
+                view = self.experiment.flat_view()
+            self._views[kind] = view
+        return view
+
+    def state(self, kind: ViewKind | None = None) -> NavigationState:
+        kind = kind or self.active
+        state = self._states.get(kind)
+        if state is None:
+            state = NavigationState(self.view(kind))
+            self._states[kind] = state
+        return state
+
+    def show(self, kind: ViewKind) -> View:
+        """Switch the active tab."""
+        self.active = kind
+        return self.view(kind)
+
+    @property
+    def loaded_views(self) -> int:
+        """How many view tabs have actually been constructed."""
+        return len(self._views)
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def sort_by(self, metric: str, flavor: MetricFlavor = MetricFlavor.INCLUSIVE,
+                descending: bool = True) -> None:
+        spec = self.experiment.spec(metric, flavor)
+        self.state().sort_by(spec, descending=descending)
+
+    def select(self, name: str) -> ViewNode:
+        node = self.view().find(name)
+        self.state().select(node)
+        return node
+
+    def expand_hot_path(
+        self, start: ViewNode | None = None, threshold: float | None = None
+    ) -> HotPathResult:
+        """The flame button on the active view."""
+        return self.state().expand_hot_path(
+            start=start,
+            threshold=threshold if threshold is not None else self.hot_path_threshold,
+        )
+
+    def add_derived_metric(self, name: str, formula: str, unit: str = "") -> None:
+        self.experiment.add_derived_metric(name, formula, unit=unit)
+
+    def flatten(self) -> None:
+        """Flatten the Flat View one level (no-op on other views)."""
+        view = self.view(ViewKind.FLAT)
+        view.flatten()
+
+    def unflatten(self) -> None:
+        self.view(ViewKind.FLAT).unflatten()
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def render(
+        self,
+        kind: ViewKind | None = None,
+        columns: Sequence[MetricSpec] | None = None,
+        expand_depth: int | None = None,
+        options: TableOptions | None = None,
+    ) -> str:
+        kind = kind or self.active
+        view = self.view(kind)
+        state = self.state(kind)
+        if expand_depth is not None:
+            state.expand_to_depth(expand_depth)
+        opts = options or TableOptions()
+        if columns is not None:
+            opts.columns = list(columns)
+        roots = None
+        if kind is ViewKind.FLAT:
+            roots = view.current_roots()  # honor flattening
+        text = render_table(view, state, options=opts, roots=roots)
+        return f"== {view.title}: {self.experiment.name} ==\n{text}"
+
+    def source_pane(self, node: ViewNode, context: int = 3) -> str:
+        """The source pane: lines around a scope (when source exists).
+
+        Selecting a scope in the navigation pane is the *only* way to
+        reach source; scopes from binary-only code report so.
+        """
+        if not node.has_source:
+            return f"<no source available for {node.name}>"
+        path, line = node.file, node.line or (
+            node.struct.location.line if node.struct is not None else 0
+        )
+        if not path or not os.path.exists(path):
+            return f"<source file {path or '?'} not on disk>"
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.readlines()
+        lo = max(0, line - 1 - context)
+        hi = min(len(lines), line + context)
+        out = []
+        for i in range(lo, hi):
+            marker = ">" if i == line - 1 else " "
+            out.append(f"{marker}{i + 1:>6}  {lines[i].rstrip()}")
+        return "\n".join(out)

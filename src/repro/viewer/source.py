@@ -1,0 +1,128 @@
+"""Source-line metric annotation.
+
+The paper's ongoing work includes "effectively presenting metrics
+correlated with object code"; the source-level sibling of that idea is
+implemented here: for one source file, aggregate every statement scope's
+exclusive cost by line (over *all* calling contexts — flat semantics)
+and render the file with a metric gutter.  For synthetic programs whose
+"source" does not exist on disk, the annotation table alone is returned.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.cct import CCTKind
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricValues, add_into
+from repro.hpcprof.experiment import Experiment
+from repro.viewer.format import format_cell
+
+__all__ = ["LineCosts", "annotate_file", "render_annotated_source"]
+
+
+@dataclass(frozen=True)
+class LineCosts:
+    """Exclusive cost of one source line, summed over all contexts."""
+
+    file: str
+    line: int
+    values: MetricValues
+
+
+def annotate_file(experiment: Experiment, file: str) -> list[LineCosts]:
+    """Per-line exclusive costs for one file, heaviest lines first.
+
+    Costs are taken from statement and call-site scopes in the canonical
+    CCT whose enclosing file matches; matching accepts full paths,
+    basenames, or any path suffix (profilers record absolute paths while
+    analysts type basenames).
+    """
+    if not file:
+        raise ViewError("empty file name")
+    by_line: dict[int, MetricValues] = {}
+    matched = False
+    for node in experiment.cct.walk():
+        if node.kind not in (CCTKind.STATEMENT, CCTKind.CALL_SITE):
+            continue
+        node_file = node.file
+        if not _file_matches(node_file, file):
+            continue
+        matched = True
+        if not node.raw:
+            continue
+        slot = by_line.setdefault(node.line, {})
+        add_into(slot, node.raw)
+    if not matched:
+        known = sorted({n.file for n in experiment.cct.walk() if n.file})
+        raise ViewError(
+            f"no scopes from {file!r}; profiled files: {known[:10]}"
+        )
+    rows = [
+        LineCosts(file=file, line=line, values=values)
+        for line, values in by_line.items()
+    ]
+    rows.sort(key=lambda r: -sum(r.values.values()))
+    return rows
+
+
+def _file_matches(node_file: str, query: str) -> bool:
+    if not node_file:
+        return False
+    if node_file == query:
+        return True
+    norm_node = node_file.replace(os.sep, "/")
+    norm_query = query.replace(os.sep, "/")
+    return (
+        norm_node.endswith("/" + norm_query)
+        or os.path.basename(norm_node) == norm_query
+    )
+
+
+def render_annotated_source(
+    experiment: Experiment,
+    file: str,
+    metric: str,
+    context_only: bool = False,
+) -> str:
+    """The file's text with a metric gutter (flat, all contexts).
+
+    When the file is not on disk (synthetic programs, binary-only code),
+    only the costed lines are listed.  ``context_only`` restricts output
+    to lines with nonzero cost plus two lines of context.
+    """
+    mid = experiment.metric_id(metric)
+    total = experiment.total(metric)
+    rows = annotate_file(experiment, file)
+    costs = {r.line: r.values.get(mid, 0.0) for r in rows}
+
+    on_disk = os.path.exists(file)
+    header = f"== {file} annotated with exclusive {metric} =="
+    if not on_disk:
+        lines = [header, f"{'line':>6} {'cost':>17}", "-" * 26]
+        for line in sorted(costs):
+            if costs[line] == 0.0:
+                continue
+            lines.append(f"{line:>6} {format_cell(costs[line], total):>17}")
+        lines.append("(source text not on disk; costed lines only)")
+        return "\n".join(lines)
+
+    with open(file, "r", encoding="utf-8", errors="replace") as fh:
+        text = fh.readlines()
+    keep = set(range(1, len(text) + 1))
+    if context_only:
+        keep = set()
+        for line in costs:
+            keep.update(range(max(1, line - 2), min(len(text), line + 2) + 1))
+    out = [header]
+    previous_kept = 0
+    for number, content in enumerate(text, start=1):
+        if number not in keep:
+            continue
+        if previous_kept and number != previous_kept + 1:
+            out.append("   ...")
+        previous_kept = number
+        gutter = format_cell(costs.get(number, 0.0), total)
+        out.append(f"{gutter:>17} |{number:>5}  {content.rstrip()}")
+    return "\n".join(out)

@@ -1,0 +1,348 @@
+"""An interactive text-mode hpcviewer.
+
+A :mod:`cmd`-based REPL over a :class:`ViewerSession`, mirroring the
+interactions the paper describes: switching among the three view tabs,
+expanding scopes link by link, sorting by any metric column, pressing
+the flame (hot path), flattening the Flat View, defining derived
+metrics, and inspecting source through the navigation pane (the *only*
+route to source — Section V-A).
+
+Usage::
+
+    from repro.viewer.tui import InteractiveViewer
+    InteractiveViewer(experiment).cmdloop()
+
+or non-interactively (how the test-suite drives it)::
+
+    viewer = InteractiveViewer(experiment, stdout=buffer)
+    viewer.onecmd("view callers")
+    viewer.onecmd("sort PAPI_TOT_CYC excl")
+    viewer.onecmd("ls")
+"""
+
+from __future__ import annotations
+
+import cmd
+from typing import IO
+
+from repro.core.errors import ReproError
+from repro.core.filters import FilterSet
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import ViewKind, ViewNode
+from repro.hpcprof.experiment import Experiment
+from repro.viewer.format import format_cell
+from repro.viewer.session import ViewerSession
+from repro.viewer.table import TableOptions, _row_label
+
+__all__ = ["InteractiveViewer"]
+
+_VIEW_ALIASES = {
+    "cct": ViewKind.CALLING_CONTEXT,
+    "calling-context": ViewKind.CALLING_CONTEXT,
+    "callers": ViewKind.CALLERS,
+    "flat": ViewKind.FLAT,
+}
+
+
+class InteractiveViewer(cmd.Cmd):
+    """Interactive tree-tabular presentation of one experiment."""
+
+    intro = ("repro interactive viewer — 'help' lists commands, "
+             "'ls' shows the current view, 'quit' exits.")
+    prompt = "(hpcviewer) "
+
+    def __init__(self, experiment: Experiment,
+                 stdout: IO[str] | None = None) -> None:
+        super().__init__(stdout=stdout)
+        self.session = ViewerSession(experiment)
+        self.max_rows = 30
+        self.filters = FilterSet()
+        #: row number -> node, rebuilt on every listing
+        self._rows: dict[int, ViewNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _node(self, arg: str) -> ViewNode | None:
+        arg = arg.strip()
+        if not arg:
+            node = self.session.state().selected
+            if node is None:
+                self._say("no row selected; pass a row number or 'select N'")
+            return node
+        try:
+            number = int(arg)
+        except ValueError:
+            self._say(f"expected a row number, got {arg!r}")
+            return None
+        node = self._rows.get(number)
+        if node is None:
+            self._say(f"no row #{number} in the last listing; run 'ls'")
+        return node
+
+    def _spec_of(self, name: str, flavor_word: str = "") -> MetricSpec | None:
+        flavor = (MetricFlavor.EXCLUSIVE if flavor_word.startswith("exc")
+                  else MetricFlavor.INCLUSIVE)
+        try:
+            return self.session.experiment.spec(name, flavor)
+        except ReproError as exc:
+            self._say(str(exc))
+            return None
+
+    # ------------------------------------------------------------------ #
+    # view management
+    # ------------------------------------------------------------------ #
+    def do_views(self, _arg: str) -> None:
+        """views — list the three view tabs and which is active."""
+        for alias, kind in (("cct", ViewKind.CALLING_CONTEXT),
+                            ("callers", ViewKind.CALLERS),
+                            ("flat", ViewKind.FLAT)):
+            marker = "*" if kind is self.session.active else " "
+            self._say(f" {marker} {alias:<8} {kind.value}")
+
+    def do_view(self, arg: str) -> None:
+        """view cct|callers|flat — switch the active view tab."""
+        kind = _VIEW_ALIASES.get(arg.strip().lower())
+        if kind is None:
+            self._say(f"unknown view {arg!r}; one of: cct, callers, flat")
+            return
+        self.session.show(kind)
+        self._say(f"now showing {self.session.view().title}")
+
+    def do_ls(self, _arg: str) -> None:
+        """ls — list visible rows of the active view, numbered."""
+        session = self.session
+        view = session.view()
+        state = session.state()
+        column = state.column
+        total = view.total(column)
+        desc = view.metrics.by_id(column.mid)
+        opts = TableOptions()
+        self._say(f"== {view.title}: sorted by {desc.name} "
+                  f"({column.flavor.value}) ==")
+        self._rows.clear()
+        roots = None
+        if session.active is ViewKind.FLAT:
+            roots = view.current_roots()
+        if len(self.filters):
+            roots = self.filters.apply(view, roots)
+        shown = 0
+        for number, (row, depth) in enumerate(
+            self._visible(state, roots), start=1
+        ):
+            if shown >= self.max_rows:
+                self._say(f"... (limit {self.max_rows}; 'top N' to raise)")
+                break
+            self._rows[number] = row
+            label = _row_label(row, state, depth, opts)
+            cell = format_cell(view.value(row, column), total,
+                               show_percent=desc.show_percent)
+            self._say(f"{number:>4} {label:<56} {cell:>17}")
+            shown += 1
+
+    def _visible(self, state, roots):
+        if not len(self.filters):
+            yield from state.visible_rows(roots=roots)
+            return
+
+        view = state.view
+
+        def emit(rows, depth):
+            ordered = sorted(
+                rows, key=lambda r: view.value(r, state.column),
+                reverse=state.descending,
+            )
+            for row in ordered:
+                yield row, depth
+                if state.is_expanded(row):
+                    yield from emit(self.filters.children_of(view, row),
+                                    depth + 1)
+
+        yield from emit(view.roots if roots is None else roots, 0)
+
+    def do_top(self, arg: str) -> None:
+        """top N — show at most N rows in listings."""
+        try:
+            self.max_rows = max(1, int(arg))
+        except ValueError:
+            self._say("usage: top N")
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+    def do_expand(self, arg: str) -> None:
+        """expand N — open row N one level."""
+        node = self._node(arg)
+        if node is not None:
+            self.session.state().expand(node)
+            self.do_ls("")
+
+    def do_collapse(self, arg: str) -> None:
+        """collapse N — close row N."""
+        node = self._node(arg)
+        if node is not None:
+            self.session.state().collapse(node)
+            self.do_ls("")
+
+    def do_select(self, arg: str) -> None:
+        """select N — make row N the current scope."""
+        node = self._node(arg)
+        if node is not None:
+            self.session.state().select(node)
+            self._say(f"selected {node.name}")
+
+    def do_sort(self, arg: str) -> None:
+        """sort <metric> [incl|excl] — sort every level by a column."""
+        parts = arg.split()
+        if not parts:
+            self._say("usage: sort <metric name> [incl|excl]")
+            return
+        flavor_word = parts[-1] if parts[-1] in ("incl", "excl") else ""
+        name = " ".join(parts[:-1]) if flavor_word else arg.strip()
+        spec = self._spec_of(name, flavor_word)
+        if spec is not None:
+            self.session.state().sort_by(spec)
+            self.do_ls("")
+
+    def do_hot(self, arg: str) -> None:
+        """hot [N] — expand the hot path from row N (or the top)."""
+        start = self._node(arg) if arg.strip() else None
+        if arg.strip() and start is None:
+            return
+        result = self.session.expand_hot_path(start=start)
+        self._say("hot path: " + " -> ".join(n.name for n in result.path))
+        self.do_ls("")
+
+    def do_flatten(self, _arg: str) -> None:
+        """flatten — elide the Flat View's current top level."""
+        self.session.flatten()
+        if self.session.active is ViewKind.FLAT:
+            self.do_ls("")
+
+    def do_unflatten(self, _arg: str) -> None:
+        """unflatten — undo one flatten."""
+        self.session.unflatten()
+        if self.session.active is ViewKind.FLAT:
+            self.do_ls("")
+
+    # ------------------------------------------------------------------ #
+    # metrics & filters
+    # ------------------------------------------------------------------ #
+    def do_metrics(self, _arg: str) -> None:
+        """metrics — list metric columns."""
+        for desc in self.session.experiment.metrics:
+            extra = f" = {desc.formula}" if desc.formula else ""
+            self._say(f"  [{desc.mid}] {desc.name} ({desc.kind.value})"
+                      f"{extra}")
+
+    def do_derive(self, arg: str) -> None:
+        """derive <name> := <formula> — define a derived metric ($n refs)."""
+        name, sep, formula = arg.partition(":=")
+        if not sep or not name.strip() or not formula.strip():
+            self._say("usage: derive <name> := <formula>   e.g. "
+                      "derive waste := 4 * $0 - $1")
+            return
+        try:
+            self.session.add_derived_metric(name.strip(), formula.strip())
+        except ReproError as exc:
+            self._say(str(exc))
+            return
+        self._say(f"defined derived metric {name.strip()!r}")
+
+    def do_threshold(self, arg: str) -> None:
+        """threshold P — hide rows below P percent of the total."""
+        try:
+            share = float(arg) / 100.0
+        except ValueError:
+            self._say("usage: threshold <percent>")
+            return
+        try:
+            self.filters.set_threshold(self.session.state().column, share)
+        except ReproError as exc:
+            self._say(str(exc))
+            return
+        self.do_ls("")
+
+    def do_filter(self, arg: str) -> None:
+        """filter <glob> — elide scopes whose name matches the pattern."""
+        if not arg.strip():
+            self._say("usage: filter <glob pattern>")
+            return
+        self.filters.add(arg.strip())
+        self.do_ls("")
+
+    def do_nofilter(self, _arg: str) -> None:
+        """nofilter — clear all filters."""
+        self.filters = FilterSet()
+        self.do_ls("")
+
+    def do_source(self, arg: str) -> None:
+        """source [N] — show source around the selected row."""
+        node = self._node(arg)
+        if node is not None:
+            self._say(self.session.source_pane(node))
+
+    def do_advise(self, _arg: str) -> None:
+        """advise — rule-based tuning suggestions with evidence."""
+        from repro.core.advisor import advise
+
+        suggestions = advise(self.session.experiment)
+        if not suggestions:
+            self._say("no tuning opportunities above the evidence thresholds")
+            return
+        for suggestion in suggestions[:8]:
+            self._say(suggestion.describe())
+
+    def do_find(self, arg: str) -> None:
+        """find <glob> — search the active view, heaviest matches first."""
+        if not arg.strip():
+            self._say("usage: find <glob pattern>")
+            return
+        from repro.core.search import search
+
+        try:
+            hits = search(self.session.view(), arg.strip(),
+                          spec=self.session.state().column, limit=10)
+        except ReproError as exc:
+            self._say(str(exc))
+            return
+        if not hits:
+            self._say("no matches")
+            return
+        for hit in hits:
+            self._say("  " + hit.describe())
+        self.session.state().select(hits[0].node)
+        self._say(f"selected heaviest match: {hits[0].node.name}")
+
+    def do_annotate(self, arg: str) -> None:
+        """annotate <file> [metric] — per-line exclusive costs of a file."""
+        parts = arg.split()
+        if not parts:
+            self._say("usage: annotate <file> [metric]")
+            return
+        metric = (parts[1] if len(parts) > 1
+                  else self.session.experiment.metrics.by_id(0).name)
+        from repro.viewer.source import render_annotated_source
+
+        try:
+            self._say(render_annotated_source(
+                self.session.experiment, parts[0], metric
+            ))
+        except ReproError as exc:
+            self._say(str(exc))
+
+    # ------------------------------------------------------------------ #
+    def do_quit(self, _arg: str) -> bool:
+        """quit — leave the viewer."""
+        return True
+
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:  # re-list rather than repeat last command
+        self.do_ls("")
+
+    def default(self, line: str) -> None:
+        self._say(f"unknown command {line.split()[0]!r}; try 'help'")

@@ -1,0 +1,146 @@
+"""Tests for the gprof baseline and the misattribution comparison.
+
+The point of the baseline is the contrast: on context-dependent and
+recursive programs it *must* misattribute costs the context-sensitive
+views attribute exactly — that contrast is asserted here, not avoided.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.compare import (
+    compare_attribution,
+    exact_caller_costs,
+    max_relative_error,
+)
+from repro.baselines.gprof import GprofProfile
+from repro.core.attribution import attribute
+from repro.hpcprof.correlate import correlate
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.program import Call, ExecContext, Module, Procedure, Program, Work
+from repro.sim.workloads import fig1
+
+
+def cct_of(program):
+    profile = execute(program)
+    cct = correlate(profile, build_structure(program))
+    attribute(cct)
+    return cct
+
+
+def context_dependent_program():
+    """kernel() is cheap from fast_path but expensive from slow_path —
+    equal call counts, very different costs: gprof's blind spot."""
+
+    def kernel_cost(ctx: ExecContext):
+        return {"cycles": 90.0 if ctx.caller == "slow_path" else 10.0}
+
+    return Program(
+        name="ctxdep",
+        modules=[
+            Module(
+                path="ctx.c",
+                procedures=[
+                    Procedure(name="main", line=1, body=[
+                        Call(line=2, callee="fast_path"),
+                        Call(line=3, callee="slow_path"),
+                    ]),
+                    Procedure(name="fast_path", line=10,
+                              body=[Call(line=11, callee="kernel")]),
+                    Procedure(name="slow_path", line=20,
+                              body=[Call(line=21, callee="kernel")]),
+                    Procedure(name="kernel", line=30,
+                              body=[Work(line=31, costs=kernel_cost)]),
+                ],
+            )
+        ],
+        entry="main",
+        metrics=[("cycles", "cycles")],
+    )
+
+
+class TestGprofModel:
+    def test_self_costs_match_flat_truth(self):
+        cct = cct_of(fig1.build())
+        gprof = GprofProfile.from_cct(cct, mid=0)
+        # self costs are context-free, so gprof gets them right:
+        assert gprof.self_cost["h"] == 4.0
+        assert gprof.self_cost["f"] == 1.0
+        assert gprof.self_cost["m"] == 0.0
+        assert gprof.self_cost["g"] == 5.0  # all three instances summed
+
+    def test_arcs(self):
+        cct = cct_of(fig1.build())
+        gprof = GprofProfile.from_cct(cct, mid=0)
+        assert gprof.arc_calls[("m", "f")] == 1.0
+        assert gprof.arc_calls[("m", "g")] == 1.0
+        assert gprof.arc_calls[("f", "g")] == 1.0
+        assert gprof.arc_calls[("g", "g")] == 1.0
+        assert gprof.arc_calls[("g", "h")] == 1.0
+
+    def test_recursion_detected_as_cycle(self):
+        cct = cct_of(fig1.build())
+        gprof = GprofProfile.from_cct(cct, mid=0)
+        assert gprof.in_cycle("g")
+        assert not gprof.in_cycle("h")
+        assert any("g" in cycle for cycle in gprof.cycles)
+
+    def test_acyclic_totals_are_exact(self):
+        """Without recursion or context dependence within an arc, the
+        propagation recovers true inclusive costs."""
+        prog = context_dependent_program()
+        gprof = GprofProfile.from_cct(cct_of(prog), mid=0)
+        assert gprof.total_cost["main"] == pytest.approx(100.0)
+        assert gprof.total_cost["kernel"] == pytest.approx(100.0)
+
+    def test_report_renders(self):
+        gprof = GprofProfile.from_cct(cct_of(fig1.build()), mid=0)
+        text = gprof.report()
+        assert "flat profile" in text
+        assert "g -> h" in text
+        assert "<cycle>" in text
+
+    def test_unknown_arc_query(self):
+        gprof = GprofProfile.from_cct(cct_of(fig1.build()), mid=0)
+        with pytest.raises(Exception):
+            gprof.caller_share("h", "m")
+
+
+class TestMisattribution:
+    def test_context_dependent_costs_split_wrongly(self):
+        """gprof splits kernel's 100 cycles 50/50 by call counts; the truth
+        is 10/90.  The CCT-derived views get it exactly right."""
+        cct = cct_of(context_dependent_program())
+        exact = exact_caller_costs(cct, mid=0)
+        assert exact[("fast_path", "kernel")] == 10.0
+        assert exact[("slow_path", "kernel")] == 90.0
+
+        gprof = GprofProfile.from_cct(cct, mid=0)
+        assert gprof.caller_share("fast_path", "kernel") == pytest.approx(50.0)
+        assert gprof.caller_share("slow_path", "kernel") == pytest.approx(50.0)
+
+        rows = compare_attribution(cct, mid=0)
+        fast = next(r for r in rows if (r.caller, r.callee) == ("fast_path", "kernel"))
+        slow = next(r for r in rows if (r.caller, r.callee) == ("slow_path", "kernel"))
+        assert fast.absolute_error == pytest.approx(40.0)
+        assert slow.absolute_error == pytest.approx(40.0)
+        assert max_relative_error(rows) >= 4.0  # 50 vs 10 -> 400% error
+
+    def test_recursive_costs_misattributed(self):
+        """On Figure 1's program, gprof lumps g's cycle and apportions by
+        counts; the exact per-caller costs (6 via f, 3 via m) differ."""
+        cct = cct_of(fig1.build())
+        exact = exact_caller_costs(cct, mid=0)
+        assert exact[("f", "g")] == 6.0
+        assert exact[("m", "g")] == 3.0
+        rows = compare_attribution(cct, mid=0)
+        fg = next(r for r in rows if (r.caller, r.callee) == ("f", "g"))
+        mg = next(r for r in rows if (r.caller, r.callee) == ("m", "g"))
+        gg = next(r for r in rows if (r.caller, r.callee) == ("g", "g"))
+        # counts are equal, so gprof splits g's 9 units 3/3/3 across the
+        # three arcs: f's true 6 is halved; the recursive arc's 5 becomes 3
+        assert fg.gprof_estimate == pytest.approx(mg.gprof_estimate)
+        assert fg.absolute_error == pytest.approx(3.0)
+        assert gg.absolute_error == pytest.approx(2.0)

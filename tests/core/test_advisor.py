@@ -1,0 +1,94 @@
+"""Tests for the tuning advisor (the paper's ongoing-work feature)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advisor import Advisor, advise
+from repro.hpcprof.experiment import Experiment
+from repro.sim.spmd import spmd_experiment
+from repro.sim.workloads import moab, pflotran, s3d
+
+
+@pytest.fixture(scope="module")
+def s3d_suggestions():
+    return advise(Experiment.from_program(s3d.build()))
+
+
+class TestLoopRules:
+    def test_flux_loop_flagged_memory_bound(self, s3d_suggestions):
+        """The Figure 6 finding, automated: the streaming flux-diffusion
+        loop gets the cache-reuse transformation suggestion."""
+        hits = [s for s in s3d_suggestions if s.rule == "memory-bound-loop"]
+        assert hits
+        assert any("diffflux.f90" in s.location for s in hits)
+        flux = next(s for s in hits if "diffflux.f90" in s.location)
+        assert flux.evidence["efficiency"] == pytest.approx(0.06, abs=0.01)
+        assert "unroll-and-jam" in flux.transformation
+
+    def test_tight_loops_not_flagged_for_tuning(self, s3d_suggestions):
+        """The exp-library loop (39% of peak) lands in 'already tight',
+        matching the paper's reading that it is fairly tightly tuned."""
+        tight = [s for s in s3d_suggestions if s.rule == "already-tight"]
+        assert any("e_exp.c" in s.location for s in tight)
+        # and it is NOT among the memory-bound suggestions
+        memory = [s for s in s3d_suggestions if s.rule == "memory-bound-loop"]
+        assert not any("e_exp.c" in s.location for s in memory)
+
+    def test_suggestions_sorted_by_impact(self, s3d_suggestions):
+        impacts = [s.impact for s in s3d_suggestions]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_small_scopes_ignored(self, s3d_suggestions):
+        assert all(s.impact >= 0.02 for s in s3d_suggestions)
+
+    def test_describe_contains_evidence(self, s3d_suggestions):
+        text = s3d_suggestions[0].describe()
+        assert "evidence:" in text
+        assert "% of cycles" in text
+
+    def test_tuned_binary_drops_the_flux_suggestion(self):
+        tuned = advise(Experiment.from_program(s3d.build(tuned=True)))
+        memory = [s for s in tuned if s.rule == "memory-bound-loop"
+                  and "diffflux.f90" in s.location]
+        # after the 2.9x fix the loop runs at ~17% of peak with the same
+        # misses; it may still warn, but not as the top opportunity
+        if memory:
+            assert memory[0] is not tuned[0]
+
+
+class TestImbalanceRule:
+    def test_pflotran_flags_imbalance(self):
+        exp = spmd_experiment(pflotran.build(), nranks=32)
+        suggestions = advise(exp)
+        imb = [s for s in suggestions if s.rule == "load-imbalance"]
+        assert len(imb) == 1
+        assert imb[0].evidence["cov"] > 0.1
+        assert "repartition" in imb[0].transformation
+        # localized via the idleness hot path
+        assert "MPI_Allreduce" in imb[0].location or "loop" in imb[0].location
+
+    def test_balanced_run_stays_quiet(self):
+        exp = spmd_experiment(pflotran.build(), nranks=4)  # window flattens
+        suggestions = advise(exp)
+        assert not [s for s in suggestions if s.rule == "load-imbalance"]
+
+    def test_serial_run_has_no_imbalance_rule(self, s3d_suggestions):
+        assert not [s for s in s3d_suggestions if s.rule == "load-imbalance"]
+
+
+class TestContextRule:
+    def test_single_context_callee_detected(self):
+        """MOAB's memset: 99% of its misses come from one caller, so the
+        advisor recommends fixing that call path."""
+        exp = Experiment.from_program(moab.build())
+        suggestions = advise(exp)
+        ctx = [s for s in suggestions if s.rule == "single-context-callee"]
+        assert any(s.scope == "_intel_fast_memset.A" for s in ctx)
+
+    def test_thresholds_adjustable(self):
+        exp = Experiment.from_program(s3d.build())
+        advisor = Advisor(exp)
+        advisor.min_impact = 0.5  # absurdly high: nothing qualifies
+        assert [s for s in advisor.advise()
+                if s.rule.endswith("loop")] == []

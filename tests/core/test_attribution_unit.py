@@ -1,0 +1,149 @@
+"""Handcrafted attribution cases pinning Eq. 1/2 corner behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import (
+    aggregate_exposed,
+    attribute,
+    exposed_instances,
+    exposed_sum,
+)
+from repro.core.cct import CCT
+from repro.hpcstruct.model import StructureModel, StructureNode, StructKind, SourceLocation
+
+
+@pytest.fixture()
+def structure():
+    model = StructureModel("unit")
+    lm = model.add_load_module("u.x")
+    f = model.add_file(lm, "u.c")
+    model.add_procedure(f, "p", 1, 40)
+    model.add_procedure(f, "q", 50, 90)
+    return model
+
+
+def loop_struct(proc, line, end):
+    return StructureNode(
+        StructKind.LOOP, f"loop@{line}",
+        SourceLocation(proc.location.file, line, end), parent=proc,
+    )
+
+
+class TestEquationOne:
+    def test_call_site_raw_counts_toward_caller_frame(self, structure):
+        """Cost at the call instruction belongs to the *caller*'s
+        exclusive value (f in Figure 2 earns its 1 this way)."""
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        site = p.ensure_call_site(5)
+        site.add_raw({0: 2.0})
+        q = site.ensure_frame(structure.procedure("q"))
+        q.ensure_statement(55).add_raw({0: 10.0})
+        attribute(cct)
+        assert p.exclusive == {0: 2.0}       # call-line cost only
+        assert q.exclusive == {0: 10.0}
+        assert site.exclusive == {0: 2.0}    # rule 1: the invocation itself
+        assert p.inclusive == {0: 12.0}
+
+    def test_frame_exclusive_spans_loop_nests(self, structure):
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        outer = p.ensure_loop(loop_struct(structure.procedure("p"), 10, 30))
+        inner = outer.ensure_loop(loop_struct(structure.procedure("p"), 15, 25))
+        outer.ensure_statement(11).add_raw({0: 1.0})
+        inner.ensure_statement(16).add_raw({0: 5.0})
+        attribute(cct)
+        # frame: all statements within the frame, any nesting depth
+        assert p.exclusive == {0: 6.0}
+        # loops: direct child statements only
+        assert outer.exclusive == {0: 1.0}
+        assert inner.exclusive == {0: 5.0}
+        assert outer.inclusive == {0: 6.0}
+
+    def test_raw_directly_on_loop_counts_for_it(self, structure):
+        """Samples at the loop-control line itself may be attributed to
+        the loop scope; its exclusive must include them."""
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        loop = p.ensure_loop(loop_struct(structure.procedure("p"), 10, 30))
+        loop.add_raw({0: 3.0})
+        attribute(cct)
+        assert loop.exclusive == {0: 3.0}
+        assert p.exclusive == {0: 3.0}
+
+    def test_frame_exclusive_stops_at_callee_frames(self, structure):
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        loop = p.ensure_loop(loop_struct(structure.procedure("p"), 10, 30))
+        site = loop.ensure_call_site(12)
+        q = site.ensure_frame(structure.procedure("q"))
+        q.ensure_statement(60).add_raw({0: 100.0})
+        attribute(cct)
+        assert p.exclusive == {}          # all cost is in the callee
+        assert p.inclusive == {0: 100.0}
+
+    def test_multiple_metrics_are_independent(self, structure):
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        p.ensure_statement(2).add_raw({0: 1.0, 1: 7.0})
+        p.ensure_statement(3).add_raw({1: 3.0})
+        attribute(cct)
+        assert p.exclusive == {0: 1.0, 1: 10.0}
+        assert cct.root.inclusive == {0: 1.0, 1: 10.0}
+
+    def test_attribute_is_idempotent(self, structure):
+        cct = CCT()
+        p = cct.root.ensure_frame(structure.procedure("p"))
+        p.ensure_statement(2).add_raw({0: 4.0})
+        attribute(cct)
+        first = dict(p.inclusive)
+        attribute(cct)
+        assert p.inclusive == first
+
+    def test_empty_tree(self):
+        cct = CCT()
+        attribute(cct)
+        assert cct.root.inclusive == {}
+        assert cct.root.exclusive == {}
+
+
+class TestExposure:
+    def test_mutual_recursion(self, structure):
+        """p -> q -> p -> q: each procedure has one exposed instance."""
+        cct = CCT()
+        p_struct, q_struct = structure.procedure("p"), structure.procedure("q")
+        p1 = cct.root.ensure_frame(p_struct)
+        q1 = p1.ensure_call_site(5).ensure_frame(q_struct)
+        p2 = q1.ensure_call_site(55).ensure_frame(p_struct)
+        q2 = p2.ensure_call_site(5).ensure_frame(q_struct)
+        q2.ensure_statement(60).add_raw({0: 1.0})
+        for frame, cost in ((p1, 1.0), (q1, 2.0), (p2, 3.0)):
+            frame.ensure_statement(2).add_raw({0: cost})
+        attribute(cct)
+
+        p_exposed = exposed_instances([p1, p2])
+        q_exposed = exposed_instances([q1, q2])
+        assert p_exposed == [p1]
+        assert q_exposed == [q1]
+        # p's exposed inclusive is the whole chain; q's skips only p1's own
+        assert exposed_sum([p1, p2]) == {0: 7.0}
+        assert exposed_sum([q1, q2]) == {0: 6.0}
+        incl, excl = aggregate_exposed([p1, p2])
+        assert incl == {0: 7.0}
+        assert excl == {0: 1.0}
+
+    def test_exposed_sum_exclusive_flavor(self, structure):
+        cct = CCT()
+        p_struct = structure.procedure("p")
+        p1 = cct.root.ensure_frame(p_struct)
+        p1.ensure_statement(2).add_raw({0: 1.0})
+        p2 = p1.ensure_call_site(5).ensure_frame(p_struct)
+        p2.ensure_statement(2).add_raw({0: 2.0})
+        attribute(cct)
+        assert exposed_sum([p1, p2], inclusive=False) == {0: 1.0}
+
+    def test_empty_instance_set(self):
+        assert exposed_instances([]) == []
+        assert exposed_sum([]) == {}

@@ -1,0 +1,120 @@
+"""Golden tests reproducing the paper's Figure 2 numbers exactly.
+
+Figure 2 shows three views of one execution of the Figure 1 program, with
+(inclusive, exclusive) costs per scope.  These tests drive the whole
+pipeline — synthetic execution, structure recovery, correlation,
+attribution, view construction — and assert every number in the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.cct import CCTKind
+from repro.hpcprof.correlate import correlate
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    program = fig1.build()
+    profile = execute(program)
+    structure = build_structure(program)
+    cct = correlate(profile, structure)
+    attribute(cct)
+    mid = profile.metrics.by_name(fig1.METRIC).mid
+    return cct, mid
+
+
+def frame_by_path(cct, names):
+    """Find the frame reached by the chain of procedure names from the root."""
+    node = cct.root
+    for name in names:
+        found = None
+        for frame in _child_frames(node):
+            if frame.name == name:
+                found = frame
+                break
+        assert found is not None, f"no frame {name!r} under {node.name!r}"
+        node = found
+    return node
+
+
+def _child_frames(node):
+    """Frames reachable from *node* without passing through another frame."""
+    out = []
+    stack = list(node.children)
+    while stack:
+        cur = stack.pop()
+        if cur.kind is CCTKind.FRAME:
+            out.append(cur)
+        else:
+            stack.extend(cur.children)
+    return out
+
+
+def iv(node, mid):
+    return node.inclusive.get(mid, 0.0)
+
+
+def ev(node, mid):
+    return node.exclusive.get(mid, 0.0)
+
+
+class TestFig2aCallingContextTree:
+    """Figure 2a: the calling context tree (top-down view)."""
+
+    def test_m(self, experiment):
+        cct, mid = experiment
+        m = frame_by_path(cct, ["m"])
+        assert (iv(m, mid), ev(m, mid)) == (10.0, 0.0)
+
+    def test_f(self, experiment):
+        cct, mid = experiment
+        f = frame_by_path(cct, ["m", "f"])
+        assert (iv(f, mid), ev(f, mid)) == (7.0, 1.0)
+
+    def test_g1(self, experiment):
+        cct, mid = experiment
+        g1 = frame_by_path(cct, ["m", "f", "g"])
+        assert (iv(g1, mid), ev(g1, mid)) == (6.0, 1.0)
+
+    def test_g2(self, experiment):
+        cct, mid = experiment
+        g2 = frame_by_path(cct, ["m", "f", "g", "g"])
+        assert (iv(g2, mid), ev(g2, mid)) == (5.0, 1.0)
+
+    def test_g3(self, experiment):
+        cct, mid = experiment
+        g3 = frame_by_path(cct, ["m", "g"])
+        assert (iv(g3, mid), ev(g3, mid)) == (3.0, 3.0)
+
+    def test_h(self, experiment):
+        cct, mid = experiment
+        h = frame_by_path(cct, ["m", "f", "g", "g", "h"])
+        assert (iv(h, mid), ev(h, mid)) == (4.0, 4.0)
+
+    def test_loops(self, experiment):
+        cct, mid = experiment
+        h = frame_by_path(cct, ["m", "f", "g", "g", "h"])
+        loops = [n for n in h.walk() if n.kind is CCTKind.LOOP]
+        assert len(loops) == 2
+        l1 = next(n for n in loops if n.struct.location.line == 8)
+        l2 = next(n for n in loops if n.struct.location.line == 9)
+        assert (iv(l1, mid), ev(l1, mid)) == (4.0, 0.0)
+        assert (iv(l2, mid), ev(l2, mid)) == (4.0, 4.0)
+        assert l2.parent is l1, "l2 must nest inside l1"
+
+    def test_root_total(self, experiment):
+        cct, mid = experiment
+        assert iv(cct.root, mid) == 10.0
+
+    def test_g_instances_are_distinct_scopes(self, experiment):
+        """Each calling context of g is a distinct scope (g1, g2, g3)."""
+        cct, mid = experiment
+        g_frames = [f for f in cct.frames() if f.name == "g"]
+        assert len(g_frames) == 3
+        assert sorted(iv(g, mid) for g in g_frames) == [3.0, 5.0, 6.0]

@@ -1,0 +1,183 @@
+"""Golden tests for Figures 2b (Callers View) and 2c (Flat View).
+
+Every (inclusive, exclusive) pair printed in the paper's Figure 2 is
+asserted here, including the recursion-sensitive values: the top-level
+Callers View entry for the recursive procedure ``g`` is (9, 4) — the sum
+over *exposed* instances g1=(6,1) and g3=(3,3); the nested instance g2
+contributes only to the recursive-caller child g←g = (5, 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.callers import CallersView
+from repro.core.flat import FlatView
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import NodeCategory
+from repro.hpcprof.correlate import correlate
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = fig1.build()
+    profile = execute(program)
+    structure = build_structure(program)
+    cct = correlate(profile, structure)
+    attribute(cct)
+    mid = profile.metrics.by_name(fig1.METRIC).mid
+    return cct, profile.metrics, mid
+
+
+def pair(node, mid):
+    return (node.inclusive.get(mid, 0.0), node.exclusive.get(mid, 0.0))
+
+
+def child(node_or_view, name):
+    rows = node_or_view.roots if hasattr(node_or_view, "roots") else node_or_view.children
+    matches = [r for r in rows if r.name == name]
+    assert matches, f"no child {name!r}; have {[r.name for r in rows]}"
+    assert len(matches) == 1, f"ambiguous child {name!r}"
+    return matches[0]
+
+
+class TestFig2bCallersView:
+    @pytest.fixture(scope="class")
+    def view(self, setup):
+        cct, metrics, _ = setup
+        return CallersView(cct, metrics)
+
+    def test_top_level_procedures(self, setup, view):
+        _, _, mid = setup
+        assert pair(child(view, "g"), mid) == (9.0, 4.0)   # g_a
+        assert pair(child(view, "f"), mid) == (7.0, 1.0)   # f_a
+        assert pair(child(view, "h"), mid) == (4.0, 4.0)   # h
+        assert pair(child(view, "m"), mid) == (10.0, 0.0)  # m
+
+    def test_callers_of_g(self, setup, view):
+        _, _, mid = setup
+        g = child(view, "g")
+        assert pair(child(g, "g"), mid) == (5.0, 1.0)   # g_b: g called from g
+        assert pair(child(g, "f"), mid) == (6.0, 1.0)   # f_b: g called from f
+        assert pair(child(g, "m"), mid) == (3.0, 3.0)   # m_a: g called from m
+
+    def test_chain_g_from_g_from_f_from_m(self, setup, view):
+        _, _, mid = setup
+        g = child(view, "g")
+        gb = child(g, "g")
+        fc = child(gb, "f")
+        assert pair(fc, mid) == (5.0, 1.0)              # f_c
+        md = child(fc, "m")
+        assert pair(md, mid) == (5.0, 1.0)              # m_d
+        assert md.children == []                        # m is an entry point
+
+    def test_chain_g_from_f_from_m(self, setup, view):
+        _, _, mid = setup
+        g = child(view, "g")
+        fb = child(g, "f")
+        mc = child(fb, "m")
+        assert pair(mc, mid) == (6.0, 1.0)              # m_c
+
+    def test_callers_of_h(self, setup, view):
+        _, _, mid = setup
+        h = child(view, "h")
+        gc = child(h, "g")
+        assert pair(gc, mid) == (4.0, 4.0)              # g_c
+        gd = child(gc, "g")
+        assert pair(gd, mid) == (4.0, 4.0)              # g_d
+        fd = child(gd, "f")
+        assert pair(fd, mid) == (4.0, 4.0)              # f_d
+        me = child(fd, "m")
+        assert pair(me, mid) == (4.0, 4.0)              # m_e
+
+    def test_callers_of_f(self, setup, view):
+        _, _, mid = setup
+        f = child(view, "f")
+        mb = child(f, "m")
+        assert pair(mb, mid) == (7.0, 1.0)              # m_b
+
+    def test_lazy_construction(self, setup):
+        cct, metrics, _ = setup
+        view = CallersView(cct, metrics)
+        roots = view.roots
+        assert all(not r.is_expanded for r in roots)
+        roots[0].children  # expanding one row leaves the others untouched
+        assert sum(1 for r in roots if r.is_expanded) == 1
+
+
+class TestFig2cFlatView:
+    @pytest.fixture(scope="class")
+    def view(self, setup):
+        cct, metrics, _ = setup
+        return FlatView(cct, metrics)
+
+    def test_files(self, setup, view):
+        _, _, mid = setup
+        assert pair(child(view, "file2.c"), mid) == (9.0, 8.0)
+        assert pair(child(view, "file1.c"), mid) == (10.0, 1.0)
+
+    def test_procedures(self, setup, view):
+        _, _, mid = setup
+        file2 = child(view, "file2.c")
+        file1 = child(view, "file1.c")
+        assert pair(child(file2, "g"), mid) == (9.0, 4.0)   # g_x
+        assert pair(child(file2, "h"), mid) == (4.0, 4.0)   # h_x
+        assert pair(child(file1, "f"), mid) == (7.0, 1.0)   # f_x
+        assert pair(child(file1, "m"), mid) == (10.0, 0.0)  # m
+
+    def test_loops_under_h(self, setup, view):
+        _, _, mid = setup
+        h = child(child(view, "file2.c"), "h")
+        l1 = child(h, "loop at file2.c:8-10")
+        assert pair(l1, mid) == (4.0, 0.0)
+        l2 = child(l1, "loop at file2.c:9-10")
+        assert pair(l2, mid) == (4.0, 4.0)
+
+    def test_fused_call_sites(self, setup, view):
+        """g_y, g_z, g_v, f_y: call sites fused with callee aggregates."""
+        _, _, mid = setup
+        file1 = child(view, "file1.c")
+        f = child(file1, "f")
+        m = child(file1, "m")
+        gy = child(f, "g")                     # f's call to g -> g1
+        assert pair(gy, mid) == (6.0, 1.0)
+        fy = child(m, "f")                     # m's call to f
+        assert pair(fy, mid) == (7.0, 1.0)
+        gv = child(m, "g")                     # m's call to g -> g3
+        assert pair(gv, mid) == (3.0, 3.0)
+        g = child(child(view, "file2.c"), "g")
+        gz = child(g, "g")                     # g's recursive call -> g2
+        assert pair(gz, mid) == (5.0, 1.0)
+
+    def test_rule1_call_site_h_y(self, setup):
+        """h_y of Figure 2c: as a dynamic call-site scope, h's exclusive
+        cost only includes the cost of its invocation (rule 1) — zero here."""
+        cct, metrics, mid = setup
+        view = FlatView(cct, metrics, fused=False)
+        g = child(child(view, "file2.c"), "g")
+        hy = child(g, "h")
+        assert pair(hy, mid) == (4.0, 0.0)
+
+    def test_flatten_exposes_procedures(self, setup, view):
+        cct, metrics, mid = setup
+        view = FlatView(cct, metrics)
+        view.flatten()
+        names = sorted(r.name for r in view.current_roots())
+        assert names == ["f", "g", "h", "m"]
+        view.unflatten()
+        assert sorted(r.name for r in view.current_roots()) == ["file1.c", "file2.c"]
+
+    def test_flatten_keeps_leaves(self, setup):
+        cct, metrics, mid = setup
+        view = FlatView(cct, metrics)
+        for _ in range(10):
+            view.flatten()
+        rows = view.current_roots()
+        assert rows, "flattening to the bottom must keep leaf scopes"
+        assert all(r.is_leaf for r in rows)
+        # total inclusive cost of leaves never exceeds the program total
+        assert sum(r.inclusive.get(mid, 0.0) for r in rows) >= 10.0

@@ -1,0 +1,135 @@
+"""Tests for scope and threshold filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.core.filters import FilterAction, FilterSet, ScopeFilter, ThresholdFilter
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1, s3d
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(s3d.build())
+
+
+class TestScopeFilter:
+    def test_glob_matching(self, exp):
+        filt = ScopeFilter("chemkin*")
+        view = exp.calling_context_view()
+        row = view.find("chemkin_m_reaction_rate")
+        assert filt.matches(row)
+        assert not filt.matches(view.find("rhsf"))
+
+    def test_category_restriction(self, exp):
+        view = exp.calling_context_view()
+        loop_row = next(
+            n for r in view.roots for n in r.walk()
+            if n.category is NodeCategory.LOOP
+        )
+        any_filter = ScopeFilter("loop*")
+        loops_only = ScopeFilter("*", categories=(NodeCategory.LOOP,))
+        assert any_filter.matches(loop_row)
+        assert loops_only.matches(loop_row)
+        assert not loops_only.matches(view.find("rhsf"))
+
+
+class TestElideAndPrune:
+    def test_elide_splices_children(self, exp):
+        """Eliding all loop scopes gives pure call chains — costs intact."""
+        view = exp.calling_context_view()
+        filters = FilterSet().add("*", categories=[NodeCategory.LOOP,
+                                                   NodeCategory.INLINED])
+        roots = filters.apply(view)
+        assert [r.name for r in roots] == ["main"]
+
+        def visible(node):
+            yield node
+            for child in filters.children_of(view, node):
+                yield from visible(child)
+
+        names = {n.name for n in visible(roots[0])}
+        assert "rhsf" in names and "chemkin_m_reaction_rate" in names
+        assert not any(n.startswith("loop at") for n in names)
+
+    def test_prune_drops_subtree(self, exp):
+        view = exp.calling_context_view()
+        filters = FilterSet().add("chemkin*", action=FilterAction.PRUNE)
+        roots = filters.apply(view)
+
+        def visible(node):
+            yield node
+            for child in filters.children_of(view, node):
+                yield from visible(child)
+
+        names = {n.name for n in visible(roots[0])}
+        assert "chemkin_m_reaction_rate" not in names
+        assert "ratt" not in names          # pruned with its parent
+        assert "rhsf" in names
+
+    def test_elide_root_promotes_children(self, exp):
+        view = exp.calling_context_view()
+        filters = FilterSet().add("main")
+        roots = filters.apply(view)
+        names = [r.name for r in roots]
+        assert "main" not in names
+        assert "solve_driver" in names
+
+    def test_first_matching_filter_wins(self, exp):
+        view = exp.calling_context_view()
+        filters = (FilterSet()
+                   .add("rhsf", action=FilterAction.PRUNE)
+                   .add("rhsf", action=FilterAction.ELIDE))
+        roots = filters.apply(view)
+
+        def visible(node):
+            yield node
+            for child in filters.children_of(view, node):
+                yield from visible(child)
+
+        names = {n.name for r in roots for n in visible(r)}
+        assert "chemkin_m_reaction_rate" not in names  # pruned, not elided
+
+
+class TestThreshold:
+    def test_threshold_hides_cold_rows(self, exp):
+        view = exp.calling_context_view()
+        spec = exp.spec("PAPI_TOT_CYC")
+        filters = FilterSet(threshold=ThresholdFilter(spec, min_share=0.05))
+        main = filters.apply(view)[0]
+        children = filters.children_of(view, main)
+        total = exp.total("PAPI_TOT_CYC")
+        # initialize_field is 1.7% of cycles: hidden at a 5% threshold
+        assert all(
+            view.value(c, spec) >= 0.05 * total for c in children
+        )
+        names = {c.name for c in children}
+        assert "initialize_field" not in names
+
+    def test_zero_threshold_keeps_everything(self, exp):
+        view = exp.calling_context_view()
+        spec = exp.spec("PAPI_TOT_CYC")
+        unfiltered = FilterSet()
+        zeroed = FilterSet(threshold=ThresholdFilter(spec, min_share=0.0))
+        assert len(zeroed.apply(view)) == len(unfiltered.apply(view))
+
+    def test_invalid_share(self, exp):
+        spec = exp.spec("PAPI_TOT_CYC")
+        with pytest.raises(ViewError):
+            ThresholdFilter(spec, min_share=1.5)
+
+
+class TestCostPreservation:
+    def test_eliding_never_loses_cost(self):
+        """The union of visible subtrees after eliding covers every cost."""
+        exp = Experiment.from_program(fig1.build())
+        mid = exp.metric_id(fig1.METRIC)
+        view = exp.calling_context_view()
+        filters = FilterSet().add("f")  # elide procedure f rows
+        roots = filters.apply(view)
+        total = sum(r.inclusive.get(mid, 0.0) for r in roots)
+        assert total == 10.0  # m's subtree still accounts for everything

@@ -1,0 +1,77 @@
+"""Tests for metric-ranked scope search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricFlavor
+from repro.core.search import search
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1, s3d
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(s3d.build())
+
+
+class TestSearch:
+    def test_exact_name(self, exp):
+        hits = search(exp.calling_context_view(), "rhsf")
+        assert len(hits) == 1
+        assert hits[0].node.name == "rhsf"
+        assert hits[0].path[0] == "main"
+        assert hits[0].path[-1] == "rhsf"
+
+    def test_glob_ranked_by_metric(self, exp):
+        hits = search(exp.calling_context_view(), "loop at *",
+                      spec=exp.spec("PAPI_TOT_CYC"))
+        values = [h.value for h in hits]
+        assert values == sorted(values, reverse=True)
+        # the time-step loop is the heaviest loop
+        assert "solve_driver.f90" in hits[0].node.name
+
+    def test_share_computed_against_total(self, exp):
+        hits = search(exp.calling_context_view(), "chemkin*")
+        assert hits[0].share == pytest.approx(0.422, abs=0.01)
+
+    def test_category_filter(self, exp):
+        hits = search(exp.flat_view(), "*",
+                      categories=[NodeCategory.PROCEDURE])
+        assert hits
+        assert all(h.node.category is NodeCategory.PROCEDURE for h in hits)
+
+    def test_exclusive_ranking(self, exp):
+        hits = search(exp.flat_view(), "*",
+                      spec=exp.spec("PAPI_TOT_CYC", MetricFlavor.EXCLUSIVE),
+                      categories=[NodeCategory.PROCEDURE])
+        # derivative_m_deriv's own loops make it the top exclusive scorer
+        assert hits[0].node.name == "derivative_m_deriv"
+
+    def test_limit(self, exp):
+        hits = search(exp.calling_context_view(), "*", limit=3)
+        assert len(hits) == 3
+
+    def test_recursive_program_finds_all_instances(self):
+        exp = Experiment.from_program(fig1.build())
+        hits = search(exp.calling_context_view(), "g")
+        assert len(hits) == 3  # g1, g2, g3
+        assert [h.value for h in hits] == [6.0, 5.0, 3.0]
+
+    def test_describe(self, exp):
+        hit = search(exp.calling_context_view(), "rhsf")[0]
+        text = hit.describe()
+        assert "main ->" in text and text.endswith("%)")
+
+    def test_validation(self, exp):
+        view = exp.calling_context_view()
+        with pytest.raises(ViewError):
+            search(view, "")
+        with pytest.raises(ViewError):
+            search(view, "x", limit=0)
+
+    def test_max_nodes_bounds_walk(self, exp):
+        hits = search(exp.calling_context_view(), "*", max_nodes=3)
+        assert len(hits) <= 3

@@ -1,0 +1,110 @@
+"""Unit tests for the ViewNode/View API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import NodeCategory, ViewNode
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1, s3d
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(s3d.build())
+
+
+class TestViewNode:
+    def test_lazy_expansion_runs_once(self):
+        calls = []
+
+        def expander(row):
+            calls.append(row)
+            return [ViewNode("child", NodeCategory.STATEMENT)]
+
+        node = ViewNode("parent", NodeCategory.PROCEDURE, expander=expander)
+        assert not node.is_expanded
+        assert [c.name for c in node.children] == ["child"]
+        assert node.is_expanded
+        node.children
+        assert len(calls) == 1
+        assert node.children[0].parent is node
+
+    def test_no_expander_means_leaf(self):
+        node = ViewNode("leaf", NodeCategory.STATEMENT)
+        assert node.is_leaf
+        assert node.children == []
+
+    def test_set_children_reparents(self):
+        parent = ViewNode("p", NodeCategory.PROCEDURE)
+        child = ViewNode("c", NodeCategory.LOOP)
+        parent.set_children([child])
+        assert child.parent is parent
+        assert parent.depth == 0 and child.depth == 1
+        assert list(child.ancestors()) == [parent]
+
+    def test_value_flavors(self):
+        node = ViewNode("n", NodeCategory.PROCEDURE,
+                        inclusive={0: 10.0}, exclusive={0: 4.0})
+        assert node.value(MetricSpec(0, MetricFlavor.INCLUSIVE)) == 10.0
+        assert node.value(MetricSpec(0, MetricFlavor.EXCLUSIVE)) == 4.0
+        assert node.value(MetricSpec(1, MetricFlavor.INCLUSIVE)) == 0.0
+
+    def test_walk_max_depth(self, exp):
+        root = exp.calling_context_view().roots[0]
+        shallow = list(root.walk(max_depth=1))
+        assert all(n.depth - root.depth <= 1 for n in shallow)
+
+    def test_location(self):
+        node = ViewNode("n", NodeCategory.STATEMENT, file="a.c", line=12)
+        assert node.location() == "a.c:12"
+        assert ViewNode("m", NodeCategory.FILE, file="a.c").location() == "a.c"
+
+
+class TestViewApi:
+    def test_find_category_disambiguation(self, exp):
+        flat = exp.flat_view()
+        row = flat.find("exp", category=NodeCategory.PROCEDURE)
+        assert row.category is NodeCategory.PROCEDURE
+
+    def test_find_missing_raises(self, exp):
+        with pytest.raises(ViewError):
+            exp.calling_context_view().find("not-a-scope")
+
+    def test_find_all(self):
+        e = Experiment.from_program(fig1.build())
+        view = e.calling_context_view()
+        assert len(view.find_all("g")) == 3
+        assert view.find_all("zzz") == []
+
+    def test_invalidate_rebuilds(self, exp):
+        view = exp.calling_context_view()
+        first = view.roots
+        view.invalidate()
+        second = view.roots
+        assert first is not second
+        assert [r.name for r in first] == [r.name for r in second]
+
+    def test_totals_from_cct_root(self, exp):
+        view = exp.flat_view()
+        spec = exp.spec("PAPI_TOT_CYC")
+        assert view.total(spec) == exp.total("PAPI_TOT_CYC")
+
+    def test_derived_value_cached_on_row(self, exp):
+        exp.add_derived_metric("twice", "2 * $0")
+        view = exp.calling_context_view()
+        spec = exp.spec("twice")
+        row = view.roots[0]
+        value = view.value(row, spec)
+        assert value == 2 * exp.total("PAPI_TOT_CYC")
+        assert row.inclusive[spec.mid] == value  # cached
+
+    def test_derived_total(self, exp):
+        exp.metrics.names()  # ensure 'twice' from the previous test or add
+        if "thrice" not in exp.metrics:
+            exp.add_derived_metric("thrice", "3 * $0")
+        view = exp.calling_context_view()
+        spec = exp.spec("thrice")
+        assert view.total(spec) == 3 * exp.total("PAPI_TOT_CYC")

@@ -1,0 +1,127 @@
+"""Tests for the scalable finalization step (partial summary reduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricKind
+from repro.hpcprof.merge import merge_ccts
+from repro.hpcprof.summarize import (
+    Moments,
+    SummaryIds,
+    finalize_partials,
+    partial_summary,
+    reduce_partials,
+    summarize_ranks,
+)
+from repro.sim.spmd import run_spmd
+from repro.sim.workloads import pflotran
+from repro.hpcprof.correlate import correlate
+from repro.hpcstruct.synthstruct import build_structure
+from repro.core.attribution import attribute
+
+
+NRANKS = 16
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    program = pflotran.build()
+    structure = build_structure(program)
+    profiles = run_spmd(program, NRANKS)
+    ccts = []
+    for profile in profiles:
+        cct = correlate(profile, structure)
+        attribute(cct)
+        ccts.append(cct)
+    combined = merge_ccts(ccts)
+    return combined, ccts
+
+
+def fresh_ids(metrics) -> SummaryIds:
+    return SummaryIds(
+        mean=metrics.add("s (mean)", kind=MetricKind.SUMMARY).mid,
+        minimum=metrics.add("s (min)", kind=MetricKind.SUMMARY).mid,
+        maximum=metrics.add("s (max)", kind=MetricKind.SUMMARY).mid,
+        stddev=metrics.add("s (stddev)", kind=MetricKind.SUMMARY).mid,
+    )
+
+
+class TestReductionMatchesDirect:
+    def test_two_way_split(self, ranked):
+        from repro.core.metrics import MetricTable
+
+        combined, ccts = ranked
+        mid = 0
+
+        # direct summarization (the reference)
+        direct_metrics = MetricTable()
+        direct_metrics.add("cycles")
+        direct_ids = summarize_ranks(combined, ccts, direct_metrics, mid)
+        reference = {
+            node.uid: tuple(node.inclusive.get(m, None)
+                            for m in direct_ids.all())
+            for node in combined.walk()
+        }
+        # clear and recompute via partials
+        for node in combined.walk():
+            for m in direct_ids.all():
+                node.inclusive.pop(m, None)
+                node.exclusive.pop(m, None)
+
+        half = NRANKS // 2
+        p1 = partial_summary(combined, ccts[:half], mid)
+        p2 = partial_summary(combined, ccts[half:], mid)
+        reduced = reduce_partials(p1, p2)
+        assert reduced[0] == NRANKS
+        finalize_partials(combined, reduced, direct_metrics, direct_ids)
+
+        for node in combined.walk():
+            got = tuple(node.inclusive.get(m, None) for m in direct_ids.all())
+            want = reference[node.uid]
+            for g, w in zip(got, want):
+                if w is None:
+                    assert g is None
+                else:
+                    assert g == pytest.approx(w, rel=1e-9, abs=1e-9)
+
+    def test_reduction_is_associative(self, ranked):
+        combined, ccts = ranked
+        mid = 0
+        parts = [partial_summary(combined, [cct], mid) for cct in ccts[:6]]
+
+        def stats(p):
+            n, d = p
+            return (n, {u: (m.count, round(m.mean, 9), round(m.m2, 6),
+                            m.minimum, m.maximum) for u, m in d.items()})
+
+        left = parts[0]
+        for p in parts[1:]:
+            left = reduce_partials(left, p)
+        mid_split = reduce_partials(
+            reduce_partials(parts[0], parts[1]),
+            reduce_partials(reduce_partials(parts[2], parts[3]),
+                            reduce_partials(parts[4], parts[5])),
+        )
+        assert stats(left) == stats(mid_split)
+
+    def test_sparse_scope_zero_filling(self, ranked):
+        """A scope present in one slice only must average over ALL ranks."""
+        combined, ccts = ranked
+        mid = 0
+        p1 = partial_summary(combined, ccts[:1], mid)
+        p2 = partial_summary(combined, ccts[1:2], mid)
+        reduced = reduce_partials(p1, p2)
+        _count, parts = reduced
+        root_uid = combined.root.uid
+        assert parts[root_uid].count == 2
+
+    def test_zeros_moments(self):
+        z = Moments.zeros(5)
+        assert z.count == 5 and z.mean == 0.0 and z.stddev == 0.0
+        assert Moments.zeros(0).count == 0
+        combined = Moments.of([10.0])
+        combined.merge(Moments.zeros(4))
+        assert combined.mean == pytest.approx(2.0)
+        assert combined.count == 5

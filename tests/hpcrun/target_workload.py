@@ -1,0 +1,36 @@
+"""A small real Python workload for profiler tests.
+
+Line numbers in this file are referenced by tests — append only.
+"""
+
+
+def inner_kernel(n):
+    total = 0
+    for i in range(n):        # loop A
+        total += i * i
+    return total
+
+
+def middle(n):
+    acc = 0
+    for _ in range(3):        # loop B
+        acc += inner_kernel(n)
+    return acc
+
+
+def recursive(depth, n):
+    if depth == 0:
+        return inner_kernel(n)
+    return recursive(depth - 1, n) + 1
+
+
+class Helper:
+    def method(self, n):
+        return inner_kernel(n)
+
+
+def entry(n=200):
+    a = middle(n)
+    b = recursive(3, n)
+    c = Helper().method(n)
+    return a + b + c

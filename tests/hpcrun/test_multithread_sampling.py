@@ -1,0 +1,88 @@
+"""Tests for all-threads asynchronous sampling."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.hpcrun.sampler import SamplingProfiler
+
+
+def spin(stop_event, label):
+    x = 0.0
+    while not stop_event.is_set():
+        x += 1.0
+    return x
+
+
+def alpha_worker(stop_event):
+    return spin(stop_event, "alpha")
+
+
+def beta_worker(stop_event):
+    return spin(stop_event, "beta")
+
+
+class TestAllThreadsSampling:
+    def test_both_workers_sampled(self):
+        stop = threading.Event()
+        threads = [
+            threading.Thread(target=alpha_worker, args=(stop,), daemon=True),
+            threading.Thread(target=beta_worker, args=(stop,), daemon=True),
+        ]
+        sampler = SamplingProfiler(period=0.002, all_threads=True)
+        for t in threads:
+            t.start()
+        try:
+            with sampler:
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+        assert sampler.samples_taken > 20
+        assert len(sampler.thread_profiles) >= 3  # two workers + main
+
+        procs = set()
+        for profile in sampler.thread_profiles.values():
+            for frames, _line, _costs in profile.paths():
+                procs.update(f.proc for f in frames)
+        assert any("alpha_worker" in p for p in procs)
+        assert any("beta_worker" in p for p in procs)
+
+    def test_merged_profile_combines_threads(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=alpha_worker, args=(stop,),
+                                  daemon=True)
+        sampler = SamplingProfiler(period=0.002, all_threads=True)
+        worker.start()
+        try:
+            with sampler:
+                time.sleep(0.2)
+        finally:
+            stop.set()
+            worker.join()
+
+        merged = sampler.merged_profile()
+        per_thread_total = sum(
+            p.totals().get(0, 0.0) for p in sampler.thread_profiles.values()
+        )
+        assert merged.totals().get(0, 0.0) == pytest.approx(per_thread_total)
+
+    def test_single_thread_merged_is_identity(self):
+        sampler = SamplingProfiler(period=0.001)
+        assert sampler.merged_profile() is sampler.profile
+
+    def test_sampler_never_profiles_itself(self):
+        stop = threading.Event()
+        sampler = SamplingProfiler(period=0.001, all_threads=True)
+        with sampler:
+            time.sleep(0.05)
+        stop.set()
+        for profile in sampler.thread_profiles.values():
+            for frames, _line, _costs in profile.paths():
+                assert not any("repro-sampler" in f.proc for f in frames)
+                assert not any("_sample_all" in f.proc for f in frames)

@@ -1,0 +1,63 @@
+"""Deterministic time attribution in the tracer, via an injected clock."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.hpcrun.tracer import TracingProfiler
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+class FakeClock:
+    """A clock advancing a fixed step per call — fully deterministic."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestDeterministicTiming:
+    def test_time_attributed_per_line_event(self):
+        """With a unit-step clock, every line event is charged exactly
+        one unit to the line *before* it — the attribute-to-previous-line
+        model."""
+        from tests.hpcrun import target_workload
+
+        tracer = TracingProfiler(roots=[HERE], clock=FakeClock(step=1.0))
+        with tracer:
+            target_workload.inner_kernel(5)
+        events_mid = tracer.metrics.by_name("line events").mid
+        time_mid = tracer.metrics.by_name("wall time (s)").mid
+        totals = tracer.profile.totals()
+        # each line event flushes one unit to the previous line; the final
+        # pending line flushes at stop(), so events == time units
+        assert totals[time_mid] == pytest.approx(totals[events_mid])
+
+    def test_loop_lines_accumulate_time(self):
+        from tests.hpcrun import target_workload
+
+        tracer = TracingProfiler(roots=[HERE], clock=FakeClock(step=2.0))
+        with tracer:
+            target_workload.inner_kernel(10)
+        time_mid = tracer.metrics.by_name("wall time (s)").mid
+        per_line: dict[int, float] = {}
+        for frames, line, costs in tracer.profile.paths():
+            if frames[-1].proc == "inner_kernel":
+                per_line[line] = per_line.get(line, 0.0) + costs.get(time_mid, 0.0)
+        # the loop body lines (9, 10) dwarf the prologue/return lines
+        loop_time = per_line.get(9, 0.0) + per_line.get(10, 0.0)
+        other_time = sum(v for k, v in per_line.items() if k not in (9, 10))
+        assert loop_time > 5 * other_time
+
+    def test_no_time_without_events(self):
+        tracer = TracingProfiler(roots=[HERE], clock=FakeClock())
+        tracer.start()
+        tracer.stop()
+        assert tracer.profile.totals() == {}

@@ -1,0 +1,73 @@
+"""Unit tests for Python stack unwinding."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.hpcrun.unwind import FOREIGN_PROC, qualname_of, unwind
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def current_frame():
+    return sys._getframe(0)
+
+
+class TestUnwind:
+    def test_outermost_first_with_call_lines(self):
+        def inner():
+            frames, leaf = unwind(sys._getframe(0))
+            return frames, leaf
+
+        def outer():
+            return inner()
+
+        frames, leaf = outer()
+        names = [f.proc for f in frames]
+        i_outer = next(i for i, n in enumerate(names) if n.endswith(".outer"))
+        i_inner = next(i for i, n in enumerate(names) if n.endswith(".inner"))
+        assert i_outer < i_inner
+        # the inner frame's call_line points into outer's body
+        assert frames[i_inner].call_line > 0
+        assert frames[i_inner].file.endswith("test_unwind.py")
+        assert leaf > 0
+
+    def test_roots_collapse_foreign_frames(self):
+        def inner():
+            return unwind(sys._getframe(0), roots=(HERE,))
+
+        frames, _leaf = inner()
+        # everything above this test file (pytest machinery) collapses
+        assert frames[0].proc == FOREIGN_PROC
+        assert frames[0].file == "<unknown file>"
+        # consecutive foreign frames collapse into ONE scope
+        foreign_count = sum(1 for f in frames if f.proc == FOREIGN_PROC)
+        assert foreign_count == 1
+        assert frames[-1].proc.endswith(".inner")
+
+    def test_roots_skip_mode(self):
+        def inner():
+            return unwind(sys._getframe(0), roots=(HERE,),
+                          collapse_foreign=False)
+
+        frames, _leaf = inner()
+        assert all(f.proc != FOREIGN_PROC for f in frames)
+        assert frames[0].file.endswith("test_unwind.py")
+
+    def test_no_roots_keeps_everything(self):
+        frames, _leaf = unwind(sys._getframe(0))
+        assert all(f.proc != FOREIGN_PROC for f in frames)
+        assert len(frames) > 3  # pytest's own frames included
+
+    def test_qualname_of(self):
+        assert qualname_of(sys._getframe(0)).endswith("test_qualname_of")
+
+        class Helper:
+            def method(self):
+                return qualname_of(sys._getframe(0))
+
+        name = Helper().method()
+        assert name.endswith("Helper.method")

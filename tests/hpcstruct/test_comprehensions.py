@@ -1,0 +1,87 @@
+"""Tests for comprehension-frame recovery (CPython <= 3.11 semantics)."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.hpcstruct.pystruct import build_python_structure
+
+
+@pytest.fixture()
+def make_module(tmp_path):
+    def _make(source: str) -> "StructureModel":
+        path = tmp_path / "comp.py"
+        path.write_text(textwrap.dedent(source))
+        return build_python_structure([str(path)])
+
+    return _make
+
+
+class TestComprehensionScopes:
+    def test_listcomp_in_function(self, make_module):
+        model = make_module(
+            """
+            def f(n):
+                return [i * i for i in range(n)]
+            """
+        )
+        proc = model.find_procedure("f.<locals>.<listcomp>")
+        assert proc is not None
+        assert proc.location.line == 3
+        # the owner records the comprehension line as a call site
+        assert (3, "f.<locals>.<listcomp>") in model.procedure("f").calls
+
+    def test_module_level_comprehension(self, make_module):
+        model = make_module("squares = [i * i for i in range(10)]\n")
+        assert model.find_procedure("<listcomp>") is not None
+
+    def test_all_comprehension_kinds(self, make_module):
+        model = make_module(
+            """
+            def f(n):
+                a = [i for i in range(n)]
+                b = {i for i in range(n)}
+                c = {i: i for i in range(n)}
+                d = sum(i for i in range(n))
+                return a, b, c, d
+            """
+        )
+        for kind in ("<listcomp>", "<setcomp>", "<dictcomp>", "<genexpr>"):
+            assert model.find_procedure(f"f.<locals>.{kind}") is not None
+
+    @pytest.mark.skipif(sys.version_info >= (3, 12),
+                        reason="PEP 709 inlines comprehensions from 3.12")
+    def test_traced_comprehension_correlates(self, tmp_path):
+        """End to end: a profiled comprehension frame lands in its own
+        procedure scope instead of the <unknown> module."""
+        import os
+
+        from repro.hpcprof.experiment import Experiment
+        from repro.hpcrun.tracer import trace_call
+
+        path = tmp_path / "workc.py"
+        path.write_text(textwrap.dedent(
+            """
+            def crunch(n):
+                return sum([i * i for i in range(n)])
+            """
+        ))
+        namespace: dict = {}
+        exec(compile(path.read_text(), str(path), "exec"), namespace)
+        _res, profile = trace_call(namespace["crunch"], 300,
+                                   roots=[str(tmp_path)])
+        structure = build_python_structure([str(path)])
+        exp = Experiment.from_profile(profile, structure)
+        callers = exp.callers_view()
+        comp = next(
+            (r for r in callers.roots if r.name.endswith("<listcomp>")), None
+        )
+        assert comp is not None
+        assert {c.name for c in comp.children} == {"crunch"}
+        # the comprehension body dominates crunch's cost
+        events = exp.metric_id("line events")
+        crunch_row = next(r for r in callers.roots if r.name == "crunch")
+        assert comp.inclusive[events] > 0.5 * crunch_row.inclusive[events]

@@ -1,0 +1,107 @@
+"""Hypothesis strategies for property-based testing.
+
+The central strategy builds *random canonical CCTs* directly through the
+tree API: random call chains over a small procedure pool (repeats create
+recursion), random loop nests, random statements with random raw costs.
+This exercises attribution, view construction and serialization over a
+far wider class of shapes than the hand-built workloads.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.attribution import attribute
+from repro.core.cct import CCT, CCTNode
+from repro.hpcstruct.model import StructureModel
+
+__all__ = ["cct_experiments", "metric_values", "NUM_METRICS"]
+
+NUM_METRICS = 2
+_POOL_SIZE = 4
+
+
+def _make_structure() -> tuple[StructureModel, list]:
+    model = StructureModel("prop")
+    lm = model.add_load_module("prop.x")
+    file_scope = model.add_file(lm, "prop.c")
+    procs = [
+        model.add_procedure(file_scope, f"p{i}", 10 * (i + 1), 10 * (i + 1) + 9)
+        for i in range(_POOL_SIZE)
+    ]
+    return model, procs
+
+
+@st.composite
+def _subtree(draw, node: CCTNode, procs, depth: int) -> None:
+    """Recursively grow a random region inside a frame or loop scope."""
+    n_children = draw(st.integers(min_value=0, max_value=3 if depth > 0 else 2))
+    proc = node.procedure
+    base_line = proc.location.line if proc is not None else 0
+    for _ in range(n_children):
+        kind = draw(st.sampled_from(["stmt", "call", "loop"]))
+        if kind == "stmt" or depth == 0:
+            line = base_line + draw(st.integers(1, 8))
+            stmt = node.ensure_statement(line, struct=proc)
+            stmt.add_raw(draw(metric_values()))
+        elif kind == "call":
+            line = base_line + draw(st.integers(1, 8))
+            site = node.ensure_call_site(line, struct=proc)
+            if draw(st.booleans()):
+                site.add_raw(draw(metric_values()))
+            callee = draw(st.sampled_from(procs))
+            frame = site.ensure_frame(callee)
+            draw(_subtree(frame, procs, depth - 1))
+        else:
+            # a loop scope: reuse the procedure's line space deterministically
+            loop_struct = _ensure_loop_struct(proc, base_line + draw(st.integers(1, 4)))
+            loop = node.ensure_loop(loop_struct)
+            draw(_subtree(loop, procs, depth - 1))
+
+
+def _ensure_loop_struct(proc, line):
+    from repro.hpcstruct.model import SourceLocation, StructKind, StructureNode
+
+    key = (StructKind.LOOP.value, f"loop@{line}", proc.location.file, line)
+    existing = proc.child_by_key(key)
+    if existing is not None:
+        return existing
+    return StructureNode(
+        StructKind.LOOP,
+        name=f"loop@{line}",
+        location=SourceLocation(file=proc.location.file, line=line,
+                                end_line=line + 1),
+        parent=proc,
+    )
+
+
+@st.composite
+def metric_values(draw):
+    """A sparse raw cost vector over NUM_METRICS metrics."""
+    out = {}
+    for mid in range(NUM_METRICS):
+        if draw(st.booleans()):
+            out[mid] = draw(
+                st.floats(min_value=1.0, max_value=1000.0,
+                          allow_nan=False, allow_infinity=False)
+            )
+    return out
+
+
+@st.composite
+def cct_experiments(draw):
+    """A random attributed CCT plus its structure model and metric table."""
+    from repro.core.metrics import MetricTable
+
+    model, procs = _make_structure()
+    cct = CCT()
+    n_roots = draw(st.integers(min_value=1, max_value=2))
+    for _ in range(n_roots):
+        entry = draw(st.sampled_from(procs))
+        frame = cct.root.ensure_frame(entry)
+        draw(_subtree(frame, procs, depth=draw(st.integers(1, 4))))
+    attribute(cct)
+    metrics = MetricTable()
+    for mid in range(NUM_METRICS):
+        metrics.add(f"m{mid}", unit="units")
+    return cct, model, metrics

@@ -1,0 +1,65 @@
+"""Property-based sanity of the tuning advisor over random trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.advisor import Advisor
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES
+from tests.props.strategies import cct_experiments
+
+
+def experiment_of(data):
+    cct, model, metrics = data
+    # the advisor keys rules off standard counter names; rename metric 0
+    if CYCLES not in metrics:
+        renamed = type(metrics)()
+        renamed.add(CYCLES, unit="cycles")
+        for desc in list(metrics)[1:]:
+            renamed.add(desc.name, unit=desc.unit)
+        metrics = renamed
+    return Experiment("prop", metrics, model, cct)
+
+
+class TestAdvisorProps:
+    @settings(max_examples=25, deadline=None)
+    @given(data=cct_experiments())
+    def test_never_crashes_and_respects_min_impact(self, data):
+        exp = experiment_of(data)
+        advisor = Advisor(exp)
+        suggestions = advisor.advise()
+        loop_rules = {"memory-bound-loop", "low-efficiency-compute",
+                      "already-tight"}
+        for s in suggestions:
+            assert s.evidence, "every suggestion must carry evidence"
+            if s.rule in loop_rules:
+                assert s.impact >= advisor.min_impact - 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=cct_experiments())
+    def test_sorted_by_impact(self, data):
+        suggestions = Advisor(experiment_of(data)).advise()
+        impacts = [s.impact for s in suggestions]
+        assert impacts == sorted(impacts, reverse=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=cct_experiments())
+    def test_at_most_one_loop_rule_per_scope(self, data):
+        suggestions = Advisor(experiment_of(data)).advise()
+        loop_rules = {"memory-bound-loop", "low-efficiency-compute",
+                      "already-tight"}
+        seen: set[str] = set()
+        for s in suggestions:
+            if s.rule in loop_rules:
+                key = s.location
+                assert key not in seen, "rules must be mutually exclusive"
+                seen.add(key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=cct_experiments())
+    def test_describe_always_renders(self, data):
+        for s in Advisor(experiment_of(data)).advise():
+            text = s.describe()
+            assert s.rule in text and "evidence:" in text

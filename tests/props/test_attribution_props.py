@@ -1,0 +1,105 @@
+"""Property-based tests of metric attribution (Eqs. 1 & 2) and exposure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.attribution import exposed_instances
+from repro.core.cct import CCTKind
+from repro.core.metrics import add_into, total
+from tests.props.strategies import NUM_METRICS, cct_experiments
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_root_inclusive_equals_total_raw(data):
+    """Eq. 2: the root's inclusive value is the sum of all raw costs."""
+    cct, _model, _metrics = data
+    raw_total = total(node.raw for node in cct.walk())
+    for mid in range(NUM_METRICS):
+        assert cct.root.inclusive.get(mid, 0.0) == pytest.approx(
+            raw_total.get(mid, 0.0)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_inclusive_is_recursive_sum(data):
+    """Eq. 2 pointwise: incl(x) = raw(x) + sum of children's inclusive."""
+    cct, _m, _t = data
+    for node in cct.walk():
+        expected = dict(node.raw)
+        for child in node.children:
+            add_into(expected, child.inclusive)
+        for mid in range(NUM_METRICS):
+            assert node.inclusive.get(mid, 0.0) == pytest.approx(
+                expected.get(mid, 0.0)
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_frame_exclusives_partition_total(data):
+    """Every raw cost lands in exactly one frame's exclusive value."""
+    cct, _m, _t = data
+    frame_sum = total(f.exclusive for f in cct.frames())
+    raw_total = total(node.raw for node in cct.walk())
+    for mid in range(NUM_METRICS):
+        assert frame_sum.get(mid, 0.0) == pytest.approx(raw_total.get(mid, 0.0))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_exclusive_bounded_by_inclusive(data):
+    cct, _m, _t = data
+    for node in cct.walk():
+        for mid, value in node.exclusive.items():
+            assert value <= node.inclusive.get(mid, 0.0) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_exposed_instances_form_an_antichain(data):
+    """No exposed instance is an ancestor of another; non-exposed
+    instances all sit under some exposed one."""
+    cct, _m, _t = data
+    for _proc, frames in cct.frames_by_procedure().items():
+        exposed = exposed_instances(frames)
+        exposed_uids = {n.uid for n in exposed}
+        for node in exposed:
+            assert not any(a.uid in exposed_uids for a in node.ancestors())
+        for node in frames:
+            if node.uid not in exposed_uids:
+                assert any(a.uid in exposed_uids for a in node.ancestors())
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_exposed_sum_never_exceeds_plain_sum(data):
+    cct, _m, _t = data
+    for _proc, frames in cct.frames_by_procedure().items():
+        exposed = exposed_instances(frames)
+        exp_sum = total(n.inclusive for n in exposed)
+        plain_sum = total(n.inclusive for n in frames)
+        for mid in range(NUM_METRICS):
+            assert exp_sum.get(mid, 0.0) <= plain_sum.get(mid, 0.0) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=cct_experiments())
+def test_loop_exclusive_counts_only_direct_statements(data):
+    """Eq. 1 case 2: a loop's exclusive value is its raw plus its direct
+    statement/call-site children's raw — never nested loops."""
+    cct, _m, _t = data
+    for node in cct.walk():
+        if node.kind is not CCTKind.LOOP:
+            continue
+        expected = dict(node.raw)
+        for child in node.children:
+            if child.kind in (CCTKind.STATEMENT, CCTKind.CALL_SITE):
+                add_into(expected, child.raw)
+        for mid in range(NUM_METRICS):
+            assert node.exclusive.get(mid, 0.0) == pytest.approx(
+                expected.get(mid, 0.0)
+            )

@@ -1,0 +1,109 @@
+"""Property-based tests of the derived-metric formula language."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.derived import evaluate, formula_columns, parse_formula
+
+# ---------------------------------------------------------------------- #
+# random expression generator: builds (source-string, reference-fn) pairs
+# ---------------------------------------------------------------------- #
+_numbers = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+_columns = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """A random formula plus a reference evaluator."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            n = draw(_numbers)
+            return f"{n!r}", (lambda cols, n=n: n)
+        c = draw(_columns)
+        return f"${c}", (lambda cols, c=c: cols.get(c, 0.0))
+    kind = draw(st.sampled_from(["+", "-", "*", "/", "neg", "func"]))
+    if kind == "neg":
+        src, fn = draw(expressions(depth=depth - 1))
+        return f"-({src})", (lambda cols, fn=fn: -fn(cols))
+    if kind == "func":
+        name = draw(st.sampled_from(["abs", "sqrt", "min", "max"]))
+        a_src, a_fn = draw(expressions(depth=depth - 1))
+        if name in ("min", "max"):
+            b_src, b_fn = draw(expressions(depth=depth - 1))
+            py = min if name == "min" else max
+            return (
+                f"{name}({a_src}, {b_src})",
+                lambda cols, a=a_fn, b=b_fn, py=py: float(py(a(cols), b(cols))),
+            )
+        if name == "abs":
+            return f"abs({a_src})", (lambda cols, a=a_fn: abs(a(cols)))
+        return (
+            f"sqrt({a_src})",
+            lambda cols, a=a_fn: math.sqrt(a(cols)) if a(cols) >= 0 else 0.0,
+        )
+    a_src, a_fn = draw(expressions(depth=depth - 1))
+    b_src, b_fn = draw(expressions(depth=depth - 1))
+    if kind == "+":
+        return f"({a_src} + {b_src})", (lambda cols: a_fn(cols) + b_fn(cols))
+    if kind == "-":
+        return f"({a_src} - {b_src})", (lambda cols: a_fn(cols) - b_fn(cols))
+    if kind == "*":
+        return f"({a_src} * {b_src})", (lambda cols: a_fn(cols) * b_fn(cols))
+    return (
+        f"({a_src} / {b_src})",
+        lambda cols: a_fn(cols) / b_fn(cols) if b_fn(cols) != 0.0 else 0.0,
+    )
+
+
+@st.composite
+def column_values(draw):
+    return {
+        mid: draw(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+        for mid in range(6)
+    }
+
+
+class TestFormulaProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(expr=expressions(), cols=column_values())
+    def test_evaluation_matches_reference(self, expr, cols):
+        src, reference = expr
+        got = evaluate(src, resolver=lambda mid: cols.get(mid, 0.0))
+        want = reference(cols)
+        if math.isfinite(want):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=expressions())
+    def test_parse_is_deterministic_and_cached(self, expr):
+        src, _ = expr
+        assert parse_formula(src) is parse_formula(src)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=expressions(), cols=column_values())
+    def test_columns_are_sufficient(self, expr, cols):
+        """Zeroing every unreferenced column never changes the result."""
+        src, _ = expr
+        used = formula_columns(src)
+        full = evaluate(src, resolver=lambda mid: cols.get(mid, 0.0))
+        masked = evaluate(
+            src,
+            resolver=lambda mid: cols.get(mid, 0.0) if mid in used else 0.0,
+        )
+        assert masked == pytest.approx(full, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(cols=column_values(),
+           a=st.floats(min_value=0.1, max_value=50, allow_nan=False),
+           b=st.floats(min_value=0.1, max_value=50, allow_nan=False))
+    def test_linearity_of_linear_formulas(self, cols, a, b):
+        """a*$0 + b*$1 evaluates linearly — the reason linear derived
+        metrics commute with view aggregation."""
+        src = f"{a!r} * $0 + {b!r} * $1"
+        got = evaluate(src, resolver=lambda mid: cols.get(mid, 0.0))
+        assert got == pytest.approx(a * cols[0] + b * cols[1], rel=1e-9)

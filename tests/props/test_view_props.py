@@ -1,0 +1,146 @@
+"""Property-based tests of view construction over random CCTs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.callers import CallersView
+from repro.core.ccview import CallingContextView
+from repro.core.flat import FlatView
+from repro.core.metrics import MetricFlavor, MetricSpec, total
+from repro.core.views import NodeCategory
+from tests.props.strategies import NUM_METRICS, cct_experiments
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_callers_and_flat_agree_per_procedure(data):
+    """The paper's consistency claim (Sec. IV-B): a procedure's inclusive
+    cost 'is consistently the same' in the Callers View and Flat View."""
+    cct, _model, metrics = data
+    callers = {r.name: r for r in CallersView(cct, metrics).roots}
+    flat = FlatView(cct, metrics)
+    flat_procs = {
+        r.name: r
+        for file_row in flat.roots
+        for r in file_row.children
+        if r.category is NodeCategory.PROCEDURE
+    }
+    assert set(callers) == set(flat_procs)
+    for name, caller_row in callers.items():
+        flat_row = flat_procs[name]
+        for mid in range(NUM_METRICS):
+            assert caller_row.inclusive.get(mid, 0.0) == pytest.approx(
+                flat_row.inclusive.get(mid, 0.0)
+            )
+            assert caller_row.exclusive.get(mid, 0.0) == pytest.approx(
+                flat_row.exclusive.get(mid, 0.0)
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_callers_exclusive_totals_bounded_and_exact_without_recursion(data):
+    """Top-level Callers View exclusives sum to at most the execution
+    total (nested recursive instances are deliberately excluded by the
+    exposed-instance rule — Figure 2 shows g at 4 of its 5 raw units),
+    with equality exactly when no procedure recurses."""
+    from repro.core.attribution import exposed_instances
+
+    cct, _model, metrics = data
+    view = CallersView(cct, metrics)
+    view_total = total(r.exclusive for r in view.roots)
+    raw_total = total(node.raw for node in cct.walk())
+    by_proc = cct.frames_by_procedure()
+    has_recursion = any(
+        len(exposed_instances(frames)) != len(frames)
+        for frames in by_proc.values()
+    )
+    for mid in range(NUM_METRICS):
+        assert view_total.get(mid, 0.0) <= raw_total.get(mid, 0.0) + 1e-9
+        if not has_recursion:
+            assert view_total.get(mid, 0.0) == pytest.approx(
+                raw_total.get(mid, 0.0)
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_ccview_fused_preserves_subtree_costs(data):
+    """Fusing call-site/callee lines must not change inclusive costs of
+    the visible rows' union."""
+    cct, _model, metrics = data
+    fused_roots = CallingContextView(cct, metrics, fused=True).roots
+    plain_roots = CallingContextView(cct, metrics, fused=False).roots
+    fused_total = total(r.inclusive for r in fused_roots)
+    plain_total = total(r.inclusive for r in plain_roots)
+    for mid in range(NUM_METRICS):
+        assert fused_total.get(mid, 0.0) == pytest.approx(
+            plain_total.get(mid, 0.0)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_ccview_never_longer_than_unfused(data):
+    """Fusion can only shorten the rendered tree."""
+    cct, _model, metrics = data
+
+    def count(view):
+        return sum(1 for r in view.roots for _ in r.walk())
+
+    fused = count(CallingContextView(cct, metrics, fused=True))
+    plain = count(CallingContextView(cct, metrics, fused=False))
+    assert fused <= plain
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_flat_view_files_cover_everything(data):
+    """Flat View file rows' exclusive values equal the sum of their
+    procedures' exclusives (the Figure 2c rule file2 = g:4 + h:4), and
+    never exceed the execution total."""
+    cct, _model, metrics = data
+    flat = FlatView(cct, metrics)
+    raw_total = total(node.raw for node in cct.walk())
+    view_total = total(r.exclusive for r in flat.roots)
+    for file_row in flat.roots:
+        children_total = total(c.exclusive for c in file_row.children)
+        for mid in range(NUM_METRICS):
+            assert file_row.exclusive.get(mid, 0.0) == pytest.approx(
+                children_total.get(mid, 0.0)
+            )
+    for mid in range(NUM_METRICS):
+        assert view_total.get(mid, 0.0) <= raw_total.get(mid, 0.0) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_flattening_preserves_leaf_reachability(data):
+    """Repeated flattening terminates with all-leaf roots and never loses
+    the heaviest leaf."""
+    cct, _model, metrics = data
+    flat = FlatView(cct, metrics)
+    spec = MetricSpec(0, MetricFlavor.INCLUSIVE)
+    leaves_before = {
+        id(n) for r in flat.roots for n in r.walk() if n.is_leaf
+    }
+    for _ in range(30):
+        flat.flatten()
+    rows = flat.current_roots()
+    assert all(r.is_leaf for r in rows)
+    assert {id(r) for r in rows} <= leaves_before
+    if leaves_before:
+        assert rows, "leaves must survive flattening"
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=cct_experiments())
+def test_sorted_children_ordering(data):
+    cct, _model, metrics = data
+    view = CallingContextView(cct, metrics)
+    spec = MetricSpec(0, MetricFlavor.INCLUSIVE)
+    rows = view.sorted_children(None, spec)
+    values = [view.value(r, spec) for r in rows]
+    assert values == sorted(values, reverse=True)

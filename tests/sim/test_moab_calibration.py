@@ -1,0 +1,97 @@
+"""Calibration of the MOAB model against the paper's Figures 4 and 5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES, L1_DCM
+from repro.sim.workloads import moab
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(moab.build())
+
+
+class TestFig4CallersView:
+    def test_memset_total_l1_share(self, exp):
+        """_intel_fast_memset.A accounts for 9.7% of total L1 misses."""
+        l1 = exp.metric_id(L1_DCM)
+        callers = exp.callers_view()
+        memset = next(r for r in callers.roots if r.name == "_intel_fast_memset.A")
+        share = 100.0 * memset.inclusive[l1] / exp.total(L1_DCM)
+        assert share == pytest.approx(9.7, abs=0.3)
+
+    def test_memset_has_two_callers(self, exp):
+        callers = exp.callers_view()
+        memset = next(r for r in callers.roots if r.name == "_intel_fast_memset.A")
+        assert len(memset.children) == 2
+
+    def test_create_dominates_memset_cost(self, exp):
+        """Almost all of it (9.6%) comes from Sequence_data::create."""
+        l1 = exp.metric_id(L1_DCM)
+        total = exp.total(L1_DCM)
+        callers = exp.callers_view()
+        memset = next(r for r in callers.roots if r.name == "_intel_fast_memset.A")
+        by_name = {c.name: c for c in memset.children}
+        create = by_name["Sequence_data::create"]
+        other = by_name["TypeSequenceManager::allocate"]
+        assert 100.0 * create.inclusive[l1] / total == pytest.approx(9.6, abs=0.3)
+        assert 100.0 * other.inclusive[l1] / total < 0.5
+
+    def test_memset_lives_in_the_runtime_library(self, exp):
+        """The replaced memset belongs to the Intel runtime, not MOAB;
+        the fused rows display it at the caller's call site while its
+        static home stays libirc.so."""
+        ccv = exp.calling_context_view()
+        rows = ccv.find_all("_intel_fast_memset.A")
+        assert len(rows) == 2
+        assert {r.file for r in rows} == {
+            "Sequence_data.cpp", "TypeSequenceManager.cpp"
+        }
+        assert all(r.struct.location.file == "libirc.so" for r in rows)
+
+
+class TestFig5FlatView:
+    def test_get_coords_cycles_all_in_loop(self, exp):
+        """18.9% of total cycles, all inside the highlighted loop."""
+        cyc = exp.metric_id(CYCLES)
+        total = exp.total(CYCLES)
+        flat = exp.flat_view()
+        gc = flat.find("MBCore::get_coords", category=NodeCategory.PROCEDURE)
+        assert 100.0 * gc.inclusive[cyc] / total == pytest.approx(18.9, abs=0.3)
+        loop = next(c for c in gc.children if c.category is NodeCategory.LOOP)
+        assert loop.inclusive[cyc] == pytest.approx(gc.inclusive[cyc])
+
+    def test_inlined_hierarchy(self, exp):
+        """loop -> inlined find -> inlined STL loop -> inlined compare."""
+        flat = exp.flat_view()
+        gc = flat.find("MBCore::get_coords", category=NodeCategory.PROCEDURE)
+        loop = next(c for c in gc.children if c.category is NodeCategory.LOOP)
+        find = next(c for c in loop.children if c.category is NodeCategory.INLINED)
+        assert find.name == "SequenceManager::find"
+        rb_loop = next(
+            c for c in find.children
+            if c.category in (NodeCategory.LOOP, NodeCategory.INLINED)
+            and c.struct.kind.is_loop
+        )
+        compare = next(
+            c for c in rb_loop.children if c.category is NodeCategory.INLINED
+        )
+        assert compare.name == "SequenceCompare::operator()"
+
+    def test_sequence_compare_l1_share(self, exp):
+        """Applying the comparison operator: 19.8% of L1 misses."""
+        l1 = exp.metric_id(L1_DCM)
+        flat = exp.flat_view()
+        compare = flat.find("SequenceCompare::operator()")
+        share = 100.0 * compare.inclusive[l1] / exp.total(L1_DCM)
+        assert share == pytest.approx(19.8, abs=0.3)
+
+    def test_inlined_scopes_also_in_calling_context_view(self, exp):
+        """Static structure is first-class in the CC view too (Sec. III-D)."""
+        ccv = exp.calling_context_view()
+        found = ccv.find_all("SequenceCompare::operator()")
+        assert found and all(r.category is NodeCategory.INLINED for r in found)

@@ -1,0 +1,152 @@
+"""Calibration of the S3D model against the paper's Figures 3 and 6.
+
+The reproduction criterion is *shape*, not absolute numbers: who wins,
+by roughly what factor, and where the hot path lands.  Tolerances below
+are absolute percentage points against the values printed in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES, FLOPS
+from repro.sim.workloads import s3d
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(s3d.build())
+
+
+@pytest.fixture(scope="module")
+def shares(exp):
+    total = exp.total(CYCLES)
+    cyc = exp.metric_id(CYCLES)
+
+    def pct(node, flavor="inclusive"):
+        return 100.0 * getattr(node, flavor).get(cyc, 0.0) / total
+
+    return exp, total, cyc, pct
+
+
+class TestFig3CallingContext:
+    def test_loop82_dominates_inclusively_but_not_exclusively(self, shares):
+        exp, _total, _cyc, pct = shares
+        flat = exp.flat_view()
+        ierk = flat.find("integrate_erk", category=NodeCategory.PROCEDURE)
+        loop82 = next(c for c in ierk.children if c.category is NodeCategory.LOOP)
+        assert loop82.line == 82
+        assert pct(loop82) == pytest.approx(97.9, abs=0.5)
+        assert pct(loop82, "exclusive") < 0.5  # "negligible, only 0.0%"
+
+    def test_rhsf_exclusive_share(self, shares):
+        exp, _total, _cyc, pct = shares
+        rhsf = exp.flat_view().find("rhsf", category=NodeCategory.PROCEDURE)
+        assert pct(rhsf, "exclusive") == pytest.approx(8.7, abs=0.8)
+
+    def test_chemkin_inclusive_share(self, shares):
+        exp, _total, _cyc, pct = shares
+        chem = exp.flat_view().find(
+            "chemkin_m_reaction_rate", category=NodeCategory.PROCEDURE
+        )
+        assert pct(chem) == pytest.approx(41.4, abs=1.0)
+
+    def test_hot_path_lands_on_chemkin(self, exp):
+        """Figure 3: 'hot path analysis detects a potential performance
+        bottleneck in chemkin_m_reaction_rate, where 41.4% of the
+        inclusive cycles is spent computing reaction rates'."""
+        result = exp.hot_path(CYCLES)
+        assert result.hotspot.name == "chemkin_m_reaction_rate"
+        assert 100.0 * result.hotspot_value / exp.total(CYCLES) == pytest.approx(
+            41.4, abs=1.0
+        )
+
+    def test_hot_path_passes_through_loop82(self, exp):
+        """The paper highlights that the expanded call chain interleaves
+        loops with procedure calls (static + dynamic context)."""
+        result = exp.hot_path(CYCLES)
+        names = [n.name for n in result.path]
+        assert any("82" in n for n in names if n.startswith("loop"))
+        loops = [n for n in result.path if n.category is NodeCategory.LOOP]
+        assert len(loops) >= 2
+
+    def test_chain_main_to_chemkin(self, exp):
+        result = exp.hot_path(CYCLES)
+        names = [n.name for n in result.path]
+        for expected in ["main", "solve_driver", "integrate_erk", "rhsf"]:
+            assert expected in names
+
+
+class TestFig6DerivedMetrics:
+    @pytest.fixture(scope="class")
+    def waste_rows(self, exp):
+        """(name, waste share %, efficiency %) for every loop, sorted."""
+        cyc, fl = exp.metric_id(CYCLES), exp.metric_id(FLOPS)
+        total_waste = 4.0 * exp.total(CYCLES) - exp.total(FLOPS)
+        flat = exp.flat_view()
+        rows = []
+        for proc_name in [
+            "compute_diffusive_flux", "exp", "thermchem_m_calc_temp",
+            "derivative_m_deriv", "ratt", "ratx", "qssa",
+        ]:
+            proc = flat.find(proc_name, category=NodeCategory.PROCEDURE)
+            for child in proc.children:
+                if child.category is NodeCategory.LOOP:
+                    c = child.inclusive.get(cyc, 0.0)
+                    f = child.inclusive.get(fl, 0.0)
+                    rows.append(
+                        (proc_name, 100.0 * (4 * c - f) / total_waste,
+                         100.0 * f / (4 * c) if c else 0.0)
+                    )
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def test_flux_loop_has_most_waste(self, waste_rows):
+        name, share, eff = waste_rows[0]
+        assert name == "compute_diffusive_flux"
+        assert share == pytest.approx(13.5, abs=1.0)
+
+    def test_flux_loop_efficiency_is_low(self, waste_rows):
+        _name, _share, eff = waste_rows[0]
+        assert eff == pytest.approx(6.0, abs=1.0)
+
+    def test_exp_loop_is_second_and_tight(self, waste_rows):
+        name, _share, eff = waste_rows[1]
+        assert name == "exp"
+        assert eff == pytest.approx(39.0, abs=2.0)
+
+    def test_tuned_flux_loop_speedup(self, exp):
+        """The paper's loop transformations improved the flux loop 2.9x."""
+        tuned = Experiment.from_program(s3d.build(tuned=True))
+        cyc = exp.metric_id(CYCLES)
+
+        def flux_cycles(e):
+            flat = e.flat_view()
+            proc = flat.find("compute_diffusive_flux", category=NodeCategory.PROCEDURE)
+            loop = next(c for c in proc.children if c.category is NodeCategory.LOOP)
+            return loop.inclusive[cyc]
+
+        speedup = flux_cycles(exp) / flux_cycles(tuned)
+        assert speedup == pytest.approx(2.9, abs=0.01)
+
+    def test_derived_waste_metric_sorts_flux_loop_first(self, exp):
+        """Figure 6's workflow: define the waste metric, flatten the Flat
+        View so loops from different routines sit side by side, and sort
+        by the loops' own (exclusive) waste — the flux-diffusion loop
+        ranks first and the math-library exp loop second."""
+        from repro.core.metrics import MetricFlavor
+
+        cyc, fl = exp.metric_id(CYCLES), exp.metric_id(FLOPS)
+        exp.add_derived_metric("fp waste", f"4 * ${cyc} - ${fl}")
+        flat = exp.flat_view()
+        flat.flatten()  # files -> procedures
+        flat.flatten()  # procedures -> loops (Figure 6 uses flattening)
+        spec = exp.spec("fp waste", MetricFlavor.EXCLUSIVE)
+        rows = sorted(
+            flat.current_roots(), key=lambda r: flat.value(r, spec), reverse=True
+        )
+        top_loops = [r for r in rows if r.category is NodeCategory.LOOP][:2]
+        assert top_loops[0].struct.location.file == "diffflux.f90"
+        assert top_loops[1].struct.location.file == "e_exp.c"

@@ -1,0 +1,105 @@
+"""Tests for the parametric synthetic program families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import exposed_instances
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads.synthetic import (
+    deep_chain,
+    recursive_ladder,
+    uniform_tree,
+    wide_flat,
+)
+
+
+class TestUniformTree:
+    @pytest.mark.parametrize("fanout,depth", [(2, 2), (4, 3)])
+    def test_frame_count(self, fanout, depth):
+        exp = Experiment.from_program(uniform_tree(fanout, depth))
+        frames = sum(1 for _ in exp.cct.frames())
+        expected = sum(fanout**level for level in range(depth + 1))
+        assert frames == expected
+
+    def test_every_frame_costed(self):
+        exp = Experiment.from_program(uniform_tree(3, 2))
+        assert all(f.exclusive for f in exp.cct.frames())
+
+
+class TestDeepChain:
+    def test_chain_depth(self):
+        exp = Experiment.from_program(deep_chain(length=30))
+        max_frames = max(
+            len(f.call_path()) for f in exp.cct.frames()
+        )
+        assert max_frames == 31
+
+    def test_loops_interleave(self):
+        exp = Experiment.from_program(deep_chain(length=5, with_loops=True))
+        view = exp.calling_context_view()
+        result = exp.hot_path("cycles", view=view)
+        loops = [n for n in result.path if n.category is NodeCategory.LOOP]
+        # at the last link the loop (1 unit) ties with the local statement
+        # (1 unit) and the tie resolves to the first child, so the path
+        # interleaves a loop at every link but the last
+        assert len(loops) == 4
+
+    def test_without_loops(self):
+        exp = Experiment.from_program(deep_chain(length=5, with_loops=False))
+        view = exp.calling_context_view()
+        kinds = {n.category for r in view.roots for n in r.walk()}
+        assert NodeCategory.LOOP not in kinds
+
+    def test_total_cost_linear_in_length(self):
+        short = Experiment.from_program(deep_chain(length=10))
+        long = Experiment.from_program(deep_chain(length=20))
+        assert long.total("cycles") / short.total("cycles") == pytest.approx(
+            21 / 11
+        )
+
+
+class TestWideFlat:
+    def test_width(self):
+        exp = Experiment.from_program(wide_flat(width=50))
+        driver = exp.calling_context_view().roots[0]
+        assert len(driver.children) == 50
+
+    def test_sorted_order_is_by_cost(self):
+        exp = Experiment.from_program(wide_flat(width=25))
+        view = exp.calling_context_view()
+        rows = view.sorted_children(view.roots[0], exp.spec("cycles"))
+        assert rows[0].name == "leaf24"  # cost i+1: last leaf is heaviest
+        assert rows[-1].name == "leaf0"
+
+
+class TestRecursiveLadder:
+    def test_depth_per_context(self):
+        exp = Experiment.from_program(recursive_ladder(depth=6, contexts=2))
+        rec_frames = [f for f in exp.cct.frames() if f.name == "rec"]
+        assert len(rec_frames) == 12
+
+    def test_exposed_rule_under_stress(self):
+        contexts, depth = 4, 8
+        exp = Experiment.from_program(
+            recursive_ladder(depth=depth, contexts=contexts)
+        )
+        rec_frames = [f for f in exp.cct.frames() if f.name == "rec"]
+        exposed = exposed_instances(rec_frames)
+        assert len(exposed) == contexts  # one chain head per call site
+        mid = exp.metric_id("cycles")
+        callers = exp.callers_view()
+        rec_row = next(r for r in callers.roots if r.name == "rec")
+        # each chain costs `depth` units; exposure counts each chain once
+        assert rec_row.inclusive[mid] == float(contexts * depth)
+        # excluding nested instances, exclusive = one frame per chain
+        assert rec_row.exclusive[mid] == float(contexts)
+
+    def test_flat_view_matches_callers(self):
+        exp = Experiment.from_program(recursive_ladder(depth=5, contexts=3))
+        mid = exp.metric_id("cycles")
+        callers = next(r for r in exp.callers_view().roots if r.name == "rec")
+        flat = exp.flat_view().find("rec", category=NodeCategory.PROCEDURE)
+        assert callers.inclusive[mid] == flat.inclusive[mid]
+        assert callers.exclusive[mid] == flat.exclusive[mid]

@@ -1,0 +1,117 @@
+"""End-to-end tests of the command-line tools."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main_experiments, main_profile, main_sim, main_view
+
+
+class TestSimAndView:
+    def test_sim_writes_database(self, tmp_path, capsys):
+        out = str(tmp_path / "fig1.rpdb")
+        assert main_sim(["fig1", "-o", out]) == 0
+        assert os.path.exists(out)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_sim_parallel(self, tmp_path, capsys):
+        out = str(tmp_path / "pf.rpdb")
+        assert main_sim(["pflotran", "-n", "4", "-o", out]) == 0
+        assert "4 rank(s)" in capsys.readouterr().out
+
+    def test_view_all_views(self, tmp_path, capsys):
+        db = str(tmp_path / "fig1.xml")
+        main_sim(["fig1", "-o", db])
+        capsys.readouterr()
+        assert main_view([db, "--view", "all", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Calling Context View" in out
+        assert "Callers View" in out
+        assert "Flat View" in out
+
+    def test_view_hot_path(self, tmp_path, capsys):
+        db = str(tmp_path / "s3d.rpdb")
+        main_sim(["s3d", "-o", db])
+        capsys.readouterr()
+        assert main_view([db, "--hot-path"]) == 0
+        out = capsys.readouterr().out
+        assert "hot path:" in out
+        assert "chemkin_m_reaction_rate" in out
+
+    def test_view_exclusive_sort(self, tmp_path, capsys):
+        db = str(tmp_path / "fig1.rpdb")
+        main_sim(["fig1", "-o", db])
+        capsys.readouterr()
+        assert main_view([db, "--view", "flat", "--exclusive"]) == 0
+        assert "Flat View" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main_sim(["not-a-workload"])
+
+
+class TestProfile:
+    def test_profile_script(self, tmp_path, capsys):
+        script = tmp_path / "job.py"
+        script.write_text(textwrap.dedent(
+            """
+            def work(n):
+                total = 0
+                for i in range(n):
+                    total += i
+                return total
+
+            if __name__ == "__main__":
+                work(500)
+            """
+        ))
+        out = str(tmp_path / "job.rpdb")
+        assert main_profile([str(script), "-o", out]) == 0
+        assert os.path.exists(out)
+        capsys.readouterr()
+        assert main_view([out, "--view", "flat"]) == 0
+        assert "work" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main_experiments(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "gprof" in out
+
+    def test_run_single(self, capsys):
+        assert main_experiments(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        md = str(tmp_path / "report.md")
+        assert main_experiments(["fig4", "--markdown", md]) == 0
+        content = open(md).read()
+        assert "| quantity | paper | measured |" in content
+        assert "Sequence_data::create" in content
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            main_experiments(["not-an-experiment"])
+
+
+class TestAdviseFlag:
+    def test_view_with_advise(self, tmp_path, capsys):
+        db = str(tmp_path / "s3d.rpdb")
+        main_sim(["s3d", "-o", db])
+        capsys.readouterr()
+        assert main_view([db, "--view", "flat", "--advise"]) == 0
+        out = capsys.readouterr().out
+        assert "tuning suggestions:" in out
+        assert "[memory-bound-loop]" in out
+
+
+class TestParallelSim:
+    def test_parallel_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "pf.rpdb")
+        assert main_sim(["pflotran", "-n", "4", "--parallel", "-o", out]) == 0
+        assert "4 rank(s)" in capsys.readouterr().out

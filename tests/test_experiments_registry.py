@@ -1,0 +1,57 @@
+"""Integration: every registered reproduction experiment must REPRODUCE.
+
+This is the repo's headline test — it drives each figure's full pipeline
+and asserts every paper-vs-measured row lands within tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ALL, run_all, to_markdown
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL))
+def test_experiment_reproduces(exp_id):
+    report = ALL[exp_id]()
+    failing = [r for r in report.rows if r.ok is False]
+    assert not failing, (
+        f"{exp_id} deviates from the paper:\n"
+        + "\n".join(r.render() for r in failing)
+    )
+
+
+def test_run_all_selected_order():
+    reports = run_all(["fig4", "fig2"])
+    assert [r.exp_id for r in reports] == ["Fig.4", "Fig.2"]
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(KeyError):
+        run_all(["nope"])
+
+
+def test_markdown_rendering():
+    reports = run_all(["fig4"])
+    md = to_markdown(reports)
+    assert md.startswith("# EXPERIMENTS")
+    assert "1/1 experiments reproduce" in md
+    assert "| quantity | paper | measured |" in md
+
+
+def test_report_row_semantics():
+    from repro.experiments.report import ExperimentReport, Row
+
+    report = ExperimentReport("X", "test")
+    report.add("num ok", 10.0, 10.3, tolerance=0.5)
+    report.add("num bad", 10.0, 11.0, tolerance=0.5)
+    report.add("informational", None, 42.0)
+    report.add("string match", "a", "a", tolerance=0.0)
+    rows = report.rows
+    assert rows[0].ok is True
+    assert rows[1].ok is False
+    assert rows[2].ok is None
+    assert rows[3].ok is True
+    assert not report.all_ok
+    assert "MISMATCH" in report.render()
+    assert Row("r", 1.0, 1.0, tolerance=0.0).ok is True

@@ -1,0 +1,160 @@
+"""Cross-cutting integration tests of the whole toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.views import NodeCategory
+from repro.hpcprof.correlate import correlate
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.workloads import fig1, moab, pflotran, s3d
+
+
+class TestSamplingRobustness:
+    """The paper's premise: asynchronous sampling yields accurate and
+    precise profiles — the presentation must reach the same conclusions
+    from noisy sampled data as from exact costs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hot_path_stable_under_poisson_sampling(self, seed):
+        program = s3d.build()
+        structure = build_structure(program)
+        exact = execute(program)
+        # simulate a sampling run: one sample per ~1e6 cycles of cost
+        noisy = exact.resampled(period=1.0e6, rng=np.random.default_rng(seed))
+        exp = Experiment.from_profile(noisy, structure)
+        result = exp.hot_path(CYCLES)
+        assert result.hotspot.name == "chemkin_m_reaction_rate"
+
+    def test_shares_converge_with_sampling_rate(self):
+        """Finer sampling periods give smaller relative error on a big
+        scope's share — the statistical-accuracy story."""
+        program = s3d.build()
+        structure = build_structure(program)
+        exact = execute(program)
+
+        def rhsf_share(profile):
+            exp = Experiment.from_profile(profile, structure)
+            cyc = exp.metric_id(CYCLES)
+            rhsf = exp.flat_view().find("rhsf", category=NodeCategory.PROCEDURE)
+            return rhsf.inclusive[cyc] / exp.total(CYCLES)
+
+        truth = rhsf_share(exact)
+
+        def error(period, n=8):
+            errs = []
+            for seed in range(n):
+                noisy = exact.resampled(period,
+                                        rng=np.random.default_rng(seed))
+                errs.append(abs(rhsf_share(noisy) - truth))
+            return float(np.mean(errs))
+
+        coarse = error(5.0e7)   # ~20 samples total
+        fine = error(5.0e5)     # ~2000 samples total
+        assert fine < coarse
+
+    def test_zero_period_profile_views_are_empty_safe(self):
+        """A run whose sampling drew nothing must not break presentation."""
+        program = fig1.build()
+        structure = build_structure(program)
+        exact = execute(program)
+        rng = np.random.default_rng(0)
+        empty = exact.resampled(period=1.0e9, rng=rng)  # ~0 samples expected
+        exp = Experiment.from_profile(empty, structure)
+        for view in exp.views():
+            assert isinstance(view.roots, list)
+
+
+class TestEndToEndWorkloads:
+    @pytest.mark.parametrize("builder", [fig1.build, s3d.build, moab.build,
+                                         pflotran.build])
+    def test_every_workload_supports_all_views(self, builder):
+        exp = Experiment.from_program(builder())
+        for view in exp.views():
+            assert view.roots, f"{view.title} empty for {exp.name}"
+            # materialize everything once; no exceptions, no empty labels
+            for root in view.roots:
+                for node in root.walk():
+                    assert node.name
+
+    @pytest.mark.parametrize("builder", [fig1.build, s3d.build, moab.build])
+    def test_database_round_trip_preserves_hot_path(self, builder, tmp_path):
+        from repro.hpcprof import database
+
+        exp = Experiment.from_program(builder())
+        metric = exp.metrics.by_id(0).name
+        want = [n.name for n in exp.hot_path(metric).path]
+        path = str(tmp_path / "db.rpdb")
+        database.save(exp, path)
+        loaded = database.load(path)
+        got = [n.name for n in loaded.hot_path(metric).path]
+        assert got == want
+
+    def test_consistency_across_views(self):
+        """For every workload, each procedure's inclusive cost agrees
+        between the Callers and Flat views (the paper's consistency
+        claim), and no view invents cost beyond the execution total."""
+        for builder in (fig1.build, s3d.build, moab.build):
+            exp = Experiment.from_program(builder())
+            mid = 0
+            total = exp.cct.root.inclusive.get(mid, 0.0)
+            callers = {r.name: r for r in exp.callers_view().roots}
+            flat = exp.flat_view()
+            for file_row in flat.roots:
+                for row in file_row.children:
+                    if row.category is not NodeCategory.PROCEDURE:
+                        continue
+                    twin = callers[row.name]
+                    assert twin.inclusive.get(mid, 0.0) == pytest.approx(
+                        row.inclusive.get(mid, 0.0)
+                    )
+                    assert row.inclusive.get(mid, 0.0) <= total * (1 + 1e-9)
+
+
+class TestMultiToolAgreement:
+    def test_tracer_and_simulator_agree_on_shape(self):
+        """Profile REAL Python code mimicking Figure 1 and check the
+        Callers View splits g's cost by caller just like the synthetic
+        model does: context sensitivity end to end."""
+        import os
+        import tempfile
+        import textwrap
+
+        src = textwrap.dedent(
+            """
+            def g(n):
+                total = 0
+                for i in range(n):
+                    total += i
+                return total
+
+            def f():
+                return g(60000)
+
+            def m():
+                return f() + g(30000)
+            """
+        )
+        workdir = tempfile.mkdtemp(prefix="repro-int-")
+        path = os.path.join(workdir, "mini.py")
+        with open(path, "w") as fh:
+            fh.write(src)
+        namespace: dict = {}
+        exec(compile(src, path, "exec"), namespace)
+
+        from repro.hpcrun.tracer import trace_call
+        from repro.hpcstruct.pystruct import build_python_structure
+
+        _result, profile = trace_call(namespace["m"], roots=[workdir])
+        structure = build_python_structure([path])
+        exp = Experiment.from_profile(profile, structure)
+        events = exp.metric_id("line events")
+        callers = exp.callers_view()
+        g_row = next(r for r in callers.roots if r.name == "g")
+        shares = {c.name: c.inclusive[events] for c in g_row.children}
+        assert shares["f"] > shares["m"] * 1.5  # 60k vs 30k iterations

@@ -1,0 +1,102 @@
+"""Unit tests for the ASCII chart renderers (Figure 7's panels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viewer.charts import (
+    render_histogram,
+    render_rank_panel,
+    render_scatter,
+    render_sorted,
+)
+
+
+@pytest.fixture()
+def skewed():
+    rng = np.random.default_rng(3)
+    return rng.lognormal(mean=0.0, sigma=0.5, size=128)
+
+
+class TestScatter:
+    def test_shape(self, skewed):
+        out = render_scatter(skewed, width=40, height=8, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 8 + 2  # title + rows + axis + label
+        assert all("|" in line for line in lines[1:9])
+
+    def test_axis_labels_bound_the_series(self, skewed):
+        """Top/bottom labels are the plotted (bucket-mean) extremes."""
+        out = render_scatter(skewed)
+        lines = out.splitlines()
+        top = float(lines[1].split("|")[0])
+        bottom = float(lines[-3].split("|")[0])
+        assert bottom < top
+        assert skewed.min() <= bottom <= top <= skewed.max()
+
+    def test_one_star_per_column(self, skewed):
+        out = render_scatter(skewed, width=20, height=6)
+        body = [l.split("|", 1)[1] for l in out.splitlines()[1:7]]
+        for col in range(20):
+            assert sum(1 for row in body if row[col] == "*") == 1
+
+    def test_constant_series(self):
+        out = render_scatter(np.full(16, 3.0), width=16, height=5)
+        assert out.count("*") == 16
+
+    def test_empty(self):
+        assert "(no data)" in render_scatter(np.array([]))
+
+    def test_fewer_ranks_than_width(self):
+        out = render_scatter(np.arange(4.0), width=64, height=4)
+        assert out.count("*") == 4
+
+
+class TestSorted:
+    def test_monotone_rendering(self, skewed):
+        out = render_sorted(skewed, width=32, height=8)
+        body = [l.split("|", 1)[1] for l in out.splitlines()[1:9]]
+        # star height (row index from bottom) must be non-decreasing
+        heights = []
+        for col in range(32):
+            row = next(i for i, line in enumerate(body) if line[col] == "*")
+            heights.append(8 - row)
+        assert heights == sorted(heights)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, skewed):
+        out = render_histogram(skewed, bins=8)
+        counts = [int(line.split(")")[1].split()[0])
+                  for line in out.splitlines()[1:]]
+        assert sum(counts) == len(skewed)
+
+    def test_bar_lengths_proportional(self):
+        values = np.array([1.0] * 30 + [10.0] * 10)
+        out = render_histogram(values, bins=2, width=30)
+        lines = out.splitlines()[1:]
+        bars = [line.count("#") for line in lines]
+        assert bars[0] == 30           # the modal bin fills the width
+        assert 8 <= bars[1] <= 12      # ~ a third
+
+    def test_empty(self):
+        assert "(no data)" in render_histogram(np.array([]))
+
+
+class TestPanel:
+    def test_panel_contains_all_three_charts_and_stats(self, skewed):
+        out = render_rank_panel(skewed, title="demo")
+        assert "=== demo ===" in out
+        assert "imbalance(max/mean)=" in out
+        assert "per-rank values" in out
+        assert "sorted values" in out
+        assert "histogram" in out
+
+    def test_panel_imbalance_statistic(self):
+        out = render_rank_panel(np.array([1.0, 1.0, 4.0]))
+        assert "imbalance(max/mean)=2.00" in out
+
+    def test_empty_panel(self):
+        assert "(no data)" in render_rank_panel(np.array([]))

@@ -1,0 +1,56 @@
+"""Tests for the metric cell formatting rules (Section V-A)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.viewer.format import format_cell, format_percent, format_value
+
+
+class TestFormatValue:
+    def test_zero_is_blank(self):
+        assert format_value(0.0) == ""
+
+    def test_scientific_notation(self):
+        assert format_value(41900000.0) == "4.19e+07"
+        assert format_value(0.0042) == "4.20e-03"
+
+    def test_negative(self):
+        assert format_value(-1234.0) == "-1.23e+03"
+
+    def test_non_finite(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+
+class TestFormatPercent:
+    def test_blank_when_total_zero(self):
+        assert format_percent(5.0, 0.0) == ""
+
+    def test_blank_when_value_zero(self):
+        assert format_percent(0.0, 100.0) == ""
+
+    def test_typical(self):
+        assert format_percent(41.4, 100.0) == "41.4%"
+
+    def test_full(self):
+        assert format_percent(100.0, 100.0) == "100%"
+
+    def test_tiny_values_stay_visible(self):
+        out = format_percent(1e-6, 100.0)
+        assert out.endswith("%") and out != ""
+
+
+class TestFormatCell:
+    def test_blank_zero_cell(self):
+        assert format_cell(0.0, 100.0) == ""
+
+    def test_value_with_percent(self):
+        assert format_cell(41.4, 100.0) == "4.14e+01 41.4%"
+
+    def test_value_without_percent(self):
+        assert format_cell(41.4, 100.0, show_percent=False) == "4.14e+01"
+
+    def test_no_total_no_percent(self):
+        assert format_cell(41.4, 0.0) == "4.14e+01"

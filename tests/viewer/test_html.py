@@ -1,0 +1,77 @@
+"""Tests for the HTML export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.counters import CYCLES
+from repro.sim.workloads import s3d
+from repro.viewer.html import render_html
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(s3d.build())
+
+
+class TestHtmlExport:
+    def test_document_structure(self, exp):
+        doc = render_html(exp.calling_context_view(), title="S3D run")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<title>S3D run</title>" in doc
+        assert doc.rstrip().endswith("</html>")
+        assert "toggleRow" in doc
+
+    def test_metric_headers(self, exp):
+        doc = render_html(exp.calling_context_view())
+        assert "PAPI_TOT_CYC (I)" in doc
+        assert "PAPI_TOT_CYC (E)" in doc
+
+    def test_rows_and_percentages(self, exp):
+        doc = render_html(exp.calling_context_view(), max_depth=6)
+        assert "rhsf" in doc
+        assert "97.9%" in doc or "97.8%" in doc
+
+    def test_hot_path_highlight(self, exp):
+        result = exp.hot_path(CYCLES)
+        view = exp.calling_context_view()
+        # re-run the hot path on the same view object for identity match
+        result = exp.hot_path(CYCLES, view=view)
+        doc = render_html(view, hot=result, max_depth=2)
+        assert "class='hot'" in doc
+        assert "chemkin_m_reaction_rate" in doc  # included beyond max_depth
+
+    def test_custom_columns(self, exp):
+        spec = MetricSpec(exp.metric_id(CYCLES), MetricFlavor.EXCLUSIVE)
+        doc = render_html(exp.flat_view(), columns=[spec])
+        assert doc.count("PAPI_TOT_CYC (E)") == 1
+        assert "PAPI_FP_OPS" not in doc
+
+    def test_truncation(self, exp):
+        doc = render_html(exp.calling_context_view(), max_depth=8, max_rows=5)
+        assert "(truncated at 5 rows)" in doc
+
+    def test_escaping(self):
+        """Scope names with markup must be escaped."""
+        from repro.sim.program import Module, Procedure, Program, Work
+
+        prog = Program(
+            name="esc",
+            modules=[Module(path="a.c", procedures=[
+                Procedure(name="operator<<", line=1,
+                          body=[Work(line=2, costs={"c": 1.0})]),
+            ])],
+            entry="operator<<",
+            metrics=[("c", "u")],
+        )
+        exp = Experiment.from_program(prog)
+        doc = render_html(exp.calling_context_view())
+        assert "operator&lt;&lt;" in doc
+        assert "<<(" not in doc
+
+    def test_all_three_views_render(self, exp):
+        for view in exp.views():
+            doc = render_html(view, max_depth=3)
+            assert "<table>" in doc

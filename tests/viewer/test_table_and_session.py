@@ -1,0 +1,153 @@
+"""Tests for tree-table rendering, navigation and the viewer session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import ViewKind
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1
+from repro.viewer.navigation import NavigationState
+from repro.viewer.session import ViewerSession
+from repro.viewer.table import TableOptions, render_table, render_view
+
+
+@pytest.fixture()
+def experiment():
+    return Experiment.from_program(fig1.build())
+
+
+@pytest.fixture()
+def session(experiment):
+    return ViewerSession(experiment)
+
+
+class TestNavigation:
+    def test_roots_visible_unexpanded(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        rows = list(state.visible_rows())
+        assert [r.name for r, _ in rows] == ["m"]
+
+    def test_expand_reveals_sorted_children(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        state.expand(view.roots[0])
+        rows = list(state.visible_rows())
+        names = [r.name for r, _ in rows]
+        # children of m sorted by inclusive cycles: f (7) before g3 (3)
+        assert names == ["m", "f", "g"]
+
+    def test_ascending_sort(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        state.expand(view.roots[0])
+        state.sort_by(state.column, descending=False)
+        names = [r.name for r, _ in state.visible_rows()]
+        assert names == ["m", "g", "f"]
+
+    def test_collapse(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        state.expand(view.roots[0])
+        state.collapse(view.roots[0])
+        assert [r.name for r, _ in state.visible_rows()] == ["m"]
+
+    def test_expand_hot_path_marks_and_selects(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        result = state.expand_hot_path()
+        assert state.selected is result.hotspot
+        assert all(state.is_hot(n) for n in result.path)
+        # the hot path rows are now visible
+        visible = {id(r) for r, _ in state.visible_rows()}
+        assert all(id(n) in visible for n in result.path)
+
+
+class TestRenderTable:
+    def test_header_and_alignment(self, experiment):
+        out = render_view(experiment.calling_context_view(), depth=2)
+        lines = out.splitlines()
+        assert "scope" in lines[0]
+        assert "cycles (I)" in lines[0]
+        assert "cycles (E)" in lines[0]
+
+    def test_blank_zero_cells(self, experiment):
+        out = render_view(experiment.calling_context_view(), depth=1)
+        m_line = next(l for l in out.splitlines() if " m" in l.split("|")[0])
+        # m has inclusive 10 but exclusive 0: exactly one numeric cell
+        cells = [c.strip() for c in m_line.split("|")[1:]]
+        assert cells[0].startswith("1.00e+01")
+        assert cells[1] == ""
+
+    def test_percent_of_total(self, experiment):
+        out = render_view(experiment.calling_context_view(), depth=2)
+        f_line = next(l for l in out.splitlines() if " f" in l.split("|")[0])
+        assert "70.0%" in f_line  # 7 of 10 cycles
+
+    def test_call_site_icon_and_location(self, experiment):
+        out = render_view(experiment.calling_context_view(), depth=2)
+        f_line = next(l for l in out.splitlines() if " f" in l.split("|")[0])
+        assert ">> f" in f_line
+        assert "file1.c:7" in f_line  # the call-site line in m
+
+    def test_max_rows_truncation(self, experiment):
+        opts = TableOptions(max_rows=2)
+        out = render_view(experiment.calling_context_view(), depth=5, options=opts)
+        assert "more rows" in out.splitlines()[-1]
+
+    def test_hot_path_flame_markers(self, experiment):
+        view = experiment.calling_context_view()
+        state = NavigationState(view)
+        state.expand_hot_path()
+        out = render_table(view, state)
+        flamed = [l for l in out.splitlines() if l.lstrip().startswith("*")]
+        assert len(flamed) >= 3
+
+
+class TestViewerSession:
+    def test_lazy_view_loading(self, session):
+        assert session.loaded_views == 0
+        session.show(ViewKind.CALLING_CONTEXT)
+        assert session.loaded_views == 1
+        session.show(ViewKind.FLAT)
+        assert session.loaded_views == 2
+
+    def test_render_all_three_views(self, session):
+        for kind in ViewKind:
+            out = session.render(kind, expand_depth=2)
+            assert "scope" in out
+            assert session.experiment.name in out
+
+    def test_hot_path_through_session(self, session):
+        session.show(ViewKind.CALLING_CONTEXT)
+        result = session.expand_hot_path()
+        assert result.hotspot_value == 4.0
+
+    def test_threshold_preference(self, session):
+        session.show(ViewKind.CALLING_CONTEXT)
+        session.hot_path_threshold = 0.99
+        result = session.expand_hot_path()
+        # with a 99% threshold the path stops almost immediately
+        assert len(result) <= 3
+
+    def test_flatten_through_session(self, session):
+        session.show(ViewKind.FLAT)
+        before = session.render(ViewKind.FLAT)
+        session.flatten()
+        after = session.render(ViewKind.FLAT)
+        assert "file1.c" in before
+        assert "file1.c" not in after.split("\n", 2)[2]
+
+    def test_derived_metric_column(self, session):
+        session.add_derived_metric("double cycles", "2 * $0")
+        view = session.show(ViewKind.CALLING_CONTEXT)
+        spec = session.experiment.spec("double cycles")
+        assert view.value(view.roots[0], spec) == 20.0
+
+    def test_source_pane_missing_file(self, session):
+        view = session.show(ViewKind.CALLING_CONTEXT)
+        node = view.roots[0]
+        out = session.source_pane(node)
+        assert "not on disk" in out or "no source" in out

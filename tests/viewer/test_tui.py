@@ -1,0 +1,176 @@
+"""Tests for the interactive text-mode viewer (driven via onecmd)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import s3d
+from repro.viewer.tui import InteractiveViewer
+
+
+@pytest.fixture()
+def viewer():
+    exp = Experiment.from_program(s3d.build())
+    return InteractiveViewer(exp, stdout=io.StringIO())
+
+
+def output(viewer) -> str:
+    text = viewer.stdout.getvalue()
+    viewer.stdout.truncate(0)
+    viewer.stdout.seek(0)
+    return text
+
+
+class TestViewSwitching:
+    def test_default_listing_shows_roots(self, viewer):
+        viewer.onecmd("ls")
+        out = output(viewer)
+        assert "Calling Context View" in out
+        assert "main" in out
+        assert "   1 " in out
+
+    def test_switch_views(self, viewer):
+        viewer.onecmd("view callers")
+        assert "Callers View" in output(viewer)
+        viewer.onecmd("ls")
+        out = output(viewer)
+        assert "chemkin_m_reaction_rate" in out
+
+    def test_views_marks_active(self, viewer):
+        viewer.onecmd("view flat")
+        output(viewer)
+        viewer.onecmd("views")
+        out = output(viewer)
+        assert " * flat" in out
+
+    def test_unknown_view(self, viewer):
+        viewer.onecmd("view pie-chart")
+        assert "unknown view" in output(viewer)
+
+
+class TestNavigation:
+    def test_expand_by_number(self, viewer):
+        viewer.onecmd("ls")
+        output(viewer)
+        viewer.onecmd("expand 1")
+        out = output(viewer)
+        assert "solve_driver" in out
+
+    def test_collapse(self, viewer):
+        viewer.onecmd("ls")
+        output(viewer)
+        viewer.onecmd("expand 1")
+        output(viewer)
+        viewer.onecmd("collapse 1")
+        out = output(viewer)
+        assert "solve_driver" not in out
+
+    def test_bad_row_number(self, viewer):
+        viewer.onecmd("ls")
+        output(viewer)
+        viewer.onecmd("expand 99")
+        assert "no row #99" in output(viewer)
+        viewer.onecmd("expand xyz")
+        assert "expected a row number" in output(viewer)
+
+    def test_hot_expands_to_bottleneck(self, viewer):
+        viewer.onecmd("hot")
+        out = output(viewer)
+        assert "hot path:" in out
+        assert "chemkin_m_reaction_rate" in out
+        assert "*" in out  # flame markers in the listing
+
+    def test_select_then_source(self, viewer):
+        viewer.onecmd("ls")
+        output(viewer)
+        viewer.onecmd("select 1")
+        assert "selected main" in output(viewer)
+        viewer.onecmd("source")
+        assert "not on disk" in output(viewer)  # synthetic source
+
+    def test_top_limits_rows(self, viewer):
+        viewer.onecmd("hot")
+        output(viewer)
+        viewer.onecmd("top 3")
+        viewer.onecmd("ls")
+        out = output(viewer)
+        assert "limit 3" in out
+
+
+class TestSortingAndMetrics:
+    def test_sort_by_metric(self, viewer):
+        viewer.onecmd("sort PAPI_L1_DCM")
+        out = output(viewer)
+        assert "sorted by PAPI_L1_DCM (inclusive)" in out
+
+    def test_sort_exclusive(self, viewer):
+        viewer.onecmd("sort PAPI_TOT_CYC excl")
+        assert "(exclusive)" in output(viewer)
+
+    def test_sort_unknown_metric(self, viewer):
+        viewer.onecmd("sort NOPE")
+        assert "unknown metric" in output(viewer)
+
+    def test_metrics_listing(self, viewer):
+        viewer.onecmd("metrics")
+        out = output(viewer)
+        assert "[0] PAPI_TOT_CYC (raw)" in out
+
+    def test_derive_and_sort_by_it(self, viewer):
+        viewer.onecmd("derive waste := 4 * $0 - $1")
+        assert "defined derived metric" in output(viewer)
+        viewer.onecmd("sort waste")
+        assert "sorted by waste" in output(viewer)
+
+    def test_derive_bad_syntax(self, viewer):
+        viewer.onecmd("derive nope")
+        assert "usage: derive" in output(viewer)
+        viewer.onecmd("derive bad := 1 +")
+        assert "" != output(viewer)
+
+
+class TestFlattenAndFilters:
+    def test_flatten_in_flat_view(self, viewer):
+        viewer.onecmd("view flat")
+        output(viewer)
+        viewer.onecmd("ls")
+        assert ".f90" in output(viewer)  # files at top level
+        viewer.onecmd("flatten")
+        out = output(viewer)
+        assert "rhsf" in out  # procedures now at top level
+
+    def test_filter_elides(self, viewer):
+        viewer.onecmd("hot")
+        output(viewer)
+        viewer.onecmd("filter loop at*")
+        out = output(viewer)
+        assert "loop at" not in out
+        assert "rhsf" in out
+        viewer.onecmd("nofilter")
+        assert "loop at" in output(viewer)
+
+    def test_threshold_hides_cold(self, viewer):
+        viewer.onecmd("ls")
+        output(viewer)
+        viewer.onecmd("expand 1")
+        output(viewer)
+        viewer.onecmd("threshold 5")
+        out = output(viewer)
+        assert "initialize_field" not in out
+        assert "solve_driver" in out
+
+
+class TestMisc:
+    def test_quit(self, viewer):
+        assert viewer.onecmd("quit") is True
+
+    def test_unknown_command(self, viewer):
+        viewer.onecmd("dance")
+        assert "unknown command" in output(viewer)
+
+    def test_empty_line_lists(self, viewer):
+        viewer.onecmd("")
+        assert "Calling Context View" in output(viewer)

@@ -1,0 +1,72 @@
+"""Tests for the TUI's find and annotate commands."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import s3d
+from repro.viewer.tui import InteractiveViewer
+
+
+@pytest.fixture()
+def viewer():
+    exp = Experiment.from_program(s3d.build())
+    return InteractiveViewer(exp, stdout=io.StringIO())
+
+
+def output(viewer) -> str:
+    text = viewer.stdout.getvalue()
+    viewer.stdout.truncate(0)
+    viewer.stdout.seek(0)
+    return text
+
+
+class TestFind:
+    def test_find_selects_heaviest(self, viewer):
+        viewer.onecmd("find chemkin*")
+        out = output(viewer)
+        assert "main ->" in out
+        assert "selected heaviest match: chemkin_m_reaction_rate" in out
+        viewer.onecmd("hot")
+        out = output(viewer)
+        # flame starts at the selected scope
+        assert out.startswith("hot path: chemkin_m_reaction_rate")
+
+    def test_find_no_match(self, viewer):
+        viewer.onecmd("find zz*")
+        assert "no matches" in output(viewer)
+
+    def test_find_usage(self, viewer):
+        viewer.onecmd("find")
+        assert "usage: find" in output(viewer)
+
+
+class TestAnnotate:
+    def test_annotate_synthetic_file(self, viewer):
+        viewer.onecmd("annotate rhsf.f90")
+        out = output(viewer)
+        assert "annotated with exclusive PAPI_TOT_CYC" in out
+        assert "110" in out  # rhsf's work statement line
+
+    def test_annotate_explicit_metric(self, viewer):
+        viewer.onecmd("annotate diffflux.f90 PAPI_L1_DCM")
+        assert "PAPI_L1_DCM" in output(viewer)
+
+    def test_annotate_unknown_file(self, viewer):
+        viewer.onecmd("annotate missing.c")
+        assert "profiled files" in output(viewer)
+
+    def test_annotate_usage(self, viewer):
+        viewer.onecmd("annotate")
+        assert "usage: annotate" in output(viewer)
+
+
+class TestAdvise:
+    def test_advise_lists_suggestions(self, viewer):
+        viewer.onecmd("advise")
+        out = output(viewer)
+        assert "[memory-bound-loop]" in out
+        assert "evidence:" in out
