@@ -56,8 +56,9 @@ def test_bench_render_window_vs_tree_size(benchmark, depth):
 
 
 @pytest.mark.parametrize("fanout", [4, 8, 12])
-def test_bench_attribution_scaling(benchmark, fanout):
+@pytest.mark.parametrize("backend", ["dict", "columnar"])
+def test_bench_attribution_scaling(benchmark, fanout, backend):
     from repro.core.attribution import attribute
 
     exp = Experiment.from_program(synthetic_tree_program(fanout=fanout, depth=3))
-    benchmark(lambda: attribute(exp.cct))
+    benchmark(lambda: attribute(exp.cct, columnar=(backend == "columnar")))

@@ -11,13 +11,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.attribution import attribute
+from repro.core.attribution import attribute, attribute_dicts
+from repro.core.engine import MetricEngine
 from repro.experiments.report import ExperimentReport
 from repro.hpcprof.dense import DenseMetrics, attribute_dense
 from repro.hpcprof.experiment import Experiment
-from repro.sim.workloads.synthetic import uniform_tree
+from repro.sim.workloads.synthetic import uniform_tree, wide_flat
 
 NUM_METRICS = 1
+
+_SHAPES = {
+    "tree-6x3": lambda: uniform_tree(6, 3),
+    "wide-400": lambda: wide_flat(400),
+}
 
 
 @pytest.fixture(scope="module")
@@ -30,10 +36,22 @@ def dense(experiment):
     return DenseMetrics.from_cct(experiment.cct, NUM_METRICS)
 
 
+@pytest.fixture(scope="module", params=sorted(_SHAPES))
+def shaped(request):
+    return Experiment.from_program(_SHAPES[request.param]())
+
+
+@pytest.fixture(scope="module")
+def shaped_engine(shaped):
+    return MetricEngine(shaped.cct, NUM_METRICS)
+
+
+@pytest.mark.bench_smoke
 def test_bench_sparse_attribution(benchmark, experiment):
     benchmark(lambda: attribute(experiment.cct))
 
 
+@pytest.mark.bench_smoke
 def test_bench_dense_attribution(benchmark, experiment):
     dense = DenseMetrics.from_cct(experiment.cct, NUM_METRICS)
     benchmark(dense.recompute_inclusive)
@@ -43,9 +61,51 @@ def test_bench_dense_projection_build(benchmark, experiment):
     benchmark(lambda: DenseMetrics.from_cct(experiment.cct, NUM_METRICS))
 
 
+@pytest.mark.bench_smoke
 def test_bench_dense_top_k(benchmark, dense):
     top = benchmark(lambda: dense.top_k(0, k=20))
     assert len(top) == 20
+
+
+# ------------------------------------------------------------------ #
+# bulk-kernel pairs: the dict baseline vs the production MetricEngine,
+# on the two acceptance shapes (tree-6x3 dense/balanced, wide-400 flat).
+# The run_views_bench.py harness records the dict/engine ratios in
+# BENCH_views.json; the bar is >= 5x on every pair.
+# ------------------------------------------------------------------ #
+def test_bench_bulk_attribution_dict(benchmark, shaped):
+    benchmark(lambda: attribute_dicts(shaped.cct))
+
+
+def test_bench_bulk_attribution_engine(benchmark, shaped_engine):
+    benchmark(shaped_engine.refresh)
+
+
+def test_bench_bulk_top_k_dict(benchmark, shaped):
+    def naive():
+        return sorted(
+            ((n, n.exclusive.get(0, 0.0)) for n in shaped.cct.walk()),
+            key=lambda t: -t[1],
+        )[:20]
+
+    assert len(benchmark(naive)) == 20
+
+
+def test_bench_bulk_top_k_engine(benchmark, shaped_engine):
+    assert len(benchmark(lambda: shaped_engine.top_k(0, k=20))) == 20
+
+
+def test_bench_bulk_shares_dict(benchmark, shaped):
+    total = shaped.cct.root.inclusive.get(0, 0.0)
+
+    def naive():
+        return [n.exclusive.get(0, 0.0) / total for n in shaped.cct.walk()]
+
+    assert benchmark(naive)
+
+
+def test_bench_bulk_shares_engine(benchmark, shaped_engine):
+    assert len(benchmark(lambda: shaped_engine.shares(0))) == len(shaped_engine)
 
 
 def test_bench_sparse_top_k(benchmark, experiment):

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Record the view/storage kernel benchmarks in ``BENCH_views.json``.
+
+Runs the storage, view-construction, and scalability benchmark modules
+under ``pytest-benchmark --benchmark-json`` and writes the raw results
+to the repository root (override with ``-o``), so successive PRs can
+track the performance trajectory of the columnar engine against the
+sparse-dict baseline.  After the run it prints the dict/engine speedup
+for every bulk-kernel pair; the acceptance bar is >= 5x on the
+``tree-6x3`` and ``wide-400`` shapes.
+
+Usage::
+
+    python benchmarks/run_views_bench.py [-o BENCH_views.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+BENCH_FILES = (
+    "benchmarks/bench_storage.py",
+    "benchmarks/bench_views.py",
+    "benchmarks/bench_scalability.py",
+)
+
+KERNELS = ("attribution", "top_k", "shares")
+SHAPES = ("tree-6x3", "wide-400")
+
+
+def report_speedups(json_path: Path) -> None:
+    data = json.loads(json_path.read_text())
+    means = {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+    print()
+    print("bulk-kernel speedups (dict mean / engine mean):")
+    for shape in SHAPES:
+        for kernel in KERNELS:
+            dict_mean = means.get(f"test_bench_bulk_{kernel}_dict[{shape}]")
+            engine_mean = means.get(f"test_bench_bulk_{kernel}_engine[{shape}]")
+            if not dict_mean or not engine_mean:
+                continue
+            print(f"  {shape:10s} {kernel:12s} {dict_mean / engine_mean:8.1f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_views.json",
+        help="output path, relative to the repository root",
+    )
+    args = parser.parse_args(argv)
+    out = (REPO / args.output).resolve()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "pytest", *BENCH_FILES,
+        "--benchmark-only", f"--benchmark-json={out}",
+    ]
+    code = subprocess.run(cmd, cwd=REPO, env=env).returncode
+    if code:
+        return code
+    report_speedups(out)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

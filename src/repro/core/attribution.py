@@ -36,42 +36,71 @@ from repro.core.metrics import MetricValues, add_into, total
 
 __all__ = [
     "attribute",
+    "attribute_dicts",
     "exposed_instances",
     "exposed_sum",
     "aggregate_exposed",
 ]
 
+try:  # numpy is a hard dependency, but the dict path must survive without it
+    import numpy as _np  # noqa: F401
 
-def _within_frame_raw(node: CCTNode) -> MetricValues:
-    """Raw cost of *node* and descendants without crossing into a callee frame.
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _HAVE_NUMPY = False
 
-    Children that are procedure frames (under call sites) are skipped; the
-    call-site scope's own raw cost (cost at the call instruction) *does*
-    count toward the enclosing frame.
-    """
-    acc: MetricValues = {}
-    stack = [node]
-    while stack:
-        cur = stack.pop()
-        add_into(acc, cur.raw)
-        for child in cur.children:
-            if child.kind is not CCTKind.FRAME:
-                stack.append(child)
-    return acc
+#: below this node count the columnar engine's array build/scatter overhead
+#: outweighs its vectorized kernels, so ``attribute`` keeps the dict path
+COLUMNAR_MIN_NODES = 128
 
 
-def attribute(cct: CCT) -> None:
+def attribute(cct: CCT, *, columnar: bool | None = None) -> None:
     """Compute ``exclusive`` and ``inclusive`` for every scope, in place.
 
     This is the paper's *initialization* step.  Safe to call repeatedly;
     values are recomputed from ``raw`` each time.
+
+    Two equivalent backends exist (see ``docs/performance.md``): the
+    sparse-dict reference path and the columnar
+    :class:`~repro.core.engine.MetricEngine` path, whose vectorized
+    kernels replicate the dict path's floating-point evaluation order so
+    the results agree bit-for-bit.  ``columnar=None`` (the default) picks
+    the engine for trees of at least ``COLUMNAR_MIN_NODES`` scopes when
+    numpy is available, and falls back to dicts otherwise.
     """
+    if columnar is None:
+        columnar = _HAVE_NUMPY and len(cct) >= COLUMNAR_MIN_NODES
+    if columnar:
+        from repro.core.engine import attribute_columnar  # lazy: numpy
+
+        attribute_columnar(cct)
+        return
+    attribute_dicts(cct)
+
+
+def attribute_dicts(cct: CCT) -> None:
+    """The sparse-dict attribution backend (reference implementation).
+
+    One postorder pass computes both equations.  The within-frame raw sums
+    of Eq. 1 are carried bottom-up as per-node subtotals (a scope's raw
+    cost plus the subtotals of its non-frame children) rather than by a
+    per-frame descendant walk: the arithmetic visits each scope once, and
+    the per-parent, child-order accumulation matches the columnar engine's
+    segment-add kernels addition for addition.
+    """
+    within: dict[int, MetricValues] = {}  # uid -> within-frame raw subtotal
     for node in cct.root.walk_postorder():
         # -- inclusive: Eq. 2 ------------------------------------------- #
         incl: MetricValues = dict(node.raw)
         for child in node.children:
             add_into(incl, child.inclusive)
         node.inclusive = incl
+
+        # -- within-frame subtotal: raw + non-frame children's subtotals - #
+        sub: MetricValues = dict(node.raw)
+        for child in node.children:
+            if child.kind is not CCTKind.FRAME:
+                add_into(sub, within.pop(child.uid))
 
         # -- exclusive: Eq. 1 (hybrid rule) ----------------------------- #
         if node.kind in (CCTKind.STATEMENT, CCTKind.CALL_SITE):
@@ -83,9 +112,14 @@ def attribute(cct: CCT) -> None:
                     add_into(excl, child.raw)
             node.exclusive = excl
         elif node.kind is CCTKind.FRAME:
-            node.exclusive = _within_frame_raw(node)
+            node.exclusive = sub
         else:  # ROOT
             node.exclusive = dict(node.raw)
+
+        if node.kind is not CCTKind.FRAME:
+            # a frame's subtotal never propagates (the Eq. 1 barrier)
+            within[node.uid] = sub
+    cct.invalidate_caches()
 
 
 def exposed_instances(instances: Iterable[CCTNode]) -> list[CCTNode]:

@@ -21,7 +21,6 @@ scalability benchmarks use as the ablation baseline.
 
 from __future__ import annotations
 
-from repro.core.attribution import aggregate_exposed
 from repro.core.cct import CCT, CCTKind, CCTNode
 from repro.core.metrics import MetricTable
 from repro.core.views import NodeCategory, View, ViewKind, ViewNode
@@ -43,8 +42,12 @@ class CallersView(View):
 
     kind = ViewKind.CALLERS
 
-    def __init__(self, cct: CCT, metrics: MetricTable, eager: bool = False) -> None:
-        super().__init__(metrics, title="Callers View", totals=cct.root.inclusive)
+    def __init__(
+        self, cct: CCT, metrics: MetricTable, eager: bool = False, engine=None
+    ) -> None:
+        super().__init__(
+            metrics, title="Callers View", totals=cct.root.inclusive, engine=engine
+        )
         self.cct = cct
         self._eager = eager
 
@@ -52,7 +55,7 @@ class CallersView(View):
     def _build_roots(self) -> list[ViewNode]:
         roots: list[ViewNode] = []
         for proc, frames in self.cct.frames_by_procedure().items():
-            inclusive, exclusive = aggregate_exposed(frames)
+            inclusive, exclusive = self._aggregate_exposed(frames)
             node = ViewNode(
                 name=proc.name,
                 category=NodeCategory.PROCEDURE,
@@ -95,7 +98,7 @@ class CallersView(View):
             rows: list[ViewNode] = []
             for proc, sub_entries in groups.items():
                 instances = [inst for inst, _caller in sub_entries]
-                inclusive, exclusive = aggregate_exposed(instances)
+                inclusive, exclusive = self._aggregate_exposed(instances)
                 sites = sorted(call_lines.get(proc, ()))
                 line = sites[0][1] if sites else proc.location.line
                 file = sites[0][0] if sites else proc.location.file

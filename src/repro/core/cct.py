@@ -245,10 +245,35 @@ class CCTNode:
 
 
 class CCT:
-    """A canonical calling context tree: a root plus node-count bookkeeping."""
+    """A canonical calling context tree: a root plus node-count bookkeeping.
+
+    The tree carries a *version* counter used to invalidate derived caches
+    (the ``frames_by_procedure`` index and the columnar
+    :class:`~repro.core.engine.MetricEngine` projection).  Every operation
+    that mutates the tree's shape or metric values —
+    :meth:`prune`, :func:`repro.core.attribution.attribute`,
+    :func:`repro.hpcprof.merge.merge_ccts`, correlation, summarization —
+    calls :meth:`invalidate_caches`; code that mutates nodes directly must
+    do the same before relying on cached projections.
+    """
 
     def __init__(self) -> None:
         self.root = CCTNode(CCTKind.ROOT)
+        self._version: int = 0
+        self._frames_cache: dict[StructureNode, list[CCTNode]] | None = None
+        #: cached columnar projection, managed by :mod:`repro.core.engine`
+        self._engine = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (cache-invalidation token)."""
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Drop cached projections after a shape or value mutation."""
+        self._version += 1
+        self._frames_cache = None
+        self._engine = None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.walk())
@@ -263,15 +288,20 @@ class CCT:
                 yield node
 
     def frames_by_procedure(self) -> dict[StructureNode, list[CCTNode]]:
-        """Group frame instances by their static procedure.
+        """Group frame instances by their static procedure (cached).
 
         This index drives both the Callers View (top-level entries) and the
-        Flat View (procedure-level aggregation).
+        Flat View (procedure-level aggregation); both consult it on every
+        build, so the full-tree walk is cached and invalidated alongside
+        the other projections on merge/prune.  Treat the returned mapping
+        as read-only.
         """
-        index: dict[StructureNode, list[CCTNode]] = {}
-        for frame in self.frames():
-            index.setdefault(frame.struct, []).append(frame)
-        return index
+        if self._frames_cache is None:
+            index: dict[StructureNode, list[CCTNode]] = {}
+            for frame in self.frames():
+                index.setdefault(frame.struct, []).append(frame)
+            self._frames_cache = index
+        return self._frames_cache
 
     def prune(self, keep: Callable[[CCTNode], bool] | None = None) -> int:
         """Remove subtrees with no raw metrics anywhere (sparseness rule).
@@ -279,21 +309,26 @@ class CCT:
         The paper: "there is no representation for a scope unless there is
         a non-zero performance metric or it is a parent of another scope
         that meets this criteria."  Returns the number of removed nodes.
+
+        Iterative (children decided before their parent via the postorder
+        walk), so chains deeper than the interpreter recursion limit prune
+        correctly.
         """
         keep = keep or (lambda node: bool(node.raw))
         removed = 0
+        keep_flags: dict[int, bool] = {}
 
-        def visit(node: CCTNode) -> bool:
-            nonlocal removed
+        for node in self.root.walk_postorder():
             kept_children = []
             for child in node.children:
-                if visit(child):
+                if keep_flags.pop(child.uid):
                     kept_children.append(child)
                 else:
-                    removed += 1 + sum(1 for _ in child.walk()) - 1
+                    removed += sum(1 for _ in child.walk())
                     node._child_index.pop(child.key, None)
             node.children = kept_children
-            return bool(kept_children) or keep(node)
+            keep_flags[node.uid] = bool(kept_children) or keep(node)
 
-        visit(self.root)
+        if removed:
+            self.invalidate_caches()
         return removed

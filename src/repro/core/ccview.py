@@ -31,8 +31,15 @@ class CallingContextView(View):
 
     kind = ViewKind.CALLING_CONTEXT
 
-    def __init__(self, cct: CCT, metrics: MetricTable, fused: bool = True) -> None:
-        super().__init__(metrics, title="Calling Context View", totals=cct.root.inclusive)
+    def __init__(
+        self, cct: CCT, metrics: MetricTable, fused: bool = True, engine=None
+    ) -> None:
+        super().__init__(
+            metrics,
+            title="Calling Context View",
+            totals=cct.root.inclusive,
+            engine=engine,
+        )
         self.cct = cct
         self.fused = fused
 

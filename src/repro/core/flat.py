@@ -30,7 +30,7 @@ an analyst compare loops across different routines directly.
 
 from __future__ import annotations
 
-from repro.core.attribution import aggregate_exposed, exposed_instances
+from repro.core.attribution import exposed_instances
 from repro.core.cct import CCT, CCTKind, CCTNode
 from repro.core.metrics import MetricTable, MetricValues, add_into, total
 from repro.core.views import NodeCategory, View, ViewKind, ViewNode
@@ -50,8 +50,11 @@ class FlatView(View):
         metrics: MetricTable,
         fused: bool = True,
         show_load_modules: bool = False,
+        engine=None,
     ) -> None:
-        super().__init__(metrics, title="Flat View", totals=cct.root.inclusive)
+        super().__init__(
+            metrics, title="Flat View", totals=cct.root.inclusive, engine=engine
+        )
         self.cct = cct
         self.fused = fused
         #: when False, files are the top level (load modules elided), which
@@ -113,7 +116,7 @@ class FlatView(View):
 
     # ------------------------------------------------------------------ #
     def _procedure_row(self, proc: StructureNode, frames: list[CCTNode]) -> ViewNode:
-        inclusive, exclusive = aggregate_exposed(frames)
+        inclusive, exclusive = self._aggregate_exposed(frames)
         has_source = not proc.location.file.startswith("<unknown")
         row = ViewNode(
             name=proc.name,
@@ -145,7 +148,7 @@ class FlatView(View):
                         sites.setdefault(child.line, []).append(child)
             rows: list[ViewNode] = []
             for struct, nodes in loops.items():
-                inclusive, exclusive = aggregate_exposed(nodes)
+                inclusive, exclusive = self._aggregate_exposed(nodes)
                 category = (
                     NodeCategory.INLINED if struct.kind.is_inlined else NodeCategory.LOOP
                 )
@@ -209,7 +212,7 @@ class FlatView(View):
             )
             return rows
         for callee, frames in by_callee.items():
-            inclusive, exclusive = aggregate_exposed(frames)
+            inclusive, exclusive = self._aggregate_exposed(frames)
             if self.fused:
                 fused_excl = dict(exclusive)
                 add_into(fused_excl, site_raw)

@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 
 from repro.core.cct import CCTNode
 from repro.core.errors import ViewError
-from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.metrics import MetricFlavor, MetricKind, MetricSpec
 from repro.core.views import View, ViewNode
 
 __all__ = ["DEFAULT_THRESHOLD", "HotPathResult", "hot_path", "hot_path_generic"]
@@ -91,8 +91,20 @@ def hot_path(
     Uses the *inclusive* flavour of the selected metric, as Eq. 3
     prescribes, regardless of which flavour the selected display column
     shows.
+
+    When the view carries a columnar engine and the metric is measured
+    (not derived), the descent gathers each level's child values from the
+    engine's matrices in one vectorized read instead of per-row dict
+    lookups; the argmax/threshold logic is identical either way.
     """
     incl = MetricSpec(spec.mid, MetricFlavor.INCLUSIVE)
+    engine = view.engine
+    if (
+        engine is not None
+        and spec.mid < engine.num_metrics
+        and view.metrics.by_id(spec.mid).kind is not MetricKind.DERIVED
+    ):
+        return _hot_path_view_columnar(view, engine, incl, start, threshold)
     if start is None:
         roots = view.roots
         if not roots:
@@ -106,10 +118,70 @@ def hot_path(
     )
 
 
-def hot_path_cct(
-    start: CCTNode, mid: int, threshold: float = DEFAULT_THRESHOLD
+def _hot_path_view_columnar(
+    view: View,
+    engine,
+    incl: MetricSpec,
+    start: ViewNode | None,
+    threshold: float,
+    max_depth: int = 10_000,
 ) -> HotPathResult:
-    """Hot path directly over CCT scopes (pre-view analyses)."""
+    """Eq. 3 over view rows with per-level columnar gathers.
+
+    ``np.argmax`` returns the first maximum, matching ``max(key=...)``'s
+    tie rule, so the chosen path is identical to the generic descent.
+    """
+    import numpy as np  # engine present implies numpy available
+
+    if not (0.0 < threshold <= 1.0):
+        raise ViewError(f"hot-path threshold must be in (0, 1], got {threshold}")
+    if start is None:
+        roots = view.roots
+        if not roots:
+            raise ViewError(f"{view.title} is empty")
+        root_values = engine.gather_view_values(roots, incl)
+        best_root = int(np.argmax(root_values))
+        start = roots[best_root]
+        start_value = float(root_values[best_root])
+    else:
+        start_value = float(engine.gather_view_values([start], incl)[0])
+    path = [start]
+    values = [start_value]
+    node = start
+    for _ in range(max_depth):
+        kids = node.children
+        if not kids:
+            break
+        kid_values = engine.gather_view_values(kids, incl)
+        best = int(np.argmax(kid_values))
+        best_value = float(kid_values[best])
+        if values[-1] <= 0.0 or best_value < threshold * values[-1]:
+            break
+        node = kids[best]
+        path.append(node)
+        values.append(best_value)
+    return HotPathResult(tuple(path), tuple(values))
+
+
+def hot_path_cct(
+    start: CCTNode,
+    mid: int,
+    threshold: float = DEFAULT_THRESHOLD,
+    engine=None,
+) -> HotPathResult:
+    """Hot path directly over CCT scopes (pre-view analyses).
+
+    Pass the CCT's :class:`~repro.core.engine.MetricEngine` to run the
+    descent over the columnar matrices (one fancy-index gather per level)
+    instead of per-node dict lookups.
+    """
+    if engine is not None and 0 <= mid < engine.num_metrics:
+        if not (0.0 < threshold <= 1.0):
+            raise ViewError(f"hot-path threshold must be in (0, 1], got {threshold}")
+        rows, values = engine.hot_path_rows(engine.row_of(start), mid, threshold)
+        return HotPathResult(
+            tuple(engine.nodes[row] for row in rows), tuple(values)
+        )
     return hot_path_generic(
         start,
         value_fn=lambda n: n.inclusive.get(mid, 0.0),

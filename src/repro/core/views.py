@@ -176,13 +176,20 @@ class View:
         metrics: MetricTable,
         title: str = "",
         totals: MetricValues | None = None,
+        engine=None,
     ) -> None:
         self.metrics = metrics
         self.title = title or type(self).__name__
         #: experiment-aggregate inclusive totals (percentage denominators);
         #: normally the CCT root's inclusive vector
         self.totals: MetricValues = dict(totals) if totals else {}
+        #: optional columnar :class:`~repro.core.engine.MetricEngine` over
+        #: the backing CCT; when present, ``total`` and ``sorted_children``
+        #: read measured columns from its matrices instead of the dicts
+        self.engine = engine
         self._roots: list[ViewNode] | None = None
+        #: derived metrics currently being evaluated (cycle detection)
+        self._eval_guard: set[int] = set()
 
     # -- to be provided by subclasses ----------------------------------- #
     def _build_roots(self) -> list[ViewNode]:  # pragma: no cover - abstract
@@ -198,6 +205,19 @@ class View:
     def invalidate(self) -> None:
         """Drop materialized rows (e.g. after adding a derived metric)."""
         self._roots = None
+
+    def _aggregate_exposed(self, instances) -> tuple[MetricValues, MetricValues]:
+        """Exposed-instance aggregation for row construction (Sec. IV-B).
+
+        Dispatches to the columnar engine's kernel when one is attached
+        (bit-identical results; see the engine's docstring), else to the
+        dict-path reference in :mod:`repro.core.attribution`.
+        """
+        if self.engine is not None:
+            return self.engine.aggregate_exposed(instances)
+        from repro.core.attribution import aggregate_exposed
+
+        return aggregate_exposed(instances)
 
     def value(self, node: ViewNode, spec: MetricSpec) -> float:
         """The value of a metric column at a row, evaluating derived metrics.
@@ -220,13 +240,12 @@ class View:
             return store[spec.mid]
         from repro.core.derived import evaluate  # local import: avoid cycle
 
-        active: set[int] = getattr(self, "_eval_guard", None) or set()
+        active = self._eval_guard
         if spec.mid in active:
             raise ViewError(
                 f"cyclic derived-metric reference involving {desc.name!r}"
             )
         active.add(spec.mid)
-        self._eval_guard = active
         try:
             result = evaluate(
                 desc.formula,
@@ -247,6 +266,19 @@ class View:
         metric column".
         """
         rows = self.roots if node is None else node.children
+        engine = self.engine
+        if (
+            engine is not None
+            and len(rows) > 1
+            and spec.mid < engine.num_metrics
+            and self.metrics.by_id(spec.mid).kind is not MetricKind.DERIVED
+        ):
+            import numpy as np  # engine present implies numpy available
+
+            values = engine.gather_view_values(rows, spec)
+            # stable argsort on the negated column == sorted(reverse=True)
+            order = np.argsort(-values if descending else values, kind="stable")
+            return [rows[i] for i in order]
         return sorted(rows, key=lambda r: self.value(r, spec), reverse=descending)
 
     def total(self, spec: MetricSpec) -> float:
@@ -261,6 +293,8 @@ class View:
             )
         if self.totals:
             return self.totals.get(spec.mid, 0.0)
+        if self.engine is not None and spec.mid < self.engine.num_metrics:
+            return self.engine.total(spec.mid)
         incl = MetricSpec(spec.mid, MetricFlavor.INCLUSIVE)
         return sum(self.value(r, incl) for r in self.roots)
 

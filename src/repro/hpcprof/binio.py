@@ -27,7 +27,12 @@ import struct
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTKind, CCTNode
-from repro.core.errors import CorrelationError, DatabaseError, StructureError
+from repro.core.errors import (
+    CorrelationError,
+    DatabaseError,
+    MetricError,
+    StructureError,
+)
 from repro.core.metrics import MetricKind, MetricTable
 from repro.hpcprof.experiment import Experiment
 from repro.hpcstruct.model import (
@@ -199,7 +204,8 @@ def loads_binary(data: bytes) -> Experiment:
 
     Fuzzing showed single-byte corruption can surface as IndexError (bad
     string/struct references), ValueError (bad enum ordinals), Unicode
-    errors, or RecursionError (corrupted child counts); a loader must
+    errors, RecursionError (corrupted child counts), or MetricError (a
+    flipped byte in a descriptor field failing validation); a loader must
     present exactly one failure mode for bad bytes.
     """
     try:
@@ -208,7 +214,7 @@ def loads_binary(data: bytes) -> Experiment:
         raise
     except (IndexError, KeyError, ValueError, OverflowError, MemoryError,
             UnicodeDecodeError, RecursionError, struct.error,
-            StructureError, CorrelationError) as exc:
+            StructureError, CorrelationError, MetricError) as exc:
         raise DatabaseError(f"malformed binary database: {exc!r}") from exc
 
 

@@ -57,6 +57,7 @@ class Correlator:
         for frames, leaf_line, costs in profile.paths():
             node = self._insert_path(frames)
             self._attribute_leaf(node, leaf_line, costs)
+        self.cct.invalidate_caches()  # shape and raw values changed
 
     # ------------------------------------------------------------------ #
     def _resolve_proc(self, frame: Frame) -> StructureNode:

@@ -1,14 +1,11 @@
-"""Dense (numpy) metric storage — the sparse-vs-dense ablation.
+"""Dense (numpy) metric storage — now a facade over the columnar engine.
 
-The presentation layer stores per-scope metrics as sparse dicts, which
-matches the paper's observation that "performance data is sparse" and
-keeps memory proportional to nonzero cells.  For *whole-tree numeric
-analysis* — totals, top-k scans, percent normalization, statistical
-passes — a dense ``(num_nodes x num_metrics)`` matrix with vectorized
-numpy kernels is the classic alternative.  This module provides that
-representation plus vectorized equivalents of the hot analysis kernels,
-so ``benchmarks/bench_storage.py`` can quantify the trade-off both ways
-(time for bulk numerics vs. memory at realistic sparsity).
+Historically this module was a quarantined benchmark-only ablation; the
+underlying store has since been promoted to the production analysis path
+as :class:`repro.core.engine.MetricEngine`.  :class:`DenseMetrics`
+remains as the ablation-facing API (``benchmarks/bench_storage.py`` and
+the sparse-vs-dense tests use it) and adds the memory/sparsity probes
+that quantify the trade-off the paper's sparse-dict representation makes.
 
 The dense store is a *projection*: built from an attributed CCT, never
 the source of truth.
@@ -16,95 +13,33 @@ the source of truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.core.cct import CCT, CCTNode
-from repro.core.errors import MetricError
+from repro.core.cct import CCT
+from repro.core.engine import MetricEngine
 
 __all__ = ["DenseMetrics", "attribute_dense"]
 
 
-@dataclass
-class DenseMetrics:
-    """Dense per-node metric matrices over one CCT.
+class DenseMetrics(MetricEngine):
+    """The ablation-facing view of the columnar engine.
 
-    ``nodes[i]`` corresponds to row ``i`` of each matrix; ``index`` maps
-    node uid → row.  Rows are in preorder, so every parent precedes its
-    children — the property the vectorized kernels rely on.
+    Inherits the preorder row layout (``nodes``, ``index``,
+    ``parent_rows``), the three matrices, and the vectorized kernels
+    (``totals`` / ``shares`` / ``top_k`` / ``memory_bytes``); adds the
+    sparse-representation probes used to quantify the paper's
+    "performance data is sparse" premise.
     """
 
-    nodes: list[CCTNode]
-    index: dict[int, int]
-    parent_rows: np.ndarray          # row of each node's parent (-1 for root)
-    raw: np.ndarray                  # (n_nodes, n_metrics)
-    inclusive: np.ndarray
-    exclusive: np.ndarray
-
-    # ------------------------------------------------------------------ #
     @classmethod
     def from_cct(cls, cct: CCT, num_metrics: int) -> "DenseMetrics":
-        if num_metrics < 1:
-            raise MetricError("num_metrics must be >= 1")
-        nodes = list(cct.walk())
-        index = {node.uid: row for row, node in enumerate(nodes)}
-        n = len(nodes)
-        parent_rows = np.empty(n, dtype=np.int64)
-        raw = np.zeros((n, num_metrics))
-        inclusive = np.zeros((n, num_metrics))
-        exclusive = np.zeros((n, num_metrics))
-        for row, node in enumerate(nodes):
-            parent_rows[row] = index[node.parent.uid] if node.parent else -1
-            for store, matrix in ((node.raw, raw),
-                                  (node.inclusive, inclusive),
-                                  (node.exclusive, exclusive)):
-                for mid, value in store.items():
-                    if mid < num_metrics:
-                        matrix[row, mid] = value
-        return cls(nodes=nodes, index=index, parent_rows=parent_rows,
-                   raw=raw, inclusive=inclusive, exclusive=exclusive)
+        return cls(cct, num_metrics)
 
     # ------------------------------------------------------------------ #
-    # vectorized kernels
-    # ------------------------------------------------------------------ #
-    def totals(self) -> np.ndarray:
-        """Experiment totals per metric (the root's inclusive row)."""
-        return self.inclusive[0].copy()
-
-    def shares(self, mid: int) -> np.ndarray:
-        """Every scope's inclusive share of the total, in one pass."""
-        total = self.inclusive[0, mid]
-        if total == 0.0:
-            return np.zeros(len(self.nodes))
-        return self.inclusive[:, mid] / total
-
-    def top_k(self, mid: int, k: int = 10, exclusive: bool = True
-              ) -> list[tuple[CCTNode, float]]:
-        """The k heaviest scopes by one metric — argpartition, not sort."""
-        matrix = self.exclusive if exclusive else self.inclusive
-        column = matrix[:, mid]
-        k = min(k, len(column))
-        idx = np.argpartition(column, -k)[-k:]
-        idx = idx[np.argsort(column[idx])[::-1]]
-        return [(self.nodes[i], float(column[i])) for i in idx]
-
     def recompute_inclusive(self) -> np.ndarray:
-        """Vectorized Eq. 2: bottom-up accumulation over the preorder.
-
-        Walking rows in reverse preorder and adding each row into its
-        parent computes every inclusive vector without per-node dict
-        traffic; ``np.add.at`` is unnecessary because each row is visited
-        exactly once.
-        """
-        out = self.raw.copy()
-        for row in range(len(self.nodes) - 1, 0, -1):
-            out[self.parent_rows[row]] += out[row]
-        return out
-
-    def memory_bytes(self) -> int:
-        """Matrix memory footprint (the dense side of the ablation)."""
-        return self.raw.nbytes + self.inclusive.nbytes + self.exclusive.nbytes
+        """Vectorized Eq. 2 from ``raw``, returned without mutating."""
+        inclusive, _exclusive = self.compute_attribution()
+        return inclusive
 
     @staticmethod
     def sparse_memory_bytes(cct: CCT) -> int:
@@ -132,13 +67,10 @@ class DenseMetrics:
 
 
 def attribute_dense(cct: CCT, num_metrics: int) -> DenseMetrics:
-    """Build the dense projection and verify Eq. 2 vectorized.
-
-    Returns the dense store with ``inclusive`` recomputed from ``raw`` by
-    the vectorized kernel; used by the ablation bench and as an
-    independent cross-check of the sparse attribution (the two paths are
-    compared in tests).
-    """
+    """Build the dense projection with ``inclusive``/``exclusive``
+    recomputed from ``raw`` by the vectorized kernels; used by the
+    ablation bench and as an independent cross-check of the sparse
+    attribution (the two paths are compared in tests)."""
     dense = DenseMetrics.from_cct(cct, num_metrics)
-    dense.inclusive = dense.recompute_inclusive()
+    dense.refresh()
     return dense

@@ -61,6 +61,17 @@ class Experiment:
         self.rank_ccts: list[CCT] | None = list(rank_ccts) if rank_ccts else None
         self._summaries: dict[int, SummaryIds] = {}
 
+    @property
+    def engine(self):
+        """The columnar :class:`~repro.core.engine.MetricEngine` over the
+        combined CCT, rebuilt transparently after mutation or metric-table
+        growth; ``None`` for metric-less experiments.  Views built by this
+        experiment carry it so totals, sorting, and hot-path descent read
+        from the matrices instead of per-node dicts."""
+        from repro.core.engine import engine_for
+
+        return engine_for(self.cct, len(self.metrics))
+
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
@@ -160,10 +171,12 @@ class Experiment:
     # views
     # ------------------------------------------------------------------ #
     def calling_context_view(self, fused: bool = True) -> CallingContextView:
-        return CallingContextView(self.cct, self.metrics, fused=fused)
+        return CallingContextView(
+            self.cct, self.metrics, fused=fused, engine=self.engine
+        )
 
     def callers_view(self, eager: bool = False) -> CallersView:
-        return CallersView(self.cct, self.metrics, eager=eager)
+        return CallersView(self.cct, self.metrics, eager=eager, engine=self.engine)
 
     def flat_view(self, fused: bool = True, show_load_modules: bool = False) -> FlatView:
         return FlatView(
@@ -171,6 +184,7 @@ class Experiment:
             self.metrics,
             fused=fused,
             show_load_modules=show_load_modules,
+            engine=self.engine,
         )
 
     def views(self) -> tuple[CallingContextView, CallersView, FlatView]:
@@ -214,14 +228,21 @@ class Experiment:
         view = view or self.calling_context_view()
         return hot_path(view, self.spec(metric), start=start, threshold=threshold)
 
-    def summarize(self, metric: str) -> SummaryIds:
-        """Attach mean/min/max/stddev columns over ranks (Section VII)."""
+    def summarize(self, metric: str, max_workers: int | None = None) -> SummaryIds:
+        """Attach mean/min/max/stddev columns over ranks (Section VII).
+
+        ``max_workers > 1`` reduces the per-rank moments through a process
+        pool (see :func:`repro.hpcprof.summarize.rank_moments`); the
+        result is bit-identical to the serial reduction.
+        """
         if not self.rank_ccts:
             raise ViewError("summarize() requires a parallel experiment")
         mid = self.metric_id(metric)
         ids = self._summaries.get(mid)
         if ids is None:
-            ids = summarize_ranks(self.cct, self.rank_ccts, self.metrics, mid)
+            ids = summarize_ranks(
+                self.cct, self.rank_ccts, self.metrics, mid, max_workers=max_workers
+            )
             self._summaries[mid] = ids
         return ids
 

@@ -26,18 +26,29 @@ from repro.core.metrics import MetricTable, add_into
 
 __all__ = [
     "merge_ccts",
+    "collect_rank_matrix",
     "collect_rank_vectors",
     "scale_and_difference",
 ]
 
 
 def _graft(dst: CCTNode, src: CCTNode) -> None:
-    add_into(dst.raw, src.raw)
-    for child in src.children:
-        mine = dst._child_index.get(child.key)
-        if mine is None:
-            mine = CCTNode(child.kind, struct=child.struct, line=child.line, parent=dst)
-        _graft(mine, child)
+    """Union *src*'s subtree into *dst*, summing raw costs.
+
+    Iterative (explicit stack), so chains deeper than the interpreter
+    recursion limit graft correctly.
+    """
+    stack = [(dst, src)]
+    while stack:
+        dnode, snode = stack.pop()
+        add_into(dnode.raw, snode.raw)
+        for child in snode.children:
+            mine = dnode._child_index.get(child.key)
+            if mine is None:
+                mine = CCTNode(
+                    child.kind, struct=child.struct, line=child.line, parent=dnode
+                )
+            stack.append((mine, child))
 
 
 def merge_ccts(ccts: Sequence[CCT], attribute_result: bool = True) -> CCT:
@@ -56,12 +67,52 @@ def merge_ccts(ccts: Sequence[CCT], attribute_result: bool = True) -> CCT:
 
 
 def _walk_aligned(combined: CCTNode, rank_root: CCTNode, rank: int, sink) -> None:
-    """Visit nodes of one rank tree aligned to the combined tree by key."""
-    sink(combined, rank_root, rank)
-    for child in rank_root.children:
-        mine = combined._child_index.get(child.key)
-        if mine is not None:
-            _walk_aligned(mine, child, rank, sink)
+    """Visit nodes of one rank tree aligned to the combined tree by key.
+
+    Iterative, for the same deep-chain reason as :func:`_graft`.
+    """
+    stack = [(combined, rank_root)]
+    while stack:
+        cnode, rnode = stack.pop()
+        sink(cnode, rnode, rank)
+        for child in rnode.children:
+            mine = cnode._child_index.get(child.key)
+            if mine is not None:
+                stack.append((mine, child))
+
+
+def collect_rank_matrix(
+    combined: CCT,
+    rank_ccts: Sequence[CCT],
+    mid: int,
+    inclusive: bool = True,
+) -> tuple[list[CCTNode], np.ndarray]:
+    """Columnar per-rank values of one metric: ``(nodes, matrix)``.
+
+    ``matrix`` is ``(len(nodes), nranks)`` float64 with one row per
+    combined-tree scope that is nonzero in at least one rank (row *i*
+    belongs to ``nodes[i]``); ranks in which a scope never appeared
+    contribute 0 (sparse semantics).  This is the raw material for
+    load-imbalance presentation (Figure 7) and for the vectorized
+    statistical summarization in :mod:`repro.hpcprof.summarize`.
+    """
+    nranks = len(rank_ccts)
+    nodes = list(combined.walk())
+    index = {node.uid: row for row, node in enumerate(nodes)}
+    matrix = np.zeros((len(nodes), nranks))
+
+    def sink(cnode: CCTNode, rnode: CCTNode, rank: int) -> None:
+        values = rnode.inclusive if inclusive else rnode.exclusive
+        value = values.get(mid, 0.0)
+        if value != 0.0:
+            matrix[index[cnode.uid], rank] += value
+
+    for rank, cct in enumerate(rank_ccts):
+        _walk_aligned(combined.root, cct.root, rank, sink)
+
+    mask = np.any(matrix != 0.0, axis=1)
+    kept = [node for node, keep in zip(nodes, mask.tolist()) if keep]
+    return kept, matrix[mask]
 
 
 def collect_rank_vectors(
@@ -72,27 +123,12 @@ def collect_rank_vectors(
 ) -> dict[int, np.ndarray]:
     """Per-node vectors of one metric across ranks.
 
-    Returns ``{combined-node uid: array of length nranks}``; ranks in
-    which a scope never appeared contribute 0 (sparse semantics).  Only
-    scopes present in the combined tree are reported.
+    Dict facade over :func:`collect_rank_matrix`: returns
+    ``{combined-node uid: array of length nranks}`` for every scope that
+    is nonzero in at least one rank.
     """
-    nranks = len(rank_ccts)
-    vectors: dict[int, np.ndarray] = {}
-
-    def sink(cnode: CCTNode, rnode: CCTNode, rank: int) -> None:
-        values = rnode.inclusive if inclusive else rnode.exclusive
-        value = values.get(mid, 0.0)
-        if value == 0.0:
-            return
-        vec = vectors.get(cnode.uid)
-        if vec is None:
-            vec = np.zeros(nranks)
-            vectors[cnode.uid] = vec
-        vec[rank] += value
-
-    for rank, cct in enumerate(rank_ccts):
-        _walk_aligned(combined.root, cct.root, rank, sink)
-    return vectors
+    nodes, matrix = collect_rank_matrix(combined, rank_ccts, mid, inclusive)
+    return {node.uid: matrix[row] for row, node in enumerate(nodes)}
 
 
 def structural_key(node: CCTNode) -> tuple:
@@ -141,25 +177,24 @@ def scale_and_difference(
 
     base_raw: dict[tuple, float] = {}
 
-    def record(node: CCTNode, path: tuple) -> None:
+    stack: list[tuple[CCTNode, tuple]] = [(base.root, ())]
+    while stack:
+        node, path = stack.pop()
         key = path + (structural_key(node),)
         if mid in node.raw:
             base_raw[key] = base_raw.get(key, 0.0) + node.raw[mid]
-        for child in node.children:
-            record(child, key)
+        stack.extend((child, key) for child in node.children)
 
-    record(base.root, ())
-
-    def apply(node: CCTNode, path: tuple) -> None:
+    stack = [(scaled_run.root, ())]
+    while stack:
+        node, path = stack.pop()
         key = path + (structural_key(node),)
         expected = factor * base_raw.pop(key, 0.0)
         measured = node.raw.get(mid, 0.0)
         delta = measured - expected
         if delta != 0.0:
             node.raw[loss.mid] = delta
-        for child in node.children:
-            apply(child, key)
+        stack.extend((child, key) for child in node.children)
 
-    apply(scaled_run.root, ())
     attribute(scaled_run)
     return loss.mid

@@ -19,6 +19,7 @@ metric on a combined CCT, replacing O(#ranks) storage with O(1).
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -27,17 +28,23 @@ import numpy as np
 from repro.core.cct import CCT
 from repro.core.errors import MetricError
 from repro.core.metrics import MetricKind, MetricTable
-from repro.hpcprof.merge import collect_rank_vectors
+from repro.hpcprof.merge import collect_rank_matrix, collect_rank_vectors
 
 __all__ = [
     "Moments",
     "SummaryIds",
     "summarize_ranks",
+    "rank_moments",
     "partial_summary",
     "reduce_partials",
     "finalize_partials",
     "imbalance_factor",
 ]
+
+#: ranks per worker chunk in the parallel reduction (chosen so 64 ranks
+#: split into a 4-leaf tree; the merge is exact, so the value only
+#: affects scheduling granularity, never results)
+CHUNK_RANKS = 16
 
 
 @dataclass
@@ -130,6 +137,7 @@ def summarize_ranks(
     rank_ccts: Sequence[CCT],
     metrics: MetricTable,
     mid: int,
+    max_workers: int | None = None,
 ) -> SummaryIds:
     """Attach mean/min/max/stddev columns for metric *mid* across ranks.
 
@@ -137,6 +145,15 @@ def summarize_ranks(
     scope (with 0 for ranks where the scope is absent), written into the
     scopes' inclusive vectors, and likewise for exclusive values.  The
     combined tree must have been produced by merging *rank_ccts*.
+
+    The per-rank values are collected as one columnar ``(scopes x ranks)``
+    matrix per flavour (:func:`~repro.hpcprof.merge.collect_rank_matrix`)
+    and reduced with vectorized axis kernels.  With ``max_workers > 1``
+    the reduction instead runs through :func:`rank_moments`' process-pool
+    reduction tree over rank chunks — the moments merge is exact, and the
+    chunk boundaries and merge-tree shape are fixed, so the parallel
+    result is bit-identical to the serial one (a property the tests
+    assert for 64 ranks).
     """
     if not rank_ccts:
         raise MetricError("need at least one rank profile to summarize")
@@ -151,18 +168,127 @@ def summarize_ranks(
         stddev=metrics.add(f"{base.name} (stddev)", unit=base.unit,
                            kind=MetricKind.SUMMARY, show_percent=False).mid,
     )
-    nodes = {node.uid: node for node in combined.walk()}
     for flavor in ("inclusive", "exclusive"):
-        vectors = collect_rank_vectors(
+        nodes, matrix = collect_rank_matrix(
             combined, rank_ccts, mid, inclusive=(flavor == "inclusive")
         )
-        for uid, vec in vectors.items():
-            store = getattr(nodes[uid], flavor)
-            store[ids.mean] = float(np.mean(vec))
-            store[ids.minimum] = float(np.min(vec))
-            store[ids.maximum] = float(np.max(vec))
-            store[ids.stddev] = float(np.std(vec))
+        if not nodes:
+            continue
+        if max_workers is not None:
+            count, mean, m2, minimum, maximum = rank_moments(
+                matrix, max_workers=max_workers
+            )
+            variance = m2 / count if count > 1 else np.zeros(len(nodes))
+            stddev = np.sqrt(np.maximum(variance, 0.0))
+        else:
+            mean = matrix.mean(axis=1)
+            minimum = matrix.min(axis=1)
+            maximum = matrix.max(axis=1)
+            stddev = matrix.std(axis=1)
+        columns = (
+            (ids.mean, mean.tolist()),
+            (ids.minimum, minimum.tolist()),
+            (ids.maximum, maximum.tolist()),
+            (ids.stddev, stddev.tolist()),
+        )
+        for row, node in enumerate(nodes):
+            store = getattr(node, flavor)
+            for summary_mid, values in columns:
+                store[summary_mid] = values[row]
+    combined.invalidate_caches()  # node values changed under any projection
     return ids
+
+
+# --------------------------------------------------------------------- #
+# chunked Welford + process-pool reduction tree
+# --------------------------------------------------------------------- #
+#: per-row statistics of one rank chunk: (count, mean, m2, min, max);
+#: count is a plain int, the rest are per-row vectors
+_RowStats = tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _welford_chunk(matrix: np.ndarray) -> _RowStats:
+    """Per-row Welford moments over one chunk of rank columns.
+
+    Module-level (hence picklable) worker for the process pool.  The
+    column loop performs, element-wise per row, exactly the update
+    sequence of :meth:`Moments.add`, so each row's result is bit-identical
+    to feeding that row's values through a scalar accumulator in order.
+    """
+    n, m = matrix.shape
+    mean = np.zeros(n)
+    m2 = np.zeros(n)
+    minimum = np.full(n, math.inf)
+    maximum = np.full(n, -math.inf)
+    for j in range(m):
+        x = matrix[:, j]
+        delta = x - mean
+        mean = mean + delta / (j + 1)
+        m2 = m2 + delta * (x - mean)
+        minimum = np.minimum(minimum, x)
+        maximum = np.maximum(maximum, x)
+    return (m, mean, m2, minimum, maximum)
+
+
+def _merge_stats(a: _RowStats, b: _RowStats) -> _RowStats:
+    """Vectorized :meth:`Moments.merge` — same formulas, same FP order."""
+    count_a, mean_a, m2_a, min_a, max_a = a
+    count_b, mean_b, m2_b, min_b, max_b = b
+    if count_b == 0:
+        return a
+    if count_a == 0:
+        return b
+    n = count_a + count_b
+    delta = mean_b - mean_a
+    m2 = m2_a + m2_b + delta * delta * count_a * count_b / n
+    mean = (count_a * mean_a + count_b * mean_b) / n
+    return (n, mean, m2, np.minimum(min_a, min_b), np.maximum(max_a, max_b))
+
+
+def _reduce_tree(stats: list[_RowStats]) -> _RowStats:
+    """Pairwise reduction in fixed order — the finalization step's shape.
+
+    The tree's shape depends only on the chunk count, never on worker
+    scheduling, so parallel and serial runs reduce identically.
+    """
+    while len(stats) > 1:
+        merged = [
+            _merge_stats(stats[i], stats[i + 1])
+            for i in range(0, len(stats) - 1, 2)
+        ]
+        if len(stats) % 2:
+            merged.append(stats[-1])
+        stats = merged
+    return stats[0]
+
+
+def rank_moments(
+    matrix: np.ndarray,
+    max_workers: int | None = None,
+    chunk_ranks: int = CHUNK_RANKS,
+) -> _RowStats:
+    """Per-row moments of a ``(scopes x ranks)`` matrix, chunked by rank.
+
+    Rank columns are split into fixed chunks; each chunk's per-row Welford
+    partials are computed by :func:`_welford_chunk` — in a
+    ``concurrent.futures`` process pool when ``max_workers > 1``, inline
+    otherwise — and combined through the fixed pairwise merge tree.  Since
+    chunking and tree shape are independent of the execution mode, the
+    returned ``(count, mean, m2, min, max)`` is bit-identical for any
+    worker count.
+    """
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise MetricError("rank_moments needs a (scopes x ranks) matrix")
+    nranks = matrix.shape[1]
+    chunks = [
+        matrix[:, lo : lo + chunk_ranks] for lo in range(0, nranks, chunk_ranks)
+    ]
+    if max_workers is not None and max_workers > 1 and len(chunks) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            stats = list(pool.map(_welford_chunk, chunks))
+    else:
+        stats = [_welford_chunk(chunk) for chunk in chunks]
+    return _reduce_tree(stats)
 
 
 # --------------------------------------------------------------------- #

@@ -9,14 +9,23 @@ Four shape families whose CCT size/shape is controlled precisely:
 * :func:`wide_flat`     — many sibling procedures under one driver, for
   sorting/rendering-width studies;
 * :func:`recursive_ladder` — self-recursion of configurable depth under
-  several distinct contexts, for exposed-instance stress tests.
+  several distinct contexts, for exposed-instance stress tests;
+* :func:`mutual_ladder` — two procedures recursing into each other, so
+  every procedure's instance set interleaves down the chain — the
+  worst case for the exposed-instance rule (Section IV-B).
 """
 
 from __future__ import annotations
 
 from repro.sim.program import Call, Loop, Module, Procedure, Program, Work
 
-__all__ = ["uniform_tree", "deep_chain", "wide_flat", "recursive_ladder"]
+__all__ = [
+    "uniform_tree",
+    "deep_chain",
+    "wide_flat",
+    "recursive_ladder",
+    "mutual_ladder",
+]
 
 _METRIC = "cycles"
 
@@ -114,6 +123,49 @@ def recursive_ladder(depth: int = 10, contexts: int = 3,
     return Program(
         name=f"ladder-{depth}x{contexts}",
         modules=[Module(path="ladder.c", procedures=[main, rec])],
+        entry="main",
+        metrics=[(metric, "cycles")],
+    )
+
+
+def mutual_ladder(depth: int = 10, contexts: int = 2,
+                  metric: str = _METRIC) -> Program:
+    """Mutual recursion ``ping -> pong -> ping -> …`` *depth* calls deep,
+    entered from several distinct call sites.
+
+    Every ``ping`` instance has a ``ping`` ancestor two frames up (and
+    likewise for ``pong``), so each procedure's instance set is a chain of
+    nested instances interleaved with the other's — the deep-recursion
+    stress case for exposed-instance aggregation.
+    """
+    def hop(name: str, callee: str, line: int) -> Procedure:
+        return Procedure(
+            name=name, line=line, end_line=line + 6,
+            body=[
+                Work(line=line + 1, costs={metric: 1.0}),
+                Call(
+                    line=line + 2, callee=callee,
+                    count=lambda ctx, d=depth: (
+                        1.0
+                        if ctx.depth_of("ping") + ctx.depth_of("pong") < d
+                        else 0.0
+                    ),
+                ),
+            ],
+        )
+
+    main = Procedure(
+        name="main", line=1, end_line=2 + contexts,
+        body=[Call(line=2 + i, callee="ping") for i in range(contexts)],
+    )
+    return Program(
+        name=f"mutual-{depth}x{contexts}",
+        modules=[
+            Module(
+                path="mutual.c",
+                procedures=[main, hop("ping", "pong", 10), hop("pong", "ping", 20)],
+            )
+        ],
         entry="main",
         metrics=[(metric, "cycles")],
     )

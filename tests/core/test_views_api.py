@@ -108,3 +108,59 @@ class TestViewApi:
         view = exp.calling_context_view()
         spec = exp.spec("thrice")
         assert view.total(spec) == 3 * exp.total("PAPI_TOT_CYC")
+
+
+class TestDerivedCycleGuard:
+    """The cyclic-reference guard in View.value (a real instance attribute,
+    initialized in __init__, not conjured via getattr)."""
+
+    def _cyclic_experiment(self):
+        # define_derived validates referenced columns exist, which forbids
+        # forward references — register the raw descriptors directly to
+        # build the mutual cycle a buggy database could contain.
+        from repro.core.metrics import MetricKind
+
+        e = Experiment.from_program(fig1.build())
+        a = e.metrics.add(
+            "a", kind=MetricKind.DERIVED, formula=f"${len(e.metrics) + 1} + 1"
+        )
+        b = e.metrics.add("b", kind=MetricKind.DERIVED, formula=f"${a.mid} * 2")
+        assert a.formula == f"${b.mid} + 1"
+        return e, a, b
+
+    def test_cycle_raises_view_error(self):
+        e, a, _b = self._cyclic_experiment()
+        view = e.calling_context_view()
+        with pytest.raises(ViewError, match="cyclic derived-metric"):
+            view.value(view.roots[0], MetricSpec(a.mid, MetricFlavor.INCLUSIVE))
+
+    def test_self_reference_raises(self):
+        from repro.core.metrics import MetricKind
+
+        e = Experiment.from_program(fig1.build())
+        d = e.metrics.add(
+            "self", kind=MetricKind.DERIVED, formula=f"${len(e.metrics)} + 1"
+        )
+        view = e.calling_context_view()
+        with pytest.raises(ViewError, match="cyclic derived-metric"):
+            view.value(view.roots[0], MetricSpec(d.mid, MetricFlavor.EXCLUSIVE))
+
+    def test_guard_resets_after_failure(self):
+        """A failed evaluation must not poison later, acyclic ones."""
+        from repro.core.derived import define_derived
+
+        e, a, _b = self._cyclic_experiment()
+        view = e.calling_context_view()
+        spec_a = MetricSpec(a.mid, MetricFlavor.INCLUSIVE)
+        with pytest.raises(ViewError):
+            view.value(view.roots[0], spec_a)
+        ok = define_derived(e.metrics, "fine", "$0 * 2")
+        row = view.roots[0]
+        expected = 2 * row.value(MetricSpec(0, MetricFlavor.INCLUSIVE))
+        assert view.value(row, MetricSpec(ok.mid, MetricFlavor.INCLUSIVE)) == expected
+        # and the guard is empty again (instance attribute, per-view state)
+        assert view._eval_guard == set()
+
+    def test_guard_is_initialized_in_init(self):
+        view = Experiment.from_program(fig1.build()).calling_context_view()
+        assert view._eval_guard == set()

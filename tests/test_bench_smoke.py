@@ -1,0 +1,41 @@
+"""Tier-1 smoke coverage for the benchmark harness.
+
+``benchmarks/`` is normally run on demand (``--benchmark-only``), so an
+import error or API drift there would only surface when someone next
+measures.  This test keeps a three-benchmark subset — marked
+``bench_smoke`` in ``benchmarks/bench_storage.py`` — compiling and
+passing under ``--benchmark-disable`` on every tier-1 run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_bench_smoke_subset_passes():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks",
+            "-m",
+            "bench_smoke",
+            "--benchmark-disable",
+        ],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = proc.stdout + proc.stderr
+    assert proc.returncode == 0, output
+    assert "3 passed" in output, output
