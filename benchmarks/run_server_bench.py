@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Record analysis-server throughput in ``BENCH_server.json``.
+
+Starts a real ``repro-serve`` server (in-process thread, real sockets),
+fires a mixed workload from concurrent client threads — mostly repeated
+cached renders with a sprinkling of varied renders and hot-path queries,
+the steady-state shape of a dashboard fleet — and records requests/sec
+and the server-reported cache hit-rate, so successive PRs can track the
+service's performance trajectory alongside ``BENCH_views.json``.
+
+Usage::
+
+    python benchmarks/run_server_bench.py [-o BENCH_server.json]
+        [--clients 8] [--requests 60] [--workload fig1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.server import build_server  # noqa: E402 - path set above
+
+
+def fire(base: str, method: str, path: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        assert resp.status in (200, 201), (path, resp.status)
+        return json.loads(resp.read())
+
+
+def client_loop(base: str, sid: str, n_requests: int) -> None:
+    for i in range(n_requests):
+        if i % 10 < 7:  # steady state: the same cached render
+            fire(base, "POST", f"/sessions/{sid}/render",
+                 {"view": "cct", "depth": 3})
+        elif i % 10 < 9:  # a small working set of varied renders
+            fire(base, "POST", f"/sessions/{sid}/render",
+                 {"view": ("flat", "callers")[i % 2], "depth": 2 + i % 3})
+        else:
+            fire(base, "GET", f"/sessions/{sid}/hotpath")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_server.json",
+                        help="output path, relative to the repository root")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per client thread")
+    parser.add_argument("--workload", default="fig1")
+    args = parser.parse_args(argv)
+
+    server = build_server(workload=args.workload, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    sid = server.app.registry.list_info()[0]["id"]
+
+    # warm the lazy views and the cache once, outside the timed window
+    fire(base, "POST", f"/sessions/{sid}/render", {"view": "cct", "depth": 3})
+
+    clients = [
+        threading.Thread(target=client_loop, args=(base, sid, args.requests))
+        for _ in range(args.clients)
+    ]
+    t0 = time.perf_counter()
+    for c in clients:
+        c.start()
+    for c in clients:
+        c.join()
+    elapsed = time.perf_counter() - t0
+
+    stats = fire(base, "GET", "/stats")
+    server.shutdown()
+    server.server_close()
+
+    total = args.clients * args.requests
+    result = {
+        "workload": args.workload,
+        "clients": args.clients,
+        "requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_sec": round(total / elapsed, 1),
+        "cache_hit_rate": round(stats["cache"]["hits"]
+                                / max(1, stats["cache"]["hits"]
+                                      + stats["cache"]["misses"]), 4),
+        "cache": stats["cache"],
+        "server_requests": stats["requests"],
+    }
+    out = (REPO / args.output).resolve()
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"{total} requests from {args.clients} clients in {elapsed:.2f}s "
+          f"-> {result['requests_per_sec']} req/s, "
+          f"cache hit-rate {result['cache_hit_rate']:.1%}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line entry points (the tool suite's CLI surface).
 
-Four commands mirror the HPCToolkit workflow:
+Five commands mirror the HPCToolkit workflow:
 
 * ``repro-profile <script.py> [args…]`` — run a Python script under the
   tracing call path profiler (``hpcrun``), write a database;
@@ -8,6 +8,8 @@ Four commands mirror the HPCToolkit workflow:
   ``moab``, ``pflotran``) and write a database;
 * ``repro-view <database>`` — render the three views, optionally expand
   the hot path (``hpcviewer``);
+* ``repro-serve <database> …`` — serve loaded databases as a concurrent
+  JSON analysis API (the ``hpcviewer`` operations over HTTP);
 * ``repro-experiments`` — run the paper-reproduction experiments and
   print (or write, with ``--markdown``) the paper-vs-measured report.
 """
@@ -28,7 +30,8 @@ from repro.hpcstruct.pystruct import build_python_structure
 from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions
 
-__all__ = ["main_profile", "main_sim", "main_view", "main_experiments"]
+__all__ = ["main_profile", "main_sim", "main_view", "main_serve",
+           "main_experiments"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -167,6 +170,14 @@ def main_view(argv: list[str] | None = None) -> int:
         for suggestion in advise(exp)[:8]:
             print(suggestion.describe())
     return 0
+
+
+# --------------------------------------------------------------------- #
+def main_serve(argv: list[str] | None = None) -> int:
+    """Serve experiment databases as a concurrent JSON analysis API."""
+    from repro.server.http import main
+
+    return main(argv)
 
 
 # --------------------------------------------------------------------- #

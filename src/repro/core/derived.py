@@ -104,6 +104,13 @@ class _Token:
     pos: int
 
 
+def _digit(ch: str) -> bool:
+    # ASCII only: str.isdigit() accepts characters like '²' that
+    # float()/int() reject, which would turn a lex success into a
+    # ValueError at parse time
+    return "0" <= ch <= "9"
+
+
 def _tokenize(src: str) -> Iterator[_Token]:
     i, n = 0, len(src)
     while i < n:
@@ -113,21 +120,21 @@ def _tokenize(src: str) -> Iterator[_Token]:
             continue
         if ch == "$":
             j = i + 1
-            while j < n and src[j].isdigit():
+            while j < n and _digit(src[j]):
                 j += 1
             if j == i + 1:
                 raise FormulaError(f"'$' must be followed by a column number (pos {i})")
             yield _Token("col", src[i + 1 : j], i)
             i = j
-        elif ch.isdigit() or (ch == "." and i + 1 < n and src[i + 1].isdigit()):
+        elif _digit(ch) or (ch == "." and i + 1 < n and _digit(src[i + 1])):
             j = i
             seen_exp = False
             while j < n:
                 c = src[j]
-                if c.isdigit() or c == ".":
+                if _digit(c) or c == ".":
                     j += 1
                 elif c in "eE" and not seen_exp and j + 1 < n and (
-                    src[j + 1].isdigit() or src[j + 1] in "+-"
+                    _digit(src[j + 1]) or src[j + 1] in "+-"
                 ):
                     seen_exp = True
                     j += 2 if src[j + 1] in "+-" else 1
@@ -226,7 +233,12 @@ class _Parser:
     def atom(self) -> Expr:
         tok = self.advance()
         if tok.kind == "num":
-            return Num(float(tok.text))
+            try:
+                return Num(float(tok.text))
+            except ValueError:
+                raise FormulaError(
+                    f"malformed number {tok.text!r} at position {tok.pos}"
+                ) from None
         if tok.kind == "col":
             return Col(int(tok.text))
         if tok.kind == "name":

@@ -15,6 +15,7 @@ constructed dynamically … we store and process data only when needed").
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -188,8 +189,20 @@ class View:
         #: read measured columns from its matrices instead of the dicts
         self.engine = engine
         self._roots: list[ViewNode] | None = None
+        #: guards lazy root construction under concurrent first access
+        #: (the analysis server renders one view from many threads)
+        self._build_lock = threading.Lock()
         #: derived metrics currently being evaluated (cycle detection)
         self._eval_guard: set[int] = set()
+        #: per-view memo of evaluated derived cells, keyed by
+        #: ``(id(row), mid, flavor)``.  Derived values must NOT be cached
+        #: in a row's own metric dicts: view rows alias the underlying
+        #: CCT nodes' vectors, so a write there would leak the derived
+        #: column into every other view's raw aggregation of the same
+        #: scopes (an order-dependence the server's stateful equivalence
+        #: suite caught).  Rows are reachable from ``_roots``, so the
+        #: ``id()`` keys stay unique for the cache's lifetime.
+        self._derived_cache: dict[tuple[int, int, MetricFlavor], float] = {}
 
     # -- to be provided by subclasses ----------------------------------- #
     def _build_roots(self) -> list[ViewNode]:  # pragma: no cover - abstract
@@ -199,12 +212,15 @@ class View:
     @property
     def roots(self) -> list[ViewNode]:
         if self._roots is None:
-            self._roots = self._build_roots()
+            with self._build_lock:
+                if self._roots is None:
+                    self._roots = self._build_roots()
         return self._roots
 
     def invalidate(self) -> None:
         """Drop materialized rows (e.g. after adding a derived metric)."""
         self._roots = None
+        self._derived_cache.clear()
 
     def _aggregate_exposed(self, instances) -> tuple[MetricValues, MetricValues]:
         """Exposed-instance aggregation for row construction (Sec. IV-B).
@@ -226,7 +242,9 @@ class View:
         Derived metrics are evaluated *per row* from the row's own column
         values (so ratios are ratios of aggregates, not aggregates of
         ratios), in the same inclusive/exclusive flavour as the requested
-        cell, and cached on the row.
+        cell, and memoized per view (never written back into the row's
+        metric dicts, which may be shared with other views — see
+        ``_derived_cache``).
         """
         desc = self.metrics.by_id(spec.mid)
         if desc.kind is not MetricKind.DERIVED:
@@ -237,7 +255,12 @@ class View:
             else node.exclusive
         )
         if spec.mid in store:
+            # pre-materialized (e.g. summary columns from a database)
             return store[spec.mid]
+        cache_key = (id(node), spec.mid, spec.flavor)
+        cached = self._derived_cache.get(cache_key)
+        if cached is not None:
+            return cached
         from repro.core.derived import evaluate  # local import: avoid cycle
 
         active = self._eval_guard
@@ -253,7 +276,7 @@ class View:
             )
         finally:
             active.discard(spec.mid)
-        store[spec.mid] = result
+        self._derived_cache[cache_key] = result
         return result
 
     def sorted_children(

@@ -13,7 +13,7 @@ from repro.core.errors import DatabaseError
 from repro.hpcprof import binio, xmlio
 from repro.hpcprof.experiment import Experiment
 
-__all__ = ["save", "load", "XML_EXTENSION", "BINARY_EXTENSION"]
+__all__ = ["save", "load", "loads", "XML_EXTENSION", "BINARY_EXTENSION"]
 
 XML_EXTENSION = ".xml"
 BINARY_EXTENSION = ".rpdb"
@@ -31,14 +31,24 @@ def save(experiment: Experiment, path: str) -> int:
     return len(data)
 
 
-def load(path: str) -> Experiment:
-    """Deserialize an experiment, sniffing the format from the content."""
-    if not os.path.exists(path):
-        raise DatabaseError(f"no such database: {path}")
-    with open(path, "rb") as fh:
-        data = fh.read()
+def loads(data: bytes, origin: str = "<bytes>") -> Experiment:
+    """Deserialize an experiment, sniffing the format from the content.
+
+    *origin* only labels error messages (a path, a URL, a session id);
+    the analysis server loads uploaded/streamed databases through this
+    without touching the filesystem.
+    """
     if data[:4] == b"RPDB":
         return binio.loads_binary(data)
     if data.lstrip()[:1] == b"<":
         return xmlio.loads_xml(data)
-    raise DatabaseError(f"{path}: unrecognized database format")
+    raise DatabaseError(f"{origin}: unrecognized database format")
+
+
+def load(path: str) -> Experiment:
+    """Deserialize an experiment from a file, sniffing the format."""
+    if not os.path.exists(path):
+        raise DatabaseError(f"no such database: {path}")
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return loads(data, origin=path)

@@ -1,0 +1,54 @@
+"""A concurrent profile-analysis service over :class:`ViewerSession`.
+
+The paper presents call path profiles through an interactive client;
+this package exposes the same operations — the three views, sorting,
+hot-path expansion (Eq. 3), flattening, derived metrics, and rendered
+tables — as a stdlib-only JSON HTTP service, so many clients can query
+one set of loaded experiment databases concurrently.
+
+Layering (transport-independent core under a thin HTTP shell):
+
+* :mod:`repro.server.errors` — the structured 4xx error taxonomy;
+* :mod:`repro.server.cache` — thread-safe LRU render/query cache;
+* :mod:`repro.server.sessions` — session registry, per-session locks,
+  generation counters, and the pure render/hot-path snapshot functions;
+* :mod:`repro.server.app` — routing, decoding, validation, stats;
+* :mod:`repro.server.http` — ``ThreadingHTTPServer`` adapter and the
+  ``repro-serve`` entry point.
+
+See ``docs/server.md`` for the endpoint reference and the cache
+invalidation rules.
+"""
+
+from repro.server.app import AnalysisApp
+from repro.server.cache import RenderCache
+from repro.server.errors import (
+    ApiError,
+    BadRequest,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+)
+from repro.server.http import AnalysisServer, build_server
+from repro.server.sessions import (
+    SessionRegistry,
+    SortSpec,
+    hot_path_snapshot,
+    render_snapshot,
+)
+
+__all__ = [
+    "AnalysisApp",
+    "AnalysisServer",
+    "ApiError",
+    "BadRequest",
+    "MethodNotAllowed",
+    "NotFound",
+    "PayloadTooLarge",
+    "RenderCache",
+    "SessionRegistry",
+    "SortSpec",
+    "build_server",
+    "hot_path_snapshot",
+    "render_snapshot",
+]

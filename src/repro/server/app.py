@@ -1,0 +1,518 @@
+"""The transport-independent application core of the analysis service.
+
+:class:`AnalysisApp` maps ``(method, path, raw body)`` to
+``(status, JSON payload)``; the HTTP layer in :mod:`repro.server.http`
+is a thin adapter over it, which is what lets the fuzz and property
+suites drive the full request pipeline — decoding, routing, validation,
+caching, error translation — in-process without sockets.
+
+Request handling contract:
+
+* every response body is a JSON object; failures carry the
+  :mod:`repro.server.errors` taxonomy and *never* a traceback;
+* renders and hot-path queries are served through the LRU
+  :class:`~repro.server.cache.RenderCache`, keyed on
+  ``(session, generation, operation, view kind, sort spec, flatten
+  depth, threshold, render knobs)``;
+* mutations (derived metric, flatten, unflatten) bump the session
+  generation and eagerly invalidate the session's cache entries;
+* per-endpoint request counters and latency aggregates are kept under a
+  dedicated lock and surfaced at ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.errors import ReproError
+from repro.core.metrics import MetricFlavor
+from repro.core.views import ViewKind
+from repro.server.cache import RenderCache
+from repro.server.errors import (
+    ApiError,
+    BadRequest,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    translate_domain_error,
+)
+from repro.server.sessions import (
+    SessionRegistry,
+    SortSpec,
+    hot_path_snapshot,
+    render_snapshot,
+)
+
+__all__ = ["AnalysisApp", "DEFAULT_MAX_BODY", "decode_json_body"]
+
+#: request bodies above this are rejected with 413 (overridable per app)
+DEFAULT_MAX_BODY = 1 << 20
+
+_MISSING = object()
+
+_VIEW_KINDS = {
+    "cct": ViewKind.CALLING_CONTEXT,
+    "calling-context": ViewKind.CALLING_CONTEXT,
+    "callers": ViewKind.CALLERS,
+    "flat": ViewKind.FLAT,
+}
+
+_FLAVORS = {
+    "inclusive": MetricFlavor.INCLUSIVE,
+    "exclusive": MetricFlavor.EXCLUSIVE,
+    "i": MetricFlavor.INCLUSIVE,
+    "e": MetricFlavor.EXCLUSIVE,
+}
+
+
+# --------------------------------------------------------------------- #
+# request decoding
+# --------------------------------------------------------------------- #
+def decode_json_body(raw: bytes, max_body: int = DEFAULT_MAX_BODY) -> dict:
+    """Decode a request body into a dict, or raise from the taxonomy.
+
+    Empty bodies mean "no arguments"; anything else must be a UTF-8
+    JSON *object* no larger than *max_body* bytes.
+    """
+    if len(raw) > max_body:
+        raise PayloadTooLarge(
+            f"request body of {len(raw)} bytes exceeds limit of {max_body}"
+        )
+    if not raw:
+        return {}
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BadRequest(
+            f"request body is not valid UTF-8: {exc.reason}",
+            code="malformed-encoding",
+        ) from None
+    try:
+        body = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(
+            f"request body is not valid JSON: {exc.msg} at offset {exc.pos}",
+            code="malformed-json",
+        ) from None
+    if not isinstance(body, dict):
+        raise BadRequest(
+            f"request body must be a JSON object, got {type(body).__name__}",
+            code="bad-request-shape",
+        )
+    return body
+
+
+def _field(
+    body: dict,
+    name: str,
+    kind: type,
+    default=_MISSING,
+    lo: float | None = None,
+    hi: float | None = None,
+):
+    """Fetch and validate one request field.
+
+    ``bool`` is rejected where a number is expected (it *is* an ``int``
+    in Python, but ``{"depth": true}`` is a client bug, not depth 1).
+    """
+    value = body.get(name, _MISSING)
+    if value is _MISSING or value is None:
+        if default is _MISSING:
+            raise BadRequest(
+                f"missing required field {name!r}", code="missing-field"
+            )
+        return default
+    ok = isinstance(value, kind)
+    if kind is not bool and isinstance(value, bool):
+        ok = False
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        ok, value = True, float(value)
+    if not ok:
+        raise BadRequest(
+            f"field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}",
+            code="bad-field-type",
+        )
+    if kind in (int, float) and (
+        (lo is not None and value < lo) or (hi is not None and value > hi)
+    ):
+        raise BadRequest(
+            f"field {name!r} must be in [{lo}, {hi}], got {value!r}",
+            code="bad-field-value",
+        )
+    return value
+
+
+def _view_kind(body: dict, default: str = "cct") -> ViewKind:
+    name = _field(body, "view", str, default=default)
+    try:
+        return _VIEW_KINDS[name.lower()]
+    except KeyError:
+        raise BadRequest(
+            f"unknown view {name!r} (have: cct, callers, flat)",
+            code="bad-view-kind",
+        ) from None
+
+
+def _flavor(body: dict, default: MetricFlavor) -> MetricFlavor:
+    name = _field(body, "flavor", str, default=None)
+    if name is None:
+        return default
+    try:
+        return _FLAVORS[name.lower()]
+    except KeyError:
+        raise BadRequest(
+            f"unknown metric flavor {name!r} (have: inclusive, exclusive)",
+            code="bad-flavor",
+        ) from None
+
+
+def _query_dict(query: str) -> dict:
+    """Decode a URL query string into body-equivalent typed fields.
+
+    Values parse as JSON scalars when possible (``depth=4`` → int 4,
+    ``hot_path=true`` → bool), else stay strings (``metric=cycles``).
+    """
+    out: dict = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        try:
+            out[key] = json.loads(value)
+        except json.JSONDecodeError:
+            out[key] = value
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the application
+# --------------------------------------------------------------------- #
+class AnalysisApp:
+    """Routing table, session registry, cache, and stats for one service."""
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        max_body: int = DEFAULT_MAX_BODY,
+    ) -> None:
+        self.registry = SessionRegistry()
+        self.cache = RenderCache(cache_size)
+        self.max_body = max_body
+        self._stats_lock = threading.Lock()
+        self._stats: dict[str, dict] = {}
+        self._started = time.time()
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def handle(self, method: str, path: str, raw: bytes = b"") -> tuple[int, dict]:
+        """Process one request; always returns ``(status, payload)``."""
+        t0 = time.perf_counter()
+        label = "unmatched"
+        try:
+            parts = urlsplit(path)
+            handler, params, label = self._match(method, parts.path)
+            body = decode_json_body(raw, self.max_body)
+            if parts.query:
+                merged = _query_dict(parts.query)
+                merged.update(body)
+                body = merged
+            status, payload = handler(params, body)
+        except ApiError as exc:
+            status, payload = exc.status, exc.to_payload()
+        except ReproError as exc:
+            api = translate_domain_error(exc)
+            status, payload = api.status, api.to_payload()
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            status = 500
+            payload = {
+                "error": {
+                    "status": 500,
+                    "code": "internal",
+                    "message": f"internal error ({type(exc).__name__})",
+                }
+            }
+        self._record(label, status, (time.perf_counter() - t0) * 1000.0)
+        return status, payload
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _match(
+        self, method: str, path: str
+    ) -> tuple[Callable[[dict, dict], tuple[int, dict]], dict, str]:
+        segments = tuple(s for s in path.split("/") if s)
+        candidates: dict[str, Callable] = {}
+        params: dict = {}
+        if segments == ():
+            candidates = {"GET": self._ep_help}
+            label = "/"
+        elif segments == ("stats",):
+            candidates = {"GET": self._ep_stats}
+            label = "/stats"
+        elif segments == ("sessions",):
+            candidates = {"GET": self._ep_sessions_list,
+                          "POST": self._ep_sessions_open}
+            label = "/sessions"
+        elif len(segments) >= 2 and segments[0] == "sessions":
+            params = {"sid": segments[1]}
+            tail = segments[2:]
+            if tail == ():
+                candidates = {"GET": self._ep_session_info,
+                              "DELETE": self._ep_session_close}
+                label = "/sessions/<sid>"
+            elif tail == ("metrics",):
+                candidates = {"GET": self._ep_metrics_list,
+                              "POST": self._ep_metrics_derive}
+                label = "/sessions/<sid>/metrics"
+            elif tail == ("sort",):
+                candidates = {"POST": self._ep_sort}
+                label = "/sessions/<sid>/sort"
+            elif tail == ("hotpath",):
+                candidates = {"GET": self._ep_hotpath,
+                              "POST": self._ep_hotpath}
+                label = "/sessions/<sid>/hotpath"
+            elif tail == ("flatten",):
+                candidates = {"POST": self._ep_flatten}
+                label = "/sessions/<sid>/flatten"
+            elif tail == ("unflatten",):
+                candidates = {"POST": self._ep_unflatten}
+                label = "/sessions/<sid>/unflatten"
+            elif tail == ("render",):
+                candidates = {"GET": self._ep_render,
+                              "POST": self._ep_render}
+                label = "/sessions/<sid>/render"
+            else:
+                raise NotFound(
+                    f"unknown endpoint {path!r}", code="unknown-endpoint"
+                )
+        else:
+            raise NotFound(f"unknown endpoint {path!r}", code="unknown-endpoint")
+        handler = candidates.get(method.upper())
+        if handler is None:
+            raise MethodNotAllowed(
+                f"{method} not allowed on {label} "
+                f"(allowed: {', '.join(sorted(candidates))})"
+            )
+        return handler, params, label
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def _record(self, label: str, status: int, elapsed_ms: float) -> None:
+        with self._stats_lock:
+            entry = self._stats.setdefault(
+                label,
+                {"count": 0, "errors": 0,
+                 "total_ms": 0.0, "min_ms": None, "max_ms": 0.0},
+            )
+            entry["count"] += 1
+            if status >= 400:
+                entry["errors"] += 1
+            entry["total_ms"] += elapsed_ms
+            entry["max_ms"] = max(entry["max_ms"], elapsed_ms)
+            if entry["min_ms"] is None or elapsed_ms < entry["min_ms"]:
+                entry["min_ms"] = elapsed_ms
+
+    def stats_payload(self) -> dict:
+        with self._stats_lock:
+            endpoints = {}
+            total = errors = 0
+            for label, entry in sorted(self._stats.items()):
+                count = entry["count"]
+                total += count
+                errors += entry["errors"]
+                endpoints[label] = {
+                    "count": count,
+                    "errors": entry["errors"],
+                    "latency_ms": {
+                        "mean": entry["total_ms"] / count,
+                        "min": entry["min_ms"] or 0.0,
+                        "max": entry["max_ms"],
+                    },
+                }
+        return {
+            "uptime_s": time.time() - self._started,
+            "requests": {"total": total, "errors": errors},
+            "endpoints": endpoints,
+            "cache": self.cache.stats(),
+            "sessions": len(self.registry),
+        }
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _ep_help(self, params: dict, body: dict) -> tuple[int, dict]:
+        return 200, {
+            "service": "repro-serve",
+            "doc": "docs/server.md",
+            "endpoints": [
+                "GET  /                         this listing",
+                "GET  /stats                    request counters, latency, cache",
+                "GET  /sessions                 list open sessions",
+                "POST /sessions                 open {database | workload}",
+                "GET  /sessions/<sid>           session info",
+                "DELETE /sessions/<sid>         close a session",
+                "GET  /sessions/<sid>/metrics   metric table",
+                "POST /sessions/<sid>/metrics   define derived {name, formula}",
+                "POST /sessions/<sid>/sort      {metric, flavor?, descending?}",
+                "GET/POST /sessions/<sid>/hotpath  {view?, metric?, threshold?}",
+                "POST /sessions/<sid>/flatten   flatten the Flat View",
+                "POST /sessions/<sid>/unflatten undo one flatten",
+                "GET/POST /sessions/<sid>/render  {view?, metric?, depth?, ...}",
+            ],
+        }
+
+    def _ep_stats(self, params: dict, body: dict) -> tuple[int, dict]:
+        return 200, self.stats_payload()
+
+    def _ep_sessions_list(self, params: dict, body: dict) -> tuple[int, dict]:
+        return 200, {"sessions": self.registry.list_info()}
+
+    def _ep_sessions_open(self, params: dict, body: dict) -> tuple[int, dict]:
+        db = _field(body, "database", str, default=None)
+        workload = _field(body, "workload", str, default=None)
+        if (db is None) == (workload is None):
+            raise BadRequest(
+                "open a session with exactly one of 'database' or 'workload'",
+                code="bad-session-source",
+            )
+        if db is not None:
+            handle = self.registry.open_database(db)
+        else:
+            handle = self.registry.open_workload(
+                workload,
+                nranks=_field(body, "nranks", int, default=1, lo=1, hi=256),
+                seed=_field(body, "seed", int, default=12345),
+            )
+        return 201, {"session": handle.info()}
+
+    def _ep_session_info(self, params: dict, body: dict) -> tuple[int, dict]:
+        return 200, {"session": self.registry.get(params["sid"]).info()}
+
+    def _ep_session_close(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.close(params["sid"])
+        self.cache.invalidate_session(handle.sid)
+        return 200, {"closed": handle.sid}
+
+    def _ep_metrics_list(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.get(params["sid"])
+        with handle.lock:
+            metrics = [
+                {
+                    "id": d.mid,
+                    "name": d.name,
+                    "kind": d.kind.value,
+                    "unit": d.unit,
+                    "formula": d.formula,
+                }
+                for d in handle.session.experiment.metrics
+            ]
+        return 200, {"metrics": metrics}
+
+    def _ep_metrics_derive(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.get(params["sid"])
+        name = _field(body, "name", str)
+        formula = _field(body, "formula", str)
+        unit = _field(body, "unit", str, default="")
+        with handle.lock:
+            desc = handle.session.experiment.add_derived_metric(
+                name, formula, unit=unit
+            )
+            generation = handle.bump()
+        self.cache.invalidate_session(handle.sid)
+        return 201, {
+            "metric": {"id": desc.mid, "name": desc.name,
+                       "formula": desc.formula, "unit": desc.unit},
+            "generation": generation,
+        }
+
+    def _ep_sort(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.get(params["sid"])
+        metric = _field(body, "metric", str)
+        flavor = _flavor(body, MetricFlavor.INCLUSIVE)
+        descending = _field(body, "descending", bool, default=True)
+        with handle.lock:
+            # resolve before storing, so unknown metric names 404 here
+            handle.session.experiment.metrics.by_name(metric)
+            handle.sort = SortSpec(metric, flavor, descending)
+            return 200, {"sort": handle.sort.to_payload()}
+
+    def _ep_hotpath(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.get(params["sid"])
+        kind = _view_kind(body)
+        metric = _field(body, "metric", str, default=None)
+        threshold = _field(body, "threshold", float, default=None)
+        with handle.lock:
+            if metric is None and handle.sort is not None:
+                metric = handle.sort.metric
+            key = (handle.sid, handle.generation, "hotpath",
+                   kind.value, metric, threshold)
+            cached = self.cache.get(key)
+            if cached is None:
+                cached = hot_path_snapshot(
+                    handle.session, kind, metric=metric, threshold=threshold
+                )
+                self.cache.put(key, cached)
+        return 200, dict(cached)
+
+    def _ep_flatten(self, params: dict, body: dict) -> tuple[int, dict]:
+        return self._flatten_op(params["sid"], "flatten")
+
+    def _ep_unflatten(self, params: dict, body: dict) -> tuple[int, dict]:
+        return self._flatten_op(params["sid"], "unflatten")
+
+    def _flatten_op(self, sid: str, op: str) -> tuple[int, dict]:
+        handle = self.registry.get(sid)
+        with handle.lock:
+            getattr(handle.session, op)()
+            depth = handle.flatten_depth
+            generation = handle.bump()
+        self.cache.invalidate_session(handle.sid)
+        return 200, {"flatten_depth": depth, "generation": generation}
+
+    def _ep_render(self, params: dict, body: dict) -> tuple[int, dict]:
+        handle = self.registry.get(params["sid"])
+        kind = _view_kind(body)
+        metric = _field(body, "metric", str, default=None)
+        descending = _field(body, "descending", bool, default=None)
+        depth = _field(body, "depth", int, default=3, lo=0, hi=1000)
+        hot = _field(body, "hot_path", bool, default=False)
+        threshold = _field(body, "threshold", float, default=None)
+        max_rows = _field(body, "max_rows", int, default=60, lo=1, hi=100_000)
+        with handle.lock:
+            # resolve the effective sort column: explicit request fields
+            # override the session's sort state, which overrides defaults
+            sort = handle.sort
+            flavor = _flavor(
+                body, sort.flavor if sort and metric is None
+                else MetricFlavor.INCLUSIVE
+            )
+            if metric is None and sort is not None:
+                metric = sort.metric
+            if descending is None:
+                descending = sort.descending if sort is not None else True
+            key = (
+                handle.sid, handle.generation, "render", kind.value,
+                metric, flavor.value, descending, depth, hot, threshold,
+                max_rows, handle.flatten_depth,
+            )
+            cached = self.cache.get(key)
+            if cached is None:
+                cached = render_snapshot(
+                    handle.session,
+                    kind,
+                    metric=metric,
+                    flavor=flavor,
+                    descending=descending,
+                    depth=depth,
+                    hot_path=hot,
+                    threshold=threshold,
+                    max_rows=max_rows,
+                )
+                self.cache.put(key, cached)
+        payload = dict(cached)
+        payload["session"] = handle.sid
+        return 200, payload

@@ -1,0 +1,155 @@
+"""Stdlib HTTP front end: ``ThreadingHTTPServer`` over the app core.
+
+One handler thread per connection (the stdlib threading mixin), one
+:class:`~repro.server.app.AnalysisApp` shared by all of them — the app's
+locks (session registry, per-session, cache, stats) are the entire
+concurrency story; the HTTP layer holds no mutable state of its own.
+
+``repro-serve`` (see :func:`main`) builds a server, preloads sessions
+for any ``--db``/``--workload`` arguments, prints the session ids, and
+serves until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.server.app import DEFAULT_MAX_BODY, AnalysisApp
+from repro.server.sessions import WORKLOADS
+
+__all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
+
+
+class AnalysisRequestHandler(BaseHTTPRequestHandler):
+    """Translate HTTP requests to app calls; always answer JSON."""
+
+    server_version = "repro-serve/1.0"
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str) -> None:
+        app: AnalysisApp = self.server.app  # type: ignore[attr-defined]
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            status, payload = 400, {
+                "error": {
+                    "status": 400,
+                    "code": "bad-content-length",
+                    "message": "Content-Length is not an integer",
+                }
+            }
+        else:
+            # read at most one byte past the limit: enough for the app to
+            # reject oversized bodies with 413 without buffering them
+            raw = self.rfile.read(min(length, app.max_body + 1)) if length else b""
+            status, payload = app.handle(method, self.path, raw)
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log (see ``/stats`` instead)."""
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: AnalysisApp) -> None:
+        super().__init__(address, AnalysisRequestHandler)
+        self.app = app
+
+
+# --------------------------------------------------------------------- #
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    databases: list[str] | None = None,
+    workload: str | None = None,
+    nranks: int = 1,
+    seed: int = 12345,
+    cache_size: int = 256,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> AnalysisServer:
+    """An :class:`AnalysisServer` with its initial sessions registered."""
+    app = AnalysisApp(cache_size=cache_size, max_body=max_body)
+    for path in databases or []:
+        app.registry.open_database(path)
+    if workload is not None:
+        app.registry.open_workload(workload, nranks=nranks, seed=seed)
+    return AnalysisServer((host, port), app)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-serve`` — serve experiment databases over HTTP."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Concurrent JSON analysis service over experiment "
+                    "databases (the hpcviewer operations as an API).",
+    )
+    parser.add_argument("databases", nargs="*", metavar="DB",
+                        help="experiment databases (.xml / .rpdb) to open "
+                             "as sessions at startup")
+    parser.add_argument("--workload", choices=WORKLOADS, default=None,
+                        help="also open a synthetic workload session")
+    parser.add_argument("-n", "--nranks", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("-p", "--port", type=int, default=8377)
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="LRU render-cache capacity (0 disables)")
+    parser.add_argument("--max-body", type=int, default=DEFAULT_MAX_BODY,
+                        help="largest accepted request body, bytes")
+    args = parser.parse_args(argv)
+
+    if not args.databases and args.workload is None:
+        parser.error("nothing to serve: pass a database or --workload")
+    server = build_server(
+        host=args.host,
+        port=args.port,
+        databases=args.databases,
+        workload=args.workload,
+        nranks=args.nranks,
+        seed=args.seed,
+        cache_size=args.cache_size,
+        max_body=args.max_body,
+    )
+    host, port = server.server_address[:2]
+    for info in server.app.registry.list_info():
+        print(f"session {info['id']}: {info['label']} "
+              f"({info['scopes']} scopes, {info['ranks']} rank(s))")
+    print(f"repro-serve listening on http://{host}:{port}/ "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

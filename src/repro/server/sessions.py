@@ -1,0 +1,260 @@
+"""Session registry and the pure render core of the analysis service.
+
+A *session* wraps one :class:`~repro.viewer.session.ViewerSession` with
+the bookkeeping concurrency needs:
+
+* a per-session :class:`threading.RLock` — every operation that touches
+  session state (render, sort, flatten, derived metrics, hot path) runs
+  under it, so two clients sharing a session serialize against each
+  other while distinct sessions proceed in parallel;
+* a *generation* counter, bumped by every mutation that can change what
+  a render shows (derived-metric definition, flatten, unflatten).  The
+  generation is part of every cache key, so mutation makes stale cache
+  entries unreachable by construction;
+* the session's current *sort spec*, set by the ``sort`` endpoint and
+  used as the default column for renders and hot paths.
+
+:func:`render_snapshot` is deliberately a module-level pure function of
+``(session state, request arguments)`` rather than a method on the
+handle: the Hypothesis equivalence suite replays recorded operation
+sequences against a fresh, lock-free, uncached :class:`ViewerSession`
+through this same function and asserts byte-identical output — which is
+exactly the statement that the cache key captures everything the render
+depends on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.core.hotpath import HotPathResult
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.views import ViewKind
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from repro.server.errors import BadRequest, NotFound
+from repro.viewer.navigation import NavigationState
+from repro.viewer.session import ViewerSession
+from repro.viewer.table import TableOptions, render_table
+
+__all__ = [
+    "WORKLOADS",
+    "SessionHandle",
+    "SessionRegistry",
+    "SortSpec",
+    "render_snapshot",
+    "hot_path_snapshot",
+    "load_workload",
+]
+
+#: synthetic workloads the service can load without a database on disk
+WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
+
+
+def load_workload(name: str, nranks: int = 1, seed: int = 12345) -> Experiment:
+    """Build an experiment for one of the bundled synthetic workloads."""
+    if name not in WORKLOADS:
+        raise NotFound(
+            f"unknown workload {name!r} (have: {', '.join(WORKLOADS)})",
+            code="unknown-workload",
+        )
+    import importlib
+
+    module = importlib.import_module(f"repro.sim.workloads.{name}")
+    return Experiment.from_program(module.build(), nranks=nranks, seed=seed)
+
+
+@dataclass(frozen=True, slots=True)
+class SortSpec:
+    """The session-level sort state (the selected metric column)."""
+
+    metric: str
+    flavor: MetricFlavor = MetricFlavor.INCLUSIVE
+    descending: bool = True
+
+    def to_payload(self) -> dict:
+        return {
+            "metric": self.metric,
+            "flavor": self.flavor.value,
+            "descending": self.descending,
+        }
+
+
+class SessionHandle:
+    """One registered session: viewer state + lock + cache generation."""
+
+    def __init__(self, sid: str, session: ViewerSession, label: str) -> None:
+        self.sid = sid
+        self.session = session
+        self.label = label
+        self.lock = threading.RLock()
+        self.generation = 0
+        self.sort: SortSpec | None = None
+
+    def bump(self) -> int:
+        """Advance the generation after a render-visible mutation."""
+        self.generation += 1
+        return self.generation
+
+    @property
+    def flatten_depth(self) -> int:
+        """Current Flat View flattening depth (0 when not yet built)."""
+        flat = self.session._views.get(ViewKind.FLAT)
+        return flat.flatten_depth if flat is not None else 0
+
+    def info(self) -> dict:
+        exp = self.session.experiment
+        return {
+            "id": self.sid,
+            "label": self.label,
+            "experiment": exp.name,
+            "scopes": len(exp.cct),
+            "ranks": exp.nranks,
+            "metrics": len(exp.metrics),
+            "loaded_views": self.session.loaded_views,
+            "flatten_depth": self.flatten_depth,
+            "generation": self.generation,
+            "sort": self.sort.to_payload() if self.sort else None,
+        }
+
+
+class SessionRegistry:
+    """Thread-safe id → :class:`SessionHandle` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._handles: dict[str, SessionHandle] = {}
+        self._ids = itertools.count(1)
+
+    def register(self, experiment: Experiment, label: str) -> SessionHandle:
+        with self._lock:
+            sid = f"s{next(self._ids)}"
+            handle = SessionHandle(sid, ViewerSession(experiment), label)
+            self._handles[sid] = handle
+            return handle
+
+    def open_database(self, path: str) -> SessionHandle:
+        import os
+
+        if not os.path.exists(path):
+            raise NotFound(f"no such database: {path}", code="unknown-database")
+        return self.register(database.load(path), label=path)
+
+    def open_workload(
+        self, name: str, nranks: int = 1, seed: int = 12345
+    ) -> SessionHandle:
+        return self.register(
+            load_workload(name, nranks=nranks, seed=seed),
+            label=f"workload:{name}",
+        )
+
+    def get(self, sid: str) -> SessionHandle:
+        with self._lock:
+            handle = self._handles.get(sid)
+        if handle is None:
+            raise NotFound(f"unknown session {sid!r}", code="unknown-session")
+        return handle
+
+    def close(self, sid: str) -> SessionHandle:
+        with self._lock:
+            handle = self._handles.pop(sid, None)
+        if handle is None:
+            raise NotFound(f"unknown session {sid!r}", code="unknown-session")
+        return handle
+
+    def list_info(self) -> list[dict]:
+        with self._lock:
+            handles = list(self._handles.values())
+        return [h.info() for h in handles]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+
+# --------------------------------------------------------------------- #
+# pure view operations (shared by the server and the equivalence tests)
+# --------------------------------------------------------------------- #
+def _resolve_spec(
+    session: ViewerSession, metric: str | None, flavor: MetricFlavor
+) -> MetricSpec:
+    """The metric column a request addresses (first metric when unnamed)."""
+    metrics = session.experiment.metrics
+    if metric is None:
+        first = next(iter(metrics), None)
+        if first is None:
+            raise BadRequest("experiment has no metrics", code="no-metrics")
+        return MetricSpec(first.mid, flavor)
+    return MetricSpec(metrics.by_name(metric).mid, flavor)
+
+
+def render_snapshot(
+    session: ViewerSession,
+    kind: ViewKind,
+    metric: str | None = None,
+    flavor: MetricFlavor = MetricFlavor.INCLUSIVE,
+    descending: bool = True,
+    depth: int = 3,
+    hot_path: bool = False,
+    threshold: float | None = None,
+    max_rows: int = 60,
+) -> dict:
+    """Render one view as a fresh, stateless snapshot.
+
+    Builds a new :class:`NavigationState` per call, so the output is a
+    pure function of the experiment state (metric table, flatten depth)
+    and the arguments — the property that makes renders cacheable.
+    """
+    view = session.view(kind)
+    spec = _resolve_spec(session, metric, flavor)
+    state = NavigationState(view, column=spec)
+    state.descending = descending
+    result: HotPathResult | None = None
+    if hot_path:
+        result = state.expand_hot_path(
+            threshold=threshold if threshold is not None
+            else session.hot_path_threshold,
+        )
+    else:
+        state.expand_to_depth(depth)
+    roots = view.current_roots() if kind is ViewKind.FLAT else None
+    text = render_table(
+        view, state, options=TableOptions(max_rows=max_rows), roots=roots
+    )
+    payload = {
+        "view": kind.value,
+        "text": f"== {view.title}: {session.experiment.name} ==\n{text}",
+    }
+    if result is not None:
+        payload["hot_path"] = {
+            "path": [n.name for n in result.path],
+            "values": list(result.values),
+        }
+    return payload
+
+
+def hot_path_snapshot(
+    session: ViewerSession,
+    kind: ViewKind,
+    metric: str | None = None,
+    threshold: float | None = None,
+) -> dict:
+    """Run Eq. 3 on a view and report the path without rendering."""
+    view = session.view(kind)
+    spec = _resolve_spec(session, metric, MetricFlavor.INCLUSIVE)
+    state = NavigationState(view, column=spec)
+    result = state.expand_hot_path(
+        threshold=threshold if threshold is not None
+        else session.hot_path_threshold,
+    )
+    return {
+        "view": kind.value,
+        "metric": session.experiment.metrics.by_id(spec.mid).name,
+        "threshold": threshold if threshold is not None
+        else session.hot_path_threshold,
+        "path": [n.name for n in result.path],
+        "values": list(result.values),
+        "hotspot": result.hotspot.name,
+    }

@@ -11,6 +11,7 @@ first time they are shown.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Sequence
 
 from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult
@@ -33,6 +34,11 @@ class ViewerSession:
         self.active: ViewKind = ViewKind.CALLING_CONTEXT
         #: hot-path threshold, adjustable as in the preferences dialog
         self.hot_path_threshold: float = DEFAULT_THRESHOLD
+        #: guards lazy component construction: without it, two threads
+        #: showing the same tab for the first time would each build a
+        #: View and race on the ``_views`` dict (RLock because building
+        #: a state builds its view through the same guard)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # views (lazily constructed)
@@ -41,21 +47,27 @@ class ViewerSession:
         kind = kind or self.active
         view = self._views.get(kind)
         if view is None:
-            if kind is ViewKind.CALLING_CONTEXT:
-                view = self.experiment.calling_context_view()
-            elif kind is ViewKind.CALLERS:
-                view = self.experiment.callers_view()
-            else:
-                view = self.experiment.flat_view()
-            self._views[kind] = view
+            with self._lock:
+                view = self._views.get(kind)
+                if view is None:
+                    if kind is ViewKind.CALLING_CONTEXT:
+                        view = self.experiment.calling_context_view()
+                    elif kind is ViewKind.CALLERS:
+                        view = self.experiment.callers_view()
+                    else:
+                        view = self.experiment.flat_view()
+                    self._views[kind] = view
         return view
 
     def state(self, kind: ViewKind | None = None) -> NavigationState:
         kind = kind or self.active
         state = self._states.get(kind)
         if state is None:
-            state = NavigationState(self.view(kind))
-            self._states[kind] = state
+            with self._lock:
+                state = self._states.get(kind)
+                if state is None:
+                    state = NavigationState(self.view(kind))
+                    self._states[kind] = state
         return state
 
     def show(self, kind: ViewKind) -> View:

@@ -66,7 +66,12 @@ class TestParsing:
     @pytest.mark.parametrize(
         "bad",
         ["", "   ", "$", "$x", "2 +", "(1", "1)", "foo(1)", "min(1)", "1 2",
-         "2 ** 3", "sqrt 4", "min(1, 2, 3)", "@1"],
+         "2 ** 3", "sqrt 4", "min(1, 2, 3)", "@1",
+         # non-ASCII "digits" pass str.isdigit() but not float()/int();
+         # multi-dot numerals lex as one token — all must raise
+         # FormulaError, never ValueError (the server maps FormulaError
+         # to a structured 400; a ValueError would surface as a 500)
+         "²", "$²", "1.2.3", "1..2", "٤"],
     )
     def test_malformed_formulas_rejected(self, bad):
         with pytest.raises(FormulaError):

@@ -92,14 +92,35 @@ class TestViewApi:
         spec = exp.spec("PAPI_TOT_CYC")
         assert view.total(spec) == exp.total("PAPI_TOT_CYC")
 
-    def test_derived_value_cached_on_row(self, exp):
+    def test_derived_value_memoized_per_view(self, exp):
         exp.add_derived_metric("twice", "2 * $0")
         view = exp.calling_context_view()
         spec = exp.spec("twice")
         row = view.roots[0]
         value = view.value(row, spec)
         assert value == 2 * exp.total("PAPI_TOT_CYC")
-        assert row.inclusive[spec.mid] == value  # cached
+        # memoized on the view, NOT written into the row's metric dicts:
+        # CC-view rows alias the CCT nodes' vectors, so an on-row write
+        # would leak the derived column into other views' aggregations
+        assert spec.mid not in row.inclusive
+        assert view._derived_cache[(id(row), spec.mid, spec.flavor)] == value
+
+    def test_derived_evaluation_does_not_bleed_across_views(self, exp):
+        """Evaluating a derived column in one view must not change what
+        another view over the same CCT aggregates for any column."""
+        if "twice" not in exp.metrics:
+            exp.add_derived_metric("twice", "2 * $0")
+        spec = exp.spec("twice")
+        baseline = exp.flat_view()
+        expected = {r.name: baseline.value(r, spec) for r in baseline.roots}
+        # pollute: walk a CC view evaluating the derived column everywhere
+        ccv = exp.calling_context_view()
+        for root in ccv.roots:
+            for node in root.walk():
+                ccv.value(node, spec)
+        fresh = exp.flat_view()
+        observed = {r.name: fresh.value(r, spec) for r in fresh.roots}
+        assert observed == expected
 
     def test_derived_total(self, exp):
         exp.metrics.names()  # ensure 'twice' from the previous test or add

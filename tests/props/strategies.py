@@ -15,7 +15,15 @@ from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTNode
 from repro.hpcstruct.model import StructureModel
 
-__all__ = ["cct_experiments", "metric_values", "NUM_METRICS"]
+__all__ = [
+    "cct_experiments",
+    "metric_values",
+    "NUM_METRICS",
+    "derived_formulas",
+    "hot_thresholds",
+    "view_kind_names",
+    "server_render_params",
+]
 
 NUM_METRICS = 2
 _POOL_SIZE = 4
@@ -86,6 +94,64 @@ def metric_values(draw):
                           allow_nan=False, allow_infinity=False)
             )
     return out
+
+
+# --------------------------------------------------------------------- #
+# analysis-server operation parameters (the stateful equivalence suite)
+# --------------------------------------------------------------------- #
+@st.composite
+def derived_formulas(draw, num_metrics: int = 1):
+    """A valid derived-metric formula over the first *num_metrics* columns.
+
+    Shapes cover the grammar's interesting corners: plain arithmetic,
+    functions, division (including by a column that may be zero — the
+    language defines x/0 == 0), and references to previously *derived*
+    columns (composition)."""
+    mid = draw(st.integers(0, max(0, num_metrics - 1)))
+    a = draw(st.integers(1, 9))
+    b = draw(st.integers(0, 9))
+    template = draw(st.sampled_from([
+        "{a} * ${mid} + {b}",
+        "${mid} / {a}",
+        "${mid} - {b}",
+        "sqrt(abs(${mid}))",
+        "max(${mid}, {b})",
+        "min(${mid}, {a} * {b})",
+        "${mid} / (${mid} + {b})",
+        "log(${mid} + {a})",
+    ]))
+    return template.format(a=a, b=b, mid=mid)
+
+
+def hot_thresholds():
+    """Valid Eq. 3 thresholds, biased toward the paper's 50% default."""
+    return st.one_of(
+        st.just(0.5),
+        st.floats(min_value=0.05, max_value=1.0,
+                  allow_nan=False, allow_infinity=False),
+    )
+
+
+def view_kind_names():
+    return st.sampled_from(["cct", "callers", "flat"])
+
+
+@st.composite
+def server_render_params(draw):
+    """A render request body minus the metric column (drawn separately,
+    since valid metric names depend on the session's mutation history)."""
+    params: dict = {"view": draw(view_kind_names())}
+    if draw(st.booleans()):
+        params["depth"] = draw(st.integers(0, 6))
+    if draw(st.booleans()):
+        params["max_rows"] = draw(st.integers(1, 80))
+    if draw(st.booleans()):
+        params["descending"] = draw(st.booleans())
+    if draw(st.booleans()):
+        params["hot_path"] = True
+        if draw(st.booleans()):
+            params["threshold"] = draw(hot_thresholds())
+    return params
 
 
 @st.composite

@@ -1,0 +1,139 @@
+"""Regression tests for the lazy-construction races.
+
+``ViewerSession.view()``/``state()`` and ``View.roots`` construct their
+components on first access; before the guard, two threads hitting the
+same cold path would each build a component and clobber the shared dict
+— harmless for a single-user TUI, state-splitting for the concurrent
+analysis server (one thread sorts a View the other thread never sees).
+
+The hammer here releases 16 threads through a barrier at every cold
+path and asserts exactly one component per kind was ever constructed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.views import ViewKind
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1
+from repro.viewer.session import ViewerSession
+
+N_THREADS = 16
+
+
+@pytest.fixture()
+def experiment():
+    return Experiment.from_program(fig1.build())
+
+
+class CountingExperiment:
+    """Wrap an Experiment, counting every view-factory invocation."""
+
+    def __init__(self, experiment: Experiment) -> None:
+        self._experiment = experiment
+        self.builds: dict[str, int] = {
+            "calling_context_view": 0, "callers_view": 0, "flat_view": 0,
+        }
+        self._count_lock = threading.Lock()
+
+    def __getattr__(self, name):
+        value = getattr(self._experiment, name)
+        if name in self.builds:
+            def counted(*args, **kwargs):
+                with self._count_lock:
+                    self.builds[name] += 1
+                return value(*args, **kwargs)
+
+            return counted
+        return value
+
+
+def _hammer(n_threads: int, work) -> list:
+    """Run *work(index)* on n threads after a common barrier; re-raise."""
+    barrier = threading.Barrier(n_threads)
+    results: list = [None] * n_threads
+    errors: list = []
+
+    def run(i: int) -> None:
+        barrier.wait()
+        try:
+            results[i] = work(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads), "hammer thread hung"
+    if errors:
+        raise errors[0]
+    return results
+
+
+def test_concurrent_view_builds_exactly_one_per_kind(experiment):
+    counting = CountingExperiment(experiment)
+    session = ViewerSession(counting)
+
+    def work(i: int):
+        kind = list(ViewKind)[i % len(ViewKind)]
+        return kind, session.view(kind)
+
+    results = _hammer(N_THREADS, work)
+
+    assert counting.builds == {
+        "calling_context_view": 1, "callers_view": 1, "flat_view": 1,
+    }
+    # every thread asking for a kind got the *same* View object
+    for kind in ViewKind:
+        views = {id(v) for k, v in results if k is kind}
+        assert len(views) == 1
+    assert session.loaded_views == len(ViewKind)
+
+
+def test_concurrent_state_builds_exactly_one_per_kind(experiment):
+    session = ViewerSession(experiment)
+
+    def work(i: int):
+        kind = list(ViewKind)[i % len(ViewKind)]
+        return kind, session.state(kind)
+
+    results = _hammer(N_THREADS, work)
+    for kind in ViewKind:
+        states = {id(s) for k, s in results if k is kind}
+        assert len(states) == 1
+    # states were built against the single shared view of their kind
+    for kind, state in results:
+        assert state.view is session.view(kind)
+
+
+def test_concurrent_roots_access_builds_once(experiment):
+    """View.roots double-checks under its build lock: one forest only."""
+    view = experiment.calling_context_view()
+    results = _hammer(N_THREADS, lambda i: view.roots)
+    first = results[0]
+    assert all(r is first for r in results)
+
+
+def test_mixed_view_state_render_hammer(experiment):
+    """Sessions survive interleaved view/state/render first accesses."""
+    from repro.server.sessions import render_snapshot
+
+    session = ViewerSession(experiment)
+    lock = threading.RLock()  # server-style per-session serialization
+
+    def work(i: int):
+        kind = list(ViewKind)[i % len(ViewKind)]
+        with lock:
+            return kind, render_snapshot(session, kind, depth=2)["text"]
+
+    results = _hammer(N_THREADS, work)
+    by_kind: dict[ViewKind, set[str]] = {}
+    for kind, text in results:
+        by_kind.setdefault(kind, set()).add(text)
+    # renders of the same kind are identical regardless of thread timing
+    assert all(len(texts) == 1 for texts in by_kind.values())
