@@ -27,7 +27,52 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.server import build_server  # noqa: E402 - path set above
+from repro.hpcprof import binio  # noqa: E402 - path set above
+from repro.hpcprof.experiment import Experiment  # noqa: E402
+from repro.server import build_server  # noqa: E402
+from repro.sim.workloads import s3d  # noqa: E402
+
+
+def checksum_overhead(repeats: int = 40, loads_per_sample: int = 20) -> dict:
+    """Cost of per-section CRC32 verification on the v2 binary loads.
+
+    Loads the same serialized database with checksum verification on
+    and off (same parse either way — the delta is pure CRC work) and
+    reports the relative overhead against a <5% budget: framing exists
+    to make corruption detectable, not to tax every clean load.
+
+    Methodology matters at sub-millisecond scale: both modes are warmed
+    first, each timing sample batches several loads, the two modes'
+    samples alternate in both orders (so drift and cache effects hit
+    them equally), and best-of-N per mode shaves scheduler noise.
+    """
+    blob = binio.dumps_binary(Experiment.from_program(s3d.build()))
+
+    def sample(verify: bool) -> float:
+        t0 = time.perf_counter()
+        for _ in range(loads_per_sample):
+            binio.loads_binary(blob, verify_checksums=verify)
+        return (time.perf_counter() - t0) / loads_per_sample
+
+    for _ in range(3):  # warm both paths outside the timed window
+        sample(True), sample(False)
+    v_times, u_times = [], []
+    for i in range(repeats):
+        if i % 2:
+            v_times.append(sample(True))
+            u_times.append(sample(False))
+        else:
+            u_times.append(sample(False))
+            v_times.append(sample(True))
+    verified, unverified = min(v_times), min(u_times)
+    return {
+        "database_bytes": len(blob),
+        "load_verified_ms": round(verified * 1000, 4),
+        "load_unverified_ms": round(unverified * 1000, 4),
+        "overhead_pct": round(100.0 * (verified - unverified)
+                              / max(unverified, 1e-9), 2),
+        "budget_pct": 5.0,
+    }
 
 
 def fire(base: str, method: str, path: str, body: dict | None = None) -> dict:
@@ -97,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
                                       + stats["cache"]["misses"]), 4),
         "cache": stats["cache"],
         "server_requests": stats["requests"],
+        "checksum_verification": checksum_overhead(),
     }
     out = (REPO / args.output).resolve()
     out.write_text(json.dumps(result, indent=2) + "\n")

@@ -133,9 +133,15 @@ def main_view(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-rows", type=int, default=60)
     parser.add_argument("--advise", action="store_true",
                         help="print tuning suggestions after the views")
+    parser.add_argument("--salvage", action="store_true",
+                        help="recover what a corrupted/truncated binary "
+                             "database still holds instead of failing")
     args = parser.parse_args(argv)
 
-    exp = database.load(args.db)
+    exp = database.load(args.db, strict=not args.salvage)
+    report = getattr(exp, "load_report", None)
+    if report is not None:
+        print(f"salvage: {report.summary()}", file=sys.stderr)
     session = ViewerSession(exp)
     session.hot_path_threshold = args.threshold
 

@@ -1,10 +1,13 @@
 """Compact binary experiment-database format.
 
 The paper's ongoing work includes "replacing our XML format for profiles
-with a more compact binary format"; this module implements it.  Layout
-(all integers little-endian):
+with a more compact binary format"; this module implements it.  Two
+on-disk versions exist (all integers little-endian):
 
-* header: magic ``RPDB``, u16 version, length-prefixed experiment name;
+**v1 (legacy, unframed)** — magic ``RPDB``, u16 version, then the
+payload sections concatenated with no framing:
+
+* header: length-prefixed experiment name;
 * string table: u32 count, then length-prefixed UTF-8 strings — every
   name/file/formula is stored once and referenced by index;
 * metric table: u32 count, then per metric: name/unit/formula/description
@@ -16,14 +19,31 @@ with a more compact binary format"; this module implements it.  Layout
   [u32 mid, f64]..., u16 nsummary [u8 flavor, u32 mid, f64]..., u32
   nchildren)``.
 
+**v2 (framed, default)** — the same record encodings, but each section
+is wrapped in a checksummed frame ``(u8 section id, u32 payload length,
+u32 crc32(payload))`` and the structure/CCT payloads lead with a u32
+total node count.  The framing is what makes fault-tolerant ingestion
+possible (see :mod:`repro.hpcprof.recovery`): a flipped bit is caught
+by the section CRC instead of surfacing as a misparse, a corrupt middle
+section can be skipped without losing the sections after it, and the
+declared node counts let a salvage load report exactly how much of a
+truncated tree it recovered.  A zero-length ``END`` frame terminates
+the stream so truncation after the last section is detectable.
+
+Readers and writers are iterative (explicit stacks), so arbitrarily
+deep call chains — e.g. the 5000-frame recursion regressions — survive
+a round trip without tripping the interpreter recursion limit.
+
 Varint-free and mmap-friendly; the size/speed advantage over XML is
-quantified by ``benchmarks/bench_database.py``.
+quantified by ``benchmarks/bench_database.py`` and the checksum
+overhead by ``benchmarks/run_server_bench.py``.
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import zlib
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTKind, CCTNode
@@ -42,14 +62,59 @@ from repro.hpcstruct.model import (
     StructureNode,
 )
 
-__all__ = ["write_binary", "read_binary", "dumps_binary", "loads_binary"]
+__all__ = [
+    "write_binary",
+    "read_binary",
+    "dumps_binary",
+    "loads_binary",
+    "FORMAT_VERSION",
+    "section_frames",
+]
 
 _MAGIC = b"RPDB"
-_VERSION = 1
+_V1 = 1
+_V2 = 2
+FORMAT_VERSION = _V2
+
+# v2 section ids, in stream order
+SEC_NAME = 1
+SEC_STRINGS = 2
+SEC_METRICS = 3
+SEC_STRUCTURE = 4
+SEC_CCT = 5
+SEC_END = 0xFF
+
+SECTION_NAMES = {
+    SEC_NAME: "name",
+    SEC_STRINGS: "strings",
+    SEC_METRICS: "metrics",
+    SEC_STRUCTURE: "structure",
+    SEC_CCT: "cct",
+    SEC_END: "end",
+}
+
+_FRAME_HEADER = struct.Struct("<BII")  # section id, payload length, crc32
 
 _STRUCT_KINDS = list(StructKind)
 _CCT_KINDS = list(CCTKind)
 _METRIC_KINDS = list(MetricKind)
+
+#: exceptions that single-byte corruption can surface as, converted to
+#: DatabaseError at the loads_binary boundary so the loader presents
+#: exactly one failure mode for bad bytes
+MALFORMED_EXCEPTIONS = (
+    IndexError,
+    KeyError,
+    ValueError,
+    OverflowError,
+    MemoryError,
+    UnicodeDecodeError,
+    RecursionError,
+    struct.error,
+    StructureError,
+    CorrelationError,
+    MetricError,
+)
 
 
 class _StringTable:
@@ -73,13 +138,20 @@ def _pack_str(buf: io.BytesIO, s: str) -> None:
 
 
 class _Reader:
-    def __init__(self, data: bytes) -> None:
+    """A bounds-checked cursor over one buffer (or a slice of one)."""
+
+    def __init__(self, data: bytes, pos: int = 0, end: int | None = None) -> None:
         self.data = data
-        self.pos = 0
+        self.pos = pos
+        self.end = len(data) if end is None else end
+
+    @property
+    def remaining(self) -> int:
+        return self.end - self.pos
 
     def unpack(self, fmt: str):
         size = struct.calcsize(fmt)
-        if self.pos + size > len(self.data):
+        if self.pos + size > self.end:
             raise DatabaseError("truncated binary database")
         out = struct.unpack_from(fmt, self.data, self.pos)
         self.pos += size
@@ -87,22 +159,25 @@ class _Reader:
 
     def read_str(self) -> str:
         (length,) = self.unpack("<I")
-        if self.pos + length > len(self.data):
+        if self.pos + length > self.end:
             raise DatabaseError("truncated string in binary database")
         raw = self.data[self.pos : self.pos + length]
         self.pos += length
         return raw.decode("utf-8")
 
+    def check_count(self, count: int, min_record: int, what: str) -> None:
+        """Reject a hostile count field before looping on it."""
+        if count * min_record > self.remaining:
+            raise DatabaseError(
+                f"implausible {what} count {count} for "
+                f"{self.remaining} remaining bytes"
+            )
+
 
 # --------------------------------------------------------------------- #
-# writing
+# section writers (shared by v1 and v2: identical record encodings)
 # --------------------------------------------------------------------- #
-def dumps_binary(experiment: Experiment) -> bytes:
-    strings = _StringTable()
-    body = io.BytesIO()
-
-    # -- metric table -------------------------------------------------- #
-    metrics = experiment.metrics
+def _dump_metrics(body: io.BytesIO, metrics: MetricTable, strings: _StringTable) -> None:
     body.write(struct.pack("<I", len(metrics)))
     for desc in metrics:
         body.write(
@@ -118,10 +193,15 @@ def dumps_binary(experiment: Experiment) -> bytes:
             )
         )
 
-    # -- structure ------------------------------------------------------ #
-    struct_ids: dict[int, int] = {}
 
-    def write_struct(node: StructureNode) -> None:
+def _dump_structure(
+    body: io.BytesIO, root: StructureNode, strings: _StringTable
+) -> dict[int, int]:
+    """Write the structure tree preorder; returns uid -> implicit id."""
+    struct_ids: dict[int, int] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
         struct_ids[node.uid] = len(struct_ids)
         body.write(
             struct.pack(
@@ -137,13 +217,22 @@ def dumps_binary(experiment: Experiment) -> bytes:
         for line, callee in node.calls:
             body.write(struct.pack("<II", line, strings.ref(callee)))
         body.write(struct.pack("<I", len(node.children)))
-        for child in node.children:
-            write_struct(child)
+        stack.extend(reversed(node.children))
+    return struct_ids
 
-    write_struct(experiment.structure.root)
 
-    # -- CCT ------------------------------------------------------------ #
-    def write_cct(node: CCTNode) -> None:
+def _dump_cct(
+    body: io.BytesIO,
+    root: CCTNode,
+    metrics: MetricTable,
+    struct_ids: dict[int, int],
+) -> int:
+    """Write the CCT preorder; returns the number of nodes written."""
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
         sid = struct_ids.get(node.struct.uid, -1) if node.struct is not None else -1
         raw_items = [
             (mid, v)
@@ -174,32 +263,260 @@ def dumps_binary(experiment: Experiment) -> bytes:
         for flavor, mid, value in summary_items:
             body.write(struct.pack("<BId", flavor, mid, value))
         body.write(struct.pack("<I", len(node.children)))
-        for child in node.children:
-            write_cct(child)
+        stack.extend(reversed(node.children))
+    return count
 
-    write_cct(experiment.cct.root)
 
-    # -- assemble -------------------------------------------------------- #
+def dumps_binary(experiment: Experiment, version: int = FORMAT_VERSION) -> bytes:
+    """Serialize to the framed v2 format (or legacy v1 on request)."""
+    if version not in (_V1, _V2):
+        raise DatabaseError(f"cannot write binary database version {version}")
+    strings = _StringTable()
+
+    metrics_body = io.BytesIO()
+    _dump_metrics(metrics_body, experiment.metrics, strings)
+
+    struct_body = io.BytesIO()
+    struct_ids = _dump_structure(struct_body, experiment.structure.root, strings)
+
+    cct_body = io.BytesIO()
+    node_count = _dump_cct(
+        cct_body, experiment.cct.root, experiment.metrics, struct_ids
+    )
+
+    # the string table is complete only after every section interned into it
+    strings_body = io.BytesIO()
+    strings_body.write(struct.pack("<I", len(strings.strings)))
+    for s in strings.strings:
+        _pack_str(strings_body, s)
+
     out = io.BytesIO()
     out.write(_MAGIC)
-    out.write(struct.pack("<H", _VERSION))
-    _pack_str(out, experiment.name)
-    out.write(struct.pack("<I", len(strings.strings)))
-    for s in strings.strings:
-        _pack_str(out, s)
-    out.write(body.getvalue())
+    out.write(struct.pack("<H", version))
+    if version == _V1:
+        _pack_str(out, experiment.name)
+        out.write(strings_body.getvalue())
+        out.write(metrics_body.getvalue())
+        out.write(struct_body.getvalue())
+        out.write(cct_body.getvalue())
+        return out.getvalue()
+
+    name_body = io.BytesIO()
+    _pack_str(name_body, experiment.name)
+
+    def frame(section_id: int, payload: bytes) -> None:
+        out.write(_FRAME_HEADER.pack(section_id, len(payload),
+                                     zlib.crc32(payload)))
+        out.write(payload)
+
+    frame(SEC_NAME, name_body.getvalue())
+    frame(SEC_STRINGS, strings_body.getvalue())
+    frame(SEC_METRICS, metrics_body.getvalue())
+    frame(SEC_STRUCTURE,
+          struct.pack("<I", len(struct_ids)) + struct_body.getvalue())
+    frame(SEC_CCT, struct.pack("<I", node_count) + cct_body.getvalue())
+    frame(SEC_END, b"")
     return out.getvalue()
 
 
-def write_binary(experiment: Experiment, path: str) -> None:
+def write_binary(experiment: Experiment, path: str,
+                 version: int = FORMAT_VERSION) -> None:
     with open(path, "wb") as fh:
-        fh.write(dumps_binary(experiment))
+        fh.write(dumps_binary(experiment, version=version))
+
+
+# --------------------------------------------------------------------- #
+# section readers (shared by the strict loader and the salvage loader)
+# --------------------------------------------------------------------- #
+def read_strings(reader: _Reader) -> list[str]:
+    (nstrings,) = reader.unpack("<I")
+    reader.check_count(nstrings, 4, "string")
+    return [reader.read_str() for _ in range(nstrings)]
+
+
+def read_metrics(reader: _Reader, strings: list[str]) -> MetricTable:
+    metrics = MetricTable()
+    (nmetrics,) = reader.unpack("<I")
+    reader.check_count(nmetrics, struct.calcsize("<IIIIdBB"), "metric")
+    for _ in range(nmetrics):
+        read_one_metric(reader, strings, metrics)
+    return metrics
+
+
+def read_one_metric(
+    reader: _Reader, strings: list[str], metrics: MetricTable
+) -> None:
+    sname, sunit, sformula, sdesc, period, kind_idx, pct = reader.unpack(
+        "<IIIIdBB"
+    )
+    metrics.add(
+        strings[sname],
+        unit=strings[sunit],
+        period=period,
+        kind=_METRIC_KINDS[kind_idx],
+        formula=strings[sformula],
+        description=strings[sdesc],
+        show_percent=bool(pct),
+    )
+
+
+def read_structure(
+    reader: _Reader,
+    strings: list[str],
+    *,
+    errors: list[str] | None = None,
+) -> tuple[StructureModel, list[StructureNode]]:
+    """Read the preorder structure stream iteratively.
+
+    When *errors* is given the reader runs in salvage mode: the first
+    malformed record stops the parse with a message appended to *errors*
+    and the clean prefix read so far is returned.  Records are parsed
+    completely before any node is constructed, so the prefix never
+    contains a half-read scope.
+    """
+    model = StructureModel()
+    by_id: list[StructureNode] = []
+
+    def read_one(parent: StructureNode | None) -> tuple[StructureNode, int]:
+        kind_idx, sname, sfile, line, end_line = reader.unpack("<BIIII")
+        kind = _STRUCT_KINDS[kind_idx]
+        name = strings[sname]
+        file = strings[sfile]
+        (ncalls,) = reader.unpack("<H")
+        reader.check_count(ncalls, 8, "call-edge")
+        calls = []
+        for _ in range(ncalls):
+            cline, callee = reader.unpack("<II")
+            calls.append((cline, strings[callee]))
+        (nchildren,) = reader.unpack("<I")
+        reader.check_count(nchildren, 23, "structure child")
+        # record fully parsed — only now mutate the model
+        if kind is StructKind.ROOT:
+            if parent is not None:
+                raise DatabaseError("structure root below the root")
+            node = model.root
+            node.name = name
+        else:
+            if parent is None:
+                raise DatabaseError("structure stream does not start at a root")
+            node = StructureNode(
+                kind,
+                name=name,
+                location=SourceLocation(file=file, line=line, end_line=end_line),
+                parent=parent,
+            )
+        node.calls = tuple(calls)
+        if kind is StructKind.PROCEDURE:
+            model._register_procedure(node)
+        by_id.append(node)
+        return node, nchildren
+
+    # stack of [node, remaining children to read]
+    stack: list[list] = []
+    try:
+        root, nchildren = read_one(None)
+        stack.append([root, nchildren])
+        while stack:
+            top = stack[-1]
+            if top[1] == 0:
+                stack.pop()
+                continue
+            top[1] -= 1
+            child, n = read_one(top[0])
+            stack.append([child, n])
+    except (DatabaseError, *MALFORMED_EXCEPTIONS) as exc:
+        if errors is None:
+            raise
+        errors.append(f"structure: {exc!r}")
+    return model, by_id
+
+
+def read_cct(
+    reader: _Reader,
+    by_id: list[StructureNode],
+    *,
+    errors: list[str] | None = None,
+) -> tuple[CCT, list[tuple[CCTNode, list[tuple[int, int, float]]]]]:
+    """Read the preorder CCT stream iteratively.
+
+    Returns the tree plus the stored summary overlays ``(node, [(flavor,
+    mid, value), ...])``; the caller re-applies them after attribution so
+    stored summary columns survive the Eq. 1/2 recomputation.  *errors*
+    enables salvage mode exactly as in :func:`read_structure`: records
+    are parsed completely before the node is attached, and the first
+    malformed record ends the recovered prefix.
+    """
+    cct = CCT()
+    stored: list[tuple[CCTNode, list[tuple[int, int, float]]]] = []
+
+    def read_one(parent: CCTNode | None) -> tuple[CCTNode, int]:
+        kind_idx, sid, line, nraw, nsummary = reader.unpack("<BIIHH")
+        kind = _CCT_KINDS[kind_idx]
+        if kind is not CCTKind.ROOT and sid > len(by_id):
+            raise DatabaseError(f"CCT references unknown structure id {sid}")
+        reader.check_count(nraw, 12, "raw metric")
+        raw: dict[int, float] = {}
+        for _ in range(nraw):
+            mid, value = reader.unpack("<Id")
+            raw[mid] = value
+        summaries = []
+        reader.check_count(nsummary, 13, "summary metric")
+        for _ in range(nsummary):
+            flavor, mid, value = reader.unpack("<BId")
+            summaries.append((flavor, mid, value))
+        (nchildren,) = reader.unpack("<I")
+        reader.check_count(nchildren, 17, "CCT child")
+        # record fully parsed — only now attach the node to the tree
+        if kind is CCTKind.ROOT:
+            if parent is not None:
+                raise DatabaseError("CCT root below the root")
+            node = cct.root
+        else:
+            if parent is None:
+                raise DatabaseError("CCT stream does not start at a root")
+            struct_ref = by_id[sid - 1] if sid > 0 else None
+            node = CCTNode(kind, struct=struct_ref, line=line, parent=parent)
+        node.raw.update(raw)
+        if summaries:
+            stored.append((node, summaries))
+        return node, nchildren
+
+    stack: list[list] = []
+    try:
+        root, nchildren = read_one(None)
+        stack.append([root, nchildren])
+        while stack:
+            top = stack[-1]
+            if top[1] == 0:
+                stack.pop()
+                continue
+            top[1] -= 1
+            child, n = read_one(top[0])
+            stack.append([child, n])
+    except (DatabaseError, *MALFORMED_EXCEPTIONS) as exc:
+        if errors is None:
+            raise
+        errors.append(f"cct: {exc!r}")
+    return cct, stored
+
+
+def apply_summaries(
+    cct: CCT,
+    stored: list[tuple[CCTNode, list[tuple[int, int, float]]]],
+) -> None:
+    """Overlay stored summary values after :func:`attribute` ran."""
+    for node, summaries in stored:
+        for flavor, mid, value in summaries:
+            store = node.inclusive if flavor == 0 else node.exclusive
+            store[mid] = value
+    if stored:
+        cct.invalidate_caches()
 
 
 # --------------------------------------------------------------------- #
 # reading
 # --------------------------------------------------------------------- #
-def loads_binary(data: bytes) -> Experiment:
+def loads_binary(data: bytes, verify_checksums: bool = True) -> Experiment:
     """Deserialize, converting any malformed-input failure to DatabaseError.
 
     Fuzzing showed single-byte corruption can surface as IndexError (bad
@@ -207,116 +524,136 @@ def loads_binary(data: bytes) -> Experiment:
     errors, RecursionError (corrupted child counts), or MetricError (a
     flipped byte in a descriptor field failing validation); a loader must
     present exactly one failure mode for bad bytes.
+
+    *verify_checksums* (v2 only) can be switched off to measure the CRC
+    cost in isolation — production callers always leave it on.
     """
     try:
-        return _loads_binary(data)
+        return _loads_binary(data, verify_checksums=verify_checksums)
     except DatabaseError:
         raise
-    except (IndexError, KeyError, ValueError, OverflowError, MemoryError,
-            UnicodeDecodeError, RecursionError, struct.error,
-            StructureError, CorrelationError, MetricError) as exc:
+    except MALFORMED_EXCEPTIONS as exc:
         raise DatabaseError(f"malformed binary database: {exc!r}") from exc
 
 
-def _loads_binary(data: bytes) -> Experiment:
-    reader = _Reader(data)
+def read_header(data: bytes) -> int:
+    """Check the magic and return the format version."""
     if data[:4] != _MAGIC:
         raise DatabaseError("not a binary experiment database (bad magic)")
-    reader.pos = 4
-    (version,) = reader.unpack("<H")
-    if version != _VERSION:
+    if len(data) < 6:
+        raise DatabaseError("truncated binary database")
+    (version,) = struct.unpack_from("<H", data, 4)
+    if version not in (_V1, _V2):
         raise DatabaseError(f"unsupported binary database version {version}")
-    name = reader.read_str()
-    (nstrings,) = reader.unpack("<I")
-    strings = [reader.read_str() for _ in range(nstrings)]
+    return version
 
-    # -- metric table ----------------------------------------------------- #
-    metrics = MetricTable()
-    (nmetrics,) = reader.unpack("<I")
-    for _ in range(nmetrics):
-        sname, sunit, sformula, sdesc, period, kind_idx, pct = reader.unpack("<IIIIdBB")
-        metrics.add(
-            strings[sname],
-            unit=strings[sunit],
-            period=period,
-            kind=_METRIC_KINDS[kind_idx],
-            formula=strings[sformula],
-            description=strings[sdesc],
-            show_percent=bool(pct),
-        )
 
-    # -- structure --------------------------------------------------------- #
-    model = StructureModel()
-    by_id: list[StructureNode] = []
+def section_frames(data: bytes) -> list[tuple[int, int, int, int]]:
+    """The v2 frame layout: ``(section id, header offset, payload offset,
+    end offset)`` per section, in stream order.
 
-    def read_struct(parent: StructureNode | None) -> StructureNode:
-        kind_idx, sname, sfile, line, end_line = reader.unpack("<BIIII")
-        kind = _STRUCT_KINDS[kind_idx]
-        if kind is StructKind.ROOT:
-            node = model.root
-            node.name = strings[sname]
-        else:
-            node = StructureNode(
-                kind,
-                name=strings[sname],
-                location=SourceLocation(
-                    file=strings[sfile], line=line, end_line=end_line
-                ),
-                parent=parent,
+    The fault-injection harness uses this to truncate a database at
+    every frame boundary; it does not verify checksums.
+    """
+    if read_header(data) != _V2:
+        raise DatabaseError("section_frames requires a framed v2 database")
+    frames = []
+    pos = 6
+    while pos < len(data):
+        if pos + _FRAME_HEADER.size > len(data):
+            raise DatabaseError("truncated section header")
+        section_id, length, _crc = _FRAME_HEADER.unpack_from(data, pos)
+        payload_at = pos + _FRAME_HEADER.size
+        if payload_at + length > len(data):
+            raise DatabaseError("truncated section payload")
+        frames.append((section_id, pos, payload_at, payload_at + length))
+        pos = payload_at + length
+        if section_id == SEC_END:
+            break
+    return frames
+
+
+def _loads_binary(data: bytes, verify_checksums: bool = True) -> Experiment:
+    version = read_header(data)
+    if version == _V1:
+        reader = _Reader(data, pos=6)
+        name = reader.read_str()
+        strings = read_strings(reader)
+        metrics = read_metrics(reader, strings)
+        model, by_id = read_structure(reader, strings)
+        cct, stored = read_cct(reader, by_id)
+    else:
+        sections = _read_v2_sections(data, verify_checksums)
+        name_reader = sections[SEC_NAME]
+        name = name_reader.read_str()
+        strings = read_strings(sections[SEC_STRINGS])
+        metrics = read_metrics(sections[SEC_METRICS], strings)
+        struct_reader = sections[SEC_STRUCTURE]
+        (declared_struct,) = struct_reader.unpack("<I")
+        model, by_id = read_structure(struct_reader, strings)
+        if len(by_id) != declared_struct:
+            raise DatabaseError(
+                f"structure section declares {declared_struct} nodes, "
+                f"parsed {len(by_id)}"
             )
-        (ncalls,) = reader.unpack("<H")
-        calls = []
-        for _ in range(ncalls):
-            cline, callee = reader.unpack("<II")
-            calls.append((cline, strings[callee]))
-        node.calls = tuple(calls)
-        if kind is StructKind.PROCEDURE:
-            model._register_procedure(node)
-        by_id.append(node)
-        (nchildren,) = reader.unpack("<I")
-        for _ in range(nchildren):
-            read_struct(node)
-        return node
-
-    read_struct(None)
-
-    # -- CCT ----------------------------------------------------------------- #
-    cct = CCT()
-
-    def read_cct(parent: CCTNode | None) -> CCTNode:
-        kind_idx, sid, line, nraw, nsummary = reader.unpack("<BIIHH")
-        kind = _CCT_KINDS[kind_idx]
-        if kind is CCTKind.ROOT:
-            node = cct.root
-        else:
-            struct_ref = by_id[sid - 1] if sid > 0 else None
-            node = CCTNode(kind, struct=struct_ref, line=line, parent=parent)
-        for _ in range(nraw):
-            mid, value = reader.unpack("<Id")
-            node.raw[mid] = value
-        summaries = []
-        for _ in range(nsummary):
-            flavor, mid, value = reader.unpack("<BId")
-            summaries.append((flavor, mid, value))
-        (nchildren,) = reader.unpack("<I")
-        for _ in range(nchildren):
-            read_cct(node)
-        for flavor, mid, value in summaries:
-            store = node.inclusive if flavor == 0 else node.exclusive
-            store[mid] = value
-        return node
-
-    read_cct(None)
-    # stored summary values must survive re-attribution, so reapply them
-    stored = [
-        (node, dict(node.inclusive), dict(node.exclusive)) for node in cct.walk()
-        if node.inclusive or node.exclusive
-    ]
+        cct_reader = sections[SEC_CCT]
+        (declared_cct,) = cct_reader.unpack("<I")
+        cct, stored = read_cct(cct_reader, by_id)
+        if len(cct) != declared_cct:
+            raise DatabaseError(
+                f"CCT section declares {declared_cct} nodes, parsed {len(cct)}"
+            )
+    _check_metric_refs(cct, stored, metrics)
     attribute(cct)
-    for node, incl, excl in stored:
-        node.inclusive.update(incl)
-        node.exclusive.update(excl)
+    apply_summaries(cct, stored)
     return Experiment(name, metrics, model, cct)
+
+
+def _check_metric_refs(cct: CCT, stored, metrics: MetricTable) -> None:
+    """Every metric id the tree references must exist in the table."""
+    nmetrics = len(metrics)
+    for node in cct.walk():
+        for mid in node.raw:
+            if not 0 <= mid < nmetrics:
+                raise DatabaseError(f"CCT references unknown metric id {mid}")
+    for _node, summaries in stored:
+        for _flavor, mid, _value in summaries:
+            if not 0 <= mid < nmetrics:
+                raise DatabaseError(f"CCT references unknown metric id {mid}")
+
+
+def _read_v2_sections(data: bytes, verify_checksums: bool) -> dict[int, _Reader]:
+    """Slice a framed stream into per-section readers, verifying CRCs."""
+    sections: dict[int, _Reader] = {}
+    saw_end = False
+    for section_id, _header_at, payload_at, end in section_frames(data):
+        if section_id == SEC_END:
+            saw_end = True
+            break
+        if section_id in sections or section_id not in SECTION_NAMES:
+            raise DatabaseError(f"unexpected section id {section_id}")
+        if verify_checksums:
+            (_sid, _length, crc) = _FRAME_HEADER.unpack_from(
+                data, _header_at
+            )
+            actual = zlib.crc32(data[payload_at:end])
+            if actual != crc:
+                name = SECTION_NAMES[section_id]
+                raise DatabaseError(
+                    f"checksum mismatch in {name} section "
+                    f"(stored {crc:#010x}, computed {actual:#010x})"
+                )
+        sections[section_id] = _Reader(data, pos=payload_at, end=end)
+    if not saw_end:
+        raise DatabaseError("truncated binary database (missing end frame)")
+    missing = [
+        SECTION_NAMES[sid]
+        for sid in (SEC_NAME, SEC_STRINGS, SEC_METRICS, SEC_STRUCTURE, SEC_CCT)
+        if sid not in sections
+    ]
+    if missing:
+        raise DatabaseError(f"missing sections: {', '.join(missing)}")
+    return sections
 
 
 def read_binary(path: str) -> Experiment:

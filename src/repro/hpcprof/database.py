@@ -2,7 +2,18 @@
 
 ``save`` / ``load`` pick the serializer from the file extension:
 ``.xml`` for the human-readable XML schema, ``.rpdb`` (or anything else)
-for the compact binary format.
+for the compact binary format (framed v2 by default; see
+:mod:`repro.hpcprof.binio`).
+
+``load`` / ``loads`` take a ``strict`` flag (default ``True``).  Strict
+loads convert every malformed-input failure — including files that
+vanish between a check and the open — to :class:`DatabaseError`.
+``strict=False`` switches to salvage mode
+(:mod:`repro.hpcprof.recovery`): the largest validated prefix of a
+corrupted or truncated binary database is recovered and returned as an
+:class:`Experiment` tagged with a :class:`~repro.hpcprof.recovery.LoadReport`
+(``experiment.load_report``) instead of raising.  Salvage applies to the
+binary format only; XML databases always parse strictly.
 """
 
 from __future__ import annotations
@@ -31,24 +42,43 @@ def save(experiment: Experiment, path: str) -> int:
     return len(data)
 
 
-def loads(data: bytes, origin: str = "<bytes>") -> Experiment:
+def loads(data: bytes, origin: str = "<bytes>", strict: bool = True) -> Experiment:
     """Deserialize an experiment, sniffing the format from the content.
 
     *origin* only labels error messages (a path, a URL, a session id);
     the analysis server loads uploaded/streamed databases through this
-    without touching the filesystem.
+    without touching the filesystem.  ``strict=False`` salvages what a
+    corrupted/truncated binary database still holds (see module doc).
     """
     if data[:4] == b"RPDB":
-        return binio.loads_binary(data)
+        if strict:
+            return binio.loads_binary(data)
+        from repro.hpcprof import recovery
+
+        return recovery.salvage_loads(data, origin=origin)
     if data.lstrip()[:1] == b"<":
         return xmlio.loads_xml(data)
     raise DatabaseError(f"{origin}: unrecognized database format")
 
 
-def load(path: str) -> Experiment:
-    """Deserialize an experiment from a file, sniffing the format."""
-    if not os.path.exists(path):
-        raise DatabaseError(f"no such database: {path}")
-    with open(path, "rb") as fh:
-        data = fh.read()
-    return loads(data, origin=path)
+def load(path: str, strict: bool = True) -> Experiment:
+    """Deserialize an experiment from a file, sniffing the format.
+
+    The open/read is what gets checked — not a racy ``os.path.exists``
+    probe — so a path deleted (or swapped for a directory, or made
+    unreadable) between any check and the open still surfaces as
+    :class:`DatabaseError` naming the path, never a raw ``OSError``
+    traceback through a caller such as the analysis server.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        raise DatabaseError(f"no such database: {path}") from None
+    except IsADirectoryError:
+        raise DatabaseError(f"database path is a directory: {path}") from None
+    except PermissionError:
+        raise DatabaseError(f"database is not readable: {path}") from None
+    except OSError as exc:
+        raise DatabaseError(f"cannot read database {path}: {exc}") from None
+    return loads(data, origin=path, strict=strict)

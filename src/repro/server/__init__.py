@@ -8,26 +8,35 @@ one set of loaded experiment databases concurrently.
 
 Layering (transport-independent core under a thin HTTP shell):
 
-* :mod:`repro.server.errors` — the structured 4xx error taxonomy;
+* :mod:`repro.server.errors` — the structured 4xx/5xx error taxonomy;
+* :mod:`repro.server.deadline` — cooperative per-request deadlines;
 * :mod:`repro.server.cache` — thread-safe LRU render/query cache;
 * :mod:`repro.server.sessions` — session registry, per-session locks,
   generation counters, and the pure render/hot-path snapshot functions;
 * :mod:`repro.server.app` — routing, decoding, validation, stats;
 * :mod:`repro.server.http` — ``ThreadingHTTPServer`` adapter and the
-  ``repro-serve`` entry point.
+  ``repro-serve`` entry point;
+* :mod:`repro.server.client` — retrying JSON client with exponential
+  backoff + jitter that honors ``Retry-After``.
 
 See ``docs/server.md`` for the endpoint reference and the cache
-invalidation rules.
+invalidation rules, and ``docs/robustness.md`` for the resilience
+layer (deadlines, admission control, eviction, salvage loading).
 """
 
 from repro.server.app import AnalysisApp
 from repro.server.cache import RenderCache
+from repro.server.client import RetryingClient, RetryPolicy
+from repro.server.deadline import Deadline, checkpoint, deadline_scope
 from repro.server.errors import (
     ApiError,
     BadRequest,
+    DeadlineExceeded,
     MethodNotAllowed,
     NotFound,
     PayloadTooLarge,
+    ServiceUnavailable,
+    TooManyRequests,
 )
 from repro.server.http import AnalysisServer, build_server
 from repro.server.sessions import (
@@ -42,13 +51,21 @@ __all__ = [
     "AnalysisServer",
     "ApiError",
     "BadRequest",
+    "Deadline",
+    "DeadlineExceeded",
     "MethodNotAllowed",
     "NotFound",
     "PayloadTooLarge",
     "RenderCache",
+    "RetryPolicy",
+    "RetryingClient",
+    "ServiceUnavailable",
     "SessionRegistry",
     "SortSpec",
+    "TooManyRequests",
     "build_server",
+    "checkpoint",
+    "deadline_scope",
     "hot_path_snapshot",
     "render_snapshot",
 ]

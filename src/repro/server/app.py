@@ -32,25 +32,41 @@ from repro.core.errors import ReproError
 from repro.core.metrics import MetricFlavor
 from repro.core.views import ViewKind
 from repro.server.cache import RenderCache
+from repro.server.deadline import Deadline, deadline_scope
 from repro.server.errors import (
     ApiError,
     BadRequest,
     MethodNotAllowed,
     NotFound,
     PayloadTooLarge,
+    ServiceUnavailable,
+    TooManyRequests,
     translate_domain_error,
 )
 from repro.server.sessions import (
+    SessionHandle,
     SessionRegistry,
     SortSpec,
     hot_path_snapshot,
     render_snapshot,
 )
 
-__all__ = ["AnalysisApp", "DEFAULT_MAX_BODY", "decode_json_body"]
+__all__ = [
+    "AnalysisApp",
+    "DEFAULT_MAX_BODY",
+    "DEFAULT_MAX_INFLIGHT",
+    "decode_json_body",
+]
 
 #: request bodies above this are rejected with 413 (overridable per app)
 DEFAULT_MAX_BODY = 1 << 20
+
+#: concurrent in-flight requests admitted before shedding with 429
+DEFAULT_MAX_INFLIGHT = 64
+
+#: endpoints that bypass admission control — monitoring must keep
+#: working while the server sheds analysis load
+_ADMISSION_EXEMPT = frozenset({("healthz",), ("stats",)})
 
 _MISSING = object()
 
@@ -196,13 +212,57 @@ class AnalysisApp:
         self,
         cache_size: int = 256,
         max_body: int = DEFAULT_MAX_BODY,
+        max_inflight: int | None = DEFAULT_MAX_INFLIGHT,
+        request_timeout_s: float | None = None,
+        session_ttl_s: float | None = None,
+        max_sessions: int | None = None,
+        scope_budget: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        self.registry = SessionRegistry()
+        self.registry = SessionRegistry(
+            max_sessions=max_sessions,
+            ttl_s=session_ttl_s,
+            scope_budget=scope_budget,
+            clock=clock,
+            on_evict=self._on_evict,
+        )
         self.cache = RenderCache(cache_size)
         self.max_body = max_body
+        self.max_inflight = max_inflight
+        self.request_timeout_s = request_timeout_s
+        self.clock = clock
         self._stats_lock = threading.Lock()
         self._stats: dict[str, dict] = {}
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        self._shed = 0
         self._started = time.time()
+
+    def _on_evict(self, handle: SessionHandle) -> None:
+        """Evicted sessions leave no cache residue (same path as close)."""
+        self.cache.invalidate_session(handle.sid)
+
+    # ------------------------------------------------------------------ #
+    # admission control
+    # ------------------------------------------------------------------ #
+    def _try_admit(self) -> bool:
+        with self._inflight_lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self._shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def _release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
 
     # ------------------------------------------------------------------ #
     # entry point
@@ -211,15 +271,31 @@ class AnalysisApp:
         """Process one request; always returns ``(status, payload)``."""
         t0 = time.perf_counter()
         label = "unmatched"
+        parts = urlsplit(path)
+        exempt = tuple(s for s in parts.path.split("/") if s) in _ADMISSION_EXEMPT
+        admitted = False
         try:
-            parts = urlsplit(path)
+            if not exempt:
+                admitted = self._try_admit()
+                if not admitted:
+                    raise TooManyRequests(
+                        f"server is at its in-flight limit of "
+                        f"{self.max_inflight}; retry with backoff",
+                        retry_after=1.0,
+                    )
             handler, params, label = self._match(method, parts.path)
             body = decode_json_body(raw, self.max_body)
             if parts.query:
                 merged = _query_dict(parts.query)
                 merged.update(body)
                 body = merged
-            status, payload = handler(params, body)
+            deadline = (
+                Deadline(self.request_timeout_s, clock=self.clock)
+                if self.request_timeout_s is not None and not exempt
+                else None
+            )
+            with deadline_scope(deadline):
+                status, payload = handler(params, body)
         except ApiError as exc:
             status, payload = exc.status, exc.to_payload()
         except ReproError as exc:
@@ -234,6 +310,9 @@ class AnalysisApp:
                     "message": f"internal error ({type(exc).__name__})",
                 }
             }
+        finally:
+            if admitted:
+                self._release()
         self._record(label, status, (time.perf_counter() - t0) * 1000.0)
         return status, payload
 
@@ -249,6 +328,9 @@ class AnalysisApp:
         if segments == ():
             candidates = {"GET": self._ep_help}
             label = "/"
+        elif segments == ("healthz",):
+            candidates = {"GET": self._ep_healthz}
+            label = "/healthz"
         elif segments == ("stats",):
             candidates = {"GET": self._ep_stats}
             label = "/stats"
@@ -335,10 +417,13 @@ class AnalysisApp:
                 }
         return {
             "uptime_s": time.time() - self._started,
-            "requests": {"total": total, "errors": errors},
+            "requests": {"total": total, "errors": errors,
+                         "shed": self._shed, "inflight": self.inflight()},
             "endpoints": endpoints,
             "cache": self.cache.stats(),
             "sessions": len(self.registry),
+            "resident_scopes": self.registry.total_cost(),
+            "evictions": self.registry.evictions,
         }
 
     # ------------------------------------------------------------------ #
@@ -350,6 +435,7 @@ class AnalysisApp:
             "doc": "docs/server.md",
             "endpoints": [
                 "GET  /                         this listing",
+                "GET  /healthz                  liveness + readiness probe",
                 "GET  /stats                    request counters, latency, cache",
                 "GET  /sessions                 list open sessions",
                 "POST /sessions                 open {database | workload}",
@@ -363,6 +449,32 @@ class AnalysisApp:
                 "POST /sessions/<sid>/unflatten undo one flatten",
                 "GET/POST /sessions/<sid>/render  {view?, metric?, depth?, ...}",
             ],
+        }
+
+    def _ep_healthz(self, params: dict, body: dict) -> tuple[int, dict]:
+        """Liveness (we answered) + readiness (we would admit a request).
+
+        Exempt from admission control, so probes see 503 *with a reason*
+        while analysis traffic is being shed, instead of being shed
+        themselves — which is what lets a balancer distinguish
+        "overloaded" from "dead".
+        """
+        inflight = self.inflight()
+        ready = self.max_inflight is None or inflight < self.max_inflight
+        if not ready:
+            raise ServiceUnavailable(
+                f"not ready: {inflight} requests in flight "
+                f"(limit {self.max_inflight})",
+                code="overloaded",
+                retry_after=1.0,
+            )
+        return 200, {
+            "status": "ok",
+            "live": True,
+            "ready": True,
+            "inflight": inflight,
+            "sessions": len(self.registry),
+            "uptime_s": time.time() - self._started,
         }
 
     def _ep_stats(self, params: dict, body: dict) -> tuple[int, dict]:
@@ -380,14 +492,19 @@ class AnalysisApp:
                 code="bad-session-source",
             )
         if db is not None:
-            handle = self.registry.open_database(db)
+            salvage = _field(body, "salvage", bool, default=False)
+            handle = self.registry.open_database(db, strict=not salvage)
         else:
             handle = self.registry.open_workload(
                 workload,
                 nranks=_field(body, "nranks", int, default=1, lo=1, hi=256),
                 seed=_field(body, "seed", int, default=12345),
             )
-        return 201, {"session": handle.info()}
+        payload = {"session": handle.info()}
+        report = getattr(handle.session.experiment, "load_report", None)
+        if report is not None:
+            payload["load_report"] = report.to_payload()
+        return 201, payload
 
     def _ep_session_info(self, params: dict, body: dict) -> tuple[int, dict]:
         return 200, {"session": self.registry.get(params["sid"]).info()}

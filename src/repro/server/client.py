@@ -1,0 +1,208 @@
+"""A retrying JSON client for the analysis service.
+
+:class:`RetryingClient` wraps one request/response exchange with the
+retry discipline the server's resilience layer expects from well-behaved
+callers:
+
+* **retryable failures** — 429 (shed by admission control), 503
+  (deadline exceeded / not ready), and transport-level errors
+  (connection refused or reset mid-exchange) are retried; everything
+  else, success or failure, is returned to the caller as-is.  4xx
+  responses other than 429 are the client's own fault and retrying
+  would only repeat the mistake;
+* **exponential backoff with jitter** — the *k*-th retry sleeps
+  ``base * 2**k`` seconds, capped at ``max_delay``, with a multiplicative
+  jitter drawn from ``[1 - jitter, 1 + jitter)`` so a shed thundering
+  herd does not re-arrive in lockstep;
+* **``Retry-After`` wins** — when the response carries the server's own
+  estimate (the HTTP header, or the ``retry_after`` field of the JSON
+  error payload), the client honors it as a *floor*: it never retries
+  sooner than the server asked, jitter notwithstanding.
+
+The transport, sleep, and RNG are injectable, so the retry schedule is
+deterministic under test: the fault harness drives this client against
+a scripted transport and asserts the exact sleep sequence.  The default
+transport speaks HTTP via :mod:`urllib` — stdlib only, like the server.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ClientResponse", "RetriesExhausted", "RetryingClient", "RetryPolicy"]
+
+#: HTTP statuses worth retrying: shed (429) and unavailable (503)
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: transport exceptions worth retrying (the request may never have
+#: reached the server, or the server died mid-response)
+RETRYABLE_ERRORS = (ConnectionError, TimeoutError, urllib.error.URLError)
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One HTTP exchange: status, parsed JSON payload, and headers."""
+
+    status: int
+    payload: dict
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status < 400
+
+    def retry_after(self) -> float | None:
+        """The server's backoff hint, from header or error payload."""
+        header = self.headers.get("Retry-After")
+        if header is not None:
+            try:
+                return max(0.0, float(header))
+            except ValueError:
+                pass
+        error = self.payload.get("error")
+        if isinstance(error, dict):
+            value = error.get("retry_after")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return max(0.0, float(value))
+        return None
+
+
+class RetriesExhausted(Exception):
+    """Every attempt failed; carries the last response or error seen."""
+
+    def __init__(
+        self,
+        attempts: int,
+        last_response: ClientResponse | None = None,
+        last_error: Exception | None = None,
+    ) -> None:
+        detail = (
+            f"status {last_response.status}" if last_response is not None
+            else f"{type(last_error).__name__}: {last_error}"
+        )
+        super().__init__(f"request failed after {attempts} attempt(s) ({detail})")
+        self.attempts = attempts
+        self.last_response = last_response
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base * 2**k`` capped, jittered, floored."""
+
+    max_attempts: int = 5
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    jitter: float = 0.25
+
+    def delay(
+        self,
+        attempt: int,
+        retry_after: float | None,
+        rng: Callable[[], float],
+    ) -> float:
+        """Seconds to sleep before retry number *attempt* (0-based)."""
+        backoff = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter > 0.0:
+            backoff *= 1.0 + self.jitter * (2.0 * rng() - 1.0)
+        if retry_after is not None:
+            backoff = max(backoff, retry_after)
+        return max(0.0, backoff)
+
+
+def _urllib_transport(
+    method: str, url: str, body: bytes | None, timeout: float
+) -> ClientResponse:
+    """Default transport: one stdlib HTTP exchange, JSON in and out."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            raw, status = resp.read(), resp.status
+            headers = dict(resp.headers.items())
+    except urllib.error.HTTPError as exc:  # non-2xx still has a JSON body
+        raw, status = exc.read(), exc.code
+        headers = dict(exc.headers.items()) if exc.headers else {}
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+    except (ValueError, UnicodeDecodeError):
+        payload = {"raw": repr(raw[:200])}
+    if not isinstance(payload, dict):
+        payload = {"value": payload}
+    return ClientResponse(status=status, payload=payload, headers=headers)
+
+
+class RetryingClient:
+    """Issue requests against the service, retrying shed/unavailable ones."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8377",
+        policy: RetryPolicy | None = None,
+        timeout: float = 30.0,
+        transport: Callable[..., ClientResponse] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy or RetryPolicy()
+        self.timeout = timeout
+        self.transport = transport or _urllib_transport
+        self.sleep = sleep
+        self.rng = rng or random.Random(0x5EED).random
+        #: total retries performed over the client's lifetime
+        self.retries = 0
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> ClientResponse:
+        """One logical request; retries per the policy, then raises."""
+        url = self.base_url + path
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        last_response: ClientResponse | None = None
+        last_error: Exception | None = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                response = self.transport(method, url, data, self.timeout)
+                last_response, last_error = response, None
+            except RETRYABLE_ERRORS as exc:
+                last_response, last_error = None, exc
+            else:
+                if response.status not in RETRYABLE_STATUSES:
+                    return response
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            retry_after = (
+                last_response.retry_after() if last_response is not None
+                else None
+            )
+            self.retries += 1
+            self.sleep(self.policy.delay(attempt, retry_after, self.rng))
+        raise RetriesExhausted(
+            self.policy.max_attempts,
+            last_response=last_response,
+            last_error=last_error,
+        )
+
+    # convenience verbs ------------------------------------------------- #
+    def get(self, path: str) -> ClientResponse:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: dict | None = None) -> ClientResponse:
+        return self.request("POST", path, body=body or {})
+
+    def delete(self, path: str) -> ClientResponse:
+        return self.request("DELETE", path)

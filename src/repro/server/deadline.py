@@ -1,0 +1,87 @@
+"""Per-request deadlines with a cooperative render watchdog.
+
+The analysis service cannot preemptively kill a render thread (threads
+are not cancellable in CPython), so deadlines are *cooperative*: the
+application installs a :class:`Deadline` for the current request
+(:func:`deadline_scope`), and long-running stages — view construction,
+snapshot rendering, anything the fault harness slows down — call
+:func:`checkpoint` at natural yield points.  When the budget is gone,
+the checkpoint raises :class:`~repro.server.errors.DeadlineExceeded`
+(a 503 with code ``deadline-exceeded``); the partially-built response
+is discarded by the normal exception path, and because the render
+cache only stores completed successes, an aborted render never taints
+the cache.
+
+The ambient deadline lives in a :mod:`contextvars` context variable,
+so each handler thread of the HTTP server sees only its own request's
+deadline and library code needs no plumbed-through parameter.  Clocks
+are injectable for deterministic expiry tests.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.server.errors import DeadlineExceeded
+
+__all__ = ["Deadline", "deadline_scope", "checkpoint", "current_deadline"]
+
+_current: contextvars.ContextVar["Deadline | None"] = contextvars.ContextVar(
+    "repro_request_deadline", default=None
+)
+
+
+class Deadline:
+    """A monotonic expiry time with a cooperative check."""
+
+    __slots__ = ("budget_s", "clock", "expires_at")
+
+    def __init__(
+        self, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.budget_s = float(budget_s)
+        self.clock = clock
+        self.expires_at = clock() + self.budget_s
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its deadline of {self.budget_s:.3f}s",
+                retry_after=round(max(1.0, self.budget_s), 3),
+            )
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline of the request being handled, if any."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Install *deadline* as the ambient deadline for the duration."""
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+def checkpoint(what: str = "render") -> None:
+    """Cooperative watchdog hook: abort if the ambient deadline expired.
+
+    A no-op when no deadline is installed, so library code can call it
+    unconditionally (CLI renders and tests run without deadlines).
+    """
+    deadline = _current.get()
+    if deadline is not None:
+        deadline.check(what)

@@ -31,6 +31,9 @@ __all__ = [
     "NotFound",
     "MethodNotAllowed",
     "PayloadTooLarge",
+    "TooManyRequests",
+    "ServiceUnavailable",
+    "DeadlineExceeded",
     "translate_domain_error",
 ]
 
@@ -41,10 +44,18 @@ class ApiError(Exception):
     status = 500
     code = "internal"
 
-    def __init__(self, message: str, code: str | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        code: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         if code is not None:
             self.code = code
+        #: seconds after which retrying may succeed; surfaces as both a
+        #: payload field and the HTTP ``Retry-After`` header
+        self.retry_after = retry_after
 
     @property
     def message(self) -> str:
@@ -52,13 +63,14 @@ class ApiError(Exception):
 
     def to_payload(self) -> dict:
         """The JSON body clients receive."""
-        return {
-            "error": {
-                "status": self.status,
-                "code": self.code,
-                "message": self.message,
-            }
+        error = {
+            "status": self.status,
+            "code": self.code,
+            "message": self.message,
         }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
 
 
 class BadRequest(ApiError):
@@ -87,6 +99,26 @@ class PayloadTooLarge(ApiError):
 
     status = 413
     code = "payload-too-large"
+
+
+class TooManyRequests(ApiError):
+    """429 — admission control shed the request; retry after backoff."""
+
+    status = 429
+    code = "too-many-requests"
+
+
+class ServiceUnavailable(ApiError):
+    """503 — the server cannot serve this request right now."""
+
+    status = 503
+    code = "unavailable"
+
+
+class DeadlineExceeded(ServiceUnavailable):
+    """503 — the request's deadline expired; partial work was discarded."""
+
+    code = "deadline-exceeded"
 
 
 def translate_domain_error(exc: ReproError) -> ApiError:

@@ -14,10 +14,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.server.app import DEFAULT_MAX_BODY, AnalysisApp
+from repro.server.app import (
+    DEFAULT_MAX_BODY,
+    DEFAULT_MAX_INFLIGHT,
+    AnalysisApp,
+)
 from repro.server.sessions import WORKLOADS
 
 __all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
@@ -28,6 +33,15 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
 
+    #: speak HTTP/1.1 so connections are keep-alive by default — the
+    #: premise of the bounded body-drain logic below (every response
+    #: carries an explicit Content-Length, so 1.1 framing is satisfied)
+    protocol_version = "HTTP/1.1"
+
+    #: largest unread body remainder we will drain to keep a connection
+    #: reusable; anything bigger closes the connection instead
+    DRAIN_LIMIT = 64 * 1024
+
     # ------------------------------------------------------------------ #
     def _dispatch(self, method: str) -> None:
         app: AnalysisApp = self.server.app  # type: ignore[attr-defined]
@@ -35,6 +49,7 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             length = -1
+        unread = 0
         if length < 0:
             status, payload = 400, {
                 "error": {
@@ -47,11 +62,32 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             # read at most one byte past the limit: enough for the app to
             # reject oversized bodies with 413 without buffering them
             raw = self.rfile.read(min(length, app.max_body + 1)) if length else b""
+            unread = length - len(raw)
             status, payload = app.handle(method, self.path, raw)
+        if unread > 0:
+            # keep-alive hygiene: an oversized body was only partially
+            # read, and the remainder would be parsed as the next request
+            # on this connection.  Drain a bounded remainder; past the
+            # bound, close the connection rather than buffer at will.
+            if unread <= self.DRAIN_LIMIT:
+                while unread > 0:
+                    chunk = self.rfile.read(min(unread, 65536))
+                    if not chunk:
+                        break
+                    unread -= len(chunk)
+            if unread > 0:
+                self.close_connection = True
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = None
+        if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+            retry_after = payload["error"].get("retry_after")
+        if isinstance(retry_after, (int, float)):
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -92,9 +128,22 @@ def build_server(
     seed: int = 12345,
     cache_size: int = 256,
     max_body: int = DEFAULT_MAX_BODY,
+    max_inflight: int | None = DEFAULT_MAX_INFLIGHT,
+    request_timeout_s: float | None = None,
+    session_ttl_s: float | None = None,
+    max_sessions: int | None = None,
+    scope_budget: int | None = None,
 ) -> AnalysisServer:
     """An :class:`AnalysisServer` with its initial sessions registered."""
-    app = AnalysisApp(cache_size=cache_size, max_body=max_body)
+    app = AnalysisApp(
+        cache_size=cache_size,
+        max_body=max_body,
+        max_inflight=max_inflight,
+        request_timeout_s=request_timeout_s,
+        session_ttl_s=session_ttl_s,
+        max_sessions=max_sessions,
+        scope_budget=scope_budget,
+    )
     for path in databases or []:
         app.registry.open_database(path)
     if workload is not None:
@@ -122,6 +171,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="LRU render-cache capacity (0 disables)")
     parser.add_argument("--max-body", type=int, default=DEFAULT_MAX_BODY,
                         help="largest accepted request body, bytes")
+    parser.add_argument("--max-inflight", type=int,
+                        default=DEFAULT_MAX_INFLIGHT,
+                        help="concurrent requests admitted before shedding "
+                             "with 429 (0 disables the limit)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request deadline; expired renders abort "
+                             "with 503 deadline-exceeded")
+    parser.add_argument("--session-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="evict sessions idle longer than this")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="LRU cap on resident sessions")
+    parser.add_argument("--scope-budget", type=int, default=None,
+                        help="total CCT scopes resident sessions may hold; "
+                             "LRU eviction past the budget")
     args = parser.parse_args(argv)
 
     if not args.databases and args.workload is None:
@@ -135,6 +200,11 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         cache_size=args.cache_size,
         max_body=args.max_body,
+        max_inflight=args.max_inflight or None,
+        request_timeout_s=args.request_timeout,
+        session_ttl_s=args.session_ttl,
+        max_sessions=args.max_sessions,
+        scope_budget=args.scope_budget,
     )
     host, port = server.server_address[:2]
     for info in server.app.registry.list_info():

@@ -27,13 +27,18 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.core.errors import DatabaseError
 from repro.core.hotpath import HotPathResult
 from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import ViewKind
 from repro.hpcprof import database
 from repro.hpcprof.experiment import Experiment
+from repro.server.deadline import checkpoint
 from repro.server.errors import BadRequest, NotFound
 from repro.viewer.navigation import NavigationState
 from repro.viewer.session import ViewerSession
@@ -92,6 +97,23 @@ class SessionHandle:
         self.lock = threading.RLock()
         self.generation = 0
         self.sort: SortSpec | None = None
+        #: monotonic timestamp of the last registry access (TTL eviction)
+        self.last_used: float = 0.0
+
+    @property
+    def approx_cost(self) -> int:
+        """Rough memory weight of the session, in CCT scopes.
+
+        The registry's memory budget is expressed in scopes: the CCT
+        (nodes, metric dicts, view projections) dominates a session's
+        footprint and scales linearly with scope count, so a scope
+        budget bounds memory without a fragile bytes estimate.
+        """
+        exp = self.session.experiment
+        scopes = len(exp.cct)
+        if exp.rank_ccts:
+            scopes += sum(len(c) for c in exp.rank_ccts)
+        return max(1, scopes)
 
     def bump(self) -> int:
         """Advance the generation after a render-visible mutation."""
@@ -121,26 +143,102 @@ class SessionHandle:
 
 
 class SessionRegistry:
-    """Thread-safe id → :class:`SessionHandle` map."""
+    """Thread-safe id → :class:`SessionHandle` map with bounded residency.
 
-    def __init__(self) -> None:
+    Three independent, optional limits keep a long-lived service inside
+    a memory budget; all default to off, preserving the unbounded
+    behaviour embedded callers expect:
+
+    * ``max_sessions`` — LRU count cap: registering one past the limit
+      evicts the least-recently-used session;
+    * ``ttl_s`` — sessions idle longer than this are evicted lazily on
+      the next registry access;
+    * ``scope_budget`` — total :attr:`SessionHandle.approx_cost` cap
+      (CCT scopes across all resident sessions); LRU eviction until the
+      new total fits.  The most recent session is never evicted by the
+      budget, so opening an oversized database still works — it just
+      evicts everything idle.
+
+    *on_evict* is called (outside the registry lock) for each evicted
+    handle; the application uses it to purge the render cache, keeping
+    "evicted" indistinguishable from "closed" — a later request for the
+    sid gets ``404 unknown-session``.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int | None = None,
+        ttl_s: float | None = None,
+        scope_budget: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_evict: Callable[[SessionHandle], None] | None = None,
+    ) -> None:
         self._lock = threading.Lock()
-        self._handles: dict[str, SessionHandle] = {}
+        self._handles: OrderedDict[str, SessionHandle] = OrderedDict()
         self._ids = itertools.count(1)
+        self.max_sessions = max_sessions
+        self.ttl_s = ttl_s
+        self.scope_budget = scope_budget
+        self.clock = clock
+        self.on_evict = on_evict
+        self.evictions = 0
+
+    # -- eviction (call with the lock held; returns handles to notify) -- #
+    def _sweep_locked(self, keep: str | None = None) -> list[SessionHandle]:
+        evicted: list[SessionHandle] = []
+        now = self.clock()
+        if self.ttl_s is not None:
+            for sid in [
+                sid for sid, h in self._handles.items()
+                if sid != keep and now - h.last_used > self.ttl_s
+            ]:
+                evicted.append(self._handles.pop(sid))
+        def lru_victims():
+            return [sid for sid in self._handles if sid != keep]
+        if self.max_sessions is not None:
+            while len(self._handles) > self.max_sessions:
+                victims = lru_victims()
+                if not victims:
+                    break
+                evicted.append(self._handles.pop(victims[0]))
+        if self.scope_budget is not None:
+            while (
+                sum(h.approx_cost for h in self._handles.values())
+                > self.scope_budget
+            ):
+                victims = lru_victims()
+                if not victims:
+                    break
+                evicted.append(self._handles.pop(victims[0]))
+        self.evictions += len(evicted)
+        return evicted
+
+    def _notify(self, evicted: list[SessionHandle]) -> None:
+        if self.on_evict is not None:
+            for handle in evicted:
+                self.on_evict(handle)
 
     def register(self, experiment: Experiment, label: str) -> SessionHandle:
         with self._lock:
             sid = f"s{next(self._ids)}"
             handle = SessionHandle(sid, ViewerSession(experiment), label)
+            handle.last_used = self.clock()
             self._handles[sid] = handle
-            return handle
+            evicted = self._sweep_locked(keep=sid)
+        self._notify(evicted)
+        return handle
 
-    def open_database(self, path: str) -> SessionHandle:
-        import os
-
-        if not os.path.exists(path):
-            raise NotFound(f"no such database: {path}", code="unknown-database")
-        return self.register(database.load(path), label=path)
+    def open_database(self, path: str, strict: bool = True) -> SessionHandle:
+        # no exists() probe: the open itself is the check (TOCTOU-free),
+        # and a vanished file surfaces as DatabaseError -> 404 here
+        try:
+            experiment = database.load(path, strict=strict)
+        except DatabaseError as exc:
+            text = str(exc)
+            if text.startswith("no such database"):
+                raise NotFound(text, code="unknown-database") from None
+            raise
+        return self.register(experiment, label=path)
 
     def open_workload(
         self, name: str, nranks: int = 1, seed: int = 12345
@@ -152,7 +250,13 @@ class SessionRegistry:
 
     def get(self, sid: str) -> SessionHandle:
         with self._lock:
+            # no keep: an expired session is gone even to its own caller
+            evicted = self._sweep_locked() if self.ttl_s is not None else []
             handle = self._handles.get(sid)
+            if handle is not None:
+                handle.last_used = self.clock()
+                self._handles.move_to_end(sid)
+        self._notify(evicted)
         if handle is None:
             raise NotFound(f"unknown session {sid!r}", code="unknown-session")
         return handle
@@ -168,6 +272,11 @@ class SessionRegistry:
         with self._lock:
             handles = list(self._handles.values())
         return [h.info() for h in handles]
+
+    def total_cost(self) -> int:
+        """Summed :attr:`SessionHandle.approx_cost` of resident sessions."""
+        with self._lock:
+            return sum(h.approx_cost for h in self._handles.values())
 
     def __len__(self) -> int:
         with self._lock:
@@ -207,7 +316,9 @@ def render_snapshot(
     pure function of the experiment state (metric table, flatten depth)
     and the arguments — the property that makes renders cacheable.
     """
+    checkpoint("render")
     view = session.view(kind)
+    checkpoint("render")
     spec = _resolve_spec(session, metric, flavor)
     state = NavigationState(view, column=spec)
     state.descending = descending
@@ -219,6 +330,7 @@ def render_snapshot(
         )
     else:
         state.expand_to_depth(depth)
+    checkpoint("render")
     roots = view.current_roots() if kind is ViewKind.FLAT else None
     text = render_table(
         view, state, options=TableOptions(max_rows=max_rows), roots=roots
@@ -242,7 +354,9 @@ def hot_path_snapshot(
     threshold: float | None = None,
 ) -> dict:
     """Run Eq. 3 on a view and report the path without rendering."""
+    checkpoint("hot-path")
     view = session.view(kind)
+    checkpoint("hot-path")
     spec = _resolve_spec(session, metric, MetricFlavor.INCLUSIVE)
     state = NavigationState(view, column=spec)
     result = state.expand_hot_path(

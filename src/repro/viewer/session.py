@@ -50,6 +50,12 @@ class ViewerSession:
             with self._lock:
                 view = self._views.get(kind)
                 if view is None:
+                    # cooperative deadline hook: view construction is the
+                    # most expensive lazy stage, so an expired request
+                    # aborts here before building (and before caching)
+                    from repro.server.deadline import checkpoint
+
+                    checkpoint("view construction")
                     if kind is ViewKind.CALLING_CONTEXT:
                         view = self.experiment.calling_context_view()
                     elif kind is ViewKind.CALLERS:

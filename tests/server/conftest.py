@@ -1,0 +1,39 @@
+"""Shared fixtures for the server suites.
+
+The stress and chaos tests spin threads and real sockets; a deadlock
+there would hang the whole tier-1 run.  Since ``pytest-timeout`` is not
+a dependency, an autouse fixture arms a ``SIGALRM``-based guard around
+every test in this directory: if a test exceeds the budget, the alarm
+raises in the main thread and pytest reports a failure instead of the
+run wedging.  No-op on platforms without ``SIGALRM``.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: generous per-test wall-clock budget; any server test finishing
+#: normally is orders of magnitude faster
+TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _test_timeout_guard():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only on hangs
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_S}s watchdog (likely deadlock)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
