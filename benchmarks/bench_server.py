@@ -15,6 +15,7 @@ import urllib.request
 
 import pytest
 
+from repro.obs import span, uninstall
 from repro.server import AnalysisApp, build_server
 
 RENDER = json.dumps({"view": "cct", "depth": 3}).encode()
@@ -86,6 +87,20 @@ def test_bench_server_hotpath(benchmark, cold_app):
 
     payload = benchmark(run)
     assert payload["hotspot"]
+
+
+@pytest.mark.bench_smoke
+def test_bench_disabled_span_is_noop(benchmark):
+    """Cost of one *disabled* span hook site — what every untraced
+    deployment pays at each instrumentation point.  Must stay within
+    nanoseconds: one global read plus a shared no-op context manager."""
+    uninstall()  # ensure the disabled fast path is the one measured
+
+    def hook():
+        with span("bench.noop"):
+            pass
+
+    benchmark(hook)
 
 
 def test_bench_server_http_roundtrip(benchmark, server):

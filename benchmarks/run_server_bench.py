@@ -27,8 +27,9 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.hpcprof import binio  # noqa: E402 - path set above
+from repro.hpcprof import binio, database  # noqa: E402 - path set above
 from repro.hpcprof.experiment import Experiment  # noqa: E402
+from repro.obs import install, save_self_profile, span, uninstall  # noqa: E402
 from repro.server import build_server  # noqa: E402
 from repro.sim.workloads import s3d  # noqa: E402
 
@@ -75,6 +76,114 @@ def checksum_overhead(repeats: int = 40, loads_per_sample: int = 20) -> dict:
     }
 
 
+def tracing_overhead(repeats: int = 30, reqs_per_sample: int = 20) -> dict:
+    """Cost of the self-profiling span tracer on served requests.
+
+    Drives the same cache-hit render through a real socket round trip
+    (the unit a client of ``repro-serve --self-profile`` pays for) with
+    the tracer installed and uninstalled — identical work either way,
+    the delta is span bookkeeping — and reports the relative overhead
+    against a <3% budget: observability that taxes the thing it
+    observes stops being worth reading.
+
+    Same methodology as :func:`checksum_overhead` — warm both modes,
+    batch each sample, alternate the two modes in both orders, take
+    best-of-N — plus per-hook-site microbenches (the absolute cost of
+    one disabled and one enabled span, in nanoseconds) and an
+    end-to-end check that the recorded spans export to a loadable
+    database whose three views actually show the request pipeline.
+    """
+    uninstall()  # start from a clean global regardless of caller state
+    server = build_server(workload="fig1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    sid = server.app.registry.list_info()[0]["id"]
+    body = {"view": "cct", "depth": 3}
+    path = f"/v1/sessions/{sid}/render"
+
+    def sample() -> float:
+        t0 = time.perf_counter()
+        for _ in range(reqs_per_sample):
+            fire(base, "POST", path, body)
+        return (time.perf_counter() - t0) / reqs_per_sample
+
+    for _ in range(3):  # warm both paths outside the timed window
+        sample()
+        install()
+        sample()
+        uninstall()
+    on_times, off_times = [], []
+    for i in range(repeats):
+        if i % 2:
+            install()
+            on_times.append(sample())
+            uninstall()
+            off_times.append(sample())
+        else:
+            off_times.append(sample())
+            install()
+            on_times.append(sample())
+            uninstall()
+    traced, untraced = min(on_times), min(off_times)
+
+    def per_span_ns(n: int = 200_000) -> float:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with span("bench.noop"):
+                pass
+        return (time.perf_counter() - t0) / n * 1e9
+
+    # hook-site cost: disabled is one global read + a shared no-op
+    # object; enabled pays the full record (clock, push/pop, dict)
+    disabled_ns = per_span_ns()
+    install()
+    enabled_ns = per_span_ns()
+    uninstall()
+
+    # dogfooding proof: spans from a short traced run round-trip through
+    # the regular v2 database and render in all three views
+    tracer = install()
+    for _ in range(5):
+        fire(base, "POST", path, body)
+    fire(base, "GET", f"/v1/sessions/{sid}/hotpath")
+    uninstall()
+    server.shutdown()
+    server.server_close()
+    import tempfile
+
+    from repro.core.views import ViewKind
+    from repro.viewer.session import ViewerSession
+    from repro.viewer.table import render_view
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = str(Path(tmp) / "self.rpdb")
+        _exported, db_bytes = save_self_profile(tracer, db_path)
+        loaded = database.load(db_path)
+        session = ViewerSession(loaded)
+        views_ok = 0
+        for kind in ViewKind:
+            text = render_view(session.view(kind), depth=4)
+            assert "server.request" in text, kind
+            views_ok += 1
+
+    return {
+        "traced_request_ms": round(traced * 1000, 4),
+        "untraced_request_ms": round(untraced * 1000, 4),
+        "overhead_pct": round(100.0 * (traced - untraced)
+                              / max(untraced, 1e-9), 2),
+        "budget_pct": 3.0,
+        "disabled_span_ns": round(disabled_ns, 1),
+        "enabled_span_ns": round(enabled_ns, 1),
+        "self_profile": {
+            "spans": tracer.span_count(),
+            "database_bytes": db_bytes,
+            "views_rendered": views_ok,
+        },
+    }
+
+
 def fire(base: str, method: str, path: str, body: dict | None = None) -> dict:
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(base + path, data=data, method=method)
@@ -86,13 +195,13 @@ def fire(base: str, method: str, path: str, body: dict | None = None) -> dict:
 def client_loop(base: str, sid: str, n_requests: int) -> None:
     for i in range(n_requests):
         if i % 10 < 7:  # steady state: the same cached render
-            fire(base, "POST", f"/sessions/{sid}/render",
+            fire(base, "POST", f"/v1/sessions/{sid}/render",
                  {"view": "cct", "depth": 3})
         elif i % 10 < 9:  # a small working set of varied renders
-            fire(base, "POST", f"/sessions/{sid}/render",
+            fire(base, "POST", f"/v1/sessions/{sid}/render",
                  {"view": ("flat", "callers")[i % 2], "depth": 2 + i % 3})
         else:
-            fire(base, "GET", f"/sessions/{sid}/hotpath")
+            fire(base, "GET", f"/v1/sessions/{sid}/hotpath")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,7 +222,8 @@ def main(argv: list[str] | None = None) -> int:
     sid = server.app.registry.list_info()[0]["id"]
 
     # warm the lazy views and the cache once, outside the timed window
-    fire(base, "POST", f"/sessions/{sid}/render", {"view": "cct", "depth": 3})
+    fire(base, "POST", f"/v1/sessions/{sid}/render",
+         {"view": "cct", "depth": 3})
 
     clients = [
         threading.Thread(target=client_loop, args=(base, sid, args.requests))
@@ -126,7 +236,7 @@ def main(argv: list[str] | None = None) -> int:
         c.join()
     elapsed = time.perf_counter() - t0
 
-    stats = fire(base, "GET", "/stats")
+    stats = fire(base, "GET", "/v1/stats")
     server.shutdown()
     server.server_close()
 
@@ -143,12 +253,20 @@ def main(argv: list[str] | None = None) -> int:
         "cache": stats["cache"],
         "server_requests": stats["requests"],
         "checksum_verification": checksum_overhead(),
+        "tracing_overhead": tracing_overhead(),
     }
     out = (REPO / args.output).resolve()
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"{total} requests from {args.clients} clients in {elapsed:.2f}s "
           f"-> {result['requests_per_sec']} req/s, "
           f"cache hit-rate {result['cache_hit_rate']:.1%}")
+    tr = result["tracing_overhead"]
+    print(f"tracing overhead {tr['overhead_pct']}% "
+          f"(budget {tr['budget_pct']}%), "
+          f"span {tr['disabled_span_ns']} ns off / "
+          f"{tr['enabled_span_ns']} ns on, "
+          f"self-profile {tr['self_profile']['spans']} spans -> "
+          f"{tr['self_profile']['database_bytes']} bytes")
     print(f"wrote {out}")
     return 0
 

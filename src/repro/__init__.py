@@ -42,7 +42,7 @@ from repro.core.derived import (
     parse_formula,
     relative_efficiency_formula,
 )
-from repro.core.errors import ReproError
+from repro.errors import ReproError
 from repro.core.filters import FilterAction, FilterSet, ScopeFilter, ThresholdFilter
 from repro.core.flat import FlatView
 from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult, hot_path

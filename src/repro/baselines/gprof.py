@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cct import CCT, CCTKind, CCTNode
-from repro.core.errors import ReproError
+from repro.errors import ReproError
 
 __all__ = ["GprofProfile", "Arc"]
 

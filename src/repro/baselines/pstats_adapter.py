@@ -17,7 +17,7 @@ import pstats
 from typing import Callable
 
 from repro.baselines.gprof import GprofProfile
-from repro.core.errors import ReproError
+from repro.errors import ReproError
 
 __all__ = ["gprof_from_pstats", "profile_with_cprofile"]
 

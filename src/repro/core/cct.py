@@ -30,7 +30,7 @@ import itertools
 from enum import Enum
 from typing import Callable, Iterator, Optional
 
-from repro.core.errors import CorrelationError
+from repro.errors import CorrelationError
 from repro.core.metrics import MetricValues, add_into
 from repro.hpcstruct.model import StructKind, StructureNode
 

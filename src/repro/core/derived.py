@@ -33,7 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Union
 
-from repro.core.errors import FormulaError
+from repro.errors import FormulaError
 from repro.core.metrics import MetricDescriptor, MetricKind, MetricTable
 
 __all__ = [

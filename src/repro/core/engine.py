@@ -36,7 +36,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.cct import CCT, CCTKind, CCTNode
-from repro.core.errors import MetricError
+from repro.errors import MetricError
+from repro.obs.spans import traced
 from repro.core.metrics import MetricFlavor, MetricSpec, MetricValues
 
 __all__ = ["MetricEngine", "attribute_columnar", "engine_for"]
@@ -196,6 +197,7 @@ class MetricEngine:
     # ------------------------------------------------------------------ #
     # attribution kernels (Eqs. 1 and 2, vectorized)
     # ------------------------------------------------------------------ #
+    @traced("engine.attribution")
     def compute_attribution(self) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized Eq. 1 + Eq. 2 from ``raw``; returns (inclusive, exclusive).
 
@@ -233,6 +235,7 @@ class MetricEngine:
         """Recompute the attributed matrices from ``raw`` in place."""
         self.inclusive, self.exclusive = self.compute_attribution()
 
+    @traced("engine.scatter")
     def scatter(self) -> None:
         """Write the attributed matrices back into the sparse node dicts.
 
@@ -295,6 +298,7 @@ class MetricEngine:
         idx = idx[np.argsort(column[idx])[::-1]]
         return [(self.nodes[i], float(column[i])) for i in idx]
 
+    @traced("engine.hot-path")
     def hot_path_rows(
         self, start_row: int, mid: int, threshold: float
     ) -> tuple[list[int], list[float]]:
@@ -336,6 +340,7 @@ class MetricEngine:
                 cover = end[row]
         return exposed
 
+    @traced("engine.aggregate-exposed")
     def aggregate_exposed(
         self, instances: Sequence[CCTNode]
     ) -> tuple[MetricValues, MetricValues]:
@@ -359,6 +364,7 @@ class MetricEngine:
     # ------------------------------------------------------------------ #
     # view-row gathers
     # ------------------------------------------------------------------ #
+    @traced("engine.gather-view-values")
     def gather_view_values(self, rows: Sequence, spec: MetricSpec) -> np.ndarray:
         """One metric column over a list of :class:`ViewNode` rows.
 

@@ -1,11 +1,25 @@
-"""Exception hierarchy for the :mod:`repro` toolkit.
+"""Deprecated location — the taxonomy moved to :mod:`repro.errors`.
 
-All errors raised by the library derive from :class:`ReproError` so callers
-can catch toolkit failures with a single ``except`` clause while letting
-programming errors (``TypeError`` etc.) propagate.
+This shim keeps ``from repro.core.errors import ...`` working; the
+classes it re-exports *are* the unified ones, so ``except`` clauses and
+identity checks keep behaving across old and new import paths.
 """
 
 from __future__ import annotations
+
+import warnings
+
+from repro.errors import (  # noqa: F401 - re-exported for compatibility
+    CorrelationError,
+    DatabaseError,
+    FormulaError,
+    MetricError,
+    ProfilerError,
+    ReproError,
+    SimulationError,
+    StructureError,
+    ViewError,
+)
 
 __all__ = [
     "ReproError",
@@ -19,38 +33,9 @@ __all__ = [
     "ProfilerError",
 ]
 
-
-class ReproError(Exception):
-    """Base class for all toolkit errors."""
-
-
-class StructureError(ReproError):
-    """Invalid or inconsistent static program structure."""
-
-
-class CorrelationError(ReproError):
-    """A dynamic call path could not be correlated with static structure."""
-
-
-class MetricError(ReproError):
-    """Invalid metric definition or metric table operation."""
-
-
-class FormulaError(MetricError):
-    """A derived-metric formula failed to parse or evaluate."""
-
-
-class ViewError(ReproError):
-    """Invalid view construction or view operation."""
-
-
-class DatabaseError(ReproError):
-    """Experiment database serialization or deserialization failure."""
-
-
-class SimulationError(ReproError):
-    """Invalid synthetic program model or simulation parameters."""
-
-
-class ProfilerError(ReproError):
-    """Measurement-layer (hpcrun substrate) failure."""
+warnings.warn(
+    "repro.core.errors is deprecated; import from repro.errors "
+    "(or the repro.api facade) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

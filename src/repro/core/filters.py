@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Sequence
 
-from repro.core.errors import ViewError
+from repro.errors import ViewError
 from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import NodeCategory, View, ViewNode
 

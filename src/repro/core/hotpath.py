@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.cct import CCTNode
-from repro.core.errors import ViewError
+from repro.errors import ViewError
 from repro.core.metrics import MetricFlavor, MetricKind, MetricSpec
 from repro.core.views import View, ViewNode
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterable, Iterator, Mapping
 
-from repro.core.errors import MetricError
+from repro.errors import MetricError
 
 __all__ = [
     "MetricKind",

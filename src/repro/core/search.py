@@ -14,7 +14,7 @@ import fnmatch
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.errors import ViewError
+from repro.errors import ViewError
 from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import NodeCategory, View, ViewNode
 

@@ -19,7 +19,7 @@ import threading
 from enum import Enum
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.core.errors import ViewError
+from repro.errors import ViewError
 from repro.core.metrics import (
     MetricFlavor,
     MetricKind,

@@ -47,7 +47,7 @@ import zlib
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTKind, CCTNode
-from repro.core.errors import (
+from repro.errors import (
     CorrelationError,
     DatabaseError,
     MetricError,

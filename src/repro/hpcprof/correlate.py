@@ -27,7 +27,7 @@ Fusion rules (Section III-A, III-D of the paper):
 from __future__ import annotations
 
 from repro.core.cct import CCT, CCTNode
-from repro.core.errors import CorrelationError
+from repro.errors import CorrelationError
 from repro.hpcrun.profile_data import Frame, ProfileData
 from repro.hpcstruct.model import StructKind, StructureModel, StructureNode
 

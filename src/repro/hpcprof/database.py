@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 
-from repro.core.errors import DatabaseError
+from repro.errors import DatabaseError
 from repro.hpcprof import binio, xmlio
 from repro.hpcprof.experiment import Experiment
 

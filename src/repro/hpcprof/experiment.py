@@ -28,7 +28,7 @@ from repro.core.callers import CallersView
 from repro.core.cct import CCT, CCTNode
 from repro.core.ccview import CallingContextView
 from repro.core.derived import define_derived
-from repro.core.errors import MetricError, ViewError
+from repro.errors import MetricError, ViewError
 from repro.core.flat import FlatView
 from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult, hot_path
 from repro.core.metrics import MetricDescriptor, MetricFlavor, MetricSpec, MetricTable

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTNode
-from repro.core.errors import MetricError
+from repro.errors import MetricError
 from repro.core.metrics import MetricTable, add_into
 
 __all__ = [

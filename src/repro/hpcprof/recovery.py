@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTKind
-from repro.core.errors import DatabaseError
+from repro.errors import DatabaseError
 from repro.core.metrics import MetricKind, MetricTable
 from repro.hpcprof import binio
 from repro.hpcprof.binio import (

@@ -26,7 +26,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.cct import CCT
-from repro.core.errors import MetricError
+from repro.errors import MetricError
 from repro.core.metrics import MetricKind, MetricTable
 from repro.hpcprof.merge import collect_rank_matrix, collect_rank_vectors
 

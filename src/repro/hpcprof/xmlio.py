@@ -35,7 +35,7 @@ from typing import IO
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTKind, CCTNode
-from repro.core.errors import CorrelationError, DatabaseError, StructureError
+from repro.errors import CorrelationError, DatabaseError, StructureError
 from repro.core.metrics import MetricKind, MetricTable
 from repro.hpcprof.experiment import Experiment
 from repro.hpcstruct.model import (

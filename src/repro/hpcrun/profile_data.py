@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
-from repro.core.errors import ProfilerError
+from repro.errors import ProfilerError
 from repro.core.metrics import MetricTable, MetricValues, add_into
 
 __all__ = ["Frame", "PathNode", "ProfileData"]

@@ -21,7 +21,7 @@ import time
 from types import FrameType
 from typing import Callable, Iterable
 
-from repro.core.errors import ProfilerError
+from repro.errors import ProfilerError
 from repro.core.metrics import MetricTable
 from repro.hpcrun.profile_data import ProfileData
 from repro.hpcrun.unwind import unwind

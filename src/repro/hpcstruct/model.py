@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Optional
 
-from repro.core.errors import StructureError
+from repro.errors import StructureError
 
 __all__ = [
     "StructKind",

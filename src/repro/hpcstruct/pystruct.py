@@ -23,7 +23,7 @@ import ast
 import os
 from typing import Iterable
 
-from repro.core.errors import StructureError
+from repro.errors import StructureError
 from repro.hpcstruct.model import (
     SourceLocation,
     StructKind,

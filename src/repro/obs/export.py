@@ -1,0 +1,104 @@
+"""Turn recorded spans into a first-class experiment database.
+
+This is where the loop closes on the paper: the span trie a
+:class:`~repro.obs.spans.SpanTracer` accumulated while serving traffic
+becomes an ordinary :class:`~repro.hpcprof.experiment.Experiment` —
+correlated through the same ``hpcprof`` pipeline as any measured
+profile, attributed with the same Eq. 1, saved in the same framed v2
+binary format — so ``repro-view self.rpdb`` presents the server's own
+calling-context, callers, and flat views.
+
+Span names use dotted component prefixes (``server.request``,
+``engine.scatter``, ``viewer.render-table``); each component becomes a
+source "file" (``obs://server`` …) under one ``repro-self-profile``
+load module, which is what groups the Flat View by subsystem.
+
+Two metrics are recorded per calling context:
+
+* ``calls`` — how many times the span completed there;
+* ``wall time (s)`` — self time, from which attribution recovers
+  inclusive time exactly (children are separate spans).
+"""
+
+from __future__ import annotations
+
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from repro.hpcrun.profile_data import Frame, ProfileData
+from repro.core.metrics import MetricTable
+from repro.hpcstruct.model import StructureModel
+from repro.obs.spans import SpanTracer
+
+__all__ = ["LOAD_MODULE", "tracer_experiment", "tracer_profile", "save_self_profile"]
+
+#: the load module every span scope lives under in the exported views
+LOAD_MODULE = "repro-self-profile"
+
+
+def _component(name: str) -> str:
+    """The subsystem prefix of a span name (``engine.scatter`` → ``engine``)."""
+    head = name.split(" ", 1)[0]
+    return head.split(".", 1)[0] or "obs"
+
+
+def tracer_profile(tracer: SpanTracer, program: str = "repro-serve") -> ProfileData:
+    """The tracer's span trie as a measurement-side call path profile."""
+    metrics = MetricTable()
+    calls_mid = metrics.add("calls", unit="calls").mid
+    time_mid = metrics.add(
+        "wall time (s)", unit="seconds", description="self time per span"
+    ).mid
+    profile = ProfileData(metrics, program=program)
+    for path, (calls, self_s) in sorted(tracer.snapshot().items()):
+        frames = [
+            Frame(proc=name, file=f"obs://{_component(name)}", call_line=depth)
+            for depth, name in enumerate(path)
+        ]
+        costs = {calls_mid: float(calls)}
+        if self_s > 0.0:
+            costs[time_mid] = self_s
+        profile.add_sample(frames, leaf_line=0, costs=costs)
+    return profile
+
+
+def _structure_for(profile: ProfileData) -> StructureModel:
+    """A static structure with one procedure per distinct span name."""
+    structure = StructureModel(name=LOAD_MODULE)
+    module = structure.add_load_module(LOAD_MODULE)
+    files: dict[str, object] = {}
+    seen: set[tuple[str, str]] = set()
+    for node in profile.root.walk():
+        if node.frame is None:
+            continue
+        key = (node.frame.file, node.frame.proc)
+        if key in seen:
+            continue
+        seen.add(key)
+        file_scope = files.get(node.frame.file)
+        if file_scope is None:
+            file_scope = structure.add_file(module, node.frame.file)
+            files[node.frame.file] = file_scope
+        structure.add_procedure(file_scope, node.frame.proc, 0)
+    return structure
+
+
+def tracer_experiment(
+    tracer: SpanTracer, name: str = "repro-serve self-profile"
+) -> Experiment:
+    """Correlate the recorded spans into a presentable experiment."""
+    profile = tracer_profile(tracer, program=name)
+    return Experiment.from_profile(profile, _structure_for(profile), name=name)
+
+
+def save_self_profile(
+    tracer: SpanTracer, path: str, name: str = "repro-serve self-profile"
+) -> tuple[Experiment, int]:
+    """Export the tracer to an experiment database on disk.
+
+    Returns the experiment and the byte size written.  The output is a
+    regular framed v2 binary database (or XML, if *path* says so) that
+    ``repro-view`` and ``repro-serve`` open like any other.
+    """
+    experiment = tracer_experiment(tracer, name=name)
+    size = database.save(experiment, path)
+    return experiment, size

@@ -1,0 +1,100 @@
+"""Prometheus text exposition (version 0.0.4) without dependencies.
+
+The analysis server surfaces its counters and latency histograms at
+``GET /metrics`` in the standard text format, so any Prometheus-
+compatible scraper can watch a ``repro-serve`` fleet.  Only the small
+corner of the format the server needs is implemented: counters, gauges,
+and cumulative histograms with the conventional ``_bucket``/``_sum``/
+``_count`` series.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+__all__ = ["Histogram", "escape_label", "format_sample", "render_metrics"]
+
+#: request-latency bucket upper bounds, in seconds (Prometheus
+#: convention; +Inf is implicit)
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (not thread-safe by itself;
+    the server updates it under its stats lock)."""
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot: +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """``(le, count)`` pairs, cumulative, ending with ``+Inf``."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((format_bound(bound), running))
+        out.append(("+Inf", self.total))
+        return out
+
+
+def format_bound(bound: float) -> str:
+    """Bucket bounds print like Prometheus clients do: ``0.005``, ``1.0``."""
+    if bound == math.inf:
+        return "+Inf"
+    text = repr(bound)
+    return text
+
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def format_sample(
+    name: str, labels: Mapping[str, str] | None, value: float | int
+) -> str:
+    """One sample line, labels sorted for deterministic output."""
+    if labels:
+        inner = ",".join(
+            f'{key}="{escape_label(str(val))}"'
+            for key, val in sorted(labels.items())
+        )
+        series = f"{name}{{{inner}}}"
+    else:
+        series = name
+    if isinstance(value, float) and not value.is_integer():
+        return f"{series} {value!r}"
+    return f"{series} {int(value)}"
+
+
+def render_metrics(families: Iterable[tuple[str, str, str, list]]) -> str:
+    """Render metric families to exposition text.
+
+    *families* yields ``(name, type, help, samples)`` where samples are
+    ``(suffix, labels, value)`` tuples (suffix ``""`` for the family's
+    own name, ``"_bucket"``/``"_sum"``/``"_count"`` for histograms).
+    """
+    lines: list[str] = []
+    for name, typ, help_text, samples in families:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {typ}")
+        for suffix, labels, value in samples:
+            lines.append(format_sample(name + suffix, labels, value))
+    return "\n".join(lines) + "\n"

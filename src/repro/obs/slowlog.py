@@ -1,0 +1,89 @@
+"""Slow-request log: a bounded ring of the worst recent requests.
+
+When the server is configured with a slowness threshold, every request
+whose wall time crosses it is recorded here and emitted as one
+structured ``WARNING`` line on the ``repro.server.slowlog`` logger —
+endpoint label, latency, status, and the request's trace id, so a log
+line correlates directly with the error payload a client saw and (when
+self-profiling) with the spans the request produced.
+
+The ring is surfaced in the ``GET /stats`` payload under
+``slow_requests``, newest first, so a dashboard can show "what was slow
+lately" without log scraping.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+
+__all__ = ["SlowLog", "SlowRequest"]
+
+logger = logging.getLogger("repro.server.slowlog")
+
+
+class SlowRequest:
+    """One over-threshold request observation."""
+
+    __slots__ = ("label", "elapsed_ms", "status", "trace_id", "at")
+
+    def __init__(
+        self, label: str, elapsed_ms: float, status: int, trace_id: str | None
+    ) -> None:
+        self.label = label
+        self.elapsed_ms = elapsed_ms
+        self.status = status
+        self.trace_id = trace_id
+        self.at = time.time()
+
+    def to_payload(self) -> dict:
+        return {
+            "endpoint": self.label,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "status": self.status,
+            "trace_id": self.trace_id,
+            "at": self.at,
+        }
+
+
+class SlowLog:
+    """Thread-safe bounded record of requests slower than *threshold_ms*."""
+
+    def __init__(self, threshold_ms: float, maxlen: int = 64) -> None:
+        self.threshold_ms = float(threshold_ms)
+        self._lock = threading.Lock()
+        self._ring: deque[SlowRequest] = deque(maxlen=maxlen)
+        self.observed = 0
+
+    def record(
+        self,
+        label: str,
+        elapsed_ms: float,
+        status: int = 200,
+        trace_id: str | None = None,
+    ) -> bool:
+        """Record one request; returns True when it crossed the threshold."""
+        if elapsed_ms < self.threshold_ms:
+            return False
+        entry = SlowRequest(label, elapsed_ms, status, trace_id)
+        with self._lock:
+            self._ring.append(entry)
+            self.observed += 1
+        logger.warning(
+            "slow request: %s took %.1fms (threshold %.1fms) status=%d trace_id=%s",
+            label, elapsed_ms, self.threshold_ms, status, trace_id or "-",
+        )
+        return True
+
+    def to_payload(self) -> dict:
+        """The ``/stats`` fragment: threshold plus the ring, newest first."""
+        with self._lock:
+            entries = [entry.to_payload() for entry in reversed(self._ring)]
+            observed = self.observed
+        return {
+            "threshold_ms": self.threshold_ms,
+            "observed": observed,
+            "recent": entries,
+        }

@@ -8,12 +8,16 @@ one set of loaded experiment databases concurrently.
 
 Layering (transport-independent core under a thin HTTP shell):
 
-* :mod:`repro.server.errors` — the structured 4xx/5xx error taxonomy;
+* :mod:`repro.errors` — the structured 4xx/5xx error taxonomy;
 * :mod:`repro.server.deadline` — cooperative per-request deadlines;
 * :mod:`repro.server.cache` — thread-safe LRU render/query cache;
 * :mod:`repro.server.sessions` — session registry, per-session locks,
   generation counters, and the pure render/hot-path snapshot functions;
-* :mod:`repro.server.app` — routing, decoding, validation, stats;
+* :mod:`repro.server.schema` — typed request/response dataclasses and
+  the versioned endpoint registry (the source of ``docs/api.md`` and
+  the public-API snapshot test);
+* :mod:`repro.server.app` — routing (``/v1`` plus deprecated aliases),
+  decoding, validation, trace ids, stats, Prometheus ``/metrics``;
 * :mod:`repro.server.http` — ``ThreadingHTTPServer`` adapter and the
   ``repro-serve`` entry point;
 * :mod:`repro.server.client` — retrying JSON client with exponential
@@ -28,7 +32,7 @@ from repro.server.app import AnalysisApp
 from repro.server.cache import RenderCache
 from repro.server.client import RetryingClient, RetryPolicy
 from repro.server.deadline import Deadline, checkpoint, deadline_scope
-from repro.server.errors import (
+from repro.errors import (
     ApiError,
     BadRequest,
     DeadlineExceeded,
@@ -39,6 +43,7 @@ from repro.server.errors import (
     TooManyRequests,
 )
 from repro.server.http import AnalysisServer, build_server
+from repro.server.schema import API_VERSION, ENDPOINTS, EndpointDef, Operation, RawBody
 from repro.server.sessions import (
     SessionRegistry,
     SortSpec,
@@ -47,15 +52,20 @@ from repro.server.sessions import (
 )
 
 __all__ = [
+    "API_VERSION",
     "AnalysisApp",
     "AnalysisServer",
     "ApiError",
     "BadRequest",
     "Deadline",
     "DeadlineExceeded",
+    "ENDPOINTS",
+    "EndpointDef",
     "MethodNotAllowed",
     "NotFound",
+    "Operation",
     "PayloadTooLarge",
+    "RawBody",
     "RenderCache",
     "RetryPolicy",
     "RetryingClient",

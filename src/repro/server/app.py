@@ -1,39 +1,63 @@
 """The transport-independent application core of the analysis service.
 
 :class:`AnalysisApp` maps ``(method, path, raw body)`` to
-``(status, JSON payload)``; the HTTP layer in :mod:`repro.server.http`
-is a thin adapter over it, which is what lets the fuzz and property
-suites drive the full request pipeline — decoding, routing, validation,
-caching, error translation — in-process without sockets.
+``(status, payload, headers)``; the HTTP layer in
+:mod:`repro.server.http` is a thin adapter over it, which is what lets
+the fuzz and property suites drive the full request pipeline —
+decoding, routing, validation, caching, error translation —
+in-process without sockets.
 
 Request handling contract:
 
-* every response body is a JSON object; failures carry the
-  :mod:`repro.server.errors` taxonomy and *never* a traceback;
+* the public surface is versioned: every endpoint's canonical mount
+  point is ``/v1/...``; the bare (historical) path is a deprecated
+  alias that serves the byte-identical body plus a ``Deprecation``
+  header and a one-time server log warning;
+* the routing table, request schemas, and response shapes live in
+  :mod:`repro.server.schema` (:data:`~repro.server.schema.ENDPOINTS`),
+  the same registry the generated ``docs/api.md`` and the public-API
+  snapshot test are built from;
+* every request gets a trace id, surfaced in the ``X-Trace-Id``
+  response header, in every structured error payload, and in slow-log
+  lines; while handling runs it is the ambient
+  :func:`repro.obs.current_trace_id`;
+* every response body is a JSON object — except ``GET /metrics``,
+  which serves Prometheus text (a :class:`~repro.server.schema.RawBody`
+  at this layer); failures carry the :mod:`repro.errors` taxonomy and
+  *never* a traceback;
 * renders and hot-path queries are served through the LRU
   :class:`~repro.server.cache.RenderCache`, keyed on
   ``(session, generation, operation, view kind, sort spec, flatten
   depth, threshold, render knobs)``;
 * mutations (derived metric, flatten, unflatten) bump the session
   generation and eagerly invalidate the session's cache entries;
-* per-endpoint request counters and latency aggregates are kept under a
-  dedicated lock and surfaced at ``GET /stats``.
+* per-endpoint request counters, latency aggregates, and latency
+  histograms are kept under a dedicated lock and surfaced at
+  ``GET /stats`` (JSON) and ``GET /metrics`` (Prometheus);
+* request stages run under :func:`repro.obs.span` hooks
+  (``server.request <label>``, ``server.decode``, …) — no-ops unless a
+  tracer is installed (``repro-serve --self-profile``).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
+import uuid
 from typing import Callable
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.core.errors import ReproError
+from repro.errors import ReproError
 from repro.core.metrics import MetricFlavor
 from repro.core.views import ViewKind
+from repro.obs.promexport import Histogram, render_metrics
+from repro.obs.slowlog import SlowLog
+from repro.obs.spans import reset_trace_id, set_trace_id, span
 from repro.server.cache import RenderCache
 from repro.server.deadline import Deadline, deadline_scope
-from repro.server.errors import (
+from repro.errors import (
     ApiError,
     BadRequest,
     MethodNotAllowed,
@@ -42,6 +66,27 @@ from repro.server.errors import (
     ServiceUnavailable,
     TooManyRequests,
     translate_domain_error,
+)
+from repro.server.schema import (
+    API_VERSION,
+    ENDPOINTS,
+    DeriveMetricRequest,
+    DerivedMetricCreated,
+    EndpointDef,
+    HotPathRequest,
+    HotPathResult,
+    MetricList,
+    MutationResponse,
+    OpenSessionRequest,
+    RawBody,
+    RenderRequest,
+    RenderResponse,
+    SessionClosed,
+    SessionInfoResponse,
+    SessionList,
+    SessionOpened,
+    SortRequest,
+    SortResponse,
 )
 from repro.server.sessions import (
     SessionHandle,
@@ -58,6 +103,8 @@ __all__ = [
     "decode_json_body",
 ]
 
+logger = logging.getLogger("repro.server")
+
 #: request bodies above this are rejected with 413 (overridable per app)
 DEFAULT_MAX_BODY = 1 << 20
 
@@ -66,9 +113,20 @@ DEFAULT_MAX_INFLIGHT = 64
 
 #: endpoints that bypass admission control — monitoring must keep
 #: working while the server sheds analysis load
-_ADMISSION_EXEMPT = frozenset({("healthz",), ("stats",)})
+_ADMISSION_EXEMPT = frozenset(
+    ep.segments for ep in ENDPOINTS if ep.admission_exempt
+)
 
-_MISSING = object()
+#: static routes (no path parameters) and parameterised ones, split once
+_STATIC_ROUTES: dict[tuple[str, ...], EndpointDef] = {
+    ep.segments: ep for ep in ENDPOINTS if "<sid>" not in ep.segments
+}
+_SESSION_ROUTES: dict[tuple[str, ...], EndpointDef] = {
+    ep.segments[2:]: ep for ep in ENDPOINTS if "<sid>" in ep.segments
+}
+
+#: request-span names, precomputed per endpoint label (hot path)
+_REQUEST_SPAN_NAMES = {ep.path: f"server.request {ep.path}" for ep in ENDPOINTS}
 
 _VIEW_KINDS = {
     "cct": ViewKind.CALLING_CONTEXT,
@@ -122,49 +180,7 @@ def decode_json_body(raw: bytes, max_body: int = DEFAULT_MAX_BODY) -> dict:
     return body
 
 
-def _field(
-    body: dict,
-    name: str,
-    kind: type,
-    default=_MISSING,
-    lo: float | None = None,
-    hi: float | None = None,
-):
-    """Fetch and validate one request field.
-
-    ``bool`` is rejected where a number is expected (it *is* an ``int``
-    in Python, but ``{"depth": true}`` is a client bug, not depth 1).
-    """
-    value = body.get(name, _MISSING)
-    if value is _MISSING or value is None:
-        if default is _MISSING:
-            raise BadRequest(
-                f"missing required field {name!r}", code="missing-field"
-            )
-        return default
-    ok = isinstance(value, kind)
-    if kind is not bool and isinstance(value, bool):
-        ok = False
-    if kind is float and isinstance(value, int) and not isinstance(value, bool):
-        ok, value = True, float(value)
-    if not ok:
-        raise BadRequest(
-            f"field {name!r} must be {kind.__name__}, "
-            f"got {type(value).__name__}",
-            code="bad-field-type",
-        )
-    if kind in (int, float) and (
-        (lo is not None and value < lo) or (hi is not None and value > hi)
-    ):
-        raise BadRequest(
-            f"field {name!r} must be in [{lo}, {hi}], got {value!r}",
-            code="bad-field-value",
-        )
-    return value
-
-
-def _view_kind(body: dict, default: str = "cct") -> ViewKind:
-    name = _field(body, "view", str, default=default)
+def _view_kind(name: str) -> ViewKind:
     try:
         return _VIEW_KINDS[name.lower()]
     except KeyError:
@@ -174,8 +190,7 @@ def _view_kind(body: dict, default: str = "cct") -> ViewKind:
         ) from None
 
 
-def _flavor(body: dict, default: MetricFlavor) -> MetricFlavor:
-    name = _field(body, "flavor", str, default=None)
+def _flavor(name: str | None, default: MetricFlavor) -> MetricFlavor:
     if name is None:
         return default
     try:
@@ -202,6 +217,20 @@ def _query_dict(query: str) -> dict:
     return out
 
 
+def _split_version(path: str) -> tuple[str | None, str]:
+    """Split the version prefix off a request path.
+
+    ``/v1/stats`` → ``("v1", "/stats")``; the bare ``/stats`` →
+    ``(None, "/stats")`` — a deprecated alias of the versioned path.
+    """
+    prefix = "/" + API_VERSION
+    if path == prefix or path == prefix + "/":
+        return API_VERSION, "/"
+    if path.startswith(prefix + "/"):
+        return API_VERSION, path[len(prefix):]
+    return None, path
+
+
 # --------------------------------------------------------------------- #
 # the application
 # --------------------------------------------------------------------- #
@@ -217,6 +246,7 @@ class AnalysisApp:
         session_ttl_s: float | None = None,
         max_sessions: int | None = None,
         scope_budget: int | None = None,
+        slow_ms: float | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.registry = SessionRegistry(
@@ -231,8 +261,10 @@ class AnalysisApp:
         self.max_inflight = max_inflight
         self.request_timeout_s = request_timeout_s
         self.clock = clock
+        self.slowlog = SlowLog(slow_ms) if slow_ms is not None else None
         self._stats_lock = threading.Lock()
         self._stats: dict[str, dict] = {}
+        self._warned_aliases: set[str] = set()
         self._inflight_lock = threading.Lock()
         self._inflight = 0
         self._shed = 0
@@ -265,14 +297,40 @@ class AnalysisApp:
             return self._inflight
 
     # ------------------------------------------------------------------ #
-    # entry point
+    # entry points
     # ------------------------------------------------------------------ #
     def handle(self, method: str, path: str, raw: bytes = b"") -> tuple[int, dict]:
-        """Process one request; always returns ``(status, payload)``."""
+        """Process one request; always returns ``(status, payload)``.
+
+        The historical in-process surface: response headers are dropped
+        and a raw body (the Prometheus text) is wrapped in a JSON
+        object.  Transports that speak headers use :meth:`handle_full`.
+        """
+        status, payload, _headers = self.handle_full(method, path, raw)
+        if isinstance(payload, RawBody):
+            payload = payload.to_payload()
+        return status, payload
+
+    def handle_full(
+        self, method: str, path: str, raw: bytes = b""
+    ) -> tuple[int, dict | RawBody, dict[str, str]]:
+        """Process one request: ``(status, payload, response headers)``.
+
+        The payload is a JSON-ready dict, or a :class:`RawBody` for the
+        non-JSON ``/metrics`` endpoint.  Headers always carry
+        ``X-Trace-Id``; requests on deprecated unversioned aliases also
+        get ``Deprecation`` and a ``Link`` to the successor path.
+        """
         t0 = time.perf_counter()
         label = "unmatched"
+        trace_id = uuid.uuid4().hex[:16]
+        token = set_trace_id(trace_id)
+        headers: dict[str, str] = {"X-Trace-Id": trace_id}
         parts = urlsplit(path)
-        exempt = tuple(s for s in parts.path.split("/") if s) in _ADMISSION_EXEMPT
+        version, route_path = _split_version(parts.path)
+        exempt = (
+            tuple(s for s in route_path.split("/") if s) in _ADMISSION_EXEMPT
+        )
         admitted = False
         try:
             if not exempt:
@@ -283,24 +341,29 @@ class AnalysisApp:
                         f"{self.max_inflight}; retry with backoff",
                         retry_after=1.0,
                     )
-            handler, params, label = self._match(method, parts.path)
-            body = decode_json_body(raw, self.max_body)
-            if parts.query:
-                merged = _query_dict(parts.query)
-                merged.update(body)
-                body = merged
-            deadline = (
-                Deadline(self.request_timeout_s, clock=self.clock)
-                if self.request_timeout_s is not None and not exempt
-                else None
-            )
-            with deadline_scope(deadline):
-                status, payload = handler(params, body)
+            handler, params, label = self._match(method, route_path)
+            if version is None:
+                self._mark_deprecated_alias(method, label, route_path, headers)
+            with span(_REQUEST_SPAN_NAMES.get(label)
+                      or f"server.request {label}"):
+                with span("server.decode"):
+                    body = decode_json_body(raw, self.max_body)
+                    if parts.query:
+                        merged = _query_dict(parts.query)
+                        merged.update(body)
+                        body = merged
+                deadline = (
+                    Deadline(self.request_timeout_s, clock=self.clock)
+                    if self.request_timeout_s is not None and not exempt
+                    else None
+                )
+                with deadline_scope(deadline):
+                    status, payload = handler(params, body)
         except ApiError as exc:
-            status, payload = exc.status, exc.to_payload()
+            status, payload = exc.status, exc.to_payload(trace_id=trace_id)
         except ReproError as exc:
             api = translate_domain_error(exc)
-            status, payload = api.status, api.to_payload()
+            status, payload = api.status, api.to_payload(trace_id=trace_id)
         except Exception as exc:  # pragma: no cover - last-resort guard
             status = 500
             payload = {
@@ -308,13 +371,38 @@ class AnalysisApp:
                     "status": 500,
                     "code": "internal",
                     "message": f"internal error ({type(exc).__name__})",
+                    "trace_id": trace_id,
                 }
             }
         finally:
             if admitted:
                 self._release()
-        self._record(label, status, (time.perf_counter() - t0) * 1000.0)
-        return status, payload
+            reset_trace_id(token)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        self._record(label, status, elapsed_ms)
+        if self.slowlog is not None:
+            self.slowlog.record(label, elapsed_ms, status, trace_id)
+        return status, payload, headers
+
+    def _mark_deprecated_alias(
+        self, method: str, label: str, route_path: str, headers: dict[str, str]
+    ) -> None:
+        """Stamp alias responses and warn once per aliased endpoint."""
+        headers["Deprecation"] = "true"
+        headers["Link"] = (
+            f"</{API_VERSION}{route_path}>; rel=\"successor-version\""
+        )
+        key = f"{method.upper()} {label}"
+        with self._stats_lock:
+            first = key not in self._warned_aliases
+            if first:
+                self._warned_aliases.add(key)
+        if first:
+            logger.warning(
+                "deprecated unversioned path used: %s %s — the canonical "
+                "endpoint is /%s%s (alias kept for compatibility)",
+                method.upper(), label, API_VERSION, label,
+            )
 
     # ------------------------------------------------------------------ #
     # routing
@@ -323,55 +411,21 @@ class AnalysisApp:
         self, method: str, path: str
     ) -> tuple[Callable[[dict, dict], tuple[int, dict]], dict, str]:
         segments = tuple(s for s in path.split("/") if s)
-        candidates: dict[str, Callable] = {}
         params: dict = {}
-        if segments == ():
-            candidates = {"GET": self._ep_help}
-            label = "/"
-        elif segments == ("healthz",):
-            candidates = {"GET": self._ep_healthz}
-            label = "/healthz"
-        elif segments == ("stats",):
-            candidates = {"GET": self._ep_stats}
-            label = "/stats"
-        elif segments == ("sessions",):
-            candidates = {"GET": self._ep_sessions_list,
-                          "POST": self._ep_sessions_open}
-            label = "/sessions"
-        elif len(segments) >= 2 and segments[0] == "sessions":
+        endpoint = _STATIC_ROUTES.get(segments)
+        if (
+            endpoint is None
+            and len(segments) >= 2
+            and segments[0] == "sessions"
+        ):
+            endpoint = _SESSION_ROUTES.get(segments[2:])
             params = {"sid": segments[1]}
-            tail = segments[2:]
-            if tail == ():
-                candidates = {"GET": self._ep_session_info,
-                              "DELETE": self._ep_session_close}
-                label = "/sessions/<sid>"
-            elif tail == ("metrics",):
-                candidates = {"GET": self._ep_metrics_list,
-                              "POST": self._ep_metrics_derive}
-                label = "/sessions/<sid>/metrics"
-            elif tail == ("sort",):
-                candidates = {"POST": self._ep_sort}
-                label = "/sessions/<sid>/sort"
-            elif tail == ("hotpath",):
-                candidates = {"GET": self._ep_hotpath,
-                              "POST": self._ep_hotpath}
-                label = "/sessions/<sid>/hotpath"
-            elif tail == ("flatten",):
-                candidates = {"POST": self._ep_flatten}
-                label = "/sessions/<sid>/flatten"
-            elif tail == ("unflatten",):
-                candidates = {"POST": self._ep_unflatten}
-                label = "/sessions/<sid>/unflatten"
-            elif tail == ("render",):
-                candidates = {"GET": self._ep_render,
-                              "POST": self._ep_render}
-                label = "/sessions/<sid>/render"
-            else:
-                raise NotFound(
-                    f"unknown endpoint {path!r}", code="unknown-endpoint"
-                )
-        else:
+        if endpoint is None:
             raise NotFound(f"unknown endpoint {path!r}", code="unknown-endpoint")
+        label = endpoint.path
+        candidates = {
+            op.method: getattr(self, op.handler) for op in endpoint.ops
+        }
         handler = candidates.get(method.upper())
         if handler is None:
             raise MethodNotAllowed(
@@ -388,7 +442,8 @@ class AnalysisApp:
             entry = self._stats.setdefault(
                 label,
                 {"count": 0, "errors": 0,
-                 "total_ms": 0.0, "min_ms": None, "max_ms": 0.0},
+                 "total_ms": 0.0, "min_ms": None, "max_ms": 0.0,
+                 "hist": Histogram()},
             )
             entry["count"] += 1
             if status >= 400:
@@ -397,6 +452,7 @@ class AnalysisApp:
             entry["max_ms"] = max(entry["max_ms"], elapsed_ms)
             if entry["min_ms"] is None or elapsed_ms < entry["min_ms"]:
                 entry["min_ms"] = elapsed_ms
+            entry["hist"].observe(elapsed_ms / 1000.0)
 
     def stats_payload(self) -> dict:
         with self._stats_lock:
@@ -415,7 +471,7 @@ class AnalysisApp:
                         "max": entry["max_ms"],
                     },
                 }
-        return {
+        payload = {
             "uptime_s": time.time() - self._started,
             "requests": {"total": total, "errors": errors,
                          "shed": self._shed, "inflight": self.inflight()},
@@ -425,30 +481,127 @@ class AnalysisApp:
             "resident_scopes": self.registry.total_cost(),
             "evictions": self.registry.evictions,
         }
+        if self.slowlog is not None:
+            payload["slow_requests"] = self.slowlog.to_payload()
+        return payload
+
+    def prometheus_text(self) -> str:
+        """The service's counters and histograms in exposition format."""
+        with self._stats_lock:
+            per_label = [
+                (
+                    label,
+                    entry["count"],
+                    entry["errors"],
+                    entry["hist"].cumulative(),
+                    entry["hist"].sum,
+                    entry["hist"].total,
+                )
+                for label, entry in sorted(self._stats.items())
+            ]
+            shed = self._shed
+        cache = self.cache.stats()
+        families: list[tuple[str, str, str, list]] = [
+            (
+                "repro_server_requests_total", "counter",
+                "Requests handled, by endpoint label.",
+                [("", {"endpoint": label}, count)
+                 for label, count, *_ in per_label],
+            ),
+            (
+                "repro_server_request_errors_total", "counter",
+                "Requests answered with status >= 400, by endpoint label.",
+                [("", {"endpoint": label}, errors)
+                 for label, _count, errors, *_ in per_label],
+            ),
+            (
+                "repro_server_request_duration_seconds", "histogram",
+                "Request wall time, by endpoint label.",
+                [
+                    sample
+                    for label, _c, _e, buckets, total_s, total_n in per_label
+                    for sample in (
+                        [("_bucket", {"endpoint": label, "le": le}, count)
+                         for le, count in buckets]
+                        + [("_sum", {"endpoint": label}, total_s),
+                           ("_count", {"endpoint": label}, total_n)]
+                    )
+                ],
+            ),
+            (
+                "repro_server_requests_shed_total", "counter",
+                "Requests rejected by admission control.",
+                [("", None, shed)],
+            ),
+            (
+                "repro_server_inflight_requests", "gauge",
+                "Requests currently being handled.",
+                [("", None, self.inflight())],
+            ),
+            (
+                "repro_server_sessions", "gauge",
+                "Resident analysis sessions.",
+                [("", None, len(self.registry))],
+            ),
+            (
+                "repro_server_resident_scopes", "gauge",
+                "Total scope cost of resident sessions.",
+                [("", None, self.registry.total_cost())],
+            ),
+            (
+                "repro_server_session_evictions_total", "counter",
+                "Sessions evicted by TTL, count, or scope-budget pressure.",
+                [("", None, self.registry.evictions)],
+            ),
+            (
+                "repro_server_render_cache_entries", "gauge",
+                "Entries resident in the render cache.",
+                [("", None, cache["entries"])],
+            ),
+            (
+                "repro_server_render_cache_hits_total", "counter",
+                "Render cache hits.",
+                [("", None, cache["hits"])],
+            ),
+            (
+                "repro_server_render_cache_misses_total", "counter",
+                "Render cache misses.",
+                [("", None, cache["misses"])],
+            ),
+            (
+                "repro_server_uptime_seconds", "gauge",
+                "Seconds since the application started.",
+                [("", None, time.time() - self._started)],
+            ),
+        ]
+        if self.slowlog is not None:
+            families.append((
+                "repro_server_slow_requests_total", "counter",
+                "Requests over the configured slowness threshold.",
+                [("", None, self.slowlog.observed)],
+            ))
+        return render_metrics(families)
 
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
     def _ep_help(self, params: dict, body: dict) -> tuple[int, dict]:
+        listing = []
+        for endpoint in ENDPOINTS:
+            methods = "/".join(endpoint.methods())
+            summary = endpoint.ops[0].summary.split(" (")[0]
+            listing.append(
+                f"{methods} /{API_VERSION}{endpoint.path}  {summary}"
+            )
         return 200, {
             "service": "repro-serve",
+            "version": API_VERSION,
             "doc": "docs/server.md",
-            "endpoints": [
-                "GET  /                         this listing",
-                "GET  /healthz                  liveness + readiness probe",
-                "GET  /stats                    request counters, latency, cache",
-                "GET  /sessions                 list open sessions",
-                "POST /sessions                 open {database | workload}",
-                "GET  /sessions/<sid>           session info",
-                "DELETE /sessions/<sid>         close a session",
-                "GET  /sessions/<sid>/metrics   metric table",
-                "POST /sessions/<sid>/metrics   define derived {name, formula}",
-                "POST /sessions/<sid>/sort      {metric, flavor?, descending?}",
-                "GET/POST /sessions/<sid>/hotpath  {view?, metric?, threshold?}",
-                "POST /sessions/<sid>/flatten   flatten the Flat View",
-                "POST /sessions/<sid>/unflatten undo one flatten",
-                "GET/POST /sessions/<sid>/render  {view?, metric?, depth?, ...}",
-            ],
+            "aliases": (
+                f"unversioned paths are deprecated aliases of /{API_VERSION} "
+                "and answer with a Deprecation header"
+            ),
+            "endpoints": listing,
         }
 
     def _ep_healthz(self, params: dict, body: dict) -> tuple[int, dict]:
@@ -480,39 +633,39 @@ class AnalysisApp:
     def _ep_stats(self, params: dict, body: dict) -> tuple[int, dict]:
         return 200, self.stats_payload()
 
+    def _ep_prometheus(self, params: dict, body: dict) -> tuple[int, RawBody]:
+        return 200, RawBody(
+            "text/plain; version=0.0.4; charset=utf-8", self.prometheus_text()
+        )
+
     def _ep_sessions_list(self, params: dict, body: dict) -> tuple[int, dict]:
-        return 200, {"sessions": self.registry.list_info()}
+        return 200, SessionList(self.registry.list_info()).to_payload()
 
     def _ep_sessions_open(self, params: dict, body: dict) -> tuple[int, dict]:
-        db = _field(body, "database", str, default=None)
-        workload = _field(body, "workload", str, default=None)
-        if (db is None) == (workload is None):
-            raise BadRequest(
-                "open a session with exactly one of 'database' or 'workload'",
-                code="bad-session-source",
+        req = OpenSessionRequest.from_body(body)
+        if req.database is not None:
+            handle = self.registry.open_database(
+                req.database, strict=not req.salvage
             )
-        if db is not None:
-            salvage = _field(body, "salvage", bool, default=False)
-            handle = self.registry.open_database(db, strict=not salvage)
         else:
             handle = self.registry.open_workload(
-                workload,
-                nranks=_field(body, "nranks", int, default=1, lo=1, hi=256),
-                seed=_field(body, "seed", int, default=12345),
+                req.workload, nranks=req.nranks, seed=req.seed
             )
-        payload = {"session": handle.info()}
         report = getattr(handle.session.experiment, "load_report", None)
-        if report is not None:
-            payload["load_report"] = report.to_payload()
-        return 201, payload
+        resp = SessionOpened(
+            session=handle.info(),
+            load_report=report.to_payload() if report is not None else None,
+        )
+        return 201, resp.to_payload()
 
     def _ep_session_info(self, params: dict, body: dict) -> tuple[int, dict]:
-        return 200, {"session": self.registry.get(params["sid"]).info()}
+        handle = self.registry.get(params["sid"])
+        return 200, SessionInfoResponse(handle.info()).to_payload()
 
     def _ep_session_close(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.close(params["sid"])
         self.cache.invalidate_session(handle.sid)
-        return 200, {"closed": handle.sid}
+        return 200, SessionClosed(handle.sid).to_payload()
 
     def _ep_metrics_list(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
@@ -527,53 +680,52 @@ class AnalysisApp:
                 }
                 for d in handle.session.experiment.metrics
             ]
-        return 200, {"metrics": metrics}
+        return 200, MetricList(metrics).to_payload()
 
     def _ep_metrics_derive(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
-        name = _field(body, "name", str)
-        formula = _field(body, "formula", str)
-        unit = _field(body, "unit", str, default="")
+        req = DeriveMetricRequest.from_body(body)
         with handle.lock:
             desc = handle.session.experiment.add_derived_metric(
-                name, formula, unit=unit
+                req.name, req.formula, unit=req.unit
             )
             generation = handle.bump()
         self.cache.invalidate_session(handle.sid)
-        return 201, {
-            "metric": {"id": desc.mid, "name": desc.name,
-                       "formula": desc.formula, "unit": desc.unit},
-            "generation": generation,
-        }
+        resp = DerivedMetricCreated(
+            metric={"id": desc.mid, "name": desc.name,
+                    "formula": desc.formula, "unit": desc.unit},
+            generation=generation,
+        )
+        return 201, resp.to_payload()
 
     def _ep_sort(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
-        metric = _field(body, "metric", str)
-        flavor = _flavor(body, MetricFlavor.INCLUSIVE)
-        descending = _field(body, "descending", bool, default=True)
+        req = SortRequest.from_body(body)
+        flavor = _flavor(req.flavor, MetricFlavor.INCLUSIVE)
         with handle.lock:
             # resolve before storing, so unknown metric names 404 here
-            handle.session.experiment.metrics.by_name(metric)
-            handle.sort = SortSpec(metric, flavor, descending)
-            return 200, {"sort": handle.sort.to_payload()}
+            handle.session.experiment.metrics.by_name(req.metric)
+            handle.sort = SortSpec(req.metric, flavor, req.descending)
+            return 200, SortResponse(handle.sort.to_payload()).to_payload()
 
     def _ep_hotpath(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
-        kind = _view_kind(body)
-        metric = _field(body, "metric", str, default=None)
-        threshold = _field(body, "threshold", float, default=None)
+        req = HotPathRequest.from_body(body)
+        kind = _view_kind(req.view)
+        metric = req.metric
         with handle.lock:
             if metric is None and handle.sort is not None:
                 metric = handle.sort.metric
             key = (handle.sid, handle.generation, "hotpath",
-                   kind.value, metric, threshold)
+                   kind.value, metric, req.threshold)
             cached = self.cache.get(key)
             if cached is None:
                 cached = hot_path_snapshot(
-                    handle.session, kind, metric=metric, threshold=threshold
+                    handle.session, kind, metric=metric,
+                    threshold=req.threshold,
                 )
                 self.cache.put(key, cached)
-        return 200, dict(cached)
+        return 200, HotPathResult(**cached).to_payload()
 
     def _ep_flatten(self, params: dict, body: dict) -> tuple[int, dict]:
         return self._flatten_op(params["sid"], "flatten")
@@ -588,33 +740,31 @@ class AnalysisApp:
             depth = handle.flatten_depth
             generation = handle.bump()
         self.cache.invalidate_session(handle.sid)
-        return 200, {"flatten_depth": depth, "generation": generation}
+        return 200, MutationResponse(depth, generation).to_payload()
 
     def _ep_render(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
-        kind = _view_kind(body)
-        metric = _field(body, "metric", str, default=None)
-        descending = _field(body, "descending", bool, default=None)
-        depth = _field(body, "depth", int, default=3, lo=0, hi=1000)
-        hot = _field(body, "hot_path", bool, default=False)
-        threshold = _field(body, "threshold", float, default=None)
-        max_rows = _field(body, "max_rows", int, default=60, lo=1, hi=100_000)
+        req = RenderRequest.from_body(body)
+        kind = _view_kind(req.view)
         with handle.lock:
             # resolve the effective sort column: explicit request fields
             # override the session's sort state, which overrides defaults
             sort = handle.sort
             flavor = _flavor(
-                body, sort.flavor if sort and metric is None
-                else MetricFlavor.INCLUSIVE
+                req.flavor,
+                sort.flavor if sort is not None and req.metric is None
+                else MetricFlavor.INCLUSIVE,
             )
+            metric = req.metric
             if metric is None and sort is not None:
                 metric = sort.metric
+            descending = req.descending
             if descending is None:
                 descending = sort.descending if sort is not None else True
             key = (
                 handle.sid, handle.generation, "render", kind.value,
-                metric, flavor.value, descending, depth, hot, threshold,
-                max_rows, handle.flatten_depth,
+                metric, flavor.value, descending, req.depth, req.hot_path,
+                req.threshold, req.max_rows, handle.flatten_depth,
             )
             cached = self.cache.get(key)
             if cached is None:
@@ -624,12 +774,16 @@ class AnalysisApp:
                     metric=metric,
                     flavor=flavor,
                     descending=descending,
-                    depth=depth,
-                    hot_path=hot,
-                    threshold=threshold,
-                    max_rows=max_rows,
+                    depth=req.depth,
+                    hot_path=req.hot_path,
+                    threshold=req.threshold,
+                    max_rows=req.max_rows,
                 )
                 self.cache.put(key, cached)
-        payload = dict(cached)
-        payload["session"] = handle.sid
-        return 200, payload
+        resp = RenderResponse(
+            view=cached["view"],
+            text=cached["text"],
+            session=handle.sid,
+            hot_path=cached.get("hot_path"),
+        )
+        return 200, resp.to_payload()

@@ -6,7 +6,7 @@ application installs a :class:`Deadline` for the current request
 (:func:`deadline_scope`), and long-running stages — view construction,
 snapshot rendering, anything the fault harness slows down — call
 :func:`checkpoint` at natural yield points.  When the budget is gone,
-the checkpoint raises :class:`~repro.server.errors.DeadlineExceeded`
+the checkpoint raises :class:`~repro.errors.DeadlineExceeded`
 (a 503 with code ``deadline-exceeded``); the partially-built response
 is discarded by the normal exception path, and because the render
 cache only stores completed successes, an aborted render never taints
@@ -25,7 +25,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable
 
-from repro.server.errors import DeadlineExceeded
+from repro.errors import DeadlineExceeded
 
 __all__ = ["Deadline", "deadline_scope", "checkpoint", "current_deadline"]
 

@@ -1,28 +1,24 @@
-"""Structured error taxonomy for the analysis service.
+"""Deprecated location — the taxonomy moved to :mod:`repro.errors`.
 
-Every failure a client can provoke maps to an :class:`ApiError` carrying
-an HTTP status, a stable machine-readable ``code``, and a human-readable
-message; the HTTP layer serializes it as a JSON body::
-
-    {"error": {"status": 400, "code": "malformed-json",
-               "message": "request body is not valid JSON: ..."}}
-
-The contract (pinned by ``tests/props/test_server_fuzz.py``): malformed
-requests are 400, unknown resources (session, metric, endpoint) are 404,
-wrong methods 405, oversized payloads 413 — and a traceback never leaks
-to the wire.  Domain errors raised by the toolkit are translated at the
-application boundary (:func:`translate_domain_error`), keeping the
-repro.core exception hierarchy independent of HTTP.
+This shim keeps ``from repro.server.errors import ...`` working; the
+classes it re-exports *are* the unified ones, so ``except`` clauses and
+identity checks keep behaving across old and new import paths.
 """
 
 from __future__ import annotations
 
-from repro.core.errors import (
-    DatabaseError,
-    FormulaError,
-    MetricError,
-    ReproError,
-    ViewError,
+import warnings
+
+from repro.errors import (  # noqa: F401 - re-exported for compatibility
+    ApiError,
+    BadRequest,
+    DeadlineExceeded,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    ServiceUnavailable,
+    TooManyRequests,
+    translate_domain_error,
 )
 
 __all__ = [
@@ -37,108 +33,9 @@ __all__ = [
     "translate_domain_error",
 ]
 
-
-class ApiError(Exception):
-    """A client-visible failure with an HTTP status and stable code."""
-
-    status = 500
-    code = "internal"
-
-    def __init__(
-        self,
-        message: str,
-        code: str | None = None,
-        retry_after: float | None = None,
-    ) -> None:
-        super().__init__(message)
-        if code is not None:
-            self.code = code
-        #: seconds after which retrying may succeed; surfaces as both a
-        #: payload field and the HTTP ``Retry-After`` header
-        self.retry_after = retry_after
-
-    @property
-    def message(self) -> str:
-        return str(self)
-
-    def to_payload(self) -> dict:
-        """The JSON body clients receive."""
-        error = {
-            "status": self.status,
-            "code": self.code,
-            "message": self.message,
-        }
-        if self.retry_after is not None:
-            error["retry_after"] = self.retry_after
-        return {"error": error}
-
-
-class BadRequest(ApiError):
-    """400 — the request is syntactically or semantically malformed."""
-
-    status = 400
-    code = "bad-request"
-
-
-class NotFound(ApiError):
-    """404 — unknown session, metric, endpoint, or database path."""
-
-    status = 404
-    code = "not-found"
-
-
-class MethodNotAllowed(ApiError):
-    """405 — the endpoint exists but not for this HTTP method."""
-
-    status = 405
-    code = "method-not-allowed"
-
-
-class PayloadTooLarge(ApiError):
-    """413 — request body exceeds the configured limit."""
-
-    status = 413
-    code = "payload-too-large"
-
-
-class TooManyRequests(ApiError):
-    """429 — admission control shed the request; retry after backoff."""
-
-    status = 429
-    code = "too-many-requests"
-
-
-class ServiceUnavailable(ApiError):
-    """503 — the server cannot serve this request right now."""
-
-    status = 503
-    code = "unavailable"
-
-
-class DeadlineExceeded(ServiceUnavailable):
-    """503 — the request's deadline expired; partial work was discarded."""
-
-    code = "deadline-exceeded"
-
-
-def translate_domain_error(exc: ReproError) -> ApiError:
-    """Map a toolkit exception to the client-visible taxonomy.
-
-    * unknown metric name/id (:class:`MetricError` from table lookups)
-      → 404, since the client addressed a resource that does not exist;
-    * duplicate metric names and formula problems → 400 (the request
-      itself is wrong, not the address);
-    * view/database errors → 400 with a domain-specific code.
-    """
-    text = str(exc)
-    if isinstance(exc, FormulaError):
-        return BadRequest(text, code="bad-formula")
-    if isinstance(exc, MetricError):
-        if text.startswith("unknown metric"):
-            return NotFound(text, code="unknown-metric")
-        return BadRequest(text, code="bad-metric")
-    if isinstance(exc, ViewError):
-        return BadRequest(text, code="bad-view-operation")
-    if isinstance(exc, DatabaseError):
-        return BadRequest(text, code="bad-database")
-    return BadRequest(text, code="domain-error")
+warnings.warn(
+    "repro.server.errors is deprecated; import from repro.errors "
+    "(or the repro.api facade) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

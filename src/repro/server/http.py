@@ -7,7 +7,11 @@ concurrency story; the HTTP layer holds no mutable state of its own.
 
 ``repro-serve`` (see :func:`main`) builds a server, preloads sessions
 for any ``--db``/``--workload`` arguments, prints the session ids, and
-serves until interrupted.
+serves until interrupted.  With ``--self-profile PATH`` the process
+traces its own request stages (decode, session lookup, view
+construction, engine kernels, render, encode) and writes them as a
+regular experiment database on shutdown — open it with ``repro-view``
+to see the server in its own three views.
 """
 
 from __future__ import annotations
@@ -15,14 +19,17 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import signal
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import install, save_self_profile, span, uninstall
 from repro.server.app import (
     DEFAULT_MAX_BODY,
     DEFAULT_MAX_INFLIGHT,
     AnalysisApp,
 )
+from repro.server.schema import RawBody
 from repro.server.sessions import WORKLOADS
 
 __all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
@@ -50,6 +57,7 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = -1
         unread = 0
+        extra_headers: dict[str, str] = {}
         if length < 0:
             status, payload = 400, {
                 "error": {
@@ -63,7 +71,9 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             # reject oversized bodies with 413 without buffering them
             raw = self.rfile.read(min(length, app.max_body + 1)) if length else b""
             unread = length - len(raw)
-            status, payload = app.handle(method, self.path, raw)
+            status, payload, extra_headers = app.handle_full(
+                method, self.path, raw
+            )
         if unread > 0:
             # keep-alive hygiene: an oversized body was only partially
             # read, and the remainder would be parsed as the next request
@@ -77,10 +87,18 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                     unread -= len(chunk)
             if unread > 0:
                 self.close_connection = True
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, RawBody):
+            content_type = payload.content_type
+            body = payload.text.encode("utf-8")
+        else:
+            content_type = "application/json"
+            with span("server.encode"):
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         retry_after = None
         if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
             retry_after = payload["error"].get("retry_after")
@@ -133,6 +151,7 @@ def build_server(
     session_ttl_s: float | None = None,
     max_sessions: int | None = None,
     scope_budget: int | None = None,
+    slow_ms: float | None = None,
 ) -> AnalysisServer:
     """An :class:`AnalysisServer` with its initial sessions registered."""
     app = AnalysisApp(
@@ -143,6 +162,7 @@ def build_server(
         session_ttl_s=session_ttl_s,
         max_sessions=max_sessions,
         scope_budget=scope_budget,
+        slow_ms=slow_ms,
     )
     for path in databases or []:
         app.registry.open_database(path)
@@ -187,10 +207,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scope-budget", type=int, default=None,
                         help="total CCT scopes resident sessions may hold; "
                              "LRU eviction past the budget")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log requests slower than this and keep them "
+                             "in the /stats slow-request ring")
+    parser.add_argument("--self-profile", default=None, metavar="PATH",
+                        help="trace the server's own request stages and "
+                             "write them as an experiment database on "
+                             "shutdown (open it with repro-view)")
     args = parser.parse_args(argv)
 
     if not args.databases and args.workload is None:
         parser.error("nothing to serve: pass a database or --workload")
+    tracer = install() if args.self_profile else None
     server = build_server(
         host=args.host,
         port=args.port,
@@ -205,19 +234,36 @@ def main(argv: list[str] | None = None) -> int:
         session_ttl_s=args.session_ttl,
         max_sessions=args.max_sessions,
         scope_budget=args.scope_budget,
+        slow_ms=args.slow_ms,
     )
     host, port = server.server_address[:2]
     for info in server.app.registry.list_info():
         print(f"session {info['id']}: {info['label']} "
               f"({info['scopes']} scopes, {info['ranks']} rank(s))")
+    extras = []
+    if tracer is not None:
+        extras.append(f"self-profiling to {args.self_profile}")
+    if args.slow_ms is not None:
+        extras.append(f"slow-query log at {args.slow_ms:g}ms")
+    suffix = f" [{'; '.join(extras)}]" if extras else ""
     print(f"repro-serve listening on http://{host}:{port}/ "
-          f"(Ctrl-C to stop)")
+          f"(Ctrl-C to stop){suffix}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.server_close()
+        if tracer is not None:
+            uninstall()
+            try:  # a second Ctrl-C must not lose the collected profile
+                signal.signal(signal.SIGINT, signal.SIG_IGN)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+            _experiment, size = save_self_profile(tracer, args.self_profile)
+            print(f"self-profile: {tracer.span_count()} spans -> "
+                  f"{args.self_profile} ({size} bytes); inspect with "
+                  f"'repro-view {args.self_profile} --view all'")
     return 0
 
 

@@ -1,0 +1,540 @@
+"""Typed request/response schemas and the endpoint registry — the v1 API.
+
+This module is the single source of truth for the service's public HTTP
+surface:
+
+* **request dataclasses** — every endpoint that reads fields parses its
+  body through one of these, replacing the ad-hoc ``_field`` plumbing
+  that grew in ``app.py``; validation semantics (types, ranges, error
+  codes) are identical to the historical behaviour, which the fuzz and
+  chaos suites pin;
+* **response dataclasses** — the structured (non-cached) responses are
+  built through typed wrappers whose ``to_payload`` produces exactly
+  the wire shape; snapshot payloads (render, hot path) stay dicts for
+  cacheability but their shape is documented here for the generated
+  reference;
+* **the endpoint registry** (:data:`ENDPOINTS`) — path templates,
+  methods, handler names, schemas, and doc strings; the application
+  builds its router from it, ``tools/gen_api_docs.py`` renders it into
+  ``docs/api.md``, and ``tools/gen_api_surface.py`` snapshots it into
+  the public-API drift test.
+
+Versioning: the canonical mount point for every endpoint is
+``/v1<path>``; the bare path is a deprecated alias that serves the
+byte-identical body plus a ``Deprecation`` header (see
+``docs/server.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Any, ClassVar
+
+from repro.errors import BadRequest
+
+__all__ = [
+    "API_VERSION",
+    "ENDPOINTS",
+    "EndpointDef",
+    "FieldSpec",
+    "Operation",
+    "RawBody",
+    "REQUIRED",
+    "DeriveMetricRequest",
+    "DerivedMetricCreated",
+    "FlattenResponse",
+    "HotPathRequest",
+    "HotPathResult",
+    "MetricList",
+    "MutationResponse",
+    "OpenSessionRequest",
+    "RenderRequest",
+    "RenderResponse",
+    "SessionClosed",
+    "SessionInfoResponse",
+    "SessionList",
+    "SessionOpened",
+    "SortRequest",
+    "SortResponse",
+    "parse_fields",
+]
+
+#: the current (only) stable API version; endpoints mount at /v1/...
+API_VERSION = "v1"
+
+#: sentinel for fields with no default: omitting them is a 400
+REQUIRED = object()
+
+
+# --------------------------------------------------------------------- #
+# raw (non-JSON) responses
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RawBody:
+    """A non-JSON response body (the Prometheus ``/metrics`` text).
+
+    The HTTP layer writes ``text`` verbatim with ``content_type``; the
+    in-process :meth:`AnalysisApp.handle` compatibility surface wraps it
+    in a JSON object so programmatic callers still get a dict.
+    """
+
+    content_type: str
+    text: str
+
+    def to_payload(self) -> dict:
+        return {"content_type": self.content_type, "text": self.text}
+
+
+# --------------------------------------------------------------------- #
+# request field machinery
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FieldSpec:
+    """One validated request field (type, default, range, docs)."""
+
+    name: str
+    kind: type
+    default: Any = REQUIRED
+    lo: float | None = None
+    hi: float | None = None
+    doc: str = ""
+    choices: tuple[str, ...] | None = None
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    @property
+    def type_name(self) -> str:
+        return self.kind.__name__
+
+    def extract(self, body: dict) -> Any:
+        """Fetch and validate this field from a decoded body.
+
+        ``bool`` is rejected where a number is expected (it *is* an
+        ``int`` in Python, but ``{"depth": true}`` is a client bug, not
+        depth 1).  ``None`` counts as absent.
+        """
+        value = body.get(self.name, REQUIRED)
+        if value is REQUIRED or value is None:
+            if self.default is REQUIRED:
+                raise BadRequest(
+                    f"missing required field {self.name!r}", code="missing-field"
+                )
+            return self.default
+        ok = isinstance(value, self.kind)
+        if self.kind is not bool and isinstance(value, bool):
+            ok = False
+        if (
+            self.kind is float
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+        ):
+            ok, value = True, float(value)
+        if not ok:
+            raise BadRequest(
+                f"field {self.name!r} must be {self.kind.__name__}, "
+                f"got {type(value).__name__}",
+                code="bad-field-type",
+            )
+        if self.kind in (int, float) and (
+            (self.lo is not None and value < self.lo)
+            or (self.hi is not None and value > self.hi)
+        ):
+            raise BadRequest(
+                f"field {self.name!r} must be in [{self.lo}, {self.hi}], "
+                f"got {value!r}",
+                code="bad-field-value",
+            )
+        return value
+
+
+def parse_fields(body: dict, specs: tuple[FieldSpec, ...]) -> dict:
+    """Extract every spec'd field from *body*, in declaration order."""
+    return {spec.name: spec.extract(body) for spec in specs}
+
+
+class _Request:
+    """Base for request dataclasses: ``from_body`` drives the specs."""
+
+    FIELDS: ClassVar[tuple[FieldSpec, ...]] = ()
+
+    @classmethod
+    def from_body(cls, body: dict):
+        return cls(**parse_fields(body, cls.FIELDS))
+
+
+# --------------------------------------------------------------------- #
+# request schemas
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OpenSessionRequest(_Request):
+    """``POST /v1/sessions`` — open a database or synthetic workload.
+
+    Exactly one of ``database`` / ``workload`` must be given.  The
+    source-specific knobs are validated only on the branch they apply
+    to, preserving the historical lenience for unrelated extras.
+    """
+
+    database: str | None
+    workload: str | None
+    salvage: bool = False
+    nranks: int = 1
+    seed: int = 12345
+
+    FIELDS = (
+        FieldSpec("database", str, default=None,
+                  doc="path of an experiment database (.xml / .rpdb)"),
+        FieldSpec("workload", str, default=None,
+                  doc="bundled synthetic workload name",
+                  choices=("fig1", "s3d", "moab", "pflotran")),
+    )
+    _DB_FIELDS = (
+        FieldSpec("salvage", bool, default=False,
+                  doc="recover a corrupted/truncated binary database "
+                      "instead of failing"),
+    )
+    _WORKLOAD_FIELDS = (
+        FieldSpec("nranks", int, default=1, lo=1, hi=256,
+                  doc="simulated MPI ranks"),
+        FieldSpec("seed", int, default=12345, doc="simulation seed"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "OpenSessionRequest":
+        base = parse_fields(body, cls.FIELDS)
+        if (base["database"] is None) == (base["workload"] is None):
+            raise BadRequest(
+                "open a session with exactly one of 'database' or 'workload'",
+                code="bad-session-source",
+            )
+        if base["database"] is not None:
+            base.update(parse_fields(body, cls._DB_FIELDS))
+        else:
+            base.update(parse_fields(body, cls._WORKLOAD_FIELDS))
+        return cls(**base)
+
+
+@dataclass(frozen=True)
+class RenderRequest(_Request):
+    """``GET/POST /v1/sessions/<sid>/render`` — render one view."""
+
+    view: str
+    metric: str | None
+    flavor: str | None
+    descending: bool | None
+    depth: int
+    hot_path: bool
+    threshold: float | None
+    max_rows: int
+
+    FIELDS = (
+        FieldSpec("view", str, default="cct",
+                  doc="which view to render",
+                  choices=("cct", "calling-context", "callers", "flat")),
+        FieldSpec("metric", str, default=None,
+                  doc="metric column to sort by (default: session sort, "
+                      "else first metric)"),
+        FieldSpec("flavor", str, default=None,
+                  doc="metric flavor for the sort column",
+                  choices=("inclusive", "exclusive", "i", "e")),
+        FieldSpec("descending", bool, default=None,
+                  doc="sort direction (default: session sort, else true)"),
+        FieldSpec("depth", int, default=3, lo=0, hi=1000,
+                  doc="expansion depth of the tree-table"),
+        FieldSpec("hot_path", bool, default=False,
+                  doc="expand the hot path instead of a fixed depth"),
+        FieldSpec("threshold", float, default=None,
+                  doc="hot-path threshold in (0, 1] (default: session "
+                      "preference)"),
+        FieldSpec("max_rows", int, default=60, lo=1, hi=100_000,
+                  doc="row cap of the rendered table"),
+    )
+
+
+@dataclass(frozen=True)
+class HotPathRequest(_Request):
+    """``GET/POST /v1/sessions/<sid>/hotpath`` — Eq. 3 without a render."""
+
+    view: str
+    metric: str | None
+    threshold: float | None
+
+    FIELDS = (
+        FieldSpec("view", str, default="cct",
+                  doc="view to run hot-path analysis on",
+                  choices=("cct", "calling-context", "callers", "flat")),
+        FieldSpec("metric", str, default=None,
+                  doc="metric to descend by (default: session sort, else "
+                      "first metric)"),
+        FieldSpec("threshold", float, default=None,
+                  doc="hot-path threshold in (0, 1] (default: session "
+                      "preference)"),
+    )
+
+
+@dataclass(frozen=True)
+class SortRequest(_Request):
+    """``POST /v1/sessions/<sid>/sort`` — set the session sort column."""
+
+    metric: str
+    flavor: str | None
+    descending: bool
+
+    FIELDS = (
+        FieldSpec("metric", str, doc="metric name to sort by"),
+        FieldSpec("flavor", str, default=None,
+                  doc="metric flavor (default: inclusive)",
+                  choices=("inclusive", "exclusive", "i", "e")),
+        FieldSpec("descending", bool, default=True, doc="sort direction"),
+    )
+
+
+@dataclass(frozen=True)
+class DeriveMetricRequest(_Request):
+    """``POST /v1/sessions/<sid>/metrics`` — define a derived metric."""
+
+    name: str
+    formula: str
+    unit: str
+
+    FIELDS = (
+        FieldSpec("name", str, doc="name of the new metric column"),
+        FieldSpec("formula", str,
+                  doc="spreadsheet-like formula over existing metrics"),
+        FieldSpec("unit", str, default="", doc="display unit"),
+    )
+
+
+# --------------------------------------------------------------------- #
+# response schemas
+# --------------------------------------------------------------------- #
+class _Response:
+    """Base for response dataclasses: ``to_payload`` drops ``None``
+    optionals so wire shapes match the historical dict plumbing."""
+
+    def to_payload(self) -> dict:
+        out = {}
+        for f in dc_fields(self):
+            value = getattr(self, f.name)
+            if value is None and f.metadata.get("omit_none"):
+                continue
+            out[f.name] = value
+        return out
+
+
+def _optional():
+    return field(default=None, metadata={"omit_none": True})
+
+
+@dataclass(frozen=True)
+class SessionList(_Response):
+    """``GET /v1/sessions`` — info blocks of every resident session."""
+
+    sessions: list
+
+
+@dataclass(frozen=True)
+class SessionOpened(_Response):
+    """``POST /v1/sessions`` (201) — the new session's info block;
+    ``load_report`` appears only for salvage loads."""
+
+    session: dict
+    load_report: dict | None = _optional()
+
+
+@dataclass(frozen=True)
+class SessionInfoResponse(_Response):
+    """``GET /v1/sessions/<sid>`` — one session's info block."""
+
+    session: dict
+
+
+@dataclass(frozen=True)
+class SessionClosed(_Response):
+    """``DELETE /v1/sessions/<sid>`` — the id that was closed."""
+
+    closed: str
+
+
+@dataclass(frozen=True)
+class MetricList(_Response):
+    """``GET /v1/sessions/<sid>/metrics`` — the metric table."""
+
+    metrics: list
+
+
+@dataclass(frozen=True)
+class DerivedMetricCreated(_Response):
+    """``POST /v1/sessions/<sid>/metrics`` (201) — the new descriptor
+    and the session generation after the mutation."""
+
+    metric: dict
+    generation: int
+
+
+@dataclass(frozen=True)
+class SortResponse(_Response):
+    """``POST /v1/sessions/<sid>/sort`` — the sort spec now in effect."""
+
+    sort: dict
+
+
+@dataclass(frozen=True)
+class MutationResponse(_Response):
+    """``POST /v1/sessions/<sid>/flatten|unflatten`` — new flatten depth
+    and the session generation after the mutation."""
+
+    flatten_depth: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class FlattenResponse(MutationResponse):
+    """Alias kept for symmetry with the docs."""
+
+
+@dataclass(frozen=True)
+class RenderResponse(_Response):
+    """``GET/POST /v1/sessions/<sid>/render`` — a rendered tree-table.
+
+    ``hot_path`` appears only when the request asked for hot-path
+    expansion.  (Served from the render cache; the cached snapshot is
+    exactly ``{view, text[, hot_path]}`` and ``session`` is stamped per
+    request.)
+    """
+
+    view: str
+    text: str
+    session: str
+    hot_path: dict | None = _optional()
+
+
+@dataclass(frozen=True)
+class HotPathResult(_Response):
+    """``GET/POST /v1/sessions/<sid>/hotpath`` — the Eq. 3 descent."""
+
+    view: str
+    metric: str
+    threshold: float
+    path: list
+    values: list
+    hotspot: str
+
+
+# --------------------------------------------------------------------- #
+# the endpoint registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Operation:
+    """One method on one endpoint."""
+
+    method: str
+    handler: str                 #: AnalysisApp attribute name
+    summary: str
+    request: type | None = None  #: request dataclass (None: no body read)
+    response: type | None = None #: response dataclass (None: raw/dict)
+    status: int = 200
+    errors: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EndpointDef:
+    """One path template and the operations mounted on it."""
+
+    path: str                    #: canonical label, e.g. "/sessions/<sid>/render"
+    ops: tuple[Operation, ...]
+    admission_exempt: bool = False
+    raw: bool = False            #: serves a non-JSON body (RawBody)
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(s for s in self.path.split("/") if s)
+
+    def methods(self) -> tuple[str, ...]:
+        return tuple(op.method for op in self.ops)
+
+
+ENDPOINTS: tuple[EndpointDef, ...] = (
+    EndpointDef("/", ops=(
+        Operation("GET", "_ep_help", "service and endpoint listing"),
+    )),
+    EndpointDef("/healthz", admission_exempt=True, ops=(
+        Operation("GET", "_ep_healthz",
+                  "liveness + readiness probe (503 with a reason when "
+                  "shedding)", errors=("overloaded",)),
+    )),
+    EndpointDef("/stats", admission_exempt=True, ops=(
+        Operation("GET", "_ep_stats",
+                  "request counters, latency aggregates, cache and "
+                  "session stats, slow-request ring"),
+    )),
+    EndpointDef("/metrics", admission_exempt=True, raw=True, ops=(
+        Operation("GET", "_ep_prometheus",
+                  "service counters and latency histograms in Prometheus "
+                  "text exposition format"),
+    )),
+    EndpointDef("/sessions", ops=(
+        Operation("GET", "_ep_sessions_list", "list open sessions",
+                  response=SessionList),
+        Operation("POST", "_ep_sessions_open",
+                  "open a session from a database path or a bundled "
+                  "synthetic workload",
+                  request=OpenSessionRequest, response=SessionOpened,
+                  status=201,
+                  errors=("bad-session-source", "unknown-database",
+                          "unknown-workload", "bad-database")),
+    )),
+    EndpointDef("/sessions/<sid>", ops=(
+        Operation("GET", "_ep_session_info", "one session's info block",
+                  response=SessionInfoResponse, errors=("unknown-session",)),
+        Operation("DELETE", "_ep_session_close", "close a session",
+                  response=SessionClosed, errors=("unknown-session",)),
+    )),
+    EndpointDef("/sessions/<sid>/metrics", ops=(
+        Operation("GET", "_ep_metrics_list", "the session's metric table",
+                  response=MetricList, errors=("unknown-session",)),
+        Operation("POST", "_ep_metrics_derive",
+                  "define a derived metric from a formula",
+                  request=DeriveMetricRequest, response=DerivedMetricCreated,
+                  status=201,
+                  errors=("unknown-session", "bad-formula", "bad-metric",
+                          "unknown-metric")),
+    )),
+    EndpointDef("/sessions/<sid>/sort", ops=(
+        Operation("POST", "_ep_sort", "set the session's sort column",
+                  request=SortRequest, response=SortResponse,
+                  errors=("unknown-session", "unknown-metric", "bad-flavor")),
+    )),
+    EndpointDef("/sessions/<sid>/hotpath", ops=(
+        Operation("GET", "_ep_hotpath", "hot path analysis (Eq. 3)",
+                  request=HotPathRequest, response=HotPathResult,
+                  errors=("unknown-session", "bad-view-kind",
+                          "unknown-metric")),
+        Operation("POST", "_ep_hotpath", "hot path analysis (Eq. 3)",
+                  request=HotPathRequest, response=HotPathResult,
+                  errors=("unknown-session", "bad-view-kind",
+                          "unknown-metric")),
+    )),
+    EndpointDef("/sessions/<sid>/flatten", ops=(
+        Operation("POST", "_ep_flatten",
+                  "flatten the Flat View one level",
+                  response=MutationResponse,
+                  errors=("unknown-session", "bad-view-operation")),
+    )),
+    EndpointDef("/sessions/<sid>/unflatten", ops=(
+        Operation("POST", "_ep_unflatten", "undo one flatten",
+                  response=MutationResponse,
+                  errors=("unknown-session", "bad-view-operation")),
+    )),
+    EndpointDef("/sessions/<sid>/render", ops=(
+        Operation("GET", "_ep_render", "render one view as a tree-table",
+                  request=RenderRequest, response=RenderResponse,
+                  errors=("unknown-session", "bad-view-kind", "bad-flavor",
+                          "unknown-metric", "no-metrics")),
+        Operation("POST", "_ep_render", "render one view as a tree-table",
+                  request=RenderRequest, response=RenderResponse,
+                  errors=("unknown-session", "bad-view-kind", "bad-flavor",
+                          "unknown-metric", "no-metrics")),
+    )),
+)

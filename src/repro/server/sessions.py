@@ -32,14 +32,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.errors import DatabaseError
+from repro.errors import DatabaseError
 from repro.core.hotpath import HotPathResult
+from repro.obs.spans import span
 from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import ViewKind
 from repro.hpcprof import database
 from repro.hpcprof.experiment import Experiment
 from repro.server.deadline import checkpoint
-from repro.server.errors import BadRequest, NotFound
+from repro.errors import BadRequest, NotFound
 from repro.viewer.navigation import NavigationState
 from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions, render_table
@@ -249,7 +250,7 @@ class SessionRegistry:
         )
 
     def get(self, sid: str) -> SessionHandle:
-        with self._lock:
+        with span("server.session-lookup"), self._lock:
             # no keep: an expired session is gone even to its own caller
             evicted = self._sweep_locked() if self.ttl_s is not None else []
             handle = self._handles.get(sid)
@@ -324,17 +325,19 @@ def render_snapshot(
     state.descending = descending
     result: HotPathResult | None = None
     if hot_path:
-        result = state.expand_hot_path(
-            threshold=threshold if threshold is not None
-            else session.hot_path_threshold,
-        )
+        with span("viewer.hot-path"):
+            result = state.expand_hot_path(
+                threshold=threshold if threshold is not None
+                else session.hot_path_threshold,
+            )
     else:
         state.expand_to_depth(depth)
     checkpoint("render")
     roots = view.current_roots() if kind is ViewKind.FLAT else None
-    text = render_table(
-        view, state, options=TableOptions(max_rows=max_rows), roots=roots
-    )
+    with span("viewer.render-table"):
+        text = render_table(
+            view, state, options=TableOptions(max_rows=max_rows), roots=roots
+        )
     payload = {
         "view": kind.value,
         "text": f"== {view.title}: {session.experiment.name} ==\n{text}",
@@ -359,10 +362,11 @@ def hot_path_snapshot(
     checkpoint("hot-path")
     spec = _resolve_spec(session, metric, MetricFlavor.INCLUSIVE)
     state = NavigationState(view, column=spec)
-    result = state.expand_hot_path(
-        threshold=threshold if threshold is not None
-        else session.hot_path_threshold,
-    )
+    with span("viewer.hot-path"):
+        result = state.expand_hot_path(
+            threshold=threshold if threshold is not None
+            else session.hot_path_threshold,
+        )
     return {
         "view": kind.value,
         "metric": session.experiment.metrics.by_id(spec.mid).name,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.errors import SimulationError
+from repro.errors import SimulationError
 from repro.core.metrics import MetricTable
 from repro.hpcrun.profile_data import Frame, PathNode, ProfileData
 from repro.sim.program import (

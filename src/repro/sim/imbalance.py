@@ -21,7 +21,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.core.errors import SimulationError
+from repro.errors import SimulationError
 
 __all__ = [
     "ImbalanceModel",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import importlib
 from typing import Sequence
 
-from repro.core.errors import SimulationError
+from repro.errors import SimulationError
 from repro.hpcprof.experiment import Experiment
 from repro.hpcrun.profile_data import Frame, ProfileData
 from repro.hpcstruct.synthstruct import build_structure

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence, Union
 
-from repro.core.errors import SimulationError
+from repro.errors import SimulationError
 
 __all__ = [
     "ExecContext",

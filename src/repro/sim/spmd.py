@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.errors import SimulationError
+from repro.errors import SimulationError
 from repro.hpcprof.experiment import Experiment
 from repro.hpcrun.profile_data import ProfileData
 from repro.hpcstruct.synthstruct import build_structure

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.core.hotpath import DEFAULT_THRESHOLD, HotPathResult
 from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.obs.spans import span
 from repro.core.views import View, ViewKind, ViewNode
 from repro.hpcprof.experiment import Experiment
 from repro.viewer.navigation import NavigationState
@@ -56,12 +57,13 @@ class ViewerSession:
                     from repro.server.deadline import checkpoint
 
                     checkpoint("view construction")
-                    if kind is ViewKind.CALLING_CONTEXT:
-                        view = self.experiment.calling_context_view()
-                    elif kind is ViewKind.CALLERS:
-                        view = self.experiment.callers_view()
-                    else:
-                        view = self.experiment.flat_view()
+                    with span(f"viewer.build {kind.value}"):
+                        if kind is ViewKind.CALLING_CONTEXT:
+                            view = self.experiment.calling_context_view()
+                        elif kind is ViewKind.CALLERS:
+                            view = self.experiment.callers_view()
+                        else:
+                            view = self.experiment.flat_view()
                     self._views[kind] = view
         return view
 

@@ -14,7 +14,7 @@ import os
 from dataclasses import dataclass
 
 from repro.core.cct import CCTKind
-from repro.core.errors import ViewError
+from repro.errors import ViewError
 from repro.core.metrics import MetricValues, add_into
 from repro.hpcprof.experiment import Experiment
 from repro.viewer.format import format_cell

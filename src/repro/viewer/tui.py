@@ -25,7 +25,7 @@ from __future__ import annotations
 import cmd
 from typing import IO
 
-from repro.core.errors import ReproError
+from repro.errors import ReproError
 from repro.core.filters import FilterSet
 from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import ViewKind, ViewNode

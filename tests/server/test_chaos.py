@@ -55,7 +55,7 @@ _VIEW_KINDS = {
 }
 _EXCEPTIONS = (RuntimeError, ValueError, KeyError, ZeroDivisionError)
 
-_ERROR_FIELDS = {"status", "code", "message", "retry_after"}
+_ERROR_FIELDS = {"status", "code", "message", "retry_after", "trace_id"}
 
 
 @pytest.fixture(scope="module")
@@ -81,6 +81,8 @@ def assert_structured(status: int, payload) -> str:
         assert error["status"] == status
         assert isinstance(error["code"], str) and error["code"]
         assert isinstance(error["message"], str)
+        # every structured error is traceable back to its request
+        assert isinstance(error.get("trace_id"), str) and error["trace_id"]
     return body
 
 

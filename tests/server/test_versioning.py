@@ -1,0 +1,206 @@
+"""The /v1 surface and its deprecated unversioned aliases.
+
+The compatibility promise under test: every unversioned path is an
+alias of its ``/v1`` counterpart — same handler, same cache, same
+counters, **byte-identical body** — distinguished only by the
+``Deprecation``/``Link`` response headers and a one-time log warning.
+
+The equivalence is checked by driving the *same* request scenario
+(covering every endpoint in the registry) through two identically
+built apps, one speaking alias paths and one speaking ``/v1``, and
+comparing every response byte for byte.  Time-dependent monitoring
+payloads (stats/healthz latency and uptime numbers) are compared
+structurally instead.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+
+import pytest
+
+from repro.server.app import AnalysisApp
+from repro.server.http import build_server
+from repro.server.schema import ENDPOINTS, RawBody
+
+#: one scenario touching every non-monitoring endpoint, in a
+#: cache-and-generation-sensitive order; {sid} is substituted after the
+#: open call (deterministically "s1" on a fresh app)
+SCENARIO = [
+    ("GET", "/", None),
+    ("GET", "/sessions", None),
+    ("POST", "/sessions", {"workload": "fig1"}),
+    ("GET", "/sessions/{sid}", None),
+    ("GET", "/sessions/{sid}/metrics", None),
+    ("POST", "/sessions/{sid}/metrics",
+     {"name": "cpi", "formula": "$0 / $1", "unit": "cyc/ins"}),
+    ("POST", "/sessions/{sid}/sort",
+     {"metric": "cycles", "flavor": "exclusive", "descending": True}),
+    ("GET", "/sessions/{sid}/hotpath", None),
+    ("POST", "/sessions/{sid}/hotpath", {"view": "callers"}),
+    ("GET", "/sessions/{sid}/render?view=flat&depth=2", None),
+    ("POST", "/sessions/{sid}/render",
+     {"view": "cct", "hot_path": True, "max_rows": 30}),
+    ("POST", "/sessions/{sid}/flatten", None),
+    ("POST", "/sessions/{sid}/unflatten", None),
+    # error paths must alias identically too (modulo the trace id)
+    ("GET", "/sessions/nope", None),
+    ("POST", "/sessions/{sid}/render", {"view": "bogus"}),
+    ("PUT", "/sessions/{sid}/render", None),
+    ("GET", "/definitely/not/an/endpoint", None),
+    ("DELETE", "/sessions/{sid}", None),
+]
+
+
+def drive(app: AnalysisApp, versioned: bool):
+    """Run SCENARIO against *app*; returns [(status, canonical body)]."""
+    out = []
+    sid = "s?"
+    for method, path, body in SCENARIO:
+        path = path.format(sid=sid)
+        if versioned:
+            path = "/v1" + path
+        raw = json.dumps(body).encode() if body is not None else b""
+        status, payload = app.handle(method, path, raw)
+        if isinstance(payload.get("error"), dict):
+            # trace ids are per-request by design; equivalence is
+            # everything else
+            payload["error"].pop("trace_id", None)
+        out.append((status, json.dumps(payload, sort_keys=True)))
+        if path.endswith("/sessions") and method == "POST":
+            sid = payload["session"]["id"]
+    return out
+
+
+class TestAliasEquivalence:
+    def test_scenario_byte_identical(self):
+        alias = drive(AnalysisApp(), versioned=False)
+        versioned = drive(AnalysisApp(), versioned=True)
+        for (step, a, v) in zip(SCENARIO, alias, versioned):
+            assert a == v, f"alias and /v1 responses differ at {step[:2]}"
+
+    def test_registry_coverage(self):
+        """SCENARIO exercises every (method, path) in the registry except
+        the three monitoring endpoints tested structurally below."""
+        covered = set()
+        for method, path, _ in SCENARIO:
+            covered.add((method, path.split("?")[0].replace("s1", "<sid>")))
+        for endpoint in ENDPOINTS:
+            if endpoint.path in ("/healthz", "/stats", "/metrics"):
+                continue
+            for op in endpoint.ops:
+                pattern = endpoint.path.replace("<sid>", "{sid}") or "/"
+                assert (op.method, pattern) in covered, (
+                    f"{op.method} {endpoint.path} not covered by SCENARIO"
+                )
+
+    def test_monitoring_endpoints_same_shape(self):
+        app = AnalysisApp()
+        app.handle("POST", "/v1/sessions", b'{"workload": "fig1"}')
+        for path in ("/healthz", "/stats"):
+            s1, p1 = app.handle("GET", path)
+            s2, p2 = app.handle("GET", "/v1" + path)
+            assert (s1, s2) == (200, 200)
+            assert set(p1) == set(p2)
+
+    def test_prometheus_alias(self):
+        app = AnalysisApp()
+        s1, p1, h1 = app.handle_full("GET", "/metrics")
+        s2, p2, h2 = app.handle_full("GET", "/v1/metrics")
+        assert (s1, s2) == (200, 200)
+        assert isinstance(p1, RawBody) and isinstance(p2, RawBody)
+        assert p1.content_type == p2.content_type
+        assert p1.content_type.startswith("text/plain; version=0.0.4")
+        assert h1["Deprecation"] == "true" and "Deprecation" not in h2
+
+
+class TestDeprecationSignals:
+    def test_alias_headers(self):
+        app = AnalysisApp()
+        status, _payload, headers = app.handle_full("GET", "/sessions")
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        assert headers["Link"] == '</v1/sessions>; rel="successor-version"'
+
+    def test_versioned_path_clean(self):
+        app = AnalysisApp()
+        status, _payload, headers = app.handle_full("GET", "/v1/sessions")
+        assert status == 200
+        assert "Deprecation" not in headers and "Link" not in headers
+        assert headers["X-Trace-Id"]
+
+    def test_warning_logged_once_per_endpoint(self, caplog):
+        app = AnalysisApp()
+        with caplog.at_level(logging.WARNING, logger="repro.server"):
+            for _ in range(3):
+                app.handle("GET", "/sessions")
+            app.handle("GET", "/healthz")
+            app.handle("GET", "/v1/sessions")
+        warned = [r for r in caplog.records if "deprecated" in r.message]
+        assert len(warned) == 2  # one per aliased endpoint, not per request
+
+    def test_trace_id_header_matches_error_payload(self):
+        app = AnalysisApp()
+        status, payload, headers = app.handle_full("GET", "/v1/sessions/nope")
+        assert status == 404
+        assert payload["error"]["trace_id"] == headers["X-Trace-Id"]
+
+
+class TestOverHttp:
+    """The headers and raw body must survive the real HTTP shell."""
+
+    @pytest.fixture()
+    def server(self):
+        srv = build_server(workload="fig1")
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield srv
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=10)
+
+    def _get(self, server, path):
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.settimeout(10)
+            sock.sendall(
+                f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+                "Connection: close\r\n\r\n".encode()
+            )
+            buf = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+        head, _, body = buf.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        return status, headers, body
+
+    def test_alias_headers_and_body_equivalence(self, server):
+        s1, h1, b1 = self._get(server, "/sessions")
+        s2, h2, b2 = self._get(server, "/v1/sessions")
+        assert (s1, s2) == (200, 200)
+        assert b1 == b2
+        assert h1["deprecation"] == "true"
+        assert h1["link"] == '</v1/sessions>; rel="successor-version"'
+        assert "deprecation" not in h2
+        assert h1["x-trace-id"] != h2["x-trace-id"]
+
+    def test_metrics_prometheus_over_http(self, server):
+        self._get(server, "/v1/sessions")  # record at least one request
+        status, headers, body = self._get(server, "/v1/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        assert body.startswith(b"# HELP repro_server_requests_total")
+        assert b"repro_server_request_duration_seconds_bucket" in body

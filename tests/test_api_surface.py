@@ -1,0 +1,57 @@
+"""Public-API drift guard.
+
+``tests/api_surface.txt`` is the checked-in snapshot of the v1 public
+surface: every ``__all__`` name of the blessed modules plus every
+``(method, /v1 path)`` in the server's endpoint registry.  This test
+regenerates the surface in-memory and fails on any difference, so
+removing a name, renaming an endpoint, or dropping a method cannot
+land unnoticed.  When a change is intentional::
+
+    PYTHONPATH=src python tools/gen_api_surface.py --write
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "tests" / "api_surface.txt"
+GENERATOR = REPO / "tools" / "gen_api_surface.py"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("gen_api_surface", GENERATOR)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_surface_matches_snapshot():
+    generated = _load_generator().surface_lines()
+    recorded = SNAPSHOT.read_text().splitlines()
+    added = sorted(set(generated) - set(recorded))
+    removed = sorted(set(recorded) - set(generated))
+    assert not added and not removed, (
+        "public API surface drifted from tests/api_surface.txt\n"
+        f"  added:   {added}\n"
+        f"  removed: {removed}\n"
+        "if intentional: PYTHONPATH=src python tools/gen_api_surface.py --write"
+    )
+    assert generated == recorded, "snapshot is not sorted; regenerate it"
+
+
+def test_snapshot_covers_both_halves():
+    lines = SNAPSHOT.read_text().splitlines()
+    assert any(line.startswith("python repro.api.") for line in lines)
+    assert any(line.startswith("python repro.obs.") for line in lines)
+    assert any(line.startswith("http GET /v1/") for line in lines)
+    assert any(line.startswith("http POST /v1/") for line in lines)
+
+
+def test_facade_is_subset_of_snapshot():
+    import repro.api as api
+
+    lines = set(SNAPSHOT.read_text().splitlines())
+    for name in api.__all__:
+        assert f"python repro.api.{name}" in lines

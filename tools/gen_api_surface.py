@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Snapshot the public API surface into ``tests/api_surface.txt``.
+
+The surface has two halves:
+
+* **python** — every name in the ``__all__`` of the blessed modules
+  (``repro``, ``repro.api``, ``repro.errors``, ``repro.obs``,
+  ``repro.server``), one ``python <module>.<name>`` line each;
+* **http** — every ``(method, /v1 path)`` pair in the server's
+  endpoint registry, one ``http <METHOD> /v1<path>`` line each.
+
+``tests/test_api_surface.py`` regenerates this in-memory and compares
+against the checked-in file, so any unintentional drift — a name
+removed, an endpoint renamed, a method dropped — fails tier-1.  When a
+change IS intentional, rerun with ``--write`` and commit the diff:
+
+    PYTHONPATH=src python tools/gen_api_surface.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO / "tests" / "api_surface.txt"
+
+#: the modules whose ``__all__`` constitutes the blessed Python surface
+PUBLIC_MODULES = (
+    "repro",
+    "repro.api",
+    "repro.errors",
+    "repro.obs",
+    "repro.server",
+)
+
+
+def surface_lines() -> list[str]:
+    """The full public surface, one sorted line per entry."""
+    lines: list[str] = []
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            lines.append(f"python {module_name}.{name}")
+    from repro.server.schema import API_VERSION, ENDPOINTS
+
+    for endpoint in ENDPOINTS:
+        for method in endpoint.methods():
+            lines.append(f"http {method} /{API_VERSION}{endpoint.path}")
+    return sorted(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help=f"rewrite {SNAPSHOT.relative_to(REPO)} instead of printing",
+    )
+    args = parser.parse_args(argv)
+    text = "\n".join(surface_lines()) + "\n"
+    if args.write:
+        SNAPSHOT.write_text(text)
+        print(f"wrote {SNAPSHOT} ({len(text.splitlines())} entries)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
