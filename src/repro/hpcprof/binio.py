@@ -42,6 +42,8 @@ overhead by ``benchmarks/run_server_bench.py``.
 from __future__ import annotations
 
 import io
+import mmap
+import os
 import struct
 import zlib
 
@@ -65,8 +67,10 @@ from repro.hpcstruct.model import (
 __all__ = [
     "write_binary",
     "read_binary",
+    "read_binary_streaming",
     "dumps_binary",
     "loads_binary",
+    "StreamingDatabase",
     "FORMAT_VERSION",
     "section_frames",
 ]
@@ -573,40 +577,56 @@ def section_frames(data: bytes) -> list[tuple[int, int, int, int]]:
     return frames
 
 
-def _loads_binary(data: bytes, verify_checksums: bool = True) -> Experiment:
-    version = read_header(data)
-    if version == _V1:
-        reader = _Reader(data, pos=6)
-        name = reader.read_str()
-        strings = read_strings(reader)
-        metrics = read_metrics(reader, strings)
-        model, by_id = read_structure(reader, strings)
-        cct, stored = read_cct(reader, by_id)
-    else:
-        sections = _read_v2_sections(data, verify_checksums)
-        name_reader = sections[SEC_NAME]
-        name = name_reader.read_str()
-        strings = read_strings(sections[SEC_STRINGS])
-        metrics = read_metrics(sections[SEC_METRICS], strings)
-        struct_reader = sections[SEC_STRUCTURE]
-        (declared_struct,) = struct_reader.unpack("<I")
-        model, by_id = read_structure(struct_reader, strings)
-        if len(by_id) != declared_struct:
-            raise DatabaseError(
-                f"structure section declares {declared_struct} nodes, "
-                f"parsed {len(by_id)}"
-            )
-        cct_reader = sections[SEC_CCT]
-        (declared_cct,) = cct_reader.unpack("<I")
-        cct, stored = read_cct(cct_reader, by_id)
-        if len(cct) != declared_cct:
-            raise DatabaseError(
-                f"CCT section declares {declared_cct} nodes, parsed {len(cct)}"
-            )
+def _decode_v1(reader: _Reader) -> Experiment:
+    """Decode the unframed v1 payload from a positioned reader."""
+    name = reader.read_str()
+    strings = read_strings(reader)
+    metrics = read_metrics(reader, strings)
+    model, by_id = read_structure(reader, strings)
+    cct, stored = read_cct(reader, by_id)
+    return _finish_experiment(name, metrics, model, cct, stored)
+
+
+def _decode_v2(sections) -> Experiment:
+    """Decode framed v2 sections; *sections* maps section id → _Reader.
+
+    Works for both eager slicing (:func:`_read_v2_sections`) and the
+    lazy, CRC-on-demand access of :class:`StreamingDatabase` — anything
+    with a ``__getitem__`` yielding positioned readers.
+    """
+    name = sections[SEC_NAME].read_str()
+    strings = read_strings(sections[SEC_STRINGS])
+    metrics = read_metrics(sections[SEC_METRICS], strings)
+    struct_reader = sections[SEC_STRUCTURE]
+    (declared_struct,) = struct_reader.unpack("<I")
+    model, by_id = read_structure(struct_reader, strings)
+    if len(by_id) != declared_struct:
+        raise DatabaseError(
+            f"structure section declares {declared_struct} nodes, "
+            f"parsed {len(by_id)}"
+        )
+    cct_reader = sections[SEC_CCT]
+    (declared_cct,) = cct_reader.unpack("<I")
+    cct, stored = read_cct(cct_reader, by_id)
+    if len(cct) != declared_cct:
+        raise DatabaseError(
+            f"CCT section declares {declared_cct} nodes, parsed {len(cct)}"
+        )
+    return _finish_experiment(name, metrics, model, cct, stored)
+
+
+def _finish_experiment(name, metrics, model, cct, stored) -> Experiment:
     _check_metric_refs(cct, stored, metrics)
     attribute(cct)
     apply_summaries(cct, stored)
     return Experiment(name, metrics, model, cct)
+
+
+def _loads_binary(data: bytes, verify_checksums: bool = True) -> Experiment:
+    version = read_header(data)
+    if version == _V1:
+        return _decode_v1(_Reader(data, pos=6))
+    return _decode_v2(_read_v2_sections(data, verify_checksums))
 
 
 def _check_metric_refs(cct: CCT, stored, metrics: MetricTable) -> None:
@@ -659,3 +679,155 @@ def _read_v2_sections(data: bytes, verify_checksums: bool) -> dict[int, _Reader]
 def read_binary(path: str) -> Experiment:
     with open(path, "rb") as fh:
         return loads_binary(fh.read())
+
+
+# --------------------------------------------------------------------- #
+# streaming (out-of-core) reading
+# --------------------------------------------------------------------- #
+class _LazySections:
+    """Section-id → reader adapter over a :class:`StreamingDatabase`."""
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db: "StreamingDatabase") -> None:
+        self._db = db
+
+    def __getitem__(self, section_id: int) -> _Reader:
+        return self._db.section(section_id)
+
+
+class StreamingDatabase:
+    """An open binary database decoded section-by-section on demand.
+
+    The eager loader (:func:`loads_binary`) needs the whole byte string
+    in memory before the first record is parsed; for large databases
+    that doubles the peak footprint (bytes + decoded tree) and pays the
+    read cost even for callers that only want the header or one
+    section.  This class instead memory-maps the file: only the frame
+    headers are touched at open time, each section's CRC is verified
+    the first time that section is read, and the OS pages payload bytes
+    in (and out) as the decode cursor moves — the working set is one
+    section, not the file.
+
+    Legacy v1 streams (unframed) are supported too: the mapping is
+    still lazy, but there is no per-section independence — sections
+    decode sequentially on the first :meth:`experiment` call.
+
+    Use as a context manager; decoded experiments own no mapping state
+    and stay valid after :meth:`close`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._fh = open(path, "rb")
+        except FileNotFoundError:
+            raise DatabaseError(f"no such database: {path}") from None
+        except IsADirectoryError:
+            raise DatabaseError(
+                f"database path is a directory: {path}"
+            ) from None
+        except PermissionError:
+            raise DatabaseError(f"database is not readable: {path}") from None
+        except OSError as exc:
+            raise DatabaseError(f"cannot read database {path}: {exc}") from None
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty or unmappable file
+            self._fh.close()
+            raise DatabaseError(f"truncated binary database: {path}") from None
+        try:
+            self.version = read_header(self._mm)
+            self._frames: dict[int, tuple[int, int, int]] = {}
+            if self.version == _V2:
+                for sid, header_at, payload_at, end in section_frames(self._mm):
+                    if sid == SEC_END:
+                        break
+                    if sid in self._frames or sid not in SECTION_NAMES:
+                        raise DatabaseError(f"unexpected section id {sid}")
+                    self._frames[sid] = (header_at, payload_at, end)
+        except Exception:
+            self.close()
+            raise
+        self._verified: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "StreamingDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the mapping; previously decoded objects stay valid."""
+        mm, self._mm = getattr(self, "_mm", None), None
+        if mm is not None:
+            mm.close()
+        fh, self._fh = getattr(self, "_fh", None), None
+        if fh is not None:
+            fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._mm is None
+
+    @property
+    def size_bytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    # ------------------------------------------------------------------ #
+    def section(self, section_id: int) -> _Reader:
+        """A positioned reader over one v2 section, CRC-checked once."""
+        if self._mm is None:
+            raise DatabaseError(f"database {self.path} is closed")
+        if self.version != _V2:
+            raise DatabaseError(
+                "per-section access requires a framed v2 database"
+            )
+        frame = self._frames.get(section_id)
+        if frame is None:
+            name = SECTION_NAMES.get(section_id, str(section_id))
+            raise DatabaseError(f"missing sections: {name}")
+        header_at, payload_at, end = frame
+        if section_id not in self._verified:
+            (_sid, _length, crc) = _FRAME_HEADER.unpack_from(self._mm, header_at)
+            actual = zlib.crc32(self._mm[payload_at:end])
+            if actual != crc:
+                name = SECTION_NAMES[section_id]
+                raise DatabaseError(
+                    f"checksum mismatch in {name} section "
+                    f"(stored {crc:#010x}, computed {actual:#010x})"
+                )
+            self._verified.add(section_id)
+        return _Reader(self._mm, pos=payload_at, end=end)
+
+    def name(self) -> str:
+        """The experiment name, decoding only the header section."""
+        if self.version == _V1:
+            return _Reader(self._mm, pos=6).read_str()
+        return self.section(SEC_NAME).read_str()
+
+    def experiment(self) -> Experiment:
+        """Decode the full experiment (strict semantics, one section at
+        a time), converting malformed input to :class:`DatabaseError`
+        exactly like :func:`loads_binary`."""
+        if self._mm is None:
+            raise DatabaseError(f"database {self.path} is closed")
+        try:
+            if self.version == _V1:
+                return _decode_v1(_Reader(self._mm, pos=6))
+            return _decode_v2(_LazySections(self))
+        except DatabaseError:
+            raise
+        except MALFORMED_EXCEPTIONS as exc:
+            raise DatabaseError(f"malformed binary database: {exc!r}") from exc
+
+
+def read_binary_streaming(path: str) -> Experiment:
+    """Load a binary database through the mmap-backed streaming reader.
+
+    Strict-mode equivalent of :func:`read_binary` with a bounded byte
+    working set; the decoded :class:`Experiment` is identical.
+    """
+    with StreamingDatabase(path) as db:
+        return db.experiment()

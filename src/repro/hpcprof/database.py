@@ -24,15 +24,28 @@ from repro.errors import DatabaseError
 from repro.hpcprof import binio, xmlio
 from repro.hpcprof.experiment import Experiment
 
-__all__ = ["save", "load", "loads", "XML_EXTENSION", "BINARY_EXTENSION"]
+__all__ = ["save", "load", "loads", "XML_EXTENSION", "BINARY_EXTENSION",
+           "STORE_EXTENSION"]
 
 XML_EXTENSION = ".xml"
 BINARY_EXTENSION = ".rpdb"
+STORE_EXTENSION = ".rpstore"
 
 
 def save(experiment: Experiment, path: str) -> int:
-    """Serialize *experiment* to *path*; returns the byte size written."""
+    """Serialize *experiment* to *path*; returns the byte size written.
+
+    A ``.rpstore`` path builds an out-of-core column store directory
+    (:func:`repro.core.store.create_store`) instead of a single file.
+    """
     ext = os.path.splitext(path)[1].lower()
+    if ext == STORE_EXTENSION:
+        from repro.core.store import create_store
+
+        store_exp = create_store(experiment, path, overwrite=True)
+        size = store_exp.store.size_bytes()
+        store_exp.close()
+        return size
     if ext == XML_EXTENSION:
         data = xmlio.dumps_xml(experiment)
     else:
@@ -61,7 +74,7 @@ def loads(data: bytes, origin: str = "<bytes>", strict: bool = True) -> Experime
     raise DatabaseError(f"{origin}: unrecognized database format")
 
 
-def load(path: str, strict: bool = True) -> Experiment:
+def load(path: str, strict: bool = True, out_of_core: bool = False) -> Experiment:
     """Deserialize an experiment from a file, sniffing the format.
 
     The open/read is what gets checked — not a racy ``os.path.exists``
@@ -69,7 +82,30 @@ def load(path: str, strict: bool = True) -> Experiment:
     unreadable) between any check and the open still surfaces as
     :class:`DatabaseError` naming the path, never a raw ``OSError``
     traceback through a caller such as the analysis server.
+
+    A *directory* path is dispatched to the out-of-core column store
+    (:mod:`repro.core.store`): ``load("merged.rpstore")`` returns a
+    :class:`~repro.core.store.StoreExperiment` whose engine matrices
+    and rank data stay memory-mapped.  ``out_of_core=True`` additionally
+    routes strict binary *file* loads through the mmap streaming reader
+    (:func:`repro.hpcprof.binio.read_binary_streaming`) so the raw bytes
+    are never fully resident either; the decoded experiment is
+    identical to the eager path.
     """
+    if os.path.isdir(path):
+        from repro.core.store import is_store_path, open_store
+
+        if is_store_path(path):
+            return open_store(path)
+        raise DatabaseError(f"database path is a directory: {path}")
+    if out_of_core and strict:
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(4)
+        except OSError:
+            magic = b""  # fall through: the eager path raises canonically
+        if magic == b"RPDB":
+            return binio.read_binary_streaming(path)
     try:
         with open(path, "rb") as fh:
             data = fh.read()

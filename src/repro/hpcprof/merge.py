@@ -15,20 +15,29 @@ experiment analyses from the paper:
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.attribution import attribute
 from repro.core.cct import CCT, CCTNode
-from repro.errors import MetricError
-from repro.core.metrics import MetricTable, add_into
+from repro.errors import DatabaseError, MetricError
+from repro.core.metrics import MetricKind, MetricTable, add_into
+from repro.hpcstruct.model import StructKind, StructureModel, StructureNode
 
 __all__ = [
     "merge_ccts",
     "collect_rank_matrix",
     "collect_rank_vectors",
     "scale_and_difference",
+    "map_structure",
+    "remap_cct",
+    "merge_experiments",
+    "merge_rank_files",
+    "MergeReport",
+    "DEFAULT_WORKING_SET",
 ]
 
 
@@ -198,3 +207,448 @@ def scale_and_difference(
 
     attribute(scaled_run)
     return loss.mid
+
+
+# --------------------------------------------------------------------- #
+# cross-model merging (independently loaded rank databases)
+# --------------------------------------------------------------------- #
+def map_structure(
+    canonical: StructureModel, other: StructureModel
+) -> dict[int, StructureNode]:
+    """Graft *other*'s scopes into *canonical*; return uid -> canonical node.
+
+    ``CCTNode.key`` embeds structure-node uids, which only align when two
+    trees share one model — so CCTs from independently loaded databases
+    cannot be grafted directly.  This computes the bridge: every scope of
+    *other* is united into *canonical* by its structural key (kind, name,
+    file, line) and mapped to the canonical node, after which the CCTs
+    can be merged as if they had shared a model all along.  Idempotent:
+    re-mapping an already-united model creates nothing new.
+    """
+    mapping: dict[int, StructureNode] = {other.root.uid: canonical.root}
+    stack: list[tuple[StructureNode, StructureNode]] = [
+        (canonical.root, other.root)
+    ]
+    while stack:
+        dst, src = stack.pop()
+        for child in src.children:
+            mine = dst.child_by_key(child.key)
+            if mine is None:
+                mine = StructureNode(
+                    child.kind, child.name, child.location, parent=dst
+                )
+                mine.calls = child.calls
+                if child.kind is StructKind.PROCEDURE:
+                    canonical._register_procedure(mine)
+            mapping[child.uid] = mine
+            stack.append((mine, child))
+    return mapping
+
+
+def remap_cct(cct: CCT, mapping: dict[int, StructureNode]) -> CCT:
+    """A fresh copy of *cct* whose struct references go through *mapping*.
+
+    Children keep their order and all three metric dicts are copied, so
+    the remapped tree is value-identical to the original — it merely
+    lives in the canonical structure model.
+    """
+    out = CCT()
+    for attr in ("raw", "inclusive", "exclusive"):
+        getattr(out.root, attr).update(getattr(cct.root, attr))
+    stack: list[tuple[CCTNode, CCTNode]] = [(out.root, cct.root)]
+    while stack:
+        dnode, snode = stack.pop()
+        for child in snode.children:
+            struct = (
+                mapping[child.struct.uid] if child.struct is not None else None
+            )
+            mine = CCTNode(
+                child.kind, struct=struct, line=child.line, parent=dnode
+            )
+            for attr in ("raw", "inclusive", "exclusive"):
+                getattr(mine, attr).update(getattr(child, attr))
+            stack.append((mine, child))
+    return out
+
+
+def _graft_mapped(
+    dst: CCTNode, src: CCTNode, mapping: dict[int, StructureNode]
+) -> None:
+    """:func:`_graft`, but matching scopes through a structure mapping.
+
+    Node creation happens in child order (the descent stack order does
+    not affect attachment order), and raw sums accumulate in the same
+    traversal order as ``merge_ccts`` over remapped trees — the property
+    that makes the streaming merge bit-identical to the in-memory one.
+    """
+    stack = [(dst, src)]
+    while stack:
+        dnode, snode = stack.pop()
+        add_into(dnode.raw, snode.raw)
+        for child in snode.children:
+            struct = (
+                mapping[child.struct.uid] if child.struct is not None else None
+            )
+            key = (
+                child.kind.value,
+                struct.uid if struct is not None else 0,
+                child.line,
+            )
+            mine = dnode._child_index.get(key)
+            if mine is None:
+                mine = CCTNode(
+                    child.kind, struct=struct, line=child.line, parent=dnode
+                )
+            stack.append((mine, child))
+
+
+def _walk_aligned_mapped(
+    combined: CCTNode,
+    rank_root: CCTNode,
+    mapping: dict[int, StructureNode],
+    sink,
+) -> None:
+    """:func:`_walk_aligned` across models, aligning by mapped keys."""
+    stack = [(combined, rank_root)]
+    while stack:
+        cnode, rnode = stack.pop()
+        sink(cnode, rnode)
+        for child in rnode.children:
+            struct = (
+                mapping[child.struct.uid] if child.struct is not None else None
+            )
+            key = (
+                child.kind.value,
+                struct.uid if struct is not None else 0,
+                child.line,
+            )
+            mine = cnode._child_index.get(key)
+            if mine is not None:
+                stack.append((mine, child))
+
+
+def _metric_signature(metrics: MetricTable) -> tuple:
+    """What must agree for two databases to merge: the RAW columns."""
+    return tuple(
+        (d.mid, d.name, d.unit, d.kind.value)
+        for d in metrics
+        if d.kind is MetricKind.RAW
+    )
+
+
+def _summary_mids(metrics: MetricTable, summarize) -> list[int]:
+    """Resolve a ``summarize=`` argument to a sorted list of RAW mids."""
+    raw = [d.mid for d in metrics if d.kind is MetricKind.RAW]
+    if summarize == "all":
+        return raw
+    if not summarize:
+        return []
+    out = set()
+    for name in summarize:
+        mid = metrics.by_name(name).mid
+        if mid not in raw:
+            raise MetricError(f"cannot summarize non-raw metric {name!r}")
+        out.add(mid)
+    return sorted(out)
+
+
+def merge_experiments(
+    experiments: Sequence,
+    name: str | None = None,
+    summarize=(),
+):
+    """Union independently loaded experiments into one (in memory).
+
+    The first experiment's structure model becomes canonical; every
+    other model is united into it by structural key, each input tree is
+    remapped and retained as one rank tree, and the combined CCT is
+    their re-attributed union.  *summarize* (metric names, or ``"all"``)
+    attaches mean/min/max/stddev columns via the exact sequential
+    Welford path (:func:`~repro.hpcprof.summarize.summarize_ranks_exact`)
+    — the in-memory reference the bounded-memory
+    :func:`merge_rank_files` is bit-identical to.
+    """
+    from repro.hpcprof.experiment import Experiment
+    from repro.hpcprof.summarize import summarize_ranks_exact
+
+    if not experiments:
+        raise MetricError("need at least one experiment to merge")
+    first = experiments[0]
+    signature = _metric_signature(first.metrics)
+    canonical = first.structure
+    rank_ccts: list[CCT] = []
+    for exp in experiments:
+        if _metric_signature(exp.metrics) != signature:
+            raise MetricError(
+                f"metric tables differ: {first.name!r} vs {exp.name!r}"
+            )
+        mapping = map_structure(canonical, exp.structure)
+        sources = exp.rank_ccts if exp.rank_ccts else [exp.cct]
+        rank_ccts.extend(remap_cct(cct, mapping) for cct in sources)
+    combined = merge_ccts(rank_ccts)
+    merged = Experiment(
+        name or first.name, first.metrics, canonical, combined,
+        rank_ccts=rank_ccts,
+    )
+    for mid in _summary_mids(first.metrics, summarize):
+        merged._summaries[mid] = summarize_ranks_exact(
+            combined, rank_ccts, first.metrics, mid
+        )
+    return merged
+
+
+# --------------------------------------------------------------------- #
+# bounded-memory merge of rank databases into a column store
+# --------------------------------------------------------------------- #
+#: default working-set budget for :func:`merge_rank_files` (bytes)
+DEFAULT_WORKING_SET = 256 * 1024 * 1024
+
+#: rough resident bytes per combined-tree CCT node (object + dicts)
+_NODE_COST = 700
+
+#: decoded-experiment expansion over on-disk bytes (python object cost)
+_DECODE_EXPANSION = 12
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What :func:`merge_rank_files` did, and how big it got."""
+
+    out_path: str
+    nranks: int
+    nnodes: int
+    num_metrics: int
+    summarized: tuple[int, ...]
+    working_set_bytes: int
+    peak_estimate_bytes: int
+    skeleton_bytes: int
+    store_bytes: int
+
+    def summary(self) -> str:
+        return (
+            f"merged {self.nranks} rank database(s) -> {self.out_path}: "
+            f"{self.nnodes} scopes, {self.num_metrics} metrics, "
+            f"{len(self.summarized)} summarized, "
+            f"store {self.store_bytes / 1024:.1f} KiB, "
+            f"peak working set ~{self.peak_estimate_bytes / 1048576:.1f} MiB "
+            f"(budget {self.working_set_bytes / 1048576:.0f} MiB)"
+        )
+
+
+def _load_rank(path: str, strict: bool = True):
+    """Load one rank database, streaming when the format allows it.
+
+    Binary databases go through the mmap streaming reader (byte working
+    set = one section); XML and salvage loads fall back to the eager
+    path, still bounded to one file at a time.
+    """
+    from repro.hpcprof import binio, database
+
+    if strict:
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(4)
+        except OSError:
+            magic = b""  # let database.load raise its canonical error
+        if magic == b"RPDB":
+            return binio.read_binary_streaming(path)
+    return database.load(path, strict=strict)
+
+
+def _budget_check(estimate: int, budget: int, stage: str) -> None:
+    if estimate > budget:
+        raise DatabaseError(
+            f"working-set budget exceeded during {stage}: need about "
+            f"{estimate / 1048576:.1f} MiB, budget is "
+            f"{budget / 1048576:.1f} MiB (raise working_set_bytes)"
+        )
+
+
+def merge_rank_files(
+    paths: Sequence[str],
+    out_path: str,
+    *,
+    name: str | None = None,
+    working_set_bytes: int = DEFAULT_WORKING_SET,
+    summarize="all",
+    strict: bool = True,
+    overwrite: bool = False,
+) -> MergeReport:
+    """Fold N single-rank databases into one mmap-backed column store.
+
+    Two streaming passes, neither of which ever holds more than one
+    decoded rank plus the combined skeleton and O(scopes x metrics)
+    accumulators (checked against *working_set_bytes*):
+
+    1. **graft** — each database is loaded (streaming reader), its
+       structure united into the canonical model, and its CCT grafted
+       into the combined tree in rank order; then one Eq. 1/2
+       attribution pass over the union.
+    2. **measure** — each database is re-streamed; its per-scope values
+       become one contiguous row of the on-disk ``(nranks x nnodes)``
+       rank matrices, and the summary accumulators advance by the exact
+       Welford recurrence.
+
+    The result is bit-identical to ``merge_experiments(...,
+    summarize=...)`` over the same files — the differential suite pins
+    raw sums, attribution, summary columns, and rendered tables.
+    """
+    from repro.core.store import StoreWriter, open_store
+
+    paths = list(paths)
+    if not paths:
+        raise DatabaseError("need at least one rank database to merge")
+
+    writer = StoreWriter(out_path, overwrite=overwrite)
+    combined = CCT()
+    canonical: StructureModel | None = None
+    metrics: MetricTable | None = None
+    signature: tuple | None = None
+    merged_name = name
+    max_file = 0
+    peak = 0
+
+    # pass 1: graft every rank tree into the combined skeleton
+    for path in paths:
+        exp = _load_rank(path, strict=strict)
+        if exp.rank_ccts:
+            raise DatabaseError(
+                f"{path}: merge inputs must be single-rank databases "
+                f"(this one holds {len(exp.rank_ccts)} rank trees)"
+            )
+        if metrics is None:
+            metrics = exp.metrics
+            signature = _metric_signature(metrics)
+            canonical = exp.structure
+            if merged_name is None:
+                merged_name = exp.name
+        elif _metric_signature(exp.metrics) != signature:
+            raise DatabaseError(
+                f"{path}: metric table differs from {paths[0]}"
+            )
+        mapping = map_structure(canonical, exp.structure)
+        _graft_mapped(combined.root, exp.cct.root, mapping)
+        max_file = max(max_file, os.path.getsize(path))
+        estimate = len(combined) * _NODE_COST + max_file * _DECODE_EXPANSION
+        peak = max(peak, estimate)
+        _budget_check(estimate, working_set_bytes, "graft")
+    attribute(combined)
+
+    # pass 2: stream ranks again for matrices + exact Welford summaries
+    nodes = list(combined.walk())
+    index = {node.uid: row for row, node in enumerate(nodes)}
+    n = len(nodes)
+    nranks = len(paths)
+    mids = [d.mid for d in metrics if d.kind is MetricKind.RAW]
+    summary_mids = _summary_mids(
+        metrics, summarize
+    ) if summarize else []
+    flavors = ("inclusive", "exclusive")
+
+    maps = {
+        (mid, flavor): writer.create_rank_matrix(mid, flavor, nranks, n)
+        for mid in mids
+        for flavor in flavors
+    }
+    cols = {key: np.zeros(n) for key in maps}
+    acc = {
+        (mid, flavor): [
+            np.zeros(n),                    # mean
+            np.zeros(n),                    # m2
+            np.full(n, np.inf),             # min
+            np.full(n, -np.inf),            # max
+            np.zeros(n, dtype=bool),        # nonzero mask
+        ]
+        for mid in summary_mids
+        for flavor in flavors
+    }
+    accumulator_bytes = (len(maps) + 5 * len(acc)) * n * 8
+    estimate = (
+        n * _NODE_COST + max_file * _DECODE_EXPANSION + accumulator_bytes
+    )
+    peak = max(peak, estimate)
+    _budget_check(estimate, working_set_bytes, "measure")
+
+    for r, path in enumerate(paths):
+        exp = _load_rank(path, strict=strict)
+        mapping = map_structure(canonical, exp.structure)
+        for buf in cols.values():
+            buf[:] = 0.0
+
+        def sink(cnode, rnode):
+            row = index[cnode.uid]
+            for mid in mids:
+                value = rnode.inclusive.get(mid, 0.0)
+                if value != 0.0:
+                    cols[(mid, "inclusive")][row] += value
+                value = rnode.exclusive.get(mid, 0.0)
+                if value != 0.0:
+                    cols[(mid, "exclusive")][row] += value
+
+        _walk_aligned_mapped(combined.root, exp.cct.root, mapping, sink)
+        for key, mm in maps.items():
+            x = cols[key]
+            mm[r, :] = x
+            stats = acc.get(key)
+            if stats is not None:
+                mean, m2, minimum, maximum, nonzero = stats
+                # element-wise identical to _welford_chunk's column step
+                delta = x - mean
+                mean += delta / (r + 1)
+                m2 += delta * (x - mean)
+                np.minimum(minimum, x, out=minimum)
+                np.maximum(maximum, x, out=maximum)
+                nonzero |= x != 0.0
+
+    for mm in maps.values():
+        mm.flush()
+    maps.clear()
+
+    # finalize: register + write summary columns, then seal the store
+    from repro.hpcprof.experiment import Experiment
+    from repro.hpcprof.summarize import (
+        apply_summary_stats,
+        register_summary_ids,
+    )
+
+    summaries = {}
+    for mid in summary_mids:
+        ids = register_summary_ids(metrics, mid)
+        summaries[mid] = ids
+        for flavor in flavors:
+            mean, m2, minimum, maximum, nonzero = acc[(mid, flavor)]
+            apply_summary_stats(
+                nodes, flavor, ids, (nranks, mean, m2, minimum, maximum),
+                nonzero,
+            )
+    if summaries:
+        combined.invalidate_caches()
+
+    merged = Experiment(merged_name or "merged", metrics, canonical, combined)
+    skeleton_bytes = writer.write_skeleton(merged)
+    writer.write_matrices(merged.engine)
+    writer.finish(
+        name=merged.name,
+        nnodes=n,
+        num_metrics=len(metrics),
+        nranks=nranks,
+        rank_mids=mids,
+        summaries=summaries,
+        extra={
+            "skeleton_bytes": skeleton_bytes,
+            "working_set_bytes": working_set_bytes,
+            "peak_estimate_bytes": peak,
+        },
+    )
+    store_bytes = open_store(out_path).store.size_bytes()
+    return MergeReport(
+        out_path=out_path,
+        nranks=nranks,
+        nnodes=n,
+        num_metrics=len(metrics),
+        summarized=tuple(summary_mids),
+        working_set_bytes=working_set_bytes,
+        peak_estimate_bytes=peak,
+        skeleton_bytes=skeleton_bytes,
+        store_bytes=store_bytes,
+    )

@@ -34,6 +34,9 @@ __all__ = [
     "Moments",
     "SummaryIds",
     "summarize_ranks",
+    "summarize_ranks_exact",
+    "register_summary_ids",
+    "apply_summary_stats",
     "rank_moments",
     "partial_summary",
     "reduce_partials",
@@ -157,17 +160,7 @@ def summarize_ranks(
     """
     if not rank_ccts:
         raise MetricError("need at least one rank profile to summarize")
-    base = metrics.by_id(mid)
-    ids = SummaryIds(
-        mean=metrics.add(f"{base.name} (mean)", unit=base.unit,
-                         kind=MetricKind.SUMMARY, show_percent=False).mid,
-        minimum=metrics.add(f"{base.name} (min)", unit=base.unit,
-                            kind=MetricKind.SUMMARY, show_percent=False).mid,
-        maximum=metrics.add(f"{base.name} (max)", unit=base.unit,
-                            kind=MetricKind.SUMMARY, show_percent=False).mid,
-        stddev=metrics.add(f"{base.name} (stddev)", unit=base.unit,
-                           kind=MetricKind.SUMMARY, show_percent=False).mid,
-    )
+    ids = register_summary_ids(metrics, mid)
     for flavor in ("inclusive", "exclusive"):
         nodes, matrix = collect_rank_matrix(
             combined, rank_ccts, mid, inclusive=(flavor == "inclusive")
@@ -197,6 +190,99 @@ def summarize_ranks(
                 store[summary_mid] = values[row]
     combined.invalidate_caches()  # node values changed under any projection
     return ids
+
+
+def register_summary_ids(metrics: MetricTable, mid: int) -> SummaryIds:
+    """Register the four summary descriptors for one base metric.
+
+    Shared by every summarization path — the eager one above, the exact
+    in-memory reference, the out-of-core merge, and the store's
+    on-demand summaries — so the descriptor names, order, and resulting
+    ids are identical no matter which path ran.
+    """
+    base = metrics.by_id(mid)
+    return SummaryIds(
+        mean=metrics.add(f"{base.name} (mean)", unit=base.unit,
+                         kind=MetricKind.SUMMARY, show_percent=False).mid,
+        minimum=metrics.add(f"{base.name} (min)", unit=base.unit,
+                            kind=MetricKind.SUMMARY, show_percent=False).mid,
+        maximum=metrics.add(f"{base.name} (max)", unit=base.unit,
+                            kind=MetricKind.SUMMARY, show_percent=False).mid,
+        stddev=metrics.add(f"{base.name} (stddev)", unit=base.unit,
+                           kind=MetricKind.SUMMARY, show_percent=False).mid,
+    )
+
+
+def apply_summary_stats(nodes, flavor: str, ids: SummaryIds,
+                        stats: "_RowStats", mask) -> None:
+    """Write one flavor's ``(count, mean, m2, min, max)`` into the tree.
+
+    ``nodes`` is the combined tree in preorder; ``mask`` selects the
+    scopes with a nonzero value in at least one rank (the same sparse
+    semantics as :func:`~repro.hpcprof.merge.collect_rank_matrix` — a
+    scope no rank ever touched gets no summary entries).
+    """
+    count, mean, m2, minimum, maximum = stats
+    if count > 1:
+        variance = m2 / count
+    else:
+        variance = np.zeros_like(mean)
+    stddev = np.sqrt(np.maximum(variance, 0.0))
+    for row in np.flatnonzero(mask):
+        store = getattr(nodes[row], flavor)
+        store[ids.mean] = float(mean[row])
+        store[ids.minimum] = float(minimum[row])
+        store[ids.maximum] = float(maximum[row])
+        store[ids.stddev] = float(stddev[row])
+
+
+def summarize_ranks_exact(
+    combined: CCT,
+    rank_ccts: Sequence[CCT],
+    metrics: MetricTable,
+    mid: int,
+) -> SummaryIds:
+    """Summary columns by the *sequential* Welford recurrence.
+
+    Same columns as :func:`summarize_ranks`, but computed by feeding the
+    rank values through one Welford accumulator in rank order (a single
+    :func:`_welford_chunk` over all ranks) instead of numpy's pairwise
+    ``mean``/``std``.  This is the bit-exactness contract shared with
+    the out-of-core merge, which replays the identical update sequence
+    one rank at a time — so an in-memory merge summarized through this
+    function and a bounded-memory merge of the same rank files produce
+    byte-identical databases.
+    """
+    if not rank_ccts:
+        raise MetricError("need at least one rank profile to summarize")
+    ids = register_summary_ids(metrics, mid)
+    all_nodes = list(combined.walk())
+    rows = {node.uid: row for row, node in enumerate(all_nodes)}
+    for flavor in ("inclusive", "exclusive"):
+        kept, matrix = collect_rank_matrix(
+            combined, rank_ccts, mid, inclusive=(flavor == "inclusive")
+        )
+        if not kept:
+            continue
+        stats = _welford_chunk(matrix)
+        mask = np.zeros(len(all_nodes), dtype=bool)
+        mask[[rows[node.uid] for node in kept]] = True
+        # scatter the kept-row stats back to dense rows for the writer
+        dense = tuple(
+            _scatter(vec, [rows[n.uid] for n in kept], len(all_nodes))
+            for vec in stats[1:]
+        )
+        apply_summary_stats(
+            all_nodes, flavor, ids, (stats[0], *dense), mask
+        )
+    combined.invalidate_caches()
+    return ids
+
+
+def _scatter(values: np.ndarray, rows, n: int) -> np.ndarray:
+    out = np.zeros(n)
+    out[rows] = values
+    return out
 
 
 # --------------------------------------------------------------------- #

@@ -214,10 +214,24 @@ class SessionRegistry:
         self.evictions += len(evicted)
         return evicted
 
+    @staticmethod
+    def _release_backing(handle: SessionHandle) -> None:
+        """Drop an out-of-core session's memory maps on eviction/close.
+
+        Store-backed experiments (:class:`repro.core.store.StoreExperiment`)
+        hold open mmaps over their column files; a handle leaving the
+        registry must not pin those mappings for the life of the process.
+        ``release()`` is idempotent and absent on in-memory experiments.
+        """
+        release = getattr(handle.session.experiment, "release", None)
+        if callable(release):
+            release()
+
     def _notify(self, evicted: list[SessionHandle]) -> None:
-        if self.on_evict is not None:
-            for handle in evicted:
+        for handle in evicted:
+            if self.on_evict is not None:
                 self.on_evict(handle)
+            self._release_backing(handle)
 
     def register(self, experiment: Experiment, label: str) -> SessionHandle:
         with self._lock:
@@ -267,6 +281,7 @@ class SessionRegistry:
             handle = self._handles.pop(sid, None)
         if handle is None:
             raise NotFound(f"unknown session {sid!r}", code="unknown-session")
+        self._release_backing(handle)
         return handle
 
     def list_info(self) -> list[dict]:

@@ -1,0 +1,118 @@
+"""Thousand-rank synthetic database generation for out-of-core studies.
+
+The out-of-core storage tier (:mod:`repro.core.store`,
+:func:`repro.hpcprof.merge.merge_rank_files`) is only interesting at
+scales where holding every rank's profile in memory at once stops being
+an option.  This module manufactures that scale deterministically: one
+synthetic program (a uniform call tree with rank-dependent work costs)
+is executed once per rank and each rank's experiment is saved as its own
+``.rpdb`` file, exactly the shape a real per-process measurement
+substrate would leave behind.
+
+The program's structure is built once and shared across all ranks, so
+every rank file carries an identical structure model — the common case
+for SPMD codes — while the metric values differ per rank according to a
+load-imbalance model (:mod:`repro.sim.imbalance`).  Generation cost is
+linear in ``nranks * nodes`` and independent of the merge working-set
+budget being exercised downstream.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SimulationError
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim import imbalance as imbalance_mod
+from repro.sim.executor import execute
+from repro.sim.program import Call, Module, Procedure, Program, Work
+
+__all__ = ["scale_program", "generate_rank_files", "IMBALANCE_MODELS"]
+
+#: name -> zero-argument factory producing an ImbalanceModel
+IMBALANCE_MODELS = {
+    "uniform": imbalance_mod.uniform,
+    "linear_skew": imbalance_mod.linear_skew,
+    "hotspot": imbalance_mod.hotspot,
+    "lognormal_field": imbalance_mod.lognormal_field,
+}
+
+
+def scale_program(fanout: int = 4, depth: int = 3,
+                  metric: str = "cycles",
+                  imbalance: str = "linear_skew") -> Program:
+    """A uniform call tree whose work costs vary with the executing rank.
+
+    Like :func:`repro.sim.workloads.synthetic.uniform_tree` the static
+    shape is ``fanout^level`` procedures per level, but every ``Work``
+    cost is a callable scaled by an imbalance model over
+    ``(ctx.rank, ctx.nranks)`` so different ranks attribute different
+    metric values to the *same* calling contexts — which is what makes
+    per-rank matrices and summary statistics non-trivial downstream.
+    """
+    if imbalance not in IMBALANCE_MODELS:
+        raise SimulationError(
+            f"unknown imbalance model: {imbalance!r} "
+            f"(choose from {sorted(IMBALANCE_MODELS)})")
+    model = IMBALANCE_MODELS[imbalance]()
+
+    def cost_for(base: float):
+        def costs(ctx):
+            return {metric: base * model(ctx.rank, ctx.nranks)}
+
+        return costs
+
+    procs: list[Procedure] = []
+    for level in range(depth + 1):
+        for i in range(fanout if level > 0 else 1):
+            body: list = [Work(line=2, costs=cost_for(float(1 + (i % 3))))]
+            if level < depth:
+                body.extend(
+                    Call(line=10 + j, callee=f"p{level + 1}_{j}")
+                    for j in range(fanout)
+                )
+            procs.append(
+                Procedure(name=f"p{level}_{i}", line=1,
+                          end_line=20 + fanout, body=body)
+            )
+    return Program(
+        name=f"scale-{fanout}x{depth}-{imbalance}",
+        modules=[Module(path="scale.c", procedures=procs)],
+        entry="p0_0",
+        metrics=[(metric, "cycles")],
+    )
+
+
+def generate_rank_files(out_dir: str, nranks: int, *,
+                        fanout: int = 4, depth: int = 3,
+                        metric: str = "cycles",
+                        imbalance: str = "linear_skew",
+                        seed: int = 2026,
+                        progress=None) -> list[str]:
+    """Execute the scale program once per rank; save one ``.rpdb`` each.
+
+    Returns the ordered list of written paths
+    (``<out_dir>/rank0000.rpdb`` …).  *progress*, when given, is called
+    with ``(rank_index, nranks)`` after each file is written — the CLI
+    uses it for a heartbeat on thousand-rank runs.
+    """
+    if nranks < 1:
+        raise SimulationError(f"nranks must be >= 1, got {nranks}")
+    program = scale_program(fanout=fanout, depth=depth, metric=metric,
+                            imbalance=imbalance)
+    structure = build_structure(program)
+    os.makedirs(out_dir, exist_ok=True)
+    width = max(4, len(str(nranks - 1)))
+    paths: list[str] = []
+    for rank in range(nranks):
+        profile = execute(program, rank=rank, nranks=nranks, seed=seed)
+        exp = Experiment.from_profile(profile, structure,
+                                      name=f"{program.name}-r{rank}")
+        path = os.path.join(out_dir, f"rank{rank:0{width}d}.rpdb")
+        database.save(exp, path)
+        paths.append(path)
+        if progress is not None:
+            progress(rank, nranks)
+    return paths

@@ -1,0 +1,107 @@
+"""Golden regression corpus: fixture builders + the canonical rendering.
+
+One place defines (a) the deterministic experiments that make up the
+corpus and (b) exactly how they are rendered to text, so the generator
+(``tools/gen_golden.py``) and the tier-1 drift test
+(``tests/golden/test_golden_corpus.py``) can never disagree about what
+"the golden output" means.
+
+Every fixture is checked in twice — as a legacy v1 ``.rpdb`` and a
+framed v2 ``.rpdb`` — plus one golden text file per view.  The test
+loads each binary through every reader path (eager, mmap-streaming,
+salvage) and asserts the rendered views match the golden text
+byte-for-byte, which pins the whole decode → attribute → view →
+format pipeline against drift.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.hpcprof.experiment import Experiment
+from repro.hpcprof.merge import merge_experiments
+from repro.viewer.table import TableOptions, render_view
+
+__all__ = ["DATA_DIR", "FIXTURES", "VIEW_SLUGS", "build_fixture",
+           "render_views"]
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+#: file-name slug for each of the three presentation views, in order
+VIEW_SLUGS = ("cct", "callers", "flat")
+
+#: fixture name -> builder (zero-argument, fully deterministic)
+FIXTURES: dict[str, "callable"] = {}
+
+
+def _fixture(fn):
+    FIXTURES[fn.__name__.replace("_", "-")] = fn
+    return fn
+
+
+@_fixture
+def fig1_serial() -> Experiment:
+    """The paper's Figure 1 program, one rank."""
+    from repro.sim.workloads import fig1
+
+    return Experiment.from_program(fig1.build(), nranks=1, seed=7)
+
+
+@_fixture
+def fig1_ranks4() -> Experiment:
+    """Figure 1 across four ranks (union CCT, no summaries)."""
+    from repro.sim.workloads import fig1
+
+    return Experiment.from_program(fig1.build(), nranks=4, seed=7)
+
+
+@_fixture
+def scale_merged() -> Experiment:
+    """Six imbalanced ranks of the scale program merged with summaries.
+
+    Exercises the summary-statistic metrics (mean/min/max/stddev) in the
+    golden render — the part of the format the out-of-core merge must
+    reproduce bit-for-bit.
+    """
+    from repro.hpcstruct.synthstruct import build_structure
+    from repro.sim.executor import execute
+    from repro.sim.scale import scale_program
+
+    program = scale_program(fanout=3, depth=2, imbalance="linear_skew")
+    structure = build_structure(program)
+    ranks = []
+    for rank in range(6):
+        profile = execute(program, rank=rank, nranks=6, seed=99)
+        ranks.append(Experiment.from_profile(profile, structure,
+                                             name=f"scale-r{rank}"))
+    return merge_experiments(ranks, name="scale-merged", summarize="all")
+
+
+@_fixture
+def recursive_ladder() -> Experiment:
+    """Self-recursion under several contexts (exposed-instance rule)."""
+    from repro.sim.workloads.synthetic import recursive_ladder
+
+    return Experiment.from_program(recursive_ladder(), nranks=1, seed=11)
+
+
+def build_fixture(name: str) -> Experiment:
+    return FIXTURES[name]()
+
+
+def render_views(experiment: Experiment) -> dict[str, str]:
+    """The canonical text rendering: slug -> table, fixed options.
+
+    Sorted by the first raw metric's inclusive flavour, expanded four
+    levels deep, generous row budget — wide enough that value drift
+    anywhere near the top of any view changes the bytes.
+    """
+    metric = MetricSpec(experiment.metrics.by_id(0).mid,
+                        MetricFlavor.INCLUSIVE)
+    options = TableOptions(max_rows=120, name_width=56)
+    out: dict[str, str] = {}
+    for slug, view in zip(VIEW_SLUGS, experiment.views()):
+        out[slug] = render_view(view, metric=metric, depth=4,
+                                options=options) + "\n"
+    return out

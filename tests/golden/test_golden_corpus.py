@@ -1,0 +1,90 @@
+"""Tier-1 golden-corpus drift test.
+
+The checked-in ``.rpdb`` fixtures are decoded through every reader path
+— eager strict, mmap streaming, and salvage — and the three rendered
+views are compared **byte-for-byte** against the checked-in golden
+text.  Any drift anywhere in decode → attribution (Eq. 1/2) → view
+construction → table formatting fails here, on both the legacy v1 and
+framed v2 formats.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python tools/gen_golden.py --write
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.hpcprof import binio, database
+from tests.golden import corpus
+
+NAMES = sorted(corpus.FIXTURES)
+_missing = [n for n in NAMES
+            if not os.path.exists(os.path.join(corpus.DATA_DIR,
+                                               f"{n}.v2.rpdb"))]
+pytestmark = pytest.mark.skipif(
+    bool(_missing),
+    reason=f"golden corpus not generated (missing {_missing}); "
+           f"run tools/gen_golden.py --write",
+)
+
+
+def _data(name: str) -> str:
+    return os.path.join(corpus.DATA_DIR, name)
+
+
+def _golden_views(name: str) -> dict[str, str]:
+    out = {}
+    for slug in corpus.VIEW_SLUGS:
+        with open(_data(f"{name}.{slug}.txt"), encoding="utf-8") as fh:
+            out[slug] = fh.read()
+    return out
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("version", ["v1", "v2"])
+def test_eager_load_renders_golden(name: str, version: str) -> None:
+    exp = database.load(_data(f"{name}.{version}.rpdb"))
+    assert corpus.render_views(exp) == _golden_views(name)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_streaming_load_renders_golden(name: str) -> None:
+    """The mmap streaming reader decodes to the identical presentation."""
+    exp = database.load(_data(f"{name}.v2.rpdb"), out_of_core=True)
+    assert corpus.render_views(exp) == _golden_views(name)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("version", ["v1", "v2"])
+def test_salvage_of_intact_file_renders_golden(name: str,
+                                               version: str) -> None:
+    """Salvage mode on an *intact* database loses nothing."""
+    exp = database.load(_data(f"{name}.{version}.rpdb"), strict=False)
+    report = getattr(exp, "load_report", None)
+    assert report is None or report.clean
+    assert corpus.render_views(exp) == _golden_views(name)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_reserialization_is_byte_stable(name: str) -> None:
+    """decode → encode reproduces the checked-in bytes exactly, both
+    formats — pins the encoders, string-table interning order and all."""
+    for version in (1, 2):
+        path = _data(f"{name}.v{version}.rpdb")
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        exp = binio.loads_binary(blob)
+        assert binio.dumps_binary(exp, version=version) == blob
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_builders_still_match_corpus(name: str) -> None:
+    """The deterministic builders still produce the checked-in bytes."""
+    exp = corpus.build_fixture(name)
+    for version in (1, 2):
+        with open(_data(f"{name}.v{version}.rpdb"), "rb") as fh:
+            assert binio.dumps_binary(exp, version=version) == fh.read()

@@ -6,10 +6,18 @@ a dependency, an autouse fixture arms a ``SIGALRM``-based guard around
 every test in this directory: if a test exceeds the budget, the alarm
 raises in the main thread and pytest reports a failure instead of the
 run wedging.  No-op on platforms without ``SIGALRM``.
+
+Every wall-clock bound in these suites — the watchdog, socket
+timeouts, thread joins — goes through :func:`scaled`, which multiplies
+by the ``REPRO_TEST_TIMEOUT_SCALE`` environment variable (default 1.0).
+On a loaded CI box or under an emulator, set e.g.
+``REPRO_TEST_TIMEOUT_SCALE=4`` once instead of chasing individual
+hard-coded timeouts; the tests' *logic* stays timing-independent.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 
 import pytest
@@ -19,19 +27,41 @@ import pytest
 TEST_TIMEOUT_S = 120
 
 
+def timeout_scale() -> float:
+    """The global test-timeout multiplier (``REPRO_TEST_TIMEOUT_SCALE``).
+
+    Read per call, not at import, so a test may also tweak it via
+    ``monkeypatch.setenv``.  Invalid or non-positive values fall back
+    to 1.0 rather than disabling the watchdogs.
+    """
+    raw = os.environ.get("REPRO_TEST_TIMEOUT_SCALE", "1")
+    try:
+        scale = float(raw)
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
+def scaled(seconds: float) -> float:
+    """*seconds* multiplied by the global timeout scale."""
+    return seconds * timeout_scale()
+
+
 @pytest.fixture(autouse=True)
 def _test_timeout_guard():
     if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
         yield
         return
 
+    budget = max(1, int(round(scaled(TEST_TIMEOUT_S))))
+
     def _expired(signum, frame):  # pragma: no cover - only on hangs
         raise TimeoutError(
-            f"test exceeded the {TEST_TIMEOUT_S}s watchdog (likely deadlock)"
+            f"test exceeded the {budget}s watchdog (likely deadlock)"
         )
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.alarm(TEST_TIMEOUT_S)
+    signal.alarm(budget)
     try:
         yield
     finally:

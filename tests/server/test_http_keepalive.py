@@ -17,6 +17,7 @@ import threading
 import pytest
 
 from repro.server.http import AnalysisRequestHandler, build_server
+from tests.server.conftest import scaled
 
 
 @pytest.fixture()
@@ -29,7 +30,7 @@ def server():
     finally:
         srv.shutdown()
         srv.server_close()
-        thread.join(timeout=10)
+        thread.join(timeout=scaled(10))
 
 
 def _request_bytes(method, path, body=b"", headers=()):
@@ -65,8 +66,8 @@ def _read_response(sock):
 
 def _connect(server):
     host, port = server.server_address[:2]
-    sock = socket.create_connection((host, port), timeout=10)
-    sock.settimeout(10)
+    sock = socket.create_connection((host, port), timeout=scaled(10))
+    sock.settimeout(scaled(10))
     return sock
 
 
@@ -132,4 +133,4 @@ class TestOversizedBodyKeepAlive:
         finally:
             srv.shutdown()
             srv.server_close()
-            thread.join(timeout=10)
+            thread.join(timeout=scaled(10))

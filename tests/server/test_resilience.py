@@ -20,6 +20,7 @@ from repro.server.sessions import SessionRegistry
 from repro.sim.workloads import fig1
 from repro.testing import FakeClock, patched, slow_call
 from repro.viewer.session import ViewerSession
+from tests.server.conftest import scaled
 
 
 def post(app, path, body=None):
@@ -111,8 +112,8 @@ class TestAdmission:
         real_match = AnalysisApp._match
 
         def stalling_match(self_app, method, path):
-            ready.wait(timeout=10)
-            release.wait(timeout=10)
+            ready.wait(timeout=scaled(10))
+            release.wait(timeout=scaled(10))
             return real_match(self_app, method, path)
 
         def worker():
@@ -122,11 +123,11 @@ class TestAdmission:
             threads = [threading.Thread(target=worker) for _ in range(2)]
             for t in threads:
                 t.start()
-            ready.wait(timeout=10)  # both stalled requests are in flight
+            ready.wait(timeout=scaled(10))  # both stalled requests are in flight
             status, payload = app.handle("GET", "/sessions")
             release.set()
             for t in threads:
-                t.join(timeout=10)
+                t.join(timeout=scaled(10))
 
         assert status == 429
         assert payload["error"]["code"] == "too-many-requests"

@@ -1,0 +1,81 @@
+"""Server sessions backed by the out-of-core column store.
+
+An ``.rpstore`` directory opened through the registry must behave like
+any other database — render, hot path, metric derivation — and its
+memory maps must be dropped when the session is evicted or closed (a
+long-lived service must not pin a thousand-rank store's mappings after
+the session is gone).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.store import StoreExperiment
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from repro.core.views import ViewKind
+from repro.errors import NotFound
+from repro.server.sessions import SessionRegistry, render_snapshot
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    exp = Experiment.from_program(fig1.build(), nranks=4, seed=3)
+    path = str(tmp_path / "fig1.rpstore")
+    database.save(exp, path)
+    return path
+
+
+def _mapped(exp: StoreExperiment) -> bool:
+    return (exp.store._matrices is not None
+            or bool(exp.store._rank_maps)
+            or getattr(exp.cct, "_engine", None) is not None)
+
+
+class TestStoreSessions:
+    def test_open_and_render(self, store_path):
+        registry = SessionRegistry()
+        handle = registry.open_database(store_path)
+        exp = handle.session.experiment
+        assert isinstance(exp, StoreExperiment)
+        snapshot = render_snapshot(handle.session, ViewKind.CALLING_CONTEXT, depth=2)
+        assert "Calling Context View" in snapshot["text"]
+
+    def test_close_releases_maps(self, store_path):
+        registry = SessionRegistry()
+        handle = registry.open_database(store_path)
+        exp = handle.session.experiment
+        render_snapshot(handle.session, ViewKind.CALLING_CONTEXT, depth=2)
+        assert _mapped(exp)
+        registry.close(handle.sid)
+        assert not _mapped(exp)
+        with pytest.raises(NotFound):
+            registry.get(handle.sid)
+
+    def test_eviction_releases_maps(self, store_path):
+        registry = SessionRegistry(max_sessions=1)
+        first = registry.open_database(store_path)
+        exp = first.session.experiment
+        render_snapshot(first.session, ViewKind.CALLING_CONTEXT, depth=2)
+        assert _mapped(exp)
+        registry.open_database(store_path)  # LRU-evicts `first`
+        assert not _mapped(exp)
+        assert registry.evictions == 1
+
+    def test_eviction_notifies_and_releases(self, store_path):
+        evicted = []
+        registry = SessionRegistry(max_sessions=1,
+                                   on_evict=lambda h: evicted.append(h.sid))
+        first = registry.open_database(store_path)
+        registry.open_database(store_path)
+        assert evicted == [first.sid]
+
+    def test_in_memory_sessions_unaffected(self, tmp_path):
+        # release hook is a no-op for experiments without release()
+        path = str(tmp_path / "fig1.rpdb")
+        database.save(Experiment.from_program(fig1.build()), path)
+        registry = SessionRegistry()
+        handle = registry.open_database(path)
+        registry.close(handle.sid)  # must not raise

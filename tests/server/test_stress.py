@@ -23,10 +23,11 @@ import urllib.request
 import pytest
 
 from repro.server import build_server
+from tests.server.conftest import scaled
 
 N_THREADS = 12
 REQUESTS_PER_THREAD = 25
-TIMEOUT = 30
+TIMEOUT = scaled(30)
 
 
 @pytest.fixture()
@@ -39,7 +40,7 @@ def server():
     finally:
         srv.shutdown()
         srv.server_close()
-        thread.join(timeout=10)
+        thread.join(timeout=scaled(10))
 
 
 def request(server, method, path, body=None):

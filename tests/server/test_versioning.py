@@ -25,6 +25,7 @@ import pytest
 from repro.server.app import AnalysisApp
 from repro.server.http import build_server
 from repro.server.schema import ENDPOINTS, RawBody
+from tests.server.conftest import scaled
 
 #: one scenario touching every non-monitoring endpoint, in a
 #: cache-and-generation-sensitive order; {sid} is substituted after the
@@ -162,12 +163,12 @@ class TestOverHttp:
         finally:
             srv.shutdown()
             srv.server_close()
-            thread.join(timeout=10)
+            thread.join(timeout=scaled(10))
 
     def _get(self, server, path):
         host, port = server.server_address[:2]
-        with socket.create_connection((host, port), timeout=10) as sock:
-            sock.settimeout(10)
+        with socket.create_connection((host, port), timeout=scaled(10)) as sock:
+            sock.settimeout(scaled(10))
             sock.sendall(
                 f"GET {path} HTTP/1.1\r\nHost: t\r\n"
                 "Connection: close\r\n\r\n".encode()

@@ -1,0 +1,64 @@
+"""Unit tests for the thousand-rank generator (:mod:`repro.sim.scale`)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hpcprof import database
+from repro.sim.scale import IMBALANCE_MODELS, generate_rank_files, scale_program
+
+
+class TestScaleProgram:
+    def test_shape_matches_uniform_tree(self):
+        prog = scale_program(fanout=3, depth=2)
+        procs = [p for m in prog.modules for p in m.procedures]
+        assert len(procs) == 1 + 3 + 3  # one per level-0, fanout per deeper level
+        assert prog.entry == "p0_0"
+
+    def test_unknown_imbalance_model_rejected(self):
+        with pytest.raises(SimulationError, match="unknown imbalance"):
+            scale_program(imbalance="bogus")
+
+    def test_all_registered_models_build(self):
+        for name in IMBALANCE_MODELS:
+            assert scale_program(fanout=2, depth=1, imbalance=name)
+
+
+class TestGenerateRankFiles:
+    def test_writes_one_file_per_rank(self, tmp_path):
+        paths = generate_rank_files(str(tmp_path), 5, fanout=2, depth=2)
+        assert len(paths) == 5
+        assert [os.path.basename(p) for p in paths] == [
+            f"rank{r:04d}.rpdb" for r in range(5)
+        ]
+        assert all(os.path.exists(p) for p in paths)
+
+    def test_deterministic(self, tmp_path):
+        a = generate_rank_files(str(tmp_path / "a"), 3, fanout=2, depth=2)
+        b = generate_rank_files(str(tmp_path / "b"), 3, fanout=2, depth=2)
+        for pa, pb in zip(a, b):
+            with open(pa, "rb") as fa, open(pb, "rb") as fb:
+                assert fa.read() == fb.read()
+
+    def test_ranks_differ_under_imbalance(self, tmp_path):
+        paths = generate_rank_files(str(tmp_path), 4, fanout=2, depth=2,
+                                    imbalance="linear_skew")
+        totals = []
+        for path in paths:
+            exp = database.load(path)
+            totals.append(exp.cct.root.inclusive.get(0, 0.0))
+        assert totals == sorted(totals)
+        assert totals[0] < totals[-1]
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        generate_rank_files(str(tmp_path), 3, fanout=2, depth=1,
+                            progress=lambda r, n: seen.append((r, n)))
+        assert seen == [(0, 3), (1, 3), (2, 3)]
+
+    def test_zero_ranks_rejected(self, tmp_path):
+        with pytest.raises(SimulationError, match="nranks"):
+            generate_rank_files(str(tmp_path), 0)

@@ -7,7 +7,14 @@ import textwrap
 
 import pytest
 
-from repro.cli import main_experiments, main_profile, main_sim, main_view
+from repro.cli import (
+    main_experiments,
+    main_prof_merge,
+    main_profile,
+    main_sim,
+    main_sim_scale,
+    main_view,
+)
 
 
 class TestSimAndView:
@@ -115,3 +122,42 @@ class TestParallelSim:
         out = str(tmp_path / "pf.rpdb")
         assert main_sim(["pflotran", "-n", "4", "--parallel", "-o", out]) == 0
         assert "4 rank(s)" in capsys.readouterr().out
+
+
+class TestOutOfCorePipeline:
+    """repro-sim-scale -> repro-prof-merge -> repro-view on a .rpstore."""
+
+    def test_scale_merge_view(self, tmp_path, capsys):
+        ranks = str(tmp_path / "ranks")
+        assert main_sim_scale([ranks, "-n", "6", "--fanout", "2",
+                               "--depth", "2"]) == 0
+        assert "wrote 6 rank databases" in capsys.readouterr().out
+        rank_files = sorted(
+            os.path.join(ranks, f) for f in os.listdir(ranks)
+        )
+        store = str(tmp_path / "merged.rpstore")
+        assert main_prof_merge(rank_files + ["-o", store]) == 0
+        assert "merged 6 rank database(s)" in capsys.readouterr().out
+        assert main_view([store, "--view", "all", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Calling Context View" in out
+        assert "cycles (mean)" in out  # summaries rode along
+
+    def test_merge_working_set_flag(self, tmp_path, capsys):
+        ranks = str(tmp_path / "ranks")
+        main_sim_scale([ranks, "-n", "3", "--fanout", "2", "--depth", "1"])
+        capsys.readouterr()
+        rank_files = sorted(
+            os.path.join(ranks, f) for f in os.listdir(ranks)
+        )
+        store = str(tmp_path / "m.rpstore")
+        with pytest.raises(Exception, match="working-set budget"):
+            main_prof_merge(rank_files + ["-o", store,
+                                          "--working-set-mib", "0.001"])
+
+    def test_view_out_of_core_flag(self, tmp_path, capsys):
+        db = str(tmp_path / "fig1.rpdb")
+        main_sim(["fig1", "-o", db])
+        capsys.readouterr()
+        assert main_view([db, "--out-of-core", "--view", "cct"]) == 0
+        assert "Calling Context View" in capsys.readouterr().out

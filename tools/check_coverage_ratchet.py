@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Enforce the coverage ratchet: ``fail_under`` only ever goes up.
+
+The floor lives in ``pyproject.toml`` under ``[tool.coverage.report]``.
+This check compares the working tree's value against the last committed
+one (``git show HEAD:pyproject.toml``) and fails if it was *lowered* —
+raising it is always fine, which is what makes it a ratchet: once the
+suite reaches a coverage level, the gate keeps it there.
+
+Also validates the floor is a sane percentage, and — when the
+``coverage`` package is importable and a ``.coverage`` data file from a
+tier-1 run is present — that the measured total actually clears the
+floor (the same comparison ``--cov-fail-under`` makes in-process).
+With no coverage tooling installed this degrades to the ratchet check
+alone, so bare environments still run tier-1 end to end.
+
+    PYTHONPATH=src python tools/check_coverage_ratchet.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PYPROJECT = REPO / "pyproject.toml"
+
+
+def fail_under_of(text: str) -> float | None:
+    data = tomllib.loads(text)
+    try:
+        return float(data["tool"]["coverage"]["report"]["fail_under"])
+    except KeyError:
+        return None
+
+
+def committed_pyproject() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "show", "HEAD:pyproject.toml"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None  # fresh repo / not a checkout: nothing to ratchet against
+    return out.stdout
+
+
+def measured_total() -> float | None:
+    """Total coverage from a prior run's data file, if tooling exists."""
+    try:
+        import coverage
+    except ImportError:
+        return None
+    data_file = REPO / ".coverage"
+    if not data_file.exists():
+        return None
+    cov = coverage.Coverage(data_file=str(data_file))
+    cov.load()
+    import io
+
+    return cov.report(file=io.StringIO())
+
+
+def main() -> int:
+    current = fail_under_of(PYPROJECT.read_text())
+    if current is None:
+        print("ratchet: [tool.coverage.report] fail_under missing "
+              "from pyproject.toml")
+        return 1
+    if not 0 < current <= 100:
+        print(f"ratchet: fail_under={current} is not a valid percentage")
+        return 1
+
+    previous_text = committed_pyproject()
+    previous = fail_under_of(previous_text) if previous_text else None
+    if previous is not None and current < previous:
+        print(f"ratchet: fail_under lowered {previous} -> {current}; "
+              f"the coverage floor only goes up")
+        return 1
+
+    total = measured_total()
+    if total is not None and total < current:
+        print(f"ratchet: measured coverage {total:.1f}% is below the "
+              f"floor {current}%")
+        return 1
+
+    suffix = (f", measured {total:.1f}%" if total is not None
+              else ", no coverage data (tooling not installed or no run)")
+    print(f"ratchet ok: floor {current}%"
+          + (f" (was {previous}%)" if previous is not None else "")
+          + suffix)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

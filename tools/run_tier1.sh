@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1: the single entry point CI and pre-commit both call.
+#
+#   tools/run_tier1.sh            # full gate
+#   REPRO_TEST_TIMEOUT_SCALE=4 tools/run_tier1.sh   # slow/loaded machines
+#
+# Four stages, all required:
+#   1. the pytest suite (-x: first failure stops the run) — with
+#      coverage enforcement when pytest-cov is installed;
+#   2. public API surface: regenerated in-memory, diffed against the
+#      checked-in tests/api_surface.txt;
+#   3. golden corpus: fixtures + rendered views regenerated, diffed
+#      byte-for-byte against tests/golden/data;
+#   4. coverage ratchet: the fail_under floor may never decrease.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+cov_args=()
+if python -c 'import pytest_cov' 2>/dev/null; then
+    # floor comes from [tool.coverage.report] fail_under in pyproject.toml
+    cov_args=(--cov=repro --cov-report=term-missing:skip-covered)
+fi
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q "${cov_args[@]}"
+
+echo "== tier-1: api surface =="
+python tools/gen_api_surface.py | diff -u tests/api_surface.txt - \
+    || { echo "api surface drifted; if intentional:"; \
+         echo "  PYTHONPATH=src python tools/gen_api_surface.py --write"; \
+         exit 1; }
+echo "api surface clean"
+
+echo "== tier-1: golden corpus =="
+python tools/gen_golden.py
+
+echo "== tier-1: coverage ratchet =="
+python tools/check_coverage_ratchet.py
+
+echo "tier-1 OK"
