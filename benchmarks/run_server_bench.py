@@ -1,24 +1,38 @@
 #!/usr/bin/env python
 """Record analysis-server throughput in ``BENCH_server.json``.
 
-Starts a real ``repro-serve`` server (in-process thread, real sockets),
-fires a mixed workload from concurrent client threads — mostly repeated
-cached renders with a sprinkling of varied renders and hot-path queries,
-the steady-state shape of a dashboard fleet — and records requests/sec
-and the server-reported cache hit-rate, so successive PRs can track the
-service's performance trajectory alongside ``BENCH_views.json``.
+Two experiments, so successive PRs can track the service's performance
+trajectory alongside ``BENCH_views.json``:
+
+* **mixed workload** — a real single-process ``repro-serve`` server
+  (in-process thread, real sockets) under concurrent client threads
+  firing mostly repeated cached renders with a sprinkling of varied
+  renders and hot-path queries: the steady-state shape of a dashboard
+  fleet;
+* **scaling curve** — the pre-forked worker pool at 1/2/4/8 workers,
+  each worker count measured under both wire encodings (JSON and the
+  zero-copy columnar frame) against a synthetically scaled database
+  whose CCT table runs to thousands of rows.  Every result block
+  records the worker count, the host's CPU count, and the encoding, so
+  a curve measured on a one-core container reads as exactly that.  The
+  harness also decodes one columnar response and asserts it equals the
+  JSON table bit for bit before timing anything.
 
 Usage::
 
     python benchmarks/run_server_bench.py [-o BENCH_server.json]
         [--clients 8] [--requests 60] [--workload fig1]
+        [--scale-requests 150]
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import os
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
@@ -31,6 +45,10 @@ from repro.hpcprof import binio, database  # noqa: E402 - path set above
 from repro.hpcprof.experiment import Experiment  # noqa: E402
 from repro.obs import install, save_self_profile, span, uninstall  # noqa: E402
 from repro.server import build_server  # noqa: E402
+from repro.server.client import RetryingClient  # noqa: E402
+from repro.server.pool import ServerPool  # noqa: E402
+from repro.server.wire import COLUMNAR_CONTENT_TYPE  # noqa: E402
+from repro.sim.scale import scale_program  # noqa: E402
 from repro.sim.workloads import s3d  # noqa: E402
 
 
@@ -184,6 +202,156 @@ def tracing_overhead(repeats: int = 30, reqs_per_sample: int = 20) -> dict:
     }
 
 
+def _build_scaled_db(tmp: str, fanout: int = 5, depth: int = 5,
+                     nranks: int = 4) -> str:
+    """A synthetic database whose CCT table runs to thousands of rows.
+
+    The built-in workloads mirror the paper's figures and stay small;
+    encoding throughput only separates the wire formats once a table is
+    big enough that serialization, not socket bookkeeping, dominates.
+    """
+    experiment = Experiment.from_program(
+        scale_program(fanout=fanout, depth=depth), nranks=nranks
+    )
+    path = str(Path(tmp) / f"scale-f{fanout}d{depth}.rpdb")
+    Path(path).write_bytes(binio.dumps_binary(experiment))
+    return path
+
+
+def _keepalive_loop(host: str, port: int, path: str, headers: dict,
+                    n_requests: int, failures: list) -> None:
+    """Drive one persistent connection; reconnect once per failure."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        for _ in range(n_requests):
+            try:
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                if response.status != 200:
+                    failures.append(response.status)
+            except (OSError, http.client.HTTPException) as exc:
+                failures.append(type(exc).__name__)
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+    finally:
+        conn.close()
+
+
+def scaling_curve(
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    clients: int = 8,
+    requests: int = 150,
+    view: str = "cct",
+    depth: int = 6,
+) -> dict:
+    """Pool throughput at each worker count, for both wire encodings.
+
+    Each client thread owns one session (preloaded identically in every
+    worker, so session-affinity spreads them across the pool) and one
+    keep-alive connection — once the parent has passed the connection's
+    fd to a worker, requests flow with no further routing cost, which is
+    the pool's intended steady state.
+    """
+    table_query = f"view={view}&depth={depth}&max_rows=100000"
+    curve: list[dict] = []
+    parity = False
+    response_bytes = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = _build_scaled_db(tmp)
+        config = {"databases": [db_path] * clients, "max_body": 1 << 20}
+        for workers in worker_counts:
+            pool = ServerPool(workers=workers, config=config).start()
+            try:
+                host, port = pool.address
+                client = RetryingClient(base_url=f"http://{host}:{port}")
+                if not parity:
+                    # decoded columnar must equal the JSON table exactly
+                    # (floats included: JSON's repr round-trips binary64)
+                    as_json = client.get_table(
+                        "s1", columnar=False,
+                        view=view, depth=depth, max_rows=100000,
+                    )
+                    as_cols = client.get_table(
+                        "s1", columnar=True,
+                        view=view, depth=depth, max_rows=100000,
+                    )
+                    assert as_cols.content_type == COLUMNAR_CONTENT_TYPE
+                    reference = {k: v for k, v in as_json.payload.items()
+                                 if k != "session"}
+                    assert as_cols.payload == reference, "encoding mismatch"
+                    response_bytes = {"json": len(as_json.body),
+                                      "columnar": len(as_cols.body)}
+                    parity = True
+                sids = [f"s{i + 1}" for i in range(clients)]
+                for encoding in ("json", "columnar"):
+                    headers = (
+                        {"Accept": COLUMNAR_CONTENT_TYPE}
+                        if encoding == "columnar" else {}
+                    )
+                    # warm every session's cache (and adoption) untimed
+                    for sid in sids:
+                        _keepalive_loop(
+                            host, port,
+                            f"/v1/sessions/{sid}/table?{table_query}",
+                            headers, 2, [],
+                        )
+                    failures: list = []
+                    threads = [
+                        threading.Thread(
+                            target=_keepalive_loop,
+                            args=(host, port,
+                                  f"/v1/sessions/{sid}/table?{table_query}",
+                                  headers, requests, failures),
+                        )
+                        for sid in sids
+                    ]
+                    t0 = time.perf_counter()
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join()
+                    elapsed = time.perf_counter() - t0
+                    total = clients * requests
+                    curve.append({
+                        "workers": workers,
+                        "cpu_count": os.cpu_count(),
+                        "encoding": encoding,
+                        "clients": clients,
+                        "requests": total,
+                        "failures": len(failures),
+                        "elapsed_s": round(elapsed, 4),
+                        "requests_per_sec": round(total / elapsed, 1),
+                    })
+            finally:
+                pool.close()
+
+    def rate(workers: int, encoding: str) -> float:
+        for block in curve:
+            if block["workers"] == workers and block["encoding"] == encoding:
+                return block["requests_per_sec"]
+        return 0.0
+
+    baseline = rate(worker_counts[0], "json")
+    best = max(worker_counts)
+    return {
+        "endpoint": "/v1/sessions/<sid>/table",
+        "table": {"view": view, "depth": depth, "max_rows": 100000},
+        "parity_verified": parity,
+        "response_bytes": response_bytes,
+        "curve": curve,
+        "summary": {
+            "single_worker_json_rps": baseline,
+            "best_columnar_rps": max(rate(w, "columnar")
+                                     for w in worker_counts),
+            "speedup_columnar_vs_json_1w": round(
+                rate(worker_counts[0], "columnar") / max(baseline, 1e-9), 2),
+            "speedup_best_vs_json_1w": round(
+                rate(best, "columnar") / max(baseline, 1e-9), 2),
+        },
+    }
+
+
 def fire(base: str, method: str, path: str, body: dict | None = None) -> dict:
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(base + path, data=data, method=method)
@@ -212,6 +380,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=60,
                         help="requests per client thread")
     parser.add_argument("--workload", default="fig1")
+    parser.add_argument("--scale-requests", type=int, default=150,
+                        help="requests per client in each scaling-curve "
+                             "block (1/2/4/8 workers x 2 encodings)")
     args = parser.parse_args(argv)
 
     server = build_server(workload=args.workload, port=0)
@@ -243,6 +414,9 @@ def main(argv: list[str] | None = None) -> int:
     total = args.clients * args.requests
     result = {
         "workload": args.workload,
+        "workers": 1,
+        "cpu_count": os.cpu_count(),
+        "encoding": "json",
         "clients": args.clients,
         "requests": total,
         "elapsed_s": round(elapsed, 4),
@@ -252,6 +426,8 @@ def main(argv: list[str] | None = None) -> int:
                                       + stats["cache"]["misses"]), 4),
         "cache": stats["cache"],
         "server_requests": stats["requests"],
+        "scaling": scaling_curve(requests=args.scale_requests,
+                                 clients=args.clients),
         "checksum_verification": checksum_overhead(),
         "tracing_overhead": tracing_overhead(),
     }
@@ -260,6 +436,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{total} requests from {args.clients} clients in {elapsed:.2f}s "
           f"-> {result['requests_per_sec']} req/s, "
           f"cache hit-rate {result['cache_hit_rate']:.1%}")
+    for block in result["scaling"]["curve"]:
+        print(f"scaling: {block['workers']}w {block['encoding']:8s} "
+              f"{block['requests_per_sec']:>8} req/s "
+              f"({block['failures']} failures, "
+              f"{block['cpu_count']} cpu)")
+    summary = result["scaling"]["summary"]
+    print(f"scaling: columnar vs 1-worker json "
+          f"{summary['speedup_best_vs_json_1w']}x at best worker count "
+          f"(parity verified: {result['scaling']['parity_verified']})")
     tr = result["tracing_overhead"]
     print(f"tracing overhead {tr['overhead_pct']}% "
           f"(budget {tr['budget_pct']}%), "

@@ -304,6 +304,34 @@ class View:
             return [rows[i] for i in order]
         return sorted(rows, key=lambda r: self.value(r, spec), reverse=descending)
 
+    def gather_columns(self, rows: Sequence[ViewNode], specs: Sequence[MetricSpec]):
+        """Metric cells for *rows* as a ``(len(rows), len(specs))`` matrix.
+
+        The bulk serialization path: measured columns are gathered
+        straight from the engine matrices (one fancy-index read per
+        column, no per-row dict assembly); derived columns — and rows a
+        view synthesized without engine backing — fall back to
+        :meth:`value` cell by cell, so the matrix is always exactly what
+        a row-at-a-time render would have shown.
+        """
+        import numpy as np  # deferred like sorted_children: numpy is
+        # guaranteed wherever an engine exists, and the fallback path
+        # only needs it for the output buffer
+
+        out = np.empty((len(rows), len(specs)), dtype=np.float64)
+        for j, spec in enumerate(specs):
+            desc = self.metrics.by_id(spec.mid)
+            if (
+                self.engine is not None
+                and spec.mid < self.engine.num_metrics
+                and desc.kind is not MetricKind.DERIVED
+            ):
+                out[:, j] = self.engine.gather_view_values(rows, spec)
+            else:
+                for i, row in enumerate(rows):
+                    out[i, j] = self.value(row, spec)
+        return out
+
     def total(self, spec: MetricSpec) -> float:
         """Aggregate total of a column — the denominator for percentages."""
         desc = self.metrics.by_id(spec.mid)

@@ -70,6 +70,7 @@ from repro.errors import (
 from repro.server.schema import (
     API_VERSION,
     ENDPOINTS,
+    BinaryBody,
     DeriveMetricRequest,
     DerivedMetricCreated,
     EndpointDef,
@@ -87,6 +88,7 @@ from repro.server.schema import (
     SessionOpened,
     SortRequest,
     SortResponse,
+    TableRequest,
 )
 from repro.server.sessions import (
     SessionHandle,
@@ -94,6 +96,12 @@ from repro.server.sessions import (
     SortSpec,
     hot_path_snapshot,
     render_snapshot,
+    table_snapshot,
+)
+from repro.server.wire import (
+    COLUMNAR_CONTENT_TYPE,
+    accepts_columnar,
+    encode_columnar,
 )
 
 __all__ = [
@@ -101,6 +109,7 @@ __all__ = [
     "DEFAULT_MAX_BODY",
     "DEFAULT_MAX_INFLIGHT",
     "decode_json_body",
+    "prometheus_from_states",
 ]
 
 logger = logging.getLogger("repro.server")
@@ -217,6 +226,22 @@ def _query_dict(query: str) -> dict:
     return out
 
 
+def _header(headers, name: str) -> str | None:
+    """Case-insensitive header lookup over a dict or a Message-alike."""
+    if headers is None:
+        return None
+    get = getattr(headers, "get", None)
+    if get is None:
+        return None
+    value = get(name)
+    if value is None and isinstance(headers, dict):
+        lowered = name.lower()
+        for key, val in headers.items():
+            if isinstance(key, str) and key.lower() == lowered:
+                return val
+    return value
+
+
 def _split_version(path: str) -> tuple[str | None, str]:
     """Split the version prefix off a request path.
 
@@ -299,27 +324,38 @@ class AnalysisApp:
     # ------------------------------------------------------------------ #
     # entry points
     # ------------------------------------------------------------------ #
-    def handle(self, method: str, path: str, raw: bytes = b"") -> tuple[int, dict]:
+    def handle(
+        self, method: str, path: str, raw: bytes = b"",
+        request_headers=None,
+    ) -> tuple[int, dict]:
         """Process one request; always returns ``(status, payload)``.
 
         The historical in-process surface: response headers are dropped
-        and a raw body (the Prometheus text) is wrapped in a JSON
-        object.  Transports that speak headers use :meth:`handle_full`.
+        and a raw/binary body (the Prometheus text, a columnar frame) is
+        wrapped in a JSON object.  Transports that speak headers use
+        :meth:`handle_full`.
         """
-        status, payload, _headers = self.handle_full(method, path, raw)
-        if isinstance(payload, RawBody):
+        status, payload, _headers = self.handle_full(
+            method, path, raw, request_headers=request_headers
+        )
+        if isinstance(payload, (RawBody, BinaryBody)):
             payload = payload.to_payload()
         return status, payload
 
     def handle_full(
-        self, method: str, path: str, raw: bytes = b""
-    ) -> tuple[int, dict | RawBody, dict[str, str]]:
+        self, method: str, path: str, raw: bytes = b"",
+        request_headers=None,
+    ) -> tuple[int, dict | RawBody | BinaryBody, dict[str, str]]:
         """Process one request: ``(status, payload, response headers)``.
 
-        The payload is a JSON-ready dict, or a :class:`RawBody` for the
-        non-JSON ``/metrics`` endpoint.  Headers always carry
-        ``X-Trace-Id``; requests on deprecated unversioned aliases also
-        get ``Deprecation`` and a ``Link`` to the successor path.
+        The payload is a JSON-ready dict, a :class:`RawBody` for the
+        non-JSON ``/metrics`` endpoint, or a :class:`BinaryBody` when
+        the request negotiated the columnar table encoding.  Headers
+        always carry ``X-Trace-Id``; requests on deprecated unversioned
+        aliases also get ``Deprecation`` and a ``Link`` to the
+        successor path.  *request_headers* (a dict or an
+        ``email.message.Message``) feeds content negotiation; only
+        ``Accept`` is consulted.
         """
         t0 = time.perf_counter()
         label = "unmatched"
@@ -344,6 +380,7 @@ class AnalysisApp:
             handler, params, label = self._match(method, route_path)
             if version is None:
                 self._mark_deprecated_alias(method, label, route_path, headers)
+            params["_accept"] = _header(request_headers, "Accept")
             with span(_REQUEST_SPAN_NAMES.get(label)
                       or f"server.request {label}"):
                 with span("server.decode"):
@@ -485,102 +522,45 @@ class AnalysisApp:
             payload["slow_requests"] = self.slowlog.to_payload()
         return payload
 
+    def metrics_state(self) -> dict:
+        """The service's counters as a JSON-serializable, *mergeable* dict.
+
+        This is the scrape unit of the multi-worker pool: each worker
+        reports its state over the control channel and the supervisor
+        sums them into one exposition via
+        :func:`prometheus_from_states` — the same function a
+        single-process server renders its own state through, so the two
+        deployment shapes can never drift apart.
+        """
+        with self._stats_lock:
+            endpoints = {
+                label: {
+                    "count": entry["count"],
+                    "errors": entry["errors"],
+                    "bucket_counts": list(entry["hist"].counts),
+                    "sum": entry["hist"].sum,
+                    "total": entry["hist"].total,
+                }
+                for label, entry in sorted(self._stats.items())
+            }
+            shed = self._shed
+        return {
+            "endpoints": endpoints,
+            "shed": shed,
+            "inflight": self.inflight(),
+            "sessions": len(self.registry),
+            "resident_scopes": self.registry.total_cost(),
+            "evictions": self.registry.evictions,
+            "cache": self.cache.stats(),
+            "uptime_s": time.time() - self._started,
+            "slow_observed": (
+                self.slowlog.observed if self.slowlog is not None else None
+            ),
+        }
+
     def prometheus_text(self) -> str:
         """The service's counters and histograms in exposition format."""
-        with self._stats_lock:
-            per_label = [
-                (
-                    label,
-                    entry["count"],
-                    entry["errors"],
-                    entry["hist"].cumulative(),
-                    entry["hist"].sum,
-                    entry["hist"].total,
-                )
-                for label, entry in sorted(self._stats.items())
-            ]
-            shed = self._shed
-        cache = self.cache.stats()
-        families: list[tuple[str, str, str, list]] = [
-            (
-                "repro_server_requests_total", "counter",
-                "Requests handled, by endpoint label.",
-                [("", {"endpoint": label}, count)
-                 for label, count, *_ in per_label],
-            ),
-            (
-                "repro_server_request_errors_total", "counter",
-                "Requests answered with status >= 400, by endpoint label.",
-                [("", {"endpoint": label}, errors)
-                 for label, _count, errors, *_ in per_label],
-            ),
-            (
-                "repro_server_request_duration_seconds", "histogram",
-                "Request wall time, by endpoint label.",
-                [
-                    sample
-                    for label, _c, _e, buckets, total_s, total_n in per_label
-                    for sample in (
-                        [("_bucket", {"endpoint": label, "le": le}, count)
-                         for le, count in buckets]
-                        + [("_sum", {"endpoint": label}, total_s),
-                           ("_count", {"endpoint": label}, total_n)]
-                    )
-                ],
-            ),
-            (
-                "repro_server_requests_shed_total", "counter",
-                "Requests rejected by admission control.",
-                [("", None, shed)],
-            ),
-            (
-                "repro_server_inflight_requests", "gauge",
-                "Requests currently being handled.",
-                [("", None, self.inflight())],
-            ),
-            (
-                "repro_server_sessions", "gauge",
-                "Resident analysis sessions.",
-                [("", None, len(self.registry))],
-            ),
-            (
-                "repro_server_resident_scopes", "gauge",
-                "Total scope cost of resident sessions.",
-                [("", None, self.registry.total_cost())],
-            ),
-            (
-                "repro_server_session_evictions_total", "counter",
-                "Sessions evicted by TTL, count, or scope-budget pressure.",
-                [("", None, self.registry.evictions)],
-            ),
-            (
-                "repro_server_render_cache_entries", "gauge",
-                "Entries resident in the render cache.",
-                [("", None, cache["entries"])],
-            ),
-            (
-                "repro_server_render_cache_hits_total", "counter",
-                "Render cache hits.",
-                [("", None, cache["hits"])],
-            ),
-            (
-                "repro_server_render_cache_misses_total", "counter",
-                "Render cache misses.",
-                [("", None, cache["misses"])],
-            ),
-            (
-                "repro_server_uptime_seconds", "gauge",
-                "Seconds since the application started.",
-                [("", None, time.time() - self._started)],
-            ),
-        ]
-        if self.slowlog is not None:
-            families.append((
-                "repro_server_slow_requests_total", "counter",
-                "Requests over the configured slowness threshold.",
-                [("", None, self.slowlog.observed)],
-            ))
-        return render_metrics(families)
+        return prometheus_from_states([self.metrics_state()])
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -742,6 +722,55 @@ class AnalysisApp:
         self.cache.invalidate_session(handle.sid)
         return 200, MutationResponse(depth, generation).to_payload()
 
+    def _ep_table(
+        self, params: dict, body: dict
+    ) -> tuple[int, dict | BinaryBody]:
+        handle = self.registry.get(params["sid"])
+        req = TableRequest.from_body(body)
+        kind = _view_kind(req.view)
+        columnar = accepts_columnar(params.get("_accept"))
+        with handle.lock:
+            sort = handle.sort
+            flavor = _flavor(
+                req.flavor,
+                sort.flavor if sort is not None and req.metric is None
+                else MetricFlavor.INCLUSIVE,
+            )
+            metric = req.metric
+            if metric is None and sort is not None:
+                metric = sort.metric
+            descending = req.descending
+            if descending is None:
+                descending = sort.descending if sort is not None else True
+            key = (
+                handle.sid, handle.generation, "table", kind.value,
+                metric, flavor.value, descending, req.depth, req.max_rows,
+                handle.flatten_depth,
+            )
+            cached = self.cache.get(key)
+            if cached is None:
+                snapshot = table_snapshot(
+                    handle.session,
+                    kind,
+                    metric=metric,
+                    flavor=flavor,
+                    descending=descending,
+                    depth=req.depth,
+                    max_rows=req.max_rows,
+                    generation=handle.generation,
+                )
+                # both encodings are derived once and cached together:
+                # a columnar hit is a pure byte write, a JSON hit skips
+                # the row materialization
+                cached = {
+                    "payload": snapshot.to_json_payload(handle.sid),
+                    "columnar": encode_columnar(snapshot),
+                }
+                self.cache.put(key, cached)
+        if columnar:
+            return 200, BinaryBody(COLUMNAR_CONTENT_TYPE, cached["columnar"])
+        return 200, cached["payload"]
+
     def _ep_render(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])
         req = RenderRequest.from_body(body)
@@ -787,3 +816,143 @@ class AnalysisApp:
             hot_path=cached.get("hot_path"),
         )
         return 200, resp.to_payload()
+
+
+# --------------------------------------------------------------------- #
+# metrics aggregation (shared by single-process serving and the pool)
+# --------------------------------------------------------------------- #
+def _merge_metrics_states(states: list[dict]) -> dict:
+    """Sum a list of :meth:`AnalysisApp.metrics_state` dicts into one."""
+    endpoints: dict[str, dict] = {}
+    merged = {
+        "endpoints": endpoints,
+        "shed": 0, "inflight": 0, "sessions": 0,
+        "resident_scopes": 0, "evictions": 0,
+        "cache": {"entries": 0, "hits": 0, "misses": 0},
+        "uptime_s": 0.0,
+        "slow_observed": None,
+    }
+    for state in states:
+        for label, entry in state.get("endpoints", {}).items():
+            into = endpoints.setdefault(label, {
+                "count": 0, "errors": 0,
+                "bucket_counts": [0] * len(entry["bucket_counts"]),
+                "sum": 0.0, "total": 0,
+            })
+            into["count"] += entry["count"]
+            into["errors"] += entry["errors"]
+            into["sum"] += entry["sum"]
+            into["total"] += entry["total"]
+            for i, count in enumerate(entry["bucket_counts"]):
+                into["bucket_counts"][i] += count
+        for key in ("shed", "inflight", "sessions", "resident_scopes",
+                    "evictions"):
+            merged[key] += state.get(key, 0)
+        cache = state.get("cache", {})
+        for key in ("entries", "hits", "misses"):
+            merged["cache"][key] += cache.get(key, 0)
+        merged["uptime_s"] = max(merged["uptime_s"],
+                                 state.get("uptime_s", 0.0))
+        slow = state.get("slow_observed")
+        if slow is not None:
+            merged["slow_observed"] = (merged["slow_observed"] or 0) + slow
+    return merged
+
+
+def prometheus_from_states(states: list[dict]) -> str:
+    """Exposition text for one or many :meth:`~AnalysisApp.metrics_state`.
+
+    With a single state this renders byte-identically to the historical
+    per-process ``GET /metrics`` output; the pool supervisor passes one
+    state per live worker and serves the sum.
+    """
+    state = states[0] if len(states) == 1 else _merge_metrics_states(states)
+    per_label = []
+    for label, entry in sorted(state["endpoints"].items()):
+        hist = Histogram()
+        hist.counts = list(entry["bucket_counts"])
+        hist.total = entry["total"]
+        hist.sum = entry["sum"]
+        per_label.append((label, entry["count"], entry["errors"],
+                          hist.cumulative(), hist.sum, hist.total))
+    cache = state["cache"]
+    families: list[tuple[str, str, str, list]] = [
+        (
+            "repro_server_requests_total", "counter",
+            "Requests handled, by endpoint label.",
+            [("", {"endpoint": label}, count)
+             for label, count, *_ in per_label],
+        ),
+        (
+            "repro_server_request_errors_total", "counter",
+            "Requests answered with status >= 400, by endpoint label.",
+            [("", {"endpoint": label}, errors)
+             for label, _count, errors, *_ in per_label],
+        ),
+        (
+            "repro_server_request_duration_seconds", "histogram",
+            "Request wall time, by endpoint label.",
+            [
+                sample
+                for label, _c, _e, buckets, total_s, total_n in per_label
+                for sample in (
+                    [("_bucket", {"endpoint": label, "le": le}, count)
+                     for le, count in buckets]
+                    + [("_sum", {"endpoint": label}, total_s),
+                       ("_count", {"endpoint": label}, total_n)]
+                )
+            ],
+        ),
+        (
+            "repro_server_requests_shed_total", "counter",
+            "Requests rejected by admission control.",
+            [("", None, state["shed"])],
+        ),
+        (
+            "repro_server_inflight_requests", "gauge",
+            "Requests currently being handled.",
+            [("", None, state["inflight"])],
+        ),
+        (
+            "repro_server_sessions", "gauge",
+            "Resident analysis sessions.",
+            [("", None, state["sessions"])],
+        ),
+        (
+            "repro_server_resident_scopes", "gauge",
+            "Total scope cost of resident sessions.",
+            [("", None, state["resident_scopes"])],
+        ),
+        (
+            "repro_server_session_evictions_total", "counter",
+            "Sessions evicted by TTL, count, or scope-budget pressure.",
+            [("", None, state["evictions"])],
+        ),
+        (
+            "repro_server_render_cache_entries", "gauge",
+            "Entries resident in the render cache.",
+            [("", None, cache["entries"])],
+        ),
+        (
+            "repro_server_render_cache_hits_total", "counter",
+            "Render cache hits.",
+            [("", None, cache["hits"])],
+        ),
+        (
+            "repro_server_render_cache_misses_total", "counter",
+            "Render cache misses.",
+            [("", None, cache["misses"])],
+        ),
+        (
+            "repro_server_uptime_seconds", "gauge",
+            "Seconds since the application started.",
+            [("", None, state["uptime_s"])],
+        ),
+    ]
+    if state["slow_observed"] is not None:
+        families.append((
+            "repro_server_slow_requests_total", "counter",
+            "Requests over the configured slowness threshold.",
+            [("", None, state["slow_observed"])],
+        ))
+    return render_metrics(families)

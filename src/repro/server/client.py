@@ -27,6 +27,7 @@ transport speaks HTTP via :mod:`urllib` — stdlib only, like the server.
 
 from __future__ import annotations
 
+import inspect
 import json
 import random
 import time
@@ -34,6 +35,8 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.server.wire import COLUMNAR_CONTENT_TYPE, decode_columnar
 
 __all__ = ["ClientResponse", "RetriesExhausted", "RetryingClient", "RetryPolicy"]
 
@@ -47,11 +50,20 @@ RETRYABLE_ERRORS = (ConnectionError, TimeoutError, urllib.error.URLError)
 
 @dataclass(frozen=True)
 class ClientResponse:
-    """One HTTP exchange: status, parsed JSON payload, and headers."""
+    """One HTTP exchange: status, parsed payload, headers, raw body.
+
+    ``payload`` is the decoded body — parsed JSON, or the decoded table
+    dict when the server answered in the columnar wire format (the two
+    decode to equal dicts by construction; the property suite holds the
+    codec to that).  ``content_type`` and the undecoded ``body`` are
+    kept for callers that care which encoding actually crossed the wire.
+    """
 
     status: int
     payload: dict
     headers: dict = field(default_factory=dict)
+    content_type: str = "application/json"
+    body: bytes = b""
 
     @property
     def ok(self) -> bool:
@@ -116,30 +128,55 @@ class RetryPolicy:
         return max(0.0, backoff)
 
 
+def _decode_body(status: int, raw: bytes, headers: dict) -> ClientResponse:
+    """Decode a response body per its Content-Type (JSON or columnar)."""
+    content_type = ""
+    for name, value in headers.items():
+        if name.lower() == "content-type":
+            content_type = value
+            break
+    if content_type.split(";")[0].strip() == COLUMNAR_CONTENT_TYPE:
+        # malformed frames raise loudly: a frame our own codec cannot
+        # read back is a server bug, not something to paper over
+        payload = decode_columnar(raw)
+    else:
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            payload = {"raw": repr(raw[:200])}
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+    return ClientResponse(
+        status=status,
+        payload=payload,
+        headers=headers,
+        content_type=content_type or "application/json",
+        body=raw,
+    )
+
+
 def _urllib_transport(
-    method: str, url: str, body: bytes | None, timeout: float
+    method: str,
+    url: str,
+    body: bytes | None,
+    timeout: float,
+    headers: dict | None = None,
 ) -> ClientResponse:
-    """Default transport: one stdlib HTTP exchange, JSON in and out."""
+    """Default transport: one stdlib HTTP exchange, JSON or columnar out."""
+    send_headers = dict(headers or {})
+    if body and "Content-Type" not in send_headers:
+        send_headers["Content-Type"] = "application/json"
     request = urllib.request.Request(
-        url,
-        data=body,
-        method=method,
-        headers={"Content-Type": "application/json"} if body else {},
+        url, data=body, method=method, headers=send_headers
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as resp:
             raw, status = resp.read(), resp.status
-            headers = dict(resp.headers.items())
+            resp_headers = dict(resp.headers.items())
     except urllib.error.HTTPError as exc:  # non-2xx still has a JSON body
         raw, status = exc.read(), exc.code
-        headers = dict(exc.headers.items()) if exc.headers else {}
-    try:
-        payload = json.loads(raw.decode("utf-8")) if raw else {}
-    except (ValueError, UnicodeDecodeError):
-        payload = {"raw": repr(raw[:200])}
-    if not isinstance(payload, dict):
-        payload = {"value": payload}
-    return ClientResponse(status=status, payload=payload, headers=headers)
+        resp_headers = dict(exc.headers.items()) if exc.headers else {}
+    return _decode_body(status, raw, resp_headers)
 
 
 class RetryingClient:
@@ -162,12 +199,24 @@ class RetryingClient:
         self.rng = rng or random.Random(0x5EED).random
         #: total retries performed over the client's lifetime
         self.retries = 0
+        #: whether the transport accepts a 5th *headers* argument — the
+        #: fault harness drives this client with 4-argument scripted
+        #: transports, which must keep working unchanged
+        self._transport_takes_headers = _takes_headers(self.transport)
 
     # ------------------------------------------------------------------ #
     def request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
     ) -> ClientResponse:
-        """One logical request; retries per the policy, then raises."""
+        """One logical request; retries per the policy, then raises.
+
+        *headers* travel with every attempt — a retried columnar request
+        re-negotiates the same encoding it originally asked for.
+        """
         url = self.base_url + path
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
@@ -176,7 +225,12 @@ class RetryingClient:
         last_error: Exception | None = None
         for attempt in range(self.policy.max_attempts):
             try:
-                response = self.transport(method, url, data, self.timeout)
+                if self._transport_takes_headers:
+                    response = self.transport(
+                        method, url, data, self.timeout, headers
+                    )
+                else:
+                    response = self.transport(method, url, data, self.timeout)
                 last_response, last_error = response, None
             except RETRYABLE_ERRORS as exc:
                 last_response, last_error = None, exc
@@ -198,11 +252,41 @@ class RetryingClient:
         )
 
     # convenience verbs ------------------------------------------------- #
-    def get(self, path: str) -> ClientResponse:
-        return self.request("GET", path)
+    def get(self, path: str, headers: dict | None = None) -> ClientResponse:
+        return self.request("GET", path, headers=headers)
 
     def post(self, path: str, body: dict | None = None) -> ClientResponse:
         return self.request("POST", path, body=body or {})
 
     def delete(self, path: str) -> ClientResponse:
         return self.request("DELETE", path)
+
+    def get_table(
+        self, sid: str, columnar: bool = True, **params
+    ) -> ClientResponse:
+        """Fetch ``/sessions/<sid>/table``, negotiating the wire format.
+
+        With ``columnar=True`` the request carries ``Accept:
+        application/x-repro-columnar`` and the transport decodes the
+        binary frame; either way ``response.payload`` is the same table
+        dict, so callers switch encodings without changing a line.
+        """
+        query = "&".join(f"{k}={v}" for k, v in sorted(params.items()))
+        path = f"/v1/sessions/{sid}/table" + (f"?{query}" if query else "")
+        headers = {"Accept": COLUMNAR_CONTENT_TYPE} if columnar else None
+        return self.request("GET", path, headers=headers)
+
+
+def _takes_headers(transport: Callable[..., ClientResponse]) -> bool:
+    """True when *transport* can accept the optional headers argument."""
+    try:
+        parameters = inspect.signature(transport).parameters.values()
+    except (TypeError, ValueError):  # builtins, odd callables: be safe
+        return False
+    positional = sum(
+        1 for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    )
+    if any(p.kind is p.VAR_POSITIONAL for p in parameters):
+        return True
+    return positional >= 5

@@ -29,7 +29,7 @@ from repro.server.app import (
     DEFAULT_MAX_INFLIGHT,
     AnalysisApp,
 )
-from repro.server.schema import RawBody
+from repro.server.schema import BinaryBody, RawBody
 from repro.server.sessions import WORKLOADS
 
 __all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
@@ -72,7 +72,7 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             raw = self.rfile.read(min(length, app.max_body + 1)) if length else b""
             unread = length - len(raw)
             status, payload, extra_headers = app.handle_full(
-                method, self.path, raw
+                method, self.path, raw, request_headers=self.headers
             )
         if unread > 0:
             # keep-alive hygiene: an oversized body was only partially
@@ -87,7 +87,10 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                     unread -= len(chunk)
             if unread > 0:
                 self.close_connection = True
-        if isinstance(payload, RawBody):
+        if isinstance(payload, BinaryBody):
+            content_type = payload.content_type
+            body = payload.data
+        elif isinstance(payload, RawBody):
             content_type = payload.content_type
             body = payload.text.encode("utf-8")
         else:
@@ -215,10 +218,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace the server's own request stages and "
                              "write them as an experiment database on "
                              "shutdown (open it with repro-view)")
+    parser.add_argument("-w", "--workers", type=int, default=1,
+                        help="pre-forked worker processes; above 1 a "
+                             "supervisor passes accepted connections to "
+                             "workers by session affinity and aggregates "
+                             "/stats and /metrics across the pool")
     args = parser.parse_args(argv)
 
     if not args.databases and args.workload is None:
         parser.error("nothing to serve: pass a database or --workload")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1:
+        if args.self_profile:
+            parser.error("--self-profile traces one process; it is not "
+                         "supported with --workers > 1")
+        from repro.server.pool import run_pool
+
+        return run_pool(args)
     tracer = install() if args.self_profile else None
     server = build_server(
         host=args.host,

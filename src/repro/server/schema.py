@@ -34,6 +34,7 @@ from repro.errors import BadRequest
 
 __all__ = [
     "API_VERSION",
+    "BinaryBody",
     "ENDPOINTS",
     "EndpointDef",
     "FieldSpec",
@@ -56,6 +57,7 @@ __all__ = [
     "SessionOpened",
     "SortRequest",
     "SortResponse",
+    "TableRequest",
     "parse_fields",
 ]
 
@@ -83,6 +85,27 @@ class RawBody:
 
     def to_payload(self) -> dict:
         return {"content_type": self.content_type, "text": self.text}
+
+
+@dataclass(frozen=True)
+class BinaryBody:
+    """A binary response body (the framed columnar table encoding).
+
+    The HTTP layer writes ``data`` verbatim with ``content_type``; the
+    in-process :meth:`AnalysisApp.handle` compatibility surface wraps it
+    in a JSON object (base64) so programmatic callers still get a dict.
+    """
+
+    content_type: str
+    data: bytes
+
+    def to_payload(self) -> dict:
+        import base64
+
+        return {
+            "content_type": self.content_type,
+            "base64": base64.b64encode(self.data).decode("ascii"),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -249,6 +272,43 @@ class RenderRequest(_Request):
                       "preference)"),
         FieldSpec("max_rows", int, default=60, lo=1, hi=100_000,
                   doc="row cap of the rendered table"),
+    )
+
+
+@dataclass(frozen=True)
+class TableRequest(_Request):
+    """``GET/POST /v1/sessions/<sid>/table`` — one view as a data table.
+
+    Same row set and order as a ``render`` of the same arguments, but
+    shipped as data (scope names, depths, metric columns) instead of
+    formatted text.  The response encoding is negotiated: JSON rows by
+    default; ``Accept: application/x-repro-columnar`` selects the framed
+    binary columnar encoding (see ``docs/server.md``).
+    """
+
+    view: str
+    metric: str | None
+    flavor: str | None
+    descending: bool | None
+    depth: int
+    max_rows: int
+
+    FIELDS = (
+        FieldSpec("view", str, default="cct",
+                  doc="which view to tabulate",
+                  choices=("cct", "calling-context", "callers", "flat")),
+        FieldSpec("metric", str, default=None,
+                  doc="metric column to sort by (default: session sort, "
+                      "else first metric)"),
+        FieldSpec("flavor", str, default=None,
+                  doc="metric flavor for the sort column",
+                  choices=("inclusive", "exclusive", "i", "e")),
+        FieldSpec("descending", bool, default=None,
+                  doc="sort direction (default: session sort, else true)"),
+        FieldSpec("depth", int, default=3, lo=0, hi=1000,
+                  doc="expansion depth of the tree-table"),
+        FieldSpec("max_rows", int, default=60, lo=1, hi=100_000,
+                  doc="row cap of the table"),
     )
 
 
@@ -526,6 +586,20 @@ ENDPOINTS: tuple[EndpointDef, ...] = (
         Operation("POST", "_ep_unflatten", "undo one flatten",
                   response=MutationResponse,
                   errors=("unknown-session", "bad-view-operation")),
+    )),
+    EndpointDef("/sessions/<sid>/table", ops=(
+        Operation("GET", "_ep_table",
+                  "one view as a data table (JSON rows, or the framed "
+                  "columnar encoding via Accept negotiation)",
+                  request=TableRequest,
+                  errors=("unknown-session", "bad-view-kind", "bad-flavor",
+                          "unknown-metric", "no-metrics")),
+        Operation("POST", "_ep_table",
+                  "one view as a data table (JSON rows, or the framed "
+                  "columnar encoding via Accept negotiation)",
+                  request=TableRequest,
+                  errors=("unknown-session", "bad-view-kind", "bad-flavor",
+                          "unknown-metric", "no-metrics")),
     )),
     EndpointDef("/sessions/<sid>/render", ops=(
         Operation("GET", "_ep_render", "render one view as a tree-table",

@@ -25,7 +25,8 @@ depends on.
 
 from __future__ import annotations
 
-import itertools
+import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -40,6 +41,7 @@ from repro.core.views import ViewKind
 from repro.hpcprof import database
 from repro.hpcprof.experiment import Experiment
 from repro.server.deadline import checkpoint
+from repro.server.wire import TableSnapshot
 from repro.errors import BadRequest, NotFound
 from repro.viewer.navigation import NavigationState
 from repro.viewer.session import ViewerSession
@@ -52,6 +54,7 @@ __all__ = [
     "SortSpec",
     "render_snapshot",
     "hot_path_snapshot",
+    "table_snapshot",
     "load_workload",
 ]
 
@@ -173,16 +176,23 @@ class SessionRegistry:
         scope_budget: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         on_evict: Callable[[SessionHandle], None] | None = None,
+        manifest_dir: str | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._handles: OrderedDict[str, SessionHandle] = OrderedDict()
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self.max_sessions = max_sessions
         self.ttl_s = ttl_s
         self.scope_budget = scope_budget
         self.clock = clock
         self.on_evict = on_evict
         self.evictions = 0
+        #: shared directory recording how each dynamically-opened session
+        #: was built (multi-worker mode).  Doubles as the cluster-wide sid
+        #: allocator (files are created O_EXCL) and lets a sibling worker
+        #: — or a restarted one — lazily re-open a session it has never
+        #: seen when affinity routing hands it the sid.
+        self.manifest_dir = manifest_dir
 
     # -- eviction (call with the lock held; returns handles to notify) -- #
     def _sweep_locked(self, keep: str | None = None) -> list[SessionHandle]:
@@ -233,9 +243,68 @@ class SessionRegistry:
                 self.on_evict(handle)
             self._release_backing(handle)
 
-    def register(self, experiment: Experiment, label: str) -> SessionHandle:
+    # -- manifest plumbing (multi-worker session sharing) ---------------- #
+    def _manifest_path(self, sid: str) -> str:
+        return os.path.join(self.manifest_dir, f"{sid}.json")
+
+    def _allocate_sid(self, spec: dict | None) -> str:
+        """Next free sid; with a manifest dir, unique across the pool.
+
+        The manifest file is created ``O_EXCL`` as the allocation lock:
+        if a sibling worker already took ``s<N>``, the create fails and
+        the counter advances.  Preloaded sessions (every worker opens
+        the same list at startup) pass ``spec=None`` and use the plain
+        counter — workers agree on those ids by construction.
+        """
         with self._lock:
-            sid = f"s{next(self._ids)}"
+            while True:
+                sid = f"s{self._next_id}"
+                self._next_id += 1
+                if self.manifest_dir is None or spec is None:
+                    return sid
+                try:
+                    fd = os.open(
+                        self._manifest_path(sid),
+                        os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    )
+                except FileExistsError:
+                    continue
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(spec, fh)
+                return sid
+
+    def _adopt(self, sid: str) -> SessionHandle | None:
+        """Open a session a sibling worker created, pinned to its sid."""
+        if self.manifest_dir is None:
+            return None
+        try:
+            with open(self._manifest_path(sid)) as fh:
+                spec = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if spec.get("database") is not None:
+            return self.open_database(
+                spec["database"], strict=not spec.get("salvage", False),
+                _sid=sid,
+            )
+        return self.open_workload(
+            spec["workload"], nranks=spec.get("nranks", 1),
+            seed=spec.get("seed", 12345), _sid=sid,
+        )
+
+    def register(
+        self,
+        experiment: Experiment,
+        label: str,
+        sid: str | None = None,
+        spec: dict | None = None,
+    ) -> SessionHandle:
+        if sid is None:
+            sid = self._allocate_sid(spec)
+        with self._lock:
+            existing = self._handles.get(sid)
+            if existing is not None:  # adoption race: first one wins
+                return existing
             handle = SessionHandle(sid, ViewerSession(experiment), label)
             handle.last_used = self.clock()
             self._handles[sid] = handle
@@ -243,7 +312,9 @@ class SessionRegistry:
         self._notify(evicted)
         return handle
 
-    def open_database(self, path: str, strict: bool = True) -> SessionHandle:
+    def open_database(
+        self, path: str, strict: bool = True, _sid: str | None = None
+    ) -> SessionHandle:
         # no exists() probe: the open itself is the check (TOCTOU-free),
         # and a vanished file surfaces as DatabaseError -> 404 here
         try:
@@ -253,15 +324,24 @@ class SessionRegistry:
             if text.startswith("no such database"):
                 raise NotFound(text, code="unknown-database") from None
             raise
-        return self.register(experiment, label=path)
+        return self.register(
+            experiment, label=path, sid=_sid,
+            spec={"database": path, "salvage": not strict},
+        )
 
     def open_workload(
-        self, name: str, nranks: int = 1, seed: int = 12345
+        self, name: str, nranks: int = 1, seed: int = 12345,
+        _sid: str | None = None,
     ) -> SessionHandle:
         return self.register(
             load_workload(name, nranks=nranks, seed=seed),
-            label=f"workload:{name}",
+            label=f"workload:{name}", sid=_sid,
+            spec={"workload": name, "nranks": nranks, "seed": seed},
         )
+
+    def preload(self, experiment: Experiment, label: str) -> SessionHandle:
+        """Register a startup session with the plain (pool-agreed) counter."""
+        return self.register(experiment, label, spec=None)
 
     def get(self, sid: str) -> SessionHandle:
         with span("server.session-lookup"), self._lock:
@@ -273,6 +353,8 @@ class SessionRegistry:
                 self._handles.move_to_end(sid)
         self._notify(evicted)
         if handle is None:
+            handle = self._adopt(sid)
+        if handle is None:
             raise NotFound(f"unknown session {sid!r}", code="unknown-session")
         return handle
 
@@ -281,6 +363,11 @@ class SessionRegistry:
             handle = self._handles.pop(sid, None)
         if handle is None:
             raise NotFound(f"unknown session {sid!r}", code="unknown-session")
+        if self.manifest_dir is not None:
+            try:  # closed sessions must not be re-adopted by siblings
+                os.unlink(self._manifest_path(sid))
+            except OSError:
+                pass
         self._release_backing(handle)
         return handle
 
@@ -363,6 +450,66 @@ def render_snapshot(
             "values": list(result.values),
         }
     return payload
+
+
+def table_snapshot(
+    session: ViewerSession,
+    kind: ViewKind,
+    metric: str | None = None,
+    flavor: MetricFlavor = MetricFlavor.INCLUSIVE,
+    descending: bool = True,
+    depth: int = 3,
+    max_rows: int = 60,
+    generation: int = 0,
+) -> TableSnapshot:
+    """One view's visible rows as columns — the data behind a render.
+
+    Same expansion and sibling order as :func:`render_snapshot`
+    (sorted by the selected column, expanded to *depth*), but instead
+    of formatting text it collects the row identities once and gathers
+    every metric column in bulk through
+    :meth:`~repro.core.views.View.gather_columns` — no per-row dicts,
+    no cell formatting.  Columns are every metric, inclusive then
+    exclusive, exactly like the text table's default column set.
+    """
+    checkpoint("table")
+    view = session.view(kind)
+    checkpoint("table")
+    spec = _resolve_spec(session, metric, flavor)
+    state = NavigationState(view, column=spec)
+    state.descending = descending
+    state.expand_to_depth(depth)
+    checkpoint("table")
+    roots = view.current_roots() if kind is ViewKind.FLAT else None
+    rows: list = []
+    depths: list[int] = []
+    truncated = 0
+    for row, row_depth in state.visible_rows(roots=roots):
+        if len(rows) >= max_rows:
+            truncated += 1
+            continue
+        rows.append(row)
+        depths.append(row_depth)
+    specs: list[MetricSpec] = []
+    labels: list[str] = []
+    for desc in session.experiment.metrics:
+        for flav, tag in ((MetricFlavor.INCLUSIVE, "(I)"),
+                          (MetricFlavor.EXCLUSIVE, "(E)")):
+            specs.append(MetricSpec(desc.mid, flav))
+            labels.append(f"{desc.name} {tag}")
+    with span("viewer.gather-table"):
+        values = view.gather_columns(rows, specs)
+    import numpy as np
+
+    return TableSnapshot(
+        view=kind.value,
+        generation=generation,
+        names=tuple(r.name for r in rows),
+        depths=np.asarray(depths, dtype=np.int64),
+        labels=tuple(labels),
+        values=values,
+        truncated=truncated,
+    )
 
 
 def hot_path_snapshot(

@@ -1,0 +1,216 @@
+"""The binary columnar wire format (``application/x-repro-columnar``).
+
+JSON is the service's default response encoding and stays
+byte-compatible, but it pays a per-cell cost: every row of a rendered
+table is materialized as a Python object and every float is printed and
+reparsed.  The columnar encoding ships the same table as a framed
+header plus raw little-endian column slabs taken directly from the
+columnar engine's float64 matrices — no per-row objects, no number
+formatting, and a decode that is one ``frombuffer`` per column.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RPCT"
+    4       2     format version (currently 1)
+    6       2     flags (reserved, 0)
+    8       4     header length H in bytes
+    12      H     header: UTF-8 JSON object
+    12+H    ...   numeric column slabs, in header column order
+
+The header carries the table metadata and every non-numeric column::
+
+    {"view": ..., "generation": ..., "row_count": N,
+     "columns": [{"name": ..., "dtype": "str"|"int64"|"float64"}, ...],
+     "strings": {"<column name>": ["...", ...]}}
+
+Each numeric column follows as exactly ``8 * row_count`` bytes
+(``<f8`` for float64, ``<i8`` for int64).  String columns (the scope
+names) live in the header — they are needed as decoded text anyway.
+
+Parity contract: :func:`decode_columnar` of an encoded
+:class:`TableSnapshot` compares equal — including float *bit*
+identity — to the snapshot's JSON payload, because JSON float64
+round-trips exactly through ``repr``/``float`` and the slabs carry the
+identical binary64 values.  The property suite and the golden corpus
+pin this.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BadRequest
+
+__all__ = [
+    "COLUMNAR_CONTENT_TYPE",
+    "TableSnapshot",
+    "accepts_columnar",
+    "decode_columnar",
+    "encode_columnar",
+]
+
+#: the negotiated media type for framed columnar responses
+COLUMNAR_CONTENT_TYPE = "application/x-repro-columnar"
+
+_MAGIC = b"RPCT"
+_VERSION = 1
+_PREFIX = struct.Struct("<4sHHI")  # magic, version, flags, header length
+
+_DTYPES = {"float64": np.dtype("<f8"), "int64": np.dtype("<i8")}
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """One rendered view as columns — the unit the table endpoint caches.
+
+    ``names``/``depths`` are the navigation pane (display order: sorted
+    siblings, expanded rows); ``labels[j]`` names metric column ``j`` of
+    ``values`` (a ``(row_count, len(labels))`` float64 matrix gathered
+    straight from the engine matrices, never via per-row dicts).
+    """
+
+    view: str
+    generation: int
+    names: tuple[str, ...]
+    depths: np.ndarray          # int64, shape (row_count,)
+    labels: tuple[str, ...]
+    values: np.ndarray          # float64, shape (row_count, len(labels))
+    truncated: int = 0          #: rows beyond max_rows that were dropped
+
+    @property
+    def row_count(self) -> int:
+        return len(self.names)
+
+    def columns_meta(self) -> list[dict]:
+        meta = [{"name": "scope", "dtype": "str"},
+                {"name": "depth", "dtype": "int64"}]
+        meta.extend({"name": label, "dtype": "float64"}
+                    for label in self.labels)
+        return meta
+
+    def to_rows(self) -> list[list]:
+        """Row-major cells, exactly as the JSON encoding ships them."""
+        depths = self.depths.tolist()
+        cells = self.values.tolist()  # C-order: one list per row
+        return [
+            [name, depth, *row]
+            for name, depth, row in zip(self.names, depths, cells)
+        ]
+
+    def to_json_payload(self, session: str) -> dict:
+        return {
+            "view": self.view,
+            "session": session,
+            "generation": self.generation,
+            "row_count": self.row_count,
+            "truncated": self.truncated,
+            "columns": self.columns_meta(),
+            "rows": self.to_rows(),
+        }
+
+
+# --------------------------------------------------------------------- #
+def encode_columnar(snapshot: TableSnapshot) -> bytes:
+    """Frame a :class:`TableSnapshot` as columnar wire bytes."""
+    header = {
+        "view": snapshot.view,
+        "generation": snapshot.generation,
+        "row_count": snapshot.row_count,
+        "truncated": snapshot.truncated,
+        "columns": snapshot.columns_meta(),
+        "strings": {"scope": list(snapshot.names)},
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [
+        _PREFIX.pack(_MAGIC, _VERSION, 0, len(header_bytes)),
+        header_bytes,
+        np.ascontiguousarray(snapshot.depths, dtype="<i8").tobytes(),
+    ]
+    values = np.ascontiguousarray(snapshot.values, dtype="<f8")
+    for j in range(values.shape[1]):
+        # one contiguous slab per column: the decoder's frombuffer view
+        parts.append(np.ascontiguousarray(values[:, j]).tobytes())
+    return b"".join(parts)
+
+
+def _bad(message: str) -> BadRequest:
+    return BadRequest(message, code="bad-columnar-frame")
+
+
+def decode_columnar(data: bytes) -> dict:
+    """Decode a columnar frame into the JSON table payload shape.
+
+    The result carries ``view``/``generation``/``row_count``/
+    ``truncated``/``columns``/``rows`` with values equal (floats
+    bit-identical) to the server's JSON encoding of the same table;
+    only the transport-level ``session`` field is absent.
+    """
+    if len(data) < _PREFIX.size:
+        raise _bad(f"columnar frame truncated at {len(data)} bytes")
+    magic, version, _flags, header_len = _PREFIX.unpack_from(data)
+    if magic != _MAGIC:
+        raise _bad(f"bad columnar magic {magic!r}")
+    if version != _VERSION:
+        raise _bad(f"unsupported columnar version {version}")
+    end = _PREFIX.size + header_len
+    if len(data) < end:
+        raise _bad("columnar header extends past the frame")
+    try:
+        header = json.loads(data[_PREFIX.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _bad(f"columnar header is not valid JSON: {exc}") from None
+    row_count = header.get("row_count")
+    columns = header.get("columns")
+    strings = header.get("strings", {})
+    if not isinstance(row_count, int) or not isinstance(columns, list):
+        raise _bad("columnar header missing row_count/columns")
+    series: list[list] = []
+    offset = end
+    for col in columns:
+        dtype = col.get("dtype")
+        if dtype == "str":
+            values = strings.get(col.get("name"))
+            if not isinstance(values, list) or len(values) != row_count:
+                raise _bad(f"string column {col.get('name')!r} missing "
+                           "from the header")
+            series.append(values)
+            continue
+        np_dtype = _DTYPES.get(dtype)
+        if np_dtype is None:
+            raise _bad(f"unknown column dtype {dtype!r}")
+        size = row_count * np_dtype.itemsize
+        if len(data) < offset + size:
+            raise _bad(f"column slab for {col.get('name')!r} is truncated")
+        column = np.frombuffer(data, dtype=np_dtype, count=row_count,
+                               offset=offset)
+        series.append(column.tolist())
+        offset += size
+    if offset != len(data):
+        raise _bad(f"{len(data) - offset} trailing bytes after the last "
+                   "column slab")
+    return {
+        "view": header.get("view"),
+        "generation": header.get("generation"),
+        "row_count": row_count,
+        "truncated": header.get("truncated", 0),
+        "columns": columns,
+        "rows": [list(cells) for cells in zip(*series)] if series else [],
+    }
+
+
+def accepts_columnar(accept: str | None) -> bool:
+    """Does an ``Accept`` header value ask for the columnar encoding?"""
+    if not accept:
+        return False
+    return any(
+        part.split(";", 1)[0].strip().lower() == COLUMNAR_CONTENT_TYPE
+        for part in accept.split(",")
+    )

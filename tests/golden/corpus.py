@@ -23,8 +23,8 @@ from repro.hpcprof.experiment import Experiment
 from repro.hpcprof.merge import merge_experiments
 from repro.viewer.table import TableOptions, render_view
 
-__all__ = ["DATA_DIR", "FIXTURES", "VIEW_SLUGS", "build_fixture",
-           "render_views"]
+__all__ = ["COLUMNAR_FIXTURE", "DATA_DIR", "FIXTURES", "VIEW_SLUGS",
+           "build_fixture", "columnar_table_bytes", "render_views"]
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
@@ -86,8 +86,32 @@ def recursive_ladder() -> Experiment:
     return Experiment.from_program(recursive_ladder(), nranks=1, seed=11)
 
 
+#: the one fixture whose framed columnar table bytes are pinned —
+#: ``<name>.table.rpcol`` in the data directory guards the wire format
+#: (magic, framing, header JSON, column slab layout) against drift
+COLUMNAR_FIXTURE = "fig1-serial"
+
+
 def build_fixture(name: str) -> Experiment:
     return FIXTURES[name]()
+
+
+def columnar_table_bytes(experiment: Experiment) -> bytes:
+    """The canonical columnar table frame for a fixture.
+
+    Calling-context view, four levels deep, the golden renders' row
+    budget — the same shape a ``GET /table`` with columnar ``Accept``
+    serves, so the pin covers the exact bytes a client decodes.
+    """
+    from repro.core.views import ViewKind
+    from repro.server.sessions import table_snapshot
+    from repro.server.wire import encode_columnar
+    from repro.viewer.session import ViewerSession
+
+    session = ViewerSession(experiment)
+    snapshot = table_snapshot(session, ViewKind.CALLING_CONTEXT,
+                              depth=4, max_rows=120)
+    return encode_columnar(snapshot)
 
 
 def render_views(experiment: Experiment) -> dict[str, str]:

@@ -88,3 +88,30 @@ def test_fixture_builders_still_match_corpus(name: str) -> None:
     for version in (1, 2):
         with open(_data(f"{name}.v{version}.rpdb"), "rb") as fh:
             assert binio.dumps_binary(exp, version=version) == fh.read()
+
+
+def test_columnar_table_frame_is_byte_stable() -> None:
+    """The framed columnar table bytes for the pinned fixture are exact.
+
+    Re-encoding the checked-in database must reproduce the checked-in
+    frame (pins magic, framing, header JSON and slab layout), and the
+    checked-in frame must still decode to the same table the JSON
+    encoding serves.
+    """
+    from repro.core.views import ViewKind
+    from repro.server.sessions import table_snapshot
+    from repro.server.wire import decode_columnar
+    from repro.viewer.session import ViewerSession
+
+    name = corpus.COLUMNAR_FIXTURE
+    exp = database.load(_data(f"{name}.v2.rpdb"))
+    with open(_data(f"{name}.table.rpcol"), "rb") as fh:
+        golden = fh.read()
+    assert corpus.columnar_table_bytes(exp) == golden
+
+    decoded = decode_columnar(golden)
+    snapshot = table_snapshot(ViewerSession(exp), ViewKind.CALLING_CONTEXT,
+                              depth=4, max_rows=120)
+    reference = {k: v for k, v in
+                 snapshot.to_json_payload("s1").items() if k != "session"}
+    assert decoded == reference

@@ -1,0 +1,68 @@
+"""Property: the columnar wire format equals the JSON table, bit for bit.
+
+For random CCT experiments, every view's table must decode from the
+framed columnar bytes to exactly the dict the JSON encoding would
+deliver to a client — including float equality at the bit level, since
+JSON's ``repr``-based float printing round-trips binary64 exactly and
+the column slabs carry the identical bytes.  The comparison goes
+through a real ``json.dumps``/``json.loads`` cycle so the JSON side is
+what a client actually parses, not an in-process shortcut.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.views import ViewKind
+from repro.hpcprof.experiment import Experiment
+from repro.server.sessions import table_snapshot
+from repro.server.wire import decode_columnar, encode_columnar
+from repro.viewer.session import ViewerSession
+from tests.props.strategies import cct_experiments
+
+VIEW_KINDS = tuple(ViewKind)
+
+
+class TestColumnarParity:
+    @settings(max_examples=25, deadline=None)
+    @given(data=cct_experiments(),
+           kind=st.sampled_from(VIEW_KINDS),
+           depth=st.integers(min_value=0, max_value=6),
+           max_rows=st.integers(min_value=1, max_value=200),
+           descending=st.booleans())
+    def test_decoded_columnar_equals_json_rows(
+        self, data, kind, depth, max_rows, descending
+    ) -> None:
+        cct, model, metrics = data
+        session = ViewerSession(Experiment("prop", metrics, model, cct))
+        snapshot = table_snapshot(session, kind, depth=depth,
+                                  max_rows=max_rows, descending=descending)
+
+        as_json = json.loads(
+            json.dumps(snapshot.to_json_payload("s1"), sort_keys=True)
+        )
+        reference = {k: v for k, v in as_json.items() if k != "session"}
+        decoded = decode_columnar(encode_columnar(snapshot))
+        assert decoded == reference
+        # dict equality treats 0.0 == -0.0 and would hide a NaN by
+        # failing; make bit-identity explicit for every float cell
+        for json_row, col_row in zip(reference["rows"], decoded["rows"]):
+            for json_cell, col_cell in zip(json_row[2:], col_row[2:]):
+                assert math.copysign(1.0, json_cell) == math.copysign(
+                    1.0, col_cell
+                )
+                assert json_cell == col_cell
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=cct_experiments(), kind=st.sampled_from(VIEW_KINDS))
+    def test_frame_is_deterministic(self, data, kind) -> None:
+        """Same snapshot, same bytes — the premise of both the response
+        cache (encode once per generation) and the golden pin."""
+        cct, model, metrics = data
+        session = ViewerSession(Experiment("prop", metrics, model, cct))
+        snapshot = table_snapshot(session, kind, depth=3, max_rows=50)
+        assert encode_columnar(snapshot) == encode_columnar(snapshot)

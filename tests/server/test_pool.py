@@ -1,0 +1,357 @@
+"""Worker-pool lifecycle: routing, aggregation, crash recovery, chaos.
+
+These tests fork real worker processes and talk to them over real
+sockets.  Every wall-clock bound goes through :func:`conftest.scaled`
+so a loaded CI box can stretch them uniformly via
+``REPRO_TEST_TIMEOUT_SCALE``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.server.client import RetryingClient, RetryPolicy
+from repro.server.pool import ServerPool, merge_stats_payloads
+from repro.server.wire import COLUMNAR_CONTENT_TYPE, decode_columnar
+
+from .conftest import scaled
+
+POOL_CONFIG = {"workload": "fig1", "nranks": 2, "seed": 7,
+               "max_body": 1 << 20}
+
+
+@pytest.fixture
+def pool():
+    instance = ServerPool(workers=2, config=dict(POOL_CONFIG)).start()
+    try:
+        yield instance
+    finally:
+        instance.close()
+
+
+def _get(pool: ServerPool, path: str, headers: dict | None = None,
+         method: str = "GET", body: bytes | None = None):
+    host, port = pool.address
+    conn = http.client.HTTPConnection(host, port, timeout=scaled(30))
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        data = response.read()
+        content_type = response.getheader("Content-Type", "")
+        return response.status, content_type, data
+    finally:
+        conn.close()
+
+
+def _get_json(pool: ServerPool, path: str, **kwargs) -> tuple[int, dict]:
+    status, _ctype, data = _get(pool, path, **kwargs)
+    return status, json.loads(data)
+
+
+def _wait_for(predicate, timeout_s: float, message: str):
+    deadline = time.monotonic() + scaled(timeout_s)
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+# --------------------------------------------------------------------- #
+# serving both encodings through the pool
+# --------------------------------------------------------------------- #
+class TestPoolServing:
+    def test_serves_json_and_columnar(self, pool: ServerPool) -> None:
+        status, ctype, body = _get(
+            pool, "/v1/sessions/s1/table?view=cct&depth=3"
+        )
+        assert (status, ctype) == (200, "application/json")
+        as_json = json.loads(body)
+
+        status, ctype, frame = _get(
+            pool, "/v1/sessions/s1/table?view=cct&depth=3",
+            headers={"Accept": COLUMNAR_CONTENT_TYPE},
+        )
+        assert (status, ctype) == (200, COLUMNAR_CONTENT_TYPE)
+        reference = {k: v for k, v in as_json.items() if k != "session"}
+        assert decode_columnar(frame) == reference
+
+    def test_healthz_reports_every_worker(self, pool: ServerPool) -> None:
+        status, payload = _get_json(pool, "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert [w["slot"] for w in payload["workers"]] == [0, 1]
+        assert all(w["alive"] for w in payload["workers"])
+        live_pids = {w.pid for w in pool.workers}
+        assert {w["pid"] for w in payload["workers"]} == live_pids
+
+    def test_stats_aggregate_across_workers(self, pool: ServerPool) -> None:
+        """N requests spread over sessions count exactly N pool-wide."""
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        created = [
+            client.post("/v1/sessions", {"workload": "s3d"}).payload
+            ["session"]["id"]
+            for _ in range(3)
+        ]
+        before = _get_json(pool, "/v1/stats")[1]
+        per_sid = 4
+        for sid in ["s1", *created]:
+            for _ in range(per_sid):
+                status, _payload = _get_json(
+                    pool, f"/v1/sessions/{sid}/table?view=flat"
+                )
+                assert status == 200
+        after = _get_json(pool, "/v1/stats")[1]
+        table = "/sessions/<sid>/table"
+        counted = (
+            after["endpoints"][table]["count"]
+            - before["endpoints"].get(table, {}).get("count", 0)
+        )
+        assert counted == per_sid * (1 + len(created))
+        assert after["requests"]["total"] > before["requests"]["total"]
+        assert [w["alive"] for w in after["pool"]["workers"]] == [True, True]
+
+    def test_metrics_aggregate_is_valid_exposition(self,
+                                                   pool: ServerPool) -> None:
+        _get_json(pool, "/v1/sessions/s1/table?view=cct")
+        status, ctype, body = _get(pool, "/v1/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "repro_server_sessions" in text
+
+    def test_session_created_on_one_worker_readable_everywhere(
+        self, pool: ServerPool
+    ) -> None:
+        """POST /sessions lands round-robin; the affinity owner adopts
+        the session from the shared manifest on first use."""
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        for _ in range(4):  # cover both round-robin creators
+            sid = client.post("/v1/sessions", {"workload": "s3d"}) \
+                .payload["session"]["id"]
+            response = client.get_table(sid, columnar=True, view="cct")
+            assert response.status == 200
+            assert response.payload["row_count"] > 0
+            assert client.delete(f"/v1/sessions/{sid}").status == 200
+            assert client.get(f"/v1/sessions/{sid}").status == 404
+
+
+# --------------------------------------------------------------------- #
+# crash recovery
+# --------------------------------------------------------------------- #
+class TestWorkerCrash:
+    def test_killed_worker_is_restarted(self, pool: ServerPool) -> None:
+        victim = pool.workers[0].pid
+        os.kill(victim, signal.SIGKILL)
+
+        def recovered():
+            status, payload = _get_json(pool, "/v1/healthz")
+            return payload if (
+                status == 200
+                and all(w["alive"] for w in payload["workers"])
+            ) else None
+
+        payload = _wait_for(recovered, 15, "worker restart")
+        slot0 = payload["workers"][0]
+        assert slot0["pid"] != victim
+        assert slot0["restarts"] == 1
+        # the restarted worker serves the preloaded session again
+        status, table = _get_json(
+            pool, "/v1/sessions/s1/table?view=cct&depth=3"
+        )
+        assert status == 200 and table["row_count"] > 0
+
+    def test_inflight_on_other_workers_unaffected(self,
+                                                  pool: ServerPool) -> None:
+        """kill -9 one worker while the other streams requests: every
+        request on the surviving worker succeeds, no retry needed."""
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        # a session owned (by affinity) by each slot
+        sids = {}
+        while len(sids) < 2:
+            sid = client.post("/v1/sessions", {"workload": "s3d"}) \
+                .payload["session"]["id"]
+            import zlib
+
+            sids.setdefault(zlib.crc32(sid.encode()) % 2, sid)
+        victim_slot = 0
+        survivor_sid = sids[1 - victim_slot]
+        # pin both sessions' caches hot before the crash
+        for sid in sids.values():
+            client.get_table(sid, columnar=True)
+
+        errors: list = []
+        stop = threading.Event()
+
+        def hammer():
+            conn = http.client.HTTPConnection(host, port,
+                                              timeout=scaled(30))
+            path = f"/v1/sessions/{survivor_sid}/table?view=cct"
+            try:
+                while not stop.is_set():
+                    conn.request("GET", path)
+                    response = conn.getresponse()
+                    response.read()
+                    if response.status != 200:
+                        errors.append(response.status)
+            except (OSError, http.client.HTTPException) as exc:
+                errors.append(type(exc).__name__)
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            time.sleep(scaled(0.2))
+            os.kill(pool.workers[victim_slot].pid, signal.SIGKILL)
+            time.sleep(scaled(0.5))
+        finally:
+            stop.set()
+            thread.join(timeout=scaled(30))
+        assert not thread.is_alive()
+        assert errors == []
+
+        # and the victim's sessions come back after the refork
+        def victim_serves():
+            status, _payload = _get_json(
+                pool, f"/v1/sessions/{sids[victim_slot]}/table?view=cct"
+            )
+            return status == 200
+
+        _wait_for(victim_serves, 15, "restarted worker to adopt session")
+
+    def test_stats_stay_consistent_after_restart(self,
+                                                 pool: ServerPool) -> None:
+        """Post-crash aggregation still sums cleanly (the dead worker's
+        counters are gone — by design — but the merge stays coherent)."""
+        os.kill(pool.workers[1].pid, signal.SIGKILL)
+        _wait_for(
+            lambda: _get_json(pool, "/v1/healthz")[0] == 200, 15,
+            "pool to return to full strength",
+        )
+        for _ in range(3):
+            assert _get_json(pool, "/v1/sessions/s1/render",
+                             method="POST", body=b"{}")[0] == 200
+        status, stats = _get_json(pool, "/v1/stats")
+        assert status == 200
+        total = sum(e["count"] for e in stats["endpoints"].values())
+        assert stats["requests"]["total"] == total
+        assert stats["requests"]["errors"] == sum(
+            e["errors"] for e in stats["endpoints"].values()
+        )
+
+
+# --------------------------------------------------------------------- #
+# structured errors under multi-worker (the chaos battery)
+# --------------------------------------------------------------------- #
+class TestPoolChaos:
+    CASES = [
+        ("GET", "/v1/sessions/nope/table", None, 404, "unknown-session"),
+        ("GET", "/v1/sessions/nope/render", None, 404, "unknown-session"),
+        ("GET", "/v1/sessions/s1/table?view=bogus", None, 400,
+         "bad-view-kind"),
+        ("GET", "/v1/sessions/s1/table?flavor=sideways", None, 400,
+         "bad-flavor"),
+        ("GET", "/v1/sessions/s1/table?metric=nothere", None, 404,
+         "unknown-metric"),
+        ("POST", "/v1/sessions/s1/render", b"{not json", 400,
+         "malformed-json"),
+        ("POST", "/v1/sessions/s1/render", b"[1, 2]", 400,
+         "bad-request-shape"),
+        ("POST", "/v1/sessions", b'{"workload": "bogus"}', 404,
+         "unknown-workload"),
+        ("GET", "/v1/nowhere", None, 404, "unknown-endpoint"),
+        ("DELETE", "/v1/sessions/s1/table", None, 405,
+         "method-not-allowed"),
+    ]
+
+    @pytest.mark.parametrize("method, path, body, status, code", CASES)
+    def test_structured_errors_hold_under_pool(
+        self, pool: ServerPool, method, path, body, status, code
+    ) -> None:
+        got_status, payload = _get_json(pool, path, method=method, body=body)
+        assert got_status == status
+        error = payload["error"]
+        assert error["code"] == code
+        assert error["status"] == status
+        assert len(error["trace_id"]) == 16
+
+    def test_errors_structured_on_every_worker(self,
+                                               pool: ServerPool) -> None:
+        """Fresh connections round-robin, so hitting the same bad path
+        repeatedly exercises each worker; trace ids never repeat."""
+        seen = set()
+        for _ in range(4):
+            status, payload = _get_json(pool, "/v1/sessions/nope/render")
+            assert status == 404
+            seen.add(payload["error"]["trace_id"])
+        assert len(seen) == 4
+
+    def test_retrying_client_columnar_survives_pool(self,
+                                                    pool: ServerPool) -> None:
+        """The retrying path carries the Accept header on every attempt."""
+        host, port = pool.address
+        client = RetryingClient(
+            base_url=f"http://{host}:{port}",
+            policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+        )
+        response = client.get_table("s1", columnar=True, view="flat")
+        assert response.status == 200
+        assert response.content_type == COLUMNAR_CONTENT_TYPE
+        reference = client.get_table("s1", columnar=False, view="flat")
+        assert response.payload == {
+            k: v for k, v in reference.payload.items() if k != "session"
+        }
+
+
+# --------------------------------------------------------------------- #
+# merge arithmetic (pure function)
+# --------------------------------------------------------------------- #
+class TestStatsMerge:
+    def test_merge_sums_counters_and_weights_latency(self) -> None:
+        a = {
+            "uptime_s": 5.0,
+            "requests": {"total": 10, "errors": 1, "shed": 0, "inflight": 2},
+            "endpoints": {"/x": {"count": 10, "errors": 1,
+                                 "latency_ms": {"mean": 2.0, "min": 1.0,
+                                                "max": 4.0}}},
+            "cache": {"hits": 5, "misses": 5},
+            "sessions": 1, "resident_scopes": 100, "evictions": 0,
+        }
+        b = {
+            "uptime_s": 7.0,
+            "requests": {"total": 30, "errors": 0, "shed": 2, "inflight": 0},
+            "endpoints": {"/x": {"count": 30, "errors": 0,
+                                 "latency_ms": {"mean": 4.0, "min": 0.5,
+                                                "max": 9.0}}},
+            "cache": {"hits": 20, "misses": 10},
+            "sessions": 2, "resident_scopes": 200, "evictions": 1,
+        }
+        merged = merge_stats_payloads([a, b])
+        assert merged["uptime_s"] == 7.0
+        assert merged["requests"] == {"total": 40, "errors": 1,
+                                      "shed": 2, "inflight": 2}
+        endpoint = merged["endpoints"]["/x"]
+        assert endpoint["count"] == 40
+        assert endpoint["latency_ms"]["mean"] == pytest.approx(3.5)
+        assert endpoint["latency_ms"]["min"] == 0.5
+        assert endpoint["latency_ms"]["max"] == 9.0
+        assert merged["cache"] == {"hits": 25, "misses": 15}
+        assert merged["sessions"] == 3
+
+    def test_merge_of_nothing_is_empty(self) -> None:
+        merged = merge_stats_payloads([])
+        assert merged["requests"]["total"] == 0
+        assert merged["endpoints"] == {}

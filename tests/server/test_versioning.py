@@ -45,6 +45,9 @@ SCENARIO = [
     ("GET", "/sessions/{sid}/render?view=flat&depth=2", None),
     ("POST", "/sessions/{sid}/render",
      {"view": "cct", "hot_path": True, "max_rows": 30}),
+    ("GET", "/sessions/{sid}/table?view=callers&depth=2", None),
+    ("POST", "/sessions/{sid}/table",
+     {"view": "cct", "depth": 3, "max_rows": 40}),
     ("POST", "/sessions/{sid}/flatten", None),
     ("POST", "/sessions/{sid}/unflatten", None),
     # error paths must alias identically too (modulo the trace id)

@@ -7,7 +7,10 @@ For every fixture in ``tests/golden/corpus.py`` this writes:
   format;
 * ``<name>.v2.rpdb`` — the same experiment in the framed v2 format;
 * ``<name>.<view>.txt`` — the canonical rendering of each of the three
-  presentation views (see ``corpus.render_views``).
+  presentation views (see ``corpus.render_views``);
+* ``<name>.table.rpcol`` — for the one pinned fixture, the framed
+  columnar table bytes the server sends under ``Accept:
+  application/x-repro-columnar`` (see ``corpus.columnar_table_bytes``).
 
 ``tests/golden/test_golden_corpus.py`` re-renders the checked-in
 binaries through every reader path and compares byte-for-byte, so this
@@ -44,6 +47,10 @@ def generate() -> dict[str, bytes]:
         out[f"{name}.v2.rpdb"] = binio.dumps_binary(experiment, version=2)
         for slug, text in corpus.render_views(experiment).items():
             out[f"{name}.{slug}.txt"] = text.encode("utf-8")
+        if name == corpus.COLUMNAR_FIXTURE:
+            out[f"{name}.table.rpcol"] = corpus.columnar_table_bytes(
+                experiment
+            )
     return out
 
 

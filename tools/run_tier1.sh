@@ -4,14 +4,16 @@
 #   tools/run_tier1.sh            # full gate
 #   REPRO_TEST_TIMEOUT_SCALE=4 tools/run_tier1.sh   # slow/loaded machines
 #
-# Four stages, all required:
+# Five stages, all required:
 #   1. the pytest suite (-x: first failure stops the run) — with
 #      coverage enforcement when pytest-cov is installed;
 #   2. public API surface: regenerated in-memory, diffed against the
 #      checked-in tests/api_surface.txt;
 #   3. golden corpus: fixtures + rendered views regenerated, diffed
 #      byte-for-byte against tests/golden/data;
-#   4. coverage ratchet: the fail_under floor may never decrease.
+#   4. pool smoke: a 2-worker pre-forked pool serves one JSON and one
+#      columnar render (decoded and cross-checked) and shuts down;
+#   5. coverage ratchet: the fail_under floor may never decrease.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +37,9 @@ echo "api surface clean"
 
 echo "== tier-1: golden corpus =="
 python tools/gen_golden.py
+
+echo "== tier-1: pool smoke =="
+python tools/pool_smoke.py
 
 echo "== tier-1: coverage ratchet =="
 python tools/check_coverage_ratchet.py
