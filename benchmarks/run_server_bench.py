@@ -249,9 +249,12 @@ def scaling_curve(
 
     Each client thread owns one session (preloaded identically in every
     worker, so session-affinity spreads them across the pool) and one
-    keep-alive connection — once the parent has passed the connection's
-    fd to a worker, requests flow with no further routing cost, which is
-    the pool's intended steady state.
+    keep-alive connection.  Because every request on a connection names
+    the same session, the worker's affinity discipline keeps the
+    connection open — routing is paid once and requests then flow with
+    no further routing cost, the pool's intended steady state.  (A
+    connection switching sessions would be refused with 421 and
+    re-routed on reconnect; this workload never does.)
     """
     table_query = f"view={view}&depth={depth}&max_rows=100000"
     curve: list[dict] = []

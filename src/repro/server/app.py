@@ -643,9 +643,11 @@ class AnalysisApp:
         return 200, SessionInfoResponse(handle.info()).to_payload()
 
     def _ep_session_close(self, params: dict, body: dict) -> tuple[int, dict]:
-        handle = self.registry.close(params["sid"])
-        self.cache.invalidate_session(handle.sid)
-        return 200, SessionClosed(handle.sid).to_payload()
+        # close() may return None for a manifest-only session this
+        # worker never adopted; the sid itself is all the response needs
+        self.registry.close(params["sid"])
+        self.cache.invalidate_session(params["sid"])
+        return 200, SessionClosed(params["sid"]).to_payload()
 
     def _ep_metrics_list(self, params: dict, body: dict) -> tuple[int, dict]:
         handle = self.registry.get(params["sid"])

@@ -5,11 +5,13 @@ retry discipline the server's resilience layer expects from well-behaved
 callers:
 
 * **retryable failures** — 429 (shed by admission control), 503
-  (deadline exceeded / not ready), and transport-level errors
+  (deadline exceeded / not ready), 421 (a kept-alive connection
+  misdirected to a non-owner worker in pool mode — a retry on a fresh
+  connection is re-routed correctly), and transport-level errors
   (connection refused or reset mid-exchange) are retried; everything
-  else, success or failure, is returned to the caller as-is.  4xx
-  responses other than 429 are the client's own fault and retrying
-  would only repeat the mistake;
+  else, success or failure, is returned to the caller as-is.  Other
+  4xx responses are the client's own fault and retrying would only
+  repeat the mistake;
 * **exponential backoff with jitter** — the *k*-th retry sleeps
   ``base * 2**k`` seconds, capped at ``max_delay``, with a multiplicative
   jitter drawn from ``[1 - jitter, 1 + jitter)`` so a shed thundering
@@ -32,6 +34,7 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable
@@ -40,8 +43,9 @@ from repro.server.wire import COLUMNAR_CONTENT_TYPE, decode_columnar
 
 __all__ = ["ClientResponse", "RetriesExhausted", "RetryingClient", "RetryPolicy"]
 
-#: HTTP statuses worth retrying: shed (429) and unavailable (503)
-RETRYABLE_STATUSES = frozenset({429, 503})
+#: HTTP statuses worth retrying: misdirected (421, pool keep-alive
+#: discipline — fresh connections re-route), shed (429), unavailable (503)
+RETRYABLE_STATUSES = frozenset({421, 429, 503})
 
 #: transport exceptions worth retrying (the request may never have
 #: reached the server, or the server died mid-response)
@@ -271,7 +275,7 @@ class RetryingClient:
         binary frame; either way ``response.payload`` is the same table
         dict, so callers switch encodings without changing a line.
         """
-        query = "&".join(f"{k}={v}" for k, v in sorted(params.items()))
+        query = urllib.parse.urlencode(sorted(params.items()))
         path = f"/v1/sessions/{sid}/table" + (f"?{query}" if query else "")
         headers = {"Accept": COLUMNAR_CONTENT_TYPE} if columnar else None
         return self.request("GET", path, headers=headers)

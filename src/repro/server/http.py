@@ -19,8 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import signal
 import sys
+import uuid
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import install, save_self_profile, span, uninstall
@@ -33,6 +36,10 @@ from repro.server.schema import BinaryBody, RawBody
 from repro.server.sessions import WORKLOADS
 
 __all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
+
+#: the session id a request path addresses, for pool-mode affinity checks
+#: (must agree with the parent's routing regex in repro.server.pool)
+_POOL_SID_RE = re.compile(r"^(?:/v1)?/sessions/([^/?]+)")
 
 
 class AnalysisRequestHandler(BaseHTTPRequestHandler):
@@ -50,8 +57,60 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
     DRAIN_LIMIT = 64 * 1024
 
     # ------------------------------------------------------------------ #
+    def _affinity_guard(self) -> bool:
+        """Pool-mode connection discipline; True when serving may proceed.
+
+        The pool parent routes each *connection* once, by its first
+        request line, but this handler speaks HTTP/1.1 keep-alive — so a
+        reused connection could carry later requests for sessions whose
+        state lives in a different worker.  The discipline: a connection
+        stays alive while its requests name sessions this worker owns by
+        affinity (the steady state — routing stays correct with zero
+        per-request cost); anything else is served once (the parent sent
+        the connection here on purpose, e.g. round-robin or failover)
+        and then closed; and a kept-alive connection that *switches* to
+        state this worker does not own is refused with ``421 Misdirected
+        Request`` + close — answering it would silently fork the
+        session.  Clients reconnect (or retry) and the parent re-routes.
+        """
+        slot = getattr(self.server, "affinity_slot", None)
+        if slot is None:
+            return True  # single-process server: no routing to protect
+        match = _POOL_SID_RE.match(self.path)
+        owned = (
+            match is not None
+            and zlib.crc32(match.group(1).encode("latin-1"))
+            % self.server.pool_size == slot  # type: ignore[attr-defined]
+        )
+        served = getattr(self, "_pool_served", 0)
+        self._pool_served = served + 1
+        if owned:
+            return True
+        self.close_connection = True
+        if served == 0:
+            return True
+        body = json.dumps({"error": {
+            "status": 421,
+            "code": "misrouted",
+            "message": "this connection was routed for another session; "
+                       "reconnect to reach the owning worker",
+            "trace_id": uuid.uuid4().hex[:16],
+        }}, sort_keys=True).encode("utf-8")
+        self.send_response(421)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        return False
+
     def _dispatch(self, method: str) -> None:
         app: AnalysisApp = self.server.app  # type: ignore[attr-defined]
+        if not self._affinity_guard():
+            return
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:

@@ -12,7 +12,14 @@ without giving up shared state semantics:
   channel (``socket.send_fds``);
 * requests naming a session route by **affinity** —
   ``crc32(sid) % workers`` — so one worker owns each session and its
-  generation-keyed render cache stays hot; everything else round-robins;
+  generation-keyed render cache stays hot; everything else round-robins.
+  Routing happens per *connection*, so workers enforce a keep-alive
+  discipline: a connection stays alive while its requests name sessions
+  the worker owns by affinity (the steady state — zero per-request
+  routing cost), any other request is served once and the connection
+  closed, and a kept-alive connection that *switches* to a session
+  another worker owns is refused with ``421 Misdirected Request`` —
+  a client cannot silently bypass affinity by reusing a connection;
 * **workers** are forked analysis processes.  Each preloads the same
   databases in the same order (identical ``s1..sk`` ids everywhere) and
   then attaches a shared *session manifest directory*: ``POST
@@ -66,6 +73,11 @@ _PEEK_TIMEOUT_S = 5.0
 #: control-channel datagram buffer (STATS replies carry full endpoint maps)
 _CTRL_BUF = 4 * 1024 * 1024
 
+#: largest single SOCK_SEQPACKET datagram a framed reply is split into —
+#: must stay safely below the kernel socket buffer (~208 KiB default on
+#: Linux), where a single oversized send would fail with EMSGSIZE
+_CTRL_CHUNK = 60 * 1024
+
 #: paths the parent pool answers itself, with merged worker state
 _POOL_PATHS = frozenset(
     prefix + name
@@ -78,13 +90,60 @@ _PATH_RE = re.compile(rb"^[A-Z]+ ([^ ?]+)")
 
 
 # --------------------------------------------------------------------- #
+# control-channel framing
+# --------------------------------------------------------------------- #
+def _ctrl_send(ctrl: socket.socket, payload: bytes) -> None:
+    """Send a reply as a length header datagram followed by chunks.
+
+    SOCK_SEQPACKET sends each buffer as one datagram, and a datagram
+    larger than the socket buffer fails outright with EMSGSIZE — it is
+    never split by the kernel.  STATS replies (full endpoint maps plus
+    the slow-request ring) can plausibly outgrow that, so replies are
+    framed: ``LEN <n>`` first, then ``ceil(n / _CTRL_CHUNK)`` chunks.
+    """
+    ctrl.sendall(b"LEN %d" % len(payload))
+    for offset in range(0, len(payload), _CTRL_CHUNK):
+        ctrl.sendall(payload[offset:offset + _CTRL_CHUNK])
+
+
+def _ctrl_recv(ctrl: socket.socket) -> bytes | None:
+    """Reassemble one framed reply; ``None`` on EOF or a torn frame."""
+    reply = ctrl.recv(_CTRL_BUF)
+    if not reply:
+        return None
+    if not reply.startswith(b"LEN "):
+        return reply  # unframed single-datagram reply (PONG)
+    try:
+        total = int(reply[4:])
+    except ValueError:
+        return None
+    parts: list[bytes] = []
+    received = 0
+    while received < total:
+        chunk = ctrl.recv(_CTRL_BUF)
+        if not chunk:
+            return None
+        parts.append(chunk)
+        received += len(chunk)
+    return b"".join(parts)
+
+
+# --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
 class _WorkerServerShim:
-    """The one attribute of the HTTP server a passed-fd handler touches."""
+    """The attributes of the HTTP server a passed-fd handler touches."""
 
-    def __init__(self, app: AnalysisApp) -> None:
+    def __init__(self, app: AnalysisApp, slot: int, workers: int) -> None:
         self.app = app
+        #: this worker's affinity slot and the pool width: the request
+        #: handler keeps a connection alive only while its requests name
+        #: sessions that route here (crc32(sid) % pool_size == slot) and
+        #: answers 421 when a kept-alive connection switches to a
+        #: session another worker owns — see
+        #: :meth:`~repro.server.http.AnalysisRequestHandler._affinity_guard`
+        self.affinity_slot = slot
+        self.pool_size = workers
 
 
 def worker_main(ctrl: socket.socket, config: dict, slot: int) -> None:
@@ -126,7 +185,7 @@ def worker_main(ctrl: socket.socket, config: dict, slot: int) -> None:
                 seed=config.get("seed", 12345),
             )
         app.registry.manifest_dir = config["manifest_dir"]
-        shim = _WorkerServerShim(app)
+        shim = _WorkerServerShim(app, slot, config.get("workers", 1))
 
         def _serve(fd: int) -> None:
             conn = socket.socket(fileno=fd)
@@ -166,14 +225,14 @@ def worker_main(ctrl: socket.socket, config: dict, slot: int) -> None:
                     "mstate": app.metrics_state(),
                 }).encode("utf-8")
                 try:
-                    ctrl.sendall(reply)
+                    _ctrl_send(ctrl, reply)
                 except OSError:
-                    break
+                    continue  # a failed scrape must not kill the worker
             elif msg == b"PING":
                 try:
                     ctrl.sendall(b"PONG")
                 except OSError:
-                    break
+                    continue  # if the parent is gone, recv reports EOF
             elif msg == b"STOP":
                 break
             else:
@@ -325,6 +384,7 @@ class ServerPool:
             self._owns_manifest = True
         os.makedirs(manifest, exist_ok=True)
         self._manifest_dir = self.config["manifest_dir"] = manifest
+        self.config["workers"] = self.num_workers
         self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.listener.bind((self.host, self.port))
@@ -445,14 +505,28 @@ class ServerPool:
             ).start()
 
     def _peek_request(self, conn: socket.socket) -> bytes:
-        """The first request's opening bytes, left unread in the kernel."""
-        conn.settimeout(_PEEK_TIMEOUT_S)
+        """The first request's opening bytes, left unread in the kernel.
+
+        Waits (within the peek budget) for the request line's CRLF: a
+        line split across TCP segments must not be routed on a partial
+        prefix — ``/sessions/s12/...`` truncated after ``s1`` would hash
+        to the wrong affinity slot.  A connection that never completes
+        its request line inside the budget is dropped, not misrouted.
+        """
+        deadline = time.monotonic() + _PEEK_TIMEOUT_S
         data = b""
         while b"\r\n" not in data and len(data) < _PEEK_LIMIT:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return b""
+            conn.settimeout(remaining)
             chunk = conn.recv(_PEEK_LIMIT, socket.MSG_PEEK)
-            if not chunk or chunk == data:
-                # EOF, or the client stalled mid-line: route what we have
-                break
+            if not chunk:
+                return b""  # EOF before any data
+            if chunk == data:
+                # peeked bytes unchanged: the rest is still in flight
+                time.sleep(0.005)
+                continue
             data = chunk
         return data
 
@@ -514,8 +588,8 @@ class ServerPool:
         try:
             with worker.lock:
                 ctrl.sendall(message)
-                reply = ctrl.recv(_CTRL_BUF)
-            if not reply:
+                reply = _ctrl_recv(ctrl)
+            if reply is None:
                 return None
             return json.loads(reply.decode("utf-8"))
         except (OSError, ValueError):
@@ -590,6 +664,7 @@ class ServerPool:
         connections are not worth keeping alive.
         """
         data = head
+        conn.settimeout(_PEEK_TIMEOUT_S)  # _peek_request may have shrunk it
         try:
             conn.recv(len(head))  # consume what was peeked
             while b"\r\n\r\n" not in data and len(data) < 64 * 1024:

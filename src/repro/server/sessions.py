@@ -358,16 +358,31 @@ class SessionRegistry:
             raise NotFound(f"unknown session {sid!r}", code="unknown-session")
         return handle
 
-    def close(self, sid: str) -> SessionHandle:
+    def close(self, sid: str) -> SessionHandle | None:
+        """Close *sid*; in pool mode a manifest-only session counts too.
+
+        With a manifest directory attached, this registry may never have
+        adopted the session (DELETE routes by affinity while the POST
+        that created it round-robinned to a sibling worker).  The
+        manifest file is then the authoritative record of the session's
+        existence: unlinking it both answers the close and stops any
+        later adoption.  A sibling's resident copy, if any, is
+        unreachable (affinity never routes the sid there again) and ages
+        out via TTL/LRU.  Returns ``None`` for a manifest-only close.
+        """
         with self._lock:
             handle = self._handles.pop(sid, None)
-        if handle is None:
-            raise NotFound(f"unknown session {sid!r}", code="unknown-session")
+        unlinked = False
         if self.manifest_dir is not None:
             try:  # closed sessions must not be re-adopted by siblings
                 os.unlink(self._manifest_path(sid))
+                unlinked = True
             except OSError:
                 pass
+        if handle is None:
+            if unlinked:
+                return None
+            raise NotFound(f"unknown session {sid!r}", code="unknown-session")
         self._release_backing(handle)
         return handle
 

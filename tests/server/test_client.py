@@ -180,3 +180,42 @@ class TestResponseParsing:
     def test_bad_header_ignored(self):
         resp = ClientResponse(429, {"error": {}}, {"Retry-After": "soon"})
         assert resp.retry_after() is None
+
+
+class TestQueryEncoding:
+    def test_get_table_query_is_url_encoded(self):
+        """Metric names with spaces/parens/& must survive the query
+        string; raw interpolation produced malformed request paths."""
+        transport = scripted([ok()])
+        client = make_client(transport)
+        client.get_table(
+            "s1", columnar=False,
+            metric="GPU time (I)", view="cct", depth=3,
+        )
+        _method, url, _body = transport.calls[0]
+        assert url == (
+            "http://test/v1/sessions/s1/table"
+            "?depth=3&metric=GPU+time+%28I%29&view=cct"
+        )
+
+    def test_get_table_without_params_has_no_query(self):
+        transport = scripted([ok()])
+        client = make_client(transport)
+        client.get_table("s1", columnar=False)
+        _method, url, _body = transport.calls[0]
+        assert url == "http://test/v1/sessions/s1/table"
+
+
+class TestMisdirectedRetry:
+    def test_421_is_retried_on_a_fresh_connection(self):
+        """Pool workers answer 421 when a kept-alive connection switches
+        sessions; each retry attempt opens a fresh connection, which the
+        pool parent re-routes correctly."""
+        body = {"error": {"status": 421, "code": "misrouted",
+                          "message": "reconnect"}}
+        client = make_client(
+            scripted([ClientResponse(421, body), ok()]), base_delay=0.01,
+        )
+        response = client.get("/v1/sessions/s2/table")
+        assert response.status == 200
+        assert client.retries == 1

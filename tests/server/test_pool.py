@@ -12,13 +12,22 @@ import http.client
 import json
 import os
 import signal
+import socket
 import threading
 import time
+import zlib
 
 import pytest
 
+from repro.errors import NotFound
 from repro.server.client import RetryingClient, RetryPolicy
-from repro.server.pool import ServerPool, merge_stats_payloads
+from repro.server.pool import (
+    ServerPool,
+    _ctrl_recv,
+    _ctrl_send,
+    merge_stats_payloads,
+)
+from repro.server.sessions import SessionRegistry
 from repro.server.wire import COLUMNAR_CONTENT_TYPE, decode_columnar
 
 from .conftest import scaled
@@ -145,6 +154,237 @@ class TestPoolServing:
             assert response.payload["row_count"] > 0
             assert client.delete(f"/v1/sessions/{sid}").status == 200
             assert client.get(f"/v1/sessions/{sid}").status == 404
+
+
+# --------------------------------------------------------------------- #
+# per-connection routing: keep-alive must not bypass affinity
+# --------------------------------------------------------------------- #
+class TestConnectionRouting:
+    def test_same_session_keepalive_stays_open(self, pool: ServerPool) -> None:
+        """A connection sticking to one session stays alive — the
+        pool's steady state pays the routing cost once."""
+        host, port = pool.address
+        conn = http.client.HTTPConnection(host, port, timeout=scaled(30))
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/sessions/s1/table?view=cct")
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                assert not response.will_close
+        finally:
+            conn.close()
+
+    def test_unowned_first_request_served_once_then_closed(
+        self, pool: ServerPool
+    ) -> None:
+        """Requests without a session id round-robin; the worker serves
+        the one request the parent sent it and closes, so the next
+        request re-enters the parent's router."""
+        host, port = pool.address
+        conn = http.client.HTTPConnection(host, port, timeout=scaled(30))
+        try:
+            conn.request(
+                "POST", "/v1/sessions",
+                body=json.dumps({"workload": "fig1"}).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 201
+            assert response.will_close
+        finally:
+            conn.close()
+
+    def _sid_per_slot(self, pool: ServerPool) -> dict[int, str]:
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        sids: dict[int, str] = {}
+        while len(sids) < 2:  # one session owned by each slot
+            sid = client.post("/v1/sessions", {"workload": "fig1"}) \
+                .payload["session"]["id"]
+            sids.setdefault(zlib.crc32(sid.encode()) % 2, sid)
+        return sids
+
+    def test_switching_sessions_on_a_connection_is_refused(
+        self, pool: ServerPool
+    ) -> None:
+        """A kept-alive connection reused for a session another worker
+        owns draws a structured 421 — never a silently forked session —
+        and the transparent reconnect lands on the right worker."""
+        host, port = pool.address
+        sids = self._sid_per_slot(pool)
+        first, second = sids[0], sids[1]
+        conn = http.client.HTTPConnection(host, port, timeout=scaled(30))
+        try:
+            conn.request("GET", f"/v1/sessions/{first}/table?view=cct")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            assert not response.will_close
+            # same connection, different session: refused, not misserved
+            conn.request("GET", f"/v1/sessions/{second}/table?view=cct")
+            response = conn.getresponse()
+            error = json.loads(response.read())["error"]
+            assert response.status == 421
+            assert error["code"] == "misrouted"
+            assert len(error["trace_id"]) == 16
+            assert response.will_close
+            # http.client reconnects; the fresh connection is re-routed
+            conn.request("GET", f"/v1/sessions/{second}/table?view=cct")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+        finally:
+            conn.close()
+
+    def test_keepalive_mutation_cannot_fork_session_state(
+        self, pool: ServerPool
+    ) -> None:
+        """The high-severity review case: a mutation for session B sent
+        down a connection routed to session A's worker must not be
+        adopted there (diverging from B's owner and losing updates)."""
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        sids = self._sid_per_slot(pool)
+        first, second = sids[0], sids[1]
+        conn = http.client.HTTPConnection(host, port, timeout=scaled(30))
+        try:
+            conn.request("GET", f"/v1/sessions/{first}/table?view=cct")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            conn.request(
+                "POST", f"/v1/sessions/{second}/flatten", body=b"{}",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 421  # refused on the wrong worker
+            # retried on a fresh connection, it reaches the owner
+            conn.request(
+                "POST", f"/v1/sessions/{second}/flatten", body=b"{}",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200
+            assert payload["generation"] == 1
+        finally:
+            conn.close()
+        # the flatten is visible where affinity routes all later reads
+        info = client.get(f"/v1/sessions/{second}").payload["session"]
+        assert info["generation"] == 1
+        assert info["flatten_depth"] == 1
+
+    def test_create_then_immediate_delete(self, pool: ServerPool) -> None:
+        """DELETE routes by affinity while POST round-robins; closing a
+        session no worker has adopted yet must still succeed."""
+        host, port = pool.address
+        client = RetryingClient(base_url=f"http://{host}:{port}")
+        for _ in range(4):  # cover both creator/owner alignments
+            sid = client.post("/v1/sessions", {"workload": "fig1"}) \
+                .payload["session"]["id"]
+            assert client.delete(f"/v1/sessions/{sid}").status == 200
+            assert client.get(f"/v1/sessions/{sid}").status == 404
+
+
+class TestCloseBeforeAdoption:
+    def test_close_unlinks_unadopted_manifest(self, tmp_path) -> None:
+        creator = SessionRegistry(manifest_dir=str(tmp_path))
+        sibling = SessionRegistry(manifest_dir=str(tmp_path))
+        handle = creator.open_workload("fig1")
+        manifest = tmp_path / f"{handle.sid}.json"
+        assert manifest.exists()
+        # the sibling never adopted the session; the manifest is the
+        # authoritative record, and closing it must succeed
+        assert sibling.close(handle.sid) is None
+        assert not manifest.exists()
+        with pytest.raises(NotFound):  # no longer adoptable anywhere
+            sibling.get(handle.sid)
+        with pytest.raises(NotFound):  # second close is genuinely unknown
+            sibling.close(handle.sid)
+
+
+# --------------------------------------------------------------------- #
+# control-channel framing and request-line peeking
+# --------------------------------------------------------------------- #
+class TestControlChannel:
+    def test_reply_larger_than_a_datagram_roundtrips(self) -> None:
+        """A 1 MiB reply crosses the SEQPACKET channel in chunks — a
+        single datagram that size would fail with EMSGSIZE."""
+        parent, child = socket.socketpair(
+            socket.AF_UNIX, socket.SOCK_SEQPACKET
+        )
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        failures: list = []
+
+        def send() -> None:
+            try:
+                _ctrl_send(child, payload)
+            except OSError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=send)
+        thread.start()
+        try:
+            received = _ctrl_recv(parent)
+        finally:
+            thread.join(timeout=scaled(10))
+            parent.close()
+            child.close()
+        assert failures == []
+        assert received == payload
+
+    def test_small_reply_roundtrips(self) -> None:
+        parent, child = socket.socketpair(
+            socket.AF_UNIX, socket.SOCK_SEQPACKET
+        )
+        try:
+            _ctrl_send(child, b'{"pid": 1}')
+            assert _ctrl_recv(parent) == b'{"pid": 1}'
+        finally:
+            parent.close()
+            child.close()
+
+
+class TestPeekRouting:
+    def test_split_request_line_waits_for_full_sid(self) -> None:
+        """A request line arriving in two TCP segments routes on the
+        complete sid, not a truncated prefix ('s12' != 's1')."""
+        instance = ServerPool(workers=2, config=dict(POOL_CONFIG))
+        left, right = socket.socketpair()
+
+        def trickle() -> None:
+            left.sendall(b"GET /v1/sessions/s12")
+            time.sleep(scaled(0.1))
+            left.sendall(b"/table HTTP/1.1\r\nHost: x\r\n\r\n")
+
+        thread = threading.Thread(target=trickle)
+        thread.start()
+        try:
+            head = instance._peek_request(right)
+        finally:
+            thread.join(timeout=scaled(10))
+            left.close()
+            right.close()
+        assert head.startswith(b"GET /v1/sessions/s12/table")
+        assert instance._pick_slot(head) == zlib.crc32(b"s12") % 2
+
+    def test_incomplete_request_line_is_dropped(self, monkeypatch) -> None:
+        """A line that never completes inside the budget is not routed
+        on its partial prefix; the connection is dropped instead."""
+        import repro.server.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "_PEEK_TIMEOUT_S", scaled(0.2))
+        instance = ServerPool(workers=2, config=dict(POOL_CONFIG))
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"GET /v1/sessions/s12")  # CRLF never arrives
+            assert instance._peek_request(right) == b""
+        finally:
+            left.close()
+            right.close()
 
 
 # --------------------------------------------------------------------- #
