@@ -1,0 +1,58 @@
+"""Ensemble engine kernels: N-way alignment and diff+detect latency.
+
+``run_ensemble_bench.py`` records the full 10/50/100-experiment curve in
+``BENCH_ensemble.json``; the two ``bench_smoke`` cases here keep the
+alignment and diff paths compiling and passing on every tier-1 run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ensemble import align_experiments, detect_regressions
+from repro.hpcprof.experiment import Experiment
+from repro.hpcstruct.synthstruct import build_structure
+from repro.sim.executor import execute
+from repro.sim.scale import scale_program
+
+N_MEMBERS = 8
+
+
+@pytest.fixture(scope="module")
+def members():
+    program = scale_program(fanout=2, depth=3)
+    structure = build_structure(program)
+    return [
+        Experiment.from_profile(
+            execute(program, rank=i, nranks=N_MEMBERS, seed=17),
+            structure, name=f"m{i}",
+        )
+        for i in range(N_MEMBERS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def ensemble(members):
+    return align_experiments(members)
+
+
+@pytest.mark.bench_smoke
+def test_bench_align(benchmark, members):
+    ensemble = benchmark(lambda: align_experiments(members))
+    assert ensemble.alignment.n_members == N_MEMBERS
+
+
+@pytest.mark.bench_smoke
+def test_bench_diff_and_detect(benchmark, ensemble):
+    def run():
+        diff = ensemble.diff("mean", -1)
+        return diff, detect_regressions(ensemble)
+
+    diff, findings = benchmark(run)
+    assert diff.cct.root is not None
+    assert isinstance(findings, list)
+
+
+def test_bench_stats(benchmark, ensemble):
+    stats = benchmark(lambda: ensemble.stats())
+    assert stats.count == N_MEMBERS

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Record the ensemble diff engine's numbers in ``BENCH_ensemble.json``.
+
+For each corpus size (default 10, 50, 100 experiments) this:
+
+1. generates one synthetic ``.rpdb`` per experiment (``repro.sim.scale``,
+   one rank each so every member drifts a little);
+2. aligns the corpus **in a fresh subprocess** — N-way union CCT plus
+   the columnar metric matrices — timing the alignment, a mean-vs-last
+   diff with regression detection, and the subprocess's peak RSS
+   (``getrusage(RUSAGE_SELF).ru_maxrss``);
+3. at the largest size converts every member to an mmap-backed
+   ``.rpstore`` and aligns those too, demonstrating the acceptance
+   criterion: 100 store-backed experiments align under the default
+   working-set budget;
+4. at the smallest size asserts, in-harness, that aligning the
+   ``.rpdb`` paths and aligning the same experiments loaded in memory
+   produce bit-identical matrices (the streaming loader adds nothing).
+
+Usage::
+
+    python benchmarks/run_ensemble_bench.py [-o BENCH_ensemble.json]
+        [--sizes 10 50 100]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.ensemble import align_experiments  # noqa: E402
+from repro.core.store import create_store  # noqa: E402
+from repro.hpcprof import database  # noqa: E402
+from repro.hpcprof.align import DEFAULT_WORKING_SET  # noqa: E402
+from repro.sim.scale import generate_rank_files  # noqa: E402
+
+_CHILD = r"""
+import json, resource, sys, time
+t0 = time.perf_counter()
+from repro.core.ensemble import align_experiments, detect_regressions
+paths = json.loads(sys.argv[1])
+t_import = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+ensemble = align_experiments(paths)
+align_s = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+diff = ensemble.diff("mean", -1)
+findings = detect_regressions(ensemble)
+diff_s = time.perf_counter() - t0
+
+report = ensemble.alignment.report
+print(json.dumps({
+    "import_s": t_import,
+    "align_s": align_s,
+    "diff_and_detect_s": diff_s,
+    "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "union_scopes": report.nnodes,
+    "matrix_bytes": report.matrix_bytes,
+    "peak_estimate_bytes": report.peak_estimate_bytes,
+    "findings": len(findings),
+    "diff_root": diff.cct.root.inclusive.get(0, 0.0),
+}))
+"""
+
+
+def _run_child(paths: list[str]) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, json.dumps(paths)],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"child failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _assert_loader_parity(paths: list[str]) -> None:
+    """Path-based and in-memory alignment must be bit-identical."""
+    inmem = align_experiments([database.load(p) for p in paths])
+    frompath = align_experiments(paths)
+    for key, matrix in inmem.alignment.matrices.items():
+        if not np.array_equal(matrix, frompath.alignment.matrices[key]):
+            raise RuntimeError(f"loader parity broken for matrix {key}")
+
+
+def measure(size: int, workdir: str, check_parity: bool,
+            as_stores: bool) -> dict:
+    member_dir = os.path.join(workdir, f"members-{size}")
+    t0 = time.perf_counter()
+    paths = generate_rank_files(member_dir, size, fanout=2, depth=3)
+    gen_s = time.perf_counter() - t0
+
+    if check_parity:
+        _assert_loader_parity(paths)
+
+    child = _run_child(paths)
+    entry = {
+        "n_experiments": size,
+        "member_bytes": sum(os.path.getsize(p) for p in paths),
+        "generate_s": round(gen_s, 3),
+        "working_set_budget_bytes": DEFAULT_WORKING_SET,
+        "rpdb": child,
+    }
+    if as_stores:
+        store_paths = []
+        for i, path in enumerate(paths):
+            store = os.path.join(workdir, f"store-{size}", f"m{i:04d}.rpstore")
+            create_store(database.load(path), store).release()
+            store_paths.append(store)
+        stores = _run_child(store_paths)
+        entry["rpstore"] = stores
+        if stores["diff_root"] != child["diff_root"]:
+            raise RuntimeError(
+                f"size={size}: store-backed diff differs from rpdb diff"
+            )
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default=str(REPO / "BENCH_ensemble.json"))
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[10, 50, 100])
+    args = parser.parse_args(argv)
+
+    results = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for size in args.sizes:
+            print(f"measuring n_experiments={size} ...", flush=True)
+            entry = measure(
+                size, workdir,
+                check_parity=size == min(args.sizes),
+                as_stores=size == max(args.sizes),
+            )
+            rpdb = entry["rpdb"]
+            line = (f"  align {rpdb['align_s']*1e3:.1f}ms, "
+                    f"diff+detect {rpdb['diff_and_detect_s']*1e3:.1f}ms, "
+                    f"peak RSS {rpdb['peak_rss_kib']/1024:.1f} MiB, "
+                    f"{rpdb['union_scopes']} union scopes")
+            if "rpstore" in entry:
+                line += (f" (store-backed align "
+                         f"{entry['rpstore']['align_s']*1e3:.1f}ms)")
+            print(line, flush=True)
+            results.append(entry)
+
+    payload = {
+        "benchmark": "ensemble union-CCT alignment and diff",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,7 @@ from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions
 
 __all__ = ["main_profile", "main_sim", "main_sim_scale", "main_view",
-           "main_serve", "main_prof_merge", "main_experiments"]
+           "main_serve", "main_prof_merge", "main_diff", "main_experiments"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -266,6 +266,115 @@ def main_view(argv: list[str] | None = None) -> int:
         print("tuning suggestions:")
         for suggestion in advise(exp)[:8]:
             print(suggestion.describe())
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def _member_selector(text: str):
+    """A CLI member selector: an integer index, a name, or ``mean``."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def main_diff(argv: list[str] | None = None) -> int:
+    """Diff N experiment databases and flag regressions."""
+    parser = argparse.ArgumentParser(
+        prog="repro-diff",
+        description="Align N experiment databases into a union CCT, render "
+                    "the diff of a target member against a baseline (another "
+                    "member or the corpus mean), and flag scopes whose "
+                    "inclusive share regressed.",
+    )
+    parser.add_argument("inputs", nargs="+",
+                        help="member databases (.xml / .rpdb / .rpstore); "
+                             "at least two")
+    parser.add_argument("--baseline", default="mean", metavar="WHO",
+                        help="member index, member name, or 'mean' "
+                             "(default: %(default)s)")
+    parser.add_argument("--target", default="-1", metavar="WHO",
+                        help="member index or name (default: last member)")
+    parser.add_argument("--factor", type=float, default=1.0,
+                        help="scale the baseline before subtracting "
+                             "(Section VI-A's scale-and-subtract)")
+    parser.add_argument("--metric", default=None,
+                        help="raw metric to diff and sort by (default: first)")
+    parser.add_argument("--view", choices=["cct", "callers", "flat"],
+                        default="flat")
+    parser.add_argument("--exclusive", action="store_true",
+                        help="sort by the exclusive flavour")
+    parser.add_argument("--depth", type=int, default=3)
+    parser.add_argument("--max-rows", type=int, default=60)
+    parser.add_argument("--salvage", action="store_true",
+                        help="salvage corrupted binary members instead of "
+                             "failing")
+    parser.add_argument("--no-detect", action="store_true",
+                        help="skip regression detection")
+    parser.add_argument("--threshold", type=float, default=0.02,
+                        help="absolute inclusive-share shift that flags a "
+                             "scope (default: %(default)s)")
+    parser.add_argument("--sigma", type=float, default=3.0,
+                        help="sigma multiplier against the baseline corpus "
+                             "spread (default: %(default)s)")
+    parser.add_argument("--min-share", type=float, default=0.005,
+                        help="ignore scopes below this share on both sides")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print a machine-readable JSON report instead "
+                             "of rendered text")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 3 when any regression is flagged")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.core.ensemble import align_experiments, detect_regressions
+
+    ensemble = align_experiments(args.inputs, strict=not args.salvage)
+    baseline = _member_selector(args.baseline)
+    target = _member_selector(args.target)
+    diff = ensemble.diff(baseline, target, factor=args.factor)
+    findings = []
+    if not args.no_detect and target != "mean":
+        corpus = None if baseline == "mean" else [baseline]
+        findings = detect_regressions(
+            ensemble, metric=args.metric, target=target, baseline=corpus,
+            threshold=args.threshold, sigma=args.sigma,
+            min_share=args.min_share,
+        )
+
+    if args.as_json:
+        print(json.dumps({
+            "ensemble": ensemble.to_payload(),
+            "diff": diff.name,
+            "factor": args.factor,
+            "findings": [f.to_payload() for f in findings],
+        }, indent=2))
+    else:
+        print(ensemble.alignment.report.summary(), file=sys.stderr)
+        session = ViewerSession(diff)
+        kind = {"cct": ViewKind.CALLING_CONTEXT,
+                "callers": ViewKind.CALLERS,
+                "flat": ViewKind.FLAT}[args.view]
+        metric = args.metric or diff.metrics.by_id(0).name
+        flavor = (MetricFlavor.EXCLUSIVE if args.exclusive
+                  else MetricFlavor.INCLUSIVE)
+        session.show(kind)
+        session.sort_by(metric, flavor)
+        print(session.render(
+            kind, expand_depth=args.depth,
+            options=TableOptions(max_rows=args.max_rows),
+        ))
+        if findings:
+            print(f"\n{len(findings)} share shift(s) against the baseline:")
+            for finding in findings:
+                print(finding.describe())
+        elif not args.no_detect:
+            print("\nno share shifts beyond the thresholds")
+
+    regressions = [f for f in findings if f.kind == "regression"]
+    if args.fail_on_regression and regressions:
+        return 3
     return 0
 
 

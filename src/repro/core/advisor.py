@@ -27,7 +27,7 @@ from repro.core.views import NodeCategory, ViewNode
 from repro.hpcprof.experiment import Experiment
 from repro.hpcrun.counters import CYCLES, FLOPS, L1_DCM
 
-__all__ = ["Suggestion", "Advisor", "advise"]
+__all__ = ["Suggestion", "Advisor", "advise", "advise_regressions"]
 
 
 @dataclass(frozen=True)
@@ -230,3 +230,48 @@ def advise(experiment: Experiment,
            peak_flops_per_cycle: float = 4.0) -> list[Suggestion]:
     """Convenience: run the advisor over an experiment."""
     return Advisor(experiment, peak_flops_per_cycle).advise()
+
+
+def advise_regressions(ensemble, **kwargs) -> list[Suggestion]:
+    """Regression findings over an ensemble, as tuning suggestions.
+
+    Runs :func:`repro.core.ensemble.detect_regressions` on the
+    :class:`~repro.core.ensemble.EnsembleView` (keyword arguments pass
+    through: ``metric``, ``target``, ``baseline``, ``threshold``,
+    ``sigma``, ``min_share``) and wraps each finding in the advisor's
+    evidence-first :class:`Suggestion` shape — same sort order as the
+    findings (largest share shift first), ``impact`` = |delta share|.
+    """
+    from repro.core.ensemble import detect_regressions
+
+    out: list[Suggestion] = []
+    for finding in detect_regressions(ensemble, **kwargs):
+        if finding.kind == "regression":
+            transformation = (
+                f"inclusive {finding.metric} share grew against the "
+                f"baseline corpus: bisect what changed on this path in "
+                f"{finding.target!r} (code, inputs, or configuration)"
+            )
+        else:
+            transformation = (
+                f"inclusive {finding.metric} share shrank against the "
+                f"baseline corpus: verify the win is real (not work "
+                f"moved elsewhere) before celebrating"
+            )
+        evidence = {
+            "target_share": finding.target_share,
+            "baseline_mean": finding.baseline_mean,
+            "baseline_stddev": finding.baseline_stddev,
+            "delta": finding.delta,
+        }
+        if finding.sigmas is not None:
+            evidence["sigmas"] = finding.sigmas
+        out.append(Suggestion(
+            rule=f"ensemble-{finding.kind}",
+            scope=finding.scope,
+            location=" -> ".join(finding.path) or "<program root>",
+            transformation=transformation,
+            evidence=evidence,
+            impact=abs(finding.delta),
+        ))
+    return out

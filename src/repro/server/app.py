@@ -73,7 +73,9 @@ from repro.server.schema import (
     BinaryBody,
     DeriveMetricRequest,
     DerivedMetricCreated,
+    DiffRequest,
     EndpointDef,
+    EnsembleRequest,
     HotPathRequest,
     HotPathResult,
     MetricList,
@@ -818,6 +820,86 @@ class AnalysisApp:
             hot_path=cached.get("hot_path"),
         )
         return 200, resp.to_payload()
+
+    def _ep_diff(
+        self, params: dict, body: dict
+    ) -> tuple[int, dict | BinaryBody]:
+        """Align N experiments and serve one diff view over the union.
+
+        Stateless by design: members come either from database paths
+        (streamed through the alignment budget) or from open sessions
+        (locked for the duration of the walk), the diff experiment is
+        built, rendered, and discarded.  Nothing is written to the
+        render cache — a failing member can never taint cached tables.
+        """
+        from contextlib import ExitStack
+
+        from repro.core.ensemble import align_experiments, detect_regressions
+        from repro.viewer.session import ViewerSession
+
+        req = DiffRequest.from_body(body)
+        kind = _view_kind(req.view)
+        flavor = _flavor(req.flavor, MetricFlavor.INCLUSIVE)
+        columnar = accepts_columnar(params.get("_accept"))
+        with ExitStack() as stack:
+            if req.sessions is not None:
+                handles = [self.registry.get(sid) for sid in req.sessions]
+                # lock in sorted sid order (deduped) so two concurrent
+                # diffs over overlapping member sets cannot deadlock
+                for handle in sorted(
+                    {h.sid: h for h in handles}.values(),
+                    key=lambda h: h.sid,
+                ):
+                    stack.enter_context(handle.lock)
+                members = [h.session.experiment for h in handles]
+            else:
+                members = req.databases
+            ensemble = align_experiments(members, strict=not req.salvage)
+            _, b_label = ensemble.resolve(req.baseline)
+            _, t_label = ensemble.resolve(req.target)
+            diff_exp = ensemble.diff(
+                req.baseline, req.target, factor=req.factor
+            )
+            findings = []
+            if req.detect and req.target != "mean":
+                corpus = None if req.baseline == "mean" else [req.baseline]
+                findings = detect_regressions(
+                    ensemble, metric=req.metric, target=req.target,
+                    baseline=corpus, threshold=req.threshold,
+                    sigma=req.sigma, min_share=req.min_share,
+                )
+            snapshot = table_snapshot(
+                ViewerSession(diff_exp), kind,
+                metric=req.metric, flavor=flavor,
+                descending=req.descending, depth=req.depth,
+                max_rows=req.max_rows, generation=0,
+            )
+        if columnar:
+            return 200, BinaryBody(
+                COLUMNAR_CONTENT_TYPE, encode_columnar(snapshot)
+            )
+        return 200, {
+            "diff": snapshot.to_json_payload("diff"),
+            "members": list(ensemble.names),
+            "baseline": b_label,
+            "target": t_label,
+            "factor": req.factor,
+            "findings": [f.to_payload() for f in findings],
+            "report": ensemble.alignment.report.to_payload(),
+        }
+
+    def _ep_ensemble(self, params: dict, body: dict) -> tuple[int, dict]:
+        """Open a persistent session over the union of N databases."""
+        req = EnsembleRequest.from_body(body)
+        handle = self.registry.open_ensemble(
+            req.databases, salvage=req.salvage, stats=req.stats,
+            label=req.label,
+        )
+        payload: dict = {"session": handle.info()}
+        info = getattr(handle, "ensemble_info", None)
+        if info is not None:
+            payload["ensemble"] = info
+        return 201, payload
 
 
 # --------------------------------------------------------------------- #

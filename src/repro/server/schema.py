@@ -43,6 +43,8 @@ __all__ = [
     "REQUIRED",
     "DeriveMetricRequest",
     "DerivedMetricCreated",
+    "DiffRequest",
+    "EnsembleRequest",
     "FlattenResponse",
     "HotPathRequest",
     "HotPathResult",
@@ -366,6 +368,157 @@ class DeriveMetricRequest(_Request):
     )
 
 
+def _member_selector(body: dict, name: str, default):
+    """Validate a member selector: an index, a member name, or 'mean'."""
+    value = body.get(name, None)
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise BadRequest(
+            f"field {name!r} must be a member index, a member name, or "
+            f"'mean', got {type(value).__name__}",
+            code="bad-field-type",
+        )
+    return value
+
+
+def _member_paths(base: dict) -> None:
+    """Validate the member lists of a diff/ensemble request in place."""
+    for name in ("databases", "sessions"):
+        paths = base.get(name)
+        if paths is None:
+            continue
+        if len(paths) < 2:
+            raise BadRequest(
+                f"{name!r} needs at least two members, got {len(paths)}",
+                code="bad-diff-members",
+            )
+        if not all(isinstance(p, str) for p in paths):
+            raise BadRequest(
+                f"{name!r} entries must all be strings",
+                code="bad-diff-members",
+            )
+        base[name] = list(paths)
+
+
+@dataclass(frozen=True)
+class DiffRequest(_Request):
+    """``GET/POST /v1/diff`` — align members and serve a diff view.
+
+    Members come from exactly one of ``databases`` (paths, streamed
+    one at a time) or ``sessions`` (open session ids).  ``baseline``
+    and ``target`` select members by index, name, or ``"mean"`` (the
+    corpus mean — baseline-vs-corpus diffing); the diff's per-scope
+    values are ``target - factor * baseline``, re-attributed, rendered
+    through the requested view.  ``detect`` additionally runs the
+    regression detector and reports structured findings.
+    """
+
+    databases: list | None
+    sessions: list | None
+    baseline: object
+    target: object
+    factor: float
+    metric: str | None
+    flavor: str | None
+    view: str
+    depth: int
+    max_rows: int
+    descending: bool
+    salvage: bool
+    detect: bool
+    threshold: float
+    sigma: float
+    min_share: float
+
+    FIELDS = (
+        FieldSpec("databases", list, default=None,
+                  doc="experiment database paths to align "
+                      "(.xml / .rpdb / .rpstore)"),
+        FieldSpec("sessions", list, default=None,
+                  doc="open session ids to align"),
+        FieldSpec("factor", float, default=1.0, lo=1e-12,
+                  doc="baseline scale factor (Section VI-A "
+                      "scale-and-subtract)"),
+        FieldSpec("metric", str, default=None,
+                  doc="raw metric to diff and sort by (default: first)"),
+        FieldSpec("flavor", str, default=None,
+                  doc="metric flavor for the sort column",
+                  choices=("inclusive", "exclusive", "i", "e")),
+        FieldSpec("view", str, default="flat",
+                  doc="view to render the diff through",
+                  choices=("cct", "calling-context", "callers", "flat")),
+        FieldSpec("depth", int, default=3, lo=0, hi=1000,
+                  doc="expansion depth of the diff table"),
+        FieldSpec("max_rows", int, default=60, lo=1, hi=100_000,
+                  doc="row cap of the diff table"),
+        FieldSpec("descending", bool, default=True, doc="sort direction"),
+        FieldSpec("salvage", bool, default=False,
+                  doc="salvage corrupted/truncated binary members "
+                      "instead of failing"),
+        FieldSpec("detect", bool, default=True,
+                  doc="run the regression detector and report findings"),
+        FieldSpec("threshold", float, default=0.02, lo=0.0, hi=1.0,
+                  doc="absolute inclusive-share shift that flags a scope"),
+        FieldSpec("sigma", float, default=3.0, lo=0.0,
+                  doc="flag shifts beyond this many standard deviations "
+                      "of the baseline corpus (0 disables the rule)"),
+        FieldSpec("min_share", float, default=0.005, lo=0.0, hi=1.0,
+                  doc="ignore scopes under this share on both sides"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "DiffRequest":
+        base = parse_fields(body, cls.FIELDS)
+        if (base["databases"] is None) == (base["sessions"] is None):
+            raise BadRequest(
+                "diff members come from exactly one of 'databases' or "
+                "'sessions'",
+                code="bad-diff-members",
+            )
+        _member_paths(base)
+        base["baseline"] = _member_selector(body, "baseline", 0)
+        base["target"] = _member_selector(body, "target", -1)
+        return cls(**base)
+
+
+@dataclass(frozen=True)
+class EnsembleRequest(_Request):
+    """``GET/POST /v1/ensemble`` — open N databases as an ensemble session.
+
+    Aligns the databases into a union-CCT experiment (member sums),
+    attaches per-scope mean/min/max/stddev columns over the members
+    (``stats``: ``"all"`` raw metrics, ``"none"``, or one metric name),
+    and registers it as a regular session — every session endpoint
+    (render/table/hotpath/metrics/...) works on it from there.
+    """
+
+    databases: list
+    salvage: bool
+    stats: str
+    label: str | None
+
+    FIELDS = (
+        FieldSpec("databases", list,
+                  doc="experiment database paths to align "
+                      "(.xml / .rpdb / .rpstore; at least two)"),
+        FieldSpec("salvage", bool, default=False,
+                  doc="salvage corrupted/truncated binary members "
+                      "instead of failing"),
+        FieldSpec("stats", str, default="all",
+                  doc="ensemble stat columns to attach: 'all', 'none', "
+                      "or one raw metric name"),
+        FieldSpec("label", str, default=None,
+                  doc="session label (default: ensemble:<n>)"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "EnsembleRequest":
+        base = parse_fields(body, cls.FIELDS)
+        _member_paths(base)
+        return cls(**base)
+
+
 # --------------------------------------------------------------------- #
 # response schemas
 # --------------------------------------------------------------------- #
@@ -533,6 +686,42 @@ ENDPOINTS: tuple[EndpointDef, ...] = (
         Operation("GET", "_ep_prometheus",
                   "service counters and latency histograms in Prometheus "
                   "text exposition format"),
+    )),
+    EndpointDef("/diff", ops=(
+        Operation("GET", "_ep_diff",
+                  "align N experiments and serve a pairwise or "
+                  "baseline-vs-corpus diff view with regression findings "
+                  "(JSON rows, or the framed columnar encoding via Accept "
+                  "negotiation)",
+                  request=DiffRequest,
+                  errors=("bad-diff-members", "bad-metric", "bad-view-kind",
+                          "bad-flavor", "unknown-database",
+                          "unknown-session", "unknown-metric",
+                          "bad-database")),
+        Operation("POST", "_ep_diff",
+                  "align N experiments and serve a pairwise or "
+                  "baseline-vs-corpus diff view with regression findings "
+                  "(JSON rows, or the framed columnar encoding via Accept "
+                  "negotiation)",
+                  request=DiffRequest,
+                  errors=("bad-diff-members", "bad-metric", "bad-view-kind",
+                          "bad-flavor", "unknown-database",
+                          "unknown-session", "unknown-metric",
+                          "bad-database")),
+    )),
+    EndpointDef("/ensemble", ops=(
+        Operation("GET", "_ep_ensemble",
+                  "align N experiment databases into a union-CCT ensemble "
+                  "session with per-scope member statistics",
+                  request=EnsembleRequest, status=201,
+                  errors=("bad-diff-members", "bad-metric",
+                          "unknown-database", "bad-database")),
+        Operation("POST", "_ep_ensemble",
+                  "align N experiment databases into a union-CCT ensemble "
+                  "session with per-scope member statistics",
+                  request=EnsembleRequest, status=201,
+                  errors=("bad-diff-members", "bad-metric",
+                          "unknown-database", "bad-database")),
     )),
     EndpointDef("/sessions", ops=(
         Operation("GET", "_ep_sessions_list", "list open sessions",

@@ -282,6 +282,12 @@ class SessionRegistry:
                 spec = json.load(fh)
         except (OSError, ValueError):
             return None
+        if spec.get("ensemble") is not None:
+            return self.open_ensemble(
+                spec["ensemble"], salvage=spec.get("salvage", False),
+                stats=spec.get("stats", "all"), label=spec.get("label"),
+                _sid=sid,
+            )
         if spec.get("database") is not None:
             return self.open_database(
                 spec["database"], strict=not spec.get("salvage", False),
@@ -338,6 +344,52 @@ class SessionRegistry:
             label=f"workload:{name}", sid=_sid,
             spec={"workload": name, "nranks": nranks, "seed": seed},
         )
+
+    def open_ensemble(
+        self,
+        databases: list[str],
+        salvage: bool = False,
+        stats: str = "all",
+        label: str | None = None,
+        _sid: str | None = None,
+    ) -> SessionHandle:
+        """Align N databases into a union-CCT ensemble session.
+
+        The registered experiment is the union (member sums,
+        re-attributed) with mean/min/max/stddev columns over the
+        members attached per *stats* (``"all"`` raw metrics, ``"none"``,
+        or one metric name).  The manifest spec records the member
+        paths, so a sibling worker — or a restarted one — re-aligns the
+        same ensemble when affinity routing hands it the sid.  The
+        ensemble summary (members, union size, report) is stashed on
+        the handle as ``ensemble_info``.
+        """
+        from repro.core.ensemble import align_experiments
+        from repro.core.metrics import MetricKind
+
+        ensemble = align_experiments(
+            list(databases), strict=not salvage,
+            name=label or f"ensemble:{len(databases)}",
+        )
+        if stats == "all":
+            stat_names = [
+                d.name for d in ensemble.union.metrics
+                if d.kind is MetricKind.RAW
+            ]
+        elif stats in ("none", ""):
+            stat_names = []
+        else:
+            stat_names = [stats]
+        for metric in stat_names:
+            ensemble.attach_stats(metric)
+        handle = self.register(
+            ensemble.union, label=label or f"ensemble:{len(databases)}",
+            sid=_sid,
+            spec={"ensemble": list(databases), "salvage": salvage,
+                  "stats": stats, "label": label},
+        )
+        handle.ensemble_info = ensemble.to_payload()
+        return handle
 
     def preload(self, experiment: Experiment, label: str) -> SessionHandle:
         """Register a startup session with the plain (pool-agreed) counter."""

@@ -23,8 +23,10 @@ from repro.hpcprof.experiment import Experiment
 from repro.hpcprof.merge import merge_experiments
 from repro.viewer.table import TableOptions, render_view
 
-__all__ = ["COLUMNAR_FIXTURE", "DATA_DIR", "FIXTURES", "VIEW_SLUGS",
-           "build_fixture", "columnar_table_bytes", "render_views"]
+__all__ = ["COLUMNAR_FIXTURE", "DATA_DIR", "ENSEMBLE_DROPPED",
+           "ENSEMBLE_PLANTED", "ENSEMBLE_TARGET", "FIXTURES", "VIEW_SLUGS",
+           "build_fixture", "columnar_table_bytes", "ensemble_members",
+           "ensemble_outputs", "render_views"]
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
@@ -112,6 +114,96 @@ def columnar_table_bytes(experiment: Experiment) -> bytes:
     snapshot = table_snapshot(session, ViewKind.CALLING_CONTEXT,
                               depth=4, max_rows=120)
     return encode_columnar(snapshot)
+
+
+# --------------------------------------------------------------------- #
+# the ensemble diff corpus: four seeded runs with planted faults
+# --------------------------------------------------------------------- #
+
+#: the subtree member 1 is missing (union tolerance of absent scopes)
+ENSEMBLE_DROPPED = "p2_0"
+
+#: frames whose costs member 3 doubles — the planted regressions every
+#: detection run over this corpus must flag (the no-false-negative pin)
+ENSEMBLE_PLANTED = ("p1_1",)
+
+#: the member the golden diff and findings target
+ENSEMBLE_TARGET = 3
+
+
+def _in_subtree(node, frame_name: str) -> bool:
+    return any(f.name == frame_name for f in node.call_path())
+
+
+def ensemble_members() -> list[Experiment]:
+    """Four deterministic runs of the scale program, with seeded faults.
+
+    Members 0 and 2 are pristine; member 1 is missing the
+    :data:`ENSEMBLE_DROPPED` subtree entirely (alignment must tolerate
+    the hole); member 3 doubles every cost under each
+    :data:`ENSEMBLE_PLANTED` frame — the planted inclusive-share
+    regression the detector must find.
+    """
+    from repro.core.attribution import attribute
+    from repro.hpcstruct.synthstruct import build_structure
+    from repro.sim.executor import execute
+    from repro.sim.scale import scale_program
+
+    program = scale_program(fanout=2, depth=2)
+    structure = build_structure(program)
+    members = []
+    for rank in range(4):
+        profile = execute(program, rank=rank, nranks=4, seed=31)
+        members.append(Experiment.from_profile(profile, structure,
+                                               name=f"ens-{rank}"))
+
+    dropped = members[1]
+    dropped.cct.prune(lambda n: not _in_subtree(n, ENSEMBLE_DROPPED))
+    attribute(dropped.cct)
+    dropped.cct.invalidate_caches()
+
+    drifted = members[ENSEMBLE_TARGET]
+    for node in drifted.cct.walk():
+        if any(_in_subtree(node, name) for name in ENSEMBLE_PLANTED):
+            for mid, value in list(node.raw.items()):
+                node.raw[mid] = value * 2.0
+    attribute(drifted.cct)
+    drifted.cct.invalidate_caches()
+    return members
+
+
+def ensemble_outputs() -> dict[str, bytes]:
+    """filename -> bytes for the ensemble diff corpus.
+
+    Pins each member's framed v2 binary, the canonical rendering of the
+    three diff views (target member vs the corpus mean), and the full
+    regression-findings JSON — so any drift in alignment, diff
+    attribution, share computation, or detection thresholds changes
+    checked-in bytes.
+    """
+    import json
+
+    from repro.core.ensemble import align_experiments, detect_regressions
+    from repro.hpcprof import binio
+
+    members = ensemble_members()
+    out: dict[str, bytes] = {}
+    for i, member in enumerate(members):
+        out[f"ensemble-m{i}.v2.rpdb"] = binio.dumps_binary(member, version=2)
+    ensemble = align_experiments(members, name="golden-ensemble")
+    diff = ensemble.diff("mean", ENSEMBLE_TARGET)
+    for slug, text in render_views(diff).items():
+        out[f"ensemble-diff.{slug}.txt"] = text.encode("utf-8")
+    findings = detect_regressions(ensemble, target=ENSEMBLE_TARGET)
+    payload = {
+        "target": ensemble.names[ENSEMBLE_TARGET],
+        "planted": list(ENSEMBLE_PLANTED),
+        "findings": [f.to_payload() for f in findings],
+    }
+    out["ensemble.findings.json"] = (
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+    return out
 
 
 def render_views(experiment: Experiment) -> dict[str, str]:

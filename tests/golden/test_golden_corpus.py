@@ -115,3 +115,68 @@ def test_columnar_table_frame_is_byte_stable() -> None:
     reference = {k: v for k, v in
                  snapshot.to_json_payload("s1").items() if k != "session"}
     assert decoded == reference
+
+
+# --------------------------------------------------------------------- #
+# ensemble diff corpus
+# --------------------------------------------------------------------- #
+def _ensemble_member_paths() -> list[str]:
+    return [_data(f"ensemble-m{i}.v2.rpdb") for i in range(4)]
+
+
+def test_ensemble_outputs_are_byte_stable() -> None:
+    """The ensemble builders still produce every checked-in byte.
+
+    One comparison covers the member binaries, the three rendered diff
+    views, and the findings JSON — any drift in alignment, diff
+    attribution, share computation, or detection ordering fails here.
+    """
+    for name, content in sorted(corpus.ensemble_outputs().items()):
+        with open(_data(name), "rb") as fh:
+            assert fh.read() == content, f"golden drift in {name}"
+
+
+def test_ensemble_diff_from_pinned_files_matches_golden() -> None:
+    """Aligning the checked-in ``.rpdb`` members reproduces the golden
+    diff renders — the file-path loader and the in-memory path agree."""
+    from repro.core.ensemble import align_experiments
+
+    ensemble = align_experiments(_ensemble_member_paths(),
+                                 name="golden-ensemble")
+    diff = ensemble.diff("mean", corpus.ENSEMBLE_TARGET)
+    rendered = corpus.render_views(diff)
+    for slug in corpus.VIEW_SLUGS:
+        with open(_data(f"ensemble-diff.{slug}.txt"),
+                  encoding="utf-8") as fh:
+            assert rendered[slug] == fh.read()
+
+
+def test_ensemble_planted_regressions_all_flagged() -> None:
+    """Every planted drift scope is found — the no-false-negative pin."""
+    import json
+
+    from repro.core.ensemble import align_experiments, detect_regressions
+
+    ensemble = align_experiments(_ensemble_member_paths(),
+                                 name="golden-ensemble")
+    findings = detect_regressions(ensemble, target=corpus.ENSEMBLE_TARGET)
+    regressed = {f.scope for f in findings if f.kind == "regression"}
+    assert set(corpus.ENSEMBLE_PLANTED) <= regressed
+
+    with open(_data("ensemble.findings.json"), encoding="utf-8") as fh:
+        golden = json.load(fh)
+    assert [f.to_payload() for f in findings] == golden["findings"]
+
+
+def test_ensemble_alignment_matrices_match_in_memory() -> None:
+    """File-based and in-memory alignment produce bit-identical matrices."""
+    import numpy as np
+
+    from repro.core.ensemble import align_experiments
+
+    from_files = align_experiments(_ensemble_member_paths())
+    in_memory = align_experiments(corpus.ensemble_members())
+    assert from_files.alignment.matrices.keys() \
+        == in_memory.alignment.matrices.keys()
+    for key, matrix in from_files.alignment.matrices.items():
+        assert np.array_equal(matrix, in_memory.alignment.matrices[key]), key

@@ -1,0 +1,115 @@
+"""Differential properties of the ensemble alignment and diff engine.
+
+The exactness claims :mod:`repro.core.ensemble` documents are checked
+here over random canonical CCTs:
+
+* **identity** — ``diff(A, A)`` is *exactly* zero everywhere (IEEE
+  ``x - x == 0.0`` plus the sparse add's exact-zero drop);
+* **antisymmetry** — ``diff(A, B)`` is the exact negation of
+  ``diff(B, A)``, node for node, in raw, inclusive, and exclusive;
+* **totals** — every member's matrix root row equals that member's own
+  inclusive totals, bit for bit;
+* **loader equivalence** — aligning the in-memory experiments, their
+  ``.rpdb`` files, and their ``.rpstore`` directories produces
+  bit-identical matrices and names (the streaming loaders add nothing
+  and lose nothing).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.ensemble import align_experiments
+from repro.core.store import create_store
+from repro.hpcprof import database
+from repro.hpcprof.experiment import Experiment
+from tests.props.strategies import NUM_METRICS, cct_experiments
+
+
+def _experiment(data, name: str) -> Experiment:
+    cct, model, metrics = data
+    return Experiment(name, metrics, model, cct)
+
+
+def _all_value_dicts(exp: Experiment):
+    for node in exp.cct.walk():
+        yield node.raw
+        yield node.inclusive
+        yield node.exclusive
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=cct_experiments())
+def test_self_diff_is_exactly_zero(data):
+    """diff(A, A): every raw/inclusive/exclusive dict is empty (0.0)."""
+    exp = _experiment(data, "self")
+    ensemble = align_experiments([exp, exp])
+    diff = ensemble.diff(0, 1)
+    for values in _all_value_dicts(diff):
+        assert values == {}
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=cct_experiments(), b=cct_experiments())
+def test_diff_is_antisymmetric(a, b):
+    """diff(A, B) == -diff(B, A) bitwise, over the identical skeleton."""
+    ensemble = align_experiments(
+        [_experiment(a, "a"), _experiment(b, "b")]
+    )
+    forward = ensemble.diff(0, 1)
+    backward = ensemble.diff(1, 0)
+    f_nodes = list(forward.cct.walk())
+    b_nodes = list(backward.cct.walk())
+    assert len(f_nodes) == len(b_nodes)
+    for fn, bn in zip(f_nodes, b_nodes):
+        assert (fn.kind, fn.line) == (bn.kind, bn.line)
+        for flavor in ("raw", "inclusive", "exclusive"):
+            fv = getattr(fn, flavor)
+            bv = getattr(bn, flavor)
+            assert fv.keys() == bv.keys()
+            for mid, value in fv.items():
+                assert value == -bv[mid]
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=cct_experiments(), b=cct_experiments(), c=cct_experiments())
+def test_matrix_root_rows_are_member_totals(a, b, c):
+    """Row i of the inclusive matrix carries member i's own totals."""
+    members = [_experiment(a, "a"), _experiment(b, "b"),
+               _experiment(c, "c")]
+    ensemble = align_experiments(members)
+    for mid in range(NUM_METRICS):
+        matrix = ensemble.alignment.matrix(mid, "inclusive")
+        for i, member in enumerate(members):
+            assert matrix[i, 0] == member.cct.root.inclusive.get(mid, 0.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(a=cct_experiments(), b=cct_experiments())
+def test_loaders_align_bit_identically(a, b):
+    """in-memory vs .rpdb vs .rpstore members: identical alignment."""
+    members = [_experiment(a, "a"), _experiment(b, "b")]
+    reference = align_experiments(members)
+    with tempfile.TemporaryDirectory() as tmp:
+        rpdb_paths = []
+        store_paths = []
+        for i, member in enumerate(members):
+            rpdb = os.path.join(tmp, f"m{i}.rpdb")
+            database.save(member, rpdb)
+            rpdb_paths.append(rpdb)
+            store = os.path.join(tmp, f"m{i}.rpstore")
+            create_store(member, store).release()
+            store_paths.append(store)
+        for paths in (rpdb_paths, store_paths):
+            aligned = align_experiments(paths)
+            assert aligned.names == reference.names
+            assert aligned.alignment.matrices.keys() \
+                == reference.alignment.matrices.keys()
+            for key, matrix in reference.alignment.matrices.items():
+                assert np.array_equal(
+                    matrix, aligned.alignment.matrices[key]
+                ), key

@@ -1,0 +1,260 @@
+"""``/v1/diff`` and ``/v1/ensemble``: behavior, negotiation, and chaos.
+
+The diff endpoint is deliberately stateless — members are aligned per
+request, the diff experiment is rendered and discarded, and nothing is
+written to the render cache.  The battery here pins that contract:
+
+* both member sources (database paths, open sessions) serve the same
+  shapes, with columnar content negotiation like ``/table``;
+* every failure mode — mismatched metric tables, corrupted members,
+  unknown sessions, absurd parameters — yields a structured taxonomy
+  error with a trace id, never a 500 and never an HTML body;
+* faulted diff requests leave the render cache untouched: a table
+  rendered before the chaos replays byte-identically after it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server import AnalysisApp
+from repro.server.schema import BinaryBody
+from repro.server.wire import COLUMNAR_CONTENT_TYPE, decode_columnar
+from repro.sim.scale import generate_rank_files
+
+_ERROR_FIELDS = {"status", "code", "message", "retry_after", "trace_id"}
+
+
+@pytest.fixture(scope="module")
+def members(tmp_path_factory):
+    out = tmp_path_factory.mktemp("diff-members")
+    return generate_rank_files(str(out), 4, fanout=2, depth=2)
+
+
+@pytest.fixture(scope="module")
+def odd_member(tmp_path_factory):
+    """A member whose metric table differs from the scale corpus."""
+    out = tmp_path_factory.mktemp("diff-odd")
+    return generate_rank_files(str(out), 1, fanout=2, depth=2,
+                               metric="flops")[0]
+
+
+@pytest.fixture()
+def app():
+    return AnalysisApp()
+
+
+def post(app, path, body=None, headers=None):
+    raw = json.dumps(body).encode() if body is not None else b""
+    return app.handle_full("POST", path, raw, request_headers=headers)
+
+
+def assert_structured_error(status, payload, code=None):
+    assert status >= 400
+    error = payload["error"]
+    assert set(error) <= _ERROR_FIELDS
+    assert error["trace_id"]
+    body = json.dumps(payload)
+    assert "Traceback" not in body and "<html" not in body.lower()
+    if code is not None:
+        assert error["code"] == code
+
+
+# --------------------------------------------------------------------- #
+# happy paths
+# --------------------------------------------------------------------- #
+def test_diff_databases_json(app, members):
+    status, payload, headers = post(app, "/v1/diff", {
+        "databases": members, "baseline": "mean", "target": 3,
+    })
+    assert status == 200
+    assert headers["X-Trace-Id"]
+    assert payload["baseline"] == "mean"
+    assert payload["target"].endswith("r3")
+    assert len(payload["members"]) == 4
+    table = payload["diff"]
+    assert table["view"] == "flat"
+    assert table["row_count"] > 0
+    assert isinstance(payload["findings"], list)
+    assert payload["report"]["n_members"] == 4
+
+
+def test_diff_sessions_members(app, members):
+    sids = []
+    for path in members[:2]:
+        status, opened, _ = post(app, "/v1/sessions", {"database": path})
+        assert status == 201
+        sids.append(opened["session"]["id"])
+    status, payload, _ = post(app, "/v1/diff", {"sessions": sids})
+    assert status == 200
+    assert payload["baseline"].endswith("r0")
+    assert payload["target"].endswith("r1")
+
+
+def test_diff_columnar_negotiation(app, members):
+    body = {"databases": members, "view": "cct", "depth": 2}
+    status, json_payload, _ = post(app, "/v1/diff", dict(body))
+    assert status == 200
+    status, binary, _ = post(app, "/v1/diff", dict(body),
+                             headers={"Accept": COLUMNAR_CONTENT_TYPE})
+    assert status == 200
+    assert isinstance(binary, BinaryBody)
+    assert binary.content_type == COLUMNAR_CONTENT_TYPE
+    decoded = decode_columnar(binary.data)
+    reference = {k: v for k, v in json_payload["diff"].items()
+                 if k != "session"}
+    assert decoded == reference
+
+
+def test_diff_of_identical_members_is_all_zero(app, members):
+    status, payload, _ = post(app, "/v1/diff", {
+        "databases": [members[0], members[0]],
+    })
+    assert status == 200
+    columns = [c["name"] for c in payload["diff"]["columns"]]
+    for row in payload["diff"]["rows"]:
+        for name, value in zip(columns, row):
+            if name in ("scope", "depth"):
+                continue
+            assert value == 0.0
+    assert payload["findings"] == []
+
+
+def test_diff_against_mean_target_skips_detection(app, members):
+    status, payload, _ = post(app, "/v1/diff", {
+        "databases": members[:3], "baseline": 0, "target": "mean",
+    })
+    assert status == 200
+    assert payload["target"] == "mean"
+    assert payload["findings"] == []
+
+
+def test_ensemble_opens_session_with_stat_columns(app, members):
+    status, payload, _ = post(app, "/v1/ensemble", {"databases": members})
+    assert status == 201
+    info = payload["ensemble"]
+    assert info["n_experiments"] == 4
+    assert info["union_scopes"] > 0
+    sid = payload["session"]["id"]
+    status, table = app.handle(
+        "GET", f"/v1/sessions/{sid}/table?view=flat&depth=1"
+    )
+    assert status == 200
+    labels = [c["name"] for c in table["columns"]]
+    assert "cycles (mean) (I)" in labels
+    assert "cycles (stddev) (E)" in labels
+    status, listed = app.handle("GET", "/v1/sessions")
+    assert status == 200
+    assert any(s["id"] == sid for s in listed["sessions"])
+
+
+# --------------------------------------------------------------------- #
+# chaos: every failure is structured, nothing taints the cache
+# --------------------------------------------------------------------- #
+def _prime_table(app, path):
+    """Open a session and cache one table render; return (sid, bytes)."""
+    status, opened, _ = post(app, "/v1/sessions", {"database": path})
+    assert status == 201
+    sid = opened["session"]["id"]
+    status, table = app.handle("GET", f"/v1/sessions/{sid}/table")
+    assert status == 200
+    return sid, json.dumps(table, sort_keys=True)
+
+
+def test_mismatched_metric_members_fail_structured(app, members, odd_member):
+    sid, before = _prime_table(app, members[0])
+    stats_before = app.cache.stats()
+    status, payload, _ = post(app, "/v1/diff", {
+        "databases": [members[0], odd_member],
+    })
+    assert_structured_error(status, payload, code="bad-metric")
+    # the failed alignment wrote nothing into the render cache …
+    after = app.cache.stats()
+    assert after["entries"] == stats_before["entries"]
+    assert after["invalidations"] == stats_before["invalidations"]
+    # … and a replayed table is byte-identical to the pre-chaos render
+    status, table = app.handle("GET", f"/v1/sessions/{sid}/table")
+    assert status == 200
+    assert json.dumps(table, sort_keys=True) == before
+
+
+def test_corrupted_member_strict_fails_salvage_succeeds(
+    app, members, tmp_path
+):
+    with open(members[1], "rb") as fh:
+        blob = fh.read()
+    hurt = tmp_path / "hurt.rpdb"
+    hurt.write_bytes(blob[: int(len(blob) * 0.7)])
+    status, payload, _ = post(app, "/v1/diff", {
+        "databases": [members[0], str(hurt)],
+    })
+    assert_structured_error(status, payload, code="bad-database")
+    status, payload, _ = post(app, "/v1/diff", {
+        "databases": [members[0], str(hurt)], "salvage": True,
+    })
+    assert status == 200
+    assert len(payload["members"]) == 2
+
+
+def test_unknown_and_evicted_session_members_404(app, members):
+    status, payload, _ = post(app, "/v1/diff",
+                              {"sessions": ["s404", "s405"]})
+    assert_structured_error(status, payload, code="unknown-session")
+
+    sids = []
+    for path in members[:2]:
+        _, opened, _ = post(app, "/v1/sessions", {"database": path})
+        sids.append(opened["session"]["id"])
+    # closing one member mid-flow turns the diff into a clean 404
+    app.handle("DELETE", f"/v1/sessions/{sids[1]}")
+    status, payload, _ = post(app, "/v1/diff", {"sessions": sids})
+    assert_structured_error(status, payload, code="unknown-session")
+
+
+@pytest.mark.parametrize("body,code", [
+    ({}, "bad-diff-members"),
+    ({"databases": []}, "bad-diff-members"),
+    ({"databases": ["only-one"]}, "bad-diff-members"),
+    ({"databases": [1, 2]}, "bad-diff-members"),
+    ({"databases": ["a", "b"], "sessions": ["s1", "s2"]},
+     "bad-diff-members"),
+    ({"sessions": ["s1", "s2"], "baseline": True}, "bad-field-type"),
+    ({"sessions": ["s1", "s2"], "view": 7}, "bad-field-type"),
+])
+def test_malformed_diff_requests_are_structured(app, body, code):
+    status, payload, _ = post(app, "/v1/diff", body)
+    assert_structured_error(status, payload, code=code)
+
+
+def test_bad_parameters_never_500(app, members):
+    bodies = [
+        {"databases": members, "view": "nope"},
+        {"databases": members, "flavor": "nope"},
+        {"databases": members, "metric": "no-such-metric"},
+        {"databases": members, "factor": 0},
+        {"databases": members, "factor": -2.5},
+        {"databases": members, "baseline": 99},
+        {"databases": members, "target": "no-such-member"},
+        {"databases": members, "threshold": 3.0},
+        {"databases": [members[0], "/does/not/exist.rpdb"]},
+    ]
+    for body in bodies:
+        status, payload, _ = post(app, "/v1/diff", body)
+        assert 400 <= status < 500, (body, payload)
+        assert_structured_error(status, payload)
+
+
+def test_ensemble_bad_members_are_structured(app, members, odd_member):
+    status, payload, _ = post(app, "/v1/ensemble", {})
+    assert_structured_error(status, payload, code="missing-field")
+    status, payload, _ = post(app, "/v1/ensemble", {"databases": ["one"]})
+    assert_structured_error(status, payload, code="bad-diff-members")
+    status, payload, _ = post(app, "/v1/ensemble", {
+        "databases": [members[0], odd_member],
+    })
+    assert_structured_error(status, payload, code="bad-metric")
+    # a failed open leaves no session behind
+    status, listed = app.handle("GET", "/v1/sessions")
+    assert listed["sessions"] == []

@@ -50,7 +50,13 @@ SCENARIO = [
      {"view": "cct", "depth": 3, "max_rows": 40}),
     ("POST", "/sessions/{sid}/flatten", None),
     ("POST", "/sessions/{sid}/unflatten", None),
+    # stateless ensemble surface: a self-diff of the open session is
+    # deterministic (all-zero rows, no findings) and alias-identical
+    ("POST", "/diff", {"sessions": ["s1", "s1"], "depth": 1}),
+    ("GET", '/diff?sessions=["s1","s1"]&max_rows=5', None),
     # error paths must alias identically too (modulo the trace id)
+    ("GET", "/ensemble", None),
+    ("POST", "/ensemble", {"databases": ["solo"]}),
     ("GET", "/sessions/nope", None),
     ("POST", "/sessions/{sid}/render", {"view": "bogus"}),
     ("PUT", "/sessions/{sid}/render", None),

@@ -2,12 +2,14 @@
 
 ``benchmarks/`` is normally run on demand (``--benchmark-only``), so an
 import error or API drift there would only surface when someone next
-measures.  This test keeps a six-benchmark subset — marked
+measures.  This test keeps an eight-benchmark subset — marked
 ``bench_smoke`` in ``benchmarks/bench_storage.py`` (storage kernels and the
-out-of-core store open latency)
-and ``benchmarks/bench_server.py`` (the analysis-server cached-render
-throughput sanity check plus the disabled-span hook cost) — compiling
-and passing under ``--benchmark-disable`` on every tier-1 run.
+out-of-core store open latency),
+``benchmarks/bench_server.py`` (the analysis-server cached-render
+throughput sanity check plus the disabled-span hook cost), and
+``benchmarks/bench_ensemble.py`` (N-way alignment and diff+detect
+latency) — compiling and passing under ``--benchmark-disable`` on every
+tier-1 run.
 """
 
 from __future__ import annotations
@@ -41,4 +43,4 @@ def test_bench_smoke_subset_passes():
     )
     output = proc.stdout + proc.stderr
     assert proc.returncode == 0, output
-    assert "6 passed" in output, output
+    assert "8 passed" in output, output

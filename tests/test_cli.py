@@ -8,6 +8,7 @@ import textwrap
 import pytest
 
 from repro.cli import (
+    main_diff,
     main_experiments,
     main_prof_merge,
     main_profile,
@@ -161,3 +162,66 @@ class TestOutOfCorePipeline:
         capsys.readouterr()
         assert main_view([db, "--out-of-core", "--view", "cct"]) == 0
         assert "Calling Context View" in capsys.readouterr().out
+
+
+class TestDiff:
+    @pytest.fixture()
+    def rank_files(self, tmp_path):
+        ranks = str(tmp_path / "ranks")
+        main_sim_scale([ranks, "-n", "4", "--fanout", "2", "--depth", "2"])
+        return sorted(os.path.join(ranks, f) for f in os.listdir(ranks))
+
+    def test_diff_renders_and_reports(self, rank_files, capsys):
+        capsys.readouterr()
+        assert main_diff(rank_files + ["--baseline", "mean",
+                                       "--target", "-1",
+                                       "--depth", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Flat View" in captured.out
+        assert "vs mean" in captured.out
+        assert "aligned 4 experiment(s)" in captured.err
+
+    def test_diff_json_output(self, rank_files, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main_diff(rank_files + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ensemble"]["n_experiments"] == 4
+        assert "findings" in payload
+
+    def test_diff_fail_on_regression_exit_code(self, tmp_path, capsys):
+        from repro.core.attribution import attribute
+        from repro.hpcprof import database
+
+        ranks = str(tmp_path / "r")
+        main_sim_scale([ranks, "-n", "3", "--fanout", "2", "--depth", "2"])
+        files = sorted(os.path.join(ranks, f) for f in os.listdir(ranks))
+        # plant a regression into the last member
+        exp = database.load(files[-1])
+        for node in exp.cct.walk():
+            if any(f.name == "p1_1" for f in node.call_path()):
+                for mid, value in list(node.raw.items()):
+                    node.raw[mid] = value * 3.0
+        attribute(exp.cct)
+        bad = str(tmp_path / "bad.rpdb")
+        database.save(exp, bad)
+        capsys.readouterr()
+        assert main_diff(files[:-1] + [bad, "--target", "-1",
+                                       "--fail-on-regression"]) == 3
+        assert "[regression] p1_1" in capsys.readouterr().out
+
+    def test_diff_factor_and_views(self, rank_files, capsys):
+        capsys.readouterr()
+        assert main_diff(rank_files[:2] + ["--baseline", "0",
+                                           "--target", "1",
+                                           "--factor", "2.0",
+                                           "--view", "cct",
+                                           "--no-detect"]) == 0
+        out = capsys.readouterr().out
+        assert "Calling Context View" in out
+        assert "vs 2*" in out
+
+    def test_diff_needs_two_members(self, rank_files):
+        with pytest.raises(Exception, match="at least two"):
+            main_diff([rank_files[0]])
