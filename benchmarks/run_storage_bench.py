@@ -16,10 +16,17 @@ For each rank count (default 64, 256, 1000) this:
    RSS gap the store exists to close; at the smallest size the two
    paths' rendered views are asserted byte-identical.
 
+It also measures the profile corpus (``repro.corpus``): ingesting 100
+profiles through the journaled staging/intent/rename/commit protocol,
+then reopening the catalog cold — a full journal replay — plus a
+recovery open with an interrupted ingest left pending.  The replay
+must stay under 250 ms for the 100-profile catalog; the run fails
+otherwise so the number cannot silently regress.
+
 Usage::
 
     python benchmarks/run_storage_bench.py [-o BENCH_storage.json]
-        [--ranks 64 256 1000]
+        [--ranks 64 256 1000] [--corpus-only]
 """
 
 from __future__ import annotations
@@ -137,35 +144,113 @@ def measure(nranks: int, workdir: str) -> dict:
     return entry
 
 
+#: replay budget from the roadmap: a 100-profile catalog must reopen
+#: (full journal scan + CRC of every frame) in under a quarter second
+_REPLAY_BUDGET_S = 0.250
+
+
+def measure_corpus(workdir: str, nprofiles: int = 100) -> dict:
+    from repro.corpus import CorpusCatalog, open_corpus
+    from repro.hpcprof import binio
+    from repro.hpcprof.experiment import Experiment
+    from repro.sim.workloads import fig1
+    from repro.testing.faults import CrashPointHit, crashing_at
+
+    blob = binio.dumps_binary(Experiment.from_program(fig1.build()))
+    root = os.path.join(workdir, "corpus")
+
+    catalog = CorpusCatalog(root, create=True)
+    t0 = time.perf_counter()
+    for i in range(nprofiles):
+        catalog.ingest_bytes("bench", blob, name=f"run-{i:03d}",
+                             group=f"g{i % 4}")
+    ingest_s = time.perf_counter() - t0
+    catalog.close()
+
+    # cold reopen: scan + CRC-check every journal frame, rebuild state
+    t0 = time.perf_counter()
+    with open_corpus(root) as corpus:
+        replay_s = time.perf_counter() - t0
+        count = len(corpus.list("bench"))
+        journal_bytes = os.path.getsize(os.path.join(root, "journal.rjl"))
+        assert count == nprofiles, count
+
+        # leave an ingest interrupted mid-commit, then time the reopen
+        # that has to notice and resume it
+        try:
+            with crashing_at("corpus.ingest.renamed"):
+                corpus.ingest_bytes("bench", blob, name="interrupted")
+        except CrashPointHit:
+            pass
+    t0 = time.perf_counter()
+    with open_corpus(root) as corpus:
+        recovery_s = time.perf_counter() - t0
+        assert len(corpus.list("bench")) == nprofiles + 1
+
+    if replay_s > _REPLAY_BUDGET_S:
+        raise RuntimeError(
+            f"journal replay of {nprofiles} profiles took {replay_s:.3f}s "
+            f"(> {_REPLAY_BUDGET_S}s budget)"
+        )
+    return {
+        "profiles": nprofiles,
+        "profile_bytes": len(blob),
+        "journal_bytes": journal_bytes,
+        "ingest_s": round(ingest_s, 3),
+        "ingest_per_profile_ms": round(ingest_s / nprofiles * 1e3, 3),
+        "replay_s": round(replay_s, 4),
+        "recovery_with_pending_intent_s": round(recovery_s, 4),
+        "replay_budget_s": _REPLAY_BUDGET_S,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-o", "--output", default=str(REPO / "BENCH_storage.json"))
     parser.add_argument("--ranks", type=int, nargs="+",
                         default=[64, 256, 1000])
+    parser.add_argument("--corpus-only", action="store_true",
+                        help="refresh only the corpus block, merging "
+                             "into the existing output file")
     args = parser.parse_args(argv)
 
     results = []
     with tempfile.TemporaryDirectory() as workdir:
-        for nranks in args.ranks:
-            print(f"measuring nranks={nranks} ...", flush=True)
-            entry = measure(nranks, workdir)
-            ooc = entry["out_of_core"]
-            line = (f"  merge {entry['merge_s']}s, open {ooc['open_s']*1e3:.1f}ms, "
-                    f"open+render {ooc['open_and_render_s']*1e3:.1f}ms, "
-                    f"peak RSS {ooc['peak_rss_kib']/1024:.1f} MiB")
-            if "rss_ratio" in entry:
-                line += (f" (in-memory "
-                         f"{entry['in_memory']['peak_rss_kib']/1024:.1f} MiB, "
-                         f"{entry['rss_ratio']}x)")
-            print(line, flush=True)
-            results.append(entry)
+        if not args.corpus_only:
+            for nranks in args.ranks:
+                print(f"measuring nranks={nranks} ...", flush=True)
+                entry = measure(nranks, workdir)
+                ooc = entry["out_of_core"]
+                line = (f"  merge {entry['merge_s']}s, open {ooc['open_s']*1e3:.1f}ms, "
+                        f"open+render {ooc['open_and_render_s']*1e3:.1f}ms, "
+                        f"peak RSS {ooc['peak_rss_kib']/1024:.1f} MiB")
+                if "rss_ratio" in entry:
+                    line += (f" (in-memory "
+                             f"{entry['in_memory']['peak_rss_kib']/1024:.1f} MiB, "
+                             f"{entry['rss_ratio']}x)")
+                print(line, flush=True)
+                results.append(entry)
 
-    payload = {
-        "benchmark": "out-of-core column store",
-        "python": sys.version.split()[0],
-        "results": results,
-    }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print("measuring corpus ingest + recovery ...", flush=True)
+        corpus = measure_corpus(workdir)
+        print(f"  ingest {corpus['profiles']} profiles "
+              f"{corpus['ingest_s']}s "
+              f"({corpus['ingest_per_profile_ms']}ms each), "
+              f"replay {corpus['replay_s']*1e3:.1f}ms, "
+              f"recovery {corpus['recovery_with_pending_intent_s']*1e3:.1f}ms",
+              flush=True)
+
+    out = Path(args.output)
+    if args.corpus_only and out.exists():
+        payload = json.loads(out.read_text())
+    else:
+        payload = {
+            "benchmark": "out-of-core column store",
+            "python": sys.version.split()[0],
+            "results": results,
+        }
+    payload["corpus"] = corpus
+    out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0
 

@@ -23,6 +23,7 @@ Seven commands mirror the HPCToolkit workflow:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import runpy
 import sys
@@ -37,7 +38,8 @@ from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions
 
 __all__ = ["main_profile", "main_sim", "main_sim_scale", "main_view",
-           "main_serve", "main_prof_merge", "main_diff", "main_experiments"]
+           "main_serve", "main_prof_merge", "main_diff", "main_corpus",
+           "main_experiments"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -384,6 +386,169 @@ def main_serve(argv: list[str] | None = None) -> int:
     from repro.server.http import main
 
     return main(argv)
+
+
+# --------------------------------------------------------------------- #
+def main_corpus(argv: list[str] | None = None) -> int:
+    """``repro-corpus`` — operate a crash-safe profile corpus offline.
+
+    The same catalog the server mounts at ``/v1/corpus``, driven from
+    the shell: initialise, ingest, list, compact, set retention,
+    delete, verify checksums, or force a recovery pass.  Safe to run
+    against a live server's corpus root — every mutation takes the
+    journal lock.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-corpus",
+        description="Crash-safe multi-tenant profile corpus: journaled "
+                    "catalog of .rpdb/.rpstore profiles with retention "
+                    "and background compaction (docs/corpus.md).",
+    )
+    parser.add_argument("root", metavar="DIR", help="corpus root directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("init", help="create an empty corpus")
+
+    p = sub.add_parser("ingest", help="ingest database files / store dirs")
+    p.add_argument("tenant")
+    p.add_argument("paths", nargs="+", metavar="PATH")
+    p.add_argument("--group", default=None,
+                   help="compaction group tag for these uploads")
+    p.add_argument("--meta", action="append", default=[],
+                   metavar="KEY=VALUE", help="searchable metadata")
+    p.add_argument("--salvage", action="store_true",
+                   help="store what the salvage loader recovers from a "
+                        "corrupt payload instead of refusing it")
+
+    p = sub.add_parser("list", help="list a tenant's committed profiles "
+                                    "(or all tenants without one)")
+    p.add_argument("tenant", nargs="?", default=None)
+    p.add_argument("--group", default=None)
+    p.add_argument("--name", default=None, help="substring match")
+
+    p = sub.add_parser("compact", help="merge grouped uploads into stores")
+    p.add_argument("tenant")
+    p.add_argument("--group", default=None,
+                   help="only this group (default: every eligible one)")
+    p.add_argument("--min-sources", type=int, default=2)
+
+    p = sub.add_parser("policy", help="show or set a tenant's retention")
+    p.add_argument("tenant")
+    p.add_argument("--max-bytes", type=int, default=None)
+    p.add_argument("--max-profiles", type=int, default=None)
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS")
+
+    p = sub.add_parser("delete", help="durably delete one profile")
+    p.add_argument("tenant")
+    p.add_argument("id", metavar="PROFILE")
+
+    p = sub.add_parser("verify", help="checksum every committed profile")
+    p.add_argument("tenant", nargs="?", default=None)
+
+    sub.add_parser("recover", help="force a full recovery pass and report")
+
+    args = parser.parse_args(argv)
+
+    from repro.corpus import CorpusCatalog, open_corpus
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "init":
+            CorpusCatalog(args.root, create=True).close()
+            print(f"initialised corpus at {args.root}")
+            return 0
+        with open_corpus(args.root) as corpus:
+            return _corpus_command(corpus, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _corpus_command(corpus, args) -> int:
+    from repro.corpus import RetentionPolicy
+
+    if args.command == "ingest":
+        meta = {}
+        for item in args.meta:
+            key, sep, value = item.partition("=")
+            if not sep:
+                print(f"error: --meta wants KEY=VALUE, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            meta[key] = value
+        for path in args.paths:
+            entry = corpus.ingest_file(
+                args.tenant, path, group=args.group, meta=meta,
+                salvage=args.salvage,
+            )
+            print(f"{entry.pid}  {entry.kind:7s} {entry.bytes:>10d}  "
+                  f"{entry.name}")
+        return 0
+    if args.command == "list":
+        tenants = [args.tenant] if args.tenant else corpus.tenants()
+        for tenant in tenants:
+            entries = corpus.search(
+                tenant, name=args.name, group=args.group,
+            )
+            for e in entries:
+                group = f" group={e.group}" if e.group else ""
+                print(f"{tenant}/{e.pid}  {e.kind:7s} {e.bytes:>10d}  "
+                      f"{e.name}{group}")
+        return 0
+    if args.command == "compact":
+        groups = ([args.group] if args.group
+                  else sorted(corpus.compactable_groups(
+                      args.tenant, min_sources=args.min_sources)))
+        made = 0
+        for group in groups:
+            entry = corpus.compact_group(
+                args.tenant, group, min_sources=args.min_sources
+            )
+            if entry is not None:
+                made += 1
+                print(f"compacted group {group!r} -> {entry.pid} "
+                      f"({entry.bytes} bytes)")
+        if not made:
+            print("nothing to compact")
+        return 0
+    if args.command == "policy":
+        if (args.max_bytes is None and args.max_profiles is None
+                and args.ttl is None):
+            print(json.dumps(corpus.policy(args.tenant).to_payload(),
+                             indent=2))
+            return 0
+        policy = RetentionPolicy(
+            max_bytes=args.max_bytes, max_profiles=args.max_profiles,
+            ttl_s=args.ttl,
+        )
+        evicted = corpus.set_policy(args.tenant, policy)
+        print(f"policy set; evicted {len(evicted)} profile(s)")
+        for item in evicted:
+            print(f"  {item['tenant']}/{item['id']} ({item['reason']})")
+        return 0
+    if args.command == "delete":
+        corpus.delete(args.tenant, args.id)
+        print(f"deleted {args.tenant}/{args.id}")
+        return 0
+    if args.command == "verify":
+        tenants = [args.tenant] if args.tenant else corpus.tenants()
+        bad = 0
+        from repro.errors import CorpusCorrupt
+
+        for tenant in tenants:
+            for entry in corpus.list(tenant):
+                try:
+                    corpus.verify(tenant, entry.pid)
+                    print(f"ok      {tenant}/{entry.pid}  {entry.name}")
+                except CorpusCorrupt as exc:
+                    bad += 1
+                    print(f"CORRUPT {tenant}/{entry.pid}  {exc}")
+        return 1 if bad else 0
+    if args.command == "recover":
+        report = corpus.recover()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
 
 
 # --------------------------------------------------------------------- #

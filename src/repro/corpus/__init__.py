@@ -1,0 +1,34 @@
+"""Crash-safe multi-tenant profile corpus: catalog, journal, retention.
+
+The durable substrate under the analysis server: tenants upload
+``.rpdb`` profiles, the catalog journals every state transition
+(CRC32-framed, append-only, replayed on open), grouped uploads compact
+into out-of-core ``.rpstore`` directories in the background, and
+per-tenant retention policies evict oldest-first — never a profile an
+open session has pinned.  See ``docs/corpus.md`` for the on-disk layout
+and the crash-recovery guarantees, and ``tests/corpus/`` for the
+kill-anywhere battery that enforces them.
+"""
+
+from .catalog import (
+    CRASH_POINTS,
+    CorpusCatalog,
+    ProfileEntry,
+    open_corpus,
+)
+from .compact import CompactionWorker
+from .journal import Journal, Replay, encode_record, scan_records
+from .retention import RetentionPolicy
+
+__all__ = [
+    "CRASH_POINTS",
+    "CompactionWorker",
+    "CorpusCatalog",
+    "Journal",
+    "ProfileEntry",
+    "Replay",
+    "RetentionPolicy",
+    "encode_record",
+    "open_corpus",
+    "scan_records",
+]

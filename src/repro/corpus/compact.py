@@ -1,0 +1,109 @@
+"""Supervised background compaction of grouped single-rank uploads.
+
+Tenants tag related uploads with a ``group`` (one profile per MPI rank,
+say); the :class:`CompactionWorker` periodically sweeps every tenant and
+merges each group with enough members into one out-of-core ``.rpstore``
+via :func:`repro.hpcprof.merge.merge_rank_files`.  The durability story
+lives entirely in :meth:`CorpusCatalog.compact_group
+<repro.corpus.catalog.CorpusCatalog.compact_group>` — sources stay
+committed until the merged store's commit record lands, and a merge
+interrupted by a crash restarts idempotently — so the worker itself is
+deliberately dumb: sweep, merge, count, repeat.  "Supervised" means a
+failing merge (corrupt member, pinned source, disk full) is recorded
+and skipped, never allowed to kill the sweep loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+
+from .catalog import CorpusCatalog
+
+__all__ = ["CompactionWorker"]
+
+
+class CompactionWorker:
+    """Periodic group-compaction sweeps over one catalog.
+
+    ``start()`` runs sweeps on a daemon thread every *interval_s*;
+    ``run_once()`` performs a single synchronous sweep (what the CLI and
+    the deterministic tests call).  Counters in :attr:`stats` make the
+    worker observable from ``/v1/corpus``.
+    """
+
+    def __init__(
+        self,
+        catalog: CorpusCatalog,
+        *,
+        interval_s: float = 5.0,
+        min_sources: int = 2,
+        working_set_bytes: int | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.catalog = catalog
+        self.interval_s = float(interval_s)
+        self.min_sources = int(min_sources)
+        self.working_set_bytes = working_set_bytes
+        self.stats = {"sweeps": 0, "compacted": 0, "errors": 0}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._mu = threading.Lock()
+
+    def run_once(self) -> list:
+        """One sweep: compact every eligible group; the new entries."""
+        compacted = []
+        with self._mu:
+            self.stats["sweeps"] += 1
+            for tenant in self.catalog.tenants():
+                groups = self.catalog.compactable_groups(
+                    tenant, min_sources=self.min_sources
+                )
+                for group in sorted(groups):
+                    try:
+                        entry = self.catalog.compact_group(
+                            tenant, group,
+                            min_sources=self.min_sources,
+                            working_set_bytes=self.working_set_bytes,
+                        )
+                    except ReproError:
+                        # pinned members, a corrupt source, disk trouble:
+                        # skip this group, keep sweeping — the catalog
+                        # protocol guarantees nothing was half-applied
+                        self.stats["errors"] += 1
+                        continue
+                    if entry is not None:
+                        self.stats["compacted"] += 1
+                        compacted.append(entry)
+        return compacted
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run_once()
+            except Exception:
+                # supervision of last resort: the sweep thread survives
+                # even what run_once's own handling did not anticipate
+                self.stats["errors"] += 1
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="corpus-compaction", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()

@@ -1,0 +1,76 @@
+"""Per-tenant retention policy: byte quota, profile count, TTL.
+
+A :class:`RetentionPolicy` is a durable catalog fact — set through a
+``set-policy`` journal record, replayed on open like every other state
+transition — not server configuration.  Enforcement is deliberately
+separate from the policy itself: :meth:`CorpusCatalog.enforce_retention
+<repro.corpus.catalog.CorpusCatalog.enforce_retention>` walks committed
+profiles oldest-first and evicts until the tenant fits, *skipping* any
+profile pinned by an open session (a pin defers eviction, it never
+fails it — quota pressure must not take down a live analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CorpusError
+
+__all__ = ["RetentionPolicy"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Limits applied to one tenant's committed profiles.
+
+    ``None`` disables a limit; the default policy disables all three.
+
+    * ``max_bytes`` — total committed payload bytes per tenant;
+    * ``max_profiles`` — number of committed profiles per tenant;
+    * ``ttl_s`` — seconds after commit at which a profile expires.
+    """
+
+    max_bytes: int | None = None
+    max_profiles: int | None = None
+    ttl_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for field, lo in (("max_bytes", 1), ("max_profiles", 1), ("ttl_s", 0)):
+            value = getattr(self, field)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise CorpusError(f"retention {field} must be a number, got {value!r}")
+            if value < lo:
+                raise CorpusError(f"retention {field} must be >= {lo}, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_bytes is None and self.max_profiles is None and self.ttl_s is None
+
+    def to_payload(self) -> dict:
+        return {
+            "max_bytes": self.max_bytes,
+            "max_profiles": self.max_profiles,
+            "ttl_s": self.ttl_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RetentionPolicy":
+        if not isinstance(payload, dict):
+            raise CorpusError(f"retention policy must be an object, got {payload!r}")
+        unknown = set(payload) - {"max_bytes", "max_profiles", "ttl_s"}
+        if unknown:
+            raise CorpusError(f"unknown retention field(s): {sorted(unknown)}")
+        max_bytes = payload.get("max_bytes")
+        max_profiles = payload.get("max_profiles")
+        if max_bytes is not None:
+            max_bytes = int(max_bytes)
+        if max_profiles is not None:
+            max_profiles = int(max_profiles)
+        ttl = payload.get("ttl_s")
+        return cls(
+            max_bytes=max_bytes,
+            max_profiles=max_profiles,
+            ttl_s=float(ttl) if ttl is not None else None,
+        )

@@ -36,11 +36,15 @@ __all__ = [
     "DatabaseError",
     "SimulationError",
     "ProfilerError",
+    "CorpusError",
+    "CorpusCorrupt",
+    "ProfilePinned",
     # API hierarchy
     "ApiError",
     "BadRequest",
     "NotFound",
     "MethodNotAllowed",
+    "Conflict",
     "PayloadTooLarge",
     "TooManyRequests",
     "ServiceUnavailable",
@@ -89,6 +93,23 @@ class SimulationError(ReproError):
 
 class ProfilerError(ReproError):
     """Measurement-layer (hpcrun substrate) failure."""
+
+
+class CorpusError(ReproError):
+    """Profile-corpus catalog operation failure (ingest, policy, lookup)."""
+
+
+class CorpusCorrupt(CorpusError):
+    """The corpus on disk is damaged beyond the journal's recovery rules.
+
+    Raised when the corpus marker is unreadable or a *committed* profile
+    fails its recorded checksum — never for a torn journal tail, which
+    replay truncates silently as designed.
+    """
+
+
+class ProfilePinned(CorpusError):
+    """A corpus profile cannot be deleted while an open session pins it."""
 
 
 # --------------------------------------------------------------------- #
@@ -152,6 +173,13 @@ class MethodNotAllowed(ApiError):
     code = "method-not-allowed"
 
 
+class Conflict(ApiError):
+    """409 — the request conflicts with the resource's current state."""
+
+    status = 409
+    code = "conflict"
+
+
 class PayloadTooLarge(ApiError):
     """413 — request body exceeds the configured limit."""
 
@@ -195,6 +223,9 @@ WIRE_CODES: dict[type, tuple[str, int]] = {
     CorrelationError: ("bad-correlation", 400),
     SimulationError: ("bad-simulation", 400),
     ProfilerError: ("profiler-error", 400),
+    ProfilePinned: ("profile-pinned", 409),
+    CorpusCorrupt: ("corpus-corrupt", 500),
+    CorpusError: ("corpus-error", 400),
     ReproError: ("domain-error", 400),
 }
 
@@ -224,7 +255,19 @@ def translate_domain_error(exc: ReproError) -> ApiError:
         and text.startswith("unknown metric")
     ):
         return NotFound(text, code="unknown-metric")
+    if (
+        isinstance(exc, CorpusError)
+        and not isinstance(exc, (CorpusCorrupt, ProfilePinned))
+        and text.startswith(("unknown tenant", "unknown profile"))
+    ):
+        return NotFound(text, code="unknown-profile")
     code, status = wire_code(exc)
     if status == 404:
         return NotFound(text, code=code)
+    if status == 409:
+        return Conflict(text, code=code)
+    if status == 500:
+        err = ApiError(text, code=code)
+        err.status = status
+        return err
     return BadRequest(text, code=code)

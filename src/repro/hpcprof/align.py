@@ -172,8 +172,13 @@ def _load_member(source, strict: bool = True):
     from repro.core.store import is_store_path, open_store
 
     if is_store_path(path):
+        # alignment owns this short-lived store outright, so *close* it
+        # rather than merely releasing caches: release leaves the dup'd
+        # mmap fds alive until the CCT's parent/child reference cycles
+        # are garbage-collected, and a close/eviction sweep must not
+        # depend on GC timing to give file descriptors back
         exp = open_store(path)
-        return exp, exp.release, 0
+        return exp, exp.close, 0
     from repro.hpcprof import binio, database
 
     if strict:

@@ -56,6 +56,7 @@ from repro.hpcstruct.model import StructureModel
 
 __all__ = [
     "LoadReport",
+    "probe_bytes",
     "salvage_load",
     "salvage_loads",
     "validate_experiment",
@@ -242,6 +243,20 @@ def salvage_loads(data: bytes, origin: str = "<bytes>") -> Experiment:
     report.finalize()
     exp.load_report = report
     return exp
+
+
+def probe_bytes(data: bytes, origin: str = "<bytes>") -> LoadReport:
+    """Admission check: what would a salvage load of *data* recover?
+
+    Runs the full salvage pipeline and returns only its
+    :class:`LoadReport` — ``report.clean`` is True iff a strict load
+    would accept *data* byte-for-byte.  The corpus ingestion path uses
+    this as its upload gatekeeper: clean payloads are stored verbatim,
+    dirty ones are refused or (opt-in) re-serialized from the salvage.
+    Raises :class:`DatabaseError` only for data that is not a binary
+    experiment database at all.
+    """
+    return salvage_loads(data, origin=origin).load_report
 
 
 def salvage_load(path: str) -> Experiment:

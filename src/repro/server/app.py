@@ -41,11 +41,15 @@ Request handling contract:
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 import logging
+import os
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from typing import Callable
 from urllib.parse import parse_qsl, urlsplit
 
@@ -71,6 +75,14 @@ from repro.server.schema import (
     API_VERSION,
     ENDPOINTS,
     BinaryBody,
+    CompactionReport,
+    CorpusCompactRequest,
+    CorpusInfo,
+    CorpusOpenRequest,
+    CorpusOpened,
+    CorpusPolicyRequest,
+    CorpusSearchRequest,
+    CorpusUploadRequest,
     DeriveMetricRequest,
     DerivedMetricCreated,
     DiffRequest,
@@ -81,6 +93,11 @@ from repro.server.schema import (
     MetricList,
     MutationResponse,
     OpenSessionRequest,
+    PolicyResponse,
+    ProfileDeleted,
+    ProfileInfo,
+    ProfileIngested,
+    ProfileList,
     RawBody,
     RenderRequest,
     RenderResponse,
@@ -128,13 +145,22 @@ _ADMISSION_EXEMPT = frozenset(
     ep.segments for ep in ENDPOINTS if ep.admission_exempt
 )
 
-#: static routes (no path parameters) and parameterised ones, split once
+#: static routes (no path parameters) and parameterised ones, split once;
+#: sessions keep their dedicated fast path (the hot routes), every other
+#: parameterised template (the corpus tree) goes through the generic
+#: segment matcher
 _STATIC_ROUTES: dict[tuple[str, ...], EndpointDef] = {
-    ep.segments: ep for ep in ENDPOINTS if "<sid>" not in ep.segments
+    ep.segments: ep for ep in ENDPOINTS
+    if not any(seg.startswith("<") for seg in ep.segments)
 }
 _SESSION_ROUTES: dict[tuple[str, ...], EndpointDef] = {
     ep.segments[2:]: ep for ep in ENDPOINTS if "<sid>" in ep.segments
 }
+_PARAM_ROUTES: tuple[EndpointDef, ...] = tuple(
+    ep for ep in ENDPOINTS
+    if any(seg.startswith("<") for seg in ep.segments)
+    and "<sid>" not in ep.segments
+)
 
 #: request-span names, precomputed per endpoint label (hot path)
 _REQUEST_SPAN_NAMES = {ep.path: f"server.request {ep.path}" for ep in ENDPOINTS}
@@ -259,6 +285,95 @@ def _split_version(path: str) -> tuple[str | None, str]:
 
 
 # --------------------------------------------------------------------- #
+# alignment cache (path-mode /diff requests)
+# --------------------------------------------------------------------- #
+class _AlignCache:
+    """Bounded LRU of :class:`~repro.core.ensemble.Ensemble` alignments.
+
+    Path-mode ``/diff`` requests re-align the same member set on every
+    call even though alignment dominates the request; this cache keys
+    the finished ensemble on the member paths *and their stat
+    fingerprints* (mtime_ns, size — for stores, the manifest's), so a
+    rewritten or deleted member can never be served stale.  Entries are
+    populated only after a fully successful alignment — a failing
+    member never taints the cache — and corpus deletions invalidate by
+    path eagerly.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = max(0, int(capacity))
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def fingerprint(paths, strict: bool) -> tuple:
+        """Stat-based identity of a member set (raises ``OSError``)."""
+        parts = [bool(strict)]
+        for path in paths:
+            full = os.path.abspath(os.fspath(path))
+            st = os.stat(full)
+            if os.path.isdir(full):
+                # a store dir's payload files can change without the
+                # directory mtime moving; the manifest is rewritten on
+                # every mutation, so stat it too
+                manifest = os.path.join(full, "manifest.json")
+                mst = os.stat(manifest)
+                parts.append((full, st.st_mtime_ns,
+                              mst.st_mtime_ns, mst.st_size))
+            else:
+                parts.append((full, st.st_mtime_ns, st.st_size))
+        return tuple(parts)
+
+    def get(self, key: tuple):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_path(self, path: str) -> int:
+        """Drop every cached alignment that involves *path*."""
+        full = os.path.abspath(os.fspath(path))
+        with self._lock:
+            doomed = [
+                key for key in self._entries
+                if any(
+                    isinstance(part, tuple) and part[0] == full
+                    for part in key
+                )
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
+
+
+# --------------------------------------------------------------------- #
 # the application
 # --------------------------------------------------------------------- #
 class AnalysisApp:
@@ -275,6 +390,10 @@ class AnalysisApp:
         scope_budget: int | None = None,
         slow_ms: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        corpus_root: str | os.PathLike | None = None,
+        corpus=None,
+        corpus_compact_interval_s: float | None = None,
+        diff_cache_size: int = 8,
     ) -> None:
         self.registry = SessionRegistry(
             max_sessions=max_sessions,
@@ -296,10 +415,58 @@ class AnalysisApp:
         self._inflight = 0
         self._shed = 0
         self._started = time.time()
+        self.align_cache = _AlignCache(diff_cache_size)
+        self.corpus = corpus
+        self._compactor = None
+        if corpus is None and corpus_root is not None:
+            from repro.corpus import CorpusCatalog
+
+            self.corpus = CorpusCatalog(corpus_root, create=True)
+        if self.corpus is not None and corpus_compact_interval_s:
+            from repro.corpus import CompactionWorker
+
+            self._compactor = CompactionWorker(
+                self.corpus, interval_s=corpus_compact_interval_s
+            )
+            self._compactor.start()
+
+    def close(self) -> None:
+        """Stop background workers and release the corpus journal lock.
+
+        Idempotent; transports call this on shutdown.  Sessions are
+        owned by the registry's own TTL/eviction machinery and are not
+        force-closed here.
+        """
+        if self._compactor is not None:
+            self._compactor.stop()
+            self._compactor = None
+        if self.corpus is not None:
+            self.corpus.close()
 
     def _on_evict(self, handle: SessionHandle) -> None:
         """Evicted sessions leave no cache residue (same path as close)."""
         self.cache.invalidate_session(handle.sid)
+        self._unpin_profile(handle)
+
+    def _unpin_profile(self, handle) -> None:
+        """Release the corpus pin of a session opened by profile id."""
+        if handle is None or self.corpus is None:
+            return
+        pin = getattr(handle, "corpus_pin", None)
+        if pin is not None:
+            handle.corpus_pin = None
+            try:
+                self.corpus.unpin(*pin)
+            except ReproError:  # already evicted/unpinned elsewhere
+                pass
+            return
+        # a pool worker closing a session it *adopted* never saw the
+        # open-by-id request, so there is no in-memory pin record — but
+        # the pin file names its owner sid, so release by owner
+        try:
+            self.corpus.release_pins(handle.sid)
+        except (ReproError, OSError):
+            pass
 
     # ------------------------------------------------------------------ #
     # admission control
@@ -460,6 +627,21 @@ class AnalysisApp:
             endpoint = _SESSION_ROUTES.get(segments[2:])
             params = {"sid": segments[1]}
         if endpoint is None:
+            for candidate in _PARAM_ROUTES:
+                template = candidate.segments
+                if len(template) != len(segments):
+                    continue
+                bound: dict = {}
+                for tmpl, actual in zip(template, segments):
+                    if tmpl.startswith("<") and tmpl.endswith(">"):
+                        bound[tmpl[1:-1]] = actual
+                    elif tmpl != actual:
+                        break
+                else:
+                    endpoint = candidate
+                    params = bound
+                    break
+        if endpoint is None:
             raise NotFound(f"unknown endpoint {path!r}", code="unknown-endpoint")
         label = endpoint.path
         candidates = {
@@ -516,10 +698,20 @@ class AnalysisApp:
                          "shed": self._shed, "inflight": self.inflight()},
             "endpoints": endpoints,
             "cache": self.cache.stats(),
+            "diff_align_cache": self.align_cache.stats(),
             "sessions": len(self.registry),
             "resident_scopes": self.registry.total_cost(),
             "evictions": self.registry.evictions,
         }
+        if self.corpus is not None:
+            payload["corpus"] = {
+                "root": self.corpus.root,
+                "tenants": len(self.corpus.tenants()),
+                "compactor": (
+                    dict(self._compactor.stats)
+                    if self._compactor is not None else None
+                ),
+            }
         if self.slowlog is not None:
             payload["slow_requests"] = self.slowlog.to_payload()
         return payload
@@ -647,8 +839,10 @@ class AnalysisApp:
     def _ep_session_close(self, params: dict, body: dict) -> tuple[int, dict]:
         # close() may return None for a manifest-only session this
         # worker never adopted; the sid itself is all the response needs
-        self.registry.close(params["sid"])
+        handle = self.registry.close(params["sid"])
         self.cache.invalidate_session(params["sid"])
+        if handle is not None:
+            self._unpin_profile(handle)
         return 200, SessionClosed(params["sid"]).to_payload()
 
     def _ep_metrics_list(self, params: dict, body: dict) -> tuple[int, dict]:
@@ -842,6 +1036,7 @@ class AnalysisApp:
         flavor = _flavor(req.flavor, MetricFlavor.INCLUSIVE)
         columnar = accepts_columnar(params.get("_accept"))
         with ExitStack() as stack:
+            cache_key = None
             if req.sessions is not None:
                 handles = [self.registry.get(sid) for sid in req.sessions]
                 # lock in sorted sid order (deduped) so two concurrent
@@ -852,9 +1047,38 @@ class AnalysisApp:
                 ):
                     stack.enter_context(handle.lock)
                 members = [h.session.experiment for h in handles]
+                ensemble = align_experiments(members, strict=not req.salvage)
             else:
                 members = req.databases
-            ensemble = align_experiments(members, strict=not req.salvage)
+                # path-mode members have a durable identity: cache the
+                # finished alignment keyed on stat fingerprints so the
+                # same member set re-diffs without re-aligning.  An
+                # unstattable member skips the cache and lets alignment
+                # raise its canonical error; entries are stored only
+                # after success, so a failing align never populates.
+                try:
+                    cache_key = _AlignCache.fingerprint(
+                        members, not req.salvage
+                    )
+                except OSError:
+                    cache_key = None
+                cached = (
+                    self.align_cache.get(cache_key)
+                    if cache_key is not None else None
+                )
+                if cached is not None:
+                    ensemble, entry_lock = cached
+                    stack.enter_context(entry_lock)
+                else:
+                    ensemble = align_experiments(
+                        members, strict=not req.salvage
+                    )
+                    if cache_key is not None:
+                        entry_lock = threading.RLock()
+                        stack.enter_context(entry_lock)
+                        self.align_cache.put(
+                            cache_key, (ensemble, entry_lock)
+                        )
             _, b_label = ensemble.resolve(req.baseline)
             _, t_label = ensemble.resolve(req.target)
             diff_exp = ensemble.diff(
@@ -900,6 +1124,168 @@ class AnalysisApp:
         if info is not None:
             payload["ensemble"] = info
         return 201, payload
+
+    # ------------------------------------------------------------------ #
+    # corpus endpoints
+    # ------------------------------------------------------------------ #
+    def _corpus_or_404(self):
+        if self.corpus is None:
+            raise NotFound(
+                "this server has no profile corpus configured "
+                "(start with --corpus <dir>)",
+                code="no-corpus",
+            )
+        return self.corpus
+
+    def _ep_corpus_info(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        stats = corpus.stats()
+        stats["align_cache"] = self.align_cache.stats()
+        if self._compactor is not None:
+            stats["compactor"] = dict(self._compactor.stats)
+        return 200, CorpusInfo(corpus=stats).to_payload()
+
+    def _ep_corpus_list(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        req = CorpusSearchRequest.from_body(
+            {k: v for k, v in body.items() if not k.startswith("meta.")}
+        )
+        meta = {
+            key[len("meta."):]: value
+            for key, value in body.items()
+            if key.startswith("meta.") and len(key) > len("meta.")
+        }
+        entries = corpus.search(
+            params["tenant"], name=req.name, group=req.group,
+        )
+        if meta:
+            # query strings are type-ambiguous (?meta.build=2 could mean
+            # int or str), so the HTTP filter compares stringwise
+            entries = [
+                e for e in entries
+                if all(k in e.meta and str(e.meta[k]) == str(v)
+                       for k, v in meta.items())
+            ]
+        return 200, ProfileList(
+            tenant=params["tenant"],
+            profiles=[e.to_payload() for e in entries],
+        ).to_payload()
+
+    def _ep_corpus_upload(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        req = CorpusUploadRequest.from_body(body)
+        if req.data is not None:
+            try:
+                payload = base64.b64decode(req.data, validate=True)
+            except (binascii.Error, ValueError):
+                raise BadRequest(
+                    "'data' is not valid base64", code="bad-upload-encoding"
+                ) from None
+            entry = corpus.ingest_bytes(
+                params["tenant"], payload, name=req.name,
+                group=req.group, meta=req.meta, salvage=req.salvage,
+            )
+        else:
+            entry = corpus.ingest_file(
+                params["tenant"], req.path, name=req.name,
+                group=req.group, meta=req.meta, salvage=req.salvage,
+            )
+        return 201, ProfileIngested(profile=entry.to_payload()).to_payload()
+
+    def _ep_corpus_profile(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        entry = corpus.get(params["tenant"], params["pid"])
+        payload = entry.to_payload()
+        payload["pinned"] = corpus.pinned(params["tenant"], params["pid"])
+        return 200, ProfileInfo(profile=payload).to_payload()
+
+    def _ep_corpus_delete(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        tenant, pid = params["tenant"], params["pid"]
+        # resolve the on-disk path before the entry disappears so the
+        # alignment cache can drop every ensemble built over it
+        path = corpus.profile_path(tenant, pid)
+        corpus.delete(tenant, pid)
+        self.align_cache.invalidate_path(path)
+        return 200, ProfileDeleted(tenant=tenant, deleted=pid).to_payload()
+
+    def _ep_corpus_open(self, params: dict, body: dict) -> tuple[int, dict]:
+        """Open a committed profile as a session, pinned against eviction."""
+        corpus = self._corpus_or_404()
+        req = CorpusOpenRequest.from_body(body)
+        tenant, pid = params["tenant"], params["pid"]
+        entry = corpus.verify(tenant, pid)
+        path = corpus.profile_path(tenant, pid)
+        handle = self.registry.open_database(path, strict=not req.salvage)
+        try:
+            corpus.pin(tenant, pid, handle.sid)
+        except ReproError:
+            self.registry.close(handle.sid)
+            raise
+        handle.corpus_pin = (tenant, pid, handle.sid)
+        report = getattr(handle.session.experiment, "load_report", None)
+        resp = CorpusOpened(
+            session=handle.info(),
+            profile=entry.to_payload(),
+            load_report=report.to_payload() if report is not None else None,
+        )
+        return 201, resp.to_payload()
+
+    def _ep_corpus_compact(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        req = CorpusCompactRequest.from_body(body)
+        tenant = params["tenant"]
+        if req.group is not None:
+            groups = {req.group: None}
+        else:
+            groups = corpus.compactable_groups(
+                tenant, min_sources=req.min_sources
+            )
+        compacted = []
+        for group in sorted(groups):
+            sources = [
+                corpus.profile_path(tenant, e.pid)
+                for e in corpus.search(tenant, group=group)
+                if e.kind == "rpdb"
+            ]
+            entry = corpus.compact_group(
+                tenant, group, min_sources=req.min_sources
+            )
+            if entry is not None:
+                for path in sources:
+                    self.align_cache.invalidate_path(path)
+                compacted.append(entry.to_payload())
+        return 200, CompactionReport(
+            tenant=tenant, compacted=compacted
+        ).to_payload()
+
+    def _ep_corpus_policy(self, params: dict, body: dict) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        policy = corpus.policy(params["tenant"])
+        return 200, PolicyResponse(
+            tenant=params["tenant"], policy=policy.to_payload()
+        ).to_payload()
+
+    def _ep_corpus_policy_set(
+        self, params: dict, body: dict
+    ) -> tuple[int, dict]:
+        corpus = self._corpus_or_404()
+        req = CorpusPolicyRequest.from_body(body)
+        from repro.corpus import RetentionPolicy
+
+        policy = RetentionPolicy(
+            max_bytes=req.max_bytes,
+            max_profiles=req.max_profiles,
+            ttl_s=req.ttl_s,
+        )
+        evicted = corpus.set_policy(params["tenant"], policy)
+        for item in evicted:
+            self.align_cache.invalidate_path(item["path"])
+        return 200, PolicyResponse(
+            tenant=params["tenant"],
+            policy=policy.to_payload(),
+            evicted=evicted or None,
+        ).to_payload()
 
 
 # --------------------------------------------------------------------- #

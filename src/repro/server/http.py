@@ -214,6 +214,9 @@ def build_server(
     max_sessions: int | None = None,
     scope_budget: int | None = None,
     slow_ms: float | None = None,
+    corpus_root: str | None = None,
+    corpus_compact_interval_s: float | None = None,
+    diff_cache_size: int = 8,
 ) -> AnalysisServer:
     """An :class:`AnalysisServer` with its initial sessions registered."""
     app = AnalysisApp(
@@ -225,6 +228,9 @@ def build_server(
         max_sessions=max_sessions,
         scope_budget=scope_budget,
         slow_ms=slow_ms,
+        corpus_root=corpus_root,
+        corpus_compact_interval_s=corpus_compact_interval_s,
+        diff_cache_size=diff_cache_size,
     )
     for path in databases or []:
         app.registry.open_database(path)
@@ -273,6 +279,18 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="MS",
                         help="log requests slower than this and keep them "
                              "in the /stats slow-request ring")
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="serve a crash-safe multi-tenant profile "
+                             "corpus rooted here (created if missing); "
+                             "adds the /v1/corpus endpoints")
+    parser.add_argument("--corpus-compact-interval", type=float,
+                        default=None, metavar="SECONDS",
+                        help="sweep corpus compaction groups in the "
+                             "background this often (default: only on "
+                             "explicit POST /v1/corpus/<tenant>/compact)")
+    parser.add_argument("--diff-cache-size", type=int, default=8,
+                        help="LRU capacity of the path-mode /v1/diff "
+                             "alignment cache (0 disables)")
     parser.add_argument("--self-profile", default=None, metavar="PATH",
                         help="trace the server's own request stages and "
                              "write them as an experiment database on "
@@ -284,8 +302,9 @@ def main(argv: list[str] | None = None) -> int:
                              "/stats and /metrics across the pool")
     args = parser.parse_args(argv)
 
-    if not args.databases and args.workload is None:
-        parser.error("nothing to serve: pass a database or --workload")
+    if not args.databases and args.workload is None and args.corpus is None:
+        parser.error("nothing to serve: pass a database, --workload, "
+                     "or --corpus")
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.workers > 1:
@@ -311,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
         max_sessions=args.max_sessions,
         scope_budget=args.scope_budget,
         slow_ms=args.slow_ms,
+        corpus_root=args.corpus,
+        corpus_compact_interval_s=args.corpus_compact_interval,
+        diff_cache_size=args.diff_cache_size,
     )
     host, port = server.server_address[:2]
     for info in server.app.registry.list_info():
@@ -321,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         extras.append(f"self-profiling to {args.self_profile}")
     if args.slow_ms is not None:
         extras.append(f"slow-query log at {args.slow_ms:g}ms")
+    if args.corpus is not None:
+        extras.append(f"corpus at {args.corpus}")
     suffix = f" [{'; '.join(extras)}]" if extras else ""
     print(f"repro-serve listening on http://{host}:{port}/ "
           f"(Ctrl-C to stop){suffix}")
@@ -330,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         print("shutting down")
     finally:
         server.server_close()
+        server.app.close()
         if tracer is not None:
             uninstall()
             try:  # a second Ctrl-C must not lose the collected profile

@@ -170,6 +170,16 @@ def worker_main(ctrl: socket.socket, config: dict, slot: int) -> None:
             max_sessions=config.get("max_sessions"),
             scope_budget=config.get("scope_budget"),
             slow_ms=config.get("slow_ms"),
+            # every worker opens the same catalog: mutations serialize on
+            # the journal flock, reads replay the shared journal.  The
+            # compaction sweep runs in worker 0 only — any worker *can*
+            # compact safely, but one sweeper avoids N-way lock churn.
+            corpus_root=config.get("corpus_root"),
+            corpus_compact_interval_s=(
+                config.get("corpus_compact_interval_s") if slot == 0
+                else None
+            ),
+            diff_cache_size=config.get("diff_cache_size", 8),
         )
         # preloads run with a plain counter — every worker opens the same
         # sources in the same order, so ids agree by construction and no
@@ -738,6 +748,9 @@ def run_pool(args) -> int:  # pragma: no cover - exercised via CLI/subprocess
         "max_sessions": args.max_sessions,
         "scope_budget": args.scope_budget,
         "slow_ms": args.slow_ms,
+        "corpus_root": args.corpus,
+        "corpus_compact_interval_s": args.corpus_compact_interval,
+        "diff_cache_size": args.diff_cache_size,
     }
     pool = ServerPool(
         host=args.host, port=args.port, workers=args.workers, config=config

@@ -519,6 +519,131 @@ class EnsembleRequest(_Request):
         return cls(**base)
 
 
+@dataclass(frozen=True)
+class CorpusUploadRequest(_Request):
+    """``POST /v1/corpus/<tenant>/profiles`` — ingest one profile.
+
+    The payload comes from exactly one of ``data`` (a base64-encoded
+    ``.rpdb``) or ``path`` (a server-side database file or ``.rpstore``
+    directory).  Uploads are validated through the salvage loader
+    before anything is journaled: a corrupt payload is refused unless
+    ``salvage`` is set, in which case the recovered prefix is
+    re-serialized and stored clean.
+    """
+
+    name: str | None
+    data: str | None
+    path: str | None
+    group: str | None
+    meta: dict | None
+    salvage: bool
+
+    FIELDS = (
+        FieldSpec("name", str, default=None,
+                  doc="profile display name (required for base64 uploads; "
+                      "defaults to the file name for path ingests)"),
+        FieldSpec("data", str, default=None,
+                  doc="base64-encoded .rpdb payload"),
+        FieldSpec("path", str, default=None,
+                  doc="server-side database file or .rpstore directory "
+                      "to ingest"),
+        FieldSpec("group", str, default=None,
+                  doc="compaction group tag (grouped single-rank uploads "
+                      "auto-merge into one .rpstore)"),
+        FieldSpec("meta", dict, default=None,
+                  doc="searchable key/value metadata (short scalars, "
+                      "at most 32 keys)"),
+        FieldSpec("salvage", bool, default=False,
+                  doc="accept a corrupted upload by storing what the "
+                      "salvage loader recovers"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "CorpusUploadRequest":
+        base = parse_fields(body, cls.FIELDS)
+        if (base["data"] is None) == (base["path"] is None):
+            raise BadRequest(
+                "upload exactly one of 'data' (base64) or 'path'",
+                code="bad-upload-source",
+            )
+        if base["data"] is not None and base["name"] is None:
+            raise BadRequest(
+                "base64 uploads need a 'name'", code="missing-field"
+            )
+        return cls(**base)
+
+
+@dataclass(frozen=True)
+class CorpusSearchRequest(_Request):
+    """``GET /v1/corpus/<tenant>/profiles`` — list / search filters.
+
+    ``meta.<key>=<value>`` query parameters additionally filter on
+    metadata equality (subset match); they bypass the field specs and
+    are read by the handler.
+    """
+
+    name: str | None
+    group: str | None
+
+    FIELDS = (
+        FieldSpec("name", str, default=None,
+                  doc="substring match on profile name"),
+        FieldSpec("group", str, default=None, doc="exact group tag match"),
+    )
+
+
+@dataclass(frozen=True)
+class CorpusOpenRequest(_Request):
+    """``POST /v1/corpus/<tenant>/profiles/<pid>/open`` — open-by-id."""
+
+    salvage: bool
+
+    FIELDS = (
+        FieldSpec("salvage", bool, default=False,
+                  doc="salvage the stored payload instead of failing if "
+                      "it no longer loads strictly"),
+    )
+
+
+@dataclass(frozen=True)
+class CorpusCompactRequest(_Request):
+    """``POST /v1/corpus/<tenant>/compact`` — run compaction now."""
+
+    group: str | None
+    min_sources: int
+
+    FIELDS = (
+        FieldSpec("group", str, default=None,
+                  doc="compact only this group (default: every eligible "
+                      "group of the tenant)"),
+        FieldSpec("min_sources", int, default=2, lo=2, hi=10_000,
+                  doc="minimum group members before a merge is worthwhile"),
+    )
+
+
+@dataclass(frozen=True)
+class CorpusPolicyRequest(_Request):
+    """``POST /v1/corpus/<tenant>/policy`` — set retention limits.
+
+    Omitted fields are unlimited; the posted policy *replaces* the
+    tenant's previous one and is enforced immediately.
+    """
+
+    max_bytes: int | None
+    max_profiles: int | None
+    ttl_s: float | None
+
+    FIELDS = (
+        FieldSpec("max_bytes", int, default=None, lo=1,
+                  doc="total committed payload bytes allowed for the "
+                      "tenant"),
+        FieldSpec("max_profiles", int, default=None, lo=1,
+                  doc="committed profile count allowed for the tenant"),
+        FieldSpec("ttl_s", float, default=None, lo=0.0,
+                  doc="seconds after commit at which a profile expires"),
+    )
+
+
 # --------------------------------------------------------------------- #
 # response schemas
 # --------------------------------------------------------------------- #
@@ -635,6 +760,70 @@ class HotPathResult(_Response):
     hotspot: str
 
 
+@dataclass(frozen=True)
+class CorpusInfo(_Response):
+    """``GET /v1/corpus`` — catalog stats (tenants, bytes, policies)."""
+
+    corpus: dict
+
+
+@dataclass(frozen=True)
+class ProfileList(_Response):
+    """``GET /v1/corpus/<tenant>/profiles`` — matching entries."""
+
+    tenant: str
+    profiles: list
+
+
+@dataclass(frozen=True)
+class ProfileIngested(_Response):
+    """``POST /v1/corpus/<tenant>/profiles`` (201) — the committed entry."""
+
+    profile: dict
+
+
+@dataclass(frozen=True)
+class ProfileInfo(_Response):
+    """``GET /v1/corpus/<tenant>/profiles/<pid>`` — one entry."""
+
+    profile: dict
+
+
+@dataclass(frozen=True)
+class ProfileDeleted(_Response):
+    """``DELETE /v1/corpus/<tenant>/profiles/<pid>`` — what was removed."""
+
+    tenant: str
+    deleted: str
+
+
+@dataclass(frozen=True)
+class CorpusOpened(_Response):
+    """``POST .../profiles/<pid>/open`` (201) — session + its profile."""
+
+    session: dict
+    profile: dict
+    load_report: dict | None = _optional()
+
+
+@dataclass(frozen=True)
+class CompactionReport(_Response):
+    """``POST /v1/corpus/<tenant>/compact`` — stores created this sweep."""
+
+    tenant: str
+    compacted: list
+
+
+@dataclass(frozen=True)
+class PolicyResponse(_Response):
+    """``GET/POST /v1/corpus/<tenant>/policy`` — the policy in effect;
+    ``evicted`` appears when setting it evicted profiles immediately."""
+
+    tenant: str
+    policy: dict
+    evicted: list | None = _optional()
+
+
 # --------------------------------------------------------------------- #
 # the endpoint registry
 # --------------------------------------------------------------------- #
@@ -722,6 +911,70 @@ ENDPOINTS: tuple[EndpointDef, ...] = (
                   request=EnsembleRequest, status=201,
                   errors=("bad-diff-members", "bad-metric",
                           "unknown-database", "bad-database")),
+    )),
+    EndpointDef("/corpus", ops=(
+        Operation("GET", "_ep_corpus_info",
+                  "corpus catalog stats: tenants, profile counts and "
+                  "bytes, retention policies, compaction counters",
+                  response=CorpusInfo, errors=("no-corpus",)),
+    )),
+    EndpointDef("/corpus/<tenant>/profiles", ops=(
+        Operation("GET", "_ep_corpus_list",
+                  "list / search a tenant's committed profiles (name "
+                  "substring, group tag, meta.<key> equality filters)",
+                  request=CorpusSearchRequest, response=ProfileList,
+                  errors=("no-corpus", "corpus-error")),
+        Operation("POST", "_ep_corpus_upload",
+                  "ingest one profile (base64 .rpdb payload or a "
+                  "server-side file/store path): staged, validated by "
+                  "the salvage loader, fsynced, journaled — crash-safe "
+                  "at every instruction boundary",
+                  request=CorpusUploadRequest, response=ProfileIngested,
+                  status=201,
+                  errors=("no-corpus", "bad-upload-source",
+                          "bad-upload-encoding", "bad-database",
+                          "corpus-error")),
+    )),
+    EndpointDef("/corpus/<tenant>/profiles/<pid>", ops=(
+        Operation("GET", "_ep_corpus_profile",
+                  "one committed profile's entry (checksums, provenance, "
+                  "metadata)",
+                  response=ProfileInfo,
+                  errors=("no-corpus", "unknown-profile")),
+        Operation("DELETE", "_ep_corpus_delete",
+                  "durably delete a committed profile (journal record "
+                  "first, then unlink); refused with 409 while an open "
+                  "session pins it",
+                  response=ProfileDeleted,
+                  errors=("no-corpus", "unknown-profile", "profile-pinned")),
+    )),
+    EndpointDef("/corpus/<tenant>/profiles/<pid>/open", ops=(
+        Operation("POST", "_ep_corpus_open",
+                  "open a committed profile as a regular analysis session "
+                  "(checksum-verified first, pinned against eviction "
+                  "until the session closes)",
+                  request=CorpusOpenRequest, response=CorpusOpened,
+                  status=201,
+                  errors=("no-corpus", "unknown-profile", "corpus-corrupt",
+                          "bad-database")),
+    )),
+    EndpointDef("/corpus/<tenant>/compact", ops=(
+        Operation("POST", "_ep_corpus_compact",
+                  "merge grouped single-rank uploads into .rpstore column "
+                  "stores now (the background worker's sweep, run "
+                  "synchronously)",
+                  request=CorpusCompactRequest, response=CompactionReport,
+                  errors=("no-corpus", "corpus-error", "profile-pinned")),
+    )),
+    EndpointDef("/corpus/<tenant>/policy", ops=(
+        Operation("GET", "_ep_corpus_policy",
+                  "the tenant's retention policy",
+                  response=PolicyResponse, errors=("no-corpus",)),
+        Operation("POST", "_ep_corpus_policy_set",
+                  "set the tenant's retention policy (a journaled catalog "
+                  "fact, not server config) and enforce it immediately",
+                  request=CorpusPolicyRequest, response=PolicyResponse,
+                  errors=("no-corpus", "corpus-error")),
     )),
     EndpointDef("/sessions", ops=(
         Operation("GET", "_ep_sessions_list", "list open sessions",

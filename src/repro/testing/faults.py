@@ -23,12 +23,20 @@ The injectors are deliberately tiny and stdlib-only:
 * :func:`slow_call` — wrap a function with a simulated slow stage that
   cooperates with the deadline watchdog via ``checkpoint()``;
 * :class:`FakeClock` — a manually-advanced monotonic clock for
-  deterministic deadline-expiry and TTL-eviction tests.
+  deterministic deadline-expiry and TTL-eviction tests;
+* :func:`crash_point` / :func:`crashing_at` / :data:`REPRO_CRASH_POINT`
+  — named kill-anywhere crash points inside multi-step state
+  transitions (corpus ingest/compact/evict), either hard-killing the
+  process via an environment variable (real ``SIGKILL`` batteries) or
+  raising :class:`CrashPointHit` in-process (fast batteries that leave
+  the identical on-disk state).
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -37,15 +45,21 @@ from repro.hpcprof import binio
 
 __all__ = [
     "FAULT_KINDS",
+    "CrashPointHit",
     "FakeClock",
     "FaultPlan",
+    "REPRO_CRASH_POINT",
     "apply_fault",
     "bit_flip",
+    "crash_point",
+    "crash_points",
+    "crashing_at",
     "failing",
     "fault_plans",
     "flaky",
     "frame_boundaries",
     "patched",
+    "register_crash_points",
     "slow_call",
     "truncate",
 ]
@@ -240,6 +254,83 @@ def slow_call(
         return fn(*args, **kwargs)
 
     return _slow
+
+
+# --------------------------------------------------------------------- #
+# named crash points (kill-anywhere batteries)
+# --------------------------------------------------------------------- #
+#: environment variable naming the crash point at which the process
+#: hard-kills itself (``SIGKILL`` — no cleanup handlers, no flushing),
+#: exactly like an external ``kill -9`` landing at that instruction.
+REPRO_CRASH_POINT = "REPRO_CRASH_POINT"
+
+#: every crash-point name declared via :func:`register_crash_points`;
+#: batteries iterate this so new points are covered automatically.
+_CRASH_POINTS: set[str] = set()
+
+#: in-process crash handler installed by :func:`crashing_at` (or ``None``)
+_crash_handler: Callable[[str], None] | None = None
+
+
+class CrashPointHit(BaseException):
+    """In-process stand-in for ``kill -9`` at a named crash point.
+
+    Derives from ``BaseException`` so no ``except Exception`` cleanup
+    path can swallow it — from the moment it is raised, the on-disk
+    state is identical to a real ``SIGKILL`` at that instruction.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+
+def register_crash_points(*names: str) -> None:
+    """Declare crash-point names so batteries can enumerate them."""
+    _CRASH_POINTS.update(names)
+
+
+def crash_points(prefix: str = "") -> list[str]:
+    """All registered crash-point names, optionally filtered by prefix."""
+    return sorted(n for n in _CRASH_POINTS if n.startswith(prefix))
+
+
+def crash_point(name: str) -> None:
+    """Die here if this crash point is armed; otherwise a no-op.
+
+    Two arming mechanisms, checked in order:
+
+    1. an in-process handler installed by :func:`crashing_at` — raises
+       :class:`CrashPointHit` (fast batteries, hundreds of crashes per
+       second, identical on-disk state to a kill);
+    2. the :data:`REPRO_CRASH_POINT` environment variable — the process
+       sends itself ``SIGKILL`` (subprocess batteries and the tier-1
+       smoke stage, exercising the real no-cleanup path).
+    """
+    handler = _crash_handler
+    if handler is not None:
+        handler(name)
+        return
+    if os.environ.get(REPRO_CRASH_POINT) == name:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@contextmanager
+def crashing_at(name: str) -> Iterator[None]:
+    """Arm *name* in-process for the block: reaching it raises
+    :class:`CrashPointHit`."""
+    global _crash_handler
+
+    def _hit(reached: str) -> None:
+        if reached == name:
+            raise CrashPointHit(reached)
+
+    previous = _crash_handler
+    _crash_handler = _hit
+    try:
+        yield
+    finally:
+        _crash_handler = previous
 
 
 class FakeClock:

@@ -1,0 +1,28 @@
+"""Shared fixtures for the corpus suites.
+
+Profile payloads come from the same synthetic workloads the rest of
+tier-1 uses; the catalog under test always lives in ``tmp_path`` so a
+failing test leaves no residue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpcprof import binio
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture(scope="session")
+def profile_bytes() -> bytes:
+    """One clean, small ``.rpdb`` payload."""
+    return binio.dumps_binary(Experiment.from_program(fig1.build()))
+
+
+@pytest.fixture(scope="session")
+def profile_bytes_alt() -> bytes:
+    """A second distinct payload (different seed)."""
+    return binio.dumps_binary(
+        Experiment.from_program(fig1.build(), nranks=1, seed=99)
+    )

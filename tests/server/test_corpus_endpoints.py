@@ -1,0 +1,381 @@
+"""``/v1/corpus/...``: the HTTP face of the crash-safe profile corpus.
+
+Also home to the two satellites that live at the server layer:
+
+* the **diff alignment cache** — path-mode ``/v1/diff`` requests reuse
+  a finished alignment keyed on member stat fingerprints, invalidated
+  by corpus deletes, and *never* serving stale bytes after a member
+  changes (the cache-never-taints assertions);
+* the **ensemble fd hygiene** regression — closing an ensemble session
+  built over ``.rpstore`` members returns every memory-mapped file
+  descriptor deterministically, not at GC's leisure.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+
+import pytest
+
+from repro.hpcprof import binio, database
+from repro.hpcprof.experiment import Experiment
+from repro.server import AnalysisApp
+from repro.sim.workloads import fig1
+
+_ERROR_FIELDS = {"status", "code", "message", "retry_after", "trace_id"}
+
+
+@pytest.fixture(scope="module")
+def payload() -> bytes:
+    return binio.dumps_binary(Experiment.from_program(fig1.build()))
+
+
+@pytest.fixture(scope="module")
+def payload_alt() -> bytes:
+    return binio.dumps_binary(
+        Experiment.from_program(fig1.build(), nranks=1, seed=77)
+    )
+
+
+@pytest.fixture()
+def app(tmp_path):
+    app = AnalysisApp(corpus_root=str(tmp_path / "corpus"))
+    yield app
+    app.close()
+
+
+def call(app, method, path, body=None):
+    raw = json.dumps(body).encode() if body is not None else b""
+    return app.handle(method, path, raw)
+
+
+def upload(app, tenant, payload, name, **extra):
+    body = {"name": name, "data": base64.b64encode(payload).decode()}
+    body.update(extra)
+    status, out = call(app, "POST", f"/v1/corpus/{tenant}/profiles", body)
+    assert status == 201, out
+    return out["profile"]
+
+
+def assert_error(status, payload, code):
+    assert status >= 400
+    error = payload["error"]
+    assert error["code"] == code
+    assert set(error) <= _ERROR_FIELDS and error["trace_id"]
+
+
+class TestCorpusEndpoints:
+    def test_upload_list_get_delete(self, app, payload):
+        profile = upload(app, "acme", payload, "run.rpdb",
+                         meta={"build": "7"})
+        status, out = call(app, "GET", "/v1/corpus/acme/profiles")
+        assert status == 200
+        assert [p["id"] for p in out["profiles"]] == [profile["id"]]
+
+        status, out = call(
+            app, "GET", f"/v1/corpus/acme/profiles/{profile['id']}"
+        )
+        assert status == 200 and out["profile"]["meta"] == {"build": "7"}
+        assert out["profile"]["pinned"] is False
+
+        status, out = call(
+            app, "DELETE", f"/v1/corpus/acme/profiles/{profile['id']}"
+        )
+        assert status == 200 and out["deleted"] == profile["id"]
+        status, out = call(
+            app, "GET", f"/v1/corpus/acme/profiles/{profile['id']}"
+        )
+        assert_error(status, out, "unknown-profile")
+
+    def test_search_filters(self, app, payload):
+        upload(app, "t", payload, "alpha.rpdb", group="g1",
+               meta={"build": "1"})
+        upload(app, "t", payload, "beta.rpdb", group="g2",
+               meta={"build": "2"})
+        status, out = call(app, "GET",
+                           "/v1/corpus/t/profiles?group=g1")
+        assert [p["name"] for p in out["profiles"]] == ["alpha.rpdb"]
+        status, out = call(app, "GET",
+                           "/v1/corpus/t/profiles?meta.build=2")
+        assert [p["name"] for p in out["profiles"]] == ["beta.rpdb"]
+        status, out = call(app, "GET",
+                           "/v1/corpus/t/profiles?name=bet")
+        assert [p["name"] for p in out["profiles"]] == ["beta.rpdb"]
+
+    def test_upload_validation_errors(self, app, payload):
+        status, out = call(app, "POST", "/v1/corpus/t/profiles",
+                           {"name": "x"})
+        assert_error(status, out, "bad-upload-source")
+        status, out = call(app, "POST", "/v1/corpus/t/profiles",
+                           {"name": "x", "data": "@@not-base64@@"})
+        assert_error(status, out, "bad-upload-encoding")
+        status, out = call(
+            app, "POST", "/v1/corpus/t/profiles",
+            {"name": "x",
+             "data": base64.b64encode(b"not a database").decode()},
+        )
+        assert status == 400
+
+    def test_corrupt_upload_refused_then_salvaged(self, app, payload):
+        torn = base64.b64encode(payload[:-9]).decode()
+        status, out = call(app, "POST", "/v1/corpus/t/profiles",
+                           {"name": "torn.rpdb", "data": torn})
+        assert status == 400
+        status, out = call(app, "POST", "/v1/corpus/t/profiles",
+                           {"name": "torn.rpdb", "data": torn,
+                            "salvage": True})
+        assert status == 201
+
+    def test_open_by_id_pins_until_close(self, app, payload):
+        profile = upload(app, "t", payload, "run.rpdb")
+        status, out = call(
+            app, "POST",
+            f"/v1/corpus/t/profiles/{profile['id']}/open", {},
+        )
+        assert status == 201
+        sid = out["session"]["id"]
+        assert out["profile"]["id"] == profile["id"]
+
+        # the open session pins the profile: delete refused with 409
+        status, out = call(
+            app, "DELETE", f"/v1/corpus/t/profiles/{profile['id']}"
+        )
+        assert_error(status, out, "profile-pinned")
+        status, out = call(
+            app, "GET", f"/v1/corpus/t/profiles/{profile['id']}"
+        )
+        assert out["profile"]["pinned"] is True
+
+        # the session serves renders like any other
+        status, out = call(app, "POST", f"/v1/sessions/{sid}/render",
+                           {"view": "cct"})
+        assert status == 200
+
+        # closing the session unpins; delete now succeeds
+        status, _ = call(app, "DELETE", f"/v1/sessions/{sid}")
+        assert status == 200
+        status, out = call(
+            app, "DELETE", f"/v1/corpus/t/profiles/{profile['id']}"
+        )
+        assert status == 200
+
+    def test_adopted_session_close_unpins(self, app, payload):
+        """In the pool, open-by-id lands on one worker but the close may
+        route to another, which adopts the session and never saw the
+        in-memory pin record.  Closing must still release the pin file
+        (looked up by owner sid)."""
+        profile = upload(app, "t", payload, "run.rpdb")
+        status, out = call(
+            app, "POST",
+            f"/v1/corpus/t/profiles/{profile['id']}/open", {},
+        )
+        assert status == 201
+        sid = out["session"]["id"]
+        # simulate the adopting worker: its handle has no corpus_pin
+        handle = app.registry.get(sid)
+        handle.corpus_pin = None
+        status, _ = call(app, "DELETE", f"/v1/sessions/{sid}")
+        assert status == 200
+        status, _ = call(
+            app, "DELETE", f"/v1/corpus/t/profiles/{profile['id']}"
+        )
+        assert status == 200, "close must release the pin by owner sid"
+
+    def test_eviction_unpins(self, payload, tmp_path):
+        app = AnalysisApp(corpus_root=str(tmp_path / "c"),
+                          max_sessions=1)
+        try:
+            profile = upload(app, "t", payload, "run.rpdb")
+            status, out = call(
+                app, "POST",
+                f"/v1/corpus/t/profiles/{profile['id']}/open", {},
+            )
+            assert status == 201
+            # opening a second session evicts the first (LRU cap 1)
+            status, _ = call(app, "POST", "/v1/sessions",
+                             {"workload": "fig1"})
+            assert status == 201
+            status, _ = call(
+                app, "DELETE", f"/v1/corpus/t/profiles/{profile['id']}"
+            )
+            assert status == 200, "eviction must release the pin"
+        finally:
+            app.close()
+
+    def test_compact_endpoint(self, app, payload, payload_alt):
+        upload(app, "t", payload, "r0.rpdb", group="nightly")
+        upload(app, "t", payload_alt, "r1.rpdb", group="nightly")
+        status, out = call(app, "POST", "/v1/corpus/t/compact", {})
+        assert status == 200
+        assert [p["kind"] for p in out["compacted"]] == ["rpstore"]
+        status, out = call(app, "GET", "/v1/corpus/t/profiles")
+        assert [p["kind"] for p in out["profiles"]] == ["rpstore"]
+
+        # the compacted store opens as a session by id
+        store_id = out["profiles"][0]["id"]
+        status, out = call(
+            app, "POST", f"/v1/corpus/t/profiles/{store_id}/open", {}
+        )
+        assert status == 201
+
+    def test_policy_endpoint(self, app, payload):
+        for i in range(3):
+            upload(app, "t", payload, f"r{i}.rpdb")
+        status, out = call(app, "POST", "/v1/corpus/t/policy",
+                           {"max_profiles": 1})
+        assert status == 200
+        assert len(out["evicted"]) == 2
+        status, out = call(app, "GET", "/v1/corpus/t/policy")
+        assert out["policy"]["max_profiles"] == 1
+
+    def test_corpus_info(self, app, payload):
+        upload(app, "t", payload, "run.rpdb")
+        status, out = call(app, "GET", "/v1/corpus")
+        assert status == 200
+        assert out["corpus"]["tenants"]["t"]["profiles"] == 1
+
+    def test_no_corpus_configured(self):
+        app = AnalysisApp()
+        status, out = call(app, "GET", "/v1/corpus")
+        assert_error(status, out, "no-corpus")
+
+    def test_two_apps_share_one_corpus(self, payload, tmp_path):
+        """Pool shape: every worker opens the same catalog and sees
+        every other worker's committed mutations."""
+        root = str(tmp_path / "shared")
+        a = AnalysisApp(corpus_root=root)
+        b = AnalysisApp(corpus_root=root)
+        try:
+            profile = upload(a, "t", payload, "from-a.rpdb")
+            status, out = call(b, "GET",
+                               f"/v1/corpus/t/profiles/{profile['id']}")
+            assert status == 200 and out["profile"]["name"] == "from-a.rpdb"
+            status, _ = call(
+                b, "DELETE", f"/v1/corpus/t/profiles/{profile['id']}"
+            )
+            assert status == 200
+            status, out = call(a, "GET", "/v1/corpus/t/profiles")
+            assert out["profiles"] == []
+        finally:
+            a.close()
+            b.close()
+
+
+# --------------------------------------------------------------------- #
+# satellite: the diff alignment cache
+# --------------------------------------------------------------------- #
+def _diff_body(paths):
+    return {"databases": list(paths), "baseline": 0, "target": 1}
+
+
+class TestDiffAlignCache:
+    def _members(self, app, payload, payload_alt, tenant="t"):
+        p0 = upload(app, tenant, payload, "r0.rpdb")
+        p1 = upload(app, tenant, payload_alt, "r1.rpdb")
+        return [
+            app.corpus.profile_path(tenant, p["id"]) for p in (p0, p1)
+        ], (p0, p1)
+
+    def test_hit_and_miss_keyed_on_stat(self, app, payload, payload_alt):
+        paths, _ = self._members(app, payload, payload_alt)
+        status, first = call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert status == 200
+        assert app.align_cache.stats()["misses"] == 1
+        status, second = call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert status == 200
+        assert app.align_cache.stats()["hits"] == 1
+        assert second["diff"] == first["diff"], "cached result identical"
+
+        # touching a member's bytes invalidates by fingerprint
+        os.utime(paths[0], ns=(1, 1))
+        status, _ = call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert status == 200
+        assert app.align_cache.stats()["misses"] == 2
+
+    def test_corpus_delete_invalidates(self, app, payload, payload_alt):
+        paths, (_p0, p1) = self._members(app, payload, payload_alt)
+        call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert app.align_cache.stats()["size"] == 1
+        status, _ = call(
+            app, "DELETE", f"/v1/corpus/t/profiles/{p1['id']}"
+        )
+        assert status == 200
+        assert app.align_cache.stats()["size"] == 0
+
+    def test_cache_never_taints(self, app, payload, payload_alt):
+        """After a member is corrupted, the next diff must fail with the
+        member's canonical error — never serve the stale cached table."""
+        paths, _ = self._members(app, payload, payload_alt)
+        status, _ = call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert status == 200
+        with open(paths[1], "wb") as fh:
+            fh.write(b"garbage, not a database")
+        status, out = call(app, "POST", "/v1/diff", _diff_body(paths))
+        assert status == 400
+        assert out["error"]["code"] in ("bad-database", "bad-diff-members")
+
+    def test_failed_align_never_populates(self, app, payload, tmp_path):
+        bad = tmp_path / "bad.rpdb"
+        bad.write_bytes(b"junk")
+        good = tmp_path / "good.rpdb"
+        good.write_bytes(payload)
+        status, _ = call(app, "POST", "/v1/diff",
+                         _diff_body([str(good), str(bad)]))
+        assert status == 400
+        assert app.align_cache.stats()["size"] == 0
+
+    def test_sessions_mode_not_cached(self, app):
+        for seed in (1, 2):
+            call(app, "POST", "/v1/sessions",
+                 {"workload": "fig1", "seed": seed})
+        status, out = call(app, "GET", "/v1/sessions")
+        sids = [s["id"] for s in out["sessions"]]
+        status, _ = call(app, "POST", "/v1/diff",
+                         {"sessions": sids, "baseline": 0, "target": 1})
+        assert status == 200
+        assert app.align_cache.stats()["size"] == 0
+
+
+# --------------------------------------------------------------------- #
+# satellite: ensemble sessions return their mmap fds on close
+# --------------------------------------------------------------------- #
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc/self/fd"),
+                    reason="needs /proc fd accounting")
+def test_ensemble_close_releases_store_fds(tmp_path):
+    """Opening an ensemble over ``.rpstore`` members dups mmap fds;
+    closing the session must give every one back deterministically
+    (CCT reference cycles would otherwise hold them until a GC)."""
+    stores = []
+    for i in range(2):
+        exp = Experiment.from_program(fig1.build(), nranks=2, seed=i + 1)
+        path = str(tmp_path / f"m{i}.rpstore")
+        database.save(exp, path)
+        stores.append(path)
+
+    app = AnalysisApp()
+    status, out = call(app, "POST", "/v1/ensemble",
+                       {"databases": stores, "stats": "none"})
+    assert status == 201
+    sid = out["session"]["id"]
+    status, _ = call(app, "POST", f"/v1/sessions/{sid}/render",
+                     {"view": "cct"})
+    assert status == 200
+    before = _open_fds()
+    for _ in range(3):
+        status, out = call(app, "POST", "/v1/ensemble",
+                           {"databases": stores, "stats": "none"})
+        assert status == 201
+        status, _ = call(
+            app, "DELETE", f"/v1/sessions/{out['session']['id']}"
+        )
+        assert status == 200
+    after = _open_fds()
+    assert after <= before, (
+        f"ensemble open/close cycles leaked fds: {before} -> {after}"
+    )

@@ -57,6 +57,17 @@ SCENARIO = [
     # error paths must alias identically too (modulo the trace id)
     ("GET", "/ensemble", None),
     ("POST", "/ensemble", {"databases": ["solo"]}),
+    # corpus endpoints: these apps run without --corpus, so every call
+    # answers the same structured 404 — which must alias identically
+    ("GET", "/corpus", None),
+    ("GET", "/corpus/{tenant}/profiles", None),
+    ("POST", "/corpus/{tenant}/profiles", {"name": "x", "data": "AA=="}),
+    ("GET", "/corpus/{tenant}/profiles/{pid}", None),
+    ("POST", "/corpus/{tenant}/profiles/{pid}/open", None),
+    ("POST", "/corpus/{tenant}/compact", None),
+    ("GET", "/corpus/{tenant}/policy", None),
+    ("POST", "/corpus/{tenant}/policy", {"max_profiles": 1}),
+    ("DELETE", "/corpus/{tenant}/profiles/{pid}", None),
     ("GET", "/sessions/nope", None),
     ("POST", "/sessions/{sid}/render", {"view": "bogus"}),
     ("PUT", "/sessions/{sid}/render", None),
@@ -70,7 +81,7 @@ def drive(app: AnalysisApp, versioned: bool):
     out = []
     sid = "s?"
     for method, path, body in SCENARIO:
-        path = path.format(sid=sid)
+        path = path.format(sid=sid, tenant="t", pid="p000001")
         if versioned:
             path = "/v1" + path
         raw = json.dumps(body).encode() if body is not None else b""
@@ -102,7 +113,11 @@ class TestAliasEquivalence:
             if endpoint.path in ("/healthz", "/stats", "/metrics"):
                 continue
             for op in endpoint.ops:
-                pattern = endpoint.path.replace("<sid>", "{sid}") or "/"
+                pattern = (
+                    endpoint.path.replace("<sid>", "{sid}")
+                    .replace("<tenant>", "{tenant}")
+                    .replace("<pid>", "{pid}")
+                ) or "/"
                 assert (op.method, pattern) in covered, (
                     f"{op.method} {endpoint.path} not covered by SCENARIO"
                 )

@@ -4,7 +4,7 @@
 #   tools/run_tier1.sh            # full gate
 #   REPRO_TEST_TIMEOUT_SCALE=4 tools/run_tier1.sh   # slow/loaded machines
 #
-# Five stages, all required:
+# Six stages, all required:
 #   1. the pytest suite (-x: first failure stops the run) — with
 #      coverage enforcement when pytest-cov is installed;
 #   2. public API surface: regenerated in-memory, diffed against the
@@ -13,7 +13,9 @@
 #      byte-for-byte against tests/golden/data;
 #   4. pool smoke: a 2-worker pre-forked pool serves one JSON and one
 #      columnar render (decoded and cross-checked) and shuts down;
-#   5. coverage ratchet: the fail_under floor may never decrease.
+#   5. corpus smoke: an ingest subprocess is kill -9'd mid-commit and
+#      the reopened corpus recovers it bit-identically;
+#   6. coverage ratchet: the fail_under floor may never decrease.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,9 @@ python tools/gen_golden.py
 
 echo "== tier-1: pool smoke =="
 python tools/pool_smoke.py
+
+echo "== tier-1: corpus smoke =="
+python tools/corpus_smoke.py
 
 echo "== tier-1: coverage ratchet =="
 python tools/check_coverage_ratchet.py
