@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Record the query engine's numbers in ``BENCH_query.json``.
+
+Two measurements, both with budgets enforced *in the run* so they
+cannot silently regress:
+
+1. **Query latency on a scaled store.**  Four ranks of the
+   ``scale-7x4`` program (~8.4k scopes) are merged into an mmap-backed
+   ``.rpstore``; a fresh subprocess opens it and times a battery of
+   representative queries (match-all, hot-filter + sort + limit,
+   prune + groupby, squash, share predicate), reporting per-query
+   median latency over repeated runs.  Every query's median must stay
+   under ``QUERY_BUDGET_S`` — vectorized evaluation on ~8.4k rows is a
+   few milliseconds; tree-walking Python would blow the budget.
+
+2. **100-profile corpus diagnosis.**  A corpus is seeded with one
+   tenant holding 100 grouped profiles (25 scaling groups of 4, with
+   ``nranks`` metadata so the comparative rules engage) and another
+   holding 10 of the same shape.  Fresh subprocesses run
+   ``diagnose_corpus`` over each and report wall-clock and peak RSS.
+   The 100-profile diagnosis must finish under ``DIAG_BUDGET_S``, and
+   its peak RSS may exceed the 10-profile run's by at most
+   ``RSS_RATIO_BUDGET`` — the streaming contract: profiles are loaded,
+   examined, and released one at a time, so RSS stays flat at 10x the
+   profile count.
+
+Usage::
+
+    python benchmarks/run_query_bench.py [-o BENCH_query.json]
+        [--repeats 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.hpcprof.merge import merge_rank_files  # noqa: E402
+from repro.sim.scale import generate_rank_files  # noqa: E402
+
+QUERY_BUDGET_S = 0.25       # per-query median on the ~8.4k-row store
+DIAG_BUDGET_S = 30.0        # 100-profile corpus diagnosis wall-clock
+RSS_RATIO_BUDGET = 1.5      # peak RSS, 100 profiles vs 10
+
+#: the latency battery: (slug, query spec) — specs are the wire form,
+#: so the same shapes are exercised end-to-end by /v1/query
+QUERIES = [
+    ("match-all", {"pattern": "** / *"}),
+    ("hot-top10", {"ops": [{"op": "match", "pattern": "** / *"},
+                           {"op": "filter",
+                            "where": ["cycles.exclusive >= 0.01%"]}],
+                   "sort": {"metric": "cycles", "flavor": "exclusive"},
+                   "limit": 10}),
+    ("prune-groupby", {"ops": [{"op": "prune", "pattern": "p3_*"},
+                               {"op": "match", "pattern": "** / *"},
+                               {"op": "groupby", "key": "name"}],
+                       "sort": {"metric": "cycles"}}),
+    ("squash-frames", {"ops": [{"op": "match", "pattern": "** / p*"},
+                               {"op": "squash"}]}),
+    ("share-50pct", {"ops": [{"op": "match", "pattern": "** / *"},
+                             {"op": "filter",
+                              "where": ["cycles.inclusive >= 50%"]}]}),
+]
+
+_CHILD_QUERY = r"""
+import json, resource, statistics, sys, time
+from repro.hpcprof import database
+from repro.query import Query, run_query
+
+store_path, spec_json, repeats = sys.argv[1], sys.argv[2], int(sys.argv[3])
+specs = json.loads(spec_json)
+exp = database.load(store_path)
+rows = run_query(Query.from_spec({"pattern": "** / *"}), exp).row_count
+out = {"store_rows": rows, "queries": {}}
+for slug, spec in specs:
+    q = Query.from_spec(spec)
+    run_query(q, exp)                       # warm (mmap pages, caches)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_query(q, exp)
+        samples.append(time.perf_counter() - t0)
+    out["queries"][slug] = {
+        "rows": result.row_count,
+        "median_s": statistics.median(samples),
+        "max_s": max(samples),
+    }
+out["peak_rss_kib"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+exp.close()
+print(json.dumps(out))
+"""
+
+_CHILD_DIAG = r"""
+import json, resource, sys, time
+from repro.corpus import open_corpus
+from repro.query import diagnose_corpus
+
+root, tenant = sys.argv[1], sys.argv[2]
+with open_corpus(root) as corpus:
+    t0 = time.perf_counter()
+    diag = diagnose_corpus(corpus, tenant)
+    wall = time.perf_counter() - t0
+print(json.dumps({
+    "wall_s": wall,
+    "profiles_examined": diag.profiles_examined,
+    "findings": len(diag.findings),
+    "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _run_child(code: str, *argv: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, *argv],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"child failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def bench_store_queries(workdir: str, repeats: int) -> dict:
+    rank_dir = os.path.join(workdir, "ranks")
+    paths = generate_rank_files(rank_dir, 4, fanout=7, depth=4)
+    store = os.path.join(workdir, "scaled.rpstore")
+    merge_rank_files(paths, store, summarize="all")
+
+    out = _run_child(_CHILD_QUERY, store, json.dumps(QUERIES), str(repeats))
+    failures = [
+        f"{slug}: median {stats['median_s'] * 1e3:.1f} ms "
+        f"> budget {QUERY_BUDGET_S * 1e3:.0f} ms"
+        for slug, stats in out["queries"].items()
+        if stats["median_s"] > QUERY_BUDGET_S
+    ]
+    if failures:
+        raise SystemExit("query latency budget blown:\n  "
+                         + "\n  ".join(failures))
+    out["budget_s"] = QUERY_BUDGET_S
+    out["repeats"] = repeats
+    return out
+
+
+def _seed_corpus(root: str) -> None:
+    """One tenant with 100 grouped profiles, one with 10 of the same
+    shape — the small tenant is the flat-RSS baseline."""
+    from repro.core.attribution import attribute
+    from repro.corpus import open_corpus
+    from repro.hpcprof.binio import dumps_binary
+    from repro.hpcprof.experiment import Experiment
+    from repro.sim.workloads import fig1
+
+    base = Experiment.from_program(fig1.build())
+
+    def scaled(factor: float) -> bytes:
+        exp = Experiment.from_program(fig1.build())
+        for node in exp.cct.walk():
+            for mid, value in list(node.raw.items()):
+                node.raw[mid] = value * factor
+        attribute(exp.cct)
+        exp.cct.invalidate_caches()
+        return dumps_binary(exp)
+
+    # 4 rungs per scaling group: ideal would be flat totals as nranks
+    # grows; these grow, so every group plants a scaling-loss finding
+    blobs = [(dumps_binary(base), 1), (scaled(1.3), 2),
+             (scaled(1.8), 4), (scaled(2.5), 8)]
+    with open_corpus(root, create=True) as corpus:
+        for tenant, ngroups in (("big", 20), ("small", 2)):
+            for g in range(ngroups):
+                for i, (blob, nranks) in enumerate(blobs):
+                    corpus.ingest_bytes(
+                        tenant, blob, name=f"g{g}-r{i}.rpdb",
+                        group=f"scale-{g}", meta={"nranks": nranks})
+                # one ungrouped singleton per group rounds out the 100
+                corpus.ingest_bytes(tenant, blobs[0][0],
+                                    name=f"g{g}-solo.rpdb")
+
+
+def bench_corpus_diagnosis(workdir: str) -> dict:
+    root = os.path.join(workdir, "corpus")
+    t0 = time.perf_counter()
+    _seed_corpus(root)
+    seed_s = time.perf_counter() - t0
+
+    big = _run_child(_CHILD_DIAG, root, "big")
+    small = _run_child(_CHILD_DIAG, root, "small")
+    assert big["profiles_examined"] == 100, big
+    assert small["profiles_examined"] == 10, small
+
+    rss_ratio = big["peak_rss_kib"] / small["peak_rss_kib"]
+    if big["wall_s"] > DIAG_BUDGET_S:
+        raise SystemExit(
+            f"diagnosis budget blown: {big['wall_s']:.2f} s "
+            f"> {DIAG_BUDGET_S} s for {big['profiles_examined']} profiles")
+    if rss_ratio > RSS_RATIO_BUDGET:
+        raise SystemExit(
+            f"RSS not flat: {big['profiles_examined']}-profile diagnosis "
+            f"peaked at {rss_ratio:.2f}x the "
+            f"{small['profiles_examined']}-profile run "
+            f"(budget {RSS_RATIO_BUDGET}x)")
+    return {
+        "seed_s": round(seed_s, 3),
+        "large": big,
+        "baseline": small,
+        "rss_ratio": round(rss_ratio, 3),
+        "wall_budget_s": DIAG_BUDGET_S,
+        "rss_ratio_budget": RSS_RATIO_BUDGET,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_query.json",
+                        help="output path, relative to the repository root")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="latency samples per query (default 20)")
+    args = parser.parse_args(argv)
+
+    report = {"benchmark": "call-path query engine",
+              "python": platform.python_version()}
+    with tempfile.TemporaryDirectory(prefix="query-bench-") as tmp:
+        report["store_queries"] = bench_store_queries(tmp, args.repeats)
+        report["corpus_diagnosis"] = bench_corpus_diagnosis(tmp)
+
+    out = (REPO / args.output).resolve()
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    sq = report["store_queries"]
+    print(f"\nquery latency on the {sq['store_rows']}-row scaled store "
+          f"(budget {QUERY_BUDGET_S * 1e3:.0f} ms each):")
+    for slug, stats in sq["queries"].items():
+        print(f"  {slug:14s} {stats['median_s'] * 1e3:7.2f} ms median  "
+              f"{stats['rows']:6d} rows")
+    cd = report["corpus_diagnosis"]
+    print(f"corpus diagnosis: {cd['large']['profiles_examined']} profiles "
+          f"in {cd['large']['wall_s']:.2f} s "
+          f"({cd['large']['findings']} findings), "
+          f"RSS {cd['rss_ratio']}x the "
+          f"{cd['baseline']['profiles_examined']}-profile baseline")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

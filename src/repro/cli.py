@@ -1,6 +1,6 @@
 """Command-line entry points (the tool suite's CLI surface).
 
-Seven commands mirror the HPCToolkit workflow:
+The commands mirror the HPCToolkit workflow:
 
 * ``repro-profile <script.py> [args…]`` — run a Python script under the
   tracing call path profiler (``hpcrun``), write a database;
@@ -17,7 +17,10 @@ Seven commands mirror the HPCToolkit workflow:
 * ``repro-serve <database> …`` — serve loaded databases as a concurrent
   JSON analysis API (the ``hpcviewer`` operations over HTTP);
 * ``repro-experiments`` — run the paper-reproduction experiments and
-  print (or write, with ``--markdown``) the paper-vs-measured report.
+  print (or write, with ``--markdown``) the paper-vs-measured report;
+* ``repro-query <database> [pattern]`` — run a composable call-path
+  query (``docs/query.md``) against a database, a corpus tenant, or the
+  corpus-wide diagnosis rules.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ from repro.viewer.table import TableOptions
 
 __all__ = ["main_profile", "main_sim", "main_sim_scale", "main_view",
            "main_serve", "main_prof_merge", "main_diff", "main_corpus",
-           "main_experiments"]
+           "main_experiments", "main_query"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -581,6 +584,193 @@ def main_experiments(argv: list[str] | None = None) -> int:
         print(f"wrote {args.markdown}")
     failures = sum(1 for r in reports if not r.all_ok)
     return 1 if failures else 0
+
+
+def main_query(argv: list[str] | None = None) -> int:
+    """``repro-query`` — run a call-path query from the shell.
+
+    The CLI face of :mod:`repro.query`: one query against a database
+    file (``.xml`` / ``.rpdb`` / ``.rpstore``), or against a corpus
+    tenant (``--corpus --tenant``, streaming every stored profile), or
+    the corpus-wide diagnosis rules (``--diagnose``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-query",
+        description="Composable call-path queries (docs/query.md): match "
+                    "path patterns, filter on metric predicates, group, "
+                    "sort, and print columnar results.",
+    )
+    parser.add_argument("source", metavar="SOURCE",
+                        help="experiment database (.xml / .rpdb / "
+                             ".rpstore), or a corpus root with --tenant")
+    parser.add_argument("pattern", nargs="?", default=None,
+                        help="path pattern, e.g. 'main / ** / flux*' or "
+                             "'{\"category\": \"loop\"}'")
+    parser.add_argument("--where", action="append", default=[],
+                        metavar="PRED",
+                        help="metric predicate, e.g. 'cycles.exclusive "
+                             ">= 2%%' (repeatable)")
+    parser.add_argument("--prune", action="append", default=[],
+                        metavar="PATTERN",
+                        help="drop subtrees matching this pattern "
+                             "(repeatable)")
+    parser.add_argument("--squash", action="store_true",
+                        help="splice unselected scopes out of the tree")
+    parser.add_argument("--groupby", default=None,
+                        choices=("name", "category", "depth"),
+                        help="aggregate selected scopes by this key")
+    parser.add_argument("--metrics", default=None, metavar="M1,M2",
+                        help="metric columns (default: all)")
+    parser.add_argument("--flavors", default=None, metavar="F1,F2",
+                        help="value flavors: raw, inclusive, exclusive "
+                             "(default: inclusive,exclusive)")
+    parser.add_argument("--sort", default=None, metavar="METRIC",
+                        help="sort by this metric column")
+    parser.add_argument("--exclusive", action="store_true",
+                        help="sort on the exclusive flavor")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="keep the top N rows")
+    parser.add_argument("--spec", default=None, metavar="JSON",
+                        help="full query spec as JSON (overrides the "
+                             "pattern/filter flags)")
+    parser.add_argument("--tenant", default=None,
+                        help="treat SOURCE as a corpus root and query "
+                             "this tenant's profiles")
+    parser.add_argument("--profile", default=None, metavar="PID",
+                        help="query one stored profile (with --tenant)")
+    parser.add_argument("--diagnose", action="store_true",
+                        help="run the corpus diagnosis rules (load "
+                             "imbalance, scaling loss, hot-path drift) "
+                             "over the tenant instead of a query")
+    parser.add_argument("--metric", default=None,
+                        help="diagnosis metric (default: the cycle "
+                             "counter, else the first metric)")
+    parser.add_argument("--baseline", default=None, metavar="PID",
+                        help="diagnosis hot-path baseline profile")
+    parser.add_argument("--salvage", action="store_true",
+                        help="salvage payloads that no longer load "
+                             "strictly")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.query import Query, run_query
+
+    def build_query() -> Query:
+        if args.spec is not None:
+            return Query.from_spec(json.loads(args.spec))
+        q = Query()
+        if args.pattern:
+            q = q.match(args.pattern)
+        for pred in args.where:
+            q = q.filter(pred)
+        for pattern in args.prune:
+            q = q.prune(pattern)
+        if args.squash:
+            q = q.squash()
+        if args.groupby:
+            q = q.groupby(args.groupby)
+        if args.metrics or args.flavors:
+            q = q.select(
+                metrics=(args.metrics.split(",") if args.metrics else None),
+                flavors=(tuple(args.flavors.split(","))
+                         if args.flavors else None),
+            )
+        if args.sort:
+            q = q.sort(args.sort,
+                       "exclusive" if args.exclusive else "inclusive")
+        if args.limit is not None:
+            q = q.limit(args.limit)
+        return q
+
+    def print_result(result, heading: str | None = None) -> None:
+        if heading:
+            print(f"== {heading} ==")
+        widths = [max(8, len(label) + 2) for label in result.labels]
+        header = f"{'scope':<44}" + "".join(
+            f"{label:>{w}}" for label, w in zip(result.labels, widths)
+        )
+        print(header)
+        print("-" * len(header))
+        for i, (name, depth) in enumerate(zip(result.names, result.depths)):
+            cell = ("  " * int(depth) + name)[:43]
+            row = "".join(
+                f"{result.values[i, j]:>{w}.6g}"
+                for j, w in enumerate(widths)
+            )
+            print(f"{cell:<44}{row}")
+        if result.truncated:
+            print(f"... {result.truncated} more row(s) truncated")
+
+    try:
+        if args.tenant is not None:
+            from repro.corpus import open_corpus
+
+            with open_corpus(args.source) as corpus:
+                if args.diagnose:
+                    from repro.query import diagnose_corpus
+
+                    diag = diagnose_corpus(
+                        corpus, args.tenant, metric=args.metric,
+                        baseline=args.baseline, salvage=args.salvage,
+                    )
+                    if args.as_json:
+                        print(json.dumps(diag.to_payload(), indent=2))
+                    else:
+                        print(f"{diag.profiles_examined} profile(s) "
+                              f"examined on {diag.metric!r}; "
+                              f"{len(diag.findings)} finding(s)")
+                        for finding in diag.findings:
+                            print(finding.describe())
+                    return 1 if diag.findings else 0
+                q = build_query()
+                if args.profile is not None:
+                    exp = corpus.load(args.tenant, args.profile,
+                                      salvage=args.salvage)
+                    try:
+                        result = run_query(q, exp)
+                    finally:
+                        release = getattr(exp, "release", None)
+                        if release is not None:
+                            release()
+                    if args.as_json:
+                        print(json.dumps(result.to_columns(), indent=2))
+                    else:
+                        print_result(result)
+                    return 0
+                tables = []
+                for entry in corpus.list(args.tenant):
+                    exp = corpus.load(args.tenant, entry.pid,
+                                      salvage=args.salvage)
+                    try:
+                        result = run_query(q, exp)
+                    finally:
+                        release = getattr(exp, "release", None)
+                        if release is not None:
+                            release()
+                    tables.append((entry.pid, result))
+                if args.as_json:
+                    print(json.dumps(
+                        {pid: r.to_columns() for pid, r in tables},
+                        indent=2,
+                    ))
+                else:
+                    for pid, result in tables:
+                        print_result(result, heading=pid)
+                        print()
+                return 0
+
+        experiment = database.load(args.source, strict=not args.salvage)
+        result = run_query(build_query(), experiment)
+        if args.as_json:
+            print(json.dumps(result.to_columns(), indent=2))
+        else:
+            print_result(result)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,14 +2,11 @@
 
 Section IX lists as ongoing work "identifying data reuse patterns and
 suggesting program transformations to improve program performance".
-This module implements a rule-based advisor over an analyzed experiment:
-each rule inspects the views/metrics the paper's machinery already
-produces and, when its evidence threshold is met, emits a
-:class:`Suggestion` carrying the scope, the evidence values, and the
-transformation the Figure 6 case study actually applied (scalarization/
-fusion/unroll-and-jam for the streaming flux loop; vectorized math-
-library calls for the tight exponential loop; repartitioning for load
-imbalance).
+The rule implementations live in :mod:`repro.query.rules`, expressed as
+vectorized queries over the metric engine; this module keeps the
+public advisor surface — :class:`Advisor` with its adjustable
+thresholds, :func:`advise`, :func:`advise_regressions` — and delegates.
+Suggestions are bit-identical to the historical per-node rule loops.
 
 Rules are deliberately conservative and evidence-first: a suggestion
 without numbers attached is noise, so every rule reports *why* it fired.
@@ -17,39 +14,15 @@ without numbers attached is noise, so every rule reports *why* it fired.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
-
-import numpy as np
-
-from repro.core.metrics import MetricFlavor
-from repro.core.views import NodeCategory, ViewNode
 from repro.hpcprof.experiment import Experiment
-from repro.hpcrun.counters import CYCLES, FLOPS, L1_DCM
+from repro.query.rules import (
+    Suggestion,
+    context_rule,
+    imbalance_rule,
+    loop_rules,
+)
 
 __all__ = ["Suggestion", "Advisor", "advise", "advise_regressions"]
-
-
-@dataclass(frozen=True)
-class Suggestion:
-    """One tuning opportunity with its evidence."""
-
-    rule: str
-    scope: str
-    location: str
-    transformation: str
-    evidence: dict[str, float]
-    #: estimated share of total cycles touched by the scope
-    impact: float
-
-    def describe(self) -> str:
-        facts = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self.evidence.items()))
-        return (
-            f"[{self.rule}] {self.scope} ({self.location}; "
-            f"~{100 * self.impact:.1f}% of cycles)\n"
-            f"    -> {self.transformation}\n"
-            f"    evidence: {facts}"
-        )
 
 
 class Advisor:
@@ -78,152 +51,22 @@ class Advisor:
         return out
 
     # ------------------------------------------------------------------ #
-    def _metric(self, name: str) -> int | None:
-        return (self.experiment.metrics.by_name(name).mid
-                if name in self.experiment.metrics else None)
-
-    def _loops(self) -> list[ViewNode]:
-        flat = self.experiment.flat_view()
-        loops = []
-        for root in flat.roots:
-            loops.extend(
-                n for n in root.walk()
-                if n.category in (NodeCategory.LOOP, NodeCategory.INLINED)
-            )
-        return loops
-
     def _loop_rules(self) -> list[Suggestion]:
-        cyc = self._metric(CYCLES)
-        if cyc is None:
-            return []
-        fl = self._metric(FLOPS)
-        l1 = self._metric(L1_DCM)
-        total = self.experiment.cct.root.inclusive.get(cyc, 0.0)
-        if total <= 0:
-            return []
-        out = []
-        for loop in self._loops():
-            cycles = loop.exclusive.get(cyc, 0.0)
-            impact = cycles / total
-            if impact < self.min_impact:
-                continue
-            flops = loop.exclusive.get(fl, 0.0) if fl is not None else 0.0
-            misses = loop.exclusive.get(l1, 0.0) if l1 is not None else 0.0
-            efficiency = flops / (self.peak * cycles) if cycles else 0.0
-            miss_rate = misses / cycles if cycles else 0.0
-            location = str(loop.struct.location) if loop.struct else loop.name
-            if l1 is not None and miss_rate >= self.memory_bound_miss_rate \
-                    and efficiency < self.low_efficiency:
-                out.append(Suggestion(
-                    rule="memory-bound-loop",
-                    scope=loop.name,
-                    location=location,
-                    transformation=(
-                        "streaming through the memory hierarchy: exploit "
-                        "data reuse in cache via loop scalarization, fusion, "
-                        "unswitching, and unroll-and-jam (the Figure 6 fix)"
-                    ),
-                    evidence={"efficiency": efficiency,
-                              "l1_misses_per_cycle": miss_rate},
-                    impact=impact,
-                ))
-            elif fl is not None and 0 < efficiency < self.low_efficiency:
-                out.append(Suggestion(
-                    rule="low-efficiency-compute",
-                    scope=loop.name,
-                    location=location,
-                    transformation=(
-                        "far from peak without being cache-bound: check "
-                        "vectorization, dependence chains, and instruction mix"
-                    ),
-                    evidence={"efficiency": efficiency},
-                    impact=impact,
-                ))
-            elif fl is not None and efficiency >= self.tight_efficiency:
-                out.append(Suggestion(
-                    rule="already-tight",
-                    scope=loop.name,
-                    location=location,
-                    transformation=(
-                        "running near achievable rate; prefer algorithmic "
-                        "changes (fewer calls, batched/vectorized variants) "
-                        "over micro-tuning"
-                    ),
-                    evidence={"efficiency": efficiency},
-                    impact=impact,
-                ))
-        return out
+        return loop_rules(
+            self.experiment, self.peak,
+            min_impact=self.min_impact,
+            memory_bound_miss_rate=self.memory_bound_miss_rate,
+            low_efficiency=self.low_efficiency,
+            tight_efficiency=self.tight_efficiency,
+        )
 
     def _imbalance_rule(self) -> list[Suggestion]:
-        exp = self.experiment
-        cyc = self._metric(CYCLES)
-        if cyc is None or not exp.rank_ccts:
-            return []
-        vec = exp.rank_vector(exp.cct.root, CYCLES)
-        mean = float(vec.mean())
-        if mean <= 0:
-            return []
-        cov = float(vec.std() / mean)
-        if cov < self.imbalance_cov:
-            return []
-        # localize: hot path on idleness if present, else on max-rank cycles
-        idle_name = next(
-            (d.name for d in exp.metrics if "idle" in d.name.lower()), None
+        return imbalance_rule(
+            self.experiment, imbalance_cov=self.imbalance_cov
         )
-        context = ""
-        if idle_name is not None and exp.total(idle_name) > 0:
-            result = exp.hot_path(idle_name)
-            context = " -> ".join(n.name for n in result.path[-3:])
-        return [Suggestion(
-            rule="load-imbalance",
-            scope="<whole execution>",
-            location=context or "per-rank totals",
-            transformation=(
-                "uneven work across ranks: repartition the domain (weight "
-                "by measured per-cell cost) or over-decompose and balance "
-                "dynamically"
-            ),
-            evidence={"cov": cov,
-                      "max_over_mean": float(vec.max() / mean)},
-            impact=float((vec.max() - mean) / vec.sum() * len(vec)),
-        )]
 
     def _context_rule(self) -> list[Suggestion]:
-        """Callees whose cost is wildly context-dependent: specialization
-        or caller-side fixes beat tuning the callee in isolation."""
-        exp = self.experiment
-        cyc = self._metric(CYCLES)
-        if cyc is None:
-            return []
-        total = exp.cct.root.inclusive.get(cyc, 0.0)
-        if total <= 0:
-            return []
-        out = []
-        callers = exp.callers_view()
-        for row in callers.roots:
-            value = row.inclusive.get(cyc, 0.0)
-            if value / total < 2 * self.min_impact:
-                continue
-            shares = np.array([
-                c.inclusive.get(cyc, 0.0) for c in row.children
-            ])
-            if len(shares) < 2 or shares.sum() <= 0:
-                continue
-            top = float(shares.max() / shares.sum())
-            if top >= 0.9:
-                out.append(Suggestion(
-                    rule="single-context-callee",
-                    scope=row.name,
-                    location=f"{len(shares)} calling contexts",
-                    transformation=(
-                        "one caller dominates this procedure's cost: tune "
-                        "that call path (or inline/specialize for it) rather "
-                        "than the procedure in general"
-                    ),
-                    evidence={"dominant_context_share": top},
-                    impact=value / total,
-                ))
-        return out
+        return context_rule(self.experiment, min_impact=self.min_impact)
 
 
 def advise(experiment: Experiment,

@@ -1,4 +1,4 @@
-"""Scope filters — deemphasizing what doesn't matter (Section II-b).
+"""Scope filters — deemphasizing what doesn't matter (legacy shim).
 
 "A set of performance data often includes measurements for procedures
 that consume very few resources and are therefore unimportant from the
@@ -16,12 +16,21 @@ filter facility; this module provides the equivalent for our views:
 
 Filters are display transforms: they build a parallel forest of the same
 :class:`ViewNode` objects and never mutate the underlying views or CCT.
+
+:meth:`FilterSet.apply` and :meth:`FilterSet.children_of` now evaluate
+through the query engine (:mod:`repro.query.compat`) — batched name
+matching over the name vocabulary and one metric gather for the
+threshold — and emit a :class:`DeprecationWarning` pointing at the
+equivalent query forms (``.filter()`` / ``.prune()`` / ``.squash()``;
+see docs/query.md).  Results are bit-identical to the original per-node
+walk (pinned by ``tests/test_query_shims.py``).
 """
 
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Sequence
 
@@ -30,6 +39,12 @@ from repro.core.metrics import MetricFlavor, MetricSpec
 from repro.core.views import NodeCategory, View, ViewNode
 
 __all__ = ["FilterAction", "ScopeFilter", "ThresholdFilter", "FilterSet"]
+
+_DEPRECATION = (
+    "FilterSet.apply()/children_of() are deprecated; use "
+    "repro.query.query() with .filter()/.prune()/.squash() instead "
+    "(see docs/query.md)"
+)
 
 
 class FilterAction(Enum):
@@ -104,32 +119,28 @@ class FilterSet:
 
     def apply(self, view: View, roots: Sequence[ViewNode] | None = None
               ) -> list[ViewNode]:
-        """The filtered forest (same node objects; display-only)."""
-        rows = list(view.roots if roots is None else roots)
-        out: list[ViewNode] = []
-        for row in rows:
-            out.extend(self._visit(view, row))
-        return out
+        """The filtered forest (same node objects; display-only).
 
-    def _visit(self, view: View, node: ViewNode) -> list[ViewNode]:
-        action = self._action_for(node)
-        if action is FilterAction.PRUNE:
-            return []
-        if action is FilterAction.ELIDE:
-            spliced: list[ViewNode] = []
-            for child in node.children:
-                spliced.extend(self._visit(view, child))
-            return spliced
-        if self.threshold is not None and not self.threshold.passes(view, node):
-            return []
-        return [node]
+        .. deprecated::
+            Use :func:`repro.query.query` with ``.filter()`` /
+            ``.prune()`` / ``.squash()``; this shim forwards to the
+            query engine and returns identical results.
+        """
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        from repro.query.compat import filter_forest  # lazy: keep import light
+
+        return filter_forest(self, view, roots)
 
     def children_of(self, view: View, node: ViewNode) -> list[ViewNode]:
-        """Filtered children (for renderers walking the filtered forest)."""
-        out: list[ViewNode] = []
-        for child in node.children:
-            out.extend(self._visit(view, child))
-        return out
+        """Filtered children (for renderers walking the filtered forest).
+
+        .. deprecated::
+            Use :func:`repro.query.query`; see :meth:`apply`.
+        """
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        from repro.query.compat import filter_children
+
+        return filter_children(self, view, node)
 
     def __len__(self) -> int:
         return len(self.scope_filters) + (1 if self.threshold else 0)

@@ -1,24 +1,35 @@
-"""Searching a view for scopes — ranked by a metric.
+"""Searching a view for scopes — ranked by a metric (legacy shim).
 
 Section VII: the tabular presentation "allows a user to select which
 metric to observe and to automatically search for a possible performance
-bottleneck."  This module provides that search: match scopes by name
-glob (optionally by category), rank matches by any metric column, and
-report each hit with its path from the root so an analyst can jump
-straight to the right context.
+bottleneck."  This module used to implement that search with a per-node
+Python walk; it is now a byte-compatible shim over the query engine
+(:mod:`repro.query`), which batches the name matching and the metric
+gather.  Prefer the query language for new code::
+
+    from repro.query import query
+    query("flux*").sort("CYCLES").limit(50).run(experiment)
+
+Calling :func:`search` emits a :class:`DeprecationWarning`; results are
+bit-identical to the original implementation (pinned by
+``tests/test_query_shims.py``).
 """
 
 from __future__ import annotations
 
-import fnmatch
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import ViewError
-from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.metrics import MetricSpec
 from repro.core.views import NodeCategory, View, ViewNode
 
 __all__ = ["SearchHit", "search"]
+
+_DEPRECATION = (
+    "repro.core.search.search() is deprecated; use repro.query.query() "
+    "instead (see docs/query.md)"
+)
 
 
 @dataclass(frozen=True)
@@ -49,35 +60,18 @@ def search(
     Lazy views are expanded as the search walks them; ``max_nodes``
     bounds the walk so a search cannot materialize an unboundedly large
     bottom-up view.
+
+    .. deprecated::
+        Use :func:`repro.query.query`; this shim forwards to the query
+        engine and returns identical results.
     """
-    if not pattern:
-        raise ViewError("empty search pattern")
-    if limit < 1:
-        raise ViewError(f"limit must be >= 1, got {limit}")
-    spec = spec or MetricSpec(0, MetricFlavor.INCLUSIVE)
-    total = view.total(MetricSpec(spec.mid, MetricFlavor.INCLUSIVE))
-    hits: list[SearchHit] = []
-    visited = 0
+    warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+    from repro.query.compat import search_view  # lazy: keep import light
 
-    stack: list[tuple[ViewNode, tuple[str, ...]]] = [
-        (root, (root.name,)) for root in reversed(view.roots)
+    return [
+        SearchHit(node=node, value=value, share=share, path=path)
+        for node, value, share, path in search_view(
+            view, pattern, spec=spec, categories=categories,
+            limit=limit, max_nodes=max_nodes,
+        )
     ]
-    while stack and visited < max_nodes:
-        node, path = stack.pop()
-        visited += 1
-        if (not categories or node.category in categories) and \
-                fnmatch.fnmatchcase(node.name, pattern):
-            value = view.value(node, spec)
-            hits.append(
-                SearchHit(
-                    node=node,
-                    value=value,
-                    share=(value / total) if total else 0.0,
-                    path=path,
-                )
-            )
-        for child in reversed(node.children):
-            stack.append((child, path + (child.name,)))
-
-    hits.sort(key=lambda h: -h.value)
-    return hits[:limit]

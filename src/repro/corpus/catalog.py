@@ -955,12 +955,20 @@ class CorpusCatalog:
     def _pin_path(self, tenant: str, pid: str, owner: str) -> str:
         return os.path.join(self._pins_dir(), f"{tenant}@@{pid}@@{owner}.pin")
 
-    def pin(self, tenant: str, pid: str, owner: str) -> None:
+    def pin(self, tenant: str, pid: str, owner: str, *,
+            refresh: bool = False) -> None:
         """Record that *owner* (a session id) holds *tenant*/*pid* open.
 
         The pin is a file naming this process, so it is visible to every
         pool worker and self-expiring: a pin whose process died is stale
         and reaped on the next scan.
+
+        ``refresh=True`` rewrites an existing pin to name *this*
+        process.  A pool worker adopting a crashed sibling's session
+        must refresh: the pin on disk still carries the dead worker's
+        pid, so without the rewrite the next eviction scan would reap
+        it and a quota'd tenant could evict the profile out from under
+        the live session.
         """
         self._check_tenant(tenant)
         if not _OWNER_RE.match(owner or ""):
@@ -972,7 +980,14 @@ class CorpusCatalog:
         try:
             fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
-            return  # same owner re-pinning is a no-op
+            if not refresh:
+                return  # same owner re-pinning is a no-op
+            # atomic rewrite: never leave a moment without a pin file
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+            return
         try:
             os.write(fd, blob)
         finally:

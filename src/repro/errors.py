@@ -33,6 +33,7 @@ __all__ = [
     "MetricError",
     "FormulaError",
     "ViewError",
+    "QueryError",
     "DatabaseError",
     "SimulationError",
     "ProfilerError",
@@ -81,6 +82,10 @@ class FormulaError(MetricError):
 
 class ViewError(ReproError):
     """Invalid view construction or view operation."""
+
+
+class QueryError(ReproError):
+    """A call-path query failed to parse or evaluate (repro.query)."""
 
 
 class DatabaseError(ReproError):
@@ -218,6 +223,7 @@ WIRE_CODES: dict[type, tuple[str, int]] = {
     FormulaError: ("bad-formula", 400),
     MetricError: ("bad-metric", 400),
     ViewError: ("bad-view-operation", 400),
+    QueryError: ("bad-query", 400),
     DatabaseError: ("bad-database", 400),
     StructureError: ("bad-structure", 400),
     CorrelationError: ("bad-correlation", 400),

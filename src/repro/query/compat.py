@@ -1,0 +1,175 @@
+"""Legacy entry points re-routed through the query engine.
+
+``core.search.search`` and ``core.filters.FilterSet`` predate
+``repro.query``; both are now thin shims over this module, which keeps
+their exact observable behavior — walk order, node budgets, match
+semantics, ranking ties, splice order — while doing the heavy lifting
+with the query engine's kernels:
+
+* name matching runs once over the deduplicated name vocabulary
+  instead of per node;
+* metric reads go through :meth:`View.gather_columns` (engine
+  fancy-gather) instead of per-node dict lookups.
+
+The shim-identity test (``tests/test_query_shims.py``) pins both
+functions bit-for-bit against frozen copies of the original per-node
+implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.errors import ViewError
+from repro.query.engine import ViewFrame
+
+__all__ = ["filter_children", "filter_forest", "search_view"]
+
+
+# --------------------------------------------------------------------- #
+# search
+# --------------------------------------------------------------------- #
+def search_view(view, pattern, spec=None, categories=(), limit=50,
+                max_nodes=200_000):
+    """The legacy ``core.search.search`` algorithm on query kernels.
+
+    Returns ``(node, value, share, path)`` tuples in the legacy result
+    order (stable sort on descending value, first *limit* kept); the
+    shim wraps them in ``SearchHit``.
+    """
+    if not pattern:
+        raise ViewError("empty search pattern")
+    if limit < 1:
+        raise ViewError(f"limit must be >= 1, got {limit}")
+    spec = spec or MetricSpec(0, MetricFlavor.INCLUSIVE)
+    total = view.total(MetricSpec(spec.mid, MetricFlavor.INCLUSIVE))
+
+    frame = ViewFrame(view, max_nodes=max_nodes)
+    mask = frame.name_mask(pattern)
+    if categories:
+        wanted = tuple(
+            c.value if hasattr(c, "value") else str(c) for c in categories
+        )
+        mask = mask & frame.category_mask(wanted)
+    rows = np.flatnonzero(mask)  # preorder == the legacy append order
+    if not len(rows):
+        return []
+    nodes = [frame.nodes[r] for r in rows]
+    values = view.gather_columns(nodes, [spec])[:, 0]
+    order = np.argsort(-values, kind="stable")[:limit]
+    out = []
+    for i in order:
+        value = float(values[i])
+        out.append((
+            nodes[i],
+            value,
+            (value / total) if total else 0.0,
+            frame.path(rows[i]),
+        ))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# filters
+# --------------------------------------------------------------------- #
+def _wave_actions(scope_filters, nodes, actions):
+    """Assign each node its first-matching filter action (batched).
+
+    One vocabulary pass per distinct name per wave replaces the legacy
+    per-node ``fnmatchcase`` calls; first filter wins, like
+    ``FilterSet._action_for``.
+    """
+    import fnmatch
+    import re
+
+    names = np.array([n.name for n in nodes], dtype=object)
+    uniq, inv = np.unique(names, return_inverse=True)
+    assigned = np.zeros(len(nodes), dtype=bool)
+    for filt in scope_filters:
+        compiled = re.compile(fnmatch.translate(filt.pattern))
+        hits = np.fromiter(
+            (compiled.match(name) is not None for name in uniq),
+            dtype=bool, count=len(uniq),
+        )
+        mask = hits[inv]
+        if filt.categories:
+            cats = set(filt.categories)
+            in_cat = np.fromiter(
+                (n.category in cats for n in nodes),
+                dtype=bool, count=len(nodes),
+            )
+            mask = mask & in_cat
+        fresh = mask & ~assigned
+        for i in np.flatnonzero(fresh):
+            actions[id(nodes[i])] = filt.action
+        assigned |= fresh
+
+
+def _resolve_filters(fset, view, roots):
+    """(actions, threshold_ok) for the legacy visitation closure.
+
+    Visits exactly the nodes ``FilterSet._visit`` would reach from
+    *roots* — the closure under "children of elided nodes" — wave by
+    wave, batching the name matching and the threshold metric gather.
+    """
+    from repro.core.filters import FilterAction
+
+    actions: dict[int, object] = {}
+    kept: list = []
+    wave = list(roots)
+    while wave:
+        if fset.scope_filters:
+            _wave_actions(fset.scope_filters, wave, actions)
+        next_wave: list = []
+        for node in wave:
+            action = actions.get(id(node))
+            if action is FilterAction.ELIDE:
+                next_wave.extend(node.children)
+            elif action is None:
+                kept.append(node)
+        wave = next_wave
+
+    threshold_ok: dict[int, bool] = {}
+    threshold = fset.threshold
+    if threshold is not None and kept:
+        total = view.total(threshold.spec)
+        if total != 0.0:
+            incl = MetricSpec(threshold.spec.mid, MetricFlavor.INCLUSIVE)
+            values = view.gather_columns(kept, [incl])[:, 0]
+            floor = threshold.min_share * total
+            for node, value in zip(kept, values):
+                threshold_ok[id(node)] = bool(value >= floor)
+    return actions, threshold_ok
+
+
+def _emit(node, actions, threshold_ok):
+    """The legacy ``_visit`` splice, on precomputed decisions."""
+    from repro.core.filters import FilterAction
+
+    action = actions.get(id(node))
+    if action is FilterAction.PRUNE:
+        return []
+    if action is FilterAction.ELIDE:
+        spliced = []
+        for child in node.children:
+            spliced.extend(_emit(child, actions, threshold_ok))
+        return spliced
+    if not threshold_ok.get(id(node), True):
+        return []
+    return [node]
+
+
+def filter_forest(fset, view, roots=None):
+    """``FilterSet.apply`` through the query engine's batched kernels."""
+    rows = list(view.roots if roots is None else roots)
+    actions, threshold_ok = _resolve_filters(fset, view, rows)
+    out = []
+    for row in rows:
+        out.extend(_emit(row, actions, threshold_ok))
+    return out
+
+
+def filter_children(fset, view, node):
+    """``FilterSet.children_of`` through the same machinery."""
+    return filter_forest(fset, view, list(node.children))

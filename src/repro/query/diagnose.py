@@ -1,0 +1,393 @@
+"""Corpus-wide automated diagnosis — rules over a whole tenant.
+
+``diagnose_corpus`` streams every committed profile of one corpus
+tenant through the diagnosis rules **one profile at a time**: each
+profile is opened, reduced to a handful of scalars (aggregate totals,
+per-rank vector moments, the hot path), and released before the next
+one is touched, so the working set stays flat no matter how many
+profiles the tenant holds — the same discipline the streaming merge
+planner applies.
+
+Three rules ship (the corpus-scale versions of the advisor's
+single-experiment rules):
+
+* **load-imbalance** — a profile whose per-rank cycle totals have a
+  coefficient of variation at or above ``rank_cov``;
+* **scaling-loss** — within a profile *group* (the catalog's scaling
+  series), a member whose aggregate cost grew beyond
+  ``scaling_floor`` parallel efficiency against the group's
+  smallest-rank member;
+* **hot-path-drift** — a profile whose hot path diverged from the
+  baseline's (explicit ``baseline`` pid, or each group's first
+  member), reported with the shared prefix and both tails.
+
+The result is a columnar :class:`CorpusDiagnosis` (``to_rows()`` /
+``to_columns()`` / ``to_payload()``), served by
+``POST /v1/query`` in corpus mode and by ``repro-query --diagnose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hpcrun.counters import CYCLES
+
+__all__ = ["CorpusDiagnosis", "Finding", "diagnose_corpus"]
+
+#: how many trailing hot-path frames to report as evidence
+_PATH_TAIL = 3
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosis: a rule that fired on one profile."""
+
+    rule: str
+    tenant: str
+    profile: str
+    group: str
+    detail: str
+    evidence: dict[str, float]
+    #: rule-specific badness in [0, 1]-ish units; sorts the report
+    severity: float
+
+    def describe(self) -> str:
+        facts = ", ".join(
+            f"{k}={v:.3g}" for k, v in sorted(self.evidence.items())
+        )
+        where = f"{self.tenant}/{self.profile}"
+        if self.group:
+            where += f" (group {self.group})"
+        return f"[{self.rule}] {where}: {self.detail} ({facts})"
+
+
+@dataclass(frozen=True)
+class CorpusDiagnosis:
+    """The outcome of one diagnosis pass over a tenant."""
+
+    tenant: str
+    metric: str
+    findings: tuple[Finding, ...]
+    #: per-profile scalar summaries, in catalog order:
+    #: (pid, group, nranks, total, hotspot, hotspot_share)
+    summaries: tuple[tuple, ...]
+    profiles_examined: int
+    profiles_skipped: int = 0
+
+    def to_rows(self) -> list[list]:
+        """``[rule, profile, group, severity, detail]`` per finding."""
+        return [
+            [f.rule, f.profile, f.group, float(f.severity), f.detail]
+            for f in self.findings
+        ]
+
+    def to_columns(self) -> dict:
+        return {
+            "rule": [f.rule for f in self.findings],
+            "profile": [f.profile for f in self.findings],
+            "group": [f.group for f in self.findings],
+            "severity": [float(f.severity) for f in self.findings],
+            "detail": [f.detail for f in self.findings],
+        }
+
+    def to_payload(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "metric": self.metric,
+            "profiles_examined": self.profiles_examined,
+            "profiles_skipped": self.profiles_skipped,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "profile": f.profile,
+                    "group": f.group,
+                    "detail": f.detail,
+                    "evidence": dict(f.evidence),
+                    "severity": f.severity,
+                }
+                for f in self.findings
+            ],
+            "profiles": [
+                {
+                    "id": pid,
+                    "group": group,
+                    "nranks": nranks,
+                    "total": total,
+                    "hotspot": hotspot,
+                    "hotspot_share": share,
+                }
+                for pid, group, nranks, total, hotspot, share in self.summaries
+            ],
+        }
+
+
+@dataclass
+class _Summary:
+    """The scalars retained per profile after its experiment is released."""
+
+    pid: str
+    group: str
+    created_at: float
+    nranks: int
+    total: float
+    hot_names: tuple[str, ...]
+    hotspot_share: float
+
+
+def _release(experiment) -> None:
+    release = getattr(experiment, "release", None)
+    if release is not None:
+        release()
+
+
+def _summarize_one(entry, experiment, metric: str) -> tuple[_Summary, list]:
+    """Reduce one open experiment to scalars + any per-profile findings."""
+    findings: list = []
+    total = experiment.total(metric)
+    nranks = len(experiment.rank_ccts) if experiment.rank_ccts else int(
+        entry.meta.get("nranks", 1) or 1
+    )
+    hot_names: tuple[str, ...] = ()
+    hotspot_share = 0.0
+    if total > 0:
+        result = experiment.hot_path(metric)
+        hot_names = tuple(n.name for n in result.path)
+        hotspot_share = float(result.hotspot_value / total)
+    return _Summary(
+        pid=entry.pid,
+        group=entry.group or "",
+        created_at=entry.created_at,
+        nranks=nranks,
+        total=float(total),
+        hot_names=hot_names,
+        hotspot_share=hotspot_share,
+    ), findings
+
+
+def _imbalance_finding(entry, experiment, metric: str, rank_cov: float):
+    if experiment.rank_ccts:
+        vec = experiment.rank_vector(experiment.cct.root, metric)
+        mean = float(vec.mean())
+        if mean <= 0:
+            return None
+        cov = float(vec.std() / mean)
+        max_over_mean = float(vec.max() / mean)
+        nranks = len(vec)
+    else:
+        # stored profiles keep only the merge's summary-statistic
+        # metrics; the root's stddev/mean IS the per-rank CoV
+        if (f"{metric} (mean)" not in experiment.metrics
+                or f"{metric} (stddev)" not in experiment.metrics):
+            return None
+        mean = float(experiment.total(f"{metric} (mean)"))
+        if mean <= 0:
+            return None
+        cov = float(experiment.total(f"{metric} (stddev)") / mean)
+        max_over_mean = (
+            float(experiment.total(f"{metric} (max)") / mean)
+            if f"{metric} (max)" in experiment.metrics else 0.0
+        )
+        nranks = int(round(experiment.total(metric) / mean)) or 1
+    if cov < rank_cov:
+        return None
+    return Finding(
+        rule="load-imbalance",
+        tenant=entry.tenant,
+        profile=entry.pid,
+        group=entry.group or "",
+        detail=(
+            f"per-rank {metric} totals vary {100 * cov:.0f}% around the "
+            f"mean across {nranks} ranks"
+        ),
+        evidence={
+            "cov": cov,
+            "max_over_mean": max_over_mean,
+            "nranks": float(nranks),
+        },
+        severity=cov,
+    )
+
+
+def _scaling_findings(tenant: str, summaries: list, metric: str,
+                      scaling_floor: float) -> list:
+    """Aggregate-cost growth within each scaling group (strong scaling:
+    perfect scaling keeps total cost flat as ranks grow)."""
+    groups: dict[str, list] = {}
+    for s in summaries:
+        if s.group:
+            groups.setdefault(s.group, []).append(s)
+    out = []
+    for group, members in sorted(groups.items()):
+        members = sorted(members, key=lambda s: (s.nranks, s.created_at))
+        base = members[0]
+        if base.total <= 0:
+            continue
+        for member in members[1:]:
+            if member.nranks <= base.nranks or member.total <= 0:
+                continue
+            efficiency = base.total / member.total
+            if efficiency >= scaling_floor:
+                continue
+            out.append(Finding(
+                rule="scaling-loss",
+                tenant=tenant,
+                profile=member.pid,
+                group=group,
+                detail=(
+                    f"aggregate {metric} grew "
+                    f"{member.total / base.total:.2f}x over the "
+                    f"{base.nranks}-rank baseline {base.pid} at "
+                    f"{member.nranks} ranks "
+                    f"({100 * efficiency:.0f}% efficiency)"
+                ),
+                evidence={
+                    "efficiency": efficiency,
+                    "base_total": base.total,
+                    "total": member.total,
+                    "base_nranks": float(base.nranks),
+                    "nranks": float(member.nranks),
+                },
+                severity=1.0 - efficiency,
+            ))
+    return out
+
+
+def _drift_findings(tenant: str, summaries: list, metric: str,
+                    baseline: str | None, drift_share: float) -> list:
+    """Hot-path divergence against a baseline profile.
+
+    With an explicit *baseline* pid, every other profile is compared to
+    it; otherwise each group's first member (by creation time) anchors
+    its group, and ungrouped profiles are left alone.
+    """
+    by_pid = {s.pid: s for s in summaries}
+    pairs: list[tuple] = []  # (base, member)
+    if baseline is not None:
+        base = by_pid.get(baseline)
+        if base is None:
+            return []
+        pairs = [(base, s) for s in summaries if s.pid != base.pid]
+    else:
+        groups: dict[str, list] = {}
+        for s in summaries:
+            if s.group:
+                groups.setdefault(s.group, []).append(s)
+        for members in groups.values():
+            members = sorted(members, key=lambda s: (s.created_at, s.pid))
+            pairs.extend((members[0], m) for m in members[1:])
+
+    out = []
+    for base, member in pairs:
+        if not base.hot_names or not member.hot_names:
+            continue
+        shared = 0
+        for a, b in zip(base.hot_names, member.hot_names):
+            if a != b:
+                break
+            shared += 1
+        diverged = (shared < len(base.hot_names)
+                    or shared < len(member.hot_names))
+        share_delta = member.hotspot_share - base.hotspot_share
+        if not diverged and abs(share_delta) < drift_share:
+            continue
+        longest = max(len(base.hot_names), len(member.hot_names))
+        drift = 1.0 - (shared / longest if longest else 1.0)
+        if diverged:
+            detail = (
+                f"hot {metric} path diverged from baseline {base.pid} "
+                f"after {shared} shared frame(s): "
+                f"{' -> '.join(base.hot_names[-_PATH_TAIL:])} vs "
+                f"{' -> '.join(member.hot_names[-_PATH_TAIL:])}"
+            )
+        else:
+            detail = (
+                f"hotspot share moved {100 * share_delta:+.1f}% against "
+                f"baseline {base.pid} on an unchanged hot path "
+                f"({' -> '.join(member.hot_names[-_PATH_TAIL:])})"
+            )
+        out.append(Finding(
+            rule="hot-path-drift",
+            tenant=tenant,
+            profile=member.pid,
+            group=member.group,
+            detail=detail,
+            evidence={
+                "shared_frames": float(shared),
+                "baseline_depth": float(len(base.hot_names)),
+                "depth": float(len(member.hot_names)),
+                "hotspot_share_delta": share_delta,
+            },
+            severity=max(drift, abs(share_delta)),
+        ))
+    return out
+
+
+def diagnose_corpus(
+    corpus,
+    tenant: str,
+    *,
+    metric: str | None = None,
+    baseline: str | None = None,
+    rank_cov: float = 0.10,
+    scaling_floor: float = 0.8,
+    drift_share: float = 0.05,
+    salvage: bool = False,
+    checkpoint=None,
+) -> CorpusDiagnosis:
+    """Run the diagnosis rules over every profile of *tenant*.
+
+    Profiles stream one at a time — opened, reduced to scalars,
+    released — so memory stays flat regardless of corpus size.
+    *metric* defaults to the cycle counter when the first profile
+    carries it, otherwise to that profile's first metric; profiles
+    that do not carry the resolved metric are skipped (counted in
+    ``profiles_skipped``), so a mixed-measurement tenant still
+    diagnoses cleanly.  *checkpoint*, when given, is called between
+    profiles (the server passes its deadline check so a long corpus
+    cannot overrun the request budget).
+    """
+    entries = corpus.list(tenant)
+    summaries: list[_Summary] = []
+    findings: list[Finding] = []
+    skipped = 0
+    for entry in entries:
+        if checkpoint is not None:
+            checkpoint()
+        experiment = corpus.load(tenant, entry.pid, salvage=salvage)
+        try:
+            if metric is None:
+                metric = (CYCLES if CYCLES in experiment.metrics
+                          else next(iter(experiment.metrics)).name)
+            if metric not in experiment.metrics:
+                skipped += 1
+                continue
+            summary, extra = _summarize_one(entry, experiment, metric)
+            summaries.append(summary)
+            findings.extend(extra)
+            imbalance = _imbalance_finding(entry, experiment, metric, rank_cov)
+            if imbalance is not None:
+                findings.append(imbalance)
+        finally:
+            _release(experiment)
+
+    findings.extend(
+        _scaling_findings(tenant, summaries, metric, scaling_floor)
+    )
+    findings.extend(
+        _drift_findings(tenant, summaries, metric, baseline, drift_share)
+    )
+    findings.sort(key=lambda f: (-f.severity, f.rule, f.profile))
+    return CorpusDiagnosis(
+        tenant=tenant,
+        metric=metric or "",
+        findings=tuple(findings),
+        summaries=tuple(
+            (s.pid, s.group, s.nranks, s.total,
+             s.hot_names[-1] if s.hot_names else "", s.hotspot_share)
+            for s in summaries
+        ),
+        profiles_examined=len(summaries),
+        profiles_skipped=skipped,
+    )

@@ -1,0 +1,529 @@
+"""The call-path query language: patterns, predicates, and ``Query``.
+
+This module is the *surface* of ``repro.query`` — it defines what a
+query says, not how it runs (that is :mod:`repro.query.engine`).  A
+query composes four ingredients:
+
+* **path patterns** — a ``/``-separated chain of *steps*; each step
+  matches one CCT scope by name glob, category, and metric predicates,
+  and ``**`` matches any number of intermediate scopes::
+
+      main / * / {"name": "flux*", "category": "loop"}
+      parse_pattern('main / ** / flux*')
+
+  Patterns are unanchored: the first step may match anywhere in the
+  tree (start a pattern with the root's name or ``{"category":
+  "root"}`` to anchor it).
+
+* **metric predicates** — comparisons over any flavor of any metric,
+  including derived ones, written as dicts or compact strings::
+
+      {"metric": "CYCLES", "flavor": "exclusive", "op": ">=",
+       "value": 0.05, "share": True}
+      parse_predicate('CYCLES.exclusive >= 5%')
+
+  ``share`` (the ``%`` suffix) compares the scope's share of the
+  root's inclusive total instead of the absolute value.
+
+* **subtree operators** — ``match`` (select scopes ending a pattern),
+  ``filter`` (restrict the selection by predicate), ``prune`` (drop
+  matching subtrees from the universe), ``squash`` (re-parent the
+  selection to the nearest selected ancestor), ``groupby`` (aggregate
+  the selection by name / category / depth).
+
+* **result shaping** — ``select`` (which metric columns to
+  materialize), ``sort`` and ``limit``.
+
+Every query round-trips through a JSON-serializable spec
+(:meth:`Query.to_spec` / :meth:`Query.from_spec`) — the form the
+``POST /v1/query`` endpoint and the ``repro-query`` CLI speak.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.errors import QueryError
+
+__all__ = [
+    "ANY_DEPTH",
+    "GROUPBY_KEYS",
+    "MetricPred",
+    "Query",
+    "Step",
+    "parse_pattern",
+    "parse_predicate",
+    "query",
+]
+
+_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_FLAVORS = ("raw", "inclusive", "exclusive")
+
+#: keys :meth:`Query.groupby` accepts
+GROUPBY_KEYS = ("name", "category", "depth")
+
+
+class _AnyDepth:
+    """The ``**`` pattern element: any chain of intermediate scopes."""
+
+    _instance: "_AnyDepth | None" = None
+
+    def __new__(cls) -> "_AnyDepth":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "**"
+
+
+#: singleton marker for the ``**`` pattern segment
+ANY_DEPTH = _AnyDepth()
+
+
+# --------------------------------------------------------------------- #
+# predicates
+# --------------------------------------------------------------------- #
+_PRED_RE = re.compile(
+    r"^\s*(?P<metric>[^.<>=!\s]+)"
+    r"(?:\.(?P<flavor>raw|inclusive|exclusive))?"
+    r"\s*(?P<op><=|>=|==|!=|<|>)\s*"
+    r"(?P<value>[-+0-9.eE]+)\s*(?P<share>%?)\s*$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricPred:
+    """One metric comparison: ``metric.flavor OP value``.
+
+    ``share=True`` divides the scope's value by the root's *inclusive*
+    total of the same metric before comparing (and a ``value`` written
+    with a ``%`` suffix in the compact string form is divided by 100).
+    """
+
+    metric: str | int
+    op: str
+    value: float
+    flavor: str = "inclusive"
+    share: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryError(f"unknown predicate op {self.op!r} "
+                             f"(expected one of {', '.join(_OPS)})")
+        if self.flavor not in _FLAVORS:
+            raise QueryError(f"unknown metric flavor {self.flavor!r} "
+                             f"(expected one of {', '.join(_FLAVORS)})")
+
+    def to_spec(self) -> dict:
+        spec: dict = {"metric": self.metric, "op": self.op,
+                      "value": self.value}
+        if self.flavor != "inclusive":
+            spec["flavor"] = self.flavor
+        if self.share:
+            spec["share"] = True
+        return spec
+
+    @staticmethod
+    def from_spec(spec: "MetricPred | dict | str") -> "MetricPred":
+        if isinstance(spec, MetricPred):
+            return spec
+        if isinstance(spec, str):
+            return parse_predicate(spec)
+        if not isinstance(spec, dict):
+            raise QueryError(f"bad predicate spec: {spec!r}")
+        unknown = set(spec) - {"metric", "op", "value", "flavor", "share"}
+        if unknown:
+            raise QueryError(
+                f"unknown predicate key(s): {', '.join(sorted(unknown))}")
+        try:
+            metric = spec["metric"]
+            op = spec["op"]
+            value = spec["value"]
+        except KeyError as exc:
+            raise QueryError(
+                f"predicate spec is missing {exc.args[0]!r}") from None
+        if not isinstance(metric, (str, int)) or isinstance(metric, bool):
+            raise QueryError("predicate 'metric' must be a name or id")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise QueryError("predicate 'value' must be a number")
+        return MetricPred(
+            metric=metric, op=str(op), value=float(value),
+            flavor=str(spec.get("flavor", "inclusive")),
+            share=bool(spec.get("share", False)),
+        )
+
+
+def parse_predicate(text: str) -> MetricPred:
+    """Parse the compact form, e.g. ``'CYCLES.exclusive >= 5%'``."""
+    match = _PRED_RE.match(text)
+    if match is None:
+        raise QueryError(
+            f"cannot parse predicate {text!r} "
+            f"(expected 'METRIC[.flavor] OP VALUE[%]')")
+    share = match.group("share") == "%"
+    try:
+        value = float(match.group("value"))
+    except ValueError:
+        raise QueryError(
+            f"bad predicate value {match.group('value')!r}") from None
+    return MetricPred(
+        metric=match.group("metric"),
+        flavor=match.group("flavor") or "inclusive",
+        op=match.group("op"),
+        value=value / 100.0 if share else value,
+        share=share,
+    )
+
+
+# --------------------------------------------------------------------- #
+# pattern steps
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One pattern step: a name glob + optional category + predicates."""
+
+    name: str = "*"
+    category: tuple[str, ...] = ()
+    where: tuple[MetricPred, ...] = ()
+
+    def to_spec(self) -> "dict | str":
+        if not self.category and not self.where:
+            return self.name
+        spec: dict = {}
+        if self.name != "*":
+            spec["name"] = self.name
+        if self.category:
+            spec["category"] = (self.category[0] if len(self.category) == 1
+                                else list(self.category))
+        if self.where:
+            spec["where"] = [p.to_spec() for p in self.where]
+        return spec
+
+    @staticmethod
+    def from_spec(spec: "Step | dict | str") -> "Step | _AnyDepth":
+        if isinstance(spec, Step):
+            return spec
+        if spec is ANY_DEPTH or spec == "**":
+            return ANY_DEPTH
+        if isinstance(spec, str):
+            return Step(name=spec or "*")
+        if not isinstance(spec, dict):
+            raise QueryError(f"bad pattern step: {spec!r}")
+        unknown = set(spec) - {"name", "category", "where"}
+        if unknown:
+            raise QueryError(
+                f"unknown step key(s): {', '.join(sorted(unknown))}")
+        category = spec.get("category") or ()
+        if isinstance(category, str):
+            category = (category,)
+        elif isinstance(category, (list, tuple)):
+            category = tuple(str(c) for c in category)
+        else:
+            raise QueryError("step 'category' must be a string or list")
+        where = spec.get("where") or ()
+        if isinstance(where, (dict, str, MetricPred)):
+            where = (where,)
+        return Step(
+            name=str(spec.get("name", "*")) or "*",
+            category=category,
+            where=tuple(MetricPred.from_spec(p) for p in where),
+        )
+
+
+Pattern = tuple  # of Step | ANY_DEPTH
+
+
+def _split_segments(text: str) -> list[str]:
+    """Split a pattern string on ``/`` outside braces and quotes."""
+    segments: list[str] = []
+    buf: list[str] = []
+    depth = 0
+    quote: str | None = None
+    for ch in text:
+        if quote is not None:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+            buf.append(ch)
+        elif ch == "{":
+            depth += 1
+            buf.append(ch)
+        elif ch == "}":
+            depth -= 1
+            buf.append(ch)
+        elif ch == "/" and depth == 0:
+            segments.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if quote is not None or depth != 0:
+        raise QueryError(f"unbalanced quotes or braces in pattern {text!r}")
+    segments.append("".join(buf))
+    return segments
+
+
+def parse_pattern(pattern) -> Pattern:
+    """Normalize any accepted pattern form into a tuple of steps.
+
+    Accepts a string (``'main / ** / flux*'``, JSON-object segments
+    allowed), a single step (str / dict / :class:`Step`), or a
+    sequence of steps.
+    """
+    if isinstance(pattern, str):
+        parts: list = []
+        for segment in _split_segments(pattern):
+            segment = segment.strip()
+            if not segment:
+                raise QueryError(f"empty segment in pattern {pattern!r}")
+            if segment.startswith("{"):
+                try:
+                    parts.append(json.loads(segment))
+                except json.JSONDecodeError as exc:
+                    raise QueryError(
+                        f"bad JSON step {segment!r}: {exc}") from None
+            else:
+                parts.append(segment)
+        pattern = parts
+    elif isinstance(pattern, (Step, dict)) or pattern is ANY_DEPTH:
+        pattern = [pattern]
+    elif not isinstance(pattern, (list, tuple)):
+        raise QueryError(f"bad pattern: {pattern!r}")
+    if not pattern:
+        raise QueryError("empty pattern")
+    steps = tuple(Step.from_spec(s) for s in pattern)
+    if all(s is ANY_DEPTH for s in steps):
+        raise QueryError("pattern needs at least one concrete step")
+    for a, b in zip(steps, steps[1:]):
+        if a is ANY_DEPTH and b is ANY_DEPTH:
+            raise QueryError("consecutive '**' segments are redundant")
+    return steps
+
+
+def _pattern_spec(steps: Pattern) -> list:
+    return ["**" if s is ANY_DEPTH else s.to_spec() for s in steps]
+
+
+# --------------------------------------------------------------------- #
+# the query itself
+# --------------------------------------------------------------------- #
+_OP_KINDS = ("match", "filter", "prune", "squash", "groupby")
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """An immutable, composable call-path query.
+
+    Build one with :func:`query` and chain operators; every method
+    returns a new query.  :meth:`run` evaluates it against an
+    experiment (in-memory, ``.rpdb``-loaded, or ``.rpstore``-backed),
+    an :class:`~repro.core.ensemble.EnsembleView` member, or a view.
+
+    >>> q = (query('main / ** / {"category": "loop"}')
+    ...      .where('CYCLES.exclusive >= 2%')
+    ...      .sort('CYCLES', 'exclusive')
+    ...      .limit(10))
+    >>> result = q.run(experiment)        # doctest: +SKIP
+    >>> result.to_columns()               # doctest: +SKIP
+    """
+
+    ops: tuple = ()
+    metrics: tuple | None = None
+    flavors: tuple = ("inclusive", "exclusive")
+    sort_by: tuple | None = None
+    row_limit: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # operators
+    # ------------------------------------------------------------------ #
+    def match(self, pattern) -> "Query":
+        """Select scopes at the end of a matching path."""
+        return replace(self, ops=self.ops + (("match", parse_pattern(pattern)),))
+
+    def filter(self, *predicates, name: str | None = None,
+               category=None) -> "Query":
+        """Restrict the current selection by predicate / name / category."""
+        step = Step.from_spec({
+            "name": name or "*",
+            "category": category or (),
+            "where": [MetricPred.from_spec(p) for p in predicates],
+        })
+        if step == Step():
+            raise QueryError("filter() needs a predicate, name, or category")
+        return replace(self, ops=self.ops + (("filter", step),))
+
+    #: predicate-only filters read naturally as ``.where(...)``
+    where = filter
+
+    def prune(self, pattern) -> "Query":
+        """Remove matching scopes *and their subtrees* from the universe."""
+        return replace(self, ops=self.ops + (("prune", parse_pattern(pattern)),))
+
+    def squash(self) -> "Query":
+        """Re-parent selected scopes to their nearest selected ancestor."""
+        return replace(self, ops=self.ops + (("squash", None),))
+
+    def groupby(self, key: str = "name") -> "Query":
+        """Aggregate the selection by ``name``, ``category``, or ``depth``."""
+        if key not in GROUPBY_KEYS:
+            raise QueryError(f"unknown groupby key {key!r} "
+                             f"(expected one of {', '.join(GROUPBY_KEYS)})")
+        return replace(self, ops=self.ops + (("groupby", key),))
+
+    # ------------------------------------------------------------------ #
+    # result shaping
+    # ------------------------------------------------------------------ #
+    def select(self, metrics=None, flavors=None) -> "Query":
+        """Choose the metric columns the result materializes.
+
+        ``metrics`` is a sequence of metric names/ids (None = every
+        metric in the table); ``flavors`` a subset of ``raw`` /
+        ``inclusive`` / ``exclusive``.
+        """
+        if metrics is not None:
+            if isinstance(metrics, (str, int)):
+                metrics = (metrics,)
+            metrics = tuple(metrics)
+            for m in metrics:
+                if not isinstance(m, (str, int)) or isinstance(m, bool):
+                    raise QueryError(f"bad metric selector {m!r}")
+        if flavors is None:
+            flavors = self.flavors
+        else:
+            if isinstance(flavors, str):
+                flavors = (flavors,)
+            flavors = tuple(flavors)
+            for f in flavors:
+                if f not in _FLAVORS:
+                    raise QueryError(f"unknown metric flavor {f!r}")
+            if not flavors:
+                raise QueryError("select() needs at least one flavor")
+        return replace(self, metrics=metrics, flavors=flavors)
+
+    def sort(self, metric=None, flavor: str = "inclusive",
+             descending: bool = True) -> "Query":
+        """Sort rows by a metric column (None = the first selected one)."""
+        if flavor not in _FLAVORS:
+            raise QueryError(f"unknown metric flavor {flavor!r}")
+        return replace(self, sort_by=(metric, flavor, bool(descending)))
+
+    def limit(self, n: int) -> "Query":
+        """Keep only the first *n* rows (after sorting)."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise QueryError(f"limit must be a positive integer, got {n!r}")
+        return replace(self, row_limit=n)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def run(self, target):
+        """Evaluate against an experiment, ensemble member, or view."""
+        from repro.query.engine import run_query  # circular-import guard
+
+        return run_query(self, target)
+
+    # ------------------------------------------------------------------ #
+    # wire form
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> dict:
+        """A JSON-serializable spec; inverse of :meth:`from_spec`."""
+        ops = []
+        for kind, payload in self.ops:
+            if kind in ("match", "prune"):
+                ops.append({"op": kind, "pattern": _pattern_spec(payload)})
+            elif kind == "filter":
+                entry: dict = {"op": "filter"}
+                if payload.name != "*":
+                    entry["name"] = payload.name
+                if payload.category:
+                    entry["category"] = list(payload.category)
+                if payload.where:
+                    entry["where"] = [p.to_spec() for p in payload.where]
+                ops.append(entry)
+            elif kind == "squash":
+                ops.append({"op": "squash"})
+            else:
+                ops.append({"op": "groupby", "key": payload})
+        spec: dict = {"ops": ops}
+        if self.metrics is not None:
+            spec["metrics"] = list(self.metrics)
+        if self.flavors != ("inclusive", "exclusive"):
+            spec["flavors"] = list(self.flavors)
+        if self.sort_by is not None:
+            metric, flavor, descending = self.sort_by
+            spec["sort"] = {"metric": metric, "flavor": flavor,
+                            "descending": descending}
+        if self.row_limit is not None:
+            spec["limit"] = self.row_limit
+        return spec
+
+    @staticmethod
+    def from_spec(spec: "Query | dict | str") -> "Query":
+        """Build a query from a spec dict (or a bare pattern string)."""
+        if isinstance(spec, Query):
+            return spec
+        if isinstance(spec, str):
+            return query(spec)
+        if not isinstance(spec, dict):
+            raise QueryError(f"bad query spec: {spec!r}")
+        known = {"ops", "pattern", "where", "metrics", "flavors",
+                 "sort", "limit"}
+        unknown = set(spec) - known
+        if unknown:
+            raise QueryError(
+                f"unknown query key(s): {', '.join(sorted(unknown))}")
+        q = Query()
+        if "pattern" in spec:
+            q = q.match(spec["pattern"])
+        if spec.get("where"):
+            where = spec["where"]
+            if isinstance(where, (dict, str)):
+                where = [where]
+            q = q.filter(*where)
+        for entry in spec.get("ops") or ():
+            if not isinstance(entry, dict) or "op" not in entry:
+                raise QueryError(f"bad op entry: {entry!r}")
+            kind = entry["op"]
+            if kind == "match":
+                q = q.match(entry.get("pattern"))
+            elif kind == "prune":
+                q = q.prune(entry.get("pattern"))
+            elif kind == "filter":
+                where = entry.get("where") or ()
+                if isinstance(where, (dict, str)):
+                    where = [where]
+                q = q.filter(*where, name=entry.get("name"),
+                             category=entry.get("category"))
+            elif kind == "squash":
+                q = q.squash()
+            elif kind == "groupby":
+                q = q.groupby(entry.get("key", "name"))
+            else:
+                raise QueryError(
+                    f"unknown op {kind!r} "
+                    f"(expected one of {', '.join(_OP_KINDS)})")
+        if spec.get("metrics") is not None or spec.get("flavors") is not None:
+            q = q.select(spec.get("metrics"), spec.get("flavors"))
+        if spec.get("sort") is not None:
+            sort = spec["sort"]
+            if not isinstance(sort, dict):
+                raise QueryError("query 'sort' must be an object")
+            q = q.sort(sort.get("metric"),
+                       sort.get("flavor", "inclusive"),
+                       bool(sort.get("descending", True)))
+        if spec.get("limit") is not None:
+            q = q.limit(spec["limit"])
+        return q
+
+
+def query(pattern=None) -> Query:
+    """Start a query, optionally matching a path pattern right away."""
+    q = Query()
+    if pattern is not None:
+        q = q.match(pattern)
+    return q

@@ -1,0 +1,107 @@
+"""Columnar query results: dataframe-shaped, no pandas dependency.
+
+A :class:`QueryResult` is a small frozen table: one row per selected
+scope (or per group, after ``groupby``), a ``name`` / ``depth`` /
+``category`` spine, and one float64 column per selected metric flavor.
+The value matrix is gathered straight from the
+:class:`~repro.core.engine.MetricEngine` matrices, so the same query
+over an in-memory experiment, a loaded ``.rpdb``, and an mmap-backed
+``.rpstore`` produces bit-identical bytes — the property battery pins
+this.
+
+``to_rows()`` / ``to_columns()`` are the notebook surface
+(``pandas.DataFrame(result.to_columns())`` works directly);
+``to_snapshot()`` adapts a result to the server's
+:class:`~repro.server.wire.TableSnapshot` so ``POST /v1/query`` reuses
+the existing columnar wire format unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The materialized outcome of one query over one profile."""
+
+    #: scope (or group-key) display name per row
+    names: tuple[str, ...]
+    #: tree depth per row (squashed depth after ``squash``; 0 for groups)
+    depths: np.ndarray
+    #: one label per value column, e.g. ``"CYCLES (I)"``
+    labels: tuple[str, ...]
+    #: float64 value matrix, shape ``(len(names), len(labels))``
+    values: np.ndarray
+    #: scope category per row ("" when not applicable)
+    categories: tuple[str, ...] = ()
+    #: engine preorder row per scope (absent after ``groupby``)
+    rows: np.ndarray | None = None
+    #: result-relative parent index per row (-1 = top level; only
+    #: populated by ``squash``)
+    parents: np.ndarray | None = None
+    #: rows dropped by ``limit``
+    truncated: int = 0
+
+    @property
+    def row_count(self) -> int:
+        return len(self.names)
+
+    # ------------------------------------------------------------------ #
+    # notebook surface
+    # ------------------------------------------------------------------ #
+    def to_columns(self) -> dict:
+        """Column name -> list, in a stable column order."""
+        out: dict = {
+            "name": list(self.names),
+            "depth": [int(d) for d in self.depths],
+        }
+        if self.categories:
+            out["category"] = list(self.categories)
+        if self.rows is not None:
+            out["row"] = [int(r) for r in self.rows]
+        if self.parents is not None:
+            out["parent"] = [int(p) for p in self.parents]
+        for j, label in enumerate(self.labels):
+            out[label] = [float(v) for v in self.values[:, j]]
+        return out
+
+    def to_rows(self) -> list[list]:
+        """``[name, depth, *values]`` per row — the wire row shape."""
+        return [
+            [name, int(depth), *(float(v) for v in row)]
+            for name, depth, row in zip(self.names, self.depths, self.values)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # wire adaptation
+    # ------------------------------------------------------------------ #
+    def to_snapshot(self, generation: int = 0):
+        """Adapt to a :class:`~repro.server.wire.TableSnapshot`.
+
+        The snapshot's ``view`` slot is ``"query"``; everything else —
+        JSON payload shape, columnar framing, decode parity — is the
+        ``/table`` machinery reused verbatim.
+        """
+        from repro.server.wire import TableSnapshot  # avoid a hard dep
+
+        return TableSnapshot(
+            view="query",
+            generation=generation,
+            names=self.names,
+            depths=np.ascontiguousarray(self.depths, dtype=np.int64),
+            labels=self.labels,
+            values=np.ascontiguousarray(self.values, dtype=np.float64),
+            truncated=self.truncated,
+        )
+
+    def to_payload(self, session: str = "") -> dict:
+        """The JSON wire payload (same shape as ``GET /table``)."""
+        payload = self.to_snapshot().to_json_payload(session)
+        if self.categories:
+            payload["categories"] = list(self.categories)
+        return payload

@@ -1,0 +1,281 @@
+"""Advisor rules, expressed as queries over the metric engine.
+
+Section IX of the paper lists as ongoing work "identifying data reuse
+patterns and suggesting program transformations to improve program
+performance".  The rule set lives here now: each rule is the
+materialization of one call-path query — the loop rules are
+``query('{"category": ["loop", "inlined"]}')`` over the flat view with
+vectorized threshold masks, the imbalance rule reduces the per-rank
+engine vectors, the context rule scans callers-view roots — and each
+fires a :class:`Suggestion` carrying the scope, evidence values, and
+the transformation the Figure 6 case study actually applied.
+
+``repro.core.advisor`` remains the public entry point (a thin shim over
+this module); suggestions are bit-identical to the original per-node
+implementation, in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.views import NodeCategory
+from repro.hpcrun.counters import CYCLES, FLOPS, L1_DCM
+from repro.query.engine import ViewFrame
+
+__all__ = [
+    "Suggestion",
+    "context_rule",
+    "imbalance_rule",
+    "loop_rules",
+    "run_rules",
+]
+
+#: effectively unbounded walk — the legacy advisor never capped its own
+#: traversal, so neither do the rules
+_NO_CAP = 1 << 62
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One tuning opportunity with its evidence."""
+
+    rule: str
+    scope: str
+    location: str
+    transformation: str
+    evidence: dict[str, float]
+    #: estimated share of total cycles touched by the scope
+    impact: float
+
+    def describe(self) -> str:
+        facts = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self.evidence.items()))
+        return (
+            f"[{self.rule}] {self.scope} ({self.location}; "
+            f"~{100 * self.impact:.1f}% of cycles)\n"
+            f"    -> {self.transformation}\n"
+            f"    evidence: {facts}"
+        )
+
+
+def _metric(experiment, name: str) -> int | None:
+    return (experiment.metrics.by_name(name).mid
+            if name in experiment.metrics else None)
+
+
+# --------------------------------------------------------------------- #
+# loop rules: memory-bound / low-efficiency / already-tight
+# --------------------------------------------------------------------- #
+def loop_rules(
+    experiment,
+    peak: float,
+    *,
+    min_impact: float,
+    memory_bound_miss_rate: float,
+    low_efficiency: float,
+    tight_efficiency: float,
+) -> list[Suggestion]:
+    """The three loop rules, vectorized over the flat view.
+
+    Query form: ``query('{"category": ["loop", "inlined"]}')`` with an
+    exclusive-cycles impact floor; the efficiency / miss-rate evidence
+    columns are computed as whole arrays, and only the (few) scopes
+    that clear the impact threshold surface as suggestions.
+    """
+    cyc = _metric(experiment, CYCLES)
+    if cyc is None:
+        return []
+    fl = _metric(experiment, FLOPS)
+    l1 = _metric(experiment, L1_DCM)
+    total = experiment.cct.root.inclusive.get(cyc, 0.0)
+    if total <= 0:
+        return []
+
+    frame = ViewFrame(experiment.flat_view(), max_nodes=_NO_CAP)
+    mask = frame.category_mask(
+        (NodeCategory.LOOP.value, NodeCategory.INLINED.value)
+    )
+    rows = np.flatnonzero(mask)  # preorder == the legacy walk order
+    if not len(rows):
+        return []
+
+    cycles = frame.column(cyc, "exclusive")[rows]
+    impact = cycles / total
+    hot = impact >= min_impact
+    rows, cycles, impact = rows[hot], cycles[hot], impact[hot]
+    if not len(rows):
+        return []
+
+    zeros = np.zeros(len(rows))
+    flops = frame.column(fl, "exclusive")[rows] if fl is not None else zeros
+    misses = frame.column(l1, "exclusive")[rows] if l1 is not None else zeros
+    nonzero = cycles != 0.0
+    efficiency = np.divide(flops, peak * cycles,
+                           out=np.zeros(len(rows)), where=nonzero)
+    miss_rate = np.divide(misses, cycles,
+                          out=np.zeros(len(rows)), where=nonzero)
+
+    out: list[Suggestion] = []
+    for i, row in enumerate(rows):
+        loop = frame.nodes[row]
+        location = str(loop.struct.location) if loop.struct else loop.name
+        eff = float(efficiency[i])
+        if l1 is not None and miss_rate[i] >= memory_bound_miss_rate \
+                and eff < low_efficiency:
+            out.append(Suggestion(
+                rule="memory-bound-loop",
+                scope=loop.name,
+                location=location,
+                transformation=(
+                    "streaming through the memory hierarchy: exploit "
+                    "data reuse in cache via loop scalarization, fusion, "
+                    "unswitching, and unroll-and-jam (the Figure 6 fix)"
+                ),
+                evidence={"efficiency": eff,
+                          "l1_misses_per_cycle": float(miss_rate[i])},
+                impact=float(impact[i]),
+            ))
+        elif fl is not None and 0 < eff < low_efficiency:
+            out.append(Suggestion(
+                rule="low-efficiency-compute",
+                scope=loop.name,
+                location=location,
+                transformation=(
+                    "far from peak without being cache-bound: check "
+                    "vectorization, dependence chains, and instruction mix"
+                ),
+                evidence={"efficiency": eff},
+                impact=float(impact[i]),
+            ))
+        elif fl is not None and eff >= tight_efficiency:
+            out.append(Suggestion(
+                rule="already-tight",
+                scope=loop.name,
+                location=location,
+                transformation=(
+                    "running near achievable rate; prefer algorithmic "
+                    "changes (fewer calls, batched/vectorized variants) "
+                    "over micro-tuning"
+                ),
+                evidence={"efficiency": eff},
+                impact=float(impact[i]),
+            ))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# load imbalance: per-rank engine-vector reduction
+# --------------------------------------------------------------------- #
+def imbalance_rule(experiment, *, imbalance_cov: float) -> list[Suggestion]:
+    """Whole-execution load imbalance from the per-rank cycle vectors."""
+    cyc = _metric(experiment, CYCLES)
+    if cyc is None or not experiment.rank_ccts:
+        return []
+    vec = experiment.rank_vector(experiment.cct.root, CYCLES)
+    mean = float(vec.mean())
+    if mean <= 0:
+        return []
+    cov = float(vec.std() / mean)
+    if cov < imbalance_cov:
+        return []
+    # localize: hot path on idleness if present, else on max-rank cycles
+    idle_name = next(
+        (d.name for d in experiment.metrics if "idle" in d.name.lower()), None
+    )
+    context = ""
+    if idle_name is not None and experiment.total(idle_name) > 0:
+        result = experiment.hot_path(idle_name)
+        context = " -> ".join(n.name for n in result.path[-3:])
+    return [Suggestion(
+        rule="load-imbalance",
+        scope="<whole execution>",
+        location=context or "per-rank totals",
+        transformation=(
+            "uneven work across ranks: repartition the domain (weight "
+            "by measured per-cell cost) or over-decompose and balance "
+            "dynamically"
+        ),
+        evidence={"cov": cov,
+                  "max_over_mean": float(vec.max() / mean)},
+        impact=float((vec.max() - mean) / vec.sum() * len(vec)),
+    )]
+
+
+# --------------------------------------------------------------------- #
+# context concentration: callers-view root scan
+# --------------------------------------------------------------------- #
+def context_rule(experiment, *, min_impact: float) -> list[Suggestion]:
+    """Callees whose cost is wildly context-dependent: specialization
+    or caller-side fixes beat tuning the callee in isolation.
+
+    Query form: callers-view roots filtered on
+    ``CYCLES.inclusive >= 2 * min_impact`` share; the roots' values are
+    gathered in one batch, and only qualifying procedures expand their
+    (lazy) calling contexts.
+    """
+    from repro.core.metrics import MetricFlavor, MetricSpec
+
+    cyc = _metric(experiment, CYCLES)
+    if cyc is None:
+        return []
+    total = experiment.cct.root.inclusive.get(cyc, 0.0)
+    if total <= 0:
+        return []
+    out: list[Suggestion] = []
+    callers = experiment.callers_view()
+    roots = list(callers.roots)
+    if not roots:
+        return []
+    spec = MetricSpec(cyc, MetricFlavor.INCLUSIVE)
+    values = callers.gather_columns(roots, [spec])[:, 0]
+    for row, value in zip(roots, values):
+        value = float(value)
+        if value / total < 2 * min_impact:
+            continue
+        shares = np.array([
+            c.inclusive.get(cyc, 0.0) for c in row.children
+        ])
+        if len(shares) < 2 or shares.sum() <= 0:
+            continue
+        top = float(shares.max() / shares.sum())
+        if top >= 0.9:
+            out.append(Suggestion(
+                rule="single-context-callee",
+                scope=row.name,
+                location=f"{len(shares)} calling contexts",
+                transformation=(
+                    "one caller dominates this procedure's cost: tune "
+                    "that call path (or inline/specialize for it) rather "
+                    "than the procedure in general"
+                ),
+                evidence={"dominant_context_share": top},
+                impact=value / total,
+            ))
+    return out
+
+
+def run_rules(
+    experiment,
+    peak: float,
+    *,
+    min_impact: float,
+    memory_bound_miss_rate: float,
+    low_efficiency: float,
+    tight_efficiency: float,
+    imbalance_cov: float,
+) -> list[Suggestion]:
+    """All rules over one experiment, highest impact first."""
+    out: list[Suggestion] = []
+    out.extend(loop_rules(
+        experiment, peak,
+        min_impact=min_impact,
+        memory_bound_miss_rate=memory_bound_miss_rate,
+        low_efficiency=low_efficiency,
+        tight_efficiency=tight_efficiency,
+    ))
+    out.extend(imbalance_rule(experiment, imbalance_cov=imbalance_cov))
+    out.extend(context_rule(experiment, min_impact=min_impact))
+    out.sort(key=lambda s: -s.impact)
+    return out

@@ -98,6 +98,7 @@ from repro.server.schema import (
     ProfileInfo,
     ProfileIngested,
     ProfileList,
+    QueryRequest,
     RawBody,
     RenderRequest,
     RenderResponse,
@@ -401,6 +402,7 @@ class AnalysisApp:
             scope_budget=scope_budget,
             clock=clock,
             on_evict=self._on_evict,
+            on_adopt=self._on_adopt,
         )
         self.cache = RenderCache(cache_size)
         self.max_body = max_body
@@ -447,6 +449,27 @@ class AnalysisApp:
         """Evicted sessions leave no cache residue (same path as close)."""
         self.cache.invalidate_session(handle.sid)
         self._unpin_profile(handle)
+
+    def _on_adopt(self, handle: SessionHandle, spec: dict) -> None:
+        """Re-establish corpus state after adopting a sibling's session.
+
+        The pin file on disk still names the worker that opened the
+        profile; if that worker crashed, the pin is stale and the next
+        eviction scan would reap it.  Refreshing rewrites the pin to
+        this process, so a quota'd tenant cannot evict a profile out
+        from under a live adopted session.
+        """
+        provenance = spec.get("corpus")
+        if provenance is None or self.corpus is None:
+            return
+        tenant, pid = provenance.get("tenant"), provenance.get("id")
+        if not tenant or not pid:
+            return
+        try:
+            self.corpus.pin(tenant, pid, handle.sid, refresh=True)
+        except ReproError:  # profile already evicted: nothing to protect
+            return
+        handle.corpus_pin = (tenant, pid, handle.sid)
 
     def _unpin_profile(self, handle) -> None:
         """Release the corpus pin of a session opened by profile id."""
@@ -1126,6 +1149,96 @@ class AnalysisApp:
         return 201, payload
 
     # ------------------------------------------------------------------ #
+    # query endpoint
+    # ------------------------------------------------------------------ #
+    def _ep_query(
+        self, params: dict, body: dict
+    ) -> tuple[int, dict | BinaryBody]:
+        """Run a call-path query or a corpus diagnosis.
+
+        Single-target queries (a session, or one corpus profile)
+        negotiate the columnar wire format like ``/table``; the
+        corpus-sweep and diagnosis forms are JSON-only (their result is
+        per-profile, not one table).  Corpus forms stream profiles one
+        at a time and honor the request deadline between profiles.
+        """
+        from repro.server.deadline import checkpoint
+
+        req = QueryRequest.from_body(body)
+        columnar = accepts_columnar(params.get("_accept"))
+
+        if req.session is not None:
+            from repro.query import Query, run_query
+
+            q = Query.from_spec(req.query)
+            handle = self.registry.get(req.session)
+            with handle.lock:
+                result = run_query(q, handle.session.experiment)
+            if columnar:
+                return 200, BinaryBody(
+                    COLUMNAR_CONTENT_TYPE,
+                    encode_columnar(result.to_snapshot(handle.generation)),
+                )
+            return 200, result.to_payload(handle.sid)
+
+        corpus = self._corpus_or_404()
+        if req.diagnose:
+            from repro.query import diagnose_corpus
+
+            diagnosis = diagnose_corpus(
+                corpus, req.tenant,
+                metric=req.metric, baseline=req.baseline,
+                rank_cov=req.rank_cov, scaling_floor=req.scaling_floor,
+                drift_share=req.drift_share, salvage=req.salvage,
+                checkpoint=lambda: checkpoint("diagnose"),
+            )
+            return 200, diagnosis.to_payload()
+
+        from repro.query import Query, run_query
+
+        q = Query.from_spec(req.query)
+        if req.profile is not None:
+            experiment = corpus.load(
+                req.tenant, req.profile, salvage=req.salvage
+            )
+            try:
+                result = run_query(q, experiment)
+            finally:
+                release = getattr(experiment, "release", None)
+                if release is not None:
+                    release()
+            if columnar:
+                return 200, BinaryBody(
+                    COLUMNAR_CONTENT_TYPE,
+                    encode_columnar(result.to_snapshot()),
+                )
+            payload = result.to_payload()
+            payload["tenant"] = req.tenant
+            payload["profile"] = req.profile
+            return 200, payload
+
+        # corpus sweep: the query runs over every committed profile of
+        # the tenant, one streamed (and released) experiment at a time
+        profiles = []
+        for entry in corpus.list(req.tenant):
+            checkpoint("query")
+            experiment = corpus.load(
+                req.tenant, entry.pid, salvage=req.salvage
+            )
+            try:
+                result = run_query(q, experiment)
+            finally:
+                release = getattr(experiment, "release", None)
+                if release is not None:
+                    release()
+            table = result.to_payload()
+            table["profile"] = entry.pid
+            if entry.group:
+                table["group"] = entry.group
+            profiles.append(table)
+        return 200, {"tenant": req.tenant, "profiles": profiles}
+
+    # ------------------------------------------------------------------ #
     # corpus endpoints
     # ------------------------------------------------------------------ #
     def _corpus_or_404(self):
@@ -1216,7 +1329,11 @@ class AnalysisApp:
         tenant, pid = params["tenant"], params["pid"]
         entry = corpus.verify(tenant, pid)
         path = corpus.profile_path(tenant, pid)
-        handle = self.registry.open_database(path, strict=not req.salvage)
+        handle = self.registry.open_database(
+            path, strict=not req.salvage,
+            corpus={"tenant": tenant, "id": pid},
+            sid_request=req.sid,
+        )
         try:
             corpus.pin(tenant, pid, handle.sid)
         except ReproError:

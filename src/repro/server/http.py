@@ -40,6 +40,9 @@ __all__ = ["AnalysisRequestHandler", "AnalysisServer", "build_server", "main"]
 #: the session id a request path addresses, for pool-mode affinity checks
 #: (must agree with the parent's routing regex in repro.server.pool)
 _POOL_SID_RE = re.compile(r"^(?:/v1)?/sessions/([^/?]+)")
+#: corpus open-by-id with its claimed sid in the query string — affinity
+#: follows the sid, like the parent's _CORPUS_SID_RE
+_POOL_CORPUS_SID_RE = re.compile(r"^(?:/v1)?/corpus/[^ ]*[?&]sid=([^&#]+)")
 
 
 class AnalysisRequestHandler(BaseHTTPRequestHandler):
@@ -76,7 +79,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         slot = getattr(self.server, "affinity_slot", None)
         if slot is None:
             return True  # single-process server: no routing to protect
-        match = _POOL_SID_RE.match(self.path)
+        match = (_POOL_SID_RE.match(self.path)
+                 or _POOL_CORPUS_SID_RE.match(self.path))
         owned = (
             match is not None
             and zlib.crc32(match.group(1).encode("latin-1"))

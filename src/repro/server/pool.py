@@ -86,6 +86,11 @@ _POOL_PATHS = frozenset(
 )
 
 _SID_RE = re.compile(rb"^[A-Z]+ (?:/v1)?/sessions/([^/ ?]+)")
+#: corpus open-by-id carrying its session id as a query parameter —
+#: routed to the sid's affinity worker so the open and every follow-up
+#: /sessions/<sid>/... request land on the same process (one pin owner,
+#: one resident experiment, no adoption churn)
+_CORPUS_SID_RE = re.compile(rb"^[A-Z]+ (?:/v1)?/corpus/[^ ]*[?&]sid=([^&# ]+)")
 _PATH_RE = re.compile(rb"^[A-Z]+ ([^ ?]+)")
 
 
@@ -541,7 +546,7 @@ class ServerPool:
         return data
 
     def _pick_slot(self, head: bytes) -> int:
-        match = _SID_RE.match(head)
+        match = _SID_RE.match(head) or _CORPUS_SID_RE.match(head)
         if match:
             return zlib.crc32(match.group(1)) % self.num_workers
         with self._rr_lock:

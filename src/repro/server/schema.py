@@ -593,15 +593,104 @@ class CorpusSearchRequest(_Request):
 
 
 @dataclass(frozen=True)
+class QueryRequest(_Request):
+    """``GET/POST /v1/query`` — run a call-path query or a diagnosis.
+
+    The target is exactly one of ``session`` (an open session) or
+    ``tenant`` (the profile corpus).  Corpus targets take three forms:
+    with ``profile``, one stored profile is opened, queried, and
+    released; with ``diagnose``, the rule set (load imbalance, scaling
+    loss, hot-path drift) streams over every profile of the tenant one
+    at a time; otherwise the query itself streams over every profile
+    and the response carries one result table per profile.  ``query``
+    is the :meth:`repro.query.Query.to_spec` shape (a bare string is
+    accepted as ``{"pattern": ...}``).
+    """
+
+    session: str | None
+    tenant: str | None
+    profile: str | None
+    query: dict | None
+    diagnose: bool
+    metric: str | None
+    baseline: str | None
+    rank_cov: float
+    scaling_floor: float
+    drift_share: float
+    salvage: bool
+
+    FIELDS = (
+        FieldSpec("session", str, default=None,
+                  doc="open session id to query"),
+        FieldSpec("tenant", str, default=None,
+                  doc="corpus tenant to query (corpus mode)"),
+        FieldSpec("profile", str, default=None,
+                  doc="corpus profile id (with 'tenant': query one "
+                      "stored profile instead of the whole tenant)"),
+        FieldSpec("query", dict, default=None,
+                  doc="query spec (repro.query Query.to_spec() shape; "
+                      "a bare pattern string is accepted)"),
+        FieldSpec("diagnose", bool, default=False,
+                  doc="corpus mode: run the diagnosis rules over the "
+                      "tenant instead of a query"),
+        FieldSpec("metric", str, default=None,
+                  doc="diagnosis metric (default: the cycle counter of "
+                      "the first profile, else its first metric)"),
+        FieldSpec("baseline", str, default=None,
+                  doc="diagnosis hot-path baseline profile id (default: "
+                      "each group's first member)"),
+        FieldSpec("rank_cov", float, default=0.10, lo=0.0,
+                  doc="load-imbalance coefficient-of-variation threshold"),
+        FieldSpec("scaling_floor", float, default=0.8, lo=0.0, hi=1.0,
+                  doc="scaling-loss parallel-efficiency floor"),
+        FieldSpec("drift_share", float, default=0.05, lo=0.0, hi=1.0,
+                  doc="hot-path drift hotspot-share threshold"),
+        FieldSpec("salvage", bool, default=False,
+                  doc="salvage stored payloads that no longer load "
+                      "strictly"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "QueryRequest":
+        if isinstance(body.get("query"), str):
+            # GET ?query=main shorthand: a bare pattern string
+            body = dict(body)
+            body["query"] = {"pattern": body["query"]}
+        base = parse_fields(body, cls.FIELDS)
+        if (base["session"] is None) == (base["tenant"] is None):
+            raise BadRequest(
+                "query target is exactly one of 'session' or 'tenant'",
+                code="bad-query",
+            )
+        if base["profile"] is not None and base["tenant"] is None:
+            raise BadRequest("'profile' requires 'tenant'", code="bad-query")
+        if base["diagnose"]:
+            if base["tenant"] is None:
+                raise BadRequest(
+                    "'diagnose' requires 'tenant'", code="bad-query"
+                )
+        elif base["query"] is None:
+            raise BadRequest("missing 'query' spec", code="bad-query")
+        return cls(**base)
+
+
+@dataclass(frozen=True)
 class CorpusOpenRequest(_Request):
     """``POST /v1/corpus/<tenant>/profiles/<pid>/open`` — open-by-id."""
 
     salvage: bool
+    sid: str | None
 
     FIELDS = (
         FieldSpec("salvage", bool, default=False,
                   doc="salvage the stored payload instead of failing if "
                       "it no longer loads strictly"),
+        FieldSpec("sid", str, default=None,
+                  doc="claim this session id instead of allocating one; "
+                      "pass it as a query parameter (?sid=...) so a "
+                      "worker pool can route the open — and every "
+                      "follow-up session request — to the same worker "
+                      "by session affinity (409 if already in use)"),
     )
 
 
@@ -911,6 +1000,24 @@ ENDPOINTS: tuple[EndpointDef, ...] = (
                   request=EnsembleRequest, status=201,
                   errors=("bad-diff-members", "bad-metric",
                           "unknown-database", "bad-database")),
+    )),
+    EndpointDef("/query", ops=(
+        Operation("GET", "_ep_query",
+                  "run a composable call-path query against an open "
+                  "session or the profile corpus, or a corpus-wide "
+                  "diagnosis (JSON rows, or the framed columnar encoding "
+                  "via Accept negotiation for single-target queries)",
+                  request=QueryRequest,
+                  errors=("bad-query", "unknown-session", "unknown-metric",
+                          "no-corpus", "unknown-profile", "bad-database")),
+        Operation("POST", "_ep_query",
+                  "run a composable call-path query against an open "
+                  "session or the profile corpus, or a corpus-wide "
+                  "diagnosis (JSON rows, or the framed columnar encoding "
+                  "via Accept negotiation for single-target queries)",
+                  request=QueryRequest,
+                  errors=("bad-query", "unknown-session", "unknown-metric",
+                          "no-corpus", "unknown-profile", "bad-database")),
     )),
     EndpointDef("/corpus", ops=(
         Operation("GET", "_ep_corpus_info",

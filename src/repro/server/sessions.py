@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 import time
 from collections import OrderedDict
@@ -42,7 +43,7 @@ from repro.hpcprof import database
 from repro.hpcprof.experiment import Experiment
 from repro.server.deadline import checkpoint
 from repro.server.wire import TableSnapshot
-from repro.errors import BadRequest, NotFound
+from repro.errors import BadRequest, Conflict, NotFound
 from repro.viewer.navigation import NavigationState
 from repro.viewer.session import ViewerSession
 from repro.viewer.table import TableOptions, render_table
@@ -60,6 +61,10 @@ __all__ = [
 
 #: synthetic workloads the service can load without a database on disk
 WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
+
+#: client-chosen session ids (corpus open-by-id routing): URL- and
+#: filename-safe, bounded, no path separators
+_CLIENT_SID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 def load_workload(name: str, nranks: int = 1, seed: int = 12345) -> Experiment:
@@ -177,6 +182,7 @@ class SessionRegistry:
         clock: Callable[[], float] = time.monotonic,
         on_evict: Callable[[SessionHandle], None] | None = None,
         manifest_dir: str | None = None,
+        on_adopt: Callable[[SessionHandle, dict], None] | None = None,
     ) -> None:
         self._lock = threading.Lock()
         self._handles: OrderedDict[str, SessionHandle] = OrderedDict()
@@ -186,6 +192,10 @@ class SessionRegistry:
         self.scope_budget = scope_budget
         self.clock = clock
         self.on_evict = on_evict
+        #: called after a manifest adoption with ``(handle, spec)`` —
+        #: the application re-establishes cross-process state the
+        #: creating worker held in memory (e.g. the corpus pin)
+        self.on_adopt = on_adopt
         self.evictions = 0
         #: shared directory recording how each dynamically-opened session
         #: was built (multi-worker mode).  Doubles as the cluster-wide sid
@@ -273,6 +283,35 @@ class SessionRegistry:
                     json.dump(spec, fh)
                 return sid
 
+    def _claim_sid(self, sid: str, spec: dict | None) -> str:
+        """Reserve a client-chosen sid (pool corpus open-by-id routing).
+
+        The manifest file is created ``O_EXCL`` under the requested id —
+        the same allocation lock :meth:`_allocate_sid` uses — so two
+        workers claiming the same sid race safely: exactly one wins,
+        the loser sees :class:`Conflict`.
+        """
+        if not _CLIENT_SID_RE.match(sid or ""):
+            raise BadRequest(f"invalid session id {sid!r}", code="bad-sid")
+        with self._lock:
+            if sid in self._handles:
+                raise Conflict(
+                    f"session {sid!r} already exists", code="session-exists"
+                )
+        if self.manifest_dir is not None and spec is not None:
+            try:
+                fd = os.open(
+                    self._manifest_path(sid),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                raise Conflict(
+                    f"session {sid!r} already exists", code="session-exists"
+                ) from None
+            with os.fdopen(fd, "w") as fh:
+                json.dump(spec, fh)
+        return sid
+
     def _adopt(self, sid: str) -> SessionHandle | None:
         """Open a session a sibling worker created, pinned to its sid."""
         if self.manifest_dir is None:
@@ -283,20 +322,24 @@ class SessionRegistry:
         except (OSError, ValueError):
             return None
         if spec.get("ensemble") is not None:
-            return self.open_ensemble(
+            handle = self.open_ensemble(
                 spec["ensemble"], salvage=spec.get("salvage", False),
                 stats=spec.get("stats", "all"), label=spec.get("label"),
                 _sid=sid,
             )
-        if spec.get("database") is not None:
-            return self.open_database(
+        elif spec.get("database") is not None:
+            handle = self.open_database(
                 spec["database"], strict=not spec.get("salvage", False),
-                _sid=sid,
+                corpus=spec.get("corpus"), _sid=sid,
             )
-        return self.open_workload(
-            spec["workload"], nranks=spec.get("nranks", 1),
-            seed=spec.get("seed", 12345), _sid=sid,
-        )
+        else:
+            handle = self.open_workload(
+                spec["workload"], nranks=spec.get("nranks", 1),
+                seed=spec.get("seed", 12345), _sid=sid,
+            )
+        if handle is not None and self.on_adopt is not None:
+            self.on_adopt(handle, spec)
+        return handle
 
     def register(
         self,
@@ -319,21 +362,36 @@ class SessionRegistry:
         return handle
 
     def open_database(
-        self, path: str, strict: bool = True, _sid: str | None = None
+        self, path: str, strict: bool = True,
+        corpus: dict | None = None, sid_request: str | None = None,
+        _sid: str | None = None,
     ) -> SessionHandle:
+        spec = {"database": path, "salvage": not strict}
+        if corpus is not None:
+            # corpus provenance ({"tenant": ..., "id": ...}) survives in
+            # the manifest so an adopting worker can re-establish the pin
+            spec["corpus"] = dict(corpus)
+        claimed = False
+        if _sid is None and sid_request is not None:
+            # claim before the (expensive) load so a losing racer fails
+            # fast; the claimed manifest doubles as the adoption record
+            _sid = self._claim_sid(sid_request, spec)
+            claimed = True
         # no exists() probe: the open itself is the check (TOCTOU-free),
         # and a vanished file surfaces as DatabaseError -> 404 here
         try:
             experiment = database.load(path, strict=strict)
         except DatabaseError as exc:
+            if claimed and self.manifest_dir is not None:
+                try:  # release the claim: nothing to adopt from it
+                    os.unlink(self._manifest_path(_sid))
+                except OSError:
+                    pass
             text = str(exc)
             if text.startswith("no such database"):
                 raise NotFound(text, code="unknown-database") from None
             raise
-        return self.register(
-            experiment, label=path, sid=_sid,
-            spec={"database": path, "salvage": not strict},
-        )
+        return self.register(experiment, label=path, sid=_sid, spec=spec)
 
     def open_workload(
         self, name: str, nranks: int = 1, seed: int = 12345,

@@ -128,7 +128,8 @@ class InteractiveViewer(cmd.Cmd):
         if session.active is ViewKind.FLAT:
             roots = view.current_roots()
         if len(self.filters):
-            roots = self.filters.apply(view, roots)
+            from repro.query.compat import filter_forest
+            roots = filter_forest(self.filters, view, roots)
         shown = 0
         for number, (row, depth) in enumerate(
             self._visible(state, roots), start=1
@@ -148,6 +149,8 @@ class InteractiveViewer(cmd.Cmd):
             yield from state.visible_rows(roots=roots)
             return
 
+        from repro.query.compat import filter_children
+
         view = state.view
 
         def emit(rows, depth):
@@ -158,8 +161,9 @@ class InteractiveViewer(cmd.Cmd):
             for row in ordered:
                 yield row, depth
                 if state.is_expanded(row):
-                    yield from emit(self.filters.children_of(view, row),
-                                    depth + 1)
+                    yield from emit(
+                        filter_children(self.filters, view, row),
+                        depth + 1)
 
         yield from emit(view.roots if roots is None else roots, 0)
 
@@ -301,11 +305,14 @@ class InteractiveViewer(cmd.Cmd):
         if not arg.strip():
             self._say("usage: find <glob pattern>")
             return
-        from repro.core.search import search
+        from repro.core.search import SearchHit
+        from repro.query.compat import search_view
 
         try:
-            hits = search(self.session.view(), arg.strip(),
-                          spec=self.session.state().column, limit=10)
+            hits = [SearchHit(node=n, value=v, share=s, path=p)
+                    for n, v, s, p in search_view(
+                        self.session.view(), arg.strip(),
+                        spec=self.session.state().column, limit=10)]
         except ReproError as exc:
             self._say(str(exc))
             return

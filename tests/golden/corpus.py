@@ -24,9 +24,10 @@ from repro.hpcprof.merge import merge_experiments
 from repro.viewer.table import TableOptions, render_view
 
 __all__ = ["COLUMNAR_FIXTURE", "DATA_DIR", "ENSEMBLE_DROPPED",
-           "ENSEMBLE_PLANTED", "ENSEMBLE_TARGET", "FIXTURES", "VIEW_SLUGS",
-           "build_fixture", "columnar_table_bytes", "ensemble_members",
-           "ensemble_outputs", "render_views"]
+           "ENSEMBLE_PLANTED", "ENSEMBLE_TARGET", "FIXTURES",
+           "GOLDEN_QUERIES", "VIEW_SLUGS", "build_fixture",
+           "columnar_table_bytes", "ensemble_members", "ensemble_outputs",
+           "query_outputs", "render_views"]
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
@@ -114,6 +115,57 @@ def columnar_table_bytes(experiment: Experiment) -> bytes:
     snapshot = table_snapshot(session, ViewKind.CALLING_CONTEXT,
                               depth=4, max_rows=120)
     return encode_columnar(snapshot)
+
+
+# --------------------------------------------------------------------- #
+# the golden query corpus: every fixture through the query language
+# --------------------------------------------------------------------- #
+
+#: query slug -> builder taking the fixture's first metric name.  Covers
+#: the language's operator surface: match, any-depth, category objects,
+#: metric predicates, prune, squash, groupby, sort + limit.
+GOLDEN_QUERIES: dict[str, "callable"] = {
+    "all": lambda m: _query("**/*"),
+    "loops": lambda m: _query('** / {"category": "loop"}'),
+    "hot": lambda m: _query("**/*").filter(f"{m}.exclusive >= 5%")
+                                   .sort(m, "exclusive"),
+    "squashed": lambda m: _query("** / p*").squash(),
+    "pruned": lambda m: _query("**/*").prune("*loop*").limit(10),
+    "by-category": lambda m: _query("**/*").groupby("category").sort(m),
+}
+
+
+def _query(pattern):
+    from repro.query import query as make_query
+
+    return make_query(pattern)
+
+
+def query_outputs() -> dict[str, bytes]:
+    """filename -> bytes for the golden query corpus.
+
+    Every fixture runs through every :data:`GOLDEN_QUERIES` shape; the
+    columnar result is pinned as sorted JSON
+    (``<fixture>.query.<slug>.json``).  Any drift in pattern matching,
+    predicate evaluation, subtree operators, value gathering, or result
+    ordering changes checked-in bytes.
+    """
+    import json
+
+    from repro.query import run_query
+
+    out: dict[str, bytes] = {}
+    for name in sorted(FIXTURES):
+        experiment = build_fixture(name)
+        metric = experiment.metrics.by_id(0).name
+        for slug, build in sorted(GOLDEN_QUERIES.items()):
+            result = run_query(build(metric), experiment)
+            payload = result.to_columns()
+            payload["truncated"] = result.truncated
+            out[f"{name}.query.{slug}.json"] = (
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8")
+    return out
 
 
 # --------------------------------------------------------------------- #

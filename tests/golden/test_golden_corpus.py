@@ -118,6 +118,38 @@ def test_columnar_table_frame_is_byte_stable() -> None:
 
 
 # --------------------------------------------------------------------- #
+# golden query corpus
+# --------------------------------------------------------------------- #
+def test_query_corpus_is_byte_stable() -> None:
+    """Every fixture x query pair still produces the checked-in JSON —
+    pins pattern matching, predicate evaluation, subtree operators,
+    value gathering and result ordering in one sweep."""
+    for name, content in sorted(corpus.query_outputs().items()):
+        with open(_data(name), "rb") as fh:
+            assert fh.read() == content, f"golden drift in {name}"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_queries_from_pinned_files_match_golden(name: str) -> None:
+    """Queries over the checked-in ``.rpdb`` bytes reproduce the golden
+    results — the loader path and the builder path agree."""
+    import json
+
+    from repro.query import run_query
+
+    exp = database.load(_data(f"{name}.v2.rpdb"))
+    metric = exp.metrics.by_id(0).name
+    for slug, build in sorted(corpus.GOLDEN_QUERIES.items()):
+        result = run_query(build(metric), exp)
+        payload = result.to_columns()
+        payload["truncated"] = result.truncated
+        with open(_data(f"{name}.query.{slug}.json"),
+                  encoding="utf-8") as fh:
+            assert json.load(fh) == json.loads(json.dumps(payload)), \
+                f"{name}.query.{slug}"
+
+
+# --------------------------------------------------------------------- #
 # ensemble diff corpus
 # --------------------------------------------------------------------- #
 def _ensemble_member_paths() -> list[str]:

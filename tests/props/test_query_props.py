@@ -1,0 +1,117 @@
+"""Differential properties of the query engine across storage backends.
+
+The query language promises backend uniformity: the same query over the
+same profile must return *bit-identical* results whether the profile is
+an in-memory experiment, a ``.rpdb`` binary round-trip, or an
+mmap-backed ``.rpstore`` column store.  Hypothesis drives random
+canonical CCTs through all three backends at once and compares
+``to_rows()`` / ``to_columns()`` with exact float equality.  A second
+group pins language invariants (spec round-trips, operator algebra) on
+the same random trees.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+
+from repro.core.store import create_store
+from repro.hpcprof import binio, database
+from repro.hpcprof.experiment import Experiment
+from repro.query import Query, query, run_query
+from tests.props.strategies import cct_experiments
+
+#: query shapes covering the operators: match, any-depth, predicate
+#: filter, prune, squash, groupby, sort + limit
+QUERIES = [
+    query("**/*"),
+    query("p0 / ** / *"),
+    query('** / {"category": "loop"}'),
+    query("**/*").filter("m0.exclusive >= 5%"),
+    query("**/*").filter("m1.inclusive > 10"),
+    query("**/*").prune("p1"),
+    query("** / p*").squash(),
+    query("**/*").groupby("category"),
+    query("**/*").groupby("name").sort("m0", "exclusive"),
+    query("**/*").sort("m0").limit(5),
+    query("** / *").select(metrics=["m1"], flavors=("raw", "exclusive")),
+]
+
+
+def _fingerprint(result):
+    # exact float bits: float.hex() distinguishes every representable value
+    cols = result.to_columns()
+    return {
+        k: [v.hex() if isinstance(v, float) else v for v in vals]
+        for k, vals in cols.items()
+    }, [
+        tuple(v.hex() if isinstance(v, float) else v for v in row)
+        for row in result.to_rows()
+    ], result.truncated
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=cct_experiments())
+def test_backends_bit_identical(data):
+    """dict/in-memory vs .rpdb round-trip vs mmap store: same bytes."""
+    cct, model, metrics = data
+    exp = Experiment("prop", metrics, model, cct)
+    rpdb_exp = database.loads(binio.dumps_binary(exp))
+    with tempfile.TemporaryDirectory() as tmp:
+        store_exp = create_store(exp, os.path.join(tmp, "s.rpstore"))
+        try:
+            for q in QUERIES:
+                want = _fingerprint(run_query(q, exp))
+                assert _fingerprint(run_query(q, rpdb_exp)) == want
+                assert _fingerprint(run_query(q, store_exp)) == want
+        finally:
+            store_exp.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=cct_experiments())
+def test_spec_round_trip_preserves_results(data):
+    """Query -> to_spec() -> from_spec() evaluates identically."""
+    cct, model, metrics = data
+    exp = Experiment("prop", metrics, model, cct)
+    for q in QUERIES:
+        rebuilt = Query.from_spec(q.to_spec())
+        assert _fingerprint(run_query(rebuilt, exp)) == \
+            _fingerprint(run_query(q, exp))
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=cct_experiments())
+def test_operator_invariants(data):
+    """Language algebra on random trees."""
+    cct, model, metrics = data
+    exp = Experiment("prop", metrics, model, cct)
+
+    # match-all returns every scope (the root row included), preorder
+    everything = run_query(query("**/*"), exp)
+    assert everything.row_count == sum(1 for _ in exp.cct.walk())
+
+    # a filter never grows the result, and the survivors are a sub-
+    # sequence of the unfiltered preorder rows
+    filtered = run_query(query("**/*").filter("m0.exclusive > 0"), exp)
+    assert filtered.row_count <= everything.row_count
+    rows = list(everything.rows)
+    it = iter(rows)
+    assert all(r in it for r in filtered.rows)
+
+    # limit truncates and reports exactly what it dropped
+    limited = run_query(query("**/*").limit(3), exp)
+    assert limited.row_count == min(3, everything.row_count)
+    assert limited.truncated == everything.row_count - limited.row_count
+
+    # groupby partitions: group values sum to the ungrouped column sums
+    grouped = run_query(query("**/*").groupby("category"), exp)
+    if everything.row_count:
+        for j, label in enumerate(everything.labels):
+            if "(E)" not in label:
+                continue
+            whole = sum(everything.values[:, j])
+            parts = sum(grouped.values[:, grouped.labels.index(label)])
+            assert abs(whole - parts) <= 1e-9 * max(1.0, abs(whole))

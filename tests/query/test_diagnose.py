@@ -1,0 +1,178 @@
+"""Unit tests for corpus-wide diagnosis (``diagnose_corpus``).
+
+Each rule is exercised against a corpus seeded with a profile that
+must trip it — an imbalanced merge for load-imbalance, a scaling
+series with a planted blowup for scaling-loss, a cost shift that moves
+the hot path for hot-path-drift — plus the streaming contracts:
+per-profile checkpoints, metric auto-resolution, and skip counting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.corpus import open_corpus
+from repro.hpcprof.binio import dumps_binary
+from repro.hpcprof.experiment import Experiment
+from repro.query import diagnose_corpus
+from repro.sim.workloads import fig1
+
+TENANT = "acme"
+
+
+def _fig1(seed: int = 7) -> Experiment:
+    return Experiment.from_program(fig1.build(), nranks=1, seed=seed)
+
+
+def _scaled(factor: float, subtree: str | None = None) -> Experiment:
+    """fig1 with every raw cost (or one subtree's) multiplied."""
+    exp = _fig1()
+    for node in exp.cct.walk():
+        if subtree is not None and not any(
+                f.name == subtree for f in node.call_path()):
+            continue
+        for mid, value in list(node.raw.items()):
+            node.raw[mid] = value * factor
+    attribute(exp.cct)
+    exp.cct.invalidate_caches()
+    return exp
+
+
+def _imbalanced() -> Experiment:
+    """Six linearly skewed ranks merged — high per-rank CoV."""
+    from repro.hpcprof.merge import merge_experiments
+    from repro.hpcstruct.synthstruct import build_structure
+    from repro.sim.executor import execute
+    from repro.sim.scale import scale_program
+
+    program = scale_program(fanout=3, depth=2, imbalance="linear_skew")
+    structure = build_structure(program)
+    ranks = [
+        Experiment.from_profile(execute(program, rank=r, nranks=6, seed=99),
+                                structure, name=f"r{r}")
+        for r in range(6)
+    ]
+    return merge_experiments(ranks, name="imbalanced", summarize="all")
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    with open_corpus(str(tmp_path / "corpus"), create=True) as c:
+        yield c
+
+
+class TestRules:
+    def test_load_imbalance(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_imbalanced()),
+                            name="imbalanced")
+        diag = diagnose_corpus(corpus, TENANT)
+        rules = {f.rule for f in diag.findings}
+        assert "load-imbalance" in rules
+        finding = next(f for f in diag.findings
+                       if f.rule == "load-imbalance")
+        assert finding.evidence["cov"] >= 0.10
+        assert finding.evidence["nranks"] == 6.0
+
+    def test_scaling_loss(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="n1",
+                            group="scale", meta={"nranks": 1})
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(2.0)), name="n4",
+                            group="scale", meta={"nranks": 4})
+        diag = diagnose_corpus(corpus, TENANT)
+        losses = [f for f in diag.findings if f.rule == "scaling-loss"]
+        assert len(losses) == 1
+        assert losses[0].evidence["efficiency"] == pytest.approx(0.5)
+        assert losses[0].group == "scale"
+
+    def test_scaling_within_floor_is_clean(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="n1",
+                            group="scale", meta={"nranks": 1})
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(1.1)), name="n4",
+                            group="scale", meta={"nranks": 4})
+        diag = diagnose_corpus(corpus, TENANT)
+        assert not [f for f in diag.findings if f.rule == "scaling-loss"]
+
+    def test_hot_path_drift_on_diverged_path(self, corpus):
+        base = _fig1()
+        # blow up g's subtree so the hot path swings away from baseline's
+        drifted = _scaled(20.0, subtree="h")
+        corpus.ingest_bytes(TENANT, dumps_binary(base), name="base",
+                            group="nightly")
+        corpus.ingest_bytes(TENANT, dumps_binary(drifted), name="drift",
+                            group="nightly")
+        diag = diagnose_corpus(corpus, TENANT)
+        drifts = [f for f in diag.findings if f.rule == "hot-path-drift"]
+        assert len(drifts) == 1
+        assert "diverged" in drifts[0].detail or "moved" in drifts[0].detail
+
+    def test_explicit_baseline_compares_everything(self, corpus):
+        pid0 = corpus.ingest_bytes(TENANT, dumps_binary(_fig1()),
+                                   name="base").pid
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(20.0, subtree="h")),
+                            name="u1")  # no group
+        diag = diagnose_corpus(corpus, TENANT, baseline=pid0)
+        assert [f.rule for f in diag.findings] == ["hot-path-drift"]
+        # without a baseline, ungrouped profiles are never compared
+        assert not diagnose_corpus(corpus, TENANT).findings
+
+    def test_identical_profiles_are_clean(self, corpus):
+        for i in range(3):
+            corpus.ingest_bytes(TENANT, dumps_binary(_fig1()),
+                                name=f"run{i}", group="nightly")
+        diag = diagnose_corpus(corpus, TENANT)
+        assert diag.findings == ()
+        assert diag.profiles_examined == 3
+
+
+class TestStreamingContracts:
+    def test_metric_auto_resolution(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="a")
+        diag = diagnose_corpus(corpus, TENANT)
+        assert diag.metric == "cycles"
+
+    def test_profiles_missing_metric_are_skipped(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="a")
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="b")
+        diag = diagnose_corpus(corpus, TENANT, metric="PAPI_TOT_CYC")
+        assert diag.profiles_examined == 0
+        assert diag.profiles_skipped == 2
+
+    def test_checkpoint_called_per_profile(self, corpus):
+        for i in range(4):
+            corpus.ingest_bytes(TENANT, dumps_binary(_fig1()),
+                                name=f"run{i}")
+        calls = []
+        diagnose_corpus(corpus, TENANT,
+                        checkpoint=lambda: calls.append(1))
+        assert len(calls) == 4
+
+    def test_findings_sorted_by_severity(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="n1",
+                            group="scale", meta={"nranks": 1})
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(2.0)), name="n2",
+                            group="scale", meta={"nranks": 2})
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(8.0)), name="n8",
+                            group="scale", meta={"nranks": 8})
+        diag = diagnose_corpus(corpus, TENANT)
+        sevs = [f.severity for f in diag.findings]
+        assert sevs == sorted(sevs, reverse=True)
+
+    def test_columnar_surfaces_agree(self, corpus):
+        corpus.ingest_bytes(TENANT, dumps_binary(_fig1()), name="n1",
+                            group="scale", meta={"nranks": 1})
+        corpus.ingest_bytes(TENANT, dumps_binary(_scaled(2.0)), name="n4",
+                            group="scale", meta={"nranks": 4})
+        diag = diagnose_corpus(corpus, TENANT)
+        cols = diag.to_columns()
+        rows = diag.to_rows()
+        assert len(rows) == len(diag.findings) == len(cols["rule"])
+        for i, row in enumerate(rows):
+            assert row == [cols["rule"][i], cols["profile"][i],
+                           cols["group"][i], cols["severity"][i],
+                           cols["detail"][i]]
+        payload = diag.to_payload()
+        assert payload["tenant"] == TENANT
+        assert payload["profiles_examined"] == 2
+        assert len(payload["profiles"]) == 2
+        assert payload["profiles"][1]["nranks"] == 4

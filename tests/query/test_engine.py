@@ -1,0 +1,146 @@
+"""Unit tests for query evaluation over real experiments.
+
+Operator semantics (match, any-depth, predicates, prune, squash,
+groupby, sort/limit/select) are pinned on the paper's Figure 1
+workload, where the expected scopes are known by name; target
+uniformity (views, ensemble members) rides the same fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricError
+from repro.hpcprof.experiment import Experiment
+from repro.query import query, run_query
+from repro.sim.workloads import fig1
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment.from_program(fig1.build())
+
+
+class TestMatch:
+    def test_exact_name(self, exp):
+        result = run_query(query("m"), exp)
+        assert result.names == ("m",)
+        assert tuple(result.depths) == (1,)
+
+    def test_anchored_chain(self, exp):
+        result = run_query(query("<program root> / m"), exp)
+        assert result.names == ("m",)
+
+    def test_any_depth_reaches_deep_scopes(self, exp):
+        result = run_query(query("m / ** / h"), exp)
+        assert set(result.names) == {"h"}
+        assert result.row_count >= 1
+
+    def test_category_step(self, exp):
+        result = run_query(query('** / {"category": "loop"}'), exp)
+        assert result.row_count > 0
+        assert all(c == "loop" for c in result.categories)
+
+    def test_unmatched_pattern_is_empty(self, exp):
+        result = run_query(query("no-such-scope"), exp)
+        assert result.row_count == 0
+        assert result.to_rows() == []
+
+    def test_results_are_preorder(self, exp):
+        result = run_query(query("**/*"), exp)
+        assert list(result.rows) == sorted(result.rows)
+
+
+class TestFilterAndPrune:
+    def test_share_predicate(self, exp):
+        total = exp.total("cycles")
+        result = run_query(
+            query("**/*").where("cycles.inclusive >= 50%")
+                         .select(flavors=("inclusive",)), exp)
+        assert result.row_count > 0
+        assert all(v >= 0.5 * total for v in result.values[:, 0])
+
+    def test_absolute_predicate(self, exp):
+        result = run_query(
+            query("**/*").where("cycles.exclusive > 3")
+                         .select(flavors=("exclusive",)), exp)
+        assert all(v > 3 for v in result.values[:, 0])
+
+    def test_prune_drops_whole_subtree(self, exp):
+        kept = run_query(query("**/*").prune("f"), exp)
+        assert "f" not in kept.names
+        # file1.c:2 lives only inside f's subtree in Figure 1
+        assert "file1.c:2" not in kept.names
+
+    def test_conjunction_of_predicates(self, exp):
+        both = run_query(
+            query("**/*").where("cycles.inclusive > 2",
+                                "cycles.exclusive > 2"), exp)
+        one = run_query(query("**/*").where("cycles.inclusive > 2"), exp)
+        assert both.row_count <= one.row_count
+
+
+class TestShaping:
+    def test_squash_parent_links(self, exp):
+        result = run_query(query("** / *loop*").squash(), exp)
+        assert result.parents is not None
+        for i, parent in enumerate(result.parents):
+            assert parent < i  # parents precede children in the result
+
+    def test_groupby_unique_keys(self, exp):
+        result = run_query(query("**/*").groupby("category"), exp)
+        assert len(set(result.names)) == result.row_count
+
+    def test_sort_and_limit(self, exp):
+        full = run_query(query("**/*").sort("cycles"), exp)
+        col = full.labels.index("cycles (I)")
+        values = list(full.values[:, col])
+        assert values == sorted(values, reverse=True)
+
+        top = run_query(query("**/*").sort("cycles").limit(3), exp)
+        assert top.row_count == 3
+        assert top.truncated == full.row_count - 3
+        assert list(top.values[:, col]) == values[:3]
+
+    def test_ascending_sort(self, exp):
+        result = run_query(
+            query("**/*").sort("cycles", descending=False), exp)
+        col = result.labels.index("cycles (I)")
+        values = list(result.values[:, col])
+        assert values == sorted(values)
+
+    def test_select_shapes_columns(self, exp):
+        result = run_query(
+            query("m").select(metrics=["cycles"], flavors=("raw",)), exp)
+        assert result.labels == ("cycles (R)",)
+        assert result.values.shape == (1, 1)
+
+    def test_unknown_metric_raises(self, exp):
+        for q in (query("**/*").sort("bogus"),
+                  query("**/*").filter("bogus > 1"),
+                  query("**/*").select(metrics=["bogus"])):
+            with pytest.raises(MetricError):
+                run_query(q, exp)
+
+
+class TestTargets:
+    def test_query_runs_on_views(self, exp):
+        flat = exp.views()[2]
+        result = run_query(query("** / *").groupby("name"), flat)
+        assert "f" in result.names and "g" in result.names
+
+    def test_query_runs_on_ensemble_members(self):
+        from repro.core.ensemble import align_experiments
+
+        members = [Experiment.from_program(fig1.build(), nranks=1, seed=s)
+                   for s in (1, 2)]
+        ensemble = align_experiments(members)
+        a = run_query(query("**/*").sort("cycles"), ensemble.member(0))
+        b = run_query(query("**/*").sort("cycles"), members[0])
+        assert a.names == b.names
+        assert (a.values == b.values).all()
+
+    def test_query_dot_run_is_run_query(self, exp):
+        q = query("m / ** / *").limit(4)
+        direct = q.run(exp)
+        assert direct.to_rows() == run_query(q, exp).to_rows()

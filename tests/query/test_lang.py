@@ -1,0 +1,147 @@
+"""Unit tests for the query-language surface (patterns, predicates,
+operator builders, and the JSON spec round-trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    ANY_DEPTH,
+    MetricPred,
+    Query,
+    Step,
+    parse_pattern,
+    parse_predicate,
+    query,
+)
+
+
+class TestParsePredicate:
+    def test_compact_form(self):
+        pred = parse_predicate("CYCLES.exclusive >= 5%")
+        assert pred == MetricPred(metric="CYCLES", flavor="exclusive",
+                                  op=">=", value=0.05, share=True)
+
+    def test_default_flavor_is_inclusive(self):
+        pred = parse_predicate("cycles > 100")
+        assert pred.flavor == "inclusive"
+        assert pred.value == 100.0
+        assert not pred.share
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "==", "!="])
+    def test_all_operators(self, op):
+        assert parse_predicate(f"m {op} 1").op == op
+
+    @pytest.mark.parametrize("bad", ["", "m", "m >", "> 5", "m ~ 5",
+                                     "m.bogus > 5", "m > x"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(QueryError):
+            parse_predicate(bad)
+
+    def test_spec_round_trip(self):
+        pred = parse_predicate("FLOPS.raw != 3.5")
+        assert MetricPred.from_spec(pred.to_spec()) == pred
+
+    def test_spec_validation(self):
+        with pytest.raises(QueryError, match="unknown predicate key"):
+            MetricPred.from_spec({"metric": "m", "op": ">", "value": 1,
+                                  "bogus": True})
+        with pytest.raises(QueryError, match="missing"):
+            MetricPred.from_spec({"metric": "m", "op": ">"})
+        with pytest.raises(QueryError, match="must be a number"):
+            MetricPred.from_spec({"metric": "m", "op": ">", "value": "x"})
+        with pytest.raises(QueryError, match="unknown predicate op"):
+            MetricPred(metric="m", op="~", value=1.0)
+
+
+class TestParsePattern:
+    def test_string_chain(self):
+        steps = parse_pattern("main / ** / flux*")
+        assert steps == (Step(name="main"), ANY_DEPTH, Step(name="flux*"))
+
+    def test_json_object_segment(self):
+        steps = parse_pattern('main / {"name": "f*", "category": "loop"}')
+        assert steps[1] == Step(name="f*", category=("loop",))
+
+    def test_embedded_predicate(self):
+        steps = parse_pattern(
+            '{"category": "loop", "where": [{"metric": "m", "op": ">", '
+            '"value": 2}]}')
+        assert steps[0].where == (MetricPred(metric="m", op=">", value=2.0),)
+
+    def test_single_step_forms(self):
+        assert parse_pattern("main") == (Step(name="main"),)
+        assert parse_pattern({"category": "loop"}) == \
+            (Step(category=("loop",)),)
+        assert parse_pattern([Step(name="x"), "**", "y"]) == \
+            (Step(name="x"), ANY_DEPTH, Step(name="y"))
+
+    @pytest.mark.parametrize("bad", ["", "a //", "a / / b", "**",
+                                     "** / **", "a / ** / ** / b",
+                                     '{"name": "x"'])
+    def test_rejects_bad_patterns(self, bad):
+        with pytest.raises(QueryError):
+            parse_pattern(bad)
+
+    def test_slash_inside_quotes_and_braces(self):
+        steps = parse_pattern('{"name": "a/b"} / c')
+        assert steps == (Step(name="a/b"), Step(name="c"))
+
+
+class TestQueryBuilder:
+    def test_builders_are_immutable(self):
+        q0 = query("main")
+        q1 = q0.filter("m > 1").sort("m").limit(3)
+        assert q0.ops != q1.ops
+        assert q0.row_limit is None and q1.row_limit == 3
+
+    def test_where_alias(self):
+        assert query("x").where("m > 1").ops == \
+            query("x").filter("m > 1").ops
+
+    def test_filter_requires_something(self):
+        with pytest.raises(QueryError, match="filter"):
+            query("x").filter()
+
+    def test_groupby_validates_key(self):
+        with pytest.raises(QueryError, match="groupby"):
+            query("x").groupby("bogus")
+
+    def test_limit_validates(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(QueryError):
+                query("x").limit(bad)
+
+    def test_select_validates_flavors(self):
+        with pytest.raises(QueryError, match="flavor"):
+            query("x").select(flavors=("bogus",))
+        with pytest.raises(QueryError, match="at least one"):
+            query("x").select(flavors=())
+
+
+class TestSpecRoundTrip:
+    CASES = [
+        query("main / ** / flux*"),
+        query('** / {"category": "loop"}').where("m.exclusive >= 2%"),
+        query("a").prune("b*").squash().groupby("category"),
+        query("a").select(metrics=["m"], flavors=("raw",))
+                  .sort("m", "exclusive", descending=False).limit(7),
+    ]
+
+    @pytest.mark.parametrize("q", CASES)
+    def test_round_trip(self, q):
+        assert Query.from_spec(q.to_spec()) == q
+
+    def test_bare_pattern_string(self):
+        assert Query.from_spec("main / *") == query("main / *")
+
+    def test_pattern_shorthand_key(self):
+        assert Query.from_spec({"pattern": "main", "limit": 2}) == \
+            query("main").limit(2)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(QueryError, match="unknown query key"):
+            Query.from_spec({"pattern": "x", "bogus": 1})
+        with pytest.raises(QueryError, match="unknown op"):
+            Query.from_spec({"ops": [{"op": "bogus"}]})

@@ -263,6 +263,63 @@ class TestCorpusEndpoints:
             b.close()
 
 
+class TestAdoptionRepins:
+    def test_adoption_refreshes_stale_pin(self, payload, tmp_path):
+        """A worker adopting a crashed sibling's corpus session must
+        re-pin the profile: the on-disk pin still names the dead
+        worker's process, and a retention scan would otherwise reap it
+        and evict the profile out from under the live session."""
+        import subprocess
+
+        root = str(tmp_path / "shared")
+        manifests = tmp_path / "manifests"
+        manifests.mkdir()
+        a = AnalysisApp(corpus_root=root)
+        a.registry.manifest_dir = str(manifests)
+        b = AnalysisApp(corpus_root=root)
+        b.registry.manifest_dir = str(manifests)
+        try:
+            profile = upload(a, "t", payload, "run.rpdb")
+            status, out = call(
+                a, "POST",
+                f"/v1/corpus/t/profiles/{profile['id']}/open", {},
+            )
+            assert status == 201
+            sid = out["session"]["id"]
+
+            # simulate worker A crashing: its pin survives on disk but
+            # names a process that no longer exists
+            proc = subprocess.Popen(["true"])
+            proc.wait()
+            pin_path = os.path.join(
+                root, "pins", f"t@@{profile['id']}@@{sid}.pin")
+            assert os.path.exists(pin_path)
+            with open(pin_path, "w", encoding="utf-8") as fh:
+                json.dump({"ospid": proc.pid, "owner": sid}, fh)
+            a.registry._handles.clear()  # A's in-memory state is gone
+
+            # worker B adopts the session from the shared manifest; the
+            # adoption hook must rewrite the pin to name B's process
+            status, _ = call(b, "GET", f"/v1/sessions/{sid}")
+            assert status == 200
+            with open(pin_path, encoding="utf-8") as fh:
+                assert json.load(fh)["ospid"] == os.getpid()
+
+            # a quota eviction now sees a live pin: the pinned profile
+            # (the oldest) is skipped and the decoy is evicted instead
+            decoy = upload(b, "t", payload, "decoy.rpdb")
+            status, out = call(b, "POST", "/v1/corpus/t/policy",
+                               {"max_profiles": 1})
+            assert status == 200
+            assert [e["id"] for e in out["evicted"]] == [decoy["id"]]
+            status, _ = call(
+                b, "GET", f"/v1/corpus/t/profiles/{profile['id']}")
+            assert status == 200, "pinned profile must survive eviction"
+        finally:
+            a.close()
+            b.close()
+
+
 # --------------------------------------------------------------------- #
 # satellite: the diff alignment cache
 # --------------------------------------------------------------------- #

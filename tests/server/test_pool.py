@@ -595,3 +595,50 @@ class TestStatsMerge:
         merged = merge_stats_payloads([])
         assert merged["requests"]["total"] == 0
         assert merged["endpoints"] == {}
+
+
+# --------------------------------------------------------------------- #
+# corpus-scoped session affinity: ?sid= routing
+# --------------------------------------------------------------------- #
+class TestCorpusSidRouting:
+    """Corpus requests that carry ``?sid=`` must land on the worker that
+    owns (or will own) that session by affinity, exactly like
+    ``/v1/sessions/<sid>`` paths."""
+
+    def _pool(self) -> ServerPool:
+        return ServerPool(workers=2, config=dict(POOL_CONFIG))
+
+    def test_open_by_id_with_sid_routes_by_affinity(self) -> None:
+        instance = self._pool()
+        head = (b"POST /v1/corpus/t/profiles/p000001/open?sid=s12 "
+                b"HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert instance._pick_slot(head) == zlib.crc32(b"s12") % 2
+
+    def test_sid_parses_among_other_params(self) -> None:
+        instance = self._pool()
+        head = (b"POST /v1/corpus/t/profiles/p1/open?salvage=true&sid=s7"
+                b"&x=1 HTTP/1.1\r\n\r\n")
+        assert instance._pick_slot(head) == zlib.crc32(b"s7") % 2
+
+    def test_corpus_without_sid_round_robins(self) -> None:
+        instance = self._pool()
+        head = b"POST /v1/corpus/t/profiles HTTP/1.1\r\nHost: x\r\n\r\n"
+        first = instance._pick_slot(head)
+        second = instance._pick_slot(head)
+        assert {first, second} == {0, 1}  # round-robin, not pinned
+
+    def test_unversioned_alias_also_routes(self) -> None:
+        instance = self._pool()
+        head = (b"POST /corpus/t/profiles/p1/open?sid=s12 "
+                b"HTTP/1.1\r\n\r\n")
+        assert instance._pick_slot(head) == zlib.crc32(b"s12") % 2
+
+    def test_worker_affinity_guard_sees_corpus_sid(self) -> None:
+        from repro.server.http import _POOL_CORPUS_SID_RE
+
+        match = _POOL_CORPUS_SID_RE.match(
+            "/v1/corpus/t/profiles/p1/open?sid=s12")
+        assert match is not None and match.group(1) == "s12"
+        assert _POOL_CORPUS_SID_RE.match("/v1/corpus/t/profiles") is None
+        assert _POOL_CORPUS_SID_RE.match(
+            "/v1/sessions/s12/table") is None  # handled by _POOL_SID_RE

@@ -50,6 +50,12 @@ SCENARIO = [
      {"view": "cct", "depth": 3, "max_rows": 40}),
     ("POST", "/sessions/{sid}/flatten", None),
     ("POST", "/sessions/{sid}/unflatten", None),
+    # call-path queries: session mode on both verbs, plus a corpus-mode
+    # attempt (no --corpus here, so a structured 404 that must alias)
+    ("POST", "/query",
+     {"session": "s1", "query": {"pattern": "** / *", "limit": 5}}),
+    ("GET", '/query?session=s1&query={{"pattern": "m"}}', None),
+    ("POST", "/query", {"tenant": "t", "diagnose": True}),
     # stateless ensemble surface: a self-diff of the open session is
     # deterministic (all-zero rows, no findings) and alias-identical
     ("POST", "/diff", {"sessions": ["s1", "s1"], "depth": 1}),

@@ -1,0 +1,192 @@
+"""Shim identity: the legacy entry points must be *bit*-compatible.
+
+``repro.core.search.search`` and ``repro.core.filters.FilterSet`` are
+now thin shims over the vectorized query engine
+(:mod:`repro.query.compat`).  This suite freezes verbatim copies of the
+original per-node implementations and asserts the shims reproduce them
+exactly — same hit objects, same float bits, same forest shapes, same
+splice order — on every view of several workloads.  It also pins the
+deprecation contract: the old call forms still work but warn.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import warnings
+
+import pytest
+
+from repro.core.filters import (
+    FilterAction,
+    FilterSet,
+    ScopeFilter,
+    ThresholdFilter,
+)
+from repro.core.metrics import MetricFlavor, MetricSpec
+from repro.core.search import SearchHit, search
+from repro.core.views import NodeCategory
+from repro.hpcprof.experiment import Experiment
+from repro.sim.workloads import fig1, moab, s3d
+
+
+# --------------------------------------------------------------------- #
+# frozen reference implementations (verbatim pre-shim code paths)
+# --------------------------------------------------------------------- #
+def _reference_search(view, pattern, spec=None, categories=(), limit=50,
+                      max_nodes=200_000):
+    spec = spec or MetricSpec(0, MetricFlavor.INCLUSIVE)
+    total = view.total(MetricSpec(spec.mid, MetricFlavor.INCLUSIVE))
+    hits = []
+    visited = 0
+    stack = [(root, (root.name,)) for root in reversed(view.roots)]
+    while stack and visited < max_nodes:
+        node, path = stack.pop()
+        visited += 1
+        if (not categories or node.category in categories) and \
+                fnmatch.fnmatchcase(node.name, pattern):
+            value = view.value(node, spec)
+            hits.append(SearchHit(
+                node=node, value=value,
+                share=(value / total) if total else 0.0, path=path,
+            ))
+        for child in reversed(node.children):
+            stack.append((child, path + (child.name,)))
+    hits.sort(key=lambda h: -h.value)
+    return hits[:limit]
+
+
+def _reference_visit(fset, view, node):
+    action = fset._action_for(node)
+    if action is FilterAction.PRUNE:
+        return []
+    if action is FilterAction.ELIDE:
+        spliced = []
+        for child in node.children:
+            spliced.extend(_reference_visit(fset, view, child))
+        return spliced
+    if fset.threshold is not None and not fset.threshold.passes(view, node):
+        return []
+    return [node]
+
+
+def _reference_apply(fset, view, roots=None):
+    rows = list(view.roots if roots is None else roots)
+    out = []
+    for row in rows:
+        out.extend(_reference_visit(fset, view, row))
+    return out
+
+
+def _reference_children_of(fset, view, node):
+    out = []
+    for child in node.children:
+        out.extend(_reference_visit(fset, view, child))
+    return out
+
+
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module", params=["fig1", "s3d", "moab"])
+def exp(request):
+    build = {"fig1": fig1.build, "s3d": s3d.build, "moab": moab.build}
+    return Experiment.from_program(build[request.param]())
+
+
+def _hit_key(hit):
+    # node identity + exact float bits + exact path
+    return (id(hit.node), hit.value.hex() if hasattr(hit.value, "hex")
+            else hit.value, hit.share, hit.path)
+
+
+PATTERNS = ["*", "m*", "*loop*", "file*", "no-such-scope", "?", "[abc]*"]
+
+
+class TestSearchShimIdentity:
+    def test_every_view_every_pattern(self, exp):
+        for view in exp.views():
+            for pattern in PATTERNS:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    got = search(view, pattern)
+                want = _reference_search(view, pattern)
+                assert list(map(_hit_key, got)) == list(map(_hit_key, want))
+
+    def test_exclusive_ranking_and_limit(self, exp):
+        spec = MetricSpec(0, MetricFlavor.EXCLUSIVE)
+        for view in exp.views():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                got = search(view, "*", spec=spec, limit=5)
+            want = _reference_search(view, "*", spec=spec, limit=5)
+            assert list(map(_hit_key, got)) == list(map(_hit_key, want))
+
+    def test_categories_and_max_nodes(self, exp):
+        cats = (NodeCategory.LOOP, NodeCategory.PROCEDURE_FRAME)
+        for view in exp.views():
+            for cap in (1, 3, 7, 200_000):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    got = search(view, "*", categories=cats, max_nodes=cap)
+                want = _reference_search(view, "*", categories=cats,
+                                         max_nodes=cap)
+                assert list(map(_hit_key, got)) == list(map(_hit_key, want))
+
+    def test_search_warns_deprecation(self, exp):
+        view = exp.views()[0]
+        with pytest.warns(DeprecationWarning, match="repro.query"):
+            search(view, "*", limit=1)
+
+
+FILTER_SETS = [
+    FilterSet(),
+    FilterSet([ScopeFilter("*loop*", FilterAction.PRUNE)]),
+    FilterSet([ScopeFilter("file*", FilterAction.ELIDE)]),
+    FilterSet([
+        ScopeFilter("*loop*", FilterAction.ELIDE,
+                    (NodeCategory.LOOP,)),
+        ScopeFilter("m*", FilterAction.PRUNE),
+    ]),
+    FilterSet([ScopeFilter("*", FilterAction.ELIDE)]),
+    FilterSet([ScopeFilter("f*", FilterAction.PRUNE)],
+              ThresholdFilter(MetricSpec(0, MetricFlavor.INCLUSIVE), 0.05)),
+    FilterSet(threshold=ThresholdFilter(
+        MetricSpec(0, MetricFlavor.INCLUSIVE), 0.25)),
+]
+
+
+class TestFilterShimIdentity:
+    def test_apply_matches_reference(self, exp):
+        for view in exp.views():
+            for fset in FILTER_SETS:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    got = fset.apply(view)
+                want = _reference_apply(fset, view)
+                assert [id(n) for n in got] == [id(n) for n in want]
+
+    def test_children_of_matches_reference(self, exp):
+        view = exp.views()[0]
+        for fset in FILTER_SETS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                forest = fset.apply(view)
+            for node in forest:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    got = fset.children_of(view, node)
+                want = _reference_children_of(fset, view, node)
+                assert [id(n) for n in got] == [id(n) for n in want]
+
+    def test_apply_warns_deprecation(self, exp):
+        view = exp.views()[0]
+        with pytest.warns(DeprecationWarning, match="repro.query"):
+            FilterSet().apply(view)
+
+    def test_subset_roots(self, exp):
+        view = exp.views()[0]
+        roots = view.roots[:1]
+        for fset in FILTER_SETS:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                got = fset.apply(view, roots)
+            want = _reference_apply(fset, view, roots)
+            assert [id(n) for n in got] == [id(n) for n in want]

@@ -5,7 +5,8 @@ The surface has two halves:
 
 * **python** — every name in the ``__all__`` of the blessed modules
   (``repro``, ``repro.api``, ``repro.errors``, ``repro.obs``,
-  ``repro.server``), one ``python <module>.<name>`` line each;
+  ``repro.query``, ``repro.server``), one ``python <module>.<name>``
+  line each;
 * **http** — every ``(method, /v1 path)`` pair in the server's
   endpoint registry, one ``http <METHOD> /v1<path>`` line each.
 
@@ -33,6 +34,7 @@ PUBLIC_MODULES = (
     "repro.api",
     "repro.errors",
     "repro.obs",
+    "repro.query",
     "repro.server",
 )
 

@@ -51,6 +51,7 @@ def generate() -> dict[str, bytes]:
             out[f"{name}.table.rpcol"] = corpus.columnar_table_bytes(
                 experiment
             )
+    out.update(corpus.query_outputs())
     out.update(corpus.ensemble_outputs())
     return out
 

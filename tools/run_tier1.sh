@@ -4,7 +4,7 @@
 #   tools/run_tier1.sh            # full gate
 #   REPRO_TEST_TIMEOUT_SCALE=4 tools/run_tier1.sh   # slow/loaded machines
 #
-# Six stages, all required:
+# Seven stages, all required:
 #   1. the pytest suite (-x: first failure stops the run) — with
 #      coverage enforcement when pytest-cov is installed;
 #   2. public API surface: regenerated in-memory, diffed against the
@@ -15,7 +15,11 @@
 #      columnar render (decoded and cross-checked) and shuts down;
 #   5. corpus smoke: an ingest subprocess is kill -9'd mid-commit and
 #      the reopened corpus recovers it bit-identically;
-#   6. coverage ratchet: the fail_under floor may never decrease.
+#   6. query smoke: one composed query runs bit-identically across the
+#      in-memory / .rpdb / .rpstore backends, through the search()
+#      shim, and over /v1/query (JSON == columnar), plus a clean
+#      two-profile corpus diagnosis;
+#   7. coverage ratchet: the fail_under floor may never decrease.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +49,9 @@ python tools/pool_smoke.py
 
 echo "== tier-1: corpus smoke =="
 python tools/corpus_smoke.py
+
+echo "== tier-1: query smoke =="
+python tools/query_smoke.py
 
 echo "== tier-1: coverage ratchet =="
 python tools/check_coverage_ratchet.py
