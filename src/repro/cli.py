@@ -20,7 +20,10 @@ The commands mirror the HPCToolkit workflow:
   print (or write, with ``--markdown``) the paper-vs-measured report;
 * ``repro-query <database> [pattern]`` — run a composable call-path
   query (``docs/query.md``) against a database, a corpus tenant, or the
-  corpus-wide diagnosis rules.
+  corpus-wide diagnosis rules;
+* ``repro-trace`` — the time dimension (``docs/traces.md``): simulate
+  traced workloads into time-partitioned stores, run windowed queries,
+  and render flame-chart slabs and idleness series.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from repro.viewer.table import TableOptions
 
 __all__ = ["main_profile", "main_sim", "main_sim_scale", "main_view",
            "main_serve", "main_prof_merge", "main_diff", "main_corpus",
-           "main_experiments", "main_query"]
+           "main_experiments", "main_query", "main_trace"]
 
 _WORKLOADS = ("fig1", "s3d", "moab", "pflotran")
 
@@ -767,6 +770,188 @@ def main_query(argv: list[str] | None = None) -> int:
             print(json.dumps(result.to_columns(), indent=2))
         else:
             print_result(result)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def main_trace(argv: list[str] | None = None) -> int:
+    """``repro-trace`` — time-dimension traces from the shell.
+
+    Drives :mod:`repro.trace` (docs/traces.md): simulate a workload in
+    trace mode into a time-partitioned store, inspect a store's chunk
+    layout, run windowed call-path queries, and render the two
+    presentation products (flame-chart slab, idleness series).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Timestamped call-path traces: time-partitioned "
+                    "chunked stores, windowed CCT queries, flame-chart "
+                    "slabs and idleness series (docs/traces.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="trace a simulated workload into "
+                                        "a chunked store")
+    p.add_argument("workload", choices=_WORKLOADS)
+    p.add_argument("out", metavar="STORE", help="output store directory")
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--seed", type=int, default=12345)
+    p.add_argument("--slices", type=int, default=1,
+                   help="events per collapsed statement (denser timelines)")
+    p.add_argument("--chunk-duration", type=float, default=1.0,
+                   metavar="SECONDS", help="time-partition width")
+    p.add_argument("--overwrite", action="store_true")
+
+    p = sub.add_parser("info", help="store layout: chunks, bounds, metrics")
+    p.add_argument("store", metavar="STORE")
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    p = sub.add_parser("query", help="windowed call-path query")
+    p.add_argument("store", metavar="STORE")
+    p.add_argument("pattern", nargs="?", default=None)
+    p.add_argument("--t0", type=float, default=None)
+    p.add_argument("--t1", type=float, default=None)
+    p.add_argument("--sort", default=None, metavar="METRIC")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    p = sub.add_parser("flame", help="per-depth span slab of one rank")
+    p.add_argument("store", metavar="STORE")
+    p.add_argument("--rank", type=int, default=0)
+    p.add_argument("--t0", type=float, default=None)
+    p.add_argument("--t1", type=float, default=None)
+    p.add_argument("--metric", default=None)
+    p.add_argument("--max-spans", type=int, default=2000)
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    p = sub.add_parser("series", help="time-binned idleness/imbalance")
+    p.add_argument("store", metavar="STORE")
+    p.add_argument("--t0", type=float, default=None)
+    p.add_argument("--t1", type=float, default=None)
+    p.add_argument("--bins", type=int, default=32)
+    p.add_argument("--json", action="store_true", dest="as_json")
+
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "simulate":
+            import importlib
+
+            from repro.sim.spmd import trace_spmd
+            from repro.trace import create_trace_store
+
+            module = importlib.import_module(
+                f"repro.sim.workloads.{args.workload}"
+            )
+            traces = trace_spmd(
+                module.build(), nranks=args.ranks, seed=args.seed,
+                trace_slices=args.slices,
+            )
+            store = create_trace_store(
+                traces, args.out, chunk_duration=args.chunk_duration,
+                overwrite=args.overwrite,
+            )
+            try:
+                print(f"wrote {store.n_events} event(s) in "
+                      f"{store.chunks_total} chunk(s) to {args.out}")
+            finally:
+                store.close()
+            return 0
+
+        from repro.trace import open_trace
+
+        with open_trace(args.store) as store:
+            if args.command == "info":
+                info = store.info()
+                if args.as_json:
+                    print(json.dumps(info, indent=2, sort_keys=True))
+                else:
+                    print(f"{info['name']}: {info['n_events']} event(s), "
+                          f"{info['nranks']} rank(s), "
+                          f"{info['n_contexts']} context(s)")
+                    print(f"time [{info['t_begin']}, {info['t_end']}] in "
+                          f"{info['chunks']} chunk(s) of "
+                          f"{info['chunk_duration']}s")
+                    print("metrics: " + ", ".join(
+                        m["name"] for m in info["metrics"]))
+                return 0
+
+            if args.command == "query":
+                from repro.query import Query, run_query
+
+                q = Query()
+                if args.pattern:
+                    q = q.match(args.pattern)
+                q = q.window(args.t0, args.t1)
+                if args.sort:
+                    q = q.sort(args.sort)
+                if args.limit is not None:
+                    q = q.limit(args.limit)
+                result = run_query(q, store)
+                if args.as_json:
+                    print(json.dumps(result.to_columns(), indent=2))
+                    return 0
+                widths = [max(8, len(label) + 2)
+                          for label in result.labels]
+                header = f"{'scope':<44}" + "".join(
+                    f"{label:>{w}}"
+                    for label, w in zip(result.labels, widths))
+                print(header)
+                print("-" * len(header))
+                for i, (name, depth) in enumerate(
+                        zip(result.names, result.depths)):
+                    cell = ("  " * int(depth) + name)[:43]
+                    row = "".join(
+                        f"{result.values[i, j]:>{w}.6g}"
+                        for j, w in enumerate(widths))
+                    print(f"{cell:<44}{row}")
+                if result.truncated:
+                    print(f"... {result.truncated} more row(s) truncated")
+                return 0
+
+            if args.command == "flame":
+                from repro.trace import flame_slab
+
+                slab = flame_slab(
+                    store, rank=args.rank, t0=args.t0, t1=args.t1,
+                    metric=args.metric, max_spans=args.max_spans,
+                )
+                if args.as_json:
+                    print(json.dumps(slab, indent=2))
+                    return 0
+                print(f"rank {slab['rank']}: {slab['span_count']} span(s) "
+                      f"over {slab['event_count']} event(s) "
+                      f"[metric {slab['metric']}]")
+                for d, spans in enumerate(slab["depths"]):
+                    for span in spans:
+                        bar = "  " * d
+                        print(f"{bar}{span['name']:<30} "
+                              f"[{span['begin']:.6g}, {span['end']:.6g}) "
+                              f"{span['value']:.6g}")
+                if slab["truncated"]:
+                    print(f"... {slab['truncated']} span(s) truncated")
+                return 0
+
+            # series
+            from repro.trace import idleness_series
+
+            series = idleness_series(
+                store, t0=args.t0, t1=args.t1, bins=args.bins)
+            if args.as_json:
+                print(json.dumps(series, indent=2))
+                return 0
+            print(f"{series['bins']} bin(s) over "
+                  f"[{series['t0']:.6g}, {series['t1']:.6g}), "
+                  f"{series['nranks']} rank(s)")
+            for b in range(series["bins"]):
+                frac = series["idleness"][b]
+                bar = "#" * int(round(40 * frac))
+                print(f"{series['edges'][b]:>10.4g}  idle {frac:6.1%} "
+                      f"{bar}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

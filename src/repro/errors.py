@@ -40,6 +40,8 @@ __all__ = [
     "CorpusError",
     "CorpusCorrupt",
     "ProfilePinned",
+    "TraceError",
+    "TraceCorrupt",
     # API hierarchy
     "ApiError",
     "BadRequest",
@@ -115,6 +117,19 @@ class CorpusCorrupt(CorpusError):
 
 class ProfilePinned(CorpusError):
     """A corpus profile cannot be deleted while an open session pins it."""
+
+
+class TraceError(ReproError):
+    """Invalid trace operation (recording, windowing, chunked storage)."""
+
+
+class TraceCorrupt(TraceError):
+    """A time-partitioned trace store on disk is damaged.
+
+    Raised when a chunk file or the trace manifest fails its recorded
+    size or checksum — never for a store whose manifest simply is not
+    there yet (an interrupted writer leaves no manifest, and the
+    directory reads as "not a trace store" rather than a phantom)."""
 
 
 # --------------------------------------------------------------------- #
@@ -232,6 +247,8 @@ WIRE_CODES: dict[type, tuple[str, int]] = {
     ProfilePinned: ("profile-pinned", 409),
     CorpusCorrupt: ("corpus-corrupt", 500),
     CorpusError: ("corpus-error", 400),
+    TraceCorrupt: ("trace-corrupt", 500),
+    TraceError: ("trace-error", 400),
     ReproError: ("domain-error", 400),
 }
 
@@ -267,6 +284,12 @@ def translate_domain_error(exc: ReproError) -> ApiError:
         and text.startswith(("unknown tenant", "unknown profile"))
     ):
         return NotFound(text, code="unknown-profile")
+    if (
+        isinstance(exc, TraceError)
+        and not isinstance(exc, TraceCorrupt)
+        and text.startswith("no trace store")
+    ):
+        return NotFound(text, code="unknown-trace")
     code, status = wire_code(exc)
     if status == 404:
         return NotFound(text, code=code)

@@ -12,6 +12,12 @@ true cost distribution.
 ``SamplingProfiler.sample_once`` is exposed for deterministic testing:
 the machinery from unwinding through attribution is exercised without a
 timing dependence.
+
+With ``trace=True`` (single-thread mode only) every sample additionally
+becomes one timestamped event in a
+:class:`~repro.trace.model.TraceData` — the sampled rendition of
+hpcrun's trace files: period-cost events stamped with seconds since
+``start()``, quantized to nanosecond ticks.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ class SamplingProfiler:
         roots: Iterable[str] = (),
         collapse_foreign: bool = True,
         all_threads: bool = False,
+        trace: bool = False,
     ) -> None:
         if period <= 0:
             raise ProfilerError(f"sampling period must be positive, got {period}")
@@ -53,6 +60,23 @@ class SamplingProfiler:
             "wall time (s)", unit="seconds", period=period
         ).mid
         self.profile = ProfileData(self.metrics, program="sampled")
+        self.trace = None
+        self._t0 = time.perf_counter()
+        self._period_ticks = 0
+        if trace:
+            if all_threads:
+                raise ProfilerError(
+                    "trace mode samples one thread (all_threads=False)"
+                )
+            from repro.trace.model import TIME_RESOLUTION, TraceData, quantize
+
+            self._period_ticks = max(1, quantize(period, TIME_RESOLUTION))
+            self.trace = TraceData(
+                self.metrics,
+                resolutions={self._samples_mid: TIME_RESOLUTION},
+                program="sampled",
+                time_metric=self._samples_mid,
+            )
         #: per-thread profiles, populated in all-threads mode
         self.thread_profiles: dict[int, ProfileData] = {}
         self._target_tid: int | None = None
@@ -69,6 +93,7 @@ class SamplingProfiler:
         if self._thread is not None:
             raise ProfilerError("sampler already running")
         self._target_tid = target_tid if target_tid is not None else threading.get_ident()
+        self._t0 = time.perf_counter()
         self._stop.clear()
         self._thread = threading.Thread(
             target=self._run, name="repro-sampler", daemon=True
@@ -81,6 +106,8 @@ class SamplingProfiler:
         self._stop.set()
         self._thread.join()
         self._thread = None
+        if self.trace is not None:
+            self.trace.seal()
 
     def __enter__(self) -> "SamplingProfiler":
         self.start()
@@ -136,6 +163,11 @@ class SamplingProfiler:
         if not frames:
             return False
         profile.add_sample(frames, leaf_line, {self._samples_mid: self.period})
+        if self.trace is not None and not self.trace.sealed:
+            t = max(0.0, time.perf_counter() - self._t0)
+            self.trace.record(
+                frames, leaf_line, t, {self._samples_mid: self._period_ticks}
+            )
         self.samples_taken += 1
         return True
 

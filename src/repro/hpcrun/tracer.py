@@ -11,6 +11,16 @@ Two metrics are collected:
   machine-independent work measure;
 * ``wall time (s)`` — elapsed wall-clock attributed to the line that was
   executing when time passed.
+
+With ``trace=True`` the profiler additionally emits timestamped
+call-path samples into a :class:`~repro.trace.model.TraceData`: every
+attribution becomes one event stamped with seconds since ``start()``,
+costs quantized to int64 ticks (wall time at nanosecond resolution,
+line events at one tick per event).  The profile is attributed from the
+same quantized values; ``trace.profile()`` — the whole-window
+materialization, which is what the ``window(None, None)`` contract
+pins — agrees with it to within float summation order (exactly, for
+the integer event counts).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ class TracingProfiler:
         roots: Iterable[str] = (),
         collapse_foreign: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        trace: bool = False,
     ) -> None:
         self.roots = tuple(os.path.abspath(r) for r in roots)
         self.collapse_foreign = collapse_foreign
@@ -45,6 +56,18 @@ class TracingProfiler:
         self._events_mid = self.metrics.add("line events", unit="events").mid
         self._time_mid = self.metrics.add("wall time (s)", unit="seconds").mid
         self.profile = ProfileData(self.metrics, program="traced")
+        self.trace = None
+        self._t0 = 0.0
+        if trace:
+            from repro.trace.model import TIME_RESOLUTION, TraceData
+
+            self.trace = TraceData(
+                self.metrics,
+                resolutions={self._events_mid: 1.0,
+                             self._time_mid: TIME_RESOLUTION},
+                program="traced",
+                time_metric=self._time_mid,
+            )
         self._active = False
         #: pending time attribution: (frames, leaf_line, start_time) — the
         #: path is unwound eagerly at event time; unwinding lazily at flush
@@ -65,6 +88,7 @@ class TracingProfiler:
             raise ProfilerError("tracer already active")
         self._active = True
         self._last = None
+        self._t0 = self.clock()
         sys.settrace(self._trace)
 
     def stop(self) -> None:
@@ -73,6 +97,8 @@ class TracingProfiler:
         sys.settrace(None)
         self._flush_time(self.clock())
         self._active = False
+        if self.trace is not None:
+            self.trace.seal()
 
     # ------------------------------------------------------------------ #
     def _trace(self, frame: FrameType, event: str, arg):
@@ -89,6 +115,11 @@ class TracingProfiler:
             )
             if frames:
                 self.profile.add_sample(frames, leaf_line, {self._events_mid: 1.0})
+                if self.trace is not None:
+                    self.trace.record(
+                        frames, leaf_line, max(0.0, now - self._t0),
+                        {self._events_mid: 1},
+                    )
                 self._last = (frames, leaf_line, now)
         return self._trace
 
@@ -98,7 +129,26 @@ class TracingProfiler:
         frames, leaf_line, then = self._last
         elapsed = now - then
         if elapsed > 0:
-            self.profile.add_sample(frames, leaf_line, {self._time_mid: elapsed})
+            if self.trace is None:
+                self.profile.add_sample(
+                    frames, leaf_line, {self._time_mid: elapsed}
+                )
+            else:
+                # attribute the quantized value so profile and trace
+                # carry the same costs (the trace's own whole-window
+                # materialization is the exact artifact)
+                from repro.trace.model import TIME_RESOLUTION, quantize
+
+                ticks = quantize(elapsed, TIME_RESOLUTION)
+                if ticks > 0:
+                    self.profile.add_sample(
+                        frames, leaf_line,
+                        {self._time_mid: ticks * TIME_RESOLUTION},
+                    )
+                    self.trace.record(
+                        frames, leaf_line, max(0.0, then - self._t0),
+                        {self._time_mid: ticks},
+                    )
         self._last = None
 
 

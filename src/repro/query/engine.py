@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import fnmatch
 import re
+from dataclasses import replace
 
 import numpy as np
 
@@ -533,6 +534,17 @@ def _value_columns(frame, q: Query):
 
 def run_query(q: Query, target) -> QueryResult:
     """Evaluate *q* against *target*; the engine behind ``Query.run``."""
+    if hasattr(target, "window_experiment"):
+        # trace-capable target (TraceSet / TraceStore): materialize the
+        # windowed CCT — the whole trace when the query is untimed —
+        # then evaluate the rest of the query against it as usual
+        t0, t1 = q.time_window if q.time_window is not None else (None, None)
+        target = target.window_experiment(t0, t1)
+        q = replace(q, time_window=None)
+    elif q.time_window is not None:
+        raise QueryError(
+            "window() requires a trace-capable target (a TraceSet or an "
+            "opened trace store); this target carries no time dimension")
     frame = build_frame(target)
     n = frame.n
     universe = np.ones(n, dtype=bool)

@@ -337,6 +337,9 @@ class Query:
     flavors: tuple = ("inclusive", "exclusive")
     sort_by: tuple | None = None
     row_limit: int | None = None
+    #: ``(t0, t1)`` trace-time restriction (either bound may be None);
+    #: None means the query is untimed
+    time_window: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # operators
@@ -418,6 +421,36 @@ class Query:
             raise QueryError(f"limit must be a positive integer, got {n!r}")
         return replace(self, row_limit=n)
 
+    def window(self, t0: float | None = None,
+               t1: float | None = None) -> "Query":
+        """Restrict evaluation to trace events with ``t0 <= t < t1``.
+
+        Requires a trace-capable target (a
+        :class:`~repro.trace.model.TraceSet` or an opened
+        :class:`~repro.trace.store.TraceStore`); the CCT the rest of
+        the query sees is materialized from exactly the events inside
+        the window.  ``window(None, None)`` is the whole trace — by
+        the trace model's exactness contract, identical to the untimed
+        profile.
+        """
+        bounds = []
+        for label, t in (("t0", t0), ("t1", t1)):
+            if t is None:
+                bounds.append(None)
+                continue
+            if isinstance(t, bool) or not isinstance(t, (int, float)):
+                raise QueryError(
+                    f"window {label} must be a number or None, got {t!r}")
+            t = float(t)
+            if t != t:  # NaN
+                raise QueryError(f"window {label} must not be NaN")
+            bounds.append(t)
+        if (bounds[0] is not None and bounds[1] is not None
+                and bounds[0] > bounds[1]):
+            raise QueryError(
+                f"window is inverted: t0={bounds[0]!r} > t1={bounds[1]!r}")
+        return replace(self, time_window=(bounds[0], bounds[1]))
+
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
@@ -460,6 +493,8 @@ class Query:
                             "descending": descending}
         if self.row_limit is not None:
             spec["limit"] = self.row_limit
+        if self.time_window is not None:
+            spec["window"] = list(self.time_window)
         return spec
 
     @staticmethod
@@ -472,7 +507,7 @@ class Query:
         if not isinstance(spec, dict):
             raise QueryError(f"bad query spec: {spec!r}")
         known = {"ops", "pattern", "where", "metrics", "flavors",
-                 "sort", "limit"}
+                 "sort", "limit", "window"}
         unknown = set(spec) - known
         if unknown:
             raise QueryError(
@@ -518,6 +553,13 @@ class Query:
                        bool(sort.get("descending", True)))
         if spec.get("limit") is not None:
             q = q.limit(spec["limit"])
+        if spec.get("window") is not None:
+            window = spec["window"]
+            if not isinstance(window, (list, tuple)) or len(window) != 2:
+                raise QueryError(
+                    "query 'window' must be a [t0, t1] pair "
+                    "(either bound may be null)")
+            q = q.window(window[0], window[1])
         return q
 
 

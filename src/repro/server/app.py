@@ -109,6 +109,7 @@ from repro.server.schema import (
     SortRequest,
     SortResponse,
     TableRequest,
+    TraceRequest,
 )
 from repro.server.sessions import (
     SessionHandle,
@@ -1237,6 +1238,53 @@ class AnalysisApp:
                 table["group"] = entry.group
             profiles.append(table)
         return 200, {"tenant": req.tenant, "profiles": profiles}
+
+    # ------------------------------------------------------------------ #
+    # trace endpoint
+    # ------------------------------------------------------------------ #
+    def _ep_trace(
+        self, params: dict, body: dict
+    ) -> tuple[int, dict | BinaryBody]:
+        """Serve a windowed view over a time-partitioned trace store.
+
+        Stateless by design: the store is opened, read, and closed per
+        request — window pruning means only the chunks overlapping
+        ``[t0, t1)`` are ever mapped.  The flame view negotiates the
+        columnar wire format like ``/table``; its JSON ``rows`` are
+        exactly what ``decode_columnar`` yields from the framed body.
+        The series view is JSON-only (two reductions per bin, not one
+        table).
+        """
+        from repro.trace import flame_slab, flame_snapshot, idleness_series
+        from repro.trace.store import open_trace
+
+        req = TraceRequest.from_body(body)
+        columnar = accepts_columnar(params.get("_accept"))
+        with open_trace(req.path) as store:
+            if req.view == "series":
+                series = idleness_series(
+                    store, t0=req.t0, t1=req.t1, bins=req.bins
+                )
+                series["path"] = req.path
+                series["chunks_touched"] = store.chunks_touched
+                series["chunks_total"] = store.chunks_total
+                return 200, series
+            slab = flame_slab(
+                store, rank=req.rank, t0=req.t0, t1=req.t1,
+                metric=req.metric, max_spans=req.max_spans,
+            )
+            snapshot = flame_snapshot(slab)
+            if columnar:
+                return 200, BinaryBody(
+                    COLUMNAR_CONTENT_TYPE, encode_columnar(snapshot)
+                )
+            payload = dict(slab)
+            payload["path"] = req.path
+            payload["rows"] = snapshot.to_rows()
+            payload["labels"] = list(snapshot.labels)
+            payload["chunks_touched"] = store.chunks_touched
+            payload["chunks_total"] = store.chunks_total
+            return 200, payload
 
     # ------------------------------------------------------------------ #
     # corpus endpoints

@@ -675,6 +675,62 @@ class QueryRequest(_Request):
 
 
 @dataclass(frozen=True)
+class TraceRequest(_Request):
+    """``GET/POST /v1/trace`` — windowed views over a trace store.
+
+    ``path`` names a time-partitioned trace store on disk (the
+    ``.rpstore`` directory or its ``trace/`` subdirectory).  ``view``
+    selects the product: ``flame`` renders per-depth span arrays for a
+    flame chart over the window (columnar wire negotiation like
+    ``/table``); ``series`` renders the time-binned idleness/imbalance
+    series (JSON only).
+    """
+
+    path: str
+    view: str
+    t0: float | None
+    t1: float | None
+    rank: int
+    metric: str | None
+    bins: int
+    max_spans: int
+
+    FIELDS = (
+        FieldSpec("path", str,
+                  doc="trace store directory (.rpstore or its trace/ "
+                      "subdirectory)"),
+        FieldSpec("view", str, default="flame", choices=("flame", "series"),
+                  doc="'flame': per-depth span slab; 'series': time-binned "
+                      "idleness/imbalance"),
+        FieldSpec("t0", float, default=None,
+                  doc="window start in trace seconds (default: trace begin)"),
+        FieldSpec("t1", float, default=None,
+                  doc="window end, exclusive (default: trace end)"),
+        FieldSpec("rank", int, default=0, lo=0,
+                  doc="flame view: which rank's timeline to render"),
+        FieldSpec("metric", str, default=None,
+                  doc="flame view: span-value metric (default: the trace's "
+                      "time metric)"),
+        FieldSpec("bins", int, default=32, lo=1, hi=4096,
+                  doc="series view: number of time bins"),
+        FieldSpec("max_spans", int, default=2000, lo=1, hi=1_000_000,
+                  doc="flame view: span budget; deepest spans are dropped "
+                      "first and the response is marked truncated"),
+    )
+
+    @classmethod
+    def from_body(cls, body: dict) -> "TraceRequest":
+        base = parse_fields(body, cls.FIELDS)
+        if base["view"] not in ("flame", "series"):
+            raise BadRequest(
+                f"trace view must be 'flame' or 'series', "
+                f"got {base['view']!r}",
+                code="bad-trace-view",
+            )
+        return cls(**base)
+
+
+@dataclass(frozen=True)
 class CorpusOpenRequest(_Request):
     """``POST /v1/corpus/<tenant>/profiles/<pid>/open`` — open-by-id."""
 
@@ -1018,6 +1074,24 @@ ENDPOINTS: tuple[EndpointDef, ...] = (
                   request=QueryRequest,
                   errors=("bad-query", "unknown-session", "unknown-metric",
                           "no-corpus", "unknown-profile", "bad-database")),
+    )),
+    EndpointDef("/trace", ops=(
+        Operation("GET", "_ep_trace",
+                  "windowed views over a time-partitioned trace store: "
+                  "per-depth flame-chart span slabs (JSON rows, or the "
+                  "framed columnar encoding via Accept negotiation) or a "
+                  "time-binned idleness/imbalance series",
+                  request=TraceRequest,
+                  errors=("unknown-trace", "trace-error", "trace-corrupt",
+                          "bad-trace-view", "unknown-metric")),
+        Operation("POST", "_ep_trace",
+                  "windowed views over a time-partitioned trace store: "
+                  "per-depth flame-chart span slabs (JSON rows, or the "
+                  "framed columnar encoding via Accept negotiation) or a "
+                  "time-binned idleness/imbalance series",
+                  request=TraceRequest,
+                  errors=("unknown-trace", "trace-error", "trace-corrupt",
+                          "bad-trace-view", "unknown-metric")),
     )),
     EndpointDef("/corpus", ops=(
         Operation("GET", "_ep_corpus_info",

@@ -13,6 +13,17 @@ collapsed — a call site with ``count=k`` executes its callee once and
 scales the callee's costs by ``k`` — keeping simulation cost proportional
 to the CCT size rather than the dynamic instruction count, which is what
 lets laptop-scale runs model petascale executions.
+
+**Trace mode** (:func:`execute_trace`) additionally emits timestamped
+call-path samples: a per-rank simulated clock advances by each
+statement's cost on a designated *time metric*, and every cost
+attribution becomes one (or, with ``trace_slices > 1``, several)
+events in a :class:`~repro.trace.model.TraceData`.  Costs are
+quantized to int64 ticks at a dyadic resolution, so the trace's
+whole-window materialization *is* the profile, exactly — the
+``window(None, None) == untimed profile`` contract the property suite
+pins.  Program order is execution order, so sequential phases of the
+program occupy disjoint spans of trace time.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from repro.sim.program import (
     resolve_number,
 )
 
-__all__ = ["Executor", "execute"]
+__all__ = ["Executor", "execute", "execute_trace"]
 
 
 class Executor:
@@ -48,6 +59,10 @@ class Executor:
         params: dict | None = None,
         seed: int = 12345,
         max_depth: int = 400,
+        trace: bool = False,
+        time_metric: str | None = None,
+        time_scale: float = 1.0,
+        trace_slices: int = 1,
     ) -> None:
         self.program = program
         self.rank = rank
@@ -62,6 +77,36 @@ class Executor:
         for name, unit in program.metrics:
             self.metrics.add(name, unit=unit)
         self._mid: dict[str, int] = {d.name: d.mid for d in self.metrics}
+
+        self.trace = None
+        self._frames: list[Frame] = []
+        if trace:
+            from repro.trace.model import DEFAULT_RESOLUTION, TraceData
+
+            if trace_slices < 1:
+                raise SimulationError(
+                    f"trace_slices must be >= 1, got {trace_slices}"
+                )
+            if time_metric is None:
+                time_mid = 0 if len(self.metrics) else None
+            else:
+                if time_metric not in self.metrics:
+                    raise SimulationError(
+                        f"unknown time metric {time_metric!r} "
+                        f"(program metrics: {self.metrics.names()})"
+                    )
+                time_mid = self.metrics.by_name(time_metric).mid
+            self._time_mid = time_mid
+            self._trace_slices = trace_slices
+            self._clock_ticks = 0
+            self._tick_seconds = DEFAULT_RESOLUTION * float(time_scale)
+            self.trace = TraceData(
+                self.metrics,
+                rank=rank,
+                program=program.name,
+                time_metric=time_mid if time_mid is not None else 0,
+                time_scale=float(time_scale),
+            )
 
     # ------------------------------------------------------------------ #
     def run(self) -> ProfileData:
@@ -83,8 +128,11 @@ class Executor:
             params=self.params,
             rng=self.rng,
         )
+        self._frames = [entry_frame]
         self._exec_proc(entry, node, ctx, profile, depth=1)
         profile.sample_count = max(profile.sample_count, 1)
+        if self.trace is not None:
+            self.trace.seal()
         return profile
 
     # ------------------------------------------------------------------ #
@@ -119,7 +167,7 @@ class Executor:
                         self._mid_of(name): v * ctx.multiplier
                         for name, v in costs.items()
                     }
-                    node.add_cost(stmt.line, scaled)
+                    self._attribute(node, stmt.line, scaled)
                     profile.sample_count += 1
             elif isinstance(stmt, Loop):
                 trips = resolve_number(stmt.trips, ctx)
@@ -150,7 +198,7 @@ class Executor:
             scaled = {
                 self._mid_of(name): v * ctx.multiplier for name, v in site.items()
             }
-            node.add_cost(call.line, scaled)
+            self._attribute(node, call.line, scaled)
             profile.sample_count += 1
         if count <= 0:
             return
@@ -169,7 +217,58 @@ class Executor:
             rng=ctx.rng,
             multiplier=ctx.multiplier * count,
         )
-        self._exec_proc(callee, child, inner, profile, depth + 1)
+        self._frames.append(frame)
+        try:
+            self._exec_proc(callee, child, inner, profile, depth + 1)
+        finally:
+            self._frames.pop()
+
+    # ------------------------------------------------------------------ #
+    # cost attribution (trace-aware)
+    # ------------------------------------------------------------------ #
+    def _attribute(self, node, line: int, scaled: dict[int, float]) -> None:
+        """Attribute one statement's costs; in trace mode, also emit
+        timestamped events and advance the simulated clock.
+
+        Trace mode quantizes every cost to int64 ticks at the dyadic
+        trace resolution and attributes ``ticks * resolution`` to the
+        profile, so the profile and the trace agree *exactly* — the
+        whole-trace window materializes back to this profile bit for
+        bit.
+        """
+        if self.trace is None:
+            node.add_cost(line, scaled)
+            return
+        from repro.trace.model import DEFAULT_RESOLUTION, quantize
+
+        ticks = {mid: quantize(v) for mid, v in scaled.items()}
+        materialized = {
+            mid: t * DEFAULT_RESOLUTION for mid, t in ticks.items() if t
+        }
+        if not materialized:
+            return
+        node.add_cost(line, materialized)
+        frames = tuple(self._frames)
+        slices = self._trace_slices
+        if slices == 1:
+            parts = [ticks]
+        else:
+            split: dict[int, list[int]] = {}
+            for mid, t in ticks.items():
+                q, rem = divmod(t, slices)
+                split[mid] = [q + 1] * rem + [q] * (slices - rem)
+            parts = [
+                {mid: chunk[i] for mid, chunk in split.items()}
+                for i in range(slices)
+            ]
+        for part in parts:
+            part = {mid: t for mid, t in part.items() if t}
+            if not part:
+                continue
+            t_now = self._clock_ticks * self._tick_seconds
+            self.trace.record(frames, line, t_now, part)
+            if self._time_mid is not None:
+                self._clock_ticks += part.get(self._time_mid, 0)
 
 
 def execute(
@@ -189,3 +288,41 @@ def execute(
         seed=seed,
         max_depth=max_depth,
     ).run()
+
+
+def execute_trace(
+    program: Program,
+    rank: int = 0,
+    nranks: int = 1,
+    params: dict | None = None,
+    seed: int = 12345,
+    max_depth: int = 400,
+    time_metric: str | None = None,
+    time_scale: float = 1.0,
+    trace_slices: int = 1,
+):
+    """Execute *program* in trace mode; return the sealed
+    :class:`~repro.trace.model.TraceData`.
+
+    The rank's untimed profile is exactly ``trace.profile()`` — the
+    whole-trace window materialization.  *time_metric* names the metric
+    whose cost advances the simulated clock (default: the program's
+    first metric); *time_scale* converts one materialized unit of it
+    into trace seconds; *trace_slices > 1* splits each collapsed
+    statement's ticks into that many consecutive events for denser
+    timelines (the split is exact, so window sums are unaffected).
+    """
+    executor = Executor(
+        program,
+        rank=rank,
+        nranks=nranks,
+        params=params,
+        seed=seed,
+        max_depth=max_depth,
+        trace=True,
+        time_metric=time_metric,
+        time_scale=time_scale,
+        trace_slices=trace_slices,
+    )
+    executor.run()
+    return executor.trace

@@ -1,0 +1,48 @@
+"""The time dimension: timestamped call-path traces and windowed CCTs.
+
+* :mod:`repro.trace.model` — in-memory event streams
+  (:class:`TraceData`, :class:`TraceSet`) with exact int64-tick costs
+  and ``window(t0, t1)`` materialization.
+* :mod:`repro.trace.store` — chunked time-partitioned on-disk storage
+  with pre-aggregated per-chunk CCT slabs and manifest-last commits.
+* :mod:`repro.trace.flame` — flame-chart slabs and the time-binned
+  idleness/imbalance series behind ``/v1/trace``.
+
+See ``docs/traces.md`` for the full design.
+"""
+
+from repro.trace.flame import flame_slab, flame_snapshot, idleness_series
+from repro.trace.model import (
+    DEFAULT_RESOLUTION,
+    TIME_RESOLUTION,
+    TraceData,
+    TraceSet,
+    materialize_profile,
+    quantize,
+)
+from repro.trace.store import (
+    CRASH_POINTS,
+    TRACE_FORMAT,
+    TraceStore,
+    create_trace_store,
+    is_trace_path,
+    open_trace,
+)
+
+__all__ = [
+    "DEFAULT_RESOLUTION",
+    "TIME_RESOLUTION",
+    "TraceData",
+    "TraceSet",
+    "TraceStore",
+    "TRACE_FORMAT",
+    "CRASH_POINTS",
+    "create_trace_store",
+    "flame_slab",
+    "flame_snapshot",
+    "idleness_series",
+    "is_trace_path",
+    "materialize_profile",
+    "open_trace",
+    "quantize",
+]

@@ -1,0 +1,248 @@
+"""Flame-chart slabs and time-binned imbalance series over traces.
+
+Both functions accept either backend — an in-memory
+:class:`~repro.trace.model.TraceSet` or an on-disk
+:class:`~repro.trace.store.TraceStore` — through the shared windowing
+protocol (``events_window`` / ``window_ticks``), so the server's
+``/v1/trace`` endpoint is storage-agnostic.
+
+A **flame slab** is the per-depth span decomposition of one rank's
+window: consecutive events that share the same call-path prefix up to a
+depth merge into one span at that depth.  Spans carry their time
+extent plus an exact per-metric tick total, materialized once — the
+same integer-exactness discipline as window queries.  The slab ships
+as a :class:`~repro.server.wire.TableSnapshot` (rows of
+``[scope, depth, begin, end, value]``), which is precisely the shape
+the columnar wire encoder frames, so ``/v1/trace`` negotiates
+``application/x-repro-columnar`` for free.
+
+The **idleness series** bins the window into equal-width intervals and
+reports, per bin, per-rank busy time reduced to mean/max plus the two
+derived ratios the imbalance literature uses: ``idleness = 1 -
+mean/max`` (the fraction of aggregate capacity wasted waiting on the
+slowest rank) and ``imbalance = max/mean - 1``.  A phase shift shows
+as a step in the per-bin profile; a straggler rank shows as rising
+idleness late in the run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.server.wire import TableSnapshot
+from repro.trace.model import check_window
+
+__all__ = ["flame_slab", "flame_snapshot", "idleness_series"]
+
+
+def _duration_seconds(source, ticks: np.ndarray) -> np.ndarray:
+    """Per-event trace-time extents from the designated time metric."""
+    tm = source.time_metric
+    unit = source.resolutions[tm] * source.time_scale
+    return ticks[:, tm].astype(np.float64) * unit
+
+
+def flame_slab(
+    source,
+    rank: int = 0,
+    t0: float | None = None,
+    t1: float | None = None,
+    metric: str | None = None,
+    max_spans: int = 2000,
+) -> dict:
+    """Per-depth span arrays of one rank's window.
+
+    Returns ``{"rank", "t0", "t1", "metric", "depths": [[span, ...],
+    ...], "span_count", "truncated"}`` where each span is
+    ``{"name", "file", "begin", "end", "value"}`` (value = the span's
+    exact metric total, ticks x resolution).  ``depths[d]`` lists the
+    spans at call-path depth ``d`` in time order.
+    """
+    if max_spans < 1:
+        raise TraceError(f"max_spans must be >= 1, got {max_spans}")
+    metrics = source.metrics
+    mid = (
+        metrics.by_name(metric).mid
+        if metric is not None
+        else source.time_metric
+    )
+    resolution = source.resolutions[mid]
+    times, ctx_ids, ticks = source.events_window(rank, t0, t1)
+    durs = _duration_seconds(source, ticks)
+    contexts = source.contexts
+    paths = [contexts[int(ci)][0] for ci in ctx_ids]
+
+    max_depth = max((len(p) for p in paths), default=0)
+    depth_spans: list[list[dict]] = [[] for _ in range(max_depth)]
+    # open[d] = [frames-prefix, begin, end, tick_total]
+    open_spans: list[list | None] = [None] * max_depth
+    span_count = 0
+    truncated = 0
+
+    def close(d: int) -> None:
+        nonlocal span_count, truncated
+        span = open_spans[d]
+        open_spans[d] = None
+        if span is None:
+            return
+        if span_count >= max_spans:
+            truncated += 1
+            return
+        frame = span[0][d]
+        depth_spans[d].append(
+            {
+                "name": frame.proc,
+                "file": frame.file,
+                "begin": span[1],
+                "end": span[2],
+                "value": int(span[3]) * resolution,
+            }
+        )
+        span_count += 1
+
+    prev_path: tuple | None = None
+    for i in range(len(times)):
+        p = paths[i]
+        begin = float(times[i])
+        end = begin + float(durs[i])
+        event_ticks = int(ticks[i, mid])
+        for d in range(len(p)):
+            span = open_spans[d]
+            if (
+                span is not None
+                and prev_path is not None
+                and len(prev_path) > d
+                and prev_path[: d + 1] == p[: d + 1]
+            ):
+                span[2] = max(span[2], end)
+                span[3] += event_ticks
+            else:
+                close(d)
+                open_spans[d] = [p, begin, end, event_ticks]
+        for d in range(len(p), max_depth):
+            close(d)
+        prev_path = p
+    for d in range(max_depth):
+        close(d)
+
+    lo, hi = check_window(t0, t1)
+    return {
+        "rank": rank,
+        "t0": None if math.isinf(lo) else lo,
+        "t1": None if math.isinf(hi) else hi,
+        "metric": metrics.by_id(mid).name,
+        "event_count": int(len(times)),
+        "span_count": span_count,
+        "truncated": truncated,
+        "depths": depth_spans,
+    }
+
+
+def flame_snapshot(slab: dict) -> TableSnapshot:
+    """A flame slab as a wire table: ``[scope, depth, begin, end, value]``.
+
+    The row order (depth-major, time within a depth) and the float
+    values are exactly those of the ``depths`` arrays, so the columnar
+    encoding decodes to the same cells the JSON response carries.
+    """
+    names: list[str] = []
+    depths: list[int] = []
+    rows: list[list[float]] = []
+    for d, spans in enumerate(slab["depths"]):
+        for span in spans:
+            names.append(span["name"])
+            depths.append(d)
+            rows.append([span["begin"], span["end"], span["value"]])
+    values = (
+        np.asarray(rows, dtype=np.float64)
+        if rows
+        else np.zeros((0, 3), dtype=np.float64)
+    )
+    return TableSnapshot(
+        view="trace-flame",
+        generation=0,
+        names=tuple(names),
+        depths=np.asarray(depths, dtype=np.int64),
+        labels=("begin", "end", slab["metric"]),
+        values=values,
+        truncated=slab["truncated"],
+    )
+
+
+def idleness_series(
+    source,
+    t0: float | None = None,
+    t1: float | None = None,
+    bins: int = 32,
+) -> dict:
+    """Time-binned busy/idleness/imbalance over all ranks of a window.
+
+    Each event's time extent is distributed across the bins it overlaps
+    (proportionally), yielding per-rank busy seconds per bin; the
+    reductions are ``idleness = 1 - mean/max`` and ``imbalance =
+    max/mean - 1`` (0 where the bin is empty).
+    """
+    if bins < 1:
+        raise TraceError(f"bins must be >= 1, got {bins}")
+    lo, hi = check_window(t0, t1)
+    if math.isinf(lo):
+        if source.t_begin is None:
+            raise TraceError("cannot bin an empty trace without bounds")
+        lo = float(source.t_begin)
+    if math.isinf(hi):
+        if source.t_end is None:
+            raise TraceError("cannot bin an empty trace without bounds")
+        # include the extent of the last events
+        hi = float(source.t_end)
+        for r in range(source.nranks):
+            times, _ctx, ticks = source.events_window(r, None, None)
+            if len(times):
+                durs = _duration_seconds(source, ticks)
+                hi = max(hi, float(np.max(times + durs)))
+    if not hi > lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    width = (hi - lo) / bins
+
+    busy = np.zeros((source.nranks, bins), dtype=np.float64)
+    for r in range(source.nranks):
+        times, _ctx, ticks = source.events_window(r, t0, t1)
+        if not len(times):
+            continue
+        durs = _duration_seconds(source, ticks)
+        begins = np.clip(times, lo, hi)
+        ends = np.clip(times + durs, lo, hi)
+        first = np.clip(((begins - lo) / width).astype(np.int64), 0, bins - 1)
+        last = np.clip(((ends - lo) / width).astype(np.int64), 0, bins - 1)
+        for i in range(len(times)):
+            b0, b1 = int(first[i]), int(last[i])
+            if ends[i] <= begins[i]:
+                continue
+            if b0 == b1:
+                busy[r, b0] += ends[i] - begins[i]
+                continue
+            for b in range(b0, b1 + 1):
+                seg_lo = max(begins[i], edges[b])
+                seg_hi = min(ends[i], edges[b + 1])
+                if seg_hi > seg_lo:
+                    busy[r, b] += seg_hi - seg_lo
+
+    mean = busy.mean(axis=0)
+    peak = busy.max(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        idleness = np.where(peak > 0, 1.0 - mean / np.where(peak > 0, peak, 1.0), 0.0)
+        imbalance = np.where(mean > 0, peak / np.where(mean > 0, mean, 1.0) - 1.0, 0.0)
+    return {
+        "t0": float(lo),
+        "t1": float(hi),
+        "bins": bins,
+        "nranks": source.nranks,
+        "edges": edges.tolist(),
+        "mean_busy": mean.tolist(),
+        "max_busy": peak.tolist(),
+        "idleness": idleness.tolist(),
+        "imbalance": imbalance.tolist(),
+    }

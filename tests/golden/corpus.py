@@ -25,9 +25,11 @@ from repro.viewer.table import TableOptions, render_view
 
 __all__ = ["COLUMNAR_FIXTURE", "DATA_DIR", "ENSEMBLE_DROPPED",
            "ENSEMBLE_PLANTED", "ENSEMBLE_TARGET", "FIXTURES",
-           "GOLDEN_QUERIES", "VIEW_SLUGS", "build_fixture",
+           "GOLDEN_QUERIES", "TRACE_CHUNK_DURATION", "TRACE_FIXTURES",
+           "VIEW_SLUGS", "build_fixture", "build_trace_fixture",
            "columnar_table_bytes", "ensemble_members", "ensemble_outputs",
-           "query_outputs", "render_views"]
+           "query_outputs", "render_views", "trace_outputs",
+           "trace_store_files", "trace_window"]
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
@@ -255,6 +257,168 @@ def ensemble_outputs() -> dict[str, bytes]:
     out["ensemble.findings.json"] = (
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     ).encode("utf-8")
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the golden trace corpus: seeded traces with planted time structure
+# --------------------------------------------------------------------- #
+
+#: time-partition width used for every pinned trace store
+TRACE_CHUNK_DURATION = 2.0
+
+#: trace fixture name -> builder (zero-argument, fully deterministic)
+TRACE_FIXTURES: dict[str, "callable"] = {}
+
+
+def _trace_fixture(fn):
+    TRACE_FIXTURES[fn.__name__.replace("_", "-")] = fn
+    return fn
+
+
+@_trace_fixture
+def trace_fig1():
+    """The paper's Figure 1 program traced on two ranks — the baseline
+    trace: symmetric ranks, one metric, program order as trace time."""
+    from repro.sim.spmd import trace_spmd
+    from repro.sim.workloads import fig1
+
+    return trace_spmd(fig1.build(), nranks=2, seed=7, trace_slices=2,
+                      name="golden-trace-fig1")
+
+
+@_trace_fixture
+def trace_phases():
+    """A planted *phase shift*: a light smoothing phase followed by a
+    heavy sweep phase.  The flame slab and idleness series must show the
+    cost regime changing partway through the trace, and a window
+    covering only the first phase must contain no ``sweep`` scopes."""
+    from repro.sim.program import Call, Loop, Module, Procedure, Program, Work
+    from repro.sim.spmd import trace_spmd
+
+    smooth = Procedure(name="smooth", line=1, end_line=4, body=[
+        Work(line=2, costs={"cycles": 1.0}),
+    ])
+    sweep = Procedure(name="sweep", line=6, end_line=10, body=[
+        Work(line=7, costs={"cycles": 3.0}),
+        Work(line=8, costs={"cycles": 1.0, "flops": 2.0}),
+    ])
+    main = Procedure(name="main", line=12, end_line=20, body=[
+        Loop(line=13, end_line=15, trips=4,
+             body=[Call(line=14, callee="smooth")]),
+        Loop(line=16, end_line=18, trips=4,
+             body=[Call(line=17, callee="sweep")]),
+    ])
+    program = Program(
+        name="phases",
+        modules=[Module(path="phases.c", procedures=[main, smooth, sweep])],
+        entry="main",
+        metrics=[("cycles", "cycles"), ("flops", "flops")],
+    )
+    return trace_spmd(program, nranks=2, seed=7, trace_slices=6,
+                      name="golden-trace-phases")
+
+
+@_trace_fixture
+def trace_straggler():
+    """Planted *late-rank idleness*: per-rank cost grows linearly with
+    rank, so high ranks keep computing after low ranks have finished —
+    the idleness series must rise toward the end of the trace."""
+    from repro.sim.program import Call, Module, Procedure, Program, Work
+    from repro.sim.spmd import trace_spmd
+
+    ranked = Procedure(name="ranked_work", line=1, end_line=4, body=[
+        Work(line=2,
+             costs=lambda ctx: {"cycles": 4.0 * (1 + ctx.rank)}),
+    ])
+    main = Procedure(name="main", line=6, end_line=10, body=[
+        Work(line=7, costs={"cycles": 1.0}),
+        Call(line=8, callee="ranked_work"),
+    ])
+    program = Program(
+        name="straggler",
+        modules=[Module(path="straggler.c", procedures=[main, ranked])],
+        entry="main",
+        metrics=[("cycles", "cycles")],
+    )
+    return trace_spmd(program, nranks=4, seed=7, trace_slices=8,
+                      name="golden-trace-straggler")
+
+
+def build_trace_fixture(name: str):
+    return TRACE_FIXTURES[name]()
+
+
+def trace_window(traces) -> tuple[float, float]:
+    """The pinned query window: the middle half of the trace span."""
+    t0, t1 = traces.t_begin, traces.t_end
+    span = t1 - t0
+    return (t0 + 0.25 * span, t0 + 0.75 * span)
+
+
+def trace_store_files(traces, directory: str) -> dict[str, bytes]:
+    """Write *traces* as a chunked store under *directory*; return the
+    store's files keyed by basename (manifest, skeleton, chunk pairs)."""
+    from repro.trace import create_trace_store
+
+    store = create_trace_store(
+        traces, os.path.join(directory, "store.rpstore"),
+        chunk_duration=TRACE_CHUNK_DURATION,
+    )
+    try:
+        return {
+            fname: open(os.path.join(store.path, fname), "rb").read()
+            for fname in sorted(os.listdir(store.path))
+        }
+    finally:
+        store.close()
+
+
+def trace_outputs() -> dict[str, bytes]:
+    """filename -> bytes for the golden trace corpus.
+
+    Every trace fixture pins (a) the exact bytes of its chunked store —
+    manifest, skeleton, per-chunk event and slab files, flattened as
+    ``<name>.trace.<file>`` — and (b) JSON renders of a mid-half window
+    query, the rank-0 flame slab, and the idleness series.  Any drift
+    in event ordering, quantization, chunk partitioning, manifest
+    layout, window semantics, span merging, or binning changes
+    checked-in bytes.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.query import query as make_query
+    from repro.query import run_query
+    from repro.trace import flame_slab, idleness_series
+
+    def dump(payload) -> bytes:
+        return (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode("utf-8")
+
+    out: dict[str, bytes] = {}
+    for name in sorted(TRACE_FIXTURES):
+        traces = build_trace_fixture(name)
+        tmp = tempfile.mkdtemp(prefix="golden-trace-")
+        try:
+            for fname, content in trace_store_files(traces, tmp).items():
+                out[f"{name}.trace.{fname}"] = content
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        t0, t1 = trace_window(traces)
+        metric = traces.metrics.by_id(0).name
+        result = run_query(
+            make_query("**/*").window(t0, t1).sort(metric), traces
+        )
+        payload = result.to_columns()
+        payload["truncated"] = result.truncated
+        payload["window"] = [t0, t1]
+        out[f"{name}.trace.window.json"] = dump(payload)
+        out[f"{name}.trace.flame.json"] = dump(flame_slab(traces, rank=0))
+        out[f"{name}.trace.series.json"] = dump(
+            idleness_series(traces, bins=8)
+        )
     return out
 
 

@@ -200,6 +200,90 @@ def test_ensemble_planted_regressions_all_flagged() -> None:
     assert [f.to_payload() for f in findings] == golden["findings"]
 
 
+# --------------------------------------------------------------------- #
+# golden trace corpus
+# --------------------------------------------------------------------- #
+TRACE_NAMES = sorted(corpus.TRACE_FIXTURES)
+
+
+def test_trace_corpus_is_byte_stable() -> None:
+    """Every trace fixture still produces every checked-in byte — store
+    files (manifest, skeleton, chunk events and slabs) plus the pinned
+    window-query / flame-slab / series JSON renders in one sweep."""
+    for name, content in sorted(corpus.trace_outputs().items()):
+        with open(_data(name), "rb") as fh:
+            assert fh.read() == content, f"golden drift in {name}"
+
+
+@pytest.mark.parametrize("name", TRACE_NAMES)
+def test_trace_store_reserialization_is_byte_stable(name: str,
+                                                    tmp_path) -> None:
+    """Writing the same trace twice produces identical store bytes —
+    chunk partitioning, manifest layout, and slab encoding carry no
+    run-to-run state (no timestamps, no randomized ordering)."""
+    traces = corpus.build_trace_fixture(name)
+    first = corpus.trace_store_files(traces, str(tmp_path / "a"))
+    second = corpus.trace_store_files(traces, str(tmp_path / "b"))
+    assert first == second
+
+
+@pytest.mark.parametrize("name", TRACE_NAMES)
+def test_windowed_queries_from_pinned_store_match_golden(name: str,
+                                                         tmp_path) -> None:
+    """The checked-in store bytes answer the pinned window query with
+    the pinned JSON — the chunked loader path and the in-memory builder
+    path agree on every cell."""
+    import json
+    import shutil
+
+    from repro.query import query, run_query
+    from repro.trace import open_trace
+
+    store_dir = tmp_path / "store" / "trace"
+    store_dir.mkdir(parents=True)
+    prefix = f"{name}.trace."
+    for fname in os.listdir(corpus.DATA_DIR):
+        if fname.startswith(prefix) and not fname.endswith(
+                (".window.json", ".flame.json", ".series.json")):
+            shutil.copy(_data(fname), store_dir / fname[len(prefix):])
+
+    with open(_data(f"{name}.trace.window.json"), encoding="utf-8") as fh:
+        golden = json.load(fh)
+    t0, t1 = golden["window"]
+    with open_trace(str(tmp_path / "store")) as store:
+        metric = store.metrics.by_id(0).name
+        result = run_query(query("**/*").window(t0, t1).sort(metric),
+                           store)
+        payload = result.to_columns()
+        payload["truncated"] = result.truncated
+        payload["window"] = [t0, t1]
+        assert json.loads(json.dumps(payload)) == golden
+
+
+@pytest.mark.parametrize("name", TRACE_NAMES)
+def test_flame_slab_from_pinned_store_matches_golden(name: str,
+                                                     tmp_path) -> None:
+    """The checked-in chunk bytes render the pinned flame slab."""
+    import json
+    import shutil
+
+    from repro.trace import flame_slab, open_trace
+
+    store_dir = tmp_path / "trace"
+    store_dir.mkdir(parents=True)
+    prefix = f"{name}.trace."
+    for fname in os.listdir(corpus.DATA_DIR):
+        if fname.startswith(prefix) and not fname.endswith(
+                (".window.json", ".flame.json", ".series.json")):
+            shutil.copy(_data(fname), store_dir / fname[len(prefix):])
+
+    with open(_data(f"{name}.trace.flame.json"), encoding="utf-8") as fh:
+        golden = json.load(fh)
+    with open_trace(str(store_dir)) as store:
+        slab = flame_slab(store, rank=0)
+    assert json.loads(json.dumps(slab)) == golden
+
+
 def test_ensemble_alignment_matrices_match_in_memory() -> None:
     """File-based and in-memory alignment produce bit-identical matrices."""
     import numpy as np

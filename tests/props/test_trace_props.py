@@ -1,0 +1,202 @@
+"""Differential properties of the time dimension.
+
+The trace layer promises three exact contracts, and Hypothesis attacks
+all of them with random event streams over a fixed program structure:
+
+* **backend bit-identity** — a windowed query returns bit-identical
+  results (``float.hex`` on every cell) whether the trace lives in
+  memory (:class:`TraceSet`) or in a time-partitioned chunked store
+  (:class:`TraceStore`), for *any* window;
+* **exact partitioning** — disjoint windows covering the trace sum
+  *exactly* (int64, not approximately) to the whole-trace tick matrix,
+  because costs are integer ticks and integer addition is associative;
+* **``window(None, None)`` ≡ untimed** — the unbounded window *is* the
+  trace's untimed profile, with no float drift whatsoever.
+
+Events are generated against the context table of a real simulated
+trace, so every random stream exercises genuine call paths through the
+correlation pipeline rather than synthetic one-frame stubs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import Query, query, run_query
+from repro.trace import TraceData, TraceSet, create_trace_store
+
+NRANKS = 2
+T_SPAN = 10.0  # event timestamps live in [0, T_SPAN)
+
+
+def _template():
+    """A sealed simulated trace supplying real contexts + structure."""
+    from repro.sim.spmd import trace_spmd
+    from repro.sim.workloads import fig1
+
+    return trace_spmd(fig1.build(), nranks=NRANKS, seed=7, trace_slices=2,
+                      name="prop-trace")
+
+
+TEMPLATE = _template()
+CONTEXTS = TEMPLATE.contexts
+N_METRICS = len(TEMPLATE.metrics)
+
+
+@st.composite
+def trace_events(draw):
+    """Per-rank lists of ``(ctx index, t, ticks row)`` random events."""
+    out = []
+    for _ in range(NRANKS):
+        n = draw(st.integers(min_value=0, max_value=12))
+        events = []
+        for _ in range(n):
+            ci = draw(st.integers(0, len(CONTEXTS) - 1))
+            t = draw(st.floats(min_value=0.0, max_value=T_SPAN,
+                               exclude_max=True, allow_nan=False,
+                               allow_infinity=False))
+            ticks = {
+                mid: draw(st.integers(min_value=0, max_value=1_000_000))
+                for mid in range(N_METRICS)
+            }
+            events.append((ci, t, ticks))
+        out.append(events)
+    return out
+
+
+def _build_set(rank_events) -> TraceSet:
+    traces = []
+    for rank, events in enumerate(rank_events):
+        td = TraceData(
+            TEMPLATE.metrics,
+            resolutions=TEMPLATE.resolutions,
+            rank=rank,
+            program=TEMPLATE.program,
+            time_metric=TEMPLATE.time_metric,
+            time_scale=TEMPLATE.time_scale,
+        )
+        # anchor every rank with one whole-table event so ranks never
+        # disagree about which contexts exist (the store requires one
+        # global context table; real tracers share structure the same way)
+        for ci, (frames, leaf_line) in enumerate(CONTEXTS):
+            td.record(frames, leaf_line, 0.0, {0: 0})
+        for ci, t, ticks in events:
+            frames, leaf_line = CONTEXTS[ci]
+            td.record(frames, leaf_line, t, ticks)
+        traces.append(td)
+    return TraceSet(traces, TEMPLATE.structure, name="prop-trace")
+
+
+def _windows(draw_cuts):
+    """Random window bounds including open/unbounded/degenerate ones."""
+    a, b = sorted(draw_cuts)
+    return [(None, None), (a, b), (None, a), (b, None), (a, a)]
+
+
+def _fingerprint(result):
+    # exact float bits: float.hex() distinguishes every representable value
+    cols = result.to_columns()
+    return {
+        k: [v.hex() if isinstance(v, float) else v for v in vals]
+        for k, vals in cols.items()
+    }, [
+        tuple(v.hex() if isinstance(v, float) else v for v in row)
+        for row in result.to_rows()
+    ], result.truncated
+
+
+QUERIES = [
+    query("**/*"),
+    query("**/*").sort("cycles"),
+    query("** / *").groupby("name").sort("cycles", "exclusive"),
+]
+
+
+@settings(max_examples=15, deadline=None)
+@given(rank_events=trace_events(),
+       cuts=st.tuples(st.floats(0, T_SPAN, allow_nan=False),
+                      st.floats(0, T_SPAN, allow_nan=False)))
+def test_window_bit_identical_across_backends(rank_events, cuts):
+    """In-memory TraceSet vs chunked TraceStore: same bytes, any window."""
+    traces = _build_set(rank_events)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = create_trace_store(
+            traces, os.path.join(tmp, "t.rpstore"), chunk_duration=2.5)
+        try:
+            for t0, t1 in _windows(cuts):
+                for q in QUERIES:
+                    wq = q.window(t0, t1)
+                    want = _fingerprint(run_query(wq, traces))
+                    assert _fingerprint(run_query(wq, store)) == want
+        finally:
+            store.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(rank_events=trace_events(),
+       cuts=st.lists(st.floats(0, T_SPAN, allow_nan=False),
+                     min_size=1, max_size=4))
+def test_disjoint_windows_partition_exactly(rank_events, cuts):
+    """Half-open windows covering the axis sum to the whole trace,
+    int64-exactly — on both backends."""
+    traces = _build_set(rank_events)
+    bounds = [None] + sorted(cuts) + [None]
+    whole = traces.window_ticks(None, None)
+    parts = np.zeros_like(whole)
+    for lo, hi in zip(bounds, bounds[1:]):
+        parts += traces.window_ticks(lo, hi)
+    assert np.array_equal(parts, whole)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = create_trace_store(
+            traces, os.path.join(tmp, "t.rpstore"), chunk_duration=1.0)
+        try:
+            store_parts = np.zeros_like(whole)
+            for lo, hi in zip(bounds, bounds[1:]):
+                store_parts += store.window_ticks(lo, hi)
+            assert np.array_equal(store_parts, whole)
+        finally:
+            store.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(rank_events=trace_events())
+def test_unbounded_window_is_the_untimed_profile(rank_events):
+    """``window(None, None)`` reproduces the untimed profile exactly:
+    same tick sums per rank, same query results as the profile-built
+    experiment, bit for bit."""
+    traces = _build_set(rank_events)
+
+    # tick-level: the unbounded window is the exact per-rank sum
+    ticks = traces.window_ticks(None, None)
+    for r, td in enumerate(traces.traces):
+        assert np.array_equal(
+            ticks[r][traces._remap[r]], td.window_ticks(None, None))
+
+    # query-level: windowed-trace results == untimed-experiment results
+    untimed = traces.window_experiment(None, None)
+    for q in QUERIES:
+        want = _fingerprint(run_query(q, untimed))
+        assert _fingerprint(run_query(q.window(None, None), traces)) == want
+        assert _fingerprint(run_query(q, traces)) == want
+
+
+@settings(max_examples=15, deadline=None)
+@given(rank_events=trace_events(),
+       cuts=st.tuples(st.floats(0, T_SPAN, allow_nan=False),
+                      st.floats(0, T_SPAN, allow_nan=False)))
+def test_windowed_spec_round_trip(rank_events, cuts):
+    """Query.window survives to_spec()/from_spec() with identical results."""
+    traces = _build_set(rank_events)
+    t0, t1 = sorted(cuts)
+    for q in QUERIES:
+        wq = q.window(t0, t1)
+        rebuilt = Query.from_spec(wq.to_spec())
+        assert rebuilt.time_window == wq.time_window
+        assert _fingerprint(run_query(rebuilt, traces)) == \
+            _fingerprint(run_query(wq, traces))

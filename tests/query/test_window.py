@@ -1,0 +1,60 @@
+"""The ``window()`` query operator: validation, spec round-trip, and
+the trace-capable-target requirement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.hpcprof.experiment import Experiment
+from repro.query import Query, query, run_query
+from repro.sim.workloads import fig1
+
+
+def test_window_validates_bounds():
+    q = query("**/*")
+    with pytest.raises(QueryError, match="NaN"):
+        q.window(float("nan"), 1.0)
+    with pytest.raises(QueryError, match="inverted"):
+        q.window(2.0, 1.0)
+    with pytest.raises(QueryError, match="number or None"):
+        q.window("soon", None)
+
+
+def test_window_is_immutable_chaining():
+    base = query("**/*")
+    windowed = base.window(1.0, 2.0)
+    assert base.time_window is None
+    assert windowed.time_window == (1.0, 2.0)
+
+
+def test_window_survives_spec_round_trip():
+    q = query("**/*").window(0.5, None).sort("m")
+    spec = q.to_spec()
+    assert spec["window"] == [0.5, None]
+    assert Query.from_spec(spec).time_window == (0.5, None)
+
+
+def test_spec_rejects_malformed_window():
+    spec = query("**/*").to_spec()
+    spec["window"] = [1.0]
+    with pytest.raises(QueryError, match="pair"):
+        Query.from_spec(spec)
+
+
+def test_window_requires_trace_target():
+    """An untimed experiment cannot answer a windowed query."""
+    exp = Experiment.from_program(fig1.build())
+    with pytest.raises(QueryError, match="trace-capable"):
+        run_query(query("**/*").window(0.0, 1.0), exp)
+    # but the same query without a window runs fine
+    assert run_query(query("**/*"), exp).row_count > 0
+
+
+def test_untimed_query_over_trace_is_the_whole_trace():
+    from repro.sim.spmd import trace_spmd
+
+    traces = trace_spmd(fig1.build(), nranks=2, seed=7)
+    plain = run_query(query("**/*"), traces)
+    unbounded = run_query(query("**/*").window(None, None), traces)
+    assert plain.to_rows() == unbounded.to_rows()

@@ -60,6 +60,11 @@ SCENARIO = [
     # deterministic (all-zero rows, no findings) and alias-identical
     ("POST", "/diff", {"sessions": ["s1", "s1"], "depth": 1}),
     ("GET", '/diff?sessions=["s1","s1"]&max_rows=5', None),
+    # trace views: these apps have no trace store on disk at this
+    # path, so both verbs answer the same structured 404 — which must
+    # alias identically
+    ("POST", "/trace", {"path": "no-such.rpstore", "view": "flame"}),
+    ("GET", "/trace?path=no-such.rpstore&view=series", None),
     # error paths must alias identically too (modulo the trace id)
     ("GET", "/ensemble", None),
     ("POST", "/ensemble", {"databases": ["solo"]}),

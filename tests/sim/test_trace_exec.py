@@ -1,0 +1,92 @@
+"""Trace mode of the simulated executor: timestamped attribution,
+slice splitting, rank-dependent timelines, and the untimed contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.executor import execute_trace
+from repro.sim.spmd import spmd_experiment, trace_spmd
+from repro.sim.workloads import fig1
+
+
+def test_trace_spmd_validates_nranks():
+    with pytest.raises(SimulationError, match="nranks"):
+        trace_spmd(fig1.build(), nranks=0)
+
+
+def test_execute_trace_validates_slices():
+    with pytest.raises(SimulationError, match="trace_slices"):
+        execute_trace(fig1.build(), trace_slices=0)
+
+
+def test_trace_is_sealed_and_timed():
+    trace = execute_trace(fig1.build(), seed=7)
+    assert trace.sealed
+    assert trace.n_events > 0
+    assert trace.t_begin >= 0.0
+    assert list(trace.times) == sorted(trace.times)
+
+
+def test_slices_partition_costs_exactly():
+    """trace_slices splits each attribution into integer parts that sum
+    to the unsliced ticks — the whole-trace profile is identical."""
+    one = execute_trace(fig1.build(), seed=7, trace_slices=1)
+    many = execute_trace(fig1.build(), seed=7, trace_slices=5)
+    assert many.n_events >= one.n_events
+    # same contexts, same exact tick totals
+    assert {c[0] for c in one.contexts} == {c[0] for c in many.contexts}
+    totals_one = one.window_ticks(None, None).sum(axis=0)
+    totals_many = many.window_ticks(None, None).sum(axis=0)
+    assert np.array_equal(np.sort(totals_one), np.sort(totals_many))
+
+
+def test_untimed_window_matches_spmd_experiment():
+    """window(None, None) over the trace covers exactly the scopes of
+    the untimed SPMD run, with matching inclusive root totals."""
+    traces = trace_spmd(fig1.build(), nranks=2, seed=7, trace_slices=2)
+    windowed = traces.window_experiment(None, None)
+    untimed = spmd_experiment(fig1.build(), nranks=2, seed=7)
+
+    def names(exp):
+        return sorted(n.name for n in exp.cct.walk() if n.name)
+
+    assert names(windowed) == names(untimed)
+
+
+def test_rank_dependent_costs_skew_timelines(straggler_traces):
+    ends = [t.t_end for t in straggler_traces.traces]
+    assert ends == sorted(ends)
+    assert ends[-1] > ends[0]
+
+
+def test_rank_clocks_start_at_zero(fig1_traces):
+    for t in fig1_traces.traces:
+        assert t.t_begin >= 0.0
+
+
+@pytest.fixture(scope="module")
+def fig1_traces():
+    return trace_spmd(fig1.build(), nranks=2, seed=7, trace_slices=3)
+
+
+@pytest.fixture(scope="module")
+def straggler_traces():
+    from repro.sim.program import Call, Module, Procedure, Program, Work
+
+    ranked = Procedure(name="ranked_work", line=1, end_line=4, body=[
+        Work(line=2, costs=lambda ctx: {"cycles": 2.0 * (1 + ctx.rank)}),
+    ])
+    main = Procedure(name="main", line=6, end_line=10, body=[
+        Work(line=7, costs={"cycles": 1.0}),
+        Call(line=8, callee="ranked_work"),
+    ])
+    program = Program(
+        name="straggler",
+        modules=[Module(path="straggler.c", procedures=[main, ranked])],
+        entry="main",
+        metrics=[("cycles", "cycles")],
+    )
+    return trace_spmd(program, nranks=4, seed=7, trace_slices=4)

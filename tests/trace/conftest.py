@@ -1,0 +1,52 @@
+"""Shared fixtures for the trace test battery."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fig1_traces():
+    """A small deterministic two-rank trace of the paper's Figure 1."""
+    from repro.sim.spmd import trace_spmd
+    from repro.sim.workloads import fig1
+
+    return trace_spmd(fig1.build(), nranks=2, seed=7, trace_slices=3,
+                      name="fig1-trace")
+
+
+@pytest.fixture(scope="session")
+def straggler_traces():
+    """Four ranks with rank-proportional work — planted late-rank
+    idleness for series/flame assertions."""
+    from repro.sim.program import Call, Module, Procedure, Program, Work
+    from repro.sim.spmd import trace_spmd
+
+    ranked = Procedure(name="ranked_work", line=1, end_line=4, body=[
+        Work(line=2, costs=lambda ctx: {"cycles": 2.0 * (1 + ctx.rank)}),
+    ])
+    main = Procedure(name="main", line=6, end_line=10, body=[
+        Work(line=7, costs={"cycles": 1.0}),
+        Call(line=8, callee="ranked_work"),
+    ])
+    program = Program(
+        name="straggler",
+        modules=[Module(path="straggler.c", procedures=[main, ranked])],
+        entry="main",
+        metrics=[("cycles", "cycles")],
+    )
+    return trace_spmd(program, nranks=4, seed=7, trace_slices=6,
+                      name="straggler-trace")
+
+
+@pytest.fixture()
+def fig1_store(fig1_traces, tmp_path):
+    """The fig1 trace written as a chunked store (narrow chunks so
+    window queries exercise pruning)."""
+    from repro.trace import create_trace_store
+
+    span = fig1_traces.t_end - fig1_traces.t_begin
+    store = create_trace_store(fig1_traces, str(tmp_path / "t.rpstore"),
+                               chunk_duration=max(span / 5, 1e-6))
+    yield store
+    store.close()

@@ -1,0 +1,174 @@
+"""Unit coverage for the in-memory trace model: quantization, event
+recording and validation, sealing, window semantics, and the multi-rank
+context table."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricTable
+from repro.errors import TraceError
+from repro.hpcrun.profile_data import Frame
+from repro.trace import TraceData, TraceSet
+from repro.trace.model import (
+    DEFAULT_RESOLUTION,
+    check_window,
+    quantize,
+)
+
+
+def _metrics(*names) -> MetricTable:
+    table = MetricTable()
+    for name in names:
+        table.add(name, unit=name)
+    return table
+
+
+def _frame(proc: str, line: int = 1) -> Frame:
+    return Frame(proc=proc, file="t.c", call_line=line)
+
+
+# --------------------------------------------------------------------- #
+# quantize
+# --------------------------------------------------------------------- #
+def test_quantize_round_trips_dyadic_values_exactly():
+    for value in (0.0, 1.0, 3.5, 123.0625, -2.25):
+        ticks = quantize(value)
+        assert ticks * DEFAULT_RESOLUTION == value
+
+
+def test_quantize_rejects_overflow():
+    with pytest.raises(TraceError, match="overflows"):
+        quantize(1e30, resolution=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# check_window
+# --------------------------------------------------------------------- #
+def test_check_window_normalizes_none_to_infinities():
+    assert check_window(None, None) == (-math.inf, math.inf)
+    assert check_window(1.5, None) == (1.5, math.inf)
+
+
+def test_check_window_rejects_nan_and_inversion():
+    with pytest.raises(TraceError, match="NaN"):
+        check_window(float("nan"), 1.0)
+    with pytest.raises(TraceError, match="inverted"):
+        check_window(2.0, 1.0)
+
+
+# --------------------------------------------------------------------- #
+# TraceData recording + sealing
+# --------------------------------------------------------------------- #
+def test_record_validates_inputs():
+    td = TraceData(_metrics("m"))
+    with pytest.raises(TraceError, match="at least one frame"):
+        td.record([], 1, 0.0, {0: 1})
+    with pytest.raises(TraceError, match="finite"):
+        td.record([_frame("p")], 1, float("nan"), {0: 1})
+    with pytest.raises(TraceError, match="finite"):
+        td.record([_frame("p")], 1, -1.0, {0: 1})
+    with pytest.raises(TraceError, match="unknown metric id"):
+        td.record([_frame("p")], 1, 0.0, {3: 1})
+
+
+def test_seal_sorts_by_time_and_freezes():
+    td = TraceData(_metrics("m"))
+    td.record([_frame("p")], 1, 2.0, {0: 20})
+    td.record([_frame("p")], 1, 0.5, {0: 5})
+    td.record([_frame("q")], 2, 1.0, {0: 10})
+    td.seal()
+    assert list(td.times) == [0.5, 1.0, 2.0]
+    assert td.t_begin == 0.5 and td.t_end == 2.0
+    assert td.n_events == 3
+    with pytest.raises(TraceError, match="sealed"):
+        td.record([_frame("p")], 1, 3.0, {0: 1})
+    # sealing twice is a no-op
+    assert td.seal() is td
+
+
+def test_unsealed_trace_refuses_inspection():
+    td = TraceData(_metrics("m"))
+    with pytest.raises(TraceError, match="sealed"):
+        td.n_events
+
+
+def test_window_is_half_open():
+    td = TraceData(_metrics("m"))
+    for t in (0.0, 1.0, 2.0):
+        td.record([_frame("p")], 1, t, {0: 1})
+    td.seal()
+    sel = td.window_slice(1.0, 2.0)
+    assert list(td.times[sel]) == [1.0]  # t0 included, t1 excluded
+    assert td.window_ticks(1.0, 2.0).sum() == 1
+    assert td.window_ticks(5.0, 9.0).sum() == 0
+    assert td.window_ticks(None, None).sum() == 3
+
+
+def test_resolution_overrides_validated():
+    with pytest.raises(TraceError, match="unknown metric id"):
+        TraceData(_metrics("m"), resolutions={5: 1.0})
+    with pytest.raises(TraceError, match="positive"):
+        TraceData(_metrics("m"), resolutions={0: 0.0})
+    with pytest.raises(TraceError, match="time_metric"):
+        TraceData(_metrics("m"), time_metric=7)
+
+
+# --------------------------------------------------------------------- #
+# TraceSet
+# --------------------------------------------------------------------- #
+def _rank_trace(metrics, rank, events):
+    td = TraceData(metrics, rank=rank)
+    for proc, t, ticks in events:
+        td.record([_frame("main"), _frame(proc)], 1, t, {0: ticks})
+    return td
+
+
+def test_traceset_builds_global_context_table(fig1_traces):
+    total_local = sum(len(t.contexts) for t in fig1_traces.traces)
+    assert len(fig1_traces.contexts) <= total_local
+    assert fig1_traces.nranks == 2
+    assert fig1_traces.n_events == sum(
+        t.n_events for t in fig1_traces.traces)
+
+
+def test_traceset_rejects_empty_and_mismatched():
+    with pytest.raises(TraceError, match="at least one rank"):
+        TraceSet([], structure=None)
+    m = _metrics("m")
+    other = _metrics("m", "n")
+    a = _rank_trace(m, 0, [("p", 0.0, 1)])
+    b = _rank_trace(other, 1, [("p", 0.0, 1)])
+    with pytest.raises(TraceError, match="metric tables"):
+        TraceSet([a, b], structure=None)
+
+
+def test_events_window_checks_rank(fig1_traces):
+    with pytest.raises(TraceError, match="rank 9 out of range"):
+        fig1_traces.events_window(9)
+
+
+def test_window_ticks_partition_is_exact(fig1_traces):
+    whole = fig1_traces.window_ticks(None, None)
+    mid = (fig1_traces.t_begin + fig1_traces.t_end) / 2
+    left = fig1_traces.window_ticks(None, mid)
+    right = fig1_traces.window_ticks(mid, None)
+    assert np.array_equal(left + right, whole)
+
+
+def test_window_experiment_matches_untimed(fig1_traces):
+    """The unbounded window covers the same scopes as the untimed run."""
+    from repro.hpcprof.experiment import Experiment
+    from repro.sim.workloads import fig1
+
+    windowed = fig1_traces.window_experiment(None, None)
+    untimed = Experiment.from_program(fig1.build(), nranks=2, seed=7)
+
+    def names(exp):
+        return sorted(
+            node.name for node in exp.cct.walk() if node.name)
+
+    assert names(windowed) == names(untimed)

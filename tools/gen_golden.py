@@ -10,7 +10,11 @@ For every fixture in ``tests/golden/corpus.py`` this writes:
   presentation views (see ``corpus.render_views``);
 * ``<name>.table.rpcol`` — for the one pinned fixture, the framed
   columnar table bytes the server sends under ``Accept:
-  application/x-repro-columnar`` (see ``corpus.columnar_table_bytes``).
+  application/x-repro-columnar`` (see ``corpus.columnar_table_bytes``);
+* ``<name>.trace.<file>`` — for every trace fixture, the exact bytes of
+  its time-partitioned chunked store (manifest, skeleton, per-chunk
+  event/slab files) plus JSON renders of a pinned window query, flame
+  slab, and idleness series (see ``corpus.trace_outputs``).
 
 ``tests/golden/test_golden_corpus.py`` re-renders the checked-in
 binaries through every reader path and compares byte-for-byte, so this
@@ -53,6 +57,7 @@ def generate() -> dict[str, bytes]:
             )
     out.update(corpus.query_outputs())
     out.update(corpus.ensemble_outputs())
+    out.update(corpus.trace_outputs())
     return out
 
 

@@ -4,7 +4,7 @@
 #   tools/run_tier1.sh            # full gate
 #   REPRO_TEST_TIMEOUT_SCALE=4 tools/run_tier1.sh   # slow/loaded machines
 #
-# Seven stages, all required:
+# Eight stages, all required:
 #   1. the pytest suite (-x: first failure stops the run) — with
 #      coverage enforcement when pytest-cov is installed;
 #   2. public API surface: regenerated in-memory, diffed against the
@@ -19,7 +19,11 @@
 #      in-memory / .rpdb / .rpstore backends, through the search()
 #      shim, and over /v1/query (JSON == columnar), plus a clean
 #      two-profile corpus diagnosis;
-#   7. coverage ratchet: the fail_under floor may never decrease.
+#   7. trace smoke: a two-rank trace answers a windowed query
+#      bit-identically from memory and from a time-partitioned chunked
+#      store (pruning verified), a pre-commit writer crash leaves no
+#      store, and /v1/trace serves matching JSON and columnar slabs;
+#   8. coverage ratchet: the fail_under floor may never decrease.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +56,9 @@ python tools/corpus_smoke.py
 
 echo "== tier-1: query smoke =="
 python tools/query_smoke.py
+
+echo "== tier-1: trace smoke =="
+python tools/trace_smoke.py
 
 echo "== tier-1: coverage ratchet =="
 python tools/check_coverage_ratchet.py
